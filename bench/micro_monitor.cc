@@ -1,0 +1,122 @@
+// Microbenchmarks for the monitoring substrate: per-sample daemon work,
+// windowed-mean maintenance, snapshot assembly and the network model's
+// pairwise queries. These bound the "light-weight daemons" claim of §4.
+#include <benchmark/benchmark.h>
+
+#include "cluster/cluster.h"
+#include "monitor/daemons.h"
+#include "monitor/store.h"
+#include "net/flows.h"
+#include "net/network_model.h"
+#include "sim/rng.h"
+#include "util/stats.h"
+
+using namespace nlarm;
+
+namespace {
+
+void BM_WindowedMeanAdd(benchmark::State& state) {
+  util::WindowedMean window(60.0);
+  double t = 0.0;
+  for (auto _ : state) {
+    t += 3.0;
+    window.add(t, 1.0 + 0.1 * (static_cast<int>(t) % 7));
+    benchmark::DoNotOptimize(window.value());
+  }
+}
+BENCHMARK(BM_WindowedMeanAdd);
+
+void BM_LoadAveragesAdd(benchmark::State& state) {
+  util::LoadAverages averages;
+  double t = 0.0;
+  for (auto _ : state) {
+    t += 3.0;
+    averages.add(t, 2.0);
+    benchmark::DoNotOptimize(averages.fifteen_minutes());
+  }
+}
+BENCHMARK(BM_LoadAveragesAdd);
+
+void BM_SnapshotAssembly(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  monitor::MonitorStore store(n);
+  for (int i = 0; i < n; ++i) {
+    monitor::NodeSnapshot record;
+    record.spec.id = i;
+    record.spec.core_count = 8;
+    record.spec.cpu_freq_ghz = 3.0;
+    record.spec.total_mem_gb = 16.0;
+    store.write_node_record(1.0, record);
+  }
+  store.write_livehosts(1.0, std::vector<bool>(static_cast<std::size_t>(n),
+                                               true));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.assemble(2.0));
+  }
+}
+BENCHMARK(BM_SnapshotAssembly)->Arg(60)->Arg(256);
+
+void BM_BandwidthQuery(benchmark::State& state) {
+  cluster::Cluster cluster = cluster::make_iitk_cluster();
+  net::FlowSet flows;
+  sim::Rng rng(1);
+  for (int i = 0; i < 30; ++i) {
+    const auto src = static_cast<cluster::NodeId>(rng.uniform_int(0, 59));
+    auto dst = static_cast<cluster::NodeId>(rng.uniform_int(0, 59));
+    if (dst == src) dst = (dst + 1) % 60;
+    flows.add(src, dst, rng.uniform(10.0, 400.0));
+  }
+  net::NetworkModel network(cluster, flows);
+  int u = 0;
+  for (auto _ : state) {
+    const int v = (u + 17) % 60;
+    benchmark::DoNotOptimize(
+        network.available_bandwidth_mbps(u, v == u ? (u + 1) % 60 : v));
+    u = (u + 1) % 60;
+  }
+}
+BENCHMARK(BM_BandwidthQuery);
+
+void BM_LatencyQuery(benchmark::State& state) {
+  cluster::Cluster cluster = cluster::make_iitk_cluster();
+  net::FlowSet flows;
+  net::NetworkModel network(cluster, flows);
+  int u = 0;
+  for (auto _ : state) {
+    const int v = (u + 31) % 60;
+    benchmark::DoNotOptimize(
+        network.latency_us(u, v == u ? (u + 1) % 60 : v));
+    u = (u + 1) % 60;
+  }
+}
+BENCHMARK(BM_LatencyQuery);
+
+void BM_FullProbeSweep(benchmark::State& state) {
+  // One BandwidthD sweep over the paper's 60-node cluster: n−1 rounds of
+  // n/2 pairs (what happens every 5 minutes on the real cluster).
+  cluster::Cluster cluster = cluster::make_iitk_cluster();
+  net::FlowSet flows;
+  net::NetworkModel network(cluster, flows);
+  sim::Rng rng(2);
+  const auto rounds = monitor::tournament_rounds(cluster.size());
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (const auto& round : rounds) {
+      for (const auto& [u, v] : round) {
+        sum += network.measure_bandwidth_mbps(u, v, rng);
+      }
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_FullProbeSweep);
+
+void BM_TournamentSchedule(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(monitor::tournament_rounds(n));
+  }
+}
+BENCHMARK(BM_TournamentSchedule)->Arg(60)->Arg(256);
+
+}  // namespace

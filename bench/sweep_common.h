@@ -1,0 +1,92 @@
+// Shared sweep driver for the strong-scaling experiments (Figures 4 and 6,
+// Tables 2 and 3): run the four-policy comparison over a grid of process
+// counts and problem sizes on the paper's testbed, shared-lab scenario.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.h"
+#include "exp/report.h"
+#include "util/args.h"
+#include "util/stats.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace nlarm::bench {
+
+struct SweepOptions {
+  std::vector<int> proc_counts;
+  std::vector<int> problem_sizes;
+  int repetitions = 3;   ///< paper uses 5; default trimmed for quick runs
+  int ppn = 4;           ///< 4 processes/node throughout §5
+  core::JobWeights job;
+  std::uint64_t seed = 42;
+  workload::ScenarioKind scenario = workload::ScenarioKind::kSharedLab;
+};
+
+/// Results for one process count: one ComparisonResult per problem size.
+struct SweepRow {
+  int nprocs = 0;
+  std::vector<exp::ComparisonResult> by_size;
+};
+
+using AppFactory =
+    std::function<mpisim::AppProfile(int problem_size, int nranks)>;
+
+inline std::vector<SweepRow> run_sweep(const SweepOptions& options,
+                                       const AppFactory& make_app) {
+  std::vector<SweepRow> rows;
+  for (int nprocs : options.proc_counts) {
+    // A fresh testbed per process count, like separate sessions on the real
+    // cluster; the same testbed carries across problem sizes.
+    exp::Testbed::Options testbed_options;
+    testbed_options.seed = options.seed + static_cast<std::uint64_t>(nprocs);
+    testbed_options.scenario = options.scenario;
+    auto testbed = exp::Testbed::make(testbed_options);
+
+    SweepRow row;
+    row.nprocs = nprocs;
+    for (int size : options.problem_sizes) {
+      exp::ComparisonConfig config;
+      config.nprocs = nprocs;
+      config.ppn = options.ppn;
+      config.job = options.job;
+      config.repetitions = options.repetitions;
+      config.make_app = [&, size](int nranks) {
+        return make_app(size, nranks);
+      };
+      row.by_size.push_back(exp::run_policy_comparison(*testbed, config));
+      std::fprintf(stderr, "  [sweep] procs=%d size=%d done\n", nprocs, size);
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+/// Flattens every ComparisonResult of a sweep (for pooled gain statistics).
+inline std::vector<exp::ComparisonResult> flatten(
+    const std::vector<SweepRow>& rows) {
+  std::vector<exp::ComparisonResult> all;
+  for (const SweepRow& row : rows) {
+    for (const exp::ComparisonResult& result : row.by_size) {
+      all.push_back(result);
+    }
+  }
+  return all;
+}
+
+/// Adds the standard sweep flags to a parser spec.
+inline util::ArgParser make_sweep_parser(const std::string& description) {
+  return util::ArgParser(
+      description,
+      {{"reps", "repetitions per configuration (paper: 5; default 3)"},
+       {"seed", "base RNG seed (default 42)"},
+       {"full", "run the paper's full grid and 5 repetitions"},
+       {"scenario", "workload scenario: quiet|shared_lab|hotspot|heavy"}});
+}
+
+}  // namespace nlarm::bench

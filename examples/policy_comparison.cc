@@ -1,0 +1,105 @@
+// Compare the four allocation policies on one job, the way §5 does:
+// run them in sequence on the same cluster, repeat, report mean times.
+#include <iostream>
+
+#include "apps/minifft.h"
+#include "apps/minife.h"
+#include "apps/minimd.h"
+#include "exp/experiment.h"
+#include "util/args.h"
+#include "util/stats.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace nlarm;
+
+int main(int argc, char** argv) {
+  util::ArgParser parser(
+      "Run one job under all four allocation policies and compare.",
+      {{"app", "application: minimd|minife|minifft (default minimd)"},
+       {"procs", "process count (default 32)"},
+       {"size", "problem size: miniMD s / miniFE nx / miniFFT n (default 16)"},
+       {"reps", "repetitions (default 5, like the paper)"},
+       {"scenario", "quiet|shared_lab|hotspot|heavy (default shared_lab)"},
+       {"seed", "RNG seed (default 1)"}});
+  if (!parser.parse(argc, argv)) return 0;
+
+  exp::Testbed::Options options;
+  options.seed = static_cast<std::uint64_t>(parser.get_long("seed", 1));
+  options.scenario = workload::parse_scenario_kind(
+      parser.get_string("scenario", "shared_lab"));
+  auto testbed = exp::Testbed::make(options);
+
+  exp::ComparisonConfig config;
+  const std::string app = parser.get_string("app", "minimd");
+  const int size = static_cast<int>(
+      parser.get_long("size", app == "minimd" ? 16 : app == "minife" ? 96
+                                                                     : 128));
+  config.nprocs = static_cast<int>(parser.get_long("procs", 32));
+  config.repetitions = static_cast<int>(parser.get_long("reps", 5));
+  config.ppn = 4;
+  if (app == "minimd") {
+    config.job = core::JobWeights::minimd_defaults();
+    config.make_app = [size](int nranks) {
+      apps::MiniMdParams params;
+      params.size = size;
+      params.nranks = nranks;
+      return apps::make_minimd_profile(params);
+    };
+  } else if (app == "minife") {
+    config.job = core::JobWeights::minife_defaults();
+    config.make_app = [size](int nranks) {
+      apps::MiniFeParams params;
+      params.nx = size;
+      params.nranks = nranks;
+      return apps::make_minife_profile(params);
+    };
+  } else if (app == "minifft") {
+    config.job = core::JobWeights{0.2, 0.8};
+    config.make_app = [size](int nranks) {
+      apps::MiniFftParams params;
+      params.n = size;
+      params.nranks = nranks;
+      return apps::make_minifft_profile(params);
+    };
+  } else {
+    std::cerr << "unknown --app '" << app
+              << "' (expected minimd|minife|minifft)\n";
+    return 1;
+  }
+
+  std::cout << app << " size=" << size << ", " << config.nprocs
+            << " processes, scenario " << workload::to_string(options.scenario)
+            << ", " << config.repetitions << " repetitions\n\n";
+  const exp::ComparisonResult result =
+      exp::run_policy_comparison(*testbed, config);
+
+  util::TextTable table({"policy", "mean (s)", "min (s)", "max (s)", "CoV"});
+  for (int p = 0; p < exp::kPolicyCount; ++p) {
+    const auto policy = static_cast<exp::Policy>(p);
+    const auto times = result.times(policy);
+    const util::Summary s = util::summarize(times);
+    table.add_row({exp::to_string(policy), util::format("%.3f", s.mean),
+                   util::format("%.3f", s.min), util::format("%.3f", s.max),
+                   util::format("%.3f", s.cov)});
+  }
+  table.print(std::cout);
+
+  const double ours = result.mean_time(exp::Policy::kNetworkLoadAware);
+  std::cout << "\nGain vs random:     "
+            << util::format("%.1f%%",
+                            (1 - ours / result.mean_time(exp::Policy::kRandom)) *
+                                100)
+            << "\nGain vs sequential: "
+            << util::format(
+                   "%.1f%%",
+                   (1 - ours / result.mean_time(exp::Policy::kSequential)) *
+                       100)
+            << "\nGain vs load-aware: "
+            << util::format(
+                   "%.1f%%",
+                   (1 - ours / result.mean_time(exp::Policy::kLoadAware)) *
+                       100)
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Quickstart: the whole system in one file.
+//
+//  1. Build a simulated shared cluster (the paper's 60-node IITK testbed).
+//  2. Let background users load it and start the Resource Monitor daemons.
+//  3. Ask the ResourceBroker for nodes for a 32-process MPI job.
+//  4. Run miniMD on the chosen nodes and print the result + hostfile.
+#include <iostream>
+
+#include "apps/minimd.h"
+#include "core/broker.h"
+#include "exp/experiment.h"
+#include "mpisim/placement.h"
+
+using namespace nlarm;
+
+int main() {
+  // --- 1+2: a warmed-up testbed: cluster + workload + monitor ------------
+  exp::Testbed::Options options;
+  options.scenario = workload::ScenarioKind::kSharedLab;
+  options.seed = 2020;
+  auto testbed = exp::Testbed::make(options);
+  std::cout << "Cluster: " << testbed->cluster().size() << " nodes, "
+            << testbed->cluster().total_cores() << " cores, "
+            << testbed->cluster().topology().switch_count()
+            << " switches\n";
+
+  // --- 3: request 32 processes, 4 per node, communication-heavy job ------
+  core::AllocationRequest request;
+  request.nprocs = 32;
+  request.ppn = 4;
+  request.job = core::JobWeights::minimd_defaults();  // α=0.3, β=0.7
+
+  core::NetworkLoadAwareAllocator allocator;
+  core::ResourceBroker broker(allocator);
+  const core::BrokerDecision decision =
+      broker.decide(testbed->snapshot(), request);
+
+  if (decision.action == core::BrokerDecision::Action::kWait) {
+    std::cout << "Broker recommends waiting: " << decision.reason << "\n";
+    return 0;
+  }
+  std::cout << "Broker: " << decision.reason << "\n";
+  std::cout << "Allocated nodes (avg CPU load "
+            << decision.allocation.avg_cpu_load << ", avg latency "
+            << decision.allocation.avg_latency_us << " us):\n";
+  std::cout << core::to_hostfile(decision.allocation, testbed->snapshot());
+
+  // --- 4: run miniMD (s=16 → 16K atoms) on the allocation ----------------
+  apps::MiniMdParams app;
+  app.size = 16;
+  app.nranks = request.nprocs;
+  const auto profile = apps::make_minimd_profile(app);
+  const auto placement =
+      mpisim::Placement::from_allocation(decision.allocation);
+  const auto result =
+      testbed->runtime().run(testbed->sim(), profile, placement);
+
+  std::cout << "\nminiMD finished: " << result.total_s << " s total ("
+            << result.compute_s << " s compute, " << result.comm_s
+            << " s communication, "
+            << static_cast<int>(result.comm_fraction() * 100)
+            << "% comm)\n";
+  return 0;
+}

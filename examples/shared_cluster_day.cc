@@ -1,0 +1,152 @@
+// A day in the life of the broker on a shared cluster — with a real queue.
+//
+// MPI jobs arrive at random times over a simulated day and are submitted to
+// a JobQueue (reservations + backfill) in front of the network-and-load-
+// aware allocator. Started jobs run *concurrently*: each leaves a
+// JobFootprint (CPU load + traffic) that the monitor picks up, so later
+// decisions see earlier jobs. Waiting jobs are retried on a poll timer —
+// the closed-loop version of §6's "recommend waiting".
+#include <iostream>
+#include <map>
+#include <memory>
+
+#include "apps/minife.h"
+#include "apps/minimd.h"
+#include "core/job_queue.h"
+#include "exp/experiment.h"
+#include "mpisim/footprint.h"
+#include "mpisim/placement.h"
+#include "util/args.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace nlarm;
+
+namespace {
+
+struct RunningJob {
+  std::string name;
+  double start = 0.0;
+  double expected_end = 0.0;
+  std::unique_ptr<mpisim::JobFootprint> footprint;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser parser(
+      "Simulate a day of queued MPI job arrivals on a shared cluster.",
+      {{"hours", "length of the (compressed) day in hours (default 0.2)"},
+       {"jobs", "number of job arrivals (default 32)"},
+       {"scenario", "workload scenario (default hotspot)"},
+       {"seed", "RNG seed (default 9)"}});
+  if (!parser.parse(argc, argv)) return 0;
+  const double hours = parser.get_double("hours", 0.2);
+  const int jobs = static_cast<int>(parser.get_long("jobs", 32));
+
+  exp::Testbed::Options options;
+  options.seed = static_cast<std::uint64_t>(parser.get_long("seed", 9));
+  options.scenario = workload::parse_scenario_kind(
+      parser.get_string("scenario", "hotspot"));
+  auto testbed = exp::Testbed::make(options);
+
+  core::NetworkLoadAwareAllocator allocator;
+  core::QueueOptions queue_options;
+  queue_options.broker.max_load_per_core = 0.6;
+  core::JobQueue queue(allocator, queue_options);
+
+  sim::Rng rng = testbed->sim().fork_rng("job-arrivals");
+  util::TextTable log({"hour", "job", "procs", "event", "nodes", "waited (s)",
+                       "runtime (s)"});
+  std::map<core::JobId, RunningJob> running;
+  std::map<core::JobId, std::pair<std::string, int>> submitted;
+
+  auto poll_queue = [&]() {
+    const auto started = queue.poll(testbed->snapshot(), testbed->sim().now());
+    for (const core::StartedJob& job : started) {
+      const auto& meta = submitted.at(job.id);
+      mpisim::AppProfile profile;
+      if (meta.first == "miniMD") {
+        apps::MiniMdParams params;
+        params.size = 16;
+        params.nranks = meta.second;
+        params.timesteps = 20000;  // a production run, not a benchmark blip
+        profile = apps::make_minimd_profile(params);
+      } else {
+        apps::MiniFeParams params;
+        params.nx = 96;
+        params.nranks = meta.second;
+        params.cg_iterations = 12000;  // several solves back to back
+        profile = apps::make_minife_profile(params);
+      }
+      const auto placement =
+          mpisim::Placement::from_allocation(job.allocation);
+      // Price under current conditions (footprint not yet applied), then
+      // leave the footprint in place until completion.
+      const auto estimate = testbed->runtime().estimate(profile, placement);
+      RunningJob run;
+      run.name = job.name;
+      run.start = testbed->sim().now();
+      run.expected_end = run.start + estimate.total_s;
+      run.footprint = std::make_unique<mpisim::JobFootprint>(
+          testbed->cluster(), testbed->flows(), profile, placement,
+          std::max(estimate.total_s / profile.iterations, 1e-9));
+      log.add_row({util::format("%.2f", run.start / 3600.0), job.name,
+                   util::format("%d", meta.second), "start",
+                   util::format("%d", job.allocation.node_count()),
+                   util::format("%.0f", job.wait_time()),
+                   util::format("%.2f", estimate.total_s)});
+      const core::JobId id = job.id;
+      testbed->sim().schedule_in(estimate.total_s, [&, id]() {
+        auto it = running.find(id);
+        if (it == running.end()) return;
+        it->second.footprint.reset();  // lift the footprint
+        queue.release(id);
+        running.erase(it);
+      });
+      running.emplace(id, std::move(run));
+    }
+  };
+
+  // Poll the queue every 30 s, like a scheduler daemon.
+  testbed->sim().schedule_every(30.0, 30.0, poll_queue);
+
+  const double horizon = hours * 3600.0;
+  const double t0 = testbed->sim().now();
+  for (int j = 0; j < jobs; ++j) {
+    const double arrival =
+        t0 + horizon * (j + rng.uniform()) / static_cast<double>(jobs);
+    if (arrival > testbed->sim().now()) {
+      testbed->sim().run_until(arrival);
+    }
+    const bool is_md = rng.chance(0.5);
+    const int procs = 4 * static_cast<int>(rng.uniform_int(5, 20));
+    core::AllocationRequest request;
+    request.nprocs = procs;
+    request.ppn = 4;
+    request.job = is_md ? core::JobWeights::minimd_defaults()
+                        : core::JobWeights::minife_defaults();
+    const std::string name = util::format("%s-%02d", is_md ? "miniMD" : "miniFE", j);
+    const core::JobId id =
+        queue.submit(name, request, testbed->sim().now());
+    submitted[id] = {is_md ? "miniMD" : "miniFE", procs};
+    log.add_row({util::format("%.2f", testbed->sim().now() / 3600.0), name,
+                 util::format("%d", procs), "submit", "-", "-", "-"});
+    poll_queue();  // eager attempt on arrival
+  }
+  // Drain: keep polling until everything started and finished.
+  while (queue.pending() > 0 || queue.running() > 0) {
+    testbed->sim().run_until(testbed->sim().now() + 60.0);
+  }
+
+  std::cout << "=== A queued day on the shared cluster ("
+            << workload::to_string(options.scenario) << ") ===\n\n";
+  log.print(std::cout);
+  std::cout << util::format(
+      "\n%d jobs, mean wait %.0f s, %d rejected; backfill %s, reservations "
+      "%s\n",
+      jobs, queue.mean_wait_time(), queue.rejected(),
+      queue_options.backfill ? "on" : "off",
+      queue_options.reserve_nodes ? "on" : "off");
+  return 0;
+}

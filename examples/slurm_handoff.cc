@@ -1,0 +1,63 @@
+// Hand an nlarm allocation to real launchers: profile the job to derive its
+// weights (§5's procedure), allocate, then emit the MPICH machinefile, the
+// OpenMPI hostfile, the srun command line, and the SLURM topology.conf that
+// §6's planned SLURM integration would install.
+#include <iostream>
+
+#include "apps/minimd.h"
+#include "core/launcher_export.h"
+#include "exp/experiment.h"
+#include "mpisim/profiler.h"
+
+using namespace nlarm;
+
+int main() {
+  exp::Testbed::Options options;
+  options.seed = 77;
+  auto testbed = exp::Testbed::make(options);
+  const monitor::ClusterSnapshot snap = testbed->snapshot();
+
+  // --- Profile the job to derive its weights ------------------------------
+  apps::MiniMdParams params;
+  params.size = 16;
+  params.nranks = 32;
+  const auto app = apps::make_minimd_profile(params);
+  mpisim::JobProfiler profiler(testbed->cluster(), testbed->network());
+  // Reference placement: first 8 usable nodes, 4 ranks each.
+  std::vector<cluster::NodeId> reference_nodes;
+  for (int r = 0; r < 32; ++r) {
+    reference_nodes.push_back(snap.usable_nodes()[r / 4]);
+  }
+  const auto report =
+      profiler.profile(app, mpisim::Placement(reference_nodes));
+  std::cout << "Profiled " << app.name << ": "
+            << static_cast<int>(report.comm_fraction * 100)
+            << "% communication, mean message "
+            << static_cast<long>(report.mean_message_bytes)
+            << " B\n  -> alpha=" << report.job_weights.alpha
+            << " beta=" << report.job_weights.beta << "\n\n";
+
+  // --- Allocate with the derived weights ----------------------------------
+  core::AllocationRequest request;
+  request.nprocs = 32;
+  request.ppn = 4;
+  request.job = report.job_weights;
+  request.compute_weights = report.compute_weights;
+  request.network_weights = report.network_weights;
+  core::NetworkLoadAwareAllocator allocator;
+  const core::Allocation alloc = allocator.allocate(snap, request);
+
+  // --- Emit every launcher format ------------------------------------------
+  std::cout << "MPICH machinefile:\n"
+            << core::to_mpich_machinefile(alloc, snap) << "\n";
+  std::cout << "OpenMPI hostfile:\n"
+            << core::to_openmpi_hostfile(alloc, snap) << "\n";
+  std::cout << "SLURM: " << core::to_srun_command(alloc, snap, "./miniMD")
+            << "\n";
+  std::cout << "       --exclude=" << core::to_slurm_exclude(alloc, snap)
+            << "\n\n";
+  std::cout << "topology.conf for SLURM's topology/tree plugin:\n"
+            << core::to_slurm_topology_conf(testbed->cluster().topology(),
+                                            snap);
+  return 0;
+}

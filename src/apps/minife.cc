@@ -1,0 +1,46 @@
+#include "apps/minife.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace nlarm::apps {
+
+long minife_rows(int nx) {
+  NLARM_CHECK(nx > 0) << "nx must be positive";
+  const long nodes = static_cast<long>(nx) + 1;
+  return nodes * nodes * nodes;
+}
+
+mpisim::AppProfile make_minife_profile(const MiniFeParams& params) {
+  NLARM_CHECK(params.nranks > 0) << "need at least one rank";
+  NLARM_CHECK(params.cg_iterations > 0) << "need at least one CG iteration";
+
+  const double rows = static_cast<double>(minife_rows(params.nx));
+  const double rows_per_rank = rows / params.nranks;
+
+  mpisim::AppProfile profile;
+  profile.name = util::format("miniFE(nx=%d,p=%d)", params.nx, params.nranks);
+  profile.nranks = params.nranks;
+  profile.iterations = params.cg_iterations;
+  profile.grid = mpisim::balanced_grid_3d(params.nranks);
+
+  // SpMV: 2 flops per nonzero; dot products and axpys: 2 flops per row each.
+  const double spmv_flops =
+      rows_per_rank * params.nonzeros_per_row * params.flops_per_nonzero;
+  const double vector_flops = rows_per_rank * 2.0 * 5.0;  // 2 dots + 3 axpys
+
+  // Halo: one layer of boundary rows per face, 8 bytes per value.
+  const double face_rows = std::pow(rows_per_rank, 2.0 / 3.0);
+  const double face_bytes = face_rows * 8.0;
+
+  profile.phases.push_back(mpisim::ComputePhase{spmv_flops + vector_flops});
+  profile.phases.push_back(
+      mpisim::HaloPhase{face_bytes, /*periodic=*/false});
+  profile.phases.push_back(mpisim::AllreducePhase{8.0});
+  profile.phases.push_back(mpisim::AllreducePhase{8.0});
+  return profile;
+}
+
+}  // namespace nlarm::apps

@@ -1,0 +1,29 @@
+// miniFE proxy (Mantevo): unstructured implicit finite elements.
+//
+// miniFE assembles a brick-shaped domain of nx×ny×nz hexahedral elements
+// (the paper fixes ny = nz = nx, §5.2) and solves with CG. Each CG
+// iteration: one 27-point-stencil SpMV with a 1-deep halo exchange
+// (non-periodic), two dot products (8-byte allreduces) and three axpys.
+#pragma once
+
+#include "mpisim/app_profile.h"
+
+namespace nlarm::apps {
+
+struct MiniFeParams {
+  int nx = 96;           ///< elements per dimension (ny = nz = nx)
+  int nranks = 8;
+  int cg_iterations = 200;  ///< miniFE's default max CG iterations
+  /// Effective cost per matrix entry: 2 flops of arithmetic inflated by the
+  /// memory-bound nature of SpMV (~12% of peak), so modelled compute time
+  /// matches a real CG iteration.
+  double flops_per_nonzero = 10.0;
+  int nonzeros_per_row = 27;       ///< hex-8 stencil
+};
+
+/// Matrix rows for an nx³-element brick: (nx+1)³ nodes.
+long minife_rows(int nx);
+
+mpisim::AppProfile make_minife_profile(const MiniFeParams& params);
+
+}  // namespace nlarm::apps

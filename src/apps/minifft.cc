@@ -1,0 +1,46 @@
+#include "apps/minifft.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace nlarm::apps {
+
+long minifft_points(int n) {
+  NLARM_CHECK(n > 0) << "grid size must be positive";
+  return static_cast<long>(n) * n * n;
+}
+
+mpisim::AppProfile make_minifft_profile(const MiniFftParams& params) {
+  NLARM_CHECK(params.nranks > 0) << "need at least one rank";
+  NLARM_CHECK(params.iterations > 0) << "need at least one iteration";
+
+  const double points = static_cast<double>(minifft_points(params.n));
+  const double points_per_rank = points / params.nranks;
+
+  mpisim::AppProfile profile;
+  profile.name = util::format("miniFFT(n=%d,p=%d)", params.n, params.nranks);
+  profile.nranks = params.nranks;
+  profile.iterations = params.iterations;
+  // Slab decomposition: ranks form a 1-D line; the communication pattern is
+  // the alltoall, so the grid only matters for validation.
+  profile.grid = {1, 1, params.nranks};
+
+  // Three 1-D FFT passes over the rank's slab per transform.
+  const double log_n = std::log2(static_cast<double>(params.n));
+  const double fft_flops = 3.0 * points_per_rank * params.flops_scale * log_n;
+
+  // Transpose: the rank's slab (16 B per complex point) is scattered evenly
+  // over all ranks — bytes to each partner = slab / P.
+  const double bytes_per_pair =
+      points_per_rank * 16.0 / static_cast<double>(params.nranks);
+
+  profile.phases.push_back(mpisim::ComputePhase{fft_flops});
+  profile.phases.push_back(mpisim::AlltoallPhase{bytes_per_pair});
+  profile.phases.push_back(mpisim::ComputePhase{fft_flops * 0.5});
+  profile.phases.push_back(mpisim::AlltoallPhase{bytes_per_pair});
+  return profile;
+}
+
+}  // namespace nlarm::apps

@@ -1,0 +1,28 @@
+// miniFFT: a distributed 3-D FFT proxy (slab decomposition).
+//
+// Not part of the paper's evaluation — added because the transpose-based
+// FFT is the canonical *bisection-bandwidth-bound* MPI workload, the
+// opposite corner of the communication space from miniMD's nearest-neighbor
+// halos. Each iteration: local 1-D FFT passes (n³ log n flops split over
+// ranks) and two all-to-all transposes moving each rank's slab.
+#pragma once
+
+#include "mpisim/app_profile.h"
+
+namespace nlarm::apps {
+
+struct MiniFftParams {
+  int n = 128;          ///< grid points per dimension (n³ complex values)
+  int nranks = 8;
+  int iterations = 20;  ///< forward+inverse transform pairs
+  /// Effective flops per point per 1-D FFT pass (5·log2 n for radix-2,
+  /// deflated memory efficiency folded in).
+  double flops_scale = 10.0;
+};
+
+/// Total complex grid points: n³.
+long minifft_points(int n);
+
+mpisim::AppProfile make_minifft_profile(const MiniFftParams& params);
+
+}  // namespace nlarm::apps

@@ -1,0 +1,47 @@
+#include "apps/minimd.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace nlarm::apps {
+
+long minimd_atoms(int size) {
+  NLARM_CHECK(size > 0) << "lattice size must be positive";
+  return 4L * size * size * size;  // fcc unit cell: 4 atoms
+}
+
+mpisim::AppProfile make_minimd_profile(const MiniMdParams& params) {
+  NLARM_CHECK(params.nranks > 0) << "need at least one rank";
+  NLARM_CHECK(params.timesteps > 0) << "need at least one timestep";
+
+  const double atoms = static_cast<double>(minimd_atoms(params.size));
+  const double atoms_per_rank = atoms / params.nranks;
+
+  mpisim::AppProfile profile;
+  profile.name = util::format("miniMD(s=%d,p=%d)", params.size, params.nranks);
+  profile.nranks = params.nranks;
+  profile.iterations = params.timesteps;
+  profile.grid = mpisim::balanced_grid_3d(params.nranks);
+
+  // Ghost atoms on one face of the rank's sub-box: surface layer of a cube
+  // holding atoms_per_rank atoms, with a cutoff skin a few atom-layers deep.
+  const double face_atoms = std::pow(atoms_per_rank, 2.0 / 3.0) * 3.0;
+  const double face_bytes = face_atoms * params.bytes_per_ghost_atom;
+
+  profile.phases.push_back(
+      mpisim::ComputePhase{atoms_per_rank * params.flops_per_atom});
+  // Forward communication (ghost positions) and reverse communication
+  // (ghost forces) each step.
+  profile.phases.push_back(
+      mpisim::HaloPhase{face_bytes, /*periodic=*/true});
+  profile.phases.push_back(
+      mpisim::HaloPhase{face_bytes, /*periodic=*/true});
+  // Thermo reductions (energy, virial): two scalar allreduces per step.
+  profile.phases.push_back(mpisim::AllreducePhase{16.0});
+  profile.phases.push_back(mpisim::AllreducePhase{16.0});
+  return profile;
+}
+
+}  // namespace nlarm::apps

@@ -1,0 +1,35 @@
+// miniMD proxy (Mantevo): parallel molecular dynamics with spatial
+// decomposition.
+//
+// The paper varies the problem size s from 8 to 48 (§5.1), which in miniMD's
+// fcc lattice is 4·s³ atoms (s=8 → 2048, s=48 → 442368 — the paper's
+// "2K – 442K atoms"). Each timestep: force computation over the rank's
+// atoms, a 6-face ghost-atom halo exchange (periodic box), and two small
+// allreduces (energy/virial reductions).
+#pragma once
+
+#include "mpisim/app_profile.h"
+
+namespace nlarm::apps {
+
+struct MiniMdParams {
+  int size = 16;         ///< lattice parameter s; atoms = 4·s³
+  int nranks = 8;
+  int timesteps = 100;   ///< miniMD default run length
+  /// Effective force-field work per atom per step (neighbors × flops/pair,
+  /// deflated cache efficiency — calibrated so comm fractions land in the
+  /// paper's 40–80% band on the GigE testbed).
+  double flops_per_atom = 15000.0;
+  /// Ghost-exchange payload per boundary atom (positions forward + forces
+  /// reverse, doubles).
+  double bytes_per_ghost_atom = 64.0;
+};
+
+/// Number of atoms for lattice size s.
+long minimd_atoms(int size);
+
+/// Builds the execution profile. Decomposition is the most cubic 3-D rank
+/// grid; ghost-atom count per face scales with (atoms/rank)^(2/3).
+mpisim::AppProfile make_minimd_profile(const MiniMdParams& params);
+
+}  // namespace nlarm::apps

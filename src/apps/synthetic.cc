@@ -1,0 +1,51 @@
+#include "apps/synthetic.h"
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace nlarm::apps {
+
+mpisim::AppProfile make_synthetic_profile(const SyntheticParams& params) {
+  NLARM_CHECK(params.nranks > 0) << "need at least one rank";
+  NLARM_CHECK(params.flops_per_rank >= 0.0) << "negative flops";
+
+  mpisim::AppProfile profile;
+  profile.name = util::format("synthetic(p=%d)", params.nranks);
+  profile.nranks = params.nranks;
+  profile.iterations = params.iterations;
+  profile.grid = mpisim::balanced_grid_3d(params.nranks);
+  if (params.flops_per_rank > 0.0) {
+    profile.phases.push_back(mpisim::ComputePhase{params.flops_per_rank});
+  }
+  if (params.halo_bytes_per_face > 0.0) {
+    profile.phases.push_back(
+        mpisim::HaloPhase{params.halo_bytes_per_face, params.periodic});
+  }
+  if (params.allreduce_bytes > 0.0) {
+    profile.phases.push_back(
+        mpisim::AllreducePhase{params.allreduce_bytes});
+  }
+  NLARM_CHECK(!profile.phases.empty())
+      << "synthetic app needs at least one non-zero phase";
+  return profile;
+}
+
+mpisim::AppProfile make_compute_bound_profile(int nranks, int iterations) {
+  SyntheticParams params;
+  params.nranks = nranks;
+  params.iterations = iterations;
+  params.flops_per_rank = 5e8;
+  params.allreduce_bytes = 8.0;
+  return make_synthetic_profile(params);
+}
+
+mpisim::AppProfile make_comm_bound_profile(int nranks, int iterations) {
+  SyntheticParams params;
+  params.nranks = nranks;
+  params.iterations = iterations;
+  params.flops_per_rank = 1e6;
+  params.halo_bytes_per_face = 2e6;
+  return make_synthetic_profile(params);
+}
+
+}  // namespace nlarm::apps

@@ -1,0 +1,25 @@
+// Synthetic application with a configurable computation/communication mix —
+// useful for weight-tuning experiments (§6 discusses profiling applications
+// to choose α/β) and for property tests that need apps at the extremes.
+#pragma once
+
+#include "mpisim/app_profile.h"
+
+namespace nlarm::apps {
+
+struct SyntheticParams {
+  int nranks = 8;
+  int iterations = 50;
+  double flops_per_rank = 1e8;
+  double halo_bytes_per_face = 0.0;   ///< 0 disables the halo phase
+  double allreduce_bytes = 0.0;       ///< 0 disables the allreduce phase
+  bool periodic = true;
+};
+
+mpisim::AppProfile make_synthetic_profile(const SyntheticParams& params);
+
+/// Convenience extremes.
+mpisim::AppProfile make_compute_bound_profile(int nranks, int iterations = 50);
+mpisim::AppProfile make_comm_bound_profile(int nranks, int iterations = 50);
+
+}  // namespace nlarm::apps

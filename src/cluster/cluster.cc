@@ -1,0 +1,113 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace nlarm::cluster {
+
+Cluster::Cluster(std::vector<Node> nodes, Topology topology)
+    : nodes_(std::move(nodes)), topology_(std::move(topology)) {
+  NLARM_CHECK(static_cast<int>(nodes_.size()) == topology_.node_count())
+      << "node list (" << nodes_.size() << ") and topology ("
+      << topology_.node_count() << ") disagree";
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    NLARM_CHECK(nodes_[i].spec.id == static_cast<NodeId>(i))
+        << "node " << i << " has id " << nodes_[i].spec.id
+        << "; ids must be dense and ordered";
+    NLARM_CHECK(nodes_[i].spec.switch_id == topology_.switch_of(
+                                                static_cast<NodeId>(i)))
+        << "node " << i << " switch id disagrees with topology";
+    NLARM_CHECK(nodes_[i].spec.core_count > 0)
+        << "node " << i << " has no cores";
+  }
+}
+
+const Node& Cluster::node(NodeId id) const {
+  NLARM_CHECK(id >= 0 && id < size()) << "bad node id " << id;
+  return nodes_[id];
+}
+
+Node& Cluster::mutable_node(NodeId id) {
+  NLARM_CHECK(id >= 0 && id < size()) << "bad node id " << id;
+  return nodes_[id];
+}
+
+int Cluster::total_cores() const {
+  int total = 0;
+  for (const Node& n : nodes_) total += n.spec.core_count;
+  return total;
+}
+
+NodeId Cluster::find_hostname(const std::string& hostname) const {
+  for (const Node& n : nodes_) {
+    if (n.spec.hostname == hostname) return n.spec.id;
+  }
+  NLARM_CHECK(false) << "unknown hostname '" << hostname << "'";
+}
+
+std::vector<NodeId> Cluster::alive_nodes() const {
+  std::vector<NodeId> alive;
+  for (const Node& n : nodes_) {
+    if (n.dyn.alive) alive.push_back(n.spec.id);
+  }
+  return alive;
+}
+
+Cluster make_iitk_cluster(const IitkClusterOptions& options) {
+  NLARM_CHECK(options.fast_nodes >= 0 && options.slow_nodes >= 0 &&
+              options.fast_nodes + options.slow_nodes > 0)
+      << "cluster needs nodes";
+  NLARM_CHECK(options.switches > 0) << "cluster needs switches";
+
+  const int total = options.fast_nodes + options.slow_nodes;
+  // Spread nodes over a chain of switches as evenly as possible; the chain
+  // reproduces the 1–4 hop proximity structure of the paper's Figure 2(a).
+  std::vector<int> per_switch(options.switches, total / options.switches);
+  for (int s = 0; s < total % options.switches; ++s) per_switch[s] += 1;
+
+  Topology topo = make_chain_topology(per_switch, options.uplink_mbps,
+                                      options.trunk_mbps);
+
+  std::vector<Node> nodes;
+  nodes.reserve(total);
+  for (NodeId id = 0; id < total; ++id) {
+    const bool fast = id < options.fast_nodes;
+    Node n;
+    n.spec.id = id;
+    n.spec.hostname = default_hostname(id);
+    n.spec.switch_id = topo.switch_of(id);
+    n.spec.core_count = fast ? options.fast_cores : options.slow_cores;
+    n.spec.cpu_freq_ghz = fast ? options.fast_freq_ghz : options.slow_freq_ghz;
+    n.spec.total_mem_gb = options.mem_gb;
+    nodes.push_back(std::move(n));
+  }
+  return Cluster(std::move(nodes), std::move(topo));
+}
+
+Cluster make_uniform_cluster(int node_count, int switch_count, int cores,
+                             double freq_ghz, double mem_gb,
+                             double link_mbps) {
+  NLARM_CHECK(node_count > 0 && switch_count > 0)
+      << "need nodes and switches";
+  NLARM_CHECK(node_count >= switch_count)
+      << "more switches than nodes";
+  std::vector<int> per_switch(switch_count, node_count / switch_count);
+  for (int s = 0; s < node_count % switch_count; ++s) per_switch[s] += 1;
+  Topology topo = make_chain_topology(per_switch, link_mbps, link_mbps);
+  std::vector<Node> nodes;
+  nodes.reserve(node_count);
+  for (NodeId id = 0; id < node_count; ++id) {
+    Node n;
+    n.spec.id = id;
+    n.spec.hostname = default_hostname(id);
+    n.spec.switch_id = topo.switch_of(id);
+    n.spec.core_count = cores;
+    n.spec.cpu_freq_ghz = freq_ghz;
+    n.spec.total_mem_gb = mem_gb;
+    nodes.push_back(std::move(n));
+  }
+  return Cluster(std::move(nodes), std::move(topo));
+}
+
+}  // namespace nlarm::cluster

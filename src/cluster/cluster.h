@@ -1,0 +1,73 @@
+// A cluster = nodes + topology, plus factories for the paper's testbed.
+//
+// The Cluster owns the ground-truth node state. Workload generators mutate
+// it; the Resource Monitor samples it; the allocator never touches it
+// directly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/node.h"
+#include "cluster/topology.h"
+
+namespace nlarm::cluster {
+
+class Cluster {
+ public:
+  Cluster(std::vector<Node> nodes, Topology topology);
+
+  int size() const { return static_cast<int>(nodes_.size()); }
+
+  const Node& node(NodeId id) const;
+  Node& mutable_node(NodeId id);
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const Topology& topology() const { return topology_; }
+
+  /// Total logical cores across all nodes.
+  int total_cores() const;
+
+  /// NodeId by hostname; throws if unknown.
+  NodeId find_hostname(const std::string& hostname) const;
+
+  /// All currently-alive node ids (ground truth; the monitor's livehosts
+  /// view may lag this).
+  std::vector<NodeId> alive_nodes() const;
+
+ private:
+  std::vector<Node> nodes_;
+  Topology topology_;
+};
+
+/// Parameters for the IITK-like testbed factory.
+struct IitkClusterOptions {
+  int fast_nodes = 40;          ///< 12-core, 4.6 GHz
+  int slow_nodes = 20;          ///< 8-core, 2.8 GHz
+  double fast_freq_ghz = 4.6;
+  double slow_freq_ghz = 2.8;
+  int fast_cores = 12;
+  int slow_cores = 8;
+  double mem_gb = 16.0;         ///< "most systems have 16 GB memory"
+  double uplink_mbps = 1000.0;  ///< Gigabit Ethernet
+  /// Inter-switch trunks are modestly aggregated (1.5×GigE): cross-switch
+  /// paths are latency- and contention-penalized but not starved.
+  double trunk_mbps = 1500.0;
+  int switches = 4;             ///< tree of 4 switches
+};
+
+/// Builds the paper's evaluation cluster: 40×12-core 4.6 GHz + 20×8-core
+/// 2.8 GHz over a 4-switch chain (node numbering follows physical
+/// proximity, 1–4 hops, as in §1). Node kinds are interleaved across
+/// switches the way a lab grows: earlier switches hold the newer 12-core
+/// machines, the last one the 8-core machines.
+Cluster make_iitk_cluster(const IitkClusterOptions& options = {});
+
+/// Homogeneous cluster for tests: `node_count` identical nodes spread
+/// round-robin over `switch_count` chained switches.
+Cluster make_uniform_cluster(int node_count, int switch_count = 1,
+                             int cores = 8, double freq_ghz = 3.0,
+                             double mem_gb = 16.0,
+                             double link_mbps = 1000.0);
+
+}  // namespace nlarm::cluster

@@ -1,0 +1,26 @@
+#include "cluster/node.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace nlarm::cluster {
+
+double Node::mem_available_gb() const {
+  return std::max(0.0, spec.total_mem_gb - dyn.mem_used_gb);
+}
+
+void Node::clamp_dynamics() {
+  dyn.cpu_load = std::max(0.0, dyn.cpu_load);
+  dyn.job_load = std::max(0.0, dyn.job_load);
+  dyn.cpu_util = std::clamp(dyn.cpu_util, 0.0, 1.0);
+  dyn.mem_used_gb = std::clamp(dyn.mem_used_gb, 0.0, spec.total_mem_gb);
+  dyn.users = std::max(0, dyn.users);
+  dyn.net_flow_mbps = std::max(0.0, dyn.net_flow_mbps);
+}
+
+std::string default_hostname(NodeId id) {
+  return util::format("csews%d", id + 1);
+}
+
+}  // namespace nlarm::cluster

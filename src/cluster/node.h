@@ -1,0 +1,64 @@
+// Compute-node model: static specification (what `lscpu` and /proc/meminfo
+// would report) and dynamic ground-truth state (what the shared cluster's
+// other users are doing to the node right now).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace nlarm::cluster {
+
+/// Index of a node within its cluster. Dense, 0-based.
+using NodeId = std::int32_t;
+
+/// Index of a switch within the topology. Dense, 0-based.
+using SwitchId = std::int32_t;
+
+constexpr NodeId kInvalidNode = -1;
+
+/// Static node attributes (Table 1, "maximize" rows).
+struct NodeSpec {
+  NodeId id = kInvalidNode;
+  std::string hostname;
+  SwitchId switch_id = 0;
+  int core_count = 0;          ///< logical cores
+  double cpu_freq_ghz = 0.0;   ///< nominal clock
+  double total_mem_gb = 0.0;   ///< physical RAM
+};
+
+/// Dynamic ground-truth state of a node. The Resource Monitor *samples*
+/// this (with noise and staleness); the allocator only ever sees the
+/// sampled values, never this struct directly.
+struct NodeDynamics {
+  double cpu_load = 0.0;      ///< background runnable-queue length
+  /// Runnable processes contributed by brokered MPI jobs (JobFootprint).
+  /// Kept separate from cpu_load because the background generators own and
+  /// overwrite cpu_load every tick; observers see the sum.
+  double job_load = 0.0;
+  double cpu_util = 0.0;      ///< fraction of aggregate core time busy, [0,1]
+  double mem_used_gb = 0.0;   ///< resident memory in use
+  int users = 0;              ///< logged-in user sessions
+  double net_flow_mbps = 0.0; ///< node data flow rate (rx+tx), Mbit/s
+  bool alive = true;          ///< reachable (LivehostsD pings this)
+
+  /// What `uptime` would report: background + job load.
+  double total_load() const { return cpu_load + job_load; }
+};
+
+/// A node = spec + current dynamics.
+struct Node {
+  NodeSpec spec;
+  NodeDynamics dyn;
+
+  /// Free memory right now, floored at zero.
+  double mem_available_gb() const;
+
+  /// Clamps dynamics to physically meaningful ranges (call after applying
+  /// generator deltas).
+  void clamp_dynamics();
+};
+
+/// Builds the paper's hostname convention ("csews<N>", 1-based).
+std::string default_hostname(NodeId id);
+
+}  // namespace nlarm::cluster

@@ -1,0 +1,155 @@
+#include "cluster/spec_loader.h"
+
+#include <algorithm>
+#include <istream>
+
+#include "util/check.h"
+#include "util/csv.h"
+#include "util/strings.h"
+
+namespace nlarm::cluster {
+
+int ClusterSpec::node_count() const {
+  int total = 0;
+  for (const auto& sw : switches) {
+    for (const NodeGroupSpec& group : sw) total += group.count;
+  }
+  return total;
+}
+
+namespace {
+
+NodeGroupSpec parse_group(const std::string& token) {
+  // <count>x<cores>c@<ghz>[m<mem_gb>]
+  NodeGroupSpec group;
+  const auto x = token.find('x');
+  NLARM_CHECK(x != std::string::npos)
+      << "group '" << token << "': expected <count>x<cores>c@<ghz>";
+  group.count = static_cast<int>(util::parse_long(token.substr(0, x)));
+  const auto c = token.find('c', x);
+  NLARM_CHECK(c != std::string::npos && token.size() > c + 1 &&
+              token[c + 1] == '@')
+      << "group '" << token << "': expected '<cores>c@'";
+  group.cores = static_cast<int>(util::parse_long(token.substr(x + 1, c - x - 1)));
+  const auto m = token.find('m', c + 2);
+  if (m == std::string::npos) {
+    group.freq_ghz = util::parse_double(token.substr(c + 2));
+  } else {
+    group.freq_ghz = util::parse_double(token.substr(c + 2, m - c - 2));
+    group.mem_gb = util::parse_double(token.substr(m + 1));
+  }
+  NLARM_CHECK(group.count > 0 && group.cores > 0 && group.freq_ghz > 0.0 &&
+              group.mem_gb > 0.0)
+      << "group '" << token << "': all quantities must be positive";
+  return group;
+}
+
+}  // namespace
+
+ClusterSpec parse_cluster_spec(const std::string& text) {
+  ClusterSpec spec;
+  const std::string trimmed = util::trim(text);
+  NLARM_CHECK(!trimmed.empty()) << "empty cluster spec";
+  for (const std::string& switch_token : util::split(trimmed, ';')) {
+    std::vector<NodeGroupSpec> groups;
+    for (const std::string& group_token :
+         util::split(util::trim(switch_token), '/')) {
+      groups.push_back(parse_group(util::trim(group_token)));
+    }
+    spec.switches.push_back(std::move(groups));
+  }
+  return spec;
+}
+
+Cluster make_cluster(const ClusterSpec& spec) {
+  NLARM_CHECK(!spec.switches.empty()) << "spec has no switches";
+  std::vector<int> per_switch;
+  for (const auto& sw : spec.switches) {
+    int count = 0;
+    for (const NodeGroupSpec& group : sw) count += group.count;
+    NLARM_CHECK(count > 0) << "switch with no nodes";
+    per_switch.push_back(count);
+  }
+  Topology topo = make_chain_topology(per_switch, spec.uplink_mbps,
+                                      spec.trunk_mbps);
+  std::vector<Node> nodes;
+  NodeId id = 0;
+  for (const auto& sw : spec.switches) {
+    for (const NodeGroupSpec& group : sw) {
+      for (int i = 0; i < group.count; ++i, ++id) {
+        Node node;
+        node.spec.id = id;
+        node.spec.hostname = default_hostname(id);
+        node.spec.switch_id = topo.switch_of(id);
+        node.spec.core_count = group.cores;
+        node.spec.cpu_freq_ghz = group.freq_ghz;
+        node.spec.total_mem_gb = group.mem_gb;
+        nodes.push_back(std::move(node));
+      }
+    }
+  }
+  return Cluster(std::move(nodes), std::move(topo));
+}
+
+Cluster load_cluster_csv(std::istream& in, double uplink_mbps,
+                         double trunk_mbps) {
+  const util::CsvDocument doc = util::read_csv(in);
+  NLARM_CHECK(!doc.rows.empty()) << "cluster CSV has no nodes";
+  const std::size_t col_host = doc.column("hostname");
+  const std::size_t col_switch = doc.column("switch");
+  const std::size_t col_cores = doc.column("cores");
+  const std::size_t col_freq = doc.column("freq_ghz");
+  const std::size_t col_mem = doc.column("mem_gb");
+
+  // Collect switch ids; they must be dense after sorting/uniquing.
+  std::vector<long> switch_ids;
+  for (const auto& row : doc.rows) {
+    switch_ids.push_back(util::parse_long(row[col_switch]));
+  }
+  std::vector<long> unique_switches = switch_ids;
+  std::sort(unique_switches.begin(), unique_switches.end());
+  unique_switches.erase(
+      std::unique(unique_switches.begin(), unique_switches.end()),
+      unique_switches.end());
+  for (std::size_t i = 0; i < unique_switches.size(); ++i) {
+    NLARM_CHECK(unique_switches[i] == static_cast<long>(i))
+        << "switch ids must be dense starting at 0, got "
+        << unique_switches[i];
+  }
+
+  std::vector<int> per_switch(unique_switches.size(), 0);
+  for (long sw : switch_ids) per_switch[static_cast<std::size_t>(sw)] += 1;
+  Topology topo = make_chain_topology(per_switch, uplink_mbps, trunk_mbps);
+
+  // Nodes must be assigned ids in switch-major order to match the chain
+  // topology's layout; sort row indices by (switch, original order).
+  std::vector<std::size_t> order(doc.rows.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return switch_ids[a] < switch_ids[b];
+                   });
+
+  std::vector<Node> nodes;
+  NodeId id = 0;
+  for (std::size_t row_index : order) {
+    const auto& row = doc.rows[row_index];
+    Node node;
+    node.spec.id = id;
+    node.spec.hostname = row[col_host];
+    node.spec.switch_id = topo.switch_of(id);
+    NLARM_CHECK(node.spec.switch_id == switch_ids[row_index])
+        << "internal switch-ordering mismatch";
+    node.spec.core_count = static_cast<int>(util::parse_long(row[col_cores]));
+    node.spec.cpu_freq_ghz = util::parse_double(row[col_freq]);
+    node.spec.total_mem_gb = util::parse_double(row[col_mem]);
+    NLARM_CHECK(node.spec.core_count > 0 && node.spec.cpu_freq_ghz > 0.0 &&
+                node.spec.total_mem_gb > 0.0)
+        << "invalid node row for host '" << node.spec.hostname << "'";
+    nodes.push_back(std::move(node));
+    ++id;
+  }
+  return Cluster(std::move(nodes), std::move(topo));
+}
+
+}  // namespace nlarm::cluster

@@ -1,0 +1,51 @@
+// Cluster description loading, so users can model their own cluster
+// instead of the paper's testbed.
+//
+// Two inputs are supported:
+//  * a compact spec string — one group per switch (switches chained, as in
+//    the testbed), e.g. the paper's cluster is
+//        "15x12c@4.6;15x12c@4.6;10x12c@4.6/5x8c@2.8;15x8c@2.8"
+//    group grammar: <count>x<cores>c@<ghz>[m<mem_gb>], '/' concatenates
+//    sub-groups on the same switch;
+//  * a CSV node table with header
+//        hostname,switch,cores,freq_ghz,mem_gb
+//    (switches chained in index order).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+
+namespace nlarm::cluster {
+
+struct NodeGroupSpec {
+  int count = 0;
+  int cores = 0;
+  double freq_ghz = 0.0;
+  double mem_gb = 16.0;
+};
+
+struct ClusterSpec {
+  /// One entry per switch; each switch holds one or more node groups.
+  std::vector<std::vector<NodeGroupSpec>> switches;
+  double uplink_mbps = 1000.0;
+  double trunk_mbps = 1500.0;
+
+  int node_count() const;
+};
+
+/// Parses the compact spec grammar. Throws CheckError with a pointer to the
+/// offending token on malformed input.
+ClusterSpec parse_cluster_spec(const std::string& text);
+
+/// Builds a Cluster (chained switch topology, hostnames csews1..N) from a
+/// spec.
+Cluster make_cluster(const ClusterSpec& spec);
+
+/// Loads the CSV node-table format.
+Cluster load_cluster_csv(std::istream& in, double uplink_mbps = 1000.0,
+                         double trunk_mbps = 1500.0);
+
+}  // namespace nlarm::cluster

@@ -1,0 +1,201 @@
+#include "cluster/topology.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace nlarm::cluster {
+
+Topology::Topology(std::vector<SwitchId> switch_parent,
+                   std::vector<SwitchId> node_switch, double uplink_mbps,
+                   double trunk_mbps)
+    : switch_parent_(std::move(switch_parent)),
+      node_switch_(std::move(node_switch)),
+      uplink_mbps_(uplink_mbps),
+      trunk_mbps_(trunk_mbps) {
+  NLARM_CHECK(!switch_parent_.empty()) << "topology needs at least one switch";
+  NLARM_CHECK(!node_switch_.empty()) << "topology needs at least one node";
+  NLARM_CHECK(uplink_mbps_ > 0.0 && trunk_mbps_ > 0.0)
+      << "link capacities must be positive";
+
+  int roots = 0;
+  for (std::size_t s = 0; s < switch_parent_.size(); ++s) {
+    const SwitchId parent = switch_parent_[s];
+    if (parent < 0) {
+      ++roots;
+    } else {
+      NLARM_CHECK(parent < static_cast<SwitchId>(switch_parent_.size()) &&
+                  parent != static_cast<SwitchId>(s))
+          << "switch " << s << " has invalid parent " << parent;
+    }
+  }
+  NLARM_CHECK(roots == 1) << "switch tree must have exactly one root, found "
+                          << roots;
+
+  for (std::size_t i = 0; i < node_switch_.size(); ++i) {
+    NLARM_CHECK(node_switch_[i] >= 0 &&
+                node_switch_[i] < static_cast<SwitchId>(switch_parent_.size()))
+        << "node " << i << " assigned to invalid switch " << node_switch_[i];
+  }
+
+  // Depths; also validates acyclicity.
+  switch_depth_.assign(switch_parent_.size(), -1);
+  for (std::size_t s = 0; s < switch_parent_.size(); ++s) {
+    SwitchId cursor = static_cast<SwitchId>(s);
+    int depth = 0;
+    while (switch_parent_[cursor] >= 0) {
+      cursor = switch_parent_[cursor];
+      ++depth;
+      NLARM_CHECK(depth <= static_cast<int>(switch_parent_.size()))
+          << "cycle in switch parent links at switch " << s;
+    }
+    switch_depth_[s] = depth;
+  }
+
+  // Links: uplinks first (one per node), then trunks (one per non-root
+  // switch, ordered by switch id).
+  links_.reserve(node_switch_.size() + switch_parent_.size());
+  for (std::size_t i = 0; i < node_switch_.size(); ++i) {
+    links_.push_back(LinkSpec{static_cast<LinkId>(i), uplink_mbps_, false});
+  }
+  trunk_of_switch_.assign(switch_parent_.size(), -1);
+  for (std::size_t s = 0; s < switch_parent_.size(); ++s) {
+    if (switch_parent_[s] >= 0) {
+      const LinkId id = static_cast<LinkId>(links_.size());
+      trunk_of_switch_[s] = id;
+      links_.push_back(LinkSpec{id, trunk_mbps_, true});
+    }
+  }
+}
+
+SwitchId Topology::switch_of(NodeId node) const {
+  NLARM_CHECK(node >= 0 && node < node_count()) << "bad node id " << node;
+  return node_switch_[node];
+}
+
+SwitchId Topology::parent_of(SwitchId sw) const {
+  NLARM_CHECK(sw >= 0 && sw < switch_count()) << "bad switch id " << sw;
+  return switch_parent_[sw];
+}
+
+const LinkSpec& Topology::link(LinkId id) const {
+  NLARM_CHECK(id >= 0 && id < link_count()) << "bad link id " << id;
+  return links_[id];
+}
+
+LinkId Topology::trunk_link(SwitchId sw) const {
+  NLARM_CHECK(sw >= 0 && sw < switch_count()) << "bad switch id " << sw;
+  NLARM_CHECK(trunk_of_switch_[sw] >= 0)
+      << "switch " << sw << " is the root; it has no trunk";
+  return trunk_of_switch_[sw];
+}
+
+std::vector<SwitchId> Topology::path_to_root(SwitchId sw) const {
+  std::vector<SwitchId> path;
+  for (SwitchId cursor = sw; cursor >= 0; cursor = switch_parent_[cursor]) {
+    path.push_back(cursor);
+  }
+  return path;
+}
+
+int Topology::switch_distance(SwitchId a, SwitchId b) const {
+  NLARM_CHECK(a >= 0 && a < switch_count() && b >= 0 && b < switch_count())
+      << "bad switch ids " << a << ", " << b;
+  if (a == b) return 0;
+  auto pa = path_to_root(a);
+  auto pb = path_to_root(b);
+  // Strip the common suffix (shared ancestors).
+  while (pa.size() > 1 && pb.size() > 1 &&
+         pa[pa.size() - 2] == pb[pb.size() - 2]) {
+    pa.pop_back();
+    pb.pop_back();
+  }
+  // pa.back() == pb.back() is the lowest common ancestor.
+  NLARM_CHECK(pa.back() == pb.back()) << "switch tree is disconnected";
+  return static_cast<int>(pa.size() - 1) + static_cast<int>(pb.size() - 1);
+}
+
+int Topology::hops(NodeId u, NodeId v) const {
+  if (u == v) return 0;
+  // Switches on the path: distance in the tree + 1 (sharing a switch = 1).
+  return switch_distance(switch_of(u), switch_of(v)) + 1;
+}
+
+std::vector<LinkId> Topology::path_links(NodeId u, NodeId v) const {
+  NLARM_CHECK(u >= 0 && u < node_count() && v >= 0 && v < node_count())
+      << "bad node ids " << u << ", " << v;
+  std::vector<LinkId> path;
+  if (u == v) return path;
+  path.push_back(static_cast<LinkId>(u));  // u's uplink
+
+  const SwitchId su = switch_of(u);
+  const SwitchId sv = switch_of(v);
+  if (su != sv) {
+    auto pu = path_to_root(su);
+    auto pv = path_to_root(sv);
+    while (pu.size() > 1 && pv.size() > 1 &&
+           pu[pu.size() - 2] == pv[pv.size() - 2]) {
+      pu.pop_back();
+      pv.pop_back();
+    }
+    // Ascend from su to (but not including) the LCA...
+    for (std::size_t i = 0; i + 1 < pu.size(); ++i) {
+      path.push_back(trunk_of_switch_[pu[i]]);
+    }
+    // ...then descend to sv.
+    for (std::size_t i = pv.size() - 1; i-- > 0;) {
+      path.push_back(trunk_of_switch_[pv[i]]);
+    }
+  }
+
+  path.push_back(static_cast<LinkId>(v));  // v's uplink
+  return path;
+}
+
+std::vector<NodeId> Topology::nodes_on_switch(SwitchId sw) const {
+  NLARM_CHECK(sw >= 0 && sw < switch_count()) << "bad switch id " << sw;
+  std::vector<NodeId> nodes;
+  for (NodeId i = 0; i < node_count(); ++i) {
+    if (node_switch_[i] == sw) nodes.push_back(i);
+  }
+  return nodes;
+}
+
+Topology make_chain_topology(const std::vector<int>& nodes_per_switch,
+                             double uplink_mbps, double trunk_mbps) {
+  NLARM_CHECK(!nodes_per_switch.empty()) << "need at least one switch";
+  std::vector<SwitchId> parents(nodes_per_switch.size());
+  parents[0] = -1;
+  for (std::size_t s = 1; s < nodes_per_switch.size(); ++s) {
+    parents[s] = static_cast<SwitchId>(s - 1);
+  }
+  std::vector<SwitchId> node_switch;
+  for (std::size_t s = 0; s < nodes_per_switch.size(); ++s) {
+    NLARM_CHECK(nodes_per_switch[s] > 0) << "empty switch " << s;
+    for (int i = 0; i < nodes_per_switch[s]; ++i) {
+      node_switch.push_back(static_cast<SwitchId>(s));
+    }
+  }
+  return Topology(std::move(parents), std::move(node_switch), uplink_mbps,
+                  trunk_mbps);
+}
+
+Topology make_star_topology(const std::vector<int>& leaf_nodes_per_switch,
+                            double uplink_mbps, double trunk_mbps) {
+  NLARM_CHECK(!leaf_nodes_per_switch.empty()) << "need at least one leaf";
+  // Switch 0 is a core switch with no nodes; leaves 1..k hang off it.
+  std::vector<SwitchId> parents(leaf_nodes_per_switch.size() + 1);
+  parents[0] = -1;
+  for (std::size_t s = 1; s < parents.size(); ++s) parents[s] = 0;
+  std::vector<SwitchId> node_switch;
+  for (std::size_t s = 0; s < leaf_nodes_per_switch.size(); ++s) {
+    NLARM_CHECK(leaf_nodes_per_switch[s] > 0) << "empty leaf switch " << s;
+    for (int i = 0; i < leaf_nodes_per_switch[s]; ++i) {
+      node_switch.push_back(static_cast<SwitchId>(s + 1));
+    }
+  }
+  return Topology(std::move(parents), std::move(node_switch), uplink_mbps,
+                  trunk_mbps);
+}
+
+}  // namespace nlarm::cluster

@@ -1,0 +1,87 @@
+// Switch-tree topology.
+//
+// The paper's testbed: "a tree-like hierarchical topology with 4 switches.
+// Each switch connects 10–15 nodes using Gigabit Ethernet", with node
+// numbering by physical proximity spanning 1–4 hops. We model an arbitrary
+// tree of switches; each node has an uplink to exactly one switch. The hop
+// count between two nodes is the number of switches on their path (1 when
+// they share a switch), and the link path is uplink → inter-switch trunks →
+// uplink.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/node.h"
+
+namespace nlarm::cluster {
+
+/// Index of a physical link. Links are: one uplink per node (LinkId ==
+/// NodeId), then one trunk per switch with a parent (LinkId == node_count +
+/// switch index ordered by switch id, skipping the root).
+using LinkId = std::int32_t;
+
+struct LinkSpec {
+  LinkId id = -1;
+  double capacity_mbps = 0.0;
+  bool is_trunk = false;
+};
+
+class Topology {
+ public:
+  /// `switch_parent[s]` is the parent switch of s in the tree, or -1 for the
+  /// root (exactly one root required). `node_switch[i]` assigns node i to a
+  /// switch. Uplink/trunk capacities are in Mbit/s.
+  Topology(std::vector<SwitchId> switch_parent,
+           std::vector<SwitchId> node_switch, double uplink_mbps,
+           double trunk_mbps);
+
+  int node_count() const { return static_cast<int>(node_switch_.size()); }
+  int switch_count() const { return static_cast<int>(switch_parent_.size()); }
+  int link_count() const { return static_cast<int>(links_.size()); }
+
+  SwitchId switch_of(NodeId node) const;
+  SwitchId parent_of(SwitchId sw) const;
+
+  const LinkSpec& link(LinkId id) const;
+
+  /// Number of switches on the path between two distinct nodes (the paper's
+  /// "hops"); 1 when the nodes share a switch. hops(u, u) == 0.
+  int hops(NodeId u, NodeId v) const;
+
+  /// The links (uplinks and trunks) traversed between two distinct nodes,
+  /// in path order. Empty for u == v.
+  std::vector<LinkId> path_links(NodeId u, NodeId v) const;
+
+  /// All nodes attached to a switch, in id order.
+  std::vector<NodeId> nodes_on_switch(SwitchId sw) const;
+
+  /// Distance in the switch tree between two switches (0 if equal).
+  int switch_distance(SwitchId a, SwitchId b) const;
+
+  double uplink_mbps() const { return uplink_mbps_; }
+  double trunk_mbps() const { return trunk_mbps_; }
+
+  /// Trunk link id for the edge between `sw` and its parent; sw must not be
+  /// the root.
+  LinkId trunk_link(SwitchId sw) const;
+
+ private:
+  std::vector<SwitchId> path_to_root(SwitchId sw) const;
+
+  std::vector<SwitchId> switch_parent_;
+  std::vector<SwitchId> node_switch_;
+  double uplink_mbps_;
+  double trunk_mbps_;
+  std::vector<LinkSpec> links_;
+  std::vector<LinkId> trunk_of_switch_;  // -1 for root
+  std::vector<int> switch_depth_;
+};
+
+/// Star-of-switches or chain-of-switches convenience builders.
+Topology make_chain_topology(const std::vector<int>& nodes_per_switch,
+                             double uplink_mbps, double trunk_mbps);
+Topology make_star_topology(const std::vector<int>& leaf_nodes_per_switch,
+                            double uplink_mbps, double trunk_mbps);
+
+}  // namespace nlarm::cluster

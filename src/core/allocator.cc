@@ -1,0 +1,103 @@
+#include "core/allocator.h"
+
+#include <sstream>
+
+#include "core/compute_load.h"
+#include "core/network_load.h"
+#include "core/normalize.h"
+#include "util/check.h"
+
+namespace nlarm::core {
+
+void AllocationRequest::validate() const {
+  NLARM_CHECK(nprocs > 0) << "request needs at least one process";
+  NLARM_CHECK(ppn >= 0) << "negative ppn";
+  job.validate();
+  compute_weights.validate();
+  network_weights.validate();
+}
+
+void annotate_allocation(Allocation& allocation,
+                         const monitor::ClusterSnapshot& snapshot) {
+  if (allocation.nodes.empty()) return;
+  double load_sum = 0.0;
+  for (cluster::NodeId id : allocation.nodes) {
+    load_sum += snapshot.nodes[static_cast<std::size_t>(id)].cpu_load_avg
+                    .one_min;
+  }
+  allocation.avg_cpu_load =
+      load_sum / static_cast<double>(allocation.nodes.size());
+
+  double lat_sum = 0.0;
+  double comp_sum = 0.0;
+  std::size_t lat_pairs = 0;
+  std::size_t comp_pairs = 0;
+  for (std::size_t i = 0; i < allocation.nodes.size(); ++i) {
+    for (std::size_t j = i + 1; j < allocation.nodes.size(); ++j) {
+      const PairMetrics m =
+          pair_metrics(snapshot, allocation.nodes[i], allocation.nodes[j]);
+      if (m.latency_us >= 0.0) {
+        lat_sum += m.latency_us;
+        ++lat_pairs;
+      }
+      if (m.bandwidth_complement_mbps >= 0.0) {
+        comp_sum += m.bandwidth_complement_mbps;
+        ++comp_pairs;
+      }
+    }
+  }
+  allocation.avg_latency_us =
+      lat_pairs > 0 ? lat_sum / static_cast<double>(lat_pairs) : 0.0;
+  allocation.avg_bw_complement_mbps =
+      comp_pairs > 0 ? comp_sum / static_cast<double>(comp_pairs) : 0.0;
+}
+
+std::string to_hostfile(const Allocation& allocation,
+                        const monitor::ClusterSnapshot& snapshot) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < allocation.nodes.size(); ++i) {
+    const auto id = static_cast<std::size_t>(allocation.nodes[i]);
+    NLARM_CHECK(id < snapshot.nodes.size()) << "node out of snapshot";
+    out << snapshot.nodes[id].spec.hostname << ":"
+        << allocation.procs_per_node[i] << "\n";
+  }
+  return out.str();
+}
+
+Allocation NetworkLoadAwareAllocator::allocate(
+    const monitor::ClusterSnapshot& snapshot,
+    const AllocationRequest& request) {
+  request.validate();
+  const std::vector<cluster::NodeId> usable = snapshot.usable_nodes();
+  NLARM_CHECK(!usable.empty()) << "no usable nodes in snapshot";
+
+  // Unit-mean rescaling puts node costs and pair costs on a common scale so
+  // α/β trade them off as intended (see rescale_unit_mean).
+  const std::vector<double> cl = rescale_unit_mean(
+      compute_loads(snapshot, usable, request.compute_weights));
+  const std::vector<std::vector<double>> nl = rescale_unit_mean(
+      network_loads(snapshot, usable, request.network_weights));
+  const std::vector<int> pc =
+      effective_process_counts(snapshot, usable, request.ppn);
+
+  std::vector<Candidate> candidates =
+      generate_all_candidates(cl, nl, pc, request.nprocs, request.job);
+  last_selection_ =
+      select_best_candidate(std::move(candidates), cl, nl, request.job);
+  last_node_set_ = usable;
+
+  const ScoredCandidate& best =
+      last_selection_.scored[last_selection_.best_index];
+  Allocation allocation;
+  allocation.policy = name();
+  allocation.total_procs = request.nprocs;
+  allocation.total_cost = best.total_cost;
+  for (std::size_t i = 0; i < best.candidate.members.size(); ++i) {
+    allocation.nodes.push_back(usable[best.candidate.members[i]]);
+    allocation.procs_per_node.push_back(best.candidate.procs[i]);
+  }
+  annotate_allocation(allocation, snapshot);
+  return allocation;
+}
+
+}  // namespace nlarm::core

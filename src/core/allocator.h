@@ -1,0 +1,85 @@
+// The public allocator API: requests, allocations, the Allocator interface
+// and the paper's network-and-load-aware implementation.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/selection.h"
+#include "core/weights.h"
+#include "monitor/snapshot.h"
+
+namespace nlarm::core {
+
+/// A user's node request (§3.3: "User specifies the total number of
+/// processes and process count per node (optionally)").
+struct AllocationRequest {
+  int nprocs = 1;
+  int ppn = 0;  ///< processes per node; 0 = derive from Eq. 3
+  JobWeights job;                     ///< α/β (Eq. 4)
+  ComputeLoadWeights compute_weights; ///< Eq. 1 weights
+  NetworkLoadWeights network_weights; ///< Eq. 2 weights
+
+  void validate() const;
+};
+
+/// Result of an allocation. `nodes`/`procs_per_node` are parallel; procs sum
+/// to the requested count. Diagnostics mirror Table 4 of the paper.
+struct Allocation {
+  std::string policy;
+  std::vector<cluster::NodeId> nodes;
+  std::vector<int> procs_per_node;
+  int total_procs = 0;
+
+  // Diagnostics over the allocated group at allocation time:
+  double avg_cpu_load = 0.0;             ///< mean 1-min CPU load
+  double avg_bw_complement_mbps = 0.0;   ///< mean (peak − available) over pairs
+  double avg_latency_us = 0.0;           ///< mean P2P latency over pairs
+  double total_cost = 0.0;               ///< T_Gv for the winning candidate
+
+  int node_count() const { return static_cast<int>(nodes.size()); }
+};
+
+/// Fills the Allocation diagnostics from the snapshot the decision was made
+/// on. Unmeasured pairs are skipped in the averages.
+void annotate_allocation(Allocation& allocation,
+                         const monitor::ClusterSnapshot& snapshot);
+
+/// Renders an MPI machinefile ("hostname:slots" lines) for the allocation.
+std::string to_hostfile(const Allocation& allocation,
+                        const monitor::ClusterSnapshot& snapshot);
+
+/// Allocation policy interface. Implementations must be deterministic given
+/// their construction-time seed and the snapshot.
+class Allocator {
+ public:
+  virtual ~Allocator() = default;
+  virtual std::string name() const = 0;
+
+  /// Chooses nodes for the request. Throws CheckError if the snapshot has
+  /// no usable nodes.
+  virtual Allocation allocate(const monitor::ClusterSnapshot& snapshot,
+                              const AllocationRequest& request) = 0;
+};
+
+/// The paper's contribution: Algorithms 1 + 2 over monitored compute and
+/// network load.
+class NetworkLoadAwareAllocator : public Allocator {
+ public:
+  std::string name() const override { return "network-load-aware"; }
+  Allocation allocate(const monitor::ClusterSnapshot& snapshot,
+                      const AllocationRequest& request) override;
+
+  /// Full scoring detail of the last allocate() call (for analysis benches).
+  const SelectionResult& last_selection() const { return last_selection_; }
+  const std::vector<cluster::NodeId>& last_node_set() const {
+    return last_node_set_;
+  }
+
+ private:
+  SelectionResult last_selection_;
+  std::vector<cluster::NodeId> last_node_set_;
+};
+
+}  // namespace nlarm::core

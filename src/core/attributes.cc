@@ -1,0 +1,108 @@
+#include "core/attributes.h"
+
+#include "util/check.h"
+
+namespace nlarm::core {
+
+Criterion criterion_of(Attribute attribute) {
+  switch (attribute) {
+    case Attribute::kCoreCount:
+    case Attribute::kCpuFreq:
+    case Attribute::kTotalMem:
+    case Attribute::kMemAvail1:
+    case Attribute::kMemAvail5:
+    case Attribute::kMemAvail15:
+      return Criterion::kMaximize;
+    case Attribute::kUsers:
+    case Attribute::kCpuLoad1:
+    case Attribute::kCpuLoad5:
+    case Attribute::kCpuLoad15:
+    case Attribute::kCpuUtil1:
+    case Attribute::kCpuUtil5:
+    case Attribute::kCpuUtil15:
+    case Attribute::kNetFlow1:
+    case Attribute::kNetFlow5:
+    case Attribute::kNetFlow15:
+      return Criterion::kMinimize;
+  }
+  NLARM_CHECK(false) << "unknown attribute";
+}
+
+double attribute_value(const monitor::NodeSnapshot& node,
+                       Attribute attribute) {
+  switch (attribute) {
+    case Attribute::kCoreCount:
+      return static_cast<double>(node.spec.core_count);
+    case Attribute::kCpuFreq:
+      return node.spec.cpu_freq_ghz;
+    case Attribute::kTotalMem:
+      return node.spec.total_mem_gb;
+    case Attribute::kUsers:
+      return static_cast<double>(node.users);
+    case Attribute::kCpuLoad1:
+      return node.cpu_load_avg.one_min;
+    case Attribute::kCpuLoad5:
+      return node.cpu_load_avg.five_min;
+    case Attribute::kCpuLoad15:
+      return node.cpu_load_avg.fifteen_min;
+    case Attribute::kCpuUtil1:
+      return node.cpu_util_avg.one_min;
+    case Attribute::kCpuUtil5:
+      return node.cpu_util_avg.five_min;
+    case Attribute::kCpuUtil15:
+      return node.cpu_util_avg.fifteen_min;
+    case Attribute::kNetFlow1:
+      return node.net_flow_avg.one_min;
+    case Attribute::kNetFlow5:
+      return node.net_flow_avg.five_min;
+    case Attribute::kNetFlow15:
+      return node.net_flow_avg.fifteen_min;
+    case Attribute::kMemAvail1:
+      return node.mem_avail_avg.one_min;
+    case Attribute::kMemAvail5:
+      return node.mem_avail_avg.five_min;
+    case Attribute::kMemAvail15:
+      return node.mem_avail_avg.fifteen_min;
+  }
+  NLARM_CHECK(false) << "unknown attribute";
+}
+
+std::string to_string(Attribute attribute) {
+  switch (attribute) {
+    case Attribute::kCoreCount:
+      return "core_count";
+    case Attribute::kCpuFreq:
+      return "cpu_freq";
+    case Attribute::kTotalMem:
+      return "total_mem";
+    case Attribute::kUsers:
+      return "users";
+    case Attribute::kCpuLoad1:
+      return "cpu_load_1m";
+    case Attribute::kCpuLoad5:
+      return "cpu_load_5m";
+    case Attribute::kCpuLoad15:
+      return "cpu_load_15m";
+    case Attribute::kCpuUtil1:
+      return "cpu_util_1m";
+    case Attribute::kCpuUtil5:
+      return "cpu_util_5m";
+    case Attribute::kCpuUtil15:
+      return "cpu_util_15m";
+    case Attribute::kNetFlow1:
+      return "net_flow_1m";
+    case Attribute::kNetFlow5:
+      return "net_flow_5m";
+    case Attribute::kNetFlow15:
+      return "net_flow_15m";
+    case Attribute::kMemAvail1:
+      return "mem_avail_1m";
+    case Attribute::kMemAvail5:
+      return "mem_avail_5m";
+    case Attribute::kMemAvail15:
+      return "mem_avail_15m";
+  }
+  return "?";
+}
+
+}  // namespace nlarm::core

@@ -1,0 +1,55 @@
+// Table 1 of the paper: node attributes and their optimization criteria.
+//
+// Static attributes (core count, frequency, total memory) are "maximize";
+// load-like attributes are "minimize"; available memory is "maximize".
+// Dynamic attributes appear once per running-mean window (1/5/15 min).
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "monitor/snapshot.h"
+
+namespace nlarm::core {
+
+enum class Attribute : int {
+  kCoreCount = 0,
+  kCpuFreq,
+  kTotalMem,
+  kUsers,
+  kCpuLoad1,
+  kCpuLoad5,
+  kCpuLoad15,
+  kCpuUtil1,
+  kCpuUtil5,
+  kCpuUtil15,
+  kNetFlow1,
+  kNetFlow5,
+  kNetFlow15,
+  kMemAvail1,
+  kMemAvail5,
+  kMemAvail15,
+};
+
+inline constexpr int kAttributeCount = 16;
+
+inline constexpr std::array<Attribute, kAttributeCount> kAllAttributes = {
+    Attribute::kCoreCount, Attribute::kCpuFreq,   Attribute::kTotalMem,
+    Attribute::kUsers,     Attribute::kCpuLoad1,  Attribute::kCpuLoad5,
+    Attribute::kCpuLoad15, Attribute::kCpuUtil1,  Attribute::kCpuUtil5,
+    Attribute::kCpuUtil15, Attribute::kNetFlow1,  Attribute::kNetFlow5,
+    Attribute::kNetFlow15, Attribute::kMemAvail1, Attribute::kMemAvail5,
+    Attribute::kMemAvail15};
+
+enum class Criterion { kMinimize, kMaximize };
+
+/// Table 1, column 2.
+Criterion criterion_of(Attribute attribute);
+
+/// Extracts the raw attribute value from a node record.
+double attribute_value(const monitor::NodeSnapshot& node,
+                       Attribute attribute);
+
+std::string to_string(Attribute attribute);
+
+}  // namespace nlarm::core

@@ -1,0 +1,86 @@
+#include "core/baselines.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/candidate.h"
+#include "core/compute_load.h"
+#include "util/check.h"
+
+namespace nlarm::core {
+
+namespace {
+
+/// Builds an Allocation from an ordering over the usable node set.
+Allocation build_from_order(const std::string& policy,
+                            const monitor::ClusterSnapshot& snapshot,
+                            const AllocationRequest& request,
+                            const std::vector<cluster::NodeId>& usable,
+                            const std::vector<std::size_t>& order) {
+  const std::vector<int> pc =
+      effective_process_counts(snapshot, usable, request.ppn);
+  const FillResult fill = fill_processes(order, pc, request.nprocs);
+  Allocation allocation;
+  allocation.policy = policy;
+  allocation.total_procs = request.nprocs;
+  for (std::size_t i = 0; i < fill.members.size(); ++i) {
+    allocation.nodes.push_back(usable[fill.members[i]]);
+    allocation.procs_per_node.push_back(fill.procs[i]);
+  }
+  annotate_allocation(allocation, snapshot);
+  return allocation;
+}
+
+std::vector<cluster::NodeId> require_usable(
+    const monitor::ClusterSnapshot& snapshot) {
+  const std::vector<cluster::NodeId> usable = snapshot.usable_nodes();
+  NLARM_CHECK(!usable.empty()) << "no usable nodes in snapshot";
+  return usable;
+}
+
+}  // namespace
+
+Allocation RandomAllocator::allocate(const monitor::ClusterSnapshot& snapshot,
+                                     const AllocationRequest& request) {
+  request.validate();
+  const std::vector<cluster::NodeId> usable = require_usable(snapshot);
+  std::vector<std::size_t> order(usable.size());
+  std::iota(order.begin(), order.end(), 0);
+  rng_.shuffle(order.data(), order.size());
+  return build_from_order(name(), snapshot, request, usable, order);
+}
+
+Allocation SequentialAllocator::allocate(
+    const monitor::ClusterSnapshot& snapshot,
+    const AllocationRequest& request) {
+  request.validate();
+  const std::vector<cluster::NodeId> usable = require_usable(snapshot);
+  // Random start, then consecutive node ids (node numbering follows
+  // physical proximity in the paper's cluster), wrapping around.
+  const auto start = static_cast<std::size_t>(
+      rng_.uniform_int(0, static_cast<std::int64_t>(usable.size()) - 1));
+  std::vector<std::size_t> order(usable.size());
+  for (std::size_t i = 0; i < usable.size(); ++i) {
+    order[i] = (start + i) % usable.size();
+  }
+  return build_from_order(name(), snapshot, request, usable, order);
+}
+
+Allocation LoadAwareAllocator::allocate(
+    const monitor::ClusterSnapshot& snapshot,
+    const AllocationRequest& request) {
+  request.validate();
+  const std::vector<cluster::NodeId> usable = require_usable(snapshot);
+  const std::vector<double> cl =
+      compute_loads(snapshot, usable, request.compute_weights);
+  std::vector<std::size_t> order(usable.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     if (cl[a] != cl[b]) return cl[a] < cl[b];
+                     return a < b;
+                   });
+  return build_from_order(name(), snapshot, request, usable, order);
+}
+
+}  // namespace nlarm::core

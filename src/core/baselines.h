@@ -1,0 +1,42 @@
+// The three baseline allocation policies of §5:
+//  * random — required number of nodes picked uniformly from active nodes;
+//  * sequential — a random start node plus topologically neighboring nodes
+//    ("users often tend to select consecutive nodes");
+//  * load-aware — the group of nodes with minimal compute load.
+#pragma once
+
+#include "core/allocator.h"
+#include "sim/rng.h"
+
+namespace nlarm::core {
+
+class RandomAllocator : public Allocator {
+ public:
+  explicit RandomAllocator(std::uint64_t seed) : rng_(seed) {}
+  std::string name() const override { return "random"; }
+  Allocation allocate(const monitor::ClusterSnapshot& snapshot,
+                      const AllocationRequest& request) override;
+
+ private:
+  sim::Rng rng_;
+};
+
+class SequentialAllocator : public Allocator {
+ public:
+  explicit SequentialAllocator(std::uint64_t seed) : rng_(seed) {}
+  std::string name() const override { return "sequential"; }
+  Allocation allocate(const monitor::ClusterSnapshot& snapshot,
+                      const AllocationRequest& request) override;
+
+ private:
+  sim::Rng rng_;
+};
+
+class LoadAwareAllocator : public Allocator {
+ public:
+  std::string name() const override { return "load-aware"; }
+  Allocation allocate(const monitor::ClusterSnapshot& snapshot,
+                      const AllocationRequest& request) override;
+};
+
+}  // namespace nlarm::core

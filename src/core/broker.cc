@@ -1,0 +1,77 @@
+#include "core/broker.h"
+
+#include "core/compute_load.h"
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace nlarm::core {
+
+ResourceBroker::ResourceBroker(Allocator& allocator, BrokerPolicy policy)
+    : allocator_(allocator), policy_(policy) {
+  NLARM_CHECK(policy.max_load_per_core > 0.0)
+      << "max load per core must be positive";
+  NLARM_CHECK(policy.min_usable_nodes >= 1) << "need at least one node";
+}
+
+BrokerDecision ResourceBroker::decide(
+    const monitor::ClusterSnapshot& snapshot,
+    const AllocationRequest& request) {
+  request.validate();
+  ++decisions_;
+  BrokerDecision decision;
+
+  const std::vector<cluster::NodeId> usable = snapshot.usable_nodes();
+  if (static_cast<int>(usable.size()) < policy_.min_usable_nodes) {
+    decision.action = BrokerDecision::Action::kWait;
+    decision.reason = util::format(
+        "only %zu usable node(s), need at least %d", usable.size(),
+        policy_.min_usable_nodes);
+    ++waits_;
+    return decision;
+  }
+
+  // Cluster-wide load per core.
+  double load_sum = 0.0;
+  double core_sum = 0.0;
+  for (cluster::NodeId id : usable) {
+    const monitor::NodeSnapshot& node =
+        snapshot.nodes[static_cast<std::size_t>(id)];
+    load_sum += node.cpu_load_avg.one_min;
+    core_sum += static_cast<double>(node.spec.core_count);
+  }
+  decision.cluster_load_per_core = core_sum > 0.0 ? load_sum / core_sum : 0.0;
+
+  const std::vector<int> pc =
+      effective_process_counts(snapshot, usable, request.ppn);
+  for (int c : pc) decision.effective_capacity += c;
+
+  if (decision.cluster_load_per_core > policy_.max_load_per_core) {
+    decision.action = BrokerDecision::Action::kWait;
+    decision.reason = util::format(
+        "cluster load per core %.2f exceeds threshold %.2f; "
+        "not enough lightly loaded processors — wait and retry",
+        decision.cluster_load_per_core, policy_.max_load_per_core);
+    ++waits_;
+    return decision;
+  }
+
+  if (!policy_.allow_oversubscription &&
+      decision.effective_capacity < request.nprocs) {
+    decision.action = BrokerDecision::Action::kWait;
+    decision.reason = util::format(
+        "request for %d processes exceeds effective capacity %d; "
+        "allocation would oversubscribe — wait and retry",
+        request.nprocs, decision.effective_capacity);
+    ++waits_;
+    return decision;
+  }
+
+  decision.action = BrokerDecision::Action::kAllocate;
+  decision.allocation = allocator_.allocate(snapshot, request);
+  decision.reason = util::format(
+      "allocated %d node(s) via %s", decision.allocation.node_count(),
+      decision.allocation.policy.c_str());
+  return decision;
+}
+
+}  // namespace nlarm::core

@@ -1,0 +1,56 @@
+// ResourceBroker: the user-facing entry point (the paper's "resource
+// broker"). Takes a monitored snapshot, applies an allocation policy, and —
+// implementing the extension sketched in §6 — recommends *waiting* instead
+// of allocating when the cluster is too loaded for the gain to matter
+// ("if the overall load on the cluster is extremely high ... our tool
+// should recommend waiting rather than allocating it right away").
+#pragma once
+
+#include <string>
+
+#include "core/allocator.h"
+
+namespace nlarm::core {
+
+struct BrokerPolicy {
+  /// Recommend waiting when the usable nodes' mean 1-minute CPU load per
+  /// logical core exceeds this. 0.5 = half the cluster's cores already busy
+  /// with background work.
+  double max_load_per_core = 0.5;
+  /// Recommend waiting when the request exceeds the cluster's effective
+  /// capacity (otherwise the allocation oversubscribes round-robin).
+  bool allow_oversubscription = false;
+  /// Minimum number of usable nodes required to allocate at all.
+  int min_usable_nodes = 1;
+};
+
+struct BrokerDecision {
+  enum class Action { kAllocate, kWait };
+  Action action = Action::kWait;
+  Allocation allocation;  ///< valid when action == kAllocate
+  std::string reason;     ///< human-readable explanation
+  double cluster_load_per_core = 0.0;
+  int effective_capacity = 0;  ///< Σ pc over usable nodes
+};
+
+class ResourceBroker {
+ public:
+  /// The broker borrows the allocator; it must outlive the broker.
+  ResourceBroker(Allocator& allocator, BrokerPolicy policy = {});
+
+  /// Decides between allocating and waiting for the given request.
+  BrokerDecision decide(const monitor::ClusterSnapshot& snapshot,
+                        const AllocationRequest& request);
+
+  const BrokerPolicy& policy() const { return policy_; }
+  int decisions_made() const { return decisions_; }
+  int waits_recommended() const { return waits_; }
+
+ private:
+  Allocator& allocator_;
+  BrokerPolicy policy_;
+  int decisions_ = 0;
+  int waits_ = 0;
+};
+
+}  // namespace nlarm::core

@@ -1,0 +1,88 @@
+#include "core/candidate.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace nlarm::core {
+
+FillResult fill_processes(std::span<const std::size_t> order,
+                          std::span<const int> pc, int nprocs) {
+  NLARM_CHECK(nprocs > 0) << "request must ask for at least one process";
+  NLARM_CHECK(!order.empty()) << "no nodes to fill";
+  FillResult result;
+  int remaining = nprocs;
+  for (std::size_t idx : order) {
+    if (remaining <= 0) break;
+    NLARM_CHECK(idx < pc.size()) << "order index out of pc range";
+    NLARM_CHECK(pc[idx] > 0) << "node with non-positive capacity " << pc[idx];
+    const int take = std::min(pc[idx], remaining);
+    result.members.push_back(idx);
+    result.procs.push_back(take);
+    remaining -= take;
+  }
+  // Round-robin overflow (Algorithm 1 lines 12–13): the request exceeds the
+  // cluster's effective capacity, so the rest is spread one process at a
+  // time over the selected nodes.
+  std::size_t cursor = 0;
+  while (remaining > 0) {
+    result.procs[cursor] += 1;
+    --remaining;
+    cursor = (cursor + 1) % result.procs.size();
+  }
+  return result;
+}
+
+Candidate generate_candidate(std::size_t start, std::span<const double> cl,
+                             const std::vector<std::vector<double>>& nl,
+                             std::span<const int> pc, int nprocs,
+                             const JobWeights& job) {
+  job.validate();
+  const std::size_t count = cl.size();
+  NLARM_CHECK(start < count) << "start index out of range";
+  NLARM_CHECK(nl.size() == count && pc.size() == count)
+      << "cl/nl/pc size mismatch";
+
+  // Addition costs A_v(u); A_v(v) = 0 so the start node sorts first.
+  std::vector<double> addition(count);
+  for (std::size_t u = 0; u < count; ++u) {
+    addition[u] = (u == start)
+                      ? 0.0
+                      : job.alpha * cl[u] + job.beta * nl[start][u];
+  }
+
+  std::vector<std::size_t> order(count);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     if (addition[a] != addition[b]) {
+                       return addition[a] < addition[b];
+                     }
+                     return a < b;  // deterministic tie-break
+                   });
+  NLARM_CHECK(order.front() == start)
+      << "start node must sort first (its addition cost is 0)";
+
+  FillResult fill = fill_processes(order, pc, nprocs);
+  Candidate candidate;
+  candidate.start_index = start;
+  candidate.members = std::move(fill.members);
+  candidate.procs = std::move(fill.procs);
+  candidate.total_procs = nprocs;
+  return candidate;
+}
+
+std::vector<Candidate> generate_all_candidates(
+    std::span<const double> cl, const std::vector<std::vector<double>>& nl,
+    std::span<const int> pc, int nprocs, const JobWeights& job) {
+  std::vector<Candidate> candidates;
+  candidates.reserve(cl.size());
+  for (std::size_t start = 0; start < cl.size(); ++start) {
+    candidates.push_back(
+        generate_candidate(start, cl, nl, pc, nprocs, job));
+  }
+  return candidates;
+}
+
+}  // namespace nlarm::core

@@ -1,0 +1,49 @@
+// Algorithm 1: candidate sub-graph generation.
+//
+// For a start node v, every other node u is scored with the addition cost
+// A_v(u) = α·CL(u) + β·NL(v,u) (A_v(v) = 0), nodes are taken in increasing
+// cost order until the requested process count is covered, and any shortfall
+// (cluster smaller than the request) is assigned round-robin.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/weights.h"
+
+namespace nlarm::core {
+
+/// A candidate sub-graph. All indices are positions in the working node set
+/// the costs were computed over (not raw NodeIds).
+struct Candidate {
+  std::size_t start_index = 0;
+  std::vector<std::size_t> members;  ///< in selection order, starts with start_index
+  std::vector<int> procs;            ///< processes assigned per member; sums to n
+  int total_procs = 0;
+};
+
+/// Distributes `nprocs` over the prefix of `order` using per-node capacity
+/// `pc` (Algorithm 1 lines 8–14): nodes are consumed in order until the
+/// request is covered; if capacity runs out, the remainder is handed out
+/// round-robin one process at a time.
+struct FillResult {
+  std::vector<std::size_t> members;
+  std::vector<int> procs;
+};
+FillResult fill_processes(std::span<const std::size_t> order,
+                          std::span<const int> pc, int nprocs);
+
+/// Generates the candidate sub-graph G_v for start index `start`.
+/// `cl` is the CL vector, `nl` the NL matrix, `pc` the effective process
+/// counts — all over the same working node set.
+Candidate generate_candidate(std::size_t start, std::span<const double> cl,
+                             const std::vector<std::vector<double>>& nl,
+                             std::span<const int> pc, int nprocs,
+                             const JobWeights& job);
+
+/// All |V| candidates (one per possible start node).
+std::vector<Candidate> generate_all_candidates(
+    std::span<const double> cl, const std::vector<std::vector<double>>& nl,
+    std::span<const int> pc, int nprocs, const JobWeights& job);
+
+}  // namespace nlarm::core

@@ -1,0 +1,69 @@
+#include "core/compute_load.h"
+
+#include <cmath>
+
+#include "core/normalize.h"
+#include "util/check.h"
+
+namespace nlarm::core {
+
+std::vector<double> compute_loads(const monitor::ClusterSnapshot& snapshot,
+                                  std::span<const cluster::NodeId> nodes,
+                                  const ComputeLoadWeights& weights) {
+  weights.validate();
+  const std::size_t count = nodes.size();
+  std::vector<double> loads(count, 0.0);
+  if (count == 0) return loads;
+
+  std::vector<double> column(count);
+  for (Attribute attribute : kAllAttributes) {
+    const double weight = weights.attribute_weight(attribute);
+    if (weight == 0.0) continue;
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto id = static_cast<std::size_t>(nodes[i]);
+      NLARM_CHECK(id < snapshot.nodes.size()) << "node out of snapshot";
+      const monitor::NodeSnapshot& record = snapshot.nodes[id];
+      NLARM_CHECK(record.valid)
+          << "compute_loads over a node with no record: " << nodes[i];
+      column[i] = attribute_value(record, attribute);
+    }
+    const std::vector<double> normalized = normalize_attribute(
+        column, criterion_of(attribute) == Criterion::kMaximize);
+    for (std::size_t i = 0; i < count; ++i) {
+      loads[i] += weight * normalized[i];
+    }
+  }
+  return loads;
+}
+
+int effective_process_count(const monitor::NodeSnapshot& node) {
+  NLARM_CHECK(node.spec.core_count > 0) << "node has no cores";
+  const int cores = node.spec.core_count;
+  const int load = static_cast<int>(std::ceil(node.cpu_load_avg.one_min));
+  // Eq. 3 verbatim: coreCount − ceil(Load) % coreCount. The modulo keeps the
+  // result in [1, coreCount]: a node is never entirely excluded, it just
+  // contributes fewer slots when loaded.
+  return cores - (load % cores);
+}
+
+std::vector<int> effective_process_counts(
+    const monitor::ClusterSnapshot& snapshot,
+    std::span<const cluster::NodeId> nodes, int ppn) {
+  NLARM_CHECK(ppn >= 0) << "negative ppn";
+  std::vector<int> counts;
+  counts.reserve(nodes.size());
+  for (cluster::NodeId id : nodes) {
+    const auto idx = static_cast<std::size_t>(id);
+    NLARM_CHECK(idx < snapshot.nodes.size()) << "node out of snapshot";
+    const monitor::NodeSnapshot& record = snapshot.nodes[idx];
+    NLARM_CHECK(record.valid) << "pc over a node with no record: " << id;
+    if (ppn > 0) {
+      counts.push_back(ppn);
+    } else {
+      counts.push_back(effective_process_count(record));
+    }
+  }
+  return counts;
+}
+
+}  // namespace nlarm::core

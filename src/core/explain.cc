@@ -1,0 +1,97 @@
+#include "core/explain.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/compute_load.h"
+#include "core/network_load.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace nlarm::core {
+
+std::string explain_allocation(const monitor::ClusterSnapshot& snapshot,
+                               const AllocationRequest& request,
+                               const Allocation& allocation,
+                               const NetworkLoadAwareAllocator* allocator) {
+  std::ostringstream out;
+  out << "Allocation by '" << allocation.policy << "': "
+      << allocation.total_procs << " processes over "
+      << allocation.node_count() << " node(s)\n\n";
+
+  // Per-node view: the monitored attributes the decision saw.
+  const std::vector<double> cl =
+      compute_loads(snapshot, allocation.nodes, request.compute_weights);
+  const std::vector<int> pc =
+      effective_process_counts(snapshot, allocation.nodes, request.ppn);
+  util::TextTable nodes({"node", "procs", "pc", "load(1m)", "util(1m)",
+                         "flow Mb/s", "mem free GB", "users", "CL*"});
+  for (std::size_t i = 0; i < allocation.nodes.size(); ++i) {
+    const monitor::NodeSnapshot& record =
+        snapshot.nodes[static_cast<std::size_t>(allocation.nodes[i])];
+    nodes.add_row({record.spec.hostname,
+                   util::format("%d", allocation.procs_per_node[i]),
+                   util::format("%d", pc[i]),
+                   util::format("%.2f", record.cpu_load_avg.one_min),
+                   util::format("%.2f", record.cpu_util_avg.one_min),
+                   util::format("%.0f", record.net_flow_avg.one_min),
+                   util::format("%.1f", record.mem_avail_avg.one_min),
+                   util::format("%d", record.users),
+                   util::format("%.3f", cl[i])});
+  }
+  nodes.print(out);
+  out << "(* CL normalized within the allocated group only)\n\n";
+
+  // Pairwise view: worst and best links inside the group.
+  if (allocation.nodes.size() >= 2) {
+    double best_lat = 0.0, worst_lat = 0.0, best_cmp = 0.0, worst_cmp = 0.0;
+    bool first = true;
+    for (std::size_t i = 0; i < allocation.nodes.size(); ++i) {
+      for (std::size_t j = i + 1; j < allocation.nodes.size(); ++j) {
+        const PairMetrics m =
+            pair_metrics(snapshot, allocation.nodes[i], allocation.nodes[j]);
+        if (m.latency_us < 0.0 || m.bandwidth_complement_mbps < 0.0) continue;
+        if (first) {
+          best_lat = worst_lat = m.latency_us;
+          best_cmp = worst_cmp = m.bandwidth_complement_mbps;
+          first = false;
+        } else {
+          best_lat = std::min(best_lat, m.latency_us);
+          worst_lat = std::max(worst_lat, m.latency_us);
+          best_cmp = std::min(best_cmp, m.bandwidth_complement_mbps);
+          worst_cmp = std::max(worst_cmp, m.bandwidth_complement_mbps);
+        }
+      }
+    }
+    out << util::format(
+        "Group network: latency %.0f..%.0f us (avg %.0f), bandwidth "
+        "complement %.0f..%.0f Mbit/s (avg %.0f)\n",
+        best_lat, worst_lat, allocation.avg_latency_us, best_cmp, worst_cmp,
+        allocation.avg_bw_complement_mbps);
+  }
+  out << util::format(
+      "Group compute: mean monitored CPU load %.2f; weighted cost T = %.4f "
+      "(alpha=%.2f beta=%.2f)\n",
+      allocation.avg_cpu_load, allocation.total_cost, request.job.alpha,
+      request.job.beta);
+
+  // Candidate ranking, when the deciding allocator is available.
+  if (allocator != nullptr && !allocator->last_selection().scored.empty()) {
+    const auto& selection = allocator->last_selection();
+    std::vector<double> costs;
+    costs.reserve(selection.scored.size());
+    for (const auto& scored : selection.scored) {
+      costs.push_back(scored.total_cost);
+    }
+    std::vector<double> sorted = costs;
+    std::sort(sorted.begin(), sorted.end());
+    const double winner = costs[selection.best_index];
+    out << util::format(
+        "Candidates: %zu generated; winner T=%.4f vs median %.4f and worst "
+        "%.4f\n",
+        costs.size(), winner, sorted[sorted.size() / 2], sorted.back());
+  }
+  return out.str();
+}
+
+}  // namespace nlarm::core

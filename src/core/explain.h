@@ -1,0 +1,26 @@
+// Allocation explanation: render *why* the allocator picked what it picked.
+//
+// A resource manager users trust is one whose decisions they can audit. The
+// explainer recomputes the decision's inputs for the chosen nodes — the
+// monitored attributes behind CL, the pairwise network metrics behind NL,
+// and each node's effective process count — and renders them as a report,
+// together with where the winning candidate ranked among all |V|.
+#pragma once
+
+#include <string>
+
+#include "core/allocator.h"
+
+namespace nlarm::core {
+
+/// Human-readable report for an allocation made from `snapshot` under
+/// `request`. Works for any policy's Allocation (the candidate-ranking
+/// section appears only when `allocator` — the one that made the decision —
+/// is passed).
+std::string explain_allocation(const monitor::ClusterSnapshot& snapshot,
+                               const AllocationRequest& request,
+                               const Allocation& allocation,
+                               const NetworkLoadAwareAllocator* allocator =
+                                   nullptr);
+
+}  // namespace nlarm::core

@@ -1,0 +1,177 @@
+#include "core/hierarchical.h"
+
+#include <algorithm>
+#include <map>
+
+#include "core/candidate.h"
+#include "core/compute_load.h"
+#include "core/network_load.h"
+#include "core/normalize.h"
+#include "core/selection.h"
+#include "util/check.h"
+
+namespace nlarm::core {
+
+HierarchicalAllocator::HierarchicalAllocator(HierarchicalOptions options)
+    : options_(options) {
+  NLARM_CHECK(options.pair_sample >= 0) << "negative pair sample";
+}
+
+std::vector<NodeGroup> form_groups(
+    const monitor::ClusterSnapshot& snapshot,
+    const std::vector<cluster::NodeId>& usable) {
+  std::map<cluster::SwitchId, NodeGroup> by_switch;
+  for (cluster::NodeId id : usable) {
+    const monitor::NodeSnapshot& node =
+        snapshot.nodes[static_cast<std::size_t>(id)];
+    NodeGroup& group = by_switch[node.spec.switch_id];
+    group.switch_id = node.spec.switch_id;
+    group.nodes.push_back(id);
+  }
+  std::vector<NodeGroup> groups;
+  groups.reserve(by_switch.size());
+  for (auto& [sw, group] : by_switch) groups.push_back(std::move(group));
+  return groups;
+}
+
+Allocation HierarchicalAllocator::allocate(
+    const monitor::ClusterSnapshot& snapshot,
+    const AllocationRequest& request) {
+  request.validate();
+  const std::vector<cluster::NodeId> usable = snapshot.usable_nodes();
+  NLARM_CHECK(!usable.empty()) << "no usable nodes in snapshot";
+
+  // Per-node costs once (normalized over the full usable set).
+  const std::vector<double> node_cl = rescale_unit_mean(
+      compute_loads(snapshot, usable, request.compute_weights));
+  const std::vector<int> node_pc =
+      effective_process_counts(snapshot, usable, request.ppn);
+  std::map<cluster::NodeId, std::size_t> usable_index;
+  for (std::size_t i = 0; i < usable.size(); ++i) usable_index[usable[i]] = i;
+
+  // ---- Level 1: groups --------------------------------------------------
+  groups_ = form_groups(snapshot, usable);
+  const std::size_t g = groups_.size();
+  for (NodeGroup& group : groups_) {
+    double cl_sum = 0.0;
+    for (cluster::NodeId id : group.nodes) {
+      const std::size_t i = usable_index.at(id);
+      cl_sum += node_cl[i];
+      group.capacity += node_pc[i];
+    }
+    group.compute_load = cl_sum / static_cast<double>(group.nodes.size());
+  }
+
+  // Inter-group network load: mean pair metric over a bounded sample of
+  // cross pairs (deterministic stride so results are reproducible).
+  std::vector<std::vector<double>> group_lat(g, std::vector<double>(g, 0.0));
+  std::vector<std::vector<double>> group_cmp(g, std::vector<double>(g, 0.0));
+  for (std::size_t a = 0; a < g; ++a) {
+    for (std::size_t b = a + 1; b < g; ++b) {
+      double lat_sum = 0.0;
+      double cmp_sum = 0.0;
+      std::size_t counted = 0;
+      const auto& na = groups_[a].nodes;
+      const auto& nb = groups_[b].nodes;
+      const std::size_t total = na.size() * nb.size();
+      const std::size_t want =
+          options_.pair_sample == 0
+              ? total
+              : std::min<std::size_t>(
+                    total, static_cast<std::size_t>(options_.pair_sample));
+      const std::size_t stride = std::max<std::size_t>(1, total / want);
+      for (std::size_t k = 0; k < total; k += stride) {
+        const cluster::NodeId u = na[k % na.size()];
+        const cluster::NodeId v = nb[k / na.size() % nb.size()];
+        const PairMetrics m = pair_metrics(snapshot, u, v);
+        if (m.latency_us >= 0.0) lat_sum += m.latency_us;
+        if (m.bandwidth_complement_mbps >= 0.0) {
+          cmp_sum += m.bandwidth_complement_mbps;
+        }
+        ++counted;
+      }
+      const double denom = static_cast<double>(std::max<std::size_t>(1, counted));
+      group_lat[a][b] = group_lat[b][a] = lat_sum / denom;
+      group_cmp[a][b] = group_cmp[b][a] = cmp_sum / denom;
+    }
+  }
+
+  // Normalize the two aggregate terms over group pairs and combine (Eq. 2
+  // at group granularity).
+  std::vector<std::vector<double>> group_nl(g, std::vector<double>(g, 0.0));
+  if (g > 1) {
+    std::vector<double> lat_flat;
+    std::vector<double> cmp_flat;
+    for (std::size_t a = 0; a < g; ++a) {
+      for (std::size_t b = a + 1; b < g; ++b) {
+        lat_flat.push_back(group_lat[a][b]);
+        cmp_flat.push_back(group_cmp[a][b]);
+      }
+    }
+    const auto lat_norm = normalize_by_sum(lat_flat);
+    const auto cmp_norm = normalize_by_sum(cmp_flat);
+    std::size_t k = 0;
+    for (std::size_t a = 0; a < g; ++a) {
+      for (std::size_t b = a + 1; b < g; ++b, ++k) {
+        const double value =
+            request.network_weights.latency * lat_norm[k] +
+            request.network_weights.bandwidth * cmp_norm[k];
+        group_nl[a][b] = group_nl[b][a] = value;
+      }
+    }
+  }
+
+  std::vector<double> group_cl(g);
+  std::vector<int> group_capacity(g);
+  for (std::size_t a = 0; a < g; ++a) {
+    group_cl[a] = groups_[a].compute_load;
+    group_capacity[a] = std::max(1, groups_[a].capacity);
+  }
+  const std::vector<double> group_cl_scaled = rescale_unit_mean(group_cl);
+  const std::vector<std::vector<double>> group_nl_scaled =
+      rescale_unit_mean(group_nl);
+
+  std::vector<Candidate> group_candidates = generate_all_candidates(
+      group_cl_scaled, group_nl_scaled, group_capacity, request.nprocs,
+      request.job);
+  const SelectionResult group_selection = select_best_candidate(
+      std::move(group_candidates), group_cl_scaled, group_nl_scaled,
+      request.job);
+  chosen_ =
+      group_selection.scored[group_selection.best_index].candidate.members;
+
+  // ---- Level 2: nodes of the chosen groups ------------------------------
+  std::vector<cluster::NodeId> pool;
+  for (std::size_t member : chosen_) {
+    const auto& nodes = groups_[member].nodes;
+    pool.insert(pool.end(), nodes.begin(), nodes.end());
+  }
+  std::sort(pool.begin(), pool.end());
+
+  const std::vector<double> pool_cl = rescale_unit_mean(
+      compute_loads(snapshot, pool, request.compute_weights));
+  const std::vector<std::vector<double>> pool_nl = rescale_unit_mean(
+      network_loads(snapshot, pool, request.network_weights));
+  const std::vector<int> pool_pc =
+      effective_process_counts(snapshot, pool, request.ppn);
+
+  std::vector<Candidate> node_candidates = generate_all_candidates(
+      pool_cl, pool_nl, pool_pc, request.nprocs, request.job);
+  const SelectionResult node_selection = select_best_candidate(
+      std::move(node_candidates), pool_cl, pool_nl, request.job);
+  const ScoredCandidate& best =
+      node_selection.scored[node_selection.best_index];
+
+  Allocation allocation;
+  allocation.policy = name();
+  allocation.total_procs = request.nprocs;
+  allocation.total_cost = best.total_cost;
+  for (std::size_t i = 0; i < best.candidate.members.size(); ++i) {
+    allocation.nodes.push_back(pool[best.candidate.members[i]]);
+    allocation.procs_per_node.push_back(best.candidate.procs[i]);
+  }
+  annotate_allocation(allocation, snapshot);
+  return allocation;
+}
+
+}  // namespace nlarm::core

@@ -1,0 +1,63 @@
+// Hierarchical allocation — the scaling adaptation the paper sketches in
+// §3.3.2 ("our solution may need to be adapted for larger scale by grouping
+// the nodes based on cluster topology and calculating inter-group
+// bandwidth/latency so that P2P bandwidth/latency calculation requires less
+// amount of communication") and again in §6 for multi-cluster deployments.
+//
+// Two levels:
+//  1. nodes are grouped by topology (their switch); each group gets an
+//     aggregate compute load and capacity, and each group pair an aggregate
+//     network load (mean over a sample of cross pairs);
+//  2. Algorithms 1+2 run over *groups* to pick a group subset, then over
+//     the nodes of the chosen groups only.
+//
+// Complexity drops from O(V² log V) to O(G² log G + W² log W) where W is
+// the chosen groups' node count, and — on the real system — only O(G²)
+// inter-group probes would be needed instead of O(V²).
+#pragma once
+
+#include <vector>
+
+#include "core/allocator.h"
+
+namespace nlarm::core {
+
+struct HierarchicalOptions {
+  /// Cross-group pair sample size per group pair when aggregating network
+  /// load (0 = all pairs; the real deployment would probe only this many).
+  int pair_sample = 4;
+};
+
+/// A topology group (one per switch) with its aggregates.
+struct NodeGroup {
+  cluster::SwitchId switch_id = 0;
+  std::vector<cluster::NodeId> nodes;
+  double compute_load = 0.0;  ///< mean CL over member nodes
+  int capacity = 0;           ///< Σ pc over member nodes
+};
+
+class HierarchicalAllocator : public Allocator {
+ public:
+  explicit HierarchicalAllocator(HierarchicalOptions options = {});
+
+  std::string name() const override { return "hierarchical"; }
+  Allocation allocate(const monitor::ClusterSnapshot& snapshot,
+                      const AllocationRequest& request) override;
+
+  /// Groups formed during the last allocate() (diagnostics).
+  const std::vector<NodeGroup>& last_groups() const { return groups_; }
+  /// Groups chosen at level 1 during the last allocate().
+  const std::vector<std::size_t>& last_chosen_groups() const {
+    return chosen_; }
+
+ private:
+  HierarchicalOptions options_;
+  std::vector<NodeGroup> groups_;
+  std::vector<std::size_t> chosen_;
+};
+
+/// Partitions the usable nodes of a snapshot by switch id.
+std::vector<NodeGroup> form_groups(const monitor::ClusterSnapshot& snapshot,
+                                   const std::vector<cluster::NodeId>& usable);
+
+}  // namespace nlarm::core

@@ -1,0 +1,106 @@
+#include "core/job_queue.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace nlarm::core {
+
+JobQueue::JobQueue(Allocator& allocator, QueueOptions options)
+    : allocator_(allocator),
+      broker_(allocator, options.broker),
+      options_(options) {
+  NLARM_CHECK(options.max_attempts >= 0) << "negative max attempts";
+}
+
+JobId JobQueue::submit(const std::string& name,
+                       const AllocationRequest& request, double now) {
+  request.validate();
+  QueuedJob job;
+  job.id = next_id_++;
+  job.name = name;
+  job.request = request;
+  job.submit_time = now;
+  queue_.push_back(std::move(job));
+  return queue_.back().id;
+}
+
+std::vector<cluster::NodeId> JobQueue::reserved_nodes() const {
+  std::vector<cluster::NodeId> reserved;
+  for (const auto& [id, job] : running_) {
+    reserved.insert(reserved.end(), job.allocation.nodes.begin(),
+                    job.allocation.nodes.end());
+  }
+  std::sort(reserved.begin(), reserved.end());
+  reserved.erase(std::unique(reserved.begin(), reserved.end()),
+                 reserved.end());
+  return reserved;
+}
+
+std::optional<StartedJob> JobQueue::try_start(
+    const QueuedJob& job, const monitor::ClusterSnapshot& snapshot,
+    double now) {
+  monitor::ClusterSnapshot view = snapshot;
+  if (options_.reserve_nodes) {
+    for (cluster::NodeId id : reserved_nodes()) {
+      view.livehosts[static_cast<std::size_t>(id)] = false;
+    }
+  }
+  if (view.usable_nodes().empty()) return std::nullopt;
+
+  const BrokerDecision decision = broker_.decide(view, job.request);
+  if (decision.action != BrokerDecision::Action::kAllocate) {
+    NLARM_DEBUG << "job " << job.id << " held: " << decision.reason;
+    return std::nullopt;
+  }
+  StartedJob started;
+  started.id = job.id;
+  started.name = job.name;
+  started.allocation = decision.allocation;
+  started.submit_time = job.submit_time;
+  started.start_time = now;
+  return started;
+}
+
+std::vector<StartedJob> JobQueue::poll(
+    const monitor::ClusterSnapshot& snapshot, double now) {
+  std::vector<StartedJob> started;
+  bool head_blocked = false;
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if (head_blocked && !options_.backfill) break;
+
+    std::optional<StartedJob> attempt = try_start(*it, snapshot, now);
+    if (attempt.has_value()) {
+      running_.emplace(attempt->id, *attempt);
+      wait_sum_ += attempt->wait_time();
+      ++started_count_;
+      started.push_back(std::move(*attempt));
+      it = queue_.erase(it);
+      continue;
+    }
+
+    it->attempts += 1;
+    if (options_.max_attempts > 0 && it->attempts >= options_.max_attempts) {
+      NLARM_WARN << "job " << it->id << " rejected after " << it->attempts
+                 << " attempts";
+      ++rejected_;
+      it = queue_.erase(it);
+      continue;
+    }
+    head_blocked = true;
+    ++it;
+  }
+  return started;
+}
+
+void JobQueue::release(JobId id) {
+  NLARM_CHECK(running_.erase(id) == 1) << "release of unknown job " << id;
+}
+
+double JobQueue::mean_wait_time() const {
+  if (started_count_ == 0) return 0.0;
+  return wait_sum_ / static_cast<double>(started_count_);
+}
+
+}  // namespace nlarm::core

@@ -1,0 +1,51 @@
+// Launcher integration: translate an Allocation into the formats real
+// process managers consume. §6 of the paper plans "integrating our tool as
+// a plugin for SLURM"; until then the broker's output must feed existing
+// launchers, so we emit:
+//  * MPICH/Hydra machinefiles          (host:procs per line)
+//  * OpenMPI hostfiles                 (host slots=N per line)
+//  * SLURM --nodelist strings          (compressed: csews[1-4,7])
+//  * SLURM --exclude strings           (everything NOT allocated)
+//  * slurm.conf topology.conf sections (SwitchName=... Nodes=...)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/topology.h"
+#include "core/allocator.h"
+
+namespace nlarm::core {
+
+/// MPICH/Hydra machinefile: "hostname:slots" lines (same as to_hostfile).
+std::string to_mpich_machinefile(const Allocation& allocation,
+                                 const monitor::ClusterSnapshot& snapshot);
+
+/// OpenMPI hostfile: "hostname slots=N" lines.
+std::string to_openmpi_hostfile(const Allocation& allocation,
+                                const monitor::ClusterSnapshot& snapshot);
+
+/// Compresses hostnames sharing a common alphabetic prefix into SLURM
+/// rangelist syntax: {csews1,csews2,csews3,csews7} → "csews[1-3,7]".
+/// Hostnames without a numeric suffix are emitted verbatim, comma-joined.
+std::string compress_hostlist(std::vector<std::string> hostnames);
+
+/// `srun --nodelist=` value for an allocation.
+std::string to_slurm_nodelist(const Allocation& allocation,
+                              const monitor::ClusterSnapshot& snapshot);
+
+/// `srun --exclude=` value: all usable nodes NOT in the allocation.
+std::string to_slurm_exclude(const Allocation& allocation,
+                             const monitor::ClusterSnapshot& snapshot);
+
+/// Full srun command line for the job.
+std::string to_srun_command(const Allocation& allocation,
+                            const monitor::ClusterSnapshot& snapshot,
+                            const std::string& binary);
+
+/// topology.conf content for SLURM's topology/tree plugin, generated from
+/// the cluster topology (one SwitchName line per switch plus trunk links).
+std::string to_slurm_topology_conf(const cluster::Topology& topology,
+                                   const monitor::ClusterSnapshot& snapshot);
+
+}  // namespace nlarm::core

@@ -1,0 +1,112 @@
+#include "core/network_load.h"
+
+#include <algorithm>
+
+#include "core/normalize.h"
+#include "util/check.h"
+
+namespace nlarm::core {
+
+namespace {
+
+/// Fills unmeasured (<0) entries of a pairwise value list with the mean of
+/// the measured entries (or `fallback` if nothing was measured).
+void fill_missing(std::vector<double>& values, double fallback) {
+  double sum = 0.0;
+  std::size_t measured = 0;
+  for (double v : values) {
+    if (v >= 0.0) {
+      sum += v;
+      ++measured;
+    }
+  }
+  const double fill =
+      measured > 0 ? sum / static_cast<double>(measured) : fallback;
+  for (double& v : values) {
+    if (v < 0.0) v = fill;
+  }
+}
+
+}  // namespace
+
+PairMetrics pair_metrics(const monitor::ClusterSnapshot& snapshot,
+                         cluster::NodeId u, cluster::NodeId v) {
+  NLARM_CHECK(u != v) << "pair metrics of a self pair";
+  const auto uu = static_cast<std::size_t>(u);
+  const auto vv = static_cast<std::size_t>(v);
+  NLARM_CHECK(uu < snapshot.net.latency_us.size() &&
+              vv < snapshot.net.latency_us.size())
+      << "pair out of snapshot";
+  PairMetrics m;
+  m.latency_us = snapshot.net.latency_us[uu][vv];
+  const double bw = snapshot.net.bandwidth_mbps[uu][vv];
+  const double peak = snapshot.net.peak_mbps[uu][vv];
+  if (bw < 0.0 || peak < 0.0) {
+    m.bandwidth_complement_mbps = -1.0;  // unmeasured
+  } else {
+    m.bandwidth_complement_mbps = std::max(0.0, peak - bw);
+  }
+  return m;
+}
+
+std::vector<std::vector<double>> network_loads(
+    const monitor::ClusterSnapshot& snapshot,
+    std::span<const cluster::NodeId> nodes,
+    const NetworkLoadWeights& weights) {
+  weights.validate();
+  const std::size_t count = nodes.size();
+  std::vector<std::vector<double>> nl(count, std::vector<double>(count, 0.0));
+  if (count < 2) return nl;
+
+  // Gather the upper-triangle pair terms.
+  const std::size_t pair_count = count * (count - 1) / 2;
+  std::vector<double> latency(pair_count);
+  std::vector<double> complement(pair_count);
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    for (std::size_t j = i + 1; j < count; ++j, ++k) {
+      const PairMetrics m = pair_metrics(snapshot, nodes[i], nodes[j]);
+      latency[k] = m.latency_us;  // may be <0 (unmeasured)
+      complement[k] = m.bandwidth_complement_mbps;
+    }
+  }
+  fill_missing(latency, /*fallback=*/100.0);
+  fill_missing(complement, /*fallback=*/0.0);
+
+  // "Normalization is done similar to compute load" — divide by the sum
+  // over pairs. Both terms are already minimization criteria (latency, and
+  // bandwidth complemented at the measurement stage).
+  const std::vector<double> latency_norm = normalize_by_sum(latency);
+  const std::vector<double> complement_norm = normalize_by_sum(complement);
+
+  k = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    for (std::size_t j = i + 1; j < count; ++j, ++k) {
+      const double value = weights.latency * latency_norm[k] +
+                           weights.bandwidth * complement_norm[k];
+      nl[i][j] = value;
+      nl[j][i] = value;
+    }
+  }
+  return nl;
+}
+
+double group_network_load(const std::vector<std::vector<double>>& nl,
+                          std::span<const std::size_t> member_indices) {
+  const std::size_t count = member_indices.size();
+  if (count < 2) return 0.0;
+  double sum = 0.0;
+  std::size_t pairs = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    for (std::size_t j = i + 1; j < count; ++j) {
+      const std::size_t a = member_indices[i];
+      const std::size_t b = member_indices[j];
+      NLARM_CHECK(a < nl.size() && b < nl.size()) << "member out of matrix";
+      sum += nl[a][b];
+      ++pairs;
+    }
+  }
+  return sum / static_cast<double>(pairs);
+}
+
+}  // namespace nlarm::core

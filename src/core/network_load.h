@@ -1,0 +1,38 @@
+// Network load NL_(u,v) (Eq. 2): weighted sum of normalized P2P latency and
+// normalized complement of available P2P bandwidth.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/weights.h"
+#include "monitor/snapshot.h"
+
+namespace nlarm::core {
+
+/// NL matrix over the given node set: result[i][j] is the network load
+/// between nodes[i] and nodes[j] (symmetric, diagonal 0).
+///
+/// Missing measurements (the store may not have every pair yet) are filled
+/// with the mean of the measured values; a completely unmeasured network
+/// degrades gracefully to "all pairs equal" (pure load-aware behaviour).
+std::vector<std::vector<double>> network_loads(
+    const monitor::ClusterSnapshot& snapshot,
+    std::span<const cluster::NodeId> nodes,
+    const NetworkLoadWeights& weights);
+
+/// Raw (unnormalized) pairwise terms, exposed for diagnostics (Table 4):
+/// latency in µs and complement of available bandwidth in Mbit/s.
+struct PairMetrics {
+  double latency_us = 0.0;
+  double bandwidth_complement_mbps = 0.0;
+};
+PairMetrics pair_metrics(const monitor::ClusterSnapshot& snapshot,
+                         cluster::NodeId u, cluster::NodeId v);
+
+/// Group network load of a node set: the paper takes "the average of
+/// network load between all pairs of nodes" (§3.2.2).
+double group_network_load(const std::vector<std::vector<double>>& nl,
+                          std::span<const std::size_t> member_indices);
+
+}  // namespace nlarm::core

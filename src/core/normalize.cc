@@ -1,0 +1,72 @@
+#include "core/normalize.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace nlarm::core {
+
+std::vector<double> normalize_by_sum(std::span<const double> values) {
+  double sum = 0.0;
+  for (double v : values) {
+    NLARM_CHECK(v >= 0.0) << "normalize_by_sum needs non-negative values, got "
+                          << v;
+    sum += v;
+  }
+  std::vector<double> out(values.begin(), values.end());
+  if (sum <= 0.0) {
+    std::fill(out.begin(), out.end(), 0.0);
+    return out;
+  }
+  for (double& v : out) v /= sum;
+  return out;
+}
+
+std::vector<double> complement_max(std::span<const double> values) {
+  std::vector<double> out(values.begin(), values.end());
+  if (out.empty()) return out;
+  const double max = *std::max_element(out.begin(), out.end());
+  for (double& v : out) v = max - v;
+  return out;
+}
+
+std::vector<double> normalize_attribute(std::span<const double> values,
+                                        bool maximize) {
+  std::vector<double> normalized = normalize_by_sum(values);
+  if (maximize) return complement_max(normalized);
+  return normalized;
+}
+
+std::vector<double> rescale_unit_mean(std::span<const double> values) {
+  std::vector<double> out(values.begin(), values.end());
+  double sum = 0.0;
+  for (double v : out) sum += v;
+  if (sum <= 0.0) return out;
+  const double mean = sum / static_cast<double>(out.size());
+  for (double& v : out) v /= mean;
+  return out;
+}
+
+std::vector<std::vector<double>> rescale_unit_mean(
+    const std::vector<std::vector<double>>& matrix) {
+  std::vector<std::vector<double>> out = matrix;
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    for (std::size_t j = 0; j < out.size(); ++j) {
+      if (i == j) continue;
+      sum += out[i][j];
+      ++count;
+    }
+  }
+  if (sum <= 0.0 || count == 0) return out;
+  const double mean = sum / static_cast<double>(count);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    for (std::size_t j = 0; j < out.size(); ++j) {
+      if (i != j) out[i][j] /= mean;
+    }
+  }
+  return out;
+}
+
+}  // namespace nlarm::core

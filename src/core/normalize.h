@@ -1,0 +1,44 @@
+// Normalization primitives of §3.2.1:
+//
+//  1. "the attribute values of each node are normalized by dividing the
+//     value by the sum of attribute values of all nodes";
+//  2. "we convert all the attributes in unidirectional units (same sign)
+//     ... by complementing (with respect to the maximum value) for
+//     attributes having maximization criterion."
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace nlarm::core {
+
+/// Divides each value by the sum of all values. All-zero input → all zeros
+/// (every node is equally, maximally attractive for that attribute).
+/// Values must be non-negative.
+std::vector<double> normalize_by_sum(std::span<const double> values);
+
+/// Complements each value with respect to the maximum: v → max − v.
+/// Turns a maximization attribute into a minimization one.
+std::vector<double> complement_max(std::span<const double> values);
+
+/// Full pipeline for one attribute column: normalize, then complement if the
+/// criterion is "maximize".
+std::vector<double> normalize_attribute(std::span<const double> values,
+                                        bool maximize);
+
+/// Rescales values so their mean is 1 (all-zero input unchanged).
+///
+/// Sum-normalized compute loads average 1/|V| while sum-normalized pairwise
+/// network loads average 1/|pairs| ≈ 2/|V|² — ~|V|/2 times smaller. The
+/// paper's addition cost A_v(u) = α·CL(u) + β·NL(v,u) only trades the two
+/// off meaningfully (and only then produces the topologically-compact
+/// selections of its Figure 7) when both are on a common scale, so the
+/// allocator rescales each to unit mean first. This is a pure global
+/// scaling; orderings within each cost are untouched.
+std::vector<double> rescale_unit_mean(std::span<const double> values);
+
+/// Matrix variant: rescales off-diagonal entries to unit mean.
+std::vector<std::vector<double>> rescale_unit_mean(
+    const std::vector<std::vector<double>>& matrix);
+
+}  // namespace nlarm::core

@@ -1,0 +1,53 @@
+#include "core/selection.h"
+
+#include "util/check.h"
+
+namespace nlarm::core {
+
+SelectionResult select_best_candidate(
+    std::vector<Candidate> candidates, std::span<const double> cl,
+    const std::vector<std::vector<double>>& nl, const JobWeights& job) {
+  job.validate();
+  NLARM_CHECK(!candidates.empty()) << "no candidates to select from";
+
+  SelectionResult result;
+  result.scored.reserve(candidates.size());
+  double compute_sum = 0.0;
+  double network_sum = 0.0;
+  for (Candidate& candidate : candidates) {
+    ScoredCandidate scored;
+    scored.candidate = std::move(candidate);
+    const auto& members = scored.candidate.members;
+    for (std::size_t m : members) {
+      NLARM_CHECK(m < cl.size()) << "member out of cl range";
+      scored.compute_cost += cl[m];
+    }
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      for (std::size_t j = i + 1; j < members.size(); ++j) {
+        scored.network_cost += nl[members[i]][members[j]];
+      }
+    }
+    compute_sum += scored.compute_cost;
+    network_sum += scored.network_cost;
+    result.scored.push_back(std::move(scored));
+  }
+
+  double best = 0.0;
+  bool have_best = false;
+  for (std::size_t i = 0; i < result.scored.size(); ++i) {
+    ScoredCandidate& scored = result.scored[i];
+    const double c_norm =
+        compute_sum > 0.0 ? scored.compute_cost / compute_sum : 0.0;
+    const double n_norm =
+        network_sum > 0.0 ? scored.network_cost / network_sum : 0.0;
+    scored.total_cost = job.alpha * c_norm + job.beta * n_norm;
+    if (!have_best || scored.total_cost < best) {
+      best = scored.total_cost;
+      result.best_index = i;
+      have_best = true;
+    }
+  }
+  return result;
+}
+
+}  // namespace nlarm::core

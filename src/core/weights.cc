@@ -1,0 +1,126 @@
+#include "core/weights.h"
+
+#include "util/check.h"
+
+namespace nlarm::core {
+
+namespace {
+void check_non_negative(double w, const char* name) {
+  NLARM_CHECK(w >= 0.0) << "weight '" << name << "' is negative: " << w;
+}
+}  // namespace
+
+void ComputeLoadWeights::validate() const {
+  check_non_negative(cpu_load, "cpu_load");
+  check_non_negative(cpu_util, "cpu_util");
+  check_non_negative(net_flow, "net_flow");
+  check_non_negative(memory, "memory");
+  check_non_negative(core_count, "core_count");
+  check_non_negative(cpu_freq, "cpu_freq");
+  check_non_negative(total_mem, "total_mem");
+  check_non_negative(users, "users");
+  const double sum = cpu_load + cpu_util + net_flow + memory + core_count +
+                     cpu_freq + total_mem + users;
+  NLARM_CHECK(sum > 0.0) << "all compute-load weights are zero";
+  check_non_negative(window_blend.one_min, "window.one_min");
+  check_non_negative(window_blend.five_min, "window.five_min");
+  check_non_negative(window_blend.fifteen_min, "window.fifteen_min");
+  const double blend_sum = window_blend.one_min + window_blend.five_min +
+                           window_blend.fifteen_min;
+  NLARM_CHECK(blend_sum > 0.0) << "all window-blend weights are zero";
+}
+
+double ComputeLoadWeights::attribute_weight(Attribute attribute) const {
+  const double blend_sum = window_blend.one_min + window_blend.five_min +
+                           window_blend.fifteen_min;
+  const double b1 = window_blend.one_min / blend_sum;
+  const double b5 = window_blend.five_min / blend_sum;
+  const double b15 = window_blend.fifteen_min / blend_sum;
+  switch (attribute) {
+    case Attribute::kCoreCount:
+      return core_count;
+    case Attribute::kCpuFreq:
+      return cpu_freq;
+    case Attribute::kTotalMem:
+      return total_mem;
+    case Attribute::kUsers:
+      return users;
+    case Attribute::kCpuLoad1:
+      return cpu_load * b1;
+    case Attribute::kCpuLoad5:
+      return cpu_load * b5;
+    case Attribute::kCpuLoad15:
+      return cpu_load * b15;
+    case Attribute::kCpuUtil1:
+      return cpu_util * b1;
+    case Attribute::kCpuUtil5:
+      return cpu_util * b5;
+    case Attribute::kCpuUtil15:
+      return cpu_util * b15;
+    case Attribute::kNetFlow1:
+      return net_flow * b1;
+    case Attribute::kNetFlow5:
+      return net_flow * b5;
+    case Attribute::kNetFlow15:
+      return net_flow * b15;
+    case Attribute::kMemAvail1:
+      return memory * b1;
+    case Attribute::kMemAvail5:
+      return memory * b5;
+    case Attribute::kMemAvail15:
+      return memory * b15;
+  }
+  NLARM_CHECK(false) << "unknown attribute";
+}
+
+ComputeLoadWeights ComputeLoadWeights::compute_intensive() {
+  ComputeLoadWeights w;
+  w.cpu_load = 0.4;
+  w.cpu_util = 0.3;
+  w.net_flow = 0.05;
+  w.memory = 0.05;
+  w.core_count = 0.1;
+  w.cpu_freq = 0.05;
+  w.total_mem = 0.05;
+  return w;
+}
+
+ComputeLoadWeights ComputeLoadWeights::memory_intensive() {
+  ComputeLoadWeights w;
+  w.cpu_load = 0.15;
+  w.cpu_util = 0.1;
+  w.net_flow = 0.1;
+  w.memory = 0.4;
+  w.core_count = 0.05;
+  w.cpu_freq = 0.05;
+  w.total_mem = 0.15;
+  return w;
+}
+
+ComputeLoadWeights ComputeLoadWeights::network_intensive() {
+  ComputeLoadWeights w;
+  w.cpu_load = 0.15;
+  w.cpu_util = 0.1;
+  w.net_flow = 0.45;
+  w.memory = 0.1;
+  w.core_count = 0.1;
+  w.cpu_freq = 0.05;
+  w.total_mem = 0.05;
+  return w;
+}
+
+void NetworkLoadWeights::validate() const {
+  check_non_negative(latency, "latency");
+  check_non_negative(bandwidth, "bandwidth");
+  NLARM_CHECK(latency + bandwidth > 0.0) << "all network-load weights zero";
+}
+
+void JobWeights::validate() const {
+  check_non_negative(alpha, "alpha");
+  check_non_negative(beta, "beta");
+  const double sum = alpha + beta;
+  NLARM_CHECK(sum > 0.999 && sum < 1.001)
+      << "alpha + beta must equal 1 (got " << sum << ")";
+}
+
+}  // namespace nlarm::core

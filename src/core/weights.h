@@ -1,0 +1,75 @@
+// Weight profiles for the SAW compute load (Eq. 1), the network load
+// (Eq. 2) and the job-level compute/communication trade-off (Eq. 4).
+//
+// Paper defaults (§5): 0.3 CPU load, 0.2 CPU utilization, 0.2 node data
+// flow rate, 0.1 used memory, 0.1 logical core count, 0.05 CPU clock speed,
+// 0.05 total physical memory; w_lt = 0.25, w_bw = 0.75; (α, β) = (0.3, 0.7)
+// for miniMD and (0.4, 0.6) for miniFE.
+#pragma once
+
+#include "core/attributes.h"
+
+namespace nlarm::core {
+
+/// Group weights for Eq. 1. Each dynamic group is spread over its 1/5/15-
+/// minute running means using `window_blend` (the paper keeps all three "for
+/// a more informed selection" without publishing the split; the default
+/// weights recent data highest).
+struct ComputeLoadWeights {
+  double cpu_load = 0.3;
+  double cpu_util = 0.2;
+  double net_flow = 0.2;  ///< "node bandwidth" in §5 = node data flow rate
+  double memory = 0.1;    ///< used/available memory
+  double core_count = 0.1;
+  double cpu_freq = 0.05;
+  double total_mem = 0.05;
+  double users = 0.0;  ///< in Table 1 but unweighted in the paper's §5 setup
+
+  struct WindowBlend {
+    double one_min = 0.5;
+    double five_min = 0.3;
+    double fifteen_min = 0.2;
+  };
+  WindowBlend window_blend;
+
+  /// Throws CheckError if any weight is negative or all are zero.
+  void validate() const;
+
+  /// Effective weight of one attribute (group weight × window share).
+  double attribute_weight(Attribute attribute) const;
+
+  static ComputeLoadWeights paper_defaults() { return {}; }
+  /// Higher CPU-load/utilization weights (§3.2.1, compute-intensive jobs).
+  static ComputeLoadWeights compute_intensive();
+  /// Higher available-memory and node-flow weights (§3.2.1).
+  static ComputeLoadWeights memory_intensive();
+  static ComputeLoadWeights network_intensive();
+};
+
+/// Eq. 2 weights.
+struct NetworkLoadWeights {
+  double latency = 0.25;    ///< w_lt
+  double bandwidth = 0.75;  ///< w_bw
+
+  void validate() const;
+
+  static NetworkLoadWeights paper_defaults() { return {}; }
+  /// Latency-dominated jobs: chatty, small messages (§3.2.2).
+  static NetworkLoadWeights latency_sensitive() { return {0.75, 0.25}; }
+  /// Bandwidth-dominated jobs: bulky communication (§3.2.2).
+  static NetworkLoadWeights bandwidth_sensitive() { return {0.1, 0.9}; }
+};
+
+/// Eq. 4 weights; α + β = 1.
+struct JobWeights {
+  double alpha = 0.3;  ///< compute share
+  double beta = 0.7;   ///< network share
+
+  void validate() const;
+
+  static JobWeights minimd_defaults() { return {0.3, 0.7}; }
+  static JobWeights minife_defaults() { return {0.4, 0.6}; }
+  static JobWeights balanced() { return {0.5, 0.5}; }
+};
+
+}  // namespace nlarm::core

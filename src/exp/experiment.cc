@@ -1,0 +1,164 @@
+#include "exp/experiment.h"
+
+#include <algorithm>
+
+#include "mpisim/placement.h"
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace nlarm::exp {
+
+Testbed::Testbed(const Options& options) : options_(options) {
+  cluster_ = std::make_unique<cluster::Cluster>(
+      cluster::make_iitk_cluster(options.cluster));
+  network_ = std::make_unique<net::NetworkModel>(*cluster_, flows_);
+  sim_ = std::make_unique<sim::Simulation>(options.seed);
+  workload::ScenarioOptions scenario_options;
+  scenario_options.kind = options.scenario;
+  scenario_options.seed = options.seed ^ 0x5ce9a210ULL;
+  scenario_ = std::make_unique<workload::Scenario>(*cluster_, flows_,
+                                                   *network_,
+                                                   scenario_options);
+  monitor::MonitorConfig monitor_config = options.monitor;
+  monitor_config.seed ^= options.seed;
+  monitor_ = std::make_unique<monitor::ResourceMonitor>(
+      *cluster_, *network_, *sim_, monitor_config);
+  runtime_ =
+      std::make_unique<mpisim::MpiRuntime>(*cluster_, *network_,
+                                           options.runtime);
+}
+
+std::unique_ptr<Testbed> Testbed::make(const Options& options) {
+  NLARM_CHECK(options.warmup_seconds >= 0.0) << "negative warm-up";
+  std::unique_ptr<Testbed> testbed(new Testbed(options));
+  testbed->scenario_->attach(*testbed->sim_);
+  testbed->monitor_->start();
+  testbed->sim_->run_until(options.warmup_seconds);
+  return testbed;
+}
+
+std::string to_string(Policy policy) {
+  switch (policy) {
+    case Policy::kRandom:
+      return "random";
+    case Policy::kSequential:
+      return "sequential";
+    case Policy::kLoadAware:
+      return "load-aware";
+    case Policy::kNetworkLoadAware:
+      return "network-load-aware";
+  }
+  return "?";
+}
+
+std::vector<double> ComparisonResult::times(Policy policy) const {
+  const auto& policy_runs = runs[static_cast<std::size_t>(policy)];
+  std::vector<double> out;
+  out.reserve(policy_runs.size());
+  for (const PolicyRun& run : policy_runs) {
+    out.push_back(run.execution.total_s);
+  }
+  return out;
+}
+
+std::vector<double> ComparisonResult::loads_per_core(Policy policy) const {
+  const auto& policy_runs = runs[static_cast<std::size_t>(policy)];
+  std::vector<double> out;
+  out.reserve(policy_runs.size());
+  for (const PolicyRun& run : policy_runs) {
+    out.push_back(run.load_per_core);
+  }
+  return out;
+}
+
+double ComparisonResult::mean_time(Policy policy) const {
+  const std::vector<double> t = times(policy);
+  return util::mean(t);
+}
+
+double ground_truth_load_per_core(const cluster::Cluster& cluster,
+                                  const std::vector<cluster::NodeId>& nodes) {
+  if (nodes.empty()) return 0.0;
+  double sum = 0.0;
+  for (cluster::NodeId id : nodes) {
+    const cluster::Node& node = cluster.node(id);
+    sum += node.dyn.total_load() / static_cast<double>(node.spec.core_count);
+  }
+  return sum / static_cast<double>(nodes.size());
+}
+
+ComparisonResult run_policy_comparison(Testbed& testbed,
+                                       const ComparisonConfig& config) {
+  NLARM_CHECK(static_cast<bool>(config.make_app)) << "missing app factory";
+  NLARM_CHECK(config.repetitions >= 1) << "need at least one repetition";
+
+  core::AllocationRequest request;
+  request.nprocs = config.nprocs;
+  request.ppn = config.ppn;
+  request.job = config.job;
+  request.compute_weights = config.compute_weights;
+  request.network_weights = config.network_weights;
+  request.validate();
+
+  core::RandomAllocator random_alloc(config.allocator_seed);
+  core::SequentialAllocator sequential_alloc(config.allocator_seed ^ 0x9e37ULL);
+  core::LoadAwareAllocator load_aware_alloc;
+  core::NetworkLoadAwareAllocator network_aware_alloc;
+  core::Allocator* allocators[kPolicyCount] = {
+      &random_alloc, &sequential_alloc, &load_aware_alloc,
+      &network_aware_alloc};
+
+  const mpisim::AppProfile app = config.make_app(config.nprocs);
+
+  ComparisonResult result;
+  result.runs.resize(kPolicyCount);
+  for (int rep = 0; rep < config.repetitions; ++rep) {
+    for (int p = 0; p < kPolicyCount; ++p) {
+      const monitor::ClusterSnapshot snapshot = testbed.snapshot();
+      PolicyRun run;
+      run.policy = static_cast<Policy>(p);
+      run.allocation = allocators[p]->allocate(snapshot, request);
+      run.load_per_core =
+          ground_truth_load_per_core(testbed.cluster(), run.allocation.nodes);
+      const mpisim::Placement placement =
+          mpisim::Placement::from_allocation(run.allocation);
+      run.execution = testbed.runtime().run(testbed.sim(), app, placement);
+      result.runs[static_cast<std::size_t>(p)].push_back(std::move(run));
+      // Idle gap between runs so the background decorrelates a little.
+      testbed.sim().run_until(testbed.sim().now() + config.gap_seconds);
+    }
+  }
+  return result;
+}
+
+GainStats gains_over(const std::vector<double>& ours,
+                     const std::vector<double>& other) {
+  NLARM_CHECK(ours.size() == other.size()) << "unpaired gain vectors";
+  std::vector<double> gains;
+  gains.reserve(ours.size());
+  for (std::size_t i = 0; i < ours.size(); ++i) {
+    NLARM_CHECK(other[i] > 0.0) << "non-positive baseline time";
+    gains.push_back((other[i] - ours[i]) / other[i]);
+  }
+  GainStats stats;
+  stats.samples = gains.size();
+  stats.average = util::mean(gains);
+  stats.median = util::median(gains);
+  stats.max = util::max_value(gains);
+  return stats;
+}
+
+GainStats pooled_gains(const std::vector<ComparisonResult>& results,
+                       Policy other) {
+  std::vector<double> ours_all;
+  std::vector<double> other_all;
+  for (const ComparisonResult& result : results) {
+    const std::vector<double> ours = result.times(Policy::kNetworkLoadAware);
+    const std::vector<double> theirs = result.times(other);
+    ours_all.insert(ours_all.end(), ours.begin(), ours.end());
+    other_all.insert(other_all.end(), theirs.begin(), theirs.end());
+  }
+  return gains_over(ours_all, other_all);
+}
+
+}  // namespace nlarm::exp

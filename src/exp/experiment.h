@@ -1,0 +1,130 @@
+// Experiment harness: builds a complete simulated testbed (cluster +
+// background workload + monitor) and runs the paper's policy-comparison
+// protocol — "we ran all four approaches in sequence for fair evaluation,
+// and repeated this 5 times to account for network variability" (§5.1).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "core/allocator.h"
+#include "core/baselines.h"
+#include "monitor/resource_monitor.h"
+#include "mpisim/runtime.h"
+#include "net/flows.h"
+#include "net/network_model.h"
+#include "sim/simulation.h"
+#include "workload/scenario.h"
+
+namespace nlarm::exp {
+
+/// One self-contained simulated world. Non-copyable/movable; create via
+/// make().
+class Testbed {
+ public:
+  struct Options {
+    workload::ScenarioKind scenario = workload::ScenarioKind::kSharedLab;
+    std::uint64_t seed = 42;
+    cluster::IitkClusterOptions cluster;
+    monitor::MonitorConfig monitor;
+    mpisim::RuntimeOptions runtime;
+    /// Simulated seconds to run before the experiment starts, so running
+    /// means and probe matrices are populated.
+    double warmup_seconds = 1500.0;
+  };
+
+  static std::unique_ptr<Testbed> make(const Options& options);
+
+  Testbed(const Testbed&) = delete;
+  Testbed& operator=(const Testbed&) = delete;
+
+  cluster::Cluster& cluster() { return *cluster_; }
+  net::NetworkModel& network() { return *network_; }
+  net::FlowSet& flows() { return flows_; }
+  sim::Simulation& sim() { return *sim_; }
+  workload::Scenario& scenario() { return *scenario_; }
+  monitor::ResourceMonitor& monitor() { return *monitor_; }
+  mpisim::MpiRuntime& runtime() { return *runtime_; }
+  const Options& options() const { return options_; }
+
+  /// Current allocator-facing snapshot (from the monitor store).
+  monitor::ClusterSnapshot snapshot() const { return monitor_->snapshot(); }
+
+ private:
+  explicit Testbed(const Options& options);
+
+  Options options_;
+  std::unique_ptr<cluster::Cluster> cluster_;
+  net::FlowSet flows_;
+  std::unique_ptr<net::NetworkModel> network_;
+  std::unique_ptr<sim::Simulation> sim_;
+  std::unique_ptr<workload::Scenario> scenario_;
+  std::unique_ptr<monitor::ResourceMonitor> monitor_;
+  std::unique_ptr<mpisim::MpiRuntime> runtime_;
+};
+
+/// The four policies of §5, in the paper's comparison order.
+enum class Policy { kRandom = 0, kSequential, kLoadAware, kNetworkLoadAware };
+inline constexpr int kPolicyCount = 4;
+std::string to_string(Policy policy);
+
+/// One policy's run of one job instance.
+struct PolicyRun {
+  Policy policy = Policy::kRandom;
+  core::Allocation allocation;
+  mpisim::ExecutionResult execution;
+  /// Ground-truth mean CPU load per logical core over the allocated nodes
+  /// at allocation time (Figure 5's metric).
+  double load_per_core = 0.0;
+};
+
+struct ComparisonConfig {
+  /// Builds the application profile for the requested rank count.
+  std::function<mpisim::AppProfile(int nranks)> make_app;
+  int nprocs = 32;
+  int ppn = 4;  ///< the paper uses 4 processes/node throughout
+  core::JobWeights job;  ///< α/β
+  core::ComputeLoadWeights compute_weights;
+  core::NetworkLoadWeights network_weights;
+  int repetitions = 5;
+  double gap_seconds = 20.0;  ///< simulated idle time between runs
+  std::uint64_t allocator_seed = 7;
+};
+
+struct ComparisonResult {
+  /// runs[policy][repetition]
+  std::vector<std::vector<PolicyRun>> runs;
+
+  std::vector<double> times(Policy policy) const;
+  std::vector<double> loads_per_core(Policy policy) const;
+  double mean_time(Policy policy) const;
+};
+
+/// Runs all four policies in sequence on the testbed, `repetitions` times.
+ComparisonResult run_policy_comparison(Testbed& testbed,
+                                       const ComparisonConfig& config);
+
+/// Paired gain of the network-and-load-aware policy over `other`:
+/// (t_other − t_ours) / t_other per (config, repetition) pair.
+struct GainStats {
+  double average = 0.0;
+  double median = 0.0;
+  double max = 0.0;
+  std::size_t samples = 0;
+};
+GainStats gains_over(const std::vector<double>& ours,
+                     const std::vector<double>& other);
+
+/// Pools paired gains across many comparisons (e.g. a whole Figure-4 sweep)
+/// into one Table-2-style row.
+GainStats pooled_gains(const std::vector<ComparisonResult>& results,
+                       Policy other);
+
+/// Ground-truth mean CPU load per logical core over a node set.
+double ground_truth_load_per_core(const cluster::Cluster& cluster,
+                                  const std::vector<cluster::NodeId>& nodes);
+
+}  // namespace nlarm::exp

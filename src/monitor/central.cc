@@ -1,0 +1,112 @@
+#include "monitor/central.h"
+
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace nlarm::monitor {
+
+CentralMonitor::CentralMonitor(const cluster::Cluster& cluster,
+                               cluster::NodeId master_host,
+                               cluster::NodeId slave_host,
+                               double supervision_period)
+    : cluster_(cluster),
+      master_host_(master_host),
+      slave_host_(slave_host),
+      period_(supervision_period) {
+  NLARM_CHECK(master_host >= 0 && master_host < cluster.size())
+      << "bad master host";
+  NLARM_CHECK(slave_host >= 0 && slave_host < cluster.size())
+      << "bad slave host";
+  NLARM_CHECK(master_host != slave_host)
+      << "master and slave must run on different nodes";
+  NLARM_CHECK(supervision_period > 0.0) << "supervision period must be > 0";
+}
+
+void CentralMonitor::supervise(Daemon* daemon) {
+  NLARM_CHECK(daemon != nullptr) << "null daemon";
+  daemons_.push_back(daemon);
+}
+
+void CentralMonitor::start(sim::Simulation& sim) {
+  sim_ = &sim;
+  timer_ = sim.schedule_every(period_, period_,
+                              [this]() { supervision_tick(); });
+}
+
+void CentralMonitor::fail_master() { master_process_up_ = false; }
+void CentralMonitor::fail_slave() { slave_process_up_ = false; }
+
+bool CentralMonitor::master_alive() const {
+  return master_process_up_ && cluster_.node(master_host_).dyn.alive;
+}
+
+bool CentralMonitor::slave_alive() const {
+  return slave_process_up_ && cluster_.node(slave_host_).dyn.alive;
+}
+
+cluster::NodeId CentralMonitor::pick_host() const {
+  cluster::NodeId fallback = cluster::kInvalidNode;
+  for (cluster::NodeId n = 0; n < cluster_.size(); ++n) {
+    if (!cluster_.node(n).dyn.alive) continue;
+    if (fallback == cluster::kInvalidNode) fallback = n;
+    if (n != master_host_ && n != slave_host_) return n;
+  }
+  return fallback;
+}
+
+void CentralMonitor::relaunch_dead_daemons() {
+  for (Daemon* daemon : daemons_) {
+    if (daemon->running()) continue;
+    cluster::NodeId new_host = daemon->host();
+    if (!cluster_.node(new_host).dyn.alive) {
+      new_host = pick_host();
+      if (new_host == cluster::kInvalidNode) continue;  // nothing alive
+      daemon->set_host(new_host);
+    }
+    daemon->launch(*sim_);
+    ++relaunches_;
+    NLARM_DEBUG << "relaunched daemon " << daemon->name() << " on node "
+                << new_host;
+  }
+}
+
+void CentralMonitor::supervision_tick() {
+  if (abandoned_) return;
+
+  if (!master_alive()) {
+    if (!slave_alive()) {
+      // Simultaneous failure: daemons keep running but are no longer
+      // supervised (paper §4).
+      abandoned_ = true;
+      timer_.cancel();
+      NLARM_WARN << "central monitor abandoned: master and slave both dead";
+      return;
+    }
+    // Slave detects the dead master and promotes itself.
+    master_host_ = slave_host_;
+    master_process_up_ = true;
+    ++promotions_;
+    const cluster::NodeId new_slave = pick_host();
+    if (new_slave != cluster::kInvalidNode && new_slave != master_host_) {
+      slave_host_ = new_slave;
+      slave_process_up_ = true;
+    } else {
+      slave_process_up_ = false;
+    }
+    NLARM_INFO << "central monitor: slave promoted to master on node "
+               << master_host_ << ", new slave on node " << slave_host_;
+  } else if (!slave_alive()) {
+    // Master replaces the dead slave.
+    const cluster::NodeId new_slave = pick_host();
+    if (new_slave != cluster::kInvalidNode && new_slave != master_host_) {
+      slave_host_ = new_slave;
+      slave_process_up_ = true;
+      NLARM_INFO << "central monitor: new slave launched on node "
+                 << new_slave;
+    }
+  }
+
+  relaunch_dead_daemons();
+}
+
+}  // namespace nlarm::monitor

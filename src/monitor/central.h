@@ -1,0 +1,66 @@
+// CentralMonitor: master/slave supervisor for the monitoring daemons.
+//
+// Paper §4: "We keep one master and one slave instance of Central Monitor to
+// avoid single point of failure. If the master process dies, the slave will
+// detect that the process is dead [and become] new master and launches a new
+// slave on another node. ... If any daemon crashes, it is relaunched on
+// appropriate nodes. [If both die] all other daemons will still continue to
+// perform their job [but] won't be restarted in case of failure."
+#pragma once
+
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "monitor/daemons.h"
+#include "sim/simulation.h"
+
+namespace nlarm::monitor {
+
+class CentralMonitor {
+ public:
+  CentralMonitor(const cluster::Cluster& cluster, cluster::NodeId master_host,
+                 cluster::NodeId slave_host, double supervision_period);
+
+  /// Registers a daemon for supervision. Does not take ownership.
+  void supervise(Daemon* daemon);
+
+  /// Starts the supervision loop.
+  void start(sim::Simulation& sim);
+
+  /// Failure injection: kills the master / slave supervisor process itself
+  /// (not its host node).
+  void fail_master();
+  void fail_slave();
+
+  cluster::NodeId master_host() const { return master_host_; }
+  cluster::NodeId slave_host() const { return slave_host_; }
+  bool master_alive() const;
+  bool slave_alive() const;
+
+  /// True once both supervisors have died and supervision has stopped.
+  bool abandoned() const { return abandoned_; }
+
+  int relaunch_count() const { return relaunches_; }
+  int promotion_count() const { return promotions_; }
+
+ private:
+  void supervision_tick();
+  /// Picks an alive node, preferring ones not already hosting a supervisor.
+  cluster::NodeId pick_host() const;
+  void relaunch_dead_daemons();
+
+  const cluster::Cluster& cluster_;
+  cluster::NodeId master_host_;
+  cluster::NodeId slave_host_;
+  double period_;
+  bool master_process_up_ = true;
+  bool slave_process_up_ = true;
+  bool abandoned_ = false;
+  std::vector<Daemon*> daemons_;
+  sim::Simulation* sim_ = nullptr;
+  sim::PeriodicHandle timer_;
+  int relaunches_ = 0;
+  int promotions_ = 0;
+};
+
+}  // namespace nlarm::monitor

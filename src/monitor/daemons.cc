@@ -1,0 +1,244 @@
+#include "monitor/daemons.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+
+namespace nlarm::monitor {
+
+Daemon::Daemon(std::string name, const cluster::Cluster& cluster,
+               cluster::NodeId host, double period_seconds)
+    : name_(std::move(name)),
+      cluster_(cluster),
+      host_(host),
+      period_(period_seconds) {
+  NLARM_CHECK(period_seconds > 0.0) << "daemon period must be positive";
+  NLARM_CHECK(host >= 0 && host < cluster.size())
+      << "daemon host " << host << " out of range";
+}
+
+Daemon::~Daemon() { timer_.cancel(); }
+
+void Daemon::launch(sim::Simulation& sim) {
+  timer_.cancel();
+  sim_ = &sim;
+  alive_ = true;
+  ++launches_;
+  timer_ = sim.schedule_every(period_, period_, [this]() { on_timer(); });
+}
+
+void Daemon::kill() {
+  alive_ = false;
+  timer_.cancel();
+}
+
+bool Daemon::running() const {
+  return alive_ && cluster_.node(host_).dyn.alive;
+}
+
+void Daemon::set_host(cluster::NodeId host) {
+  NLARM_CHECK(host >= 0 && host < cluster_.size()) << "bad host " << host;
+  host_ = host;
+}
+
+void Daemon::on_timer() {
+  if (!alive_) return;
+  // A dead host silently stops its daemons; CentralMonitor relaunches them.
+  if (!cluster_.node(host_).dyn.alive) {
+    kill();
+    return;
+  }
+  ++ticks_;
+  tick(sim_->now());
+}
+
+LivehostsD::LivehostsD(std::string name, const cluster::Cluster& cluster,
+                       cluster::NodeId host, double period_seconds,
+                       MonitorStore& store)
+    : Daemon(std::move(name), cluster, host, period_seconds), store_(store) {}
+
+void LivehostsD::tick(double now) {
+  std::vector<bool> hosts(static_cast<std::size_t>(cluster().size()));
+  for (cluster::NodeId n = 0; n < cluster().size(); ++n) {
+    hosts[static_cast<std::size_t>(n)] = cluster().node(n).dyn.alive;
+  }
+  store_.write_livehosts(now, std::move(hosts));
+}
+
+NodeStateD::NodeStateD(std::string name, const cluster::Cluster& cluster,
+                       cluster::NodeId target, double period_seconds,
+                       MonitorStore& store, sim::Rng rng, double sample_noise)
+    : Daemon(std::move(name), cluster, target, period_seconds),
+      target_(target),
+      store_(store),
+      rng_(rng),
+      sample_noise_(sample_noise) {
+  NLARM_CHECK(sample_noise >= 0.0) << "negative sample noise";
+}
+
+double NodeStateD::noisy(double value) {
+  if (sample_noise_ == 0.0) return value;
+  return std::max(0.0, value * rng_.lognormal(0.0, sample_noise_));
+}
+
+void NodeStateD::tick(double now) {
+  const cluster::Node& node = cluster().node(target_);
+
+  NodeSnapshot record;
+  record.spec = node.spec;
+  record.cpu_load = noisy(node.dyn.total_load());
+  record.cpu_util = std::min(1.0, noisy(node.dyn.cpu_util));
+  record.mem_used_gb = std::min(node.spec.total_mem_gb,
+                                noisy(node.dyn.mem_used_gb));
+  record.net_flow_mbps = noisy(node.dyn.net_flow_mbps);
+  record.users = node.dyn.users;
+
+  load_avg_.add(now, record.cpu_load);
+  util_avg_.add(now, record.cpu_util);
+  flow_avg_.add(now, record.net_flow_mbps);
+  mem_avail_avg_.add(now, node.spec.total_mem_gb - record.mem_used_gb);
+
+  record.cpu_load_avg = {load_avg_.one_minute(), load_avg_.five_minutes(),
+                         load_avg_.fifteen_minutes()};
+  record.cpu_util_avg = {util_avg_.one_minute(), util_avg_.five_minutes(),
+                         util_avg_.fifteen_minutes()};
+  record.net_flow_avg = {flow_avg_.one_minute(), flow_avg_.five_minutes(),
+                         flow_avg_.fifteen_minutes()};
+  record.mem_avail_avg = {mem_avail_avg_.one_minute(),
+                          mem_avail_avg_.five_minutes(),
+                          mem_avail_avg_.fifteen_minutes()};
+
+  store_.write_node_record(now, record);
+}
+
+std::vector<std::vector<std::pair<cluster::NodeId, cluster::NodeId>>>
+tournament_rounds(int node_count) {
+  NLARM_CHECK(node_count >= 2) << "tournament needs >= 2 nodes";
+  // Circle method. For odd n, add a dummy; pairs with the dummy are byes.
+  const int n = (node_count % 2 == 0) ? node_count : node_count + 1;
+  const int dummy = (node_count % 2 == 0) ? -1 : node_count;
+  std::vector<int> ring(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) ring[static_cast<std::size_t>(i)] = i;
+
+  std::vector<std::vector<std::pair<cluster::NodeId, cluster::NodeId>>> rounds;
+  rounds.reserve(static_cast<std::size_t>(n - 1));
+  for (int r = 0; r < n - 1; ++r) {
+    std::vector<std::pair<cluster::NodeId, cluster::NodeId>> round;
+    for (int i = 0; i < n / 2; ++i) {
+      const int a = ring[static_cast<std::size_t>(i)];
+      const int b = ring[static_cast<std::size_t>(n - 1 - i)];
+      if (a == dummy || b == dummy) continue;
+      round.emplace_back(static_cast<cluster::NodeId>(std::min(a, b)),
+                         static_cast<cluster::NodeId>(std::max(a, b)));
+    }
+    rounds.push_back(std::move(round));
+    // Rotate all but the first element.
+    std::rotate(ring.begin() + 1, ring.end() - 1, ring.end());
+  }
+  return rounds;
+}
+
+PairProbeDaemon::PairProbeDaemon(std::string name,
+                                 const cluster::Cluster& cluster,
+                                 cluster::NodeId host, double period_seconds,
+                                 double round_spacing_seconds,
+                                 const net::NetworkModel& network,
+                                 MonitorStore& store, sim::Rng rng)
+    : Daemon(std::move(name), cluster, host, period_seconds),
+      round_spacing_(round_spacing_seconds),
+      network_(network),
+      store_(store),
+      rng_(rng),
+      rounds_(tournament_rounds(cluster.size())) {
+  NLARM_CHECK(round_spacing_seconds >= 0.0) << "negative round spacing";
+  NLARM_CHECK(round_spacing_seconds *
+                  static_cast<double>(rounds_.size()) <
+              period_seconds)
+      << "rounds do not fit in the probe period";
+}
+
+void PairProbeDaemon::tick(double now) {
+  // Round 0 fires now; later rounds are offset so only n/2 pairs measure at
+  // a time (the paper's schedule avoids perturbing the network it measures).
+  (void)now;
+  for (std::size_t r = 0; r < rounds_.size(); ++r) {
+    const double offset = round_spacing_ * static_cast<double>(r);
+    if (offset == 0.0) {
+      run_round(r);
+    } else {
+      simulation()->schedule_in(offset, [this, r]() {
+        if (running()) run_round(r);
+      });
+    }
+  }
+}
+
+void PairProbeDaemon::run_round(std::size_t round_index) {
+  const double now = simulation()->now();
+  for (const auto& [u, v] : rounds_[round_index]) {
+    if (!cluster().node(u).dyn.alive || !cluster().node(v).dyn.alive) {
+      continue;
+    }
+    probe_pair(now, u, v);
+  }
+}
+
+LatencyD::LatencyD(std::string name, const cluster::Cluster& cluster,
+                   cluster::NodeId host, double period_seconds,
+                   double round_spacing_seconds,
+                   const net::NetworkModel& network, MonitorStore& store,
+                   sim::Rng rng)
+    : PairProbeDaemon(std::move(name), cluster, host, period_seconds,
+                      round_spacing_seconds, network, store, std::move(rng)) {
+  const auto n = static_cast<std::size_t>(cluster.size());
+  one_min_.reserve(n);
+  five_min_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<util::WindowedMean> row1;
+    std::vector<util::WindowedMean> row5;
+    row1.reserve(n);
+    row5.reserve(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      row1.emplace_back(60.0);
+      row5.emplace_back(300.0);
+    }
+    one_min_.push_back(std::move(row1));
+    five_min_.push_back(std::move(row5));
+  }
+}
+
+util::WindowedMean& LatencyD::window(cluster::NodeId u, cluster::NodeId v,
+                                     bool five_min) {
+  const auto a = static_cast<std::size_t>(std::min(u, v));
+  const auto b = static_cast<std::size_t>(std::max(u, v));
+  return five_min ? five_min_[a][b] : one_min_[a][b];
+}
+
+void LatencyD::probe_pair(double now, cluster::NodeId u, cluster::NodeId v) {
+  const double measured = network().measure_latency_us(u, v, rng());
+  window(u, v, false).add(now, measured);
+  window(u, v, true).add(now, measured);
+  const double one = window(u, v, false).value();
+  const double five = window(u, v, true).value();
+  store().write_latency(now, u, v, one, five);
+  store().write_latency(now, v, u, one, five);
+}
+
+BandwidthD::BandwidthD(std::string name, const cluster::Cluster& cluster,
+                       cluster::NodeId host, double period_seconds,
+                       double round_spacing_seconds,
+                       const net::NetworkModel& network, MonitorStore& store,
+                       sim::Rng rng)
+    : PairProbeDaemon(std::move(name), cluster, host, period_seconds,
+                      round_spacing_seconds, network, store, std::move(rng)) {}
+
+void BandwidthD::probe_pair(double now, cluster::NodeId u,
+                            cluster::NodeId v) {
+  const double measured = network().measure_bandwidth_mbps(u, v, rng());
+  const double peak = network().peak_bandwidth_mbps(u, v);
+  store().write_bandwidth(now, u, v, measured, peak);
+  store().write_bandwidth(now, v, u, measured, peak);
+}
+
+}  // namespace nlarm::monitor

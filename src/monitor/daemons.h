@@ -1,0 +1,179 @@
+// The monitoring daemons (§4 of the paper).
+//
+// Each daemon is a periodic simulation task "running on" a host node. If
+// its host dies (or the daemon is killed by failure injection) it stops
+// writing; the CentralMonitor notices and relaunches it elsewhere. Daemons
+// sample simulator ground truth through the same noisy probes a real
+// psutil/ping/MPI-pingpong stack would provide.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "monitor/store.h"
+#include "net/network_model.h"
+#include "sim/simulation.h"
+#include "util/stats.h"
+
+namespace nlarm::monitor {
+
+class Daemon {
+ public:
+  Daemon(std::string name, const cluster::Cluster& cluster,
+         cluster::NodeId host, double period_seconds);
+  virtual ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Starts (or restarts) the periodic tick on the simulation.
+  void launch(sim::Simulation& sim);
+
+  /// Stops the daemon (failure injection or supervised shutdown).
+  void kill();
+
+  /// True if launched, not killed, and its host is alive.
+  bool running() const;
+
+  const std::string& name() const { return name_; }
+  cluster::NodeId host() const { return host_; }
+  void set_host(cluster::NodeId host);
+  double period() const { return period_; }
+  std::uint64_t tick_count() const { return ticks_; }
+  int launch_count() const { return launches_; }
+
+ protected:
+  virtual void tick(double now) = 0;
+  sim::Simulation* simulation() const { return sim_; }
+  const cluster::Cluster& cluster() const { return cluster_; }
+
+ private:
+  void on_timer();
+
+  std::string name_;
+  const cluster::Cluster& cluster_;
+  cluster::NodeId host_;
+  double period_;
+  sim::Simulation* sim_ = nullptr;
+  sim::PeriodicHandle timer_;
+  bool alive_ = false;
+  std::uint64_t ticks_ = 0;
+  int launches_ = 0;
+};
+
+/// Pings every node and writes the livehosts list (paper: run on a few
+/// selected nodes at different frequencies for fault tolerance).
+class LivehostsD : public Daemon {
+ public:
+  LivehostsD(std::string name, const cluster::Cluster& cluster,
+             cluster::NodeId host, double period_seconds, MonitorStore& store);
+
+ protected:
+  void tick(double now) override;
+
+ private:
+  MonitorStore& store_;
+};
+
+/// Per-node state sampler with 1/5/15-minute running means.
+class NodeStateD : public Daemon {
+ public:
+  /// `target` is the node whose state this daemon reports; the daemon runs
+  /// on that node (host == target), as in the paper.
+  NodeStateD(std::string name, const cluster::Cluster& cluster,
+             cluster::NodeId target, double period_seconds,
+             MonitorStore& store, sim::Rng rng, double sample_noise = 0.02);
+
+  cluster::NodeId target() const { return target_; }
+
+ protected:
+  void tick(double now) override;
+
+ private:
+  double noisy(double value);
+
+  cluster::NodeId target_;
+  MonitorStore& store_;
+  sim::Rng rng_;
+  double sample_noise_;
+  util::LoadAverages load_avg_;
+  util::LoadAverages util_avg_;
+  util::LoadAverages flow_avg_;
+  util::LoadAverages mem_avail_avg_;
+};
+
+/// Round-robin tournament schedule: n-1 rounds (n even; n rounds with a bye
+/// for odd n), each pairing every node with exactly one partner. This is the
+/// paper's "n/2 distinct pairs communicate at a time" schedule.
+std::vector<std::vector<std::pair<cluster::NodeId, cluster::NodeId>>>
+tournament_rounds(int node_count);
+
+/// Measures pairwise P2P metrics in tournament rounds. Base class for
+/// LatencyD and BandwidthD.
+class PairProbeDaemon : public Daemon {
+ public:
+  PairProbeDaemon(std::string name, const cluster::Cluster& cluster,
+                  cluster::NodeId host, double period_seconds,
+                  double round_spacing_seconds,
+                  const net::NetworkModel& network, MonitorStore& store,
+                  sim::Rng rng);
+
+ protected:
+  void tick(double now) override;
+
+  /// Measures one pair (both nodes alive) and writes results to the store.
+  virtual void probe_pair(double now, cluster::NodeId u,
+                          cluster::NodeId v) = 0;
+
+  const net::NetworkModel& network() const { return network_; }
+  MonitorStore& store() { return store_; }
+  sim::Rng& rng() { return rng_; }
+
+ private:
+  void run_round(std::size_t round_index);
+
+  double round_spacing_;
+  const net::NetworkModel& network_;
+  MonitorStore& store_;
+  sim::Rng rng_;
+  std::vector<std::vector<std::pair<cluster::NodeId, cluster::NodeId>>>
+      rounds_;
+};
+
+/// P2P latency daemon: 1-minute period; maintains last-1min and last-5min
+/// running means per pair.
+class LatencyD : public PairProbeDaemon {
+ public:
+  LatencyD(std::string name, const cluster::Cluster& cluster,
+           cluster::NodeId host, double period_seconds,
+           double round_spacing_seconds, const net::NetworkModel& network,
+           MonitorStore& store, sim::Rng rng);
+
+ protected:
+  void probe_pair(double now, cluster::NodeId u, cluster::NodeId v) override;
+
+ private:
+  util::WindowedMean& window(cluster::NodeId u, cluster::NodeId v,
+                             bool five_min);
+
+  // Per unordered pair: [u][v] with u < v.
+  std::vector<std::vector<util::WindowedMean>> one_min_;
+  std::vector<std::vector<util::WindowedMean>> five_min_;
+};
+
+/// P2P effective-bandwidth daemon: 5-minute period; writes instantaneous
+/// measured bandwidth (the paper uses the instantaneous value, §4).
+class BandwidthD : public PairProbeDaemon {
+ public:
+  BandwidthD(std::string name, const cluster::Cluster& cluster,
+             cluster::NodeId host, double period_seconds,
+             double round_spacing_seconds, const net::NetworkModel& network,
+             MonitorStore& store, sim::Rng rng);
+
+ protected:
+  void probe_pair(double now, cluster::NodeId u, cluster::NodeId v) override;
+};
+
+}  // namespace nlarm::monitor

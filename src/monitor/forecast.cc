@@ -1,0 +1,168 @@
+#include "monitor/forecast.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace nlarm::monitor {
+
+void LastValuePredictor::observe(double time, double value) {
+  (void)time;
+  last_ = value;
+}
+
+SlidingMeanPredictor::SlidingMeanPredictor(std::size_t window)
+    : window_(window) {
+  NLARM_CHECK(window >= 1) << "window must be at least 1";
+}
+
+void SlidingMeanPredictor::observe(double time, double value) {
+  (void)time;
+  values_.push_back(value);
+  sum_ += value;
+  if (values_.size() > window_) {
+    sum_ -= values_.front();
+    values_.pop_front();
+  }
+}
+
+double SlidingMeanPredictor::predict() const {
+  if (values_.empty()) return 0.0;
+  return sum_ / static_cast<double>(values_.size());
+}
+
+EwmaPredictor::EwmaPredictor(double alpha) : alpha_(alpha) {
+  NLARM_CHECK(alpha > 0.0 && alpha <= 1.0) << "EWMA alpha in (0,1]";
+}
+
+void EwmaPredictor::observe(double time, double value) {
+  (void)time;
+  if (!seeded_) {
+    value_ = value;
+    seeded_ = true;
+  } else {
+    value_ = alpha_ * value + (1.0 - alpha_) * value_;
+  }
+}
+
+void Ar1Predictor::observe(double time, double value) {
+  (void)time;
+  ++count_;
+  const double weight = 1.0 / static_cast<double>(std::min<std::size_t>(
+                                  count_, 64));  // EW estimates, capped
+  if (count_ == 1) {
+    mean_ = value;
+    last_ = value;
+    return;
+  }
+  const double prev_centered = last_ - mean_;
+  mean_ += weight * (value - mean_);
+  const double centered = value - mean_;
+  cov_ += weight * (centered * prev_centered - cov_);
+  var_ += weight * (centered * centered - var_);
+  last_ = value;
+}
+
+double Ar1Predictor::predict() const {
+  if (count_ == 0) return 0.0;
+  if (var_ <= 1e-12) return last_;
+  const double phi = std::clamp(cov_ / var_, -0.99, 0.99);
+  return mean_ + phi * (last_ - mean_);
+}
+
+AdaptiveForecaster::AdaptiveForecaster() {
+  entries_.push_back(Entry{std::make_unique<LastValuePredictor>()});
+  entries_.push_back(Entry{std::make_unique<SlidingMeanPredictor>(10)});
+  entries_.push_back(Entry{std::make_unique<EwmaPredictor>(0.3)});
+  entries_.push_back(Entry{std::make_unique<Ar1Predictor>()});
+}
+
+void AdaptiveForecaster::observe(double time, double value) {
+  for (Entry& entry : entries_) {
+    // Score the prediction that was standing before this observation.
+    if (entry.primed) {
+      entry.abs_error_sum += std::abs(entry.pending_prediction - value);
+      ++entry.scored;
+    }
+    entry.predictor->observe(time, value);
+    entry.pending_prediction = entry.predictor->predict();
+    entry.primed = true;
+  }
+  ++observations_;
+}
+
+std::size_t AdaptiveForecaster::best_index() const {
+  std::size_t best = 0;
+  double best_error = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& entry = entries_[i];
+    const double error =
+        entry.scored > 0
+            ? entry.abs_error_sum / static_cast<double>(entry.scored)
+            : std::numeric_limits<double>::infinity();
+    if (error < best_error) {
+      best_error = error;
+      best = i;
+    }
+  }
+  return best;
+}
+
+double AdaptiveForecaster::forecast() const {
+  if (observations_ == 0) return 0.0;
+  return entries_[best_index()].pending_prediction;
+}
+
+std::string AdaptiveForecaster::best_predictor() const {
+  return entries_[best_index()].predictor->name();
+}
+
+double AdaptiveForecaster::best_error() const {
+  const Entry& entry = entries_[best_index()];
+  if (entry.scored == 0) return 0.0;
+  return entry.abs_error_sum / static_cast<double>(entry.scored);
+}
+
+ForecastingStore::ForecastingStore(const MonitorStore& store)
+    : store_(store),
+      load_(static_cast<std::size_t>(store.node_count())),
+      util_(static_cast<std::size_t>(store.node_count())),
+      flow_(static_cast<std::size_t>(store.node_count())) {}
+
+void ForecastingStore::feed(double now) {
+  for (cluster::NodeId n = 0; n < store_.node_count(); ++n) {
+    const NodeSnapshot& record = store_.node_record(n);
+    if (!record.valid) continue;
+    const auto idx = static_cast<std::size_t>(n);
+    load_[idx].observe(now, record.cpu_load);
+    util_[idx].observe(now, record.cpu_util);
+    flow_[idx].observe(now, record.net_flow_mbps);
+  }
+}
+
+ClusterSnapshot ForecastingStore::assemble_forecast(double now) const {
+  ClusterSnapshot snap = store_.assemble(now);
+  for (std::size_t i = 0; i < snap.nodes.size(); ++i) {
+    NodeSnapshot& node = snap.nodes[i];
+    if (!node.valid || load_[i].observations() == 0) continue;
+    node.cpu_load = std::max(0.0, load_[i].forecast());
+    node.cpu_util = std::clamp(util_[i].forecast(), 0.0, 1.0);
+    node.net_flow_mbps = std::max(0.0, flow_[i].forecast());
+    // Re-centre the freshest running mean on the forecast so Eq. 1 (which
+    // reads the means) reflects the predicted near-future state.
+    node.cpu_load_avg.one_min = node.cpu_load;
+    node.cpu_util_avg.one_min = node.cpu_util;
+    node.net_flow_avg.one_min = node.net_flow_mbps;
+  }
+  return snap;
+}
+
+const AdaptiveForecaster& ForecastingStore::load_forecaster(
+    cluster::NodeId node) const {
+  NLARM_CHECK(node >= 0 && node < store_.node_count()) << "bad node " << node;
+  return load_[static_cast<std::size_t>(node)];
+}
+
+}  // namespace nlarm::monitor

@@ -1,0 +1,145 @@
+// Time-series forecasting for monitored metrics, after the Network Weather
+// Service (Wolski et al., cited in §2): maintain several cheap predictors
+// per series, track each one's error, and forecast with whichever predictor
+// has been most accurate recently. The allocator can consume forecasts
+// instead of instantaneous values (AllocationRequest-level opt-in is wired
+// through ForecastingStore below).
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/node.h"
+#include "monitor/store.h"
+
+namespace nlarm::monitor {
+
+/// One predictor strategy over a scalar series.
+class Predictor {
+ public:
+  virtual ~Predictor() = default;
+  virtual std::string name() const = 0;
+  /// Incorporates an observation.
+  virtual void observe(double time, double value) = 0;
+  /// Predicts the next observation. Undefined before the first observe().
+  virtual double predict() const = 0;
+};
+
+/// Predicts the last observed value (NWS's LAST).
+class LastValuePredictor : public Predictor {
+ public:
+  std::string name() const override { return "last"; }
+  void observe(double time, double value) override;
+  double predict() const override { return last_; }
+
+ private:
+  double last_ = 0.0;
+};
+
+/// Mean of the most recent `window` observations (NWS's sliding mean).
+class SlidingMeanPredictor : public Predictor {
+ public:
+  explicit SlidingMeanPredictor(std::size_t window);
+  std::string name() const override { return "sliding_mean"; }
+  void observe(double time, double value) override;
+  double predict() const override;
+
+ private:
+  std::size_t window_;
+  std::deque<double> values_;
+  double sum_ = 0.0;
+};
+
+/// Exponentially-weighted moving average.
+class EwmaPredictor : public Predictor {
+ public:
+  explicit EwmaPredictor(double alpha);
+  std::string name() const override { return "ewma"; }
+  void observe(double time, double value) override;
+  double predict() const override { return value_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool seeded_ = false;
+};
+
+/// First-order autoregressive: x̂ = mean + φ·(x − mean), with φ and mean
+/// estimated online.
+class Ar1Predictor : public Predictor {
+ public:
+  std::string name() const override { return "ar1"; }
+  void observe(double time, double value) override;
+  double predict() const override;
+
+ private:
+  double mean_ = 0.0;
+  double cov_ = 0.0;   // E[(x_t−μ)(x_{t−1}−μ)] estimate
+  double var_ = 0.0;   // E[(x−μ)²] estimate
+  double last_ = 0.0;
+  std::size_t count_ = 0;
+};
+
+/// NWS-style adaptive forecaster: runs all predictors in parallel, scores
+/// each by mean absolute error over its recent forecasts, and answers with
+/// the current best.
+class AdaptiveForecaster {
+ public:
+  /// Builds the standard predictor bank (last, sliding mean, EWMA, AR(1)).
+  AdaptiveForecaster();
+
+  void observe(double time, double value);
+
+  /// Forecast of the next value; falls back to 0 before any observation.
+  double forecast() const;
+
+  /// Name of the currently-best predictor (for diagnostics).
+  std::string best_predictor() const;
+
+  /// Mean absolute error of the winning predictor so far.
+  double best_error() const;
+
+  std::size_t observations() const { return observations_; }
+
+ private:
+  struct Entry {
+    std::unique_ptr<Predictor> predictor;
+    double abs_error_sum = 0.0;
+    std::size_t scored = 0;
+    bool primed = false;
+    double pending_prediction = 0.0;
+  };
+  std::size_t best_index() const;
+
+  std::vector<Entry> entries_;
+  std::size_t observations_ = 0;
+};
+
+/// Wraps a MonitorStore with per-node-metric forecasters and produces
+/// snapshots whose *instantaneous* fields are replaced by forecasts (the
+/// running means stay as recorded). feed() must be called periodically —
+/// ResourceMonitor-independent so tests can drive it directly.
+class ForecastingStore {
+ public:
+  explicit ForecastingStore(const MonitorStore& store);
+
+  /// Ingests the store's current records into the forecasters.
+  void feed(double now);
+
+  /// Like store.assemble(), but with forecasted cpu_load / cpu_util /
+  /// net_flow per node (1-minute means are also re-centred on the
+  /// forecast so SAW sees the predicted state).
+  ClusterSnapshot assemble_forecast(double now) const;
+
+  const AdaptiveForecaster& load_forecaster(cluster::NodeId node) const;
+
+ private:
+  const MonitorStore& store_;
+  std::vector<AdaptiveForecaster> load_;
+  std::vector<AdaptiveForecaster> util_;
+  std::vector<AdaptiveForecaster> flow_;
+};
+
+}  // namespace nlarm::monitor

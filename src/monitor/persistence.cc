@@ -1,0 +1,193 @@
+#include "monitor/persistence.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/csv.h"
+#include "util/strings.h"
+
+namespace nlarm::monitor {
+
+namespace {
+constexpr const char* kHeader = "#nlarm-snapshot v1";
+
+std::string fmt(double v) { return util::csv_format(v); }
+}  // namespace
+
+void write_snapshot(std::ostream& out, const ClusterSnapshot& snapshot) {
+  out << kHeader << "\n";
+  out << "time " << fmt(snapshot.time) << "\n";
+  for (std::size_t i = 0; i < snapshot.nodes.size(); ++i) {
+    const NodeSnapshot& n = snapshot.nodes[i];
+    NLARM_CHECK(n.spec.hostname.find(',') == std::string::npos)
+        << "hostname with comma cannot be serialized: " << n.spec.hostname;
+    out << "node " << n.spec.id << ',' << n.spec.hostname
+        << ',' << n.spec.switch_id << ',' << n.spec.core_count << ','
+        << fmt(n.spec.cpu_freq_ghz) << ',' << fmt(n.spec.total_mem_gb) << ','
+        << (n.valid ? 1 : 0) << ',' << fmt(n.sample_time) << ','
+        << fmt(n.cpu_load) << ',' << fmt(n.cpu_util) << ','
+        << fmt(n.mem_used_gb) << ',' << fmt(n.net_flow_mbps) << ','
+        << n.users << ',' << fmt(n.cpu_load_avg.one_min) << ','
+        << fmt(n.cpu_load_avg.five_min) << ','
+        << fmt(n.cpu_load_avg.fifteen_min) << ','
+        << fmt(n.cpu_util_avg.one_min) << ',' << fmt(n.cpu_util_avg.five_min)
+        << ',' << fmt(n.cpu_util_avg.fifteen_min) << ','
+        << fmt(n.net_flow_avg.one_min) << ',' << fmt(n.net_flow_avg.five_min)
+        << ',' << fmt(n.net_flow_avg.fifteen_min) << ','
+        << fmt(n.mem_avail_avg.one_min) << ','
+        << fmt(n.mem_avail_avg.five_min) << ','
+        << fmt(n.mem_avail_avg.fifteen_min) << "\n";
+  }
+  for (std::size_t i = 0; i < snapshot.livehosts.size(); ++i) {
+    out << "live " << i << ' ' << (snapshot.livehosts[i] ? 1 : 0) << "\n";
+  }
+  const int n = snapshot.net.size();
+  for (int u = 0; u < n; ++u) {
+    for (int v = 0; v < n; ++v) {
+      if (u == v) continue;
+      const auto uu = static_cast<std::size_t>(u);
+      const auto vv = static_cast<std::size_t>(v);
+      if (snapshot.net.latency_us[uu][vv] >= 0.0) {
+        out << "lat " << u << ' ' << v << ' '
+            << fmt(snapshot.net.latency_us[uu][vv]) << ' '
+            << fmt(snapshot.net.latency_5min_us[uu][vv]) << "\n";
+      }
+      if (snapshot.net.bandwidth_mbps[uu][vv] >= 0.0) {
+        out << "bw " << u << ' ' << v << ' '
+            << fmt(snapshot.net.bandwidth_mbps[uu][vv]) << ' '
+            << fmt(snapshot.net.peak_mbps[uu][vv]) << "\n";
+      }
+    }
+  }
+}
+
+ClusterSnapshot read_snapshot(std::istream& in) {
+  std::string line;
+  NLARM_CHECK(std::getline(in, line) && util::trim(line) == kHeader)
+      << "not an nlarm snapshot (missing '" << kHeader << "')";
+
+  ClusterSnapshot snapshot;
+  std::vector<std::pair<int, bool>> livehosts;
+  struct PairRecord {
+    int u, v;
+    double a, b;
+  };
+  std::vector<PairRecord> latencies;
+  std::vector<PairRecord> bandwidths;
+  bool have_time = false;
+
+  while (std::getline(in, line)) {
+    const std::string trimmed = util::trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    const auto space = trimmed.find(' ');
+    NLARM_CHECK(space != std::string::npos) << "malformed line: " << trimmed;
+    const std::string tag = trimmed.substr(0, space);
+    const std::string body = trimmed.substr(space + 1);
+    if (tag == "time") {
+      snapshot.time = util::parse_double(body);
+      have_time = true;
+    } else if (tag == "node") {
+      const auto fields = util::split(body, ',');
+      NLARM_CHECK(fields.size() == 25)
+          << "node record has " << fields.size() << " fields, expected 25";
+      NodeSnapshot n;
+      n.spec.id = static_cast<cluster::NodeId>(util::parse_long(fields[0]));
+      n.spec.hostname = fields[1];
+      n.spec.switch_id =
+          static_cast<cluster::SwitchId>(util::parse_long(fields[2]));
+      n.spec.core_count = static_cast<int>(util::parse_long(fields[3]));
+      n.spec.cpu_freq_ghz = util::parse_double(fields[4]);
+      n.spec.total_mem_gb = util::parse_double(fields[5]);
+      n.valid = util::parse_long(fields[6]) != 0;
+      n.sample_time = util::parse_double(fields[7]);
+      n.cpu_load = util::parse_double(fields[8]);
+      n.cpu_util = util::parse_double(fields[9]);
+      n.mem_used_gb = util::parse_double(fields[10]);
+      n.net_flow_mbps = util::parse_double(fields[11]);
+      n.users = static_cast<int>(util::parse_long(fields[12]));
+      n.cpu_load_avg = {util::parse_double(fields[13]),
+                        util::parse_double(fields[14]),
+                        util::parse_double(fields[15])};
+      n.cpu_util_avg = {util::parse_double(fields[16]),
+                        util::parse_double(fields[17]),
+                        util::parse_double(fields[18])};
+      n.net_flow_avg = {util::parse_double(fields[19]),
+                        util::parse_double(fields[20]),
+                        util::parse_double(fields[21])};
+      n.mem_avail_avg = {util::parse_double(fields[22]),
+                         util::parse_double(fields[23]),
+                         util::parse_double(fields[24])};
+      NLARM_CHECK(n.spec.id == static_cast<cluster::NodeId>(
+                                   snapshot.nodes.size()))
+          << "node records must be dense and ordered";
+      snapshot.nodes.push_back(std::move(n));
+    } else if (tag == "live") {
+      const auto fields = util::split(body, ' ');
+      NLARM_CHECK(fields.size() == 2) << "malformed live line";
+      livehosts.emplace_back(static_cast<int>(util::parse_long(fields[0])),
+                             util::parse_long(fields[1]) != 0);
+    } else if (tag == "lat" || tag == "bw") {
+      const auto fields = util::split(body, ' ');
+      NLARM_CHECK(fields.size() == 4) << "malformed " << tag << " line";
+      PairRecord record{static_cast<int>(util::parse_long(fields[0])),
+                        static_cast<int>(util::parse_long(fields[1])),
+                        util::parse_double(fields[2]),
+                        util::parse_double(fields[3])};
+      (tag == "lat" ? latencies : bandwidths).push_back(record);
+    } else {
+      NLARM_CHECK(false) << "unknown snapshot tag '" << tag << "'";
+    }
+  }
+
+  NLARM_CHECK(have_time) << "snapshot missing 'time' line";
+  NLARM_CHECK(!snapshot.nodes.empty()) << "snapshot has no nodes";
+  const int n = static_cast<int>(snapshot.nodes.size());
+  snapshot.livehosts.assign(static_cast<std::size_t>(n), false);
+  for (const auto& [id, alive] : livehosts) {
+    NLARM_CHECK(id >= 0 && id < n) << "live record out of range";
+    snapshot.livehosts[static_cast<std::size_t>(id)] = alive;
+  }
+  snapshot.net.latency_us = make_matrix(n, -1.0);
+  snapshot.net.latency_5min_us = make_matrix(n, -1.0);
+  snapshot.net.bandwidth_mbps = make_matrix(n, -1.0);
+  snapshot.net.peak_mbps = make_matrix(n, -1.0);
+  for (const PairRecord& record : latencies) {
+    NLARM_CHECK(record.u >= 0 && record.u < n && record.v >= 0 &&
+                record.v < n && record.u != record.v)
+        << "lat record out of range";
+    snapshot.net.latency_us[static_cast<std::size_t>(record.u)]
+                           [static_cast<std::size_t>(record.v)] = record.a;
+    snapshot.net
+        .latency_5min_us[static_cast<std::size_t>(record.u)]
+                        [static_cast<std::size_t>(record.v)] = record.b;
+  }
+  for (const PairRecord& record : bandwidths) {
+    NLARM_CHECK(record.u >= 0 && record.u < n && record.v >= 0 &&
+                record.v < n && record.u != record.v)
+        << "bw record out of range";
+    snapshot.net.bandwidth_mbps[static_cast<std::size_t>(record.u)]
+                               [static_cast<std::size_t>(record.v)] =
+        record.a;
+    snapshot.net.peak_mbps[static_cast<std::size_t>(record.u)]
+                          [static_cast<std::size_t>(record.v)] = record.b;
+  }
+  return snapshot;
+}
+
+void save_snapshot_file(const std::string& path,
+                        const ClusterSnapshot& snapshot) {
+  std::ofstream out(path);
+  NLARM_CHECK(out.is_open()) << "cannot open '" << path << "' for writing";
+  write_snapshot(out, snapshot);
+}
+
+ClusterSnapshot load_snapshot_file(const std::string& path) {
+  std::ifstream in(path);
+  NLARM_CHECK(in.is_open()) << "cannot open '" << path << "' for reading";
+  return read_snapshot(in);
+}
+
+}  // namespace nlarm::monitor

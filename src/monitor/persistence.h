@@ -1,0 +1,36 @@
+// Snapshot persistence: serialize a ClusterSnapshot to a text stream and
+// load it back.
+//
+// The real deployment's daemons write their records to NFS; dumping the
+// assembled snapshot makes the broker's exact input auditable and enables
+// offline what-if allocation (nlarm_broker against a file instead of a live
+// monitor). The format is line-oriented with sections:
+//
+//   #nlarm-snapshot v1
+//   time <seconds>
+//   node <csv row per node: id,hostname,switch,cores,freq,mem,valid,...>
+//   live <id> <0|1>
+//   lat  <u> <v> <1min> <5min>
+//   bw   <u> <v> <mbps> <peak>
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "monitor/snapshot.h"
+
+namespace nlarm::monitor {
+
+/// Writes the snapshot; lossless for every field the allocator reads.
+void write_snapshot(std::ostream& out, const ClusterSnapshot& snapshot);
+
+/// Parses a snapshot written by write_snapshot. Throws CheckError on any
+/// malformed or missing section.
+ClusterSnapshot read_snapshot(std::istream& in);
+
+/// File convenience wrappers.
+void save_snapshot_file(const std::string& path,
+                        const ClusterSnapshot& snapshot);
+ClusterSnapshot load_snapshot_file(const std::string& path);
+
+}  // namespace nlarm::monitor

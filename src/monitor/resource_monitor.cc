@@ -1,0 +1,92 @@
+#include "monitor/resource_monitor.h"
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace nlarm::monitor {
+
+ResourceMonitor::ResourceMonitor(const cluster::Cluster& cluster,
+                                 const net::NetworkModel& network,
+                                 sim::Simulation& sim, MonitorConfig config)
+    : cluster_(cluster),
+      network_(network),
+      sim_(sim),
+      config_(config),
+      store_(cluster.size()) {
+  NLARM_CHECK(config.nodestate_period_min_s > 0.0 &&
+              config.nodestate_period_min_s <= config.nodestate_period_max_s)
+      << "bad NodeStateD period range";
+  NLARM_CHECK(config.livehosts_daemons >= 1)
+      << "need at least one LivehostsD";
+
+  sim::Rng rng(config.seed);
+
+  // LivehostsD replicas on the first few nodes, at staggered frequencies.
+  for (int i = 0; i < config.livehosts_daemons; ++i) {
+    const auto host = static_cast<cluster::NodeId>(i % cluster.size());
+    const double period =
+        config.livehosts_period_s * (1.0 + 0.5 * static_cast<double>(i));
+    daemons_.push_back(std::make_unique<LivehostsD>(
+        util::format("livehosts.%d", i), cluster, host, period, store_));
+  }
+
+  // One NodeStateD per node, running on the node it reports.
+  for (cluster::NodeId n = 0; n < cluster.size(); ++n) {
+    const double period = rng.uniform(config.nodestate_period_min_s,
+                                      config.nodestate_period_max_s);
+    daemons_.push_back(std::make_unique<NodeStateD>(
+        util::format("nodestate.%d", n), cluster, n, period, store_,
+        rng.fork(0x5000u + static_cast<std::uint64_t>(n)),
+        config.nodestate_noise));
+  }
+
+  // Latency and bandwidth probe coordinators.
+  daemons_.push_back(std::make_unique<LatencyD>(
+      "latencyd", cluster, /*host=*/0, config.latency_period_s,
+      config.probe_round_spacing_s, network, store_, rng.fork("latency")));
+  daemons_.push_back(std::make_unique<BandwidthD>(
+      "bandwidthd", cluster, /*host=*/std::min(1, cluster.size() - 1),
+      config.bandwidth_period_s, config.probe_round_spacing_s, network,
+      store_, rng.fork("bandwidth")));
+
+  // Master and slave on distinct nodes.
+  const cluster::NodeId master = 0;
+  const cluster::NodeId slave =
+      static_cast<cluster::NodeId>(cluster.size() > 1 ? 1 : 0);
+  NLARM_CHECK(cluster.size() > 1)
+      << "CentralMonitor needs at least two nodes for master+slave";
+  central_ = std::make_unique<CentralMonitor>(cluster, master, slave,
+                                              config.supervision_period_s);
+  for (auto& daemon : daemons_) central_->supervise(daemon.get());
+}
+
+void ResourceMonitor::start() {
+  NLARM_CHECK(!started_) << "monitor already started";
+  started_ = true;
+  for (auto& daemon : daemons_) daemon->launch(sim_);
+  central_->start(sim_);
+}
+
+ClusterSnapshot ResourceMonitor::snapshot() const {
+  ClusterSnapshot snap = store_.assemble(sim_.now());
+  if (config_.max_record_age_s > 0.0) {
+    apply_staleness_filter(snap, config_.max_record_age_s);
+  }
+  return snap;
+}
+
+Daemon* ResourceMonitor::find_daemon(const std::string& name) {
+  for (auto& daemon : daemons_) {
+    if (daemon->name() == name) return daemon.get();
+  }
+  return nullptr;
+}
+
+std::vector<Daemon*> ResourceMonitor::daemons() {
+  std::vector<Daemon*> out;
+  out.reserve(daemons_.size());
+  for (auto& daemon : daemons_) out.push_back(daemon.get());
+  return out;
+}
+
+}  // namespace nlarm::monitor

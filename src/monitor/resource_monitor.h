@@ -1,0 +1,71 @@
+// ResourceMonitor: facade wiring the store, all daemons and the
+// CentralMonitor to a cluster + network + simulation (the "Resource
+// Monitor" box of the paper's Figure 3).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "monitor/central.h"
+#include "monitor/daemons.h"
+#include "monitor/store.h"
+#include "net/network_model.h"
+#include "sim/simulation.h"
+
+namespace nlarm::monitor {
+
+struct MonitorConfig {
+  double livehosts_period_s = 5.0;
+  /// NodeStateD periods are drawn uniformly from this range per node
+  /// ("every 3-10 seconds", §4).
+  double nodestate_period_min_s = 3.0;
+  double nodestate_period_max_s = 10.0;
+  double nodestate_noise = 0.02;
+  double latency_period_s = 60.0;    ///< "1 minute for latency"
+  double bandwidth_period_s = 300.0; ///< "5 minutes for bandwidth"
+  double probe_round_spacing_s = 0.05;
+  double supervision_period_s = 10.0;
+  int livehosts_daemons = 2;  ///< run on a few selected nodes (§4)
+  /// Node records older than this are treated as missing when assembling
+  /// snapshots (0 disables the filter). Guards against dead NodeStateDs
+  /// serving forever-stale data.
+  double max_record_age_s = 120.0;
+  std::uint64_t seed = 0xD43;
+};
+
+class ResourceMonitor {
+ public:
+  ResourceMonitor(const cluster::Cluster& cluster,
+                  const net::NetworkModel& network, sim::Simulation& sim,
+                  MonitorConfig config = {});
+
+  /// Launches every daemon and the CentralMonitor. Call once.
+  void start();
+
+  /// Assembles the allocator-facing snapshot from the store.
+  ClusterSnapshot snapshot() const;
+
+  MonitorStore& store() { return store_; }
+  const MonitorStore& store() const { return store_; }
+  CentralMonitor& central() { return *central_; }
+
+  /// Finds a daemon by name (for failure injection); null if unknown.
+  Daemon* find_daemon(const std::string& name);
+  std::vector<Daemon*> daemons();
+
+  const MonitorConfig& config() const { return config_; }
+
+ private:
+  const cluster::Cluster& cluster_;
+  const net::NetworkModel& network_;
+  sim::Simulation& sim_;
+  MonitorConfig config_;
+  MonitorStore store_;
+  std::vector<std::unique_ptr<Daemon>> daemons_;
+  std::unique_ptr<CentralMonitor> central_;
+  bool started_ = false;
+};
+
+}  // namespace nlarm::monitor

@@ -1,0 +1,95 @@
+#include "monitor/snapshot.h"
+
+#include "util/check.h"
+
+namespace nlarm::monitor {
+
+std::vector<cluster::NodeId> ClusterSnapshot::usable_nodes() const {
+  std::vector<cluster::NodeId> usable;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const bool live = i < livehosts.size() && livehosts[i];
+    if (live && nodes[i].valid) {
+      usable.push_back(static_cast<cluster::NodeId>(i));
+    }
+  }
+  return usable;
+}
+
+int apply_staleness_filter(ClusterSnapshot& snapshot,
+                           double max_age_seconds) {
+  NLARM_CHECK(max_age_seconds > 0.0) << "staleness limit must be positive";
+  int invalidated = 0;
+  for (NodeSnapshot& node : snapshot.nodes) {
+    if (!node.valid) continue;
+    if (snapshot.time - node.sample_time > max_age_seconds) {
+      node.valid = false;
+      ++invalidated;
+    }
+  }
+  return invalidated;
+}
+
+std::vector<std::vector<double>> make_matrix(int n, double fill) {
+  NLARM_CHECK(n >= 0) << "negative matrix size";
+  std::vector<std::vector<double>> m(
+      static_cast<std::size_t>(n),
+      std::vector<double>(static_cast<std::size_t>(n), fill));
+  for (int i = 0; i < n; ++i) {
+    m[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)] = 0.0;
+  }
+  return m;
+}
+
+ClusterSnapshot make_ground_truth_snapshot(const cluster::Cluster& cluster,
+                                           const net::NetworkModel& network,
+                                           double now) {
+  ClusterSnapshot snap;
+  snap.time = now;
+  const int n = cluster.size();
+  snap.livehosts.resize(static_cast<std::size_t>(n));
+  snap.nodes.resize(static_cast<std::size_t>(n));
+  for (cluster::NodeId i = 0; i < n; ++i) {
+    const cluster::Node& node = cluster.node(i);
+    snap.livehosts[static_cast<std::size_t>(i)] = node.dyn.alive;
+    NodeSnapshot& ns = snap.nodes[static_cast<std::size_t>(i)];
+    ns.spec = node.spec;
+    ns.sample_time = now;
+    ns.valid = true;
+    ns.cpu_load = node.dyn.total_load();
+    ns.cpu_util = node.dyn.cpu_util;
+    ns.mem_used_gb = node.dyn.mem_used_gb;
+    ns.net_flow_mbps = node.dyn.net_flow_mbps;
+    ns.users = node.dyn.users;
+    const RunningMeans load{node.dyn.total_load(), node.dyn.total_load(),
+                            node.dyn.total_load()};
+    const RunningMeans util{node.dyn.cpu_util, node.dyn.cpu_util,
+                            node.dyn.cpu_util};
+    const RunningMeans flow{node.dyn.net_flow_mbps, node.dyn.net_flow_mbps,
+                            node.dyn.net_flow_mbps};
+    const double avail = node.mem_available_gb();
+    const RunningMeans mem{avail, avail, avail};
+    ns.cpu_load_avg = load;
+    ns.cpu_util_avg = util;
+    ns.net_flow_avg = flow;
+    ns.mem_avail_avg = mem;
+  }
+  snap.net.latency_us = make_matrix(n, 0.0);
+  snap.net.latency_5min_us = make_matrix(n, 0.0);
+  snap.net.bandwidth_mbps = make_matrix(n, 0.0);
+  snap.net.peak_mbps = make_matrix(n, 0.0);
+  for (cluster::NodeId u = 0; u < n; ++u) {
+    for (cluster::NodeId v = 0; v < n; ++v) {
+      if (u == v) continue;
+      const auto uu = static_cast<std::size_t>(u);
+      const auto vv = static_cast<std::size_t>(v);
+      const double lat = network.latency_us(u, v);
+      snap.net.latency_us[uu][vv] = lat;
+      snap.net.latency_5min_us[uu][vv] = lat;
+      snap.net.bandwidth_mbps[uu][vv] = network.available_bandwidth_mbps(u, v);
+      snap.net.peak_mbps[uu][vv] = network.peak_bandwidth_mbps(u, v);
+    }
+  }
+  return snap;
+}
+
+}  // namespace nlarm::monitor

@@ -1,0 +1,99 @@
+#include "monitor/store.h"
+
+#include <limits>
+
+#include "util/check.h"
+
+namespace nlarm::monitor {
+
+MonitorStore::MonitorStore(int node_count) : node_count_(node_count) {
+  NLARM_CHECK(node_count > 0) << "store needs at least one node";
+  livehosts_.assign(static_cast<std::size_t>(node_count), false);
+  node_records_.resize(static_cast<std::size_t>(node_count));
+  net_.latency_us = make_matrix(node_count, -1.0);
+  net_.latency_5min_us = make_matrix(node_count, -1.0);
+  net_.bandwidth_mbps = make_matrix(node_count, -1.0);
+  net_.peak_mbps = make_matrix(node_count, -1.0);
+  latency_time_ = make_matrix(node_count, -1.0);
+  bandwidth_time_ = make_matrix(node_count, -1.0);
+}
+
+void MonitorStore::check_node(cluster::NodeId node) const {
+  NLARM_CHECK(node >= 0 && node < node_count_) << "bad node id " << node;
+}
+
+void MonitorStore::write_livehosts(double now, std::vector<bool> livehosts) {
+  NLARM_CHECK(static_cast<int>(livehosts.size()) == node_count_)
+      << "livehosts size mismatch";
+  livehosts_ = std::move(livehosts);
+  livehosts_time_ = now;
+}
+
+void MonitorStore::write_node_record(double now, const NodeSnapshot& record) {
+  check_node(record.spec.id);
+  NodeSnapshot copy = record;
+  copy.valid = true;
+  copy.sample_time = now;
+  node_records_[static_cast<std::size_t>(record.spec.id)] = std::move(copy);
+}
+
+const NodeSnapshot& MonitorStore::node_record(cluster::NodeId node) const {
+  check_node(node);
+  return node_records_[static_cast<std::size_t>(node)];
+}
+
+void MonitorStore::write_latency(double now, cluster::NodeId u,
+                                 cluster::NodeId v, double one_min_us,
+                                 double five_min_us) {
+  check_node(u);
+  check_node(v);
+  NLARM_CHECK(u != v) << "latency record for a self-pair";
+  const auto uu = static_cast<std::size_t>(u);
+  const auto vv = static_cast<std::size_t>(v);
+  net_.latency_us[uu][vv] = one_min_us;
+  net_.latency_5min_us[uu][vv] = five_min_us;
+  latency_time_[uu][vv] = now;
+}
+
+void MonitorStore::write_bandwidth(double now, cluster::NodeId u,
+                                   cluster::NodeId v, double bandwidth_mbps,
+                                   double peak_mbps) {
+  check_node(u);
+  check_node(v);
+  NLARM_CHECK(u != v) << "bandwidth record for a self-pair";
+  const auto uu = static_cast<std::size_t>(u);
+  const auto vv = static_cast<std::size_t>(v);
+  net_.bandwidth_mbps[uu][vv] = bandwidth_mbps;
+  net_.peak_mbps[uu][vv] = peak_mbps;
+  bandwidth_time_[uu][vv] = now;
+}
+
+ClusterSnapshot MonitorStore::assemble(double now) const {
+  ClusterSnapshot snap;
+  snap.time = now;
+  snap.livehosts = livehosts_;
+  snap.nodes = node_records_;
+  snap.net = net_;
+  return snap;
+}
+
+double MonitorStore::node_staleness(double now, cluster::NodeId node) const {
+  check_node(node);
+  const NodeSnapshot& record = node_records_[static_cast<std::size_t>(node)];
+  if (!record.valid) return std::numeric_limits<double>::infinity();
+  return now - record.sample_time;
+}
+
+double MonitorStore::pair_staleness(double now, cluster::NodeId u,
+                                    cluster::NodeId v) const {
+  check_node(u);
+  check_node(v);
+  const auto uu = static_cast<std::size_t>(u);
+  const auto vv = static_cast<std::size_t>(v);
+  const double last =
+      std::max(latency_time_[uu][vv], bandwidth_time_[uu][vv]);
+  if (last < 0.0) return std::numeric_limits<double>::infinity();
+  return now - last;
+}
+
+}  // namespace nlarm::monitor

@@ -1,0 +1,61 @@
+// MonitorStore: the shared-filesystem drop box the daemons write into.
+//
+// In the paper every daemon writes its records to NFS and the allocator
+// reads them back. Here the store is an in-memory key-value structure with
+// per-record write timestamps, so consumers can reason about staleness the
+// same way an NFS reader would (mtime).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "cluster/node.h"
+#include "monitor/snapshot.h"
+
+namespace nlarm::monitor {
+
+class MonitorStore {
+ public:
+  explicit MonitorStore(int node_count);
+
+  int node_count() const { return node_count_; }
+
+  // --- written by LivehostsD ---
+  void write_livehosts(double now, std::vector<bool> livehosts);
+  const std::vector<bool>& livehosts() const { return livehosts_; }
+  double livehosts_time() const { return livehosts_time_; }
+
+  // --- written by NodeStateD (one record per node) ---
+  void write_node_record(double now, const NodeSnapshot& record);
+  const NodeSnapshot& node_record(cluster::NodeId node) const;
+
+  // --- written by LatencyD / BandwidthD (per ordered pair; symmetric
+  //     measurements should be written for both orders) ---
+  void write_latency(double now, cluster::NodeId u, cluster::NodeId v,
+                     double one_min_us, double five_min_us);
+  void write_bandwidth(double now, cluster::NodeId u, cluster::NodeId v,
+                       double bandwidth_mbps, double peak_mbps);
+
+  /// Assembles the allocator-facing snapshot from the current records.
+  ClusterSnapshot assemble(double now) const;
+
+  /// Seconds since the given node's record was refreshed (inf if never).
+  double node_staleness(double now, cluster::NodeId node) const;
+
+  /// Seconds since any latency/bandwidth entry for the pair was refreshed.
+  double pair_staleness(double now, cluster::NodeId u,
+                        cluster::NodeId v) const;
+
+ private:
+  void check_node(cluster::NodeId node) const;
+
+  int node_count_;
+  std::vector<bool> livehosts_;
+  double livehosts_time_ = -1.0;
+  std::vector<NodeSnapshot> node_records_;
+  NetSnapshot net_;
+  std::vector<std::vector<double>> latency_time_;
+  std::vector<std::vector<double>> bandwidth_time_;
+};
+
+}  // namespace nlarm::monitor

@@ -1,0 +1,50 @@
+#include "mpisim/app_profile.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace nlarm::mpisim {
+
+void AppProfile::validate() const {
+  NLARM_CHECK(nranks > 0) << "profile needs at least one rank";
+  NLARM_CHECK(iterations > 0) << "profile needs at least one iteration";
+  NLARM_CHECK(grid[0] > 0 && grid[1] > 0 && grid[2] > 0)
+      << "grid dimensions must be positive";
+  NLARM_CHECK(grid[0] * grid[1] * grid[2] == nranks)
+      << "grid " << grid[0] << "x" << grid[1] << "x" << grid[2]
+      << " does not cover " << nranks << " ranks";
+  NLARM_CHECK(!phases.empty()) << "profile has no phases";
+}
+
+std::array<int, 3> balanced_grid_3d(int n) {
+  NLARM_CHECK(n > 0) << "cannot factor non-positive rank count";
+  // Pick px as the largest divisor ≤ cbrt(n), then py likewise for n/px.
+  int px = 1;
+  const int cbrt = static_cast<int>(std::cbrt(static_cast<double>(n)) + 0.5);
+  for (int d = std::min(n, cbrt + 1); d >= 1; --d) {
+    if (n % d == 0 && d <= cbrt + 1) {
+      px = d;
+      break;
+    }
+  }
+  const int rest = n / px;
+  int py = 1;
+  const int sqrt_rest =
+      static_cast<int>(std::sqrt(static_cast<double>(rest)) + 0.5);
+  for (int d = std::min(rest, sqrt_rest + 1); d >= 1; --d) {
+    if (rest % d == 0) {
+      py = d;
+      break;
+    }
+  }
+  const int pz = rest / py;
+  std::array<int, 3> grid = {px, py, pz};
+  // Order ascending for a canonical result.
+  if (grid[0] > grid[1]) std::swap(grid[0], grid[1]);
+  if (grid[1] > grid[2]) std::swap(grid[1], grid[2]);
+  if (grid[0] > grid[1]) std::swap(grid[0], grid[1]);
+  return grid;
+}
+
+}  // namespace nlarm::mpisim

@@ -1,0 +1,66 @@
+// Application profiles: the iteration structure an MPI proxy app presents
+// to the execution simulator.
+//
+// A profile is a list of phases executed by every rank each iteration:
+// compute (flops), 3-D halo exchange (bytes per face), or allreduce
+// (message bytes). miniMD and miniFE (src/apps) are expressed in exactly
+// these terms.
+#pragma once
+
+#include <array>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace nlarm::mpisim {
+
+struct ComputePhase {
+  double flops_per_rank = 0.0;
+};
+
+/// Nearest-neighbor halo exchange over the rank grid (6 faces in 3-D).
+struct HaloPhase {
+  double bytes_per_face = 0.0;
+  bool periodic = true;  ///< wrap at grid boundaries (miniMD yes, miniFE no)
+};
+
+/// Recursive-doubling allreduce across all ranks.
+struct AllreducePhase {
+  double bytes = 8.0;
+};
+
+/// Binomial-tree broadcast from rank 0.
+struct BroadcastPhase {
+  double bytes = 0.0;
+};
+
+/// Binomial-tree reduce to rank 0.
+struct ReducePhase {
+  double bytes = 0.0;
+};
+
+/// Personalized all-to-all: every rank sends `bytes_per_pair` to every
+/// other rank (the transpose step of distributed FFTs — the most
+/// bisection-bandwidth-hungry MPI pattern).
+struct AlltoallPhase {
+  double bytes_per_pair = 0.0;
+};
+
+using Phase = std::variant<ComputePhase, HaloPhase, AllreducePhase,
+                           BroadcastPhase, ReducePhase, AlltoallPhase>;
+
+struct AppProfile {
+  std::string name;
+  int nranks = 1;
+  int iterations = 1;
+  /// 3-D decomposition of ranks: grid[0]*grid[1]*grid[2] == nranks.
+  std::array<int, 3> grid = {1, 1, 1};
+  std::vector<Phase> phases;  ///< executed once per iteration
+
+  void validate() const;
+};
+
+/// Factors `n` into the most cubic 3-D grid (px ≤ py ≤ pz, px·py·pz = n).
+std::array<int, 3> balanced_grid_3d(int n);
+
+}  // namespace nlarm::mpisim

@@ -1,0 +1,244 @@
+#include "mpisim/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace nlarm::mpisim {
+
+namespace {
+
+/// Rank index ↔ 3-D grid coordinates (x fastest, like MPI_Cart_create with
+/// default ordering).
+struct GridCoord {
+  int x, y, z;
+};
+
+GridCoord coord_of(int rank, const std::array<int, 3>& grid) {
+  GridCoord c;
+  c.x = rank % grid[0];
+  c.y = (rank / grid[0]) % grid[1];
+  c.z = rank / (grid[0] * grid[1]);
+  return c;
+}
+
+int rank_of(GridCoord c, const std::array<int, 3>& grid) {
+  return c.x + grid[0] * (c.y + grid[1] * c.z);
+}
+
+/// Neighbor in dimension `dim` (0..2), direction ±1. Returns -1 when the
+/// boundary is open (non-periodic edge).
+int neighbor_rank(int rank, const std::array<int, 3>& grid, int dim, int dir,
+                  bool periodic) {
+  GridCoord c = coord_of(rank, grid);
+  int* axis = dim == 0 ? &c.x : dim == 1 ? &c.y : &c.z;
+  const int extent = grid[static_cast<std::size_t>(dim)];
+  int next = *axis + dir;
+  if (next < 0 || next >= extent) {
+    if (!periodic || extent == 1) return -1;
+    next = (next + extent) % extent;
+  }
+  if (next == *axis) return -1;  // extent 1: neighbor is self
+  *axis = next;
+  return rank_of(c, grid);
+}
+
+}  // namespace
+
+CostModel::CostModel(const cluster::Cluster& cluster,
+                     const net::NetworkModel& network,
+                     CostModelOptions options)
+    : cluster_(cluster), network_(network), options_(options) {
+  NLARM_CHECK(options.flops_per_cycle > 0.0) << "flops/cycle must be > 0";
+  NLARM_CHECK(options.halo_overlap >= 0.0 && options.halo_overlap <= 1.0)
+      << "halo overlap must be in [0,1]";
+}
+
+double CostModel::p2p_time_s(cluster::NodeId src, cluster::NodeId dst,
+                             double bytes, double concurrency) const {
+  NLARM_CHECK(bytes >= 0.0) << "negative message size";
+  NLARM_CHECK(concurrency >= 1.0) << "concurrency must be >= 1";
+  double latency_us;
+  double bandwidth_mbps;
+  if (src == dst) {
+    latency_us = options_.intranode_latency_us;
+    bandwidth_mbps = options_.intranode_bandwidth_mbps;
+  } else {
+    latency_us = network_.latency_us(src, dst);
+    bandwidth_mbps = network_.available_bandwidth_mbps(src, dst);
+    // Progress-engine starvation on loaded endpoints.
+    const cluster::Node& s = cluster_.node(src);
+    const cluster::Node& d = cluster_.node(dst);
+    const double load_pc = s.dyn.total_load() / s.spec.core_count +
+                           d.dyn.total_load() / d.spec.core_count;
+    latency_us *= 1.0 + options_.progress_latency_coeff * load_pc;
+  }
+  const double bw_bytes_per_s = bandwidth_mbps / concurrency * 1e6 / 8.0;
+  return latency_us * 1e-6 + bytes / bw_bytes_per_s;
+}
+
+double CostModel::compute_time_s(cluster::NodeId node, double flops,
+                                 int job_ranks_on_node) const {
+  NLARM_CHECK(flops >= 0.0) << "negative flops";
+  NLARM_CHECK(job_ranks_on_node >= 1) << "rank count must be >= 1";
+  const cluster::Node& n = cluster_.node(node);
+  const double cores = static_cast<double>(n.spec.core_count);
+  const double demand =
+      static_cast<double>(job_ranks_on_node) + n.dyn.total_load();
+  // Machine-repair time sharing: each runnable process gets an equal core
+  // share once the node is oversubscribed...
+  const double share = std::min(1.0, cores / std::max(demand, 1.0));
+  // ...and below that, background processes still interfere (caches,
+  // memory bandwidth, scheduler jitter) in proportion to load per core.
+  const double interference =
+      1.0 + options_.interference_coeff * (n.dyn.total_load() / cores);
+  const double rate = n.spec.cpu_freq_ghz * 1e9 * options_.flops_per_cycle *
+                      share / interference;
+  return flops / rate;
+}
+
+double CostModel::halo_time_s(const HaloPhase& halo, const AppProfile& app,
+                              const Placement& placement) const {
+  double worst = 0.0;
+  for (int rank = 0; rank < app.nranks; ++rank) {
+    const cluster::NodeId src = placement.node_of(rank);
+    // The sender's uplink is shared by all its node's ranks exchanging
+    // off-node faces in the same phase.
+    const double concurrency =
+        std::max(1, placement.ranks_on(src));
+    double sum = 0.0;
+    double max_single = 0.0;
+    for (int dim = 0; dim < 3; ++dim) {
+      for (int dir : {-1, +1}) {
+        const int nb =
+            neighbor_rank(rank, app.grid, dim, dir, halo.periodic);
+        if (nb < 0) continue;
+        const cluster::NodeId dst = placement.node_of(nb);
+        const double t = p2p_time_s(src, dst, halo.bytes_per_face,
+                                    src == dst ? 1.0 : concurrency);
+        sum += t;
+        max_single = std::max(max_single, t);
+      }
+    }
+    // Interpolate between fully-serialized (sum) and fully-overlapped
+    // (max of any single exchange) per the overlap factor.
+    const double rank_time =
+        sum * (1.0 - options_.halo_overlap) + max_single * options_.halo_overlap;
+    worst = std::max(worst, rank_time);
+  }
+  return worst;
+}
+
+double CostModel::allreduce_time_s(const AllreducePhase& ar,
+                                   const Placement& placement) const {
+  const int p = placement.nranks();
+  if (p == 1) return 0.0;
+  double total = 0.0;
+  for (int bit = 1; bit < p; bit <<= 1) {
+    double round_worst = 0.0;
+    for (int rank = 0; rank < p; ++rank) {
+      const int partner = rank ^ bit;
+      if (partner >= p || partner < rank) continue;  // count each pair once
+      const double t = p2p_time_s(placement.node_of(rank),
+                                  placement.node_of(partner), ar.bytes);
+      round_worst = std::max(round_worst, t);
+    }
+    total += round_worst;
+  }
+  return total;
+}
+
+double CostModel::tree_time_s(double bytes, const Placement& placement) const {
+  // Binomial tree: in round k, ranks 0..2^k−1 each send to rank +2^k; the
+  // round costs its slowest pair.
+  const int p = placement.nranks();
+  if (p == 1) return 0.0;
+  double total = 0.0;
+  for (int bit = 1; bit < p; bit <<= 1) {
+    double round_worst = 0.0;
+    for (int rank = 0; rank < bit && rank + bit < p; ++rank) {
+      round_worst = std::max(
+          round_worst, p2p_time_s(placement.node_of(rank),
+                                  placement.node_of(rank + bit), bytes));
+    }
+    total += round_worst;
+  }
+  return total;
+}
+
+double CostModel::alltoall_time_s(const AlltoallPhase& a2a,
+                                  const Placement& placement) const {
+  // Every rank exchanges a personalized message with every other rank;
+  // messages from one node share its uplink (concurrency = its rank count)
+  // and the rank's own P−1 sends partially overlap like halo faces.
+  const int p = placement.nranks();
+  if (p == 1) return 0.0;
+  double worst = 0.0;
+  for (int rank = 0; rank < p; ++rank) {
+    const cluster::NodeId src = placement.node_of(rank);
+    const double concurrency = std::max(1, placement.ranks_on(src));
+    double sum = 0.0;
+    double max_single = 0.0;
+    for (int partner = 0; partner < p; ++partner) {
+      if (partner == rank) continue;
+      const cluster::NodeId dst = placement.node_of(partner);
+      const double t = p2p_time_s(src, dst, a2a.bytes_per_pair,
+                                  src == dst ? 1.0 : concurrency);
+      sum += t;
+      max_single = std::max(max_single, t);
+    }
+    const double rank_time = sum * (1.0 - options_.halo_overlap) +
+                             max_single * options_.halo_overlap;
+    worst = std::max(worst, rank_time);
+  }
+  return worst;
+}
+
+double CostModel::phase_time_s(const Phase& phase, const AppProfile& app,
+                               const Placement& placement) const {
+  if (const auto* compute = std::get_if<ComputePhase>(&phase)) {
+    // BSP: the slowest rank gates the iteration.
+    double worst = 0.0;
+    for (cluster::NodeId node : placement.nodes()) {
+      worst = std::max(worst,
+                       compute_time_s(node, compute->flops_per_rank,
+                                      placement.ranks_on(node)));
+    }
+    return worst;
+  }
+  if (const auto* halo = std::get_if<HaloPhase>(&phase)) {
+    return halo_time_s(*halo, app, placement);
+  }
+  if (const auto* ar = std::get_if<AllreducePhase>(&phase)) {
+    return allreduce_time_s(*ar, placement);
+  }
+  if (const auto* bcast = std::get_if<BroadcastPhase>(&phase)) {
+    return tree_time_s(bcast->bytes, placement);
+  }
+  if (const auto* reduce = std::get_if<ReducePhase>(&phase)) {
+    return tree_time_s(reduce->bytes, placement);
+  }
+  const auto& a2a = std::get<AlltoallPhase>(phase);
+  return alltoall_time_s(a2a, placement);
+}
+
+IterationCost CostModel::iteration_cost(const AppProfile& app,
+                                        const Placement& placement) const {
+  app.validate();
+  NLARM_CHECK(placement.nranks() == app.nranks)
+      << "placement has " << placement.nranks() << " ranks, app wants "
+      << app.nranks;
+  IterationCost cost;
+  for (const Phase& phase : app.phases) {
+    const double t = phase_time_s(phase, app, placement);
+    if (std::holds_alternative<ComputePhase>(phase)) {
+      cost.compute_s += t;
+    } else {
+      cost.comm_s += t;
+    }
+  }
+  return cost;
+}
+
+}  // namespace nlarm::mpisim

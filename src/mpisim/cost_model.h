@@ -1,0 +1,93 @@
+// The α–β communication/computation cost model.
+//
+// Prices one iteration of an AppProfile on a Placement under the *current*
+// cluster and network conditions:
+//
+//  * compute — rank flops / (clock × flops-per-cycle × CPU share). The CPU
+//    share on a node with C cores, background load L and p placed ranks is
+//    min(1, C / (p + L)): the time-sharing coupling that makes loaded nodes
+//    slow the whole bulk-synchronous job.
+//  * point-to-point — latency + bytes / (available bandwidth / concurrency),
+//    where concurrency accounts for the sender's other ranks sharing its
+//    uplink.
+//  * halo — per rank, the 6 face exchanges with an overlap factor;
+//    iteration phase time is the max over ranks (BSP barrier).
+//  * allreduce — recursive doubling; each round costs the slowest pair.
+#pragma once
+
+#include "cluster/cluster.h"
+#include "mpisim/app_profile.h"
+#include "mpisim/placement.h"
+#include "net/network_model.h"
+
+namespace nlarm::mpisim {
+
+struct CostModelOptions {
+  double flops_per_cycle = 4.0;       ///< per-core SIMD throughput factor
+  double intranode_latency_us = 0.6;  ///< shared-memory transport
+  double intranode_bandwidth_mbps = 48000.0;  ///< ~6 GB/s memory-bus copy
+  /// Fraction of a rank's face exchanges that overlap each other (0 = fully
+  /// serialized sends, 1 = perfect overlap → max of faces).
+  double halo_overlap = 0.5;
+  /// Interference from background processes *below* full core
+  /// subscription: cache pollution, memory-bandwidth contention and
+  /// scheduler jitter slow a bulk-synchronous rank by
+  /// (1 + coeff × background_load_per_core) even when spare cores exist.
+  /// This is the mechanism that makes the paper's moderately-loaded nodes
+  /// (0.3–1.3 load/core, Fig. 5 / Table 4) cost 2–6× on execution time.
+  double interference_coeff = 2.5;
+  /// Loaded endpoints also delay MPI progress (rendezvous handshakes,
+  /// unexpected-message handling): one-way latency is inflated by
+  /// (1 + coeff × (load_per_core_src + load_per_core_dst)).
+  double progress_latency_coeff = 0.5;
+};
+
+/// Per-iteration time split.
+struct IterationCost {
+  double compute_s = 0.0;
+  double comm_s = 0.0;
+  double total() const { return compute_s + comm_s; }
+};
+
+class CostModel {
+ public:
+  CostModel(const cluster::Cluster& cluster, const net::NetworkModel& network,
+            CostModelOptions options = {});
+
+  /// Time for one rank-to-rank message of `bytes` bytes. `concurrency` ≥ 1
+  /// divides the available bandwidth (other ranks on the same node sending
+  /// simultaneously).
+  double p2p_time_s(cluster::NodeId src, cluster::NodeId dst, double bytes,
+                    double concurrency = 1.0) const;
+
+  /// Compute time of `flops` on one rank placed on `node`, given the node's
+  /// current background load and the job's own rank count on it.
+  double compute_time_s(cluster::NodeId node, double flops,
+                        int job_ranks_on_node) const;
+
+  /// Bulk-synchronous time of one phase under current conditions.
+  double phase_time_s(const Phase& phase, const AppProfile& app,
+                      const Placement& placement) const;
+
+  /// One full iteration (all phases).
+  IterationCost iteration_cost(const AppProfile& app,
+                               const Placement& placement) const;
+
+  const CostModelOptions& options() const { return options_; }
+
+ private:
+  double halo_time_s(const HaloPhase& halo, const AppProfile& app,
+                     const Placement& placement) const;
+  double allreduce_time_s(const AllreducePhase& ar,
+                          const Placement& placement) const;
+  /// Binomial-tree dissemination cost (broadcast and reduce share it).
+  double tree_time_s(double bytes, const Placement& placement) const;
+  double alltoall_time_s(const AlltoallPhase& a2a,
+                         const Placement& placement) const;
+
+  const cluster::Cluster& cluster_;
+  const net::NetworkModel& network_;
+  CostModelOptions options_;
+};
+
+}  // namespace nlarm::mpisim

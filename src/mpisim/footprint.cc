@@ -1,0 +1,167 @@
+#include "mpisim/footprint.h"
+
+#include <cmath>
+#include <map>
+
+#include "util/check.h"
+
+namespace nlarm::mpisim {
+
+namespace {
+
+/// Rank-grid neighbor helper (duplicated shape of the cost model's private
+/// traversal; kept simple and local).
+int grid_neighbor(int rank, const std::array<int, 3>& grid, int dim, int dir,
+                  bool periodic) {
+  int coords[3] = {rank % grid[0], (rank / grid[0]) % grid[1],
+                   rank / (grid[0] * grid[1])};
+  const int extent = grid[static_cast<std::size_t>(dim)];
+  int next = coords[dim] + dir;
+  if (next < 0 || next >= extent) {
+    if (!periodic || extent == 1) return -1;
+    next = (next + extent) % extent;
+  }
+  if (next == coords[dim]) return -1;
+  coords[dim] = next;
+  return coords[0] + grid[0] * (coords[1] + grid[1] * coords[2]);
+}
+
+}  // namespace
+
+std::vector<PairTraffic> estimate_pair_traffic(const AppProfile& app,
+                                               const Placement& placement) {
+  app.validate();
+  NLARM_CHECK(placement.nranks() == app.nranks) << "placement mismatch";
+  std::map<std::pair<cluster::NodeId, cluster::NodeId>, double> bytes;
+  auto add = [&](int rank_a, int rank_b, double b) {
+    const cluster::NodeId u = placement.node_of(rank_a);
+    const cluster::NodeId v = placement.node_of(rank_b);
+    if (u == v) return;  // intra-node traffic never reaches the network
+    bytes[{u, v}] += b;
+  };
+
+  for (const Phase& phase : app.phases) {
+    if (const auto* halo = std::get_if<HaloPhase>(&phase)) {
+      for (int rank = 0; rank < app.nranks; ++rank) {
+        for (int dim = 0; dim < 3; ++dim) {
+          for (int dir : {-1, +1}) {
+            const int nb =
+                grid_neighbor(rank, app.grid, dim, dir, halo->periodic);
+            if (nb >= 0) add(rank, nb, halo->bytes_per_face);
+          }
+        }
+      }
+    } else if (const auto* ar = std::get_if<AllreducePhase>(&phase)) {
+      for (int bit = 1; bit < app.nranks; bit <<= 1) {
+        for (int rank = 0; rank < app.nranks; ++rank) {
+          const int partner = rank ^ bit;
+          if (partner < app.nranks && partner > rank) {
+            add(rank, partner, ar->bytes);
+            add(partner, rank, ar->bytes);
+          }
+        }
+      }
+    } else if (const auto* bcast = std::get_if<BroadcastPhase>(&phase)) {
+      for (int bit = 1; bit < app.nranks; bit <<= 1) {
+        for (int rank = 0; rank < bit && rank + bit < app.nranks; ++rank) {
+          add(rank, rank + bit, bcast->bytes);
+        }
+      }
+    } else if (const auto* reduce = std::get_if<ReducePhase>(&phase)) {
+      for (int bit = 1; bit < app.nranks; bit <<= 1) {
+        for (int rank = 0; rank < bit && rank + bit < app.nranks; ++rank) {
+          add(rank + bit, rank, reduce->bytes);
+        }
+      }
+    } else if (const auto* a2a = std::get_if<AlltoallPhase>(&phase)) {
+      for (int rank = 0; rank < app.nranks; ++rank) {
+        for (int partner = 0; partner < app.nranks; ++partner) {
+          if (partner != rank) add(rank, partner, a2a->bytes_per_pair);
+        }
+      }
+    }
+  }
+
+  std::vector<PairTraffic> traffic;
+  traffic.reserve(bytes.size());
+  for (const auto& [pair, b] : bytes) {
+    traffic.push_back(PairTraffic{pair.first, pair.second, b});
+  }
+  return traffic;
+}
+
+JobFootprint::JobFootprint(cluster::Cluster& cluster, net::FlowSet& flows,
+                           const AppProfile& app, const Placement& placement,
+                           double iteration_seconds)
+    : cluster_(&cluster),
+      flows_(&flows),
+      traffic_(estimate_pair_traffic(app, placement)),
+      iteration_seconds_(iteration_seconds) {
+  NLARM_CHECK(iteration_seconds > 0.0) << "iteration time must be positive";
+  for (cluster::NodeId node : placement.nodes()) {
+    load_additions_.emplace_back(
+        node, static_cast<double>(placement.ranks_on(node)));
+  }
+  apply();
+}
+
+JobFootprint::~JobFootprint() { remove(); }
+
+JobFootprint::JobFootprint(JobFootprint&& other) noexcept {
+  *this = std::move(other);
+}
+
+JobFootprint& JobFootprint::operator=(JobFootprint&& other) noexcept {
+  if (this == &other) return *this;
+  remove();
+  cluster_ = other.cluster_;
+  flows_ = other.flows_;
+  load_additions_ = std::move(other.load_additions_);
+  traffic_ = std::move(other.traffic_);
+  iteration_seconds_ = other.iteration_seconds_;
+  flow_ids_ = std::move(other.flow_ids_);
+  applied_ = other.applied_;
+  other.applied_ = false;
+  other.cluster_ = nullptr;
+  other.flows_ = nullptr;
+  return *this;
+}
+
+void JobFootprint::apply() {
+  NLARM_CHECK(!applied_) << "footprint already applied";
+  for (const auto& [node, ranks] : load_additions_) {
+    cluster_->mutable_node(node).dyn.job_load += ranks;
+  }
+  flow_ids_.clear();
+  for (const PairTraffic& t : traffic_) {
+    const double mbps =
+        t.bytes_per_iteration / iteration_seconds_ * 8.0 / 1e6;
+    if (mbps <= 0.0) continue;
+    flow_ids_.push_back(flows_->add(t.src, t.dst, mbps));
+  }
+  applied_ = true;
+}
+
+void JobFootprint::suspend() {
+  if (!applied_) return;
+  for (const auto& [node, ranks] : load_additions_) {
+    cluster::Node& n = cluster_->mutable_node(node);
+    n.dyn.job_load = std::max(0.0, n.dyn.job_load - ranks);
+  }
+  for (net::FlowId id : flow_ids_) flows_->remove(id);
+  flow_ids_.clear();
+  applied_ = false;
+}
+
+void JobFootprint::resume() {
+  if (applied_ || cluster_ == nullptr) return;
+  apply();
+}
+
+void JobFootprint::remove() {
+  suspend();
+  cluster_ = nullptr;
+  flows_ = nullptr;
+}
+
+}  // namespace nlarm::mpisim

@@ -1,0 +1,75 @@
+// Job footprint: the load a running MPI job itself imprints on the world.
+//
+// The paper's monitor measures *everything* on a node — including MPI jobs
+// already brokered onto it (its Figure 5 load readings include the running
+// ranks). A JobFootprint applies the job's own CPU load (one runnable
+// process per rank) and its inter-node traffic (estimated from the app's
+// per-iteration communication volume) to the cluster and flow set, so that
+// concurrent jobs and the monitoring pipeline see each other.
+//
+// RAII: the footprint is removed on destruction (or explicit remove()).
+// While pricing the job's own iterations the footprint must be lifted —
+// the cost model already accounts for the job's ranks separately — which
+// MpiRuntime::run_with_footprint handles automatically.
+#pragma once
+
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "mpisim/app_profile.h"
+#include "mpisim/placement.h"
+#include "net/flows.h"
+
+namespace nlarm::mpisim {
+
+/// Estimated off-node traffic of one iteration, as directed node-pair
+/// byte counts.
+struct PairTraffic {
+  cluster::NodeId src = cluster::kInvalidNode;
+  cluster::NodeId dst = cluster::kInvalidNode;
+  double bytes_per_iteration = 0.0;
+};
+
+/// Sums the app's per-iteration inter-node traffic over the placement
+/// (halo faces, allreduce rounds, broadcast/reduce trees, alltoall).
+std::vector<PairTraffic> estimate_pair_traffic(const AppProfile& app,
+                                               const Placement& placement);
+
+class JobFootprint {
+ public:
+  JobFootprint() = default;
+  /// Applies the footprint immediately. `iteration_seconds` converts the
+  /// traffic estimate into flow rates; pass the current per-iteration time.
+  JobFootprint(cluster::Cluster& cluster, net::FlowSet& flows,
+               const AppProfile& app, const Placement& placement,
+               double iteration_seconds);
+  ~JobFootprint();
+
+  JobFootprint(const JobFootprint&) = delete;
+  JobFootprint& operator=(const JobFootprint&) = delete;
+  JobFootprint(JobFootprint&& other) noexcept;
+  JobFootprint& operator=(JobFootprint&& other) noexcept;
+
+  /// Temporarily lifts / re-applies the footprint (used while pricing the
+  /// job's own phases).
+  void suspend();
+  void resume();
+
+  /// Permanently removes the footprint.
+  void remove();
+
+  bool active() const { return applied_; }
+
+ private:
+  void apply();
+
+  cluster::Cluster* cluster_ = nullptr;
+  net::FlowSet* flows_ = nullptr;
+  std::vector<std::pair<cluster::NodeId, double>> load_additions_;
+  std::vector<PairTraffic> traffic_;
+  double iteration_seconds_ = 0.0;
+  std::vector<net::FlowId> flow_ids_;
+  bool applied_ = false;
+};
+
+}  // namespace nlarm::mpisim

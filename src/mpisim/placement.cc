@@ -1,0 +1,68 @@
+#include "mpisim/placement.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace nlarm::mpisim {
+
+Placement::Placement(std::vector<cluster::NodeId> rank_nodes)
+    : rank_nodes_(std::move(rank_nodes)) {
+  NLARM_CHECK(!rank_nodes_.empty()) << "placement needs at least one rank";
+  for (cluster::NodeId node : rank_nodes_) {
+    NLARM_CHECK(node >= 0) << "invalid node in placement";
+    auto it = std::find(nodes_.begin(), nodes_.end(), node);
+    if (it == nodes_.end()) {
+      nodes_.push_back(node);
+      counts_.push_back(1);
+    } else {
+      counts_[static_cast<std::size_t>(it - nodes_.begin())] += 1;
+    }
+  }
+}
+
+Placement Placement::from_allocation(const core::Allocation& allocation) {
+  NLARM_CHECK(allocation.nodes.size() == allocation.procs_per_node.size())
+      << "malformed allocation";
+  std::vector<cluster::NodeId> rank_nodes;
+  rank_nodes.reserve(static_cast<std::size_t>(allocation.total_procs));
+  for (std::size_t i = 0; i < allocation.nodes.size(); ++i) {
+    for (int p = 0; p < allocation.procs_per_node[i]; ++p) {
+      rank_nodes.push_back(allocation.nodes[i]);
+    }
+  }
+  return Placement(std::move(rank_nodes));
+}
+
+Placement Placement::round_robin_from_allocation(
+    const core::Allocation& allocation) {
+  NLARM_CHECK(allocation.nodes.size() == allocation.procs_per_node.size())
+      << "malformed allocation";
+  std::vector<int> remaining = allocation.procs_per_node;
+  std::vector<cluster::NodeId> rank_nodes;
+  rank_nodes.reserve(static_cast<std::size_t>(allocation.total_procs));
+  std::size_t cursor = 0;
+  while (rank_nodes.size() <
+         static_cast<std::size_t>(allocation.total_procs)) {
+    if (remaining[cursor] > 0) {
+      rank_nodes.push_back(allocation.nodes[cursor]);
+      remaining[cursor] -= 1;
+    }
+    cursor = (cursor + 1) % allocation.nodes.size();
+  }
+  return Placement(std::move(rank_nodes));
+}
+
+cluster::NodeId Placement::node_of(int rank) const {
+  NLARM_CHECK(rank >= 0 && rank < nranks()) << "bad rank " << rank;
+  return rank_nodes_[static_cast<std::size_t>(rank)];
+}
+
+int Placement::ranks_on(cluster::NodeId node) const {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i] == node) return counts_[i];
+  }
+  return 0;
+}
+
+}  // namespace nlarm::mpisim

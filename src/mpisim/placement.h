@@ -1,0 +1,42 @@
+// Placement: which cluster node each MPI rank runs on.
+#pragma once
+
+#include <vector>
+
+#include "cluster/node.h"
+#include "core/allocator.h"
+
+namespace nlarm::mpisim {
+
+class Placement {
+ public:
+  /// rank_nodes[r] = node of rank r.
+  explicit Placement(std::vector<cluster::NodeId> rank_nodes);
+
+  /// Block placement from an allocation: node i hosts its procs_per_node[i]
+  /// consecutive ranks (MPI machinefile semantics).
+  static Placement from_allocation(const core::Allocation& allocation);
+
+  /// Round-robin (cyclic) placement: ranks are dealt one at a time across
+  /// the allocation's nodes (mpirun --map-by node). Spreads consecutive
+  /// ranks — and therefore halo neighbors — across nodes, which usually
+  /// hurts nearest-neighbor apps; exposed so that effect can be measured.
+  static Placement round_robin_from_allocation(
+      const core::Allocation& allocation);
+
+  int nranks() const { return static_cast<int>(rank_nodes_.size()); }
+  cluster::NodeId node_of(int rank) const;
+
+  /// Distinct nodes used, in first-appearance order.
+  const std::vector<cluster::NodeId>& nodes() const { return nodes_; }
+
+  /// Number of ranks placed on a node (0 if unused).
+  int ranks_on(cluster::NodeId node) const;
+
+ private:
+  std::vector<cluster::NodeId> rank_nodes_;
+  std::vector<cluster::NodeId> nodes_;
+  std::vector<int> counts_;  // parallel to nodes_
+};
+
+}  // namespace nlarm::mpisim

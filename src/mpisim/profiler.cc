@@ -1,0 +1,85 @@
+#include "mpisim/profiler.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace nlarm::mpisim {
+
+JobProfiler::JobProfiler(const cluster::Cluster& cluster,
+                         const net::NetworkModel& network,
+                         RuntimeOptions options)
+    : runtime_(cluster, network, options) {}
+
+double mean_message_bytes(const AppProfile& app) {
+  double bytes = 0.0;
+  double messages = 0.0;
+  for (const Phase& phase : app.phases) {
+    if (const auto* halo = std::get_if<HaloPhase>(&phase)) {
+      // Up to 6 face messages per rank per iteration.
+      const double count = 6.0 * app.nranks;
+      bytes += halo->bytes_per_face * count;
+      messages += count;
+    } else if (const auto* ar = std::get_if<AllreducePhase>(&phase)) {
+      const double rounds =
+          app.nranks > 1 ? std::ceil(std::log2(app.nranks)) : 0.0;
+      const double count = rounds * app.nranks;
+      bytes += ar->bytes * count;
+      messages += count;
+    } else if (const auto* bcast = std::get_if<BroadcastPhase>(&phase)) {
+      const double count = std::max(0, app.nranks - 1);
+      bytes += bcast->bytes * count;
+      messages += count;
+    } else if (const auto* reduce = std::get_if<ReducePhase>(&phase)) {
+      const double count = std::max(0, app.nranks - 1);
+      bytes += reduce->bytes * count;
+      messages += count;
+    } else if (const auto* a2a = std::get_if<AlltoallPhase>(&phase)) {
+      const double count =
+          static_cast<double>(app.nranks) * std::max(0, app.nranks - 1);
+      bytes += a2a->bytes_per_pair * count;
+      messages += count;
+    }
+  }
+  return messages > 0.0 ? bytes / messages : 0.0;
+}
+
+JobProfileReport JobProfiler::profile(const AppProfile& app,
+                                      const Placement& placement) const {
+  app.validate();
+  const ExecutionResult run = runtime_.estimate(app, placement);
+
+  JobProfileReport report;
+  report.total_s = run.total_s;
+  report.compute_s = run.compute_s;
+  report.comm_s = run.comm_s;
+  report.comm_fraction = run.comm_fraction();
+  report.mean_message_bytes = mean_message_bytes(app);
+
+  // α/β directly from the time split (clamped so neither is ever zero —
+  // the allocator should never be fully blind to one dimension).
+  const double beta = std::clamp(report.comm_fraction, 0.05, 0.95);
+  report.job_weights = core::JobWeights{1.0 - beta, beta};
+
+  // Eq. 1 weight profile by dominant resource.
+  if (report.comm_fraction > 0.6) {
+    report.compute_weights = core::ComputeLoadWeights::network_intensive();
+  } else if (report.comm_fraction < 0.3) {
+    report.compute_weights = core::ComputeLoadWeights::compute_intensive();
+  } else {
+    report.compute_weights = core::ComputeLoadWeights::paper_defaults();
+  }
+
+  // Eq. 2 split by message-size mix (§3.2.2's guidance).
+  if (report.mean_message_bytes > 0.0 &&
+      report.mean_message_bytes < kSmallMessageBytes) {
+    report.network_weights = core::NetworkLoadWeights::latency_sensitive();
+  } else if (report.mean_message_bytes >= kSmallMessageBytes) {
+    report.network_weights = core::NetworkLoadWeights::bandwidth_sensitive();
+  } else {
+    report.network_weights = core::NetworkLoadWeights::paper_defaults();
+  }
+  return report;
+}
+
+}  // namespace nlarm::mpisim

@@ -1,0 +1,52 @@
+// Job profiling for weight selection.
+//
+// §5 of the paper: "One may set these weights by profiling an application
+// and decide the relative weights on the basis of the computation and
+// communication times"; §6 lists enhancing profiling tools as future work.
+// The profiler prices one run of the app on a reference placement, splits
+// compute vs communication time, inspects the message-size mix, and derives
+// all three weight sets of the allocator.
+#pragma once
+
+#include "core/weights.h"
+#include "mpisim/runtime.h"
+
+namespace nlarm::mpisim {
+
+struct JobProfileReport {
+  double total_s = 0.0;
+  double compute_s = 0.0;
+  double comm_s = 0.0;
+  double comm_fraction = 0.0;
+  /// Mean bytes per point-to-point message across the app's comm phases.
+  double mean_message_bytes = 0.0;
+
+  core::JobWeights job_weights;               ///< α = 1 − comm fraction
+  core::ComputeLoadWeights compute_weights;   ///< profile-matched Eq. 1 set
+  core::NetworkLoadWeights network_weights;   ///< latency vs bandwidth mix
+};
+
+class JobProfiler {
+ public:
+  /// Messages below this are considered latency-bound (§3.2.2: "extensive
+  /// communications, but the communication volume is low").
+  static constexpr double kSmallMessageBytes = 16.0 * 1024.0;
+
+  JobProfiler(const cluster::Cluster& cluster,
+              const net::NetworkModel& network,
+              RuntimeOptions options = {});
+
+  /// Profiles the app on the given placement under frozen current
+  /// conditions and derives weights.
+  JobProfileReport profile(const AppProfile& app,
+                           const Placement& placement) const;
+
+ private:
+  MpiRuntime runtime_;
+};
+
+/// Mean P2P message size implied by an app profile (halo faces and
+/// allreduce payloads, weighted by message count per iteration).
+double mean_message_bytes(const AppProfile& app);
+
+}  // namespace nlarm::mpisim

@@ -1,0 +1,91 @@
+#include "mpisim/runtime.h"
+
+#include <algorithm>
+
+#include "mpisim/footprint.h"
+#include "util/check.h"
+
+namespace nlarm::mpisim {
+
+MpiRuntime::MpiRuntime(const cluster::Cluster& cluster,
+                       const net::NetworkModel& network,
+                       RuntimeOptions options)
+    : cost_model_(cluster, network, options.cost), options_(options) {
+  NLARM_CHECK(options.chunks >= 1) << "need at least one chunk";
+}
+
+ExecutionResult MpiRuntime::estimate(const AppProfile& app,
+                                     const Placement& placement) const {
+  const IterationCost per_iter = cost_model_.iteration_cost(app, placement);
+  ExecutionResult result;
+  result.iterations = app.iterations;
+  result.compute_s = per_iter.compute_s * app.iterations;
+  result.comm_s = per_iter.comm_s * app.iterations;
+  result.total_s = result.compute_s + result.comm_s;
+  return result;
+}
+
+ExecutionResult MpiRuntime::run(sim::Simulation& sim, const AppProfile& app,
+                                const Placement& placement) const {
+  app.validate();
+  ExecutionResult result;
+  result.iterations = app.iterations;
+
+  const int chunks = std::min(options_.chunks, app.iterations);
+  int done = 0;
+  for (int c = 0; c < chunks; ++c) {
+    const int remaining_chunks = chunks - c;
+    const int iters =
+        (app.iterations - done + remaining_chunks - 1) / remaining_chunks;
+    const IterationCost per_iter =
+        cost_model_.iteration_cost(app, placement);
+    const double chunk_time = per_iter.total() * iters;
+    result.compute_s += per_iter.compute_s * iters;
+    result.comm_s += per_iter.comm_s * iters;
+    done += iters;
+    // Let the background world move on while the job runs.
+    sim.run_until(sim.now() + chunk_time);
+  }
+  NLARM_CHECK(done == app.iterations) << "chunking lost iterations";
+  result.total_s = result.compute_s + result.comm_s;
+  return result;
+}
+
+ExecutionResult MpiRuntime::run_with_footprint(sim::Simulation& sim,
+                                               const AppProfile& app,
+                                               const Placement& placement,
+                                               cluster::Cluster& cluster,
+                                               net::FlowSet& flows) const {
+  app.validate();
+  ExecutionResult result;
+  result.iterations = app.iterations;
+
+  // Seed the footprint's flow rates from a frozen estimate; refreshed each
+  // chunk once the live per-iteration time is known.
+  const IterationCost seed = cost_model_.iteration_cost(app, placement);
+  JobFootprint footprint(cluster, flows, app, placement,
+                         std::max(seed.total(), 1e-9));
+
+  const int chunks = std::min(options_.chunks, app.iterations);
+  int done = 0;
+  for (int c = 0; c < chunks; ++c) {
+    const int remaining_chunks = chunks - c;
+    const int iters =
+        (app.iterations - done + remaining_chunks - 1) / remaining_chunks;
+    // Price with the footprint lifted: the cost model adds this job's ranks
+    // itself, and the job's own flows must not appear as competition.
+    footprint.suspend();
+    const IterationCost per_iter = cost_model_.iteration_cost(app, placement);
+    footprint.resume();
+    const double chunk_time = per_iter.total() * iters;
+    result.compute_s += per_iter.compute_s * iters;
+    result.comm_s += per_iter.comm_s * iters;
+    done += iters;
+    sim.run_until(sim.now() + chunk_time);
+  }
+  NLARM_CHECK(done == app.iterations) << "chunking lost iterations";
+  result.total_s = result.compute_s + result.comm_s;
+  return result;
+}
+
+}  // namespace nlarm::mpisim

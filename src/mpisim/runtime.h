@@ -1,0 +1,72 @@
+// MpiRuntime: executes an AppProfile on a Placement.
+//
+// Two modes:
+//  * estimate()  — price the whole run under frozen current conditions;
+//  * run()       — co-simulate: execute the job in chunks, advancing the
+//    discrete-event simulation between chunks so background load and
+//    traffic evolve *during* the run. This produces the run-to-run variance
+//    the paper quantifies with coefficients of variation (§5.1–5.2).
+#pragma once
+
+#include "cluster/cluster.h"
+#include "mpisim/cost_model.h"
+#include "net/network_model.h"
+#include "sim/simulation.h"
+
+namespace nlarm::mpisim {
+
+struct ExecutionResult {
+  double total_s = 0.0;
+  double compute_s = 0.0;
+  double comm_s = 0.0;
+  int iterations = 0;
+
+  double comm_fraction() const {
+    return total_s > 0.0 ? comm_s / total_s : 0.0;
+  }
+};
+
+struct RuntimeOptions {
+  CostModelOptions cost;
+  /// run() re-prices conditions after each chunk of iterations; more chunks
+  /// = finer sensitivity to background churn, more work.
+  int chunks = 25;
+};
+
+class MpiRuntime {
+ public:
+  MpiRuntime(const cluster::Cluster& cluster, const net::NetworkModel& network,
+             RuntimeOptions options = {});
+
+  /// Whole-run estimate under frozen conditions.
+  ExecutionResult estimate(const AppProfile& app,
+                           const Placement& placement) const;
+
+  /// Co-simulated run: advances `sim` by the job's execution time, sampling
+  /// fresh conditions between chunks. The scenario attached to `sim` keeps
+  /// mutating the cluster during the run.
+  ExecutionResult run(sim::Simulation& sim, const AppProfile& app,
+                      const Placement& placement) const;
+
+  /// Like run(), but the job also leaves a footprint while executing: its
+  /// ranks appear in the nodes' job_load and its inter-node traffic joins
+  /// the flow set — so the monitor and any concurrently-brokered jobs see
+  /// this one (the paper's Figure-5 load readings include running MPI
+  /// ranks). The footprint is lifted while pricing the job's own phases
+  /// (the cost model already accounts for its ranks) and removed at the
+  /// end. `cluster` and `flows` must be the ones this runtime was built
+  /// over.
+  ExecutionResult run_with_footprint(sim::Simulation& sim,
+                                     const AppProfile& app,
+                                     const Placement& placement,
+                                     cluster::Cluster& cluster,
+                                     net::FlowSet& flows) const;
+
+  const CostModel& cost_model() const { return cost_model_; }
+
+ private:
+  CostModel cost_model_;
+  RuntimeOptions options_;
+};
+
+}  // namespace nlarm::mpisim

@@ -1,0 +1,39 @@
+#include "net/flows.h"
+
+#include "util/check.h"
+
+namespace nlarm::net {
+
+FlowId FlowSet::add(cluster::NodeId src, cluster::NodeId dst,
+                    double rate_mbps) {
+  NLARM_CHECK(src != dst) << "flow endpoints must differ";
+  NLARM_CHECK(rate_mbps >= 0.0) << "negative flow rate " << rate_mbps;
+  const FlowId id = next_id_++;
+  flows_.emplace(id, Flow{id, src, dst, rate_mbps});
+  ++revision_;
+  return id;
+}
+
+bool FlowSet::remove(FlowId id) {
+  const bool erased = flows_.erase(id) > 0;
+  if (erased) ++revision_;
+  return erased;
+}
+
+void FlowSet::set_rate(FlowId id, double rate_mbps) {
+  NLARM_CHECK(rate_mbps >= 0.0) << "negative flow rate";
+  auto it = flows_.find(id);
+  NLARM_CHECK(it != flows_.end()) << "unknown flow id " << id;
+  it->second.rate_mbps = rate_mbps;
+  ++revision_;
+}
+
+double FlowSet::node_rate_mbps(cluster::NodeId node) const {
+  double total = 0.0;
+  for (const auto& [id, flow] : flows_) {
+    if (flow.src == node || flow.dst == node) total += flow.rate_mbps;
+  }
+  return total;
+}
+
+}  // namespace nlarm::net

@@ -1,0 +1,56 @@
+// Background network flows.
+//
+// The paper attributes P2P bandwidth fluctuation to "shared network switches
+// and links with various network-intensive jobs running on these and other
+// nodes" (§1). We model that traffic as a set of point-to-point flows, each
+// with an offered rate; the network model folds them into per-link load.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "cluster/node.h"
+
+namespace nlarm::net {
+
+using FlowId = std::int64_t;
+
+struct Flow {
+  FlowId id = -1;
+  cluster::NodeId src = cluster::kInvalidNode;
+  cluster::NodeId dst = cluster::kInvalidNode;
+  double rate_mbps = 0.0;  ///< offered rate
+};
+
+/// Mutable registry of active background flows.
+class FlowSet {
+ public:
+  /// Adds a flow and returns its id.
+  FlowId add(cluster::NodeId src, cluster::NodeId dst, double rate_mbps);
+
+  /// Removes a flow; returns false if the id is unknown (already expired).
+  bool remove(FlowId id);
+
+  /// Changes the offered rate of an existing flow.
+  void set_rate(FlowId id, double rate_mbps);
+
+  std::size_t size() const { return flows_.size(); }
+
+  /// Iteration in id order (deterministic).
+  const std::map<FlowId, Flow>& flows() const { return flows_; }
+
+  /// Sum of offered rates of flows with `node` as an endpoint.
+  double node_rate_mbps(cluster::NodeId node) const;
+
+  /// Monotonically-increasing revision counter; bumped by every mutation.
+  /// The network model uses it to invalidate its per-link load cache.
+  std::uint64_t revision() const { return revision_; }
+
+ private:
+  std::map<FlowId, Flow> flows_;
+  FlowId next_id_ = 0;
+  std::uint64_t revision_ = 0;
+};
+
+}  // namespace nlarm::net

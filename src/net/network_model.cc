@@ -1,0 +1,131 @@
+#include "net/network_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace nlarm::net {
+
+NetworkModel::NetworkModel(const cluster::Cluster& cluster,
+                           const FlowSet& flows, NetworkModelOptions options)
+    : cluster_(cluster),
+      flows_(flows),
+      options_(options),
+      uplink_background_(static_cast<std::size_t>(cluster.size()), 0.0) {
+  NLARM_CHECK(options_.fair_share_floor > 0.0 &&
+              options_.fair_share_floor < 1.0)
+      << "fair share floor must be in (0,1)";
+}
+
+void NetworkModel::set_uplink_background_mbps(cluster::NodeId node,
+                                              double mbps) {
+  NLARM_CHECK(node >= 0 && node < cluster_.size()) << "bad node " << node;
+  NLARM_CHECK(mbps >= 0.0) << "negative background rate";
+  uplink_background_[node] = mbps;
+  ++background_revision_;
+}
+
+double NetworkModel::uplink_background_mbps(cluster::NodeId node) const {
+  NLARM_CHECK(node >= 0 && node < cluster_.size()) << "bad node " << node;
+  return uplink_background_[node];
+}
+
+void NetworkModel::refresh_cache() const {
+  if (cached_flow_revision_ == flows_.revision() &&
+      cached_background_revision_ == background_revision_) {
+    return;
+  }
+  const auto& topo = cluster_.topology();
+  link_offered_cache_.assign(static_cast<std::size_t>(topo.link_count()), 0.0);
+  // Uplink chatter.
+  for (cluster::NodeId n = 0; n < cluster_.size(); ++n) {
+    link_offered_cache_[static_cast<std::size_t>(n)] = uplink_background_[n];
+  }
+  // Pairwise flows load every link on their path.
+  for (const auto& [id, flow] : flows_.flows()) {
+    for (cluster::LinkId link : topo.path_links(flow.src, flow.dst)) {
+      link_offered_cache_[static_cast<std::size_t>(link)] += flow.rate_mbps;
+    }
+  }
+  cached_flow_revision_ = flows_.revision();
+  cached_background_revision_ = background_revision_;
+}
+
+double NetworkModel::link_offered_mbps(cluster::LinkId link) const {
+  refresh_cache();
+  NLARM_CHECK(link >= 0 &&
+              link < static_cast<cluster::LinkId>(link_offered_cache_.size()))
+      << "bad link id " << link;
+  return link_offered_cache_[static_cast<std::size_t>(link)];
+}
+
+double NetworkModel::link_utilization(cluster::LinkId link) const {
+  const double capacity = cluster_.topology().link(link).capacity_mbps;
+  return link_offered_mbps(link) / capacity;
+}
+
+double NetworkModel::peak_bandwidth_mbps(cluster::NodeId u,
+                                         cluster::NodeId v) const {
+  NLARM_CHECK(u != v) << "peak bandwidth of a node with itself";
+  const auto& topo = cluster_.topology();
+  double peak = std::numeric_limits<double>::infinity();
+  for (cluster::LinkId link : topo.path_links(u, v)) {
+    peak = std::min(peak, topo.link(link).capacity_mbps);
+  }
+  return peak;
+}
+
+double NetworkModel::available_bandwidth_mbps(cluster::NodeId u,
+                                              cluster::NodeId v) const {
+  NLARM_CHECK(u != v) << "bandwidth of a node with itself";
+  refresh_cache();
+  const auto& topo = cluster_.topology();
+  double available = std::numeric_limits<double>::infinity();
+  for (cluster::LinkId link : topo.path_links(u, v)) {
+    const double capacity = topo.link(link).capacity_mbps;
+    const double residual =
+        capacity - link_offered_cache_[static_cast<std::size_t>(link)];
+    // A new stream competes with existing traffic; even on a saturated link
+    // TCP fairness yields it at least a floor share.
+    const double share = std::max(residual, capacity * options_.fair_share_floor);
+    available = std::min(available, share);
+  }
+  return available;
+}
+
+double NetworkModel::latency_us(cluster::NodeId u, cluster::NodeId v) const {
+  NLARM_CHECK(u != v) << "latency of a node with itself";
+  refresh_cache();
+  const auto& topo = cluster_.topology();
+  double latency = options_.endpoint_latency_us;
+  latency += options_.per_switch_latency_us * topo.hops(u, v);
+  for (cluster::LinkId link : topo.path_links(u, v)) {
+    const double rho = std::min(link_utilization(link), 0.99);
+    latency += options_.max_queue_us * std::pow(rho, options_.queue_exponent);
+  }
+  return latency;
+}
+
+double NetworkModel::measure_bandwidth_mbps(cluster::NodeId u,
+                                            cluster::NodeId v,
+                                            sim::Rng& rng) const {
+  const double truth = available_bandwidth_mbps(u, v);
+  const double noisy =
+      truth * rng.lognormal(0.0, options_.bandwidth_probe_sigma);
+  const double peak = peak_bandwidth_mbps(u, v);
+  return std::clamp(noisy, peak * options_.fair_share_floor * 0.5, peak);
+}
+
+double NetworkModel::measure_latency_us(cluster::NodeId u, cluster::NodeId v,
+                                        sim::Rng& rng) const {
+  const double truth = latency_us(u, v);
+  return truth * rng.lognormal(0.0, options_.latency_probe_sigma);
+}
+
+double NetworkModel::node_flow_mbps(cluster::NodeId node) const {
+  NLARM_CHECK(node >= 0 && node < cluster_.size()) << "bad node " << node;
+  return uplink_background_[node] + flows_.node_rate_mbps(node);
+}
+
+}  // namespace nlarm::net

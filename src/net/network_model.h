@@ -1,0 +1,103 @@
+// Network performance model.
+//
+// Maps topology + background flows + per-node chatter onto the quantities
+// the paper's BandwidthD/LatencyD daemons measure and the MPI cost model
+// consumes:
+//
+//  * available P2P bandwidth  — min residual capacity over the path links,
+//    with a fair-share floor (a new TCP stream always extracts some share
+//    of a saturated link);
+//  * P2P latency — endpoint software cost + per-switch forwarding cost +
+//    convex queueing delay that grows with link utilization.
+//
+// Both have *measurement* variants that add probe noise; the daemons use
+// those, the simulator's ground truth uses the exact ones.
+#pragma once
+
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "net/flows.h"
+#include "sim/rng.h"
+
+namespace nlarm::net {
+
+struct NetworkModelOptions {
+  /// Fraction of link capacity a new stream can always claim on a saturated
+  /// link (TCP fair-share floor).
+  double fair_share_floor = 0.05;
+  /// One-way endpoint (NIC + software stack) latency, microseconds.
+  double endpoint_latency_us = 35.0;
+  /// Forwarding latency per switch on the path, microseconds. Sized so the
+  /// 1–4 hop spread matches the paper's observed 80–550 µs latency range.
+  double per_switch_latency_us = 40.0;
+  /// Maximum queueing delay contributed by one fully-loaded link, µs.
+  double max_queue_us = 500.0;
+  /// Queueing delay grows as utilization^queue_exponent.
+  double queue_exponent = 3.0;
+  /// Multiplicative lognormal noise (sigma) applied by probes.
+  double bandwidth_probe_sigma = 0.03;
+  double latency_probe_sigma = 0.10;
+};
+
+class NetworkModel {
+ public:
+  /// The model references (does not own) the cluster and flow set; both must
+  /// outlive it.
+  NetworkModel(const cluster::Cluster& cluster, const FlowSet& flows,
+               NetworkModelOptions options = {});
+
+  /// Extra offered load on a node's uplink not captured by pairwise flows
+  /// (local chatter: video streams, package downloads, NFS, ...). Set by
+  /// the workload generator.
+  void set_uplink_background_mbps(cluster::NodeId node, double mbps);
+  double uplink_background_mbps(cluster::NodeId node) const;
+
+  /// Offered load on a link from flows + chatter, Mbit/s.
+  double link_offered_mbps(cluster::LinkId link) const;
+
+  /// Utilization in [0, 1+): offered / capacity (may exceed 1 when
+  /// oversubscribed).
+  double link_utilization(cluster::LinkId link) const;
+
+  /// Path capacity with an idle network (min capacity over links), Mbit/s.
+  double peak_bandwidth_mbps(cluster::NodeId u, cluster::NodeId v) const;
+
+  /// Ground-truth available bandwidth for a new stream u→v, Mbit/s.
+  double available_bandwidth_mbps(cluster::NodeId u, cluster::NodeId v) const;
+
+  /// Ground-truth one-way latency u→v, microseconds.
+  double latency_us(cluster::NodeId u, cluster::NodeId v) const;
+
+  /// What an iperf-like probe would report (adds probe noise).
+  double measure_bandwidth_mbps(cluster::NodeId u, cluster::NodeId v,
+                                sim::Rng& rng) const;
+
+  /// What a ping-pong probe would report (adds probe noise).
+  double measure_latency_us(cluster::NodeId u, cluster::NodeId v,
+                            sim::Rng& rng) const;
+
+  /// Ground-truth node data flow rate (rx+tx through the uplink), Mbit/s —
+  /// what psutil's network counters would derive.
+  double node_flow_mbps(cluster::NodeId node) const;
+
+  const NetworkModelOptions& options() const { return options_; }
+  const cluster::Cluster& cluster() const { return cluster_; }
+
+ private:
+  void refresh_cache() const;
+
+  const cluster::Cluster& cluster_;
+  const FlowSet& flows_;
+  NetworkModelOptions options_;
+  std::vector<double> uplink_background_;
+
+  // Per-link offered load cache, keyed by (flow revision, background
+  // revision).
+  mutable std::vector<double> link_offered_cache_;
+  mutable std::uint64_t cached_flow_revision_ = ~0ULL;
+  mutable std::uint64_t background_revision_ = 0;
+  mutable std::uint64_t cached_background_revision_ = ~0ULL;
+};
+
+}  // namespace nlarm::net

@@ -1,0 +1,57 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace nlarm::sim {
+
+void EventHandle::cancel() {
+  if (state_ && !state_->fired) state_->cancelled = true;
+}
+
+bool EventHandle::pending() const {
+  return state_ && !state_->fired && !state_->cancelled;
+}
+
+EventHandle EventQueue::schedule(double when, EventFn fn) {
+  NLARM_CHECK(when >= last_dispatched_)
+      << "cannot schedule at " << when << ", already dispatched up to "
+      << last_dispatched_;
+  NLARM_CHECK(static_cast<bool>(fn)) << "cannot schedule an empty callback";
+  auto state = std::make_shared<EventHandle::State>();
+  heap_.push(Entry{when, next_sequence_++, std::move(fn), state});
+  return EventHandle(std::move(state));
+}
+
+void EventQueue::reap_cancelled() const {
+  while (!heap_.empty() && heap_.top().state->cancelled) {
+    heap_.pop();
+  }
+}
+
+bool EventQueue::empty() const {
+  reap_cancelled();
+  return heap_.empty();
+}
+
+double EventQueue::next_time() const {
+  reap_cancelled();
+  NLARM_CHECK(!heap_.empty()) << "next_time() on empty queue";
+  return heap_.top().time;
+}
+
+double EventQueue::dispatch_next() {
+  reap_cancelled();
+  NLARM_CHECK(!heap_.empty()) << "dispatch_next() on empty queue";
+  // priority_queue::top() is const&; move out via const_cast is UB-adjacent,
+  // so copy the function handle (cheap relative to event work).
+  Entry entry = heap_.top();
+  heap_.pop();
+  last_dispatched_ = entry.time;
+  entry.state->fired = true;
+  entry.fn();
+  return entry.time;
+}
+
+}  // namespace nlarm::sim

@@ -1,0 +1,88 @@
+// Discrete-event queue: a min-heap of (time, sequence, callback).
+//
+// Ties are broken by insertion order so runs are deterministic. Events can
+// be cancelled through handles (used by CentralMonitor when it kills and
+// relaunches daemons); cancelled entries are reaped lazily when they reach
+// the top of the heap.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+namespace nlarm::sim {
+
+using EventFn = std::function<void()>;
+
+/// Handle to a scheduled event; lets the owner cancel it before it fires.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Cancels the event if it has not fired yet. Safe to call repeatedly or
+  /// on a default-constructed handle.
+  void cancel();
+
+  /// True if the event is still pending (scheduled, not fired, not
+  /// cancelled).
+  bool pending() const;
+
+ private:
+  friend class EventQueue;
+  struct State {
+    bool cancelled = false;
+    bool fired = false;
+  };
+  explicit EventHandle(std::shared_ptr<State> state)
+      : state_(std::move(state)) {}
+  std::shared_ptr<State> state_;
+};
+
+class EventQueue {
+ public:
+  /// Schedules `fn` at absolute time `when`. `when` must not precede the
+  /// time of the last dispatched event (no scheduling into the past).
+  EventHandle schedule(double when, EventFn fn);
+
+  /// True if no pending (non-cancelled) events remain.
+  bool empty() const;
+
+  /// Number of queued entries. Upper bound: includes cancelled entries that
+  /// have not yet been reaped.
+  std::size_t size() const { return heap_.size(); }
+
+  /// Time of the earliest pending event; queue must not be empty.
+  double next_time() const;
+
+  /// Pops and runs the earliest pending event. Returns its time.
+  /// Queue must not be empty.
+  double dispatch_next();
+
+  /// Time of the most recently dispatched event (0 before any dispatch).
+  double last_dispatched() const { return last_dispatched_; }
+
+ private:
+  struct Entry {
+    double time;
+    std::uint64_t sequence;
+    EventFn fn;
+    std::shared_ptr<EventHandle::State> state;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  /// Pops cancelled entries off the top of the heap.
+  void reap_cancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_sequence_ = 0;
+  double last_dispatched_ = 0.0;
+};
+
+}  // namespace nlarm::sim

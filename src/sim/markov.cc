@@ -1,0 +1,43 @@
+#include "sim/markov.h"
+
+#include "util/check.h"
+
+namespace nlarm::sim {
+
+OnOffModulator::OnOffModulator(double mean_off_seconds, double mean_on_seconds,
+                               bool start_on, Rng& rng)
+    : mean_off_(mean_off_seconds), mean_on_(mean_on_seconds), on_(start_on) {
+  NLARM_CHECK(mean_off_seconds > 0.0 && mean_on_seconds > 0.0)
+      << "holding times must be positive";
+  time_to_switch_ = draw_holding(rng);
+}
+
+double OnOffModulator::draw_holding(Rng& rng) const {
+  return rng.exponential(1.0 / (on_ ? mean_on_ : mean_off_));
+}
+
+bool OnOffModulator::step(double dt, Rng& rng) {
+  NLARM_CHECK(dt >= 0.0) << "negative time step";
+  double remaining = dt;
+  double on_time = 0.0;
+  while (remaining > 0.0) {
+    if (time_to_switch_ > remaining) {
+      if (on_) on_time += remaining;
+      time_to_switch_ -= remaining;
+      remaining = 0.0;
+    } else {
+      if (on_) on_time += time_to_switch_;
+      remaining -= time_to_switch_;
+      on_ = !on_;
+      time_to_switch_ = draw_holding(rng);
+    }
+  }
+  last_on_fraction_ = (dt > 0.0) ? on_time / dt : (on_ ? 1.0 : 0.0);
+  return on_;
+}
+
+double OnOffModulator::duty_cycle() const {
+  return mean_on_ / (mean_on_ + mean_off_);
+}
+
+}  // namespace nlarm::sim

@@ -1,0 +1,42 @@
+// Two-state (on/off) continuous-time Markov modulator.
+//
+// Used for bursty behaviour: CPU-load spike episodes (lab sessions,
+// assignment deadlines) and on/off network chatter. Exponential holding
+// times in each state.
+#pragma once
+
+#include "sim/rng.h"
+
+namespace nlarm::sim {
+
+class OnOffModulator {
+ public:
+  /// `mean_off_seconds` / `mean_on_seconds`: expected holding times.
+  /// `start_on`: initial state.
+  OnOffModulator(double mean_off_seconds, double mean_on_seconds,
+                 bool start_on, Rng& rng);
+
+  /// Advances by dt seconds, possibly crossing several state changes.
+  /// Returns the state at the end of the interval.
+  bool step(double dt, Rng& rng);
+
+  bool on() const { return on_; }
+
+  /// Fraction of the *last step* spent in the on state (useful when the
+  /// sampled quantity should integrate over the step).
+  double last_on_fraction() const { return last_on_fraction_; }
+
+  /// Stationary probability of being on.
+  double duty_cycle() const;
+
+ private:
+  double draw_holding(Rng& rng) const;
+
+  double mean_off_;
+  double mean_on_;
+  bool on_;
+  double time_to_switch_;
+  double last_on_fraction_ = 0.0;
+};
+
+}  // namespace nlarm::sim

@@ -1,0 +1,36 @@
+#include "sim/ou_process.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace nlarm::sim {
+
+OuProcess::OuProcess(double mean, double reversion_rate, double volatility,
+                     double initial)
+    : mean_(mean),
+      reversion_rate_(reversion_rate),
+      volatility_(volatility),
+      value_(initial) {
+  NLARM_CHECK(reversion_rate > 0.0) << "reversion rate must be positive";
+  NLARM_CHECK(volatility >= 0.0) << "volatility must be non-negative";
+}
+
+double OuProcess::step(double dt, Rng& rng) {
+  NLARM_CHECK(dt >= 0.0) << "negative time step " << dt;
+  if (dt == 0.0) return value_;
+  // Exact transition: X(t+dt) = mu + (X(t)-mu)·e^{-θ dt} + σ_dt·N(0,1)
+  // with σ_dt² = σ²/(2θ)·(1 − e^{−2θ dt}).
+  const double decay = std::exp(-reversion_rate_ * dt);
+  const double noise_stdev =
+      volatility_ *
+      std::sqrt((1.0 - decay * decay) / (2.0 * reversion_rate_));
+  value_ = mean_ + (value_ - mean_) * decay + noise_stdev * rng.normal();
+  return value_;
+}
+
+double OuProcess::stationary_stdev() const {
+  return volatility_ / std::sqrt(2.0 * reversion_rate_);
+}
+
+}  // namespace nlarm::sim

@@ -1,0 +1,43 @@
+// Ornstein–Uhlenbeck process sampled at irregular intervals.
+//
+// The workload generators model slowly-varying signals (CPU utilization,
+// memory usage, baseline network chatter) as OU processes: mean-reverting
+// noise around a configurable level, matching the "fluctuates around a base
+// value" behaviour the paper observes in Figures 1 and 2(b).
+#pragma once
+
+#include "sim/rng.h"
+
+namespace nlarm::sim {
+
+class OuProcess {
+ public:
+  /// `mean`: reversion level; `reversion_rate` (1/s): speed of pull toward
+  /// the mean; `volatility`: diffusion coefficient; `initial`: starting
+  /// value.
+  OuProcess(double mean, double reversion_rate, double volatility,
+            double initial);
+
+  /// Advances the process by `dt` seconds using the exact discretization
+  /// (valid for any step size) and returns the new value.
+  double step(double dt, Rng& rng);
+
+  double value() const { return value_; }
+  double mean() const { return mean_; }
+
+  /// Moves the reversion level (e.g. when a load burst begins/ends).
+  void set_mean(double mean) { mean_ = mean; }
+
+  void set_value(double value) { value_ = value; }
+
+  /// Stationary standard deviation: volatility / sqrt(2·reversion_rate).
+  double stationary_stdev() const;
+
+ private:
+  double mean_;
+  double reversion_rate_;
+  double volatility_;
+  double value_;
+};
+
+}  // namespace nlarm::sim

@@ -1,0 +1,135 @@
+#include "sim/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/check.h"
+
+namespace nlarm::sim {
+
+std::uint64_t SplitMix64::next() {
+  std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  SplitMix64 expander(seed);
+  for (auto& word : state_) word = expander.next();
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 top bits → double in [0,1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  NLARM_CHECK(lo <= hi) << "uniform bounds reversed: " << lo << " > " << hi;
+  return lo + (hi - lo) * uniform();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  NLARM_CHECK(lo <= hi) << "uniform_int bounds reversed";
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>(next_u64());
+  }
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+  std::uint64_t value;
+  do {
+    value = next_u64();
+  } while (value >= limit);
+  return lo + static_cast<std::int64_t>(value % span);
+}
+
+double Rng::normal() {
+  // Box–Muller with u1 bounded away from 0.
+  double u1;
+  do {
+    u1 = uniform();
+  } while (u1 <= 1e-300);
+  const double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::normal(double mean, double stdev) {
+  NLARM_CHECK(stdev >= 0.0) << "negative stdev " << stdev;
+  return mean + stdev * normal();
+}
+
+double Rng::exponential(double rate) {
+  NLARM_CHECK(rate > 0.0) << "exponential rate must be positive, got " << rate;
+  double u;
+  do {
+    u = uniform();
+  } while (u <= 1e-300);
+  return -std::log(u) / rate;
+}
+
+std::uint64_t Rng::poisson(double mean) {
+  NLARM_CHECK(mean >= 0.0) << "poisson mean must be non-negative";
+  if (mean == 0.0) return 0;
+  if (mean < 64.0) {
+    const double limit = std::exp(-mean);
+    std::uint64_t count = 0;
+    double product = uniform();
+    while (product > limit) {
+      ++count;
+      product *= uniform();
+    }
+    return count;
+  }
+  const double sample = normal(mean, std::sqrt(mean));
+  return sample <= 0.0 ? 0 : static_cast<std::uint64_t>(sample + 0.5);
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::exp(normal(mu, sigma));
+}
+
+bool Rng::chance(double probability) {
+  NLARM_CHECK(probability >= 0.0 && probability <= 1.0)
+      << "probability " << probability << " out of [0,1]";
+  return uniform() < probability;
+}
+
+Rng Rng::fork(const std::string& label) { return fork(hash_label(label)); }
+
+Rng Rng::fork(std::uint64_t label) {
+  // Mix our own next output with the label so distinct labels and distinct
+  // parent states both decorrelate the child.
+  SplitMix64 mixer(next_u64() ^ (label * 0x9e3779b97f4a7c15ULL));
+  return Rng(mixer.next());
+}
+
+std::uint64_t hash_label(const std::string& label) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (unsigned char c : label) {
+    hash ^= c;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+}  // namespace nlarm::sim

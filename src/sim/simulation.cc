@@ -1,0 +1,82 @@
+#include "sim/simulation.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace nlarm::sim {
+
+void PeriodicHandle::cancel() {
+  if (!state_) return;
+  state_->cancelled = true;
+  state_->next_event.cancel();
+}
+
+bool PeriodicHandle::active() const { return state_ && !state_->cancelled; }
+
+Simulation::Simulation(std::uint64_t seed)
+    : seed_(seed), rng_(seed), fork_root_(seed ^ 0xa5a5a5a5a5a5a5a5ULL) {}
+
+Rng Simulation::fork_rng(const std::string& label) const {
+  // Fork from a copy so repeated forks with the same label yield the same
+  // stream regardless of how many forks happened before.
+  Rng root = fork_root_;
+  return root.fork(hash_label(label) ^ seed_);
+}
+
+EventHandle Simulation::schedule_in(double delay, EventFn fn) {
+  NLARM_CHECK(delay >= 0.0) << "negative delay " << delay;
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventHandle Simulation::schedule_at(double when, EventFn fn) {
+  NLARM_CHECK(when >= now_) << "cannot schedule in the past: " << when
+                            << " < " << now_;
+  return queue_.schedule(when, std::move(fn));
+}
+
+PeriodicHandle Simulation::schedule_every(double period, double initial_delay,
+                                          std::function<void()> fn) {
+  NLARM_CHECK(period > 0.0) << "period must be positive, got " << period;
+  NLARM_CHECK(initial_delay >= 0.0) << "negative initial delay";
+  auto state = std::make_shared<PeriodicHandle::State>();
+  auto self = state;
+  state->next_event = schedule_in(initial_delay, [this, self, period, fn]() {
+    fire_periodic(self, period, fn);
+  });
+  return PeriodicHandle(std::move(state));
+}
+
+void Simulation::fire_periodic(std::shared_ptr<PeriodicHandle::State> state,
+                               double period, std::function<void()> fn) {
+  if (state->cancelled) return;
+  fn();
+  if (state->cancelled) return;  // fn may have cancelled the task
+  auto self = state;
+  state->next_event = schedule_in(period, [this, self, period, fn]() {
+    fire_periodic(self, period, fn);
+  });
+}
+
+void Simulation::run_until(double until) {
+  NLARM_CHECK(until >= now_) << "run_until target " << until
+                             << " is in the past (now " << now_ << ")";
+  while (!queue_.empty() && queue_.next_time() <= until) {
+    // Advance the clock *before* running the event so callbacks observe the
+    // correct now() and can schedule relative to it.
+    now_ = queue_.next_time();
+    queue_.dispatch_next();
+    ++dispatched_;
+  }
+  now_ = until;
+}
+
+bool Simulation::step() {
+  if (queue_.empty()) return false;
+  now_ = queue_.next_time();
+  queue_.dispatch_next();
+  ++dispatched_;
+  return true;
+}
+
+}  // namespace nlarm::sim

@@ -1,0 +1,97 @@
+#include "util/args.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace nlarm::util {
+
+ArgParser::ArgParser(std::string program_description,
+                     std::map<std::string, std::string> spec)
+    : description_(std::move(program_description)), spec_(std::move(spec)) {}
+
+bool ArgParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(help().c_str(), stdout);
+      return false;
+    }
+    if (!starts_with(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    std::string key;
+    std::string value;
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      key = body.substr(0, eq);
+      value = body.substr(eq + 1);
+    } else {
+      key = body;
+      // --key value form: consume the next token if it is not a flag.
+      if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+        value = argv[++i];
+      } else {
+        value = "true";  // boolean flag
+      }
+    }
+    NLARM_CHECK(spec_.count(key) > 0) << "unknown flag --" << key;
+    values_[key] = value;
+  }
+  return true;
+}
+
+bool ArgParser::has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::string ArgParser::get_string(const std::string& name,
+                                  const std::string& default_value) const {
+  NLARM_CHECK(spec_.count(name) > 0) << "flag --" << name << " not in spec";
+  const auto it = values_.find(name);
+  return it == values_.end() ? default_value : it->second;
+}
+
+double ArgParser::get_double(const std::string& name,
+                             double default_value) const {
+  const auto it = values_.find(name);
+  NLARM_CHECK(spec_.count(name) > 0) << "flag --" << name << " not in spec";
+  return it == values_.end() ? default_value : parse_double(it->second);
+}
+
+long ArgParser::get_long(const std::string& name, long default_value) const {
+  const auto it = values_.find(name);
+  NLARM_CHECK(spec_.count(name) > 0) << "flag --" << name << " not in spec";
+  return it == values_.end() ? default_value : parse_long(it->second);
+}
+
+bool ArgParser::get_bool(const std::string& name, bool default_value) const {
+  const auto it = values_.find(name);
+  NLARM_CHECK(spec_.count(name) > 0) << "flag --" << name << " not in spec";
+  if (it == values_.end()) return default_value;
+  const std::string lower = to_lower(it->second);
+  if (lower == "true" || lower == "1" || lower == "yes" || lower == "on") {
+    return true;
+  }
+  if (lower == "false" || lower == "0" || lower == "no" || lower == "off") {
+    return false;
+  }
+  NLARM_CHECK(false) << "flag --" << name << " is not a boolean: '"
+                     << it->second << "'";
+}
+
+std::string ArgParser::help() const {
+  std::ostringstream out;
+  out << description_ << "\n\nFlags:\n";
+  for (const auto& [name, doc] : spec_) {
+    out << "  --" << name << "\n      " << doc << "\n";
+  }
+  out << "  --help\n      Show this message.\n";
+  return out.str();
+}
+
+}  // namespace nlarm::util

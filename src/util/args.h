@@ -1,0 +1,44 @@
+// Tiny command-line flag parser for the examples and bench harnesses.
+//
+// Accepts --key=value and --key value forms plus boolean --flag. Unknown
+// flags are an error so typos in experiment sweeps fail fast.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace nlarm::util {
+
+class ArgParser {
+ public:
+  /// `spec` lists the accepted flag names (without leading dashes) and their
+  /// help strings; used for validation and --help output.
+  ArgParser(std::string program_description,
+            std::map<std::string, std::string> spec);
+
+  /// Parses argv. Throws CheckError on unknown or malformed flags.
+  /// Returns false if --help was requested (help text printed to stdout).
+  bool parse(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get_string(const std::string& name,
+                         const std::string& default_value) const;
+  double get_double(const std::string& name, double default_value) const;
+  long get_long(const std::string& name, long default_value) const;
+  bool get_bool(const std::string& name, bool default_value = false) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  std::string help() const;
+
+ private:
+  std::string description_;
+  std::map<std::string, std::string> spec_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace nlarm::util

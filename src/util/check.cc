@@ -1,0 +1,17 @@
+#include "util/check.h"
+
+#include <sstream>
+
+namespace nlarm::util::detail {
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& message) {
+  std::ostringstream out;
+  out << "NLARM_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!message.empty()) {
+    out << " — " << message;
+  }
+  throw CheckError(out.str());
+}
+
+}  // namespace nlarm::util::detail

@@ -1,0 +1,73 @@
+// Checked assertions for nlarm.
+//
+// NLARM_CHECK is always on (also in release builds): configuration and
+// invariant violations in a resource manager must fail loudly, not corrupt
+// an allocation. Failures throw nlarm::util::CheckError so tests can assert
+// on them and long-running simulations can report context before exiting.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace nlarm::util {
+
+/// Thrown when an NLARM_CHECK fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& message);
+
+/// Builds the optional streamed message of a check without forcing the
+/// caller to construct a stringstream when the check passes.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* expr, const char* file, int line)
+      : expr_(expr), file_(file), line_(line) {}
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  [[noreturn]] void raise() const {
+    check_failed(expr_, file_, line_, stream_.str());
+  }
+
+ private:
+  const char* expr_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace nlarm::util
+
+/// Always-on invariant check. Usage:
+///   NLARM_CHECK(count > 0) << "need at least one node, got " << count;
+#define NLARM_CHECK(expr)                                                  \
+  if (expr) {                                                              \
+  } else                                                                   \
+    ::nlarm::util::CheckHelper{} &                                         \
+        ::nlarm::util::detail::CheckMessageBuilder(#expr, __FILE__, __LINE__)
+
+namespace nlarm::util {
+
+/// Terminal operand that fires the failure once the message is built.
+struct CheckHelper {
+  [[noreturn]] void operator&(detail::CheckMessageBuilder& builder) {
+    builder.raise();
+  }
+  [[noreturn]] void operator&(detail::CheckMessageBuilder&& builder) {
+    builder.raise();
+  }
+};
+
+}  // namespace nlarm::util

@@ -1,0 +1,146 @@
+#include "util/csv.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace nlarm::util {
+
+CsvWriter::CsvWriter(std::ostream& out) : out_(out) {}
+
+void CsvWriter::write_header(const std::vector<std::string>& columns) {
+  NLARM_CHECK(!header_written_ && rows_ == 0)
+      << "header must be the first row, written once";
+  NLARM_CHECK(!columns.empty()) << "header needs at least one column";
+  header_written_ = true;
+  columns_ = columns.size();
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << csv_escape(columns[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  if (header_written_) {
+    NLARM_CHECK(fields.size() == columns_)
+        << "row has " << fields.size() << " fields, header has " << columns_;
+  }
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << csv_escape(fields[i]);
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+void CsvWriter::write_row(const std::vector<double>& fields) {
+  std::vector<std::string> formatted;
+  formatted.reserve(fields.size());
+  for (double v : fields) formatted.push_back(csv_format(v));
+  write_row(formatted);
+}
+
+CsvFileWriter::CsvFileWriter(const std::string& path)
+    : path_(path), file_(path), writer_(file_) {
+  NLARM_CHECK(file_.is_open()) << "cannot open CSV file for writing: " << path;
+}
+
+std::size_t CsvDocument::column(const std::string& name) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  NLARM_CHECK(false) << "CSV column '" << name << "' not found";
+}
+
+namespace {
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c != '\r') {
+      current.push_back(c);
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+}  // namespace
+
+CsvDocument read_csv(std::istream& in) {
+  CsvDocument doc;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto fields = split_csv_line(line);
+    if (first) {
+      doc.header = std::move(fields);
+      first = false;
+    } else {
+      doc.rows.push_back(std::move(fields));
+    }
+  }
+  return doc;
+}
+
+CsvDocument read_csv_file(const std::string& path) {
+  std::ifstream in(path);
+  NLARM_CHECK(in.is_open()) << "cannot open CSV file for reading: " << path;
+  return read_csv(in);
+}
+
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += '"';
+  return out;
+}
+
+std::string csv_format(double value) {
+  if (value == std::floor(value) && std::abs(value) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+    return buf;
+  }
+  // Shortest representation that still round-trips: try increasing
+  // precision until strtod gives the value back.
+  char buf[64];
+  for (int precision = 10; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) break;
+  }
+  return buf;
+}
+
+}  // namespace nlarm::util

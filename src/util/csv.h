@@ -1,0 +1,71 @@
+// CSV writing/reading used by the trace recorder (workload module) and the
+// figure/table harnesses. Deliberately small: numeric-first, quotes fields
+// containing separators, no embedded-newline support (traces never need it).
+#pragma once
+
+#include <fstream>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace nlarm::util {
+
+/// Streams rows of a CSV document to any std::ostream.
+class CsvWriter {
+ public:
+  /// Writes to an external stream; the caller keeps ownership.
+  explicit CsvWriter(std::ostream& out);
+
+  /// Writes the header row. Must be the first row written, at most once.
+  void write_header(const std::vector<std::string>& columns);
+
+  /// Writes one row of string fields. Column count must match the header
+  /// if one was written.
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Convenience: formats doubles with enough precision to round-trip.
+  void write_row(const std::vector<double>& fields);
+
+  std::size_t rows_written() const { return rows_; }
+
+ private:
+  std::ostream& out_;
+  std::size_t columns_ = 0;
+  std::size_t rows_ = 0;
+  bool header_written_ = false;
+};
+
+/// Owns an output file and a CsvWriter over it.
+class CsvFileWriter {
+ public:
+  explicit CsvFileWriter(const std::string& path);
+
+  CsvWriter& writer() { return writer_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::ofstream file_;
+  CsvWriter writer_;
+};
+
+/// Fully-parsed CSV document.
+struct CsvDocument {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of a named column; throws CheckError if absent.
+  std::size_t column(const std::string& name) const;
+};
+
+/// Parses a CSV document (first row is the header).
+CsvDocument read_csv(std::istream& in);
+CsvDocument read_csv_file(const std::string& path);
+
+/// Escapes a single CSV field (quotes if it contains comma/quote).
+std::string csv_escape(const std::string& field);
+
+/// Formats a double compactly but losslessly for CSV output.
+std::string csv_format(double value);
+
+}  // namespace nlarm::util

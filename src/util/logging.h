@@ -1,0 +1,69 @@
+// Minimal leveled logger.
+//
+// The simulator is single-threaded by design (discrete-event), so the logger
+// keeps no locks. Output goes to stderr; the level is a process-wide setting
+// so tests and benches can silence the library.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace nlarm::util {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Returns the current process-wide log threshold.
+LogLevel log_level();
+
+/// Sets the process-wide log threshold. Messages below it are dropped.
+void set_log_level(LogLevel level);
+
+/// Parses "debug" / "info" / "warn" / "error" / "off" (case-insensitive).
+/// Throws CheckError on unknown names.
+LogLevel parse_log_level(const std::string& name);
+
+namespace detail {
+
+void emit_log(LogLevel level, const char* file, int line,
+              const std::string& message);
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage() { emit_log(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace nlarm::util
+
+#define NLARM_LOG(level)                                               \
+  if (::nlarm::util::LogLevel::level < ::nlarm::util::log_level()) {   \
+  } else                                                               \
+    ::nlarm::util::detail::LogMessage(::nlarm::util::LogLevel::level,  \
+                                      __FILE__, __LINE__)
+
+#define NLARM_DEBUG NLARM_LOG(kDebug)
+#define NLARM_INFO NLARM_LOG(kInfo)
+#define NLARM_WARN NLARM_LOG(kWarn)
+#define NLARM_ERROR NLARM_LOG(kError)

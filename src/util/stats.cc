@@ -1,0 +1,134 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace nlarm::util {
+
+double mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double stdev(std::span<const double> values) {
+  if (values.size() < 2) return 0.0;
+  const double m = mean(values);
+  double sq = 0.0;
+  for (double v : values) sq += (v - m) * (v - m);
+  return std::sqrt(sq / static_cast<double>(values.size() - 1));
+}
+
+double coefficient_of_variation(std::span<const double> values) {
+  const double m = mean(values);
+  if (m == 0.0) return 0.0;
+  return stdev(values) / m;
+}
+
+double median(std::span<const double> values) {
+  return percentile(values, 50.0);
+}
+
+double percentile(std::span<const double> values, double p) {
+  if (values.empty()) return 0.0;
+  NLARM_CHECK(p >= 0.0 && p <= 100.0) << "percentile " << p << " out of range";
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double min_value(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  return *std::min_element(values.begin(), values.end());
+}
+
+double max_value(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  return *std::max_element(values.begin(), values.end());
+}
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  s.count = values.size();
+  s.mean = mean(values);
+  s.median = median(values);
+  s.stdev = stdev(values);
+  s.cov = coefficient_of_variation(values);
+  s.min = min_value(values);
+  s.max = max_value(values);
+  return s;
+}
+
+void StreamingStats::add(double value) {
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double StreamingStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double StreamingStats::stdev() const { return std::sqrt(variance()); }
+
+WindowedMean::WindowedMean(double window_seconds) : window_(window_seconds) {
+  NLARM_CHECK(window_seconds > 0.0)
+      << "window must be positive, got " << window_seconds;
+}
+
+void WindowedMean::add(double time_seconds, double value) {
+  if (!samples_.empty()) {
+    NLARM_CHECK(time_seconds >= samples_.back().time)
+        << "timestamps must be non-decreasing: " << time_seconds << " after "
+        << samples_.back().time;
+  }
+  samples_.push_back({time_seconds, value});
+  evict(time_seconds);
+}
+
+void WindowedMean::evict(double now) {
+  // Keep one sample at or before the window start so the piecewise-constant
+  // signal is defined over the whole window.
+  const double start = now - window_;
+  while (samples_.size() >= 2 && samples_[1].time <= start) {
+    samples_.pop_front();
+  }
+}
+
+double WindowedMean::value() const {
+  if (samples_.empty()) return 0.0;
+  if (samples_.size() == 1) return samples_.front().value;
+  const double now = samples_.back().time;
+  const double start = now - window_;
+  double integral = 0.0;
+  double covered = 0.0;
+  for (std::size_t i = 0; i + 1 < samples_.size(); ++i) {
+    const double seg_start = std::max(samples_[i].time, start);
+    const double seg_end = samples_[i + 1].time;
+    if (seg_end <= seg_start) continue;
+    integral += samples_[i].value * (seg_end - seg_start);
+    covered += seg_end - seg_start;
+  }
+  if (covered <= 0.0) return samples_.back().value;
+  return integral / covered;
+}
+
+LoadAverages::LoadAverages() : one_(60.0), five_(300.0), fifteen_(900.0) {}
+
+void LoadAverages::add(double time_seconds, double value) {
+  one_.add(time_seconds, value);
+  five_.add(time_seconds, value);
+  fifteen_.add(time_seconds, value);
+}
+
+}  // namespace nlarm::util

@@ -1,0 +1,113 @@
+// Statistics helpers used throughout nlarm: descriptive statistics over
+// samples (mean, median, coefficient of variation — the paper reports CoV of
+// execution times in §5.1/§5.2), streaming accumulation (Welford), and
+// time-weighted sliding windows (the 1/5/15-minute running means of
+// NodeStateD, §4).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <span>
+#include <vector>
+
+namespace nlarm::util {
+
+/// Arithmetic mean. Empty input → 0.
+double mean(std::span<const double> values);
+
+/// Sample standard deviation (n−1 denominator). Fewer than 2 samples → 0.
+double stdev(std::span<const double> values);
+
+/// Coefficient of variation: stdev / mean. Mean of 0 → 0.
+double coefficient_of_variation(std::span<const double> values);
+
+/// Median (average of the two central elements for even sizes).
+/// Empty input → 0.
+double median(std::span<const double> values);
+
+/// Linear-interpolated percentile, p in [0, 100]. Empty input → 0.
+double percentile(std::span<const double> values, double p);
+
+double min_value(std::span<const double> values);
+double max_value(std::span<const double> values);
+
+/// Full summary of a sample set, computed in one pass over a sorted copy.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double median = 0.0;
+  double stdev = 0.0;
+  double cov = 0.0;  ///< coefficient of variation
+  double min = 0.0;
+  double max = 0.0;
+};
+
+Summary summarize(std::span<const double> values);
+
+/// Numerically-stable streaming mean/variance (Welford's algorithm).
+class StreamingStats {
+ public:
+  void add(double value);
+  std::size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Sample variance (n−1). Fewer than 2 samples → 0.
+  double variance() const;
+  double stdev() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Time-weighted sliding-window mean over an irregularly-sampled signal.
+///
+/// Models the running means NodeStateD keeps for the last 1, 5 and 15
+/// minutes: each sample (t, v) holds until the next sample arrives; the
+/// window mean integrates the piecewise-constant signal over the last
+/// `window_seconds` and divides by the covered span.
+class WindowedMean {
+ public:
+  explicit WindowedMean(double window_seconds);
+
+  /// Adds a sample. Timestamps must be non-decreasing.
+  void add(double time_seconds, double value);
+
+  /// Mean of the signal over [now − window, now] where `now` is the last
+  /// sample's timestamp. No samples → 0. A single sample → its value.
+  double value() const;
+
+  /// Window width in seconds.
+  double window() const { return window_; }
+
+  std::size_t sample_count() const { return samples_.size(); }
+
+ private:
+  struct Sample {
+    double time;
+    double value;
+  };
+  void evict(double now);
+
+  double window_;
+  std::deque<Sample> samples_;
+};
+
+/// The triple of 1/5/15-minute running means the paper's monitor maintains.
+class LoadAverages {
+ public:
+  LoadAverages();
+
+  void add(double time_seconds, double value);
+
+  double one_minute() const { return one_.value(); }
+  double five_minutes() const { return five_.value(); }
+  double fifteen_minutes() const { return fifteen_.value(); }
+
+ private:
+  WindowedMean one_;
+  WindowedMean five_;
+  WindowedMean fifteen_;
+};
+
+}  // namespace nlarm::util

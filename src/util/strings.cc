@@ -1,0 +1,95 @@
+#include "util/strings.h"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace nlarm::util {
+
+std::vector<std::string> split(const std::string& text, char delimiter) {
+  std::vector<std::string> parts;
+  std::string current;
+  for (char c : text) {
+    if (c == delimiter) {
+      parts.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  parts.push_back(std::move(current));
+  return parts;
+}
+
+std::string trim(const std::string& text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+std::string to_lower(const std::string& text) {
+  std::string out = text;
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  NLARM_CHECK(needed >= 0) << "vsnprintf failed for format '" << fmt << "'";
+  std::string out(static_cast<std::size_t>(needed), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  va_end(args);
+  return out;
+}
+
+bool starts_with(const std::string& text, const std::string& prefix) {
+  return text.size() >= prefix.size() &&
+         text.compare(0, prefix.size(), prefix) == 0;
+}
+
+double parse_double(const std::string& text) {
+  const std::string trimmed = trim(text);
+  NLARM_CHECK(!trimmed.empty()) << "cannot parse empty string as double";
+  char* end = nullptr;
+  const double value = std::strtod(trimmed.c_str(), &end);
+  NLARM_CHECK(end == trimmed.c_str() + trimmed.size())
+      << "malformed double: '" << text << "'";
+  return value;
+}
+
+long parse_long(const std::string& text) {
+  const std::string trimmed = trim(text);
+  NLARM_CHECK(!trimmed.empty()) << "cannot parse empty string as integer";
+  char* end = nullptr;
+  const long value = std::strtol(trimmed.c_str(), &end, 10);
+  NLARM_CHECK(end == trimmed.c_str() + trimmed.size())
+      << "malformed integer: '" << text << "'";
+  return value;
+}
+
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& separator) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += separator;
+    out += parts[i];
+  }
+  return out;
+}
+
+}  // namespace nlarm::util

@@ -1,0 +1,34 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace nlarm::util {
+
+/// Splits on a delimiter; keeps empty fields.
+std::vector<std::string> split(const std::string& text, char delimiter);
+
+/// Trims ASCII whitespace from both ends.
+std::string trim(const std::string& text);
+
+/// Lowercases ASCII.
+std::string to_lower(const std::string& text);
+
+/// printf-style formatting into std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// True if `text` starts with `prefix`.
+bool starts_with(const std::string& text, const std::string& prefix);
+
+/// Parses a double; throws CheckError on malformed input.
+double parse_double(const std::string& text);
+
+/// Parses an integer; throws CheckError on malformed input.
+long parse_long(const std::string& text);
+
+/// Joins strings with a separator.
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& separator);
+
+}  // namespace nlarm::util

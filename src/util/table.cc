@@ -1,0 +1,132 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace nlarm::util {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  NLARM_CHECK(!header_.empty()) << "table needs at least one column";
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  NLARM_CHECK(row.size() == header_.size())
+      << "row has " << row.size() << " fields, table has " << header_.size()
+      << " columns";
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::add_row(const std::string& label,
+                        const std::vector<double>& values, int precision) {
+  NLARM_CHECK(values.size() + 1 == header_.size())
+      << "label+values size mismatch";
+  std::vector<std::string> row;
+  row.reserve(values.size() + 1);
+  row.push_back(label);
+  for (double v : values) {
+    row.push_back(format("%.*f", precision, v));
+  }
+  add_row(std::move(row));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out << "  ";
+      out << row[c];
+      for (std::size_t pad = row[c].size(); pad < widths[c]; ++pad) out << ' ';
+    }
+    out << '\n';
+  };
+  emit_row(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c > 0 ? 2 : 0);
+  }
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+void TextTable::print(std::ostream& out) const { out << render(); }
+
+char shade_char(double unit_value) {
+  static const char ramp[] = " .:-=+*#%@";
+  const int levels = static_cast<int>(sizeof(ramp) - 2);
+  double v = unit_value;
+  if (std::isnan(v)) v = 0.0;
+  v = std::clamp(v, 0.0, 1.0);
+  return ramp[static_cast<int>(std::lround(v * levels))];
+}
+
+std::string render_heatmap(const std::vector<std::vector<double>>& matrix,
+                           const HeatmapOptions& options) {
+  if (matrix.empty()) return "(empty heatmap)\n";
+  const std::size_t n = matrix.size();
+  for (const auto& row : matrix) {
+    NLARM_CHECK(row.size() == n) << "heatmap matrix must be square";
+  }
+  if (!options.labels.empty()) {
+    NLARM_CHECK(options.labels.size() == n)
+        << "heatmap labels must match matrix size";
+  }
+
+  double lo = options.scale_min;
+  double hi = options.scale_max;
+  if (lo >= hi) {
+    lo = matrix[0][0];
+    hi = matrix[0][0];
+    for (const auto& row : matrix) {
+      for (double v : row) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+    }
+  }
+  const double span = (hi > lo) ? (hi - lo) : 1.0;
+
+  std::size_t label_width = 0;
+  for (const auto& label : options.labels) {
+    label_width = std::max(label_width, label.size());
+  }
+
+  std::ostringstream out;
+  for (std::size_t r = 0; r < n; ++r) {
+    if (!options.labels.empty()) {
+      out << options.labels[r];
+      for (std::size_t pad = options.labels[r].size(); pad < label_width + 1;
+           ++pad) {
+        out << ' ';
+      }
+    }
+    for (std::size_t c = 0; c < n; ++c) {
+      double unit = (matrix[r][c] - lo) / span;
+      if (options.invert) unit = 1.0 - unit;
+      const char ch = shade_char(unit);
+      out << ch << ch;  // double width so cells look square-ish
+    }
+    out << '\n';
+  }
+  out << format("scale: [%.3g .. %.3g]%s, ramp ' .:-=+*#%%@'%s\n", lo, hi,
+                options.invert ? " (inverted)" : "",
+                options.invert ? " dark=high" : " dark=low");
+  return out.str();
+}
+
+}  // namespace nlarm::util

@@ -1,0 +1,55 @@
+// ASCII table and heatmap rendering for the figure/table harnesses.
+//
+// Figure 2(a) and Figure 7 of the paper are bandwidth heatmaps; the bench
+// binaries render them as shaded ASCII grids so the reproduction is fully
+// inspectable in a terminal / text log.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace nlarm::util {
+
+/// Column-aligned ASCII table with a header row.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience for numeric rows: first column is a label.
+  void add_row(const std::string& label, const std::vector<double>& values,
+               int precision = 2);
+
+  /// Renders with column padding and a separator under the header.
+  std::string render() const;
+
+  void print(std::ostream& out) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders a matrix as an ASCII heatmap. Values are mapped linearly onto a
+/// shade ramp; `invert` flips the ramp (useful when *low* values should be
+/// dark, as with "complement of available bandwidth").
+struct HeatmapOptions {
+  bool invert = false;
+  /// Optional fixed scale; if min >= max the scale is taken from the data.
+  double scale_min = 0.0;
+  double scale_max = 0.0;
+  /// Labels along both axes (must match matrix dimensions if nonempty).
+  std::vector<std::string> labels;
+};
+
+std::string render_heatmap(const std::vector<std::vector<double>>& matrix,
+                           const HeatmapOptions& options = {});
+
+/// One shaded cell character for a value in [0,1].
+char shade_char(double unit_value);
+
+}  // namespace nlarm::util

@@ -1,0 +1,93 @@
+#include "workload/net_flow_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace nlarm::workload {
+
+BackgroundTraffic::BackgroundTraffic(const cluster::Cluster& cluster,
+                                     net::FlowSet& flows,
+                                     net::NetworkModel& network,
+                                     TrafficParams params, sim::Rng rng)
+    : cluster_(cluster),
+      flows_(flows),
+      network_(network),
+      params_(params),
+      rng_(rng) {
+  NLARM_CHECK(params_.elephant_interarrival_s > 0.0)
+      << "elephant inter-arrival must be positive";
+  NLARM_CHECK(params_.server_node >= 0 && params_.server_node < cluster.size())
+      << "server node out of range";
+  chatter_.reserve(static_cast<std::size_t>(cluster.size()));
+  for (cluster::NodeId n = 0; n < cluster.size(); ++n) {
+    sim::Rng node_rng = rng_.fork(static_cast<std::uint64_t>(n));
+    const double rate =
+        node_rng.lognormal(std::log(params_.chatter_rate_median_mbps),
+                           params_.chatter_rate_sigma);
+    chatter_.push_back(Chatter{
+        sim::OnOffModulator(params_.chatter_mean_off_s,
+                            params_.chatter_mean_on_s,
+                            /*start_on=*/node_rng.chance(0.2), node_rng),
+        rate});
+  }
+}
+
+void BackgroundTraffic::spawn_elephant(double now) {
+  cluster::NodeId src;
+  cluster::NodeId dst;
+  if (rng_.chance(params_.server_affinity)) {
+    src = params_.server_node;
+    do {
+      dst = static_cast<cluster::NodeId>(
+          rng_.uniform_int(0, cluster_.size() - 1));
+    } while (dst == src);
+  } else {
+    src = static_cast<cluster::NodeId>(
+        rng_.uniform_int(0, cluster_.size() - 1));
+    do {
+      dst = static_cast<cluster::NodeId>(
+          rng_.uniform_int(0, cluster_.size() - 1));
+    } while (dst == src);
+  }
+  const double rate = rng_.lognormal(
+      std::log(params_.elephant_rate_median_mbps), params_.elephant_rate_sigma);
+  const double duration =
+      rng_.exponential(1.0 / params_.elephant_mean_duration_s);
+  const net::FlowId id = flows_.add(src, dst, rate);
+  active_.push_back(ActiveFlow{id, now + duration});
+}
+
+void BackgroundTraffic::step(double now, double dt) {
+  NLARM_CHECK(dt > 0.0) << "step needs positive dt";
+
+  // Chatter: integrate the on/off state over the step; the uplink sees the
+  // time-averaged rate.
+  for (cluster::NodeId n = 0; n < cluster_.size(); ++n) {
+    auto& chatter = chatter_[static_cast<std::size_t>(n)];
+    sim::Rng scratch = rng_.fork(0x10000u + static_cast<std::uint64_t>(n));
+    chatter.modulator.step(dt, scratch);
+    network_.set_uplink_background_mbps(
+        n, chatter.on_rate_mbps * chatter.modulator.last_on_fraction());
+  }
+
+  // Expire finished elephants.
+  for (auto it = active_.begin(); it != active_.end();) {
+    if (it->expires_at <= now) {
+      flows_.remove(it->id);
+      it = active_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // New arrivals this step.
+  const double arrivals_mean = dt / params_.elephant_interarrival_s;
+  const auto arrivals = rng_.poisson(arrivals_mean);
+  for (std::uint64_t i = 0; i < arrivals; ++i) {
+    spawn_elephant(now);
+  }
+}
+
+}  // namespace nlarm::workload

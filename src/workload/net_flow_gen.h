@@ -1,0 +1,81 @@
+// Background network traffic generator.
+//
+// Two layers, matching the paper's observations (§1, Fig. 1(b), Fig. 2(b)):
+//  * per-node chatter — on/off local traffic (video lectures, downloads,
+//    NFS) that loads only the node's uplink;
+//  * elephant flows — point-to-point transfers between random node pairs
+//    (network-intensive jobs) that load every link on their path and cause
+//    the P2P bandwidth fluctuations of Figure 2.
+#pragma once
+
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "net/flows.h"
+#include "net/network_model.h"
+#include "sim/markov.h"
+#include "sim/ou_process.h"
+#include "sim/rng.h"
+
+namespace nlarm::workload {
+
+struct TrafficParams {
+  /// Chatter: expected off/on episode lengths and on-rate distribution.
+  double chatter_mean_off_s = 600.0;
+  double chatter_mean_on_s = 180.0;
+  double chatter_rate_median_mbps = 30.0;
+  double chatter_rate_sigma = 1.0;
+
+  /// Elephant flows: Poisson arrivals (mean inter-arrival over the whole
+  /// cluster), exponential durations, lognormal rates. Defaults keep ~8
+  /// flows alive — enough that several links are visibly loaded at any
+  /// time, as in the paper's Figure 2(a) dark patches. Durations are long
+  /// (other users' experiments and bulk transfers run for many minutes),
+  /// which is what makes the 5-minute bandwidth probe cadence useful.
+  double elephant_interarrival_s = 75.0;
+  double elephant_mean_duration_s = 600.0;
+  double elephant_rate_median_mbps = 200.0;
+  double elephant_rate_sigma = 0.8;
+
+  /// Fraction of elephants with one endpoint on a designated "server" node
+  /// (creates persistent hotspots like a lab file server).
+  double server_affinity = 0.3;
+  cluster::NodeId server_node = 0;
+};
+
+class BackgroundTraffic {
+ public:
+  BackgroundTraffic(const cluster::Cluster& cluster, net::FlowSet& flows,
+                    net::NetworkModel& network, TrafficParams params,
+                    sim::Rng rng);
+
+  /// Advances chatter and elephant arrivals/expiries by dt seconds and
+  /// pushes the result into the flow set and the network model's uplink
+  /// backgrounds.
+  void step(double now, double dt);
+
+  std::size_t active_elephants() const { return active_.size(); }
+  const TrafficParams& params() const { return params_; }
+
+ private:
+  struct ActiveFlow {
+    net::FlowId id;
+    double expires_at;
+  };
+  struct Chatter {
+    sim::OnOffModulator modulator;
+    double on_rate_mbps;
+  };
+
+  void spawn_elephant(double now);
+
+  const cluster::Cluster& cluster_;
+  net::FlowSet& flows_;
+  net::NetworkModel& network_;
+  TrafficParams params_;
+  sim::Rng rng_;
+  std::vector<Chatter> chatter_;
+  std::vector<ActiveFlow> active_;
+};
+
+}  // namespace nlarm::workload

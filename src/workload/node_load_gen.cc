@@ -1,0 +1,84 @@
+#include "workload/node_load_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace nlarm::workload {
+
+NodeLoadGenerator::NodeLoadGenerator(const cluster::NodeSpec& spec,
+                                     const NodePersonality& personality,
+                                     sim::Rng rng)
+    : personality_(personality),
+      rng_(rng),
+      load_(personality.base_load_mean, /*reversion_rate=*/1.0 / 300.0,
+            personality.load_volatility / std::sqrt(150.0),
+            personality.base_load_mean),
+      spike_(personality.mean_spike_gap_s, personality.mean_spike_len_s,
+             /*start_on=*/false, rng_),
+      util_extra_(personality.util_base, 1.0 / 600.0,
+                  0.08 / std::sqrt(300.0), personality.util_base),
+      mem_frac_(personality.mem_frac_mean, 1.0 / 1800.0,
+                0.05 / std::sqrt(900.0), personality.mem_frac_mean),
+      users_(personality.user_mean) {
+  (void)spec;
+}
+
+void NodeLoadGenerator::step(double dt, cluster::Node& node) {
+  NLARM_CHECK(dt > 0.0) << "step needs positive dt";
+
+  // Spike episodes shift the OU reversion level while active.
+  spike_.step(dt, rng_);
+  const double spike_level =
+      spike_.last_on_fraction() * personality_.spike_magnitude;
+  load_.set_mean(personality_.base_load_mean + spike_level);
+  const double cpu_load = std::max(0.0, load_.step(dt, rng_));
+
+  // Utilization couples to the runnable queue (busy cores) plus an
+  // interactive component independent of batch load.
+  const double cores = static_cast<double>(node.spec.core_count);
+  const double batch_util = std::min(1.0, cpu_load / cores);
+  const double interactive = std::clamp(util_extra_.step(dt, rng_), 0.0, 1.0);
+  const double cpu_util = std::clamp(
+      batch_util + interactive * (1.0 - batch_util), 0.0, 1.0);
+
+  const double mem_frac = std::clamp(mem_frac_.step(dt, rng_), 0.02, 0.95);
+
+  // Users: birth–death process. Arrival rate chosen so the stationary mean
+  // is personality.user_mean with mean session length 45 min.
+  const double session_len = 45.0 * 60.0;
+  const double arrival_rate = personality_.user_mean / session_len;
+  users_ += static_cast<double>(rng_.poisson(arrival_rate * dt));
+  // Each active session ends within dt with prob 1-exp(-dt/len).
+  const double p_end = 1.0 - std::exp(-dt / session_len);
+  double departures = 0.0;
+  for (int i = 0; i < static_cast<int>(users_); ++i) {
+    if (rng_.chance(p_end)) departures += 1.0;
+  }
+  users_ = std::max(0.0, users_ - departures);
+
+  node.dyn.cpu_load = cpu_load;
+  node.dyn.cpu_util = cpu_util;
+  node.dyn.mem_used_gb = mem_frac * node.spec.total_mem_gb;
+  node.dyn.users = static_cast<int>(users_);
+  node.clamp_dynamics();
+}
+
+NodePersonality draw_personality(sim::Rng& rng, double flavor) {
+  NLARM_CHECK(flavor >= 0.0) << "negative scenario flavor";
+  NodePersonality p;
+  // Lognormal base load: most nodes nearly idle, a few chronically busy —
+  // the load heterogeneity the allocator exploits.
+  p.base_load_mean = flavor * rng.lognormal(std::log(0.3), 0.9);
+  p.load_volatility = rng.uniform(0.15, 0.45);
+  p.spike_magnitude = rng.uniform(2.0, 10.0);
+  p.mean_spike_gap_s = rng.uniform(1.5, 6.0) * 3600.0 / std::max(flavor, 0.05);
+  p.mean_spike_len_s = rng.uniform(10.0, 40.0) * 60.0;
+  p.util_base = rng.uniform(0.12, 0.32);
+  p.mem_frac_mean = rng.uniform(0.15, 0.40);
+  p.user_mean = rng.uniform(0.5, 3.0);
+  return p;
+}
+
+}  // namespace nlarm::workload

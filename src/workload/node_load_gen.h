@@ -1,0 +1,60 @@
+// Per-node background-load generator.
+//
+// Reproduces the statistical structure of Figure 1: CPU load that is mostly
+// low with occasional spikes (lab sessions, assignment deadlines), CPU
+// utilization averaging 20–35%, memory usage around 25% of 16 GB, and a
+// small changing population of logged-in users. Each node gets a
+// "personality" (its own baselines) so the cluster is heterogeneous in load,
+// not just in hardware.
+#pragma once
+
+#include "cluster/node.h"
+#include "sim/markov.h"
+#include "sim/ou_process.h"
+#include "sim/rng.h"
+
+namespace nlarm::workload {
+
+/// Per-node long-run baselines, drawn once per node by the scenario.
+struct NodePersonality {
+  double base_load_mean = 0.3;   ///< runnable-queue mean outside spikes
+  double load_volatility = 0.25; ///< OU diffusion for CPU load
+  double spike_magnitude = 4.0;  ///< extra load during a spike episode
+  double mean_spike_gap_s = 4.0 * 3600.0;   ///< expected time between spikes
+  double mean_spike_len_s = 30.0 * 60.0;    ///< expected spike duration
+  double util_base = 0.25;       ///< interactive CPU utilization baseline
+  double mem_frac_mean = 0.25;   ///< mean fraction of RAM in use
+  double user_mean = 1.5;        ///< mean logged-in sessions
+};
+
+class NodeLoadGenerator {
+ public:
+  NodeLoadGenerator(const cluster::NodeSpec& spec,
+                    const NodePersonality& personality, sim::Rng rng);
+
+  /// Advances the node's background activity by dt seconds and writes the
+  /// resulting dynamics (cpu_load, cpu_util, mem_used_gb, users) into
+  /// `node`. Does not touch net_flow_mbps (owned by the traffic generator)
+  /// or `alive`.
+  void step(double dt, cluster::Node& node);
+
+  const NodePersonality& personality() const { return personality_; }
+
+  /// True while a load-spike episode is active.
+  bool in_spike() const { return spike_.on(); }
+
+ private:
+  NodePersonality personality_;
+  sim::Rng rng_;
+  sim::OuProcess load_;
+  sim::OnOffModulator spike_;
+  sim::OuProcess util_extra_;
+  sim::OuProcess mem_frac_;
+  double users_;
+};
+
+/// Draws a heterogeneous personality for one node. `flavor` scales overall
+/// business: 1.0 = the shared-lab cluster of the paper.
+NodePersonality draw_personality(sim::Rng& rng, double flavor);
+
+}  // namespace nlarm::workload

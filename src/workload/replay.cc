@@ -1,0 +1,77 @@
+#include "workload/replay.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace nlarm::workload {
+
+TraceRecorder make_replay_recorder(const cluster::Cluster& cluster) {
+  TraceRecorder recorder;
+  for (cluster::NodeId n = 0; n < cluster.size(); ++n) {
+    const cluster::Node* node = &cluster.node(n);
+    recorder.add_channel(util::format("load_%d", n),
+                         [node] { return node->dyn.cpu_load; });
+    recorder.add_channel(util::format("util_%d", n),
+                         [node] { return node->dyn.cpu_util; });
+    recorder.add_channel(util::format("mem_%d", n),
+                         [node] { return node->dyn.mem_used_gb; });
+    recorder.add_channel(util::format("flow_%d", n),
+                         [node] { return node->dyn.net_flow_mbps; });
+  }
+  return recorder;
+}
+
+TraceReplay::TraceReplay(cluster::Cluster& cluster,
+                         net::NetworkModel& network,
+                         std::vector<TimeSeries> series)
+    : cluster_(cluster), network_(network), series_(std::move(series)) {
+  std::map<std::string, std::size_t> by_name;
+  for (std::size_t i = 0; i < series_.size(); ++i) {
+    NLARM_CHECK(!series_[i].times.empty())
+        << "empty trace channel '" << series_[i].name << "'";
+    by_name[series_[i].name] = i;
+    duration_ = std::max(duration_, series_[i].times.back());
+  }
+  auto resolve = [&](const std::string& name) {
+    const auto it = by_name.find(name);
+    NLARM_CHECK(it != by_name.end())
+        << "trace is missing channel '" << name
+        << "' (not recorded with make_replay_recorder for this cluster?)";
+    return it->second;
+  };
+  channels_.reserve(static_cast<std::size_t>(cluster.size()));
+  for (cluster::NodeId n = 0; n < cluster.size(); ++n) {
+    Channels ch;
+    ch.load = resolve(util::format("load_%d", n));
+    ch.util = resolve(util::format("util_%d", n));
+    ch.mem = resolve(util::format("mem_%d", n));
+    ch.flow = resolve(util::format("flow_%d", n));
+    channels_.push_back(ch);
+  }
+}
+
+void TraceReplay::apply(double now) {
+  for (cluster::NodeId n = 0; n < cluster_.size(); ++n) {
+    const Channels& ch = channels_[static_cast<std::size_t>(n)];
+    cluster::Node& node = cluster_.mutable_node(n);
+    node.dyn.cpu_load = series_[ch.load].value_at(now);
+    node.dyn.cpu_util = series_[ch.util].value_at(now);
+    node.dyn.mem_used_gb = series_[ch.mem].value_at(now);
+    const double flow = std::max(0.0, series_[ch.flow].value_at(now));
+    node.dyn.net_flow_mbps = flow;
+    node.clamp_dynamics();
+    network_.set_uplink_background_mbps(n, flow);
+  }
+}
+
+void TraceReplay::attach(sim::Simulation& sim, double tick_seconds) {
+  NLARM_CHECK(tick_seconds > 0.0) << "tick must be positive";
+  apply(sim.now());
+  tick_ = sim.schedule_every(tick_seconds, tick_seconds,
+                             [this, &sim] { apply(sim.now()); });
+}
+
+}  // namespace nlarm::workload

@@ -1,0 +1,58 @@
+// Trace replay: drive a cluster's node dynamics from a recorded trace
+// instead of the stochastic generators.
+//
+// Record a real (or simulated) cluster day once, then replay it under every
+// allocation policy — the deterministic analogue of the paper's "run all
+// four approaches in sequence for fair evaluation". Channels follow the
+// naming scheme make_replay_recorder() produces: load_<i>, util_<i>,
+// mem_<i>, flow_<i> per node i.
+#pragma once
+
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "net/network_model.h"
+#include "sim/simulation.h"
+#include "workload/trace.h"
+
+namespace nlarm::workload {
+
+/// Builds a recorder whose channels capture every node's dynamics in the
+/// replayable naming scheme. The cluster must outlive the recorder.
+TraceRecorder make_replay_recorder(const cluster::Cluster& cluster);
+
+class TraceReplay {
+ public:
+  /// The replay references (does not own) cluster and network. `series`
+  /// must contain load_<i>, util_<i>, mem_<i>, flow_<i> for every node.
+  TraceReplay(cluster::Cluster& cluster, net::NetworkModel& network,
+              std::vector<TimeSeries> series);
+
+  /// Applies the traced state at time `now` to the cluster (step
+  /// interpolation; clamped to physical ranges). The traced node flow also
+  /// drives the network model's uplink background so bandwidth queries stay
+  /// consistent with the replayed flows.
+  void apply(double now);
+
+  /// Registers a periodic apply() with the simulation.
+  void attach(sim::Simulation& sim, double tick_seconds = 2.0);
+
+  /// Duration covered by the trace (last sample time).
+  double duration() const { return duration_; }
+
+ private:
+  const TimeSeries& channel(const std::string& name) const;
+
+  cluster::Cluster& cluster_;
+  net::NetworkModel& network_;
+  std::vector<TimeSeries> series_;
+  // Per-node channel indices, resolved once.
+  struct Channels {
+    std::size_t load, util, mem, flow;
+  };
+  std::vector<Channels> channels_;
+  double duration_ = 0.0;
+  sim::PeriodicHandle tick_;
+};
+
+}  // namespace nlarm::workload

@@ -1,0 +1,148 @@
+#include "workload/scenario.h"
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace nlarm::workload {
+
+ScenarioKind parse_scenario_kind(const std::string& name) {
+  const std::string lower = util::to_lower(name);
+  if (lower == "quiet") return ScenarioKind::kQuiet;
+  if (lower == "shared_lab" || lower == "shared-lab" || lower == "lab") {
+    return ScenarioKind::kSharedLab;
+  }
+  if (lower == "hotspot") return ScenarioKind::kHotspot;
+  if (lower == "heavy") return ScenarioKind::kHeavy;
+  NLARM_CHECK(false) << "unknown scenario '" << name << "'";
+}
+
+std::string to_string(ScenarioKind kind) {
+  switch (kind) {
+    case ScenarioKind::kQuiet:
+      return "quiet";
+    case ScenarioKind::kSharedLab:
+      return "shared_lab";
+    case ScenarioKind::kHotspot:
+      return "hotspot";
+    case ScenarioKind::kHeavy:
+      return "heavy";
+  }
+  return "?";
+}
+
+ScenarioTuning tuning_for(ScenarioKind kind) {
+  ScenarioTuning t;
+  switch (kind) {
+    case ScenarioKind::kQuiet:
+      t.load_flavor = 0.15;
+      t.traffic.chatter_rate_median_mbps = 5.0;
+      t.traffic.elephant_interarrival_s = 600.0;
+      t.traffic.elephant_rate_median_mbps = 60.0;
+      break;
+    case ScenarioKind::kSharedLab:
+      // Defaults in NodePersonality/TrafficParams target Fig. 1 statistics.
+      break;
+    case ScenarioKind::kHotspot:
+      t.load_flavor = 1.6;
+      t.traffic.elephant_interarrival_s = 30.0;
+      t.traffic.elephant_rate_median_mbps = 300.0;
+      t.traffic.server_affinity = 0.45;
+      break;
+    case ScenarioKind::kHeavy:
+      t.load_flavor = 20.0;
+      t.traffic.chatter_mean_off_s = 180.0;
+      t.traffic.chatter_mean_on_s = 240.0;
+      t.traffic.chatter_rate_median_mbps = 120.0;
+      t.traffic.elephant_interarrival_s = 12.0;
+      t.traffic.elephant_rate_median_mbps = 400.0;
+      break;
+  }
+  return t;
+}
+
+Scenario::Scenario(cluster::Cluster& cluster, net::FlowSet& flows,
+                   net::NetworkModel& network, const ScenarioOptions& options)
+    : cluster_(cluster), flows_(flows), network_(network), options_(options) {
+  NLARM_CHECK(options.tick_seconds > 0.0) << "tick must be positive";
+  const ScenarioTuning tuning = tuning_for(options.kind);
+
+  sim::Rng root(options.seed);
+  sim::Rng personality_rng = root.fork("personalities");
+  node_gens_.reserve(static_cast<std::size_t>(cluster.size()));
+  for (cluster::NodeId n = 0; n < cluster.size(); ++n) {
+    const NodePersonality personality =
+        draw_personality(personality_rng, tuning.load_flavor);
+    node_gens_.emplace_back(cluster.node(n).spec, personality,
+                            root.fork(0x4000u + static_cast<std::uint64_t>(n)));
+  }
+  traffic_ = std::make_unique<BackgroundTraffic>(
+      cluster, flows, network, tuning.traffic, root.fork("traffic"));
+  failure_rng_ = root.fork("failures");
+  downtime_left_.assign(static_cast<std::size_t>(cluster.size()), 0.0);
+  NLARM_CHECK(options.mean_node_uptime_s >= 0.0 &&
+              options.mean_node_downtime_s > 0.0)
+      << "invalid node failure parameters";
+}
+
+void Scenario::update_failures(double dt) {
+  if (options_.mean_node_uptime_s <= 0.0) return;
+  const double fail_prob = dt / options_.mean_node_uptime_s;
+  for (cluster::NodeId n = 0; n < cluster_.size(); ++n) {
+    const auto idx = static_cast<std::size_t>(n);
+    cluster::Node& node = cluster_.mutable_node(n);
+    if (node.dyn.alive) {
+      if (failure_rng_.chance(std::min(1.0, fail_prob))) {
+        node.dyn.alive = false;
+        downtime_left_[idx] =
+            failure_rng_.exponential(1.0 / options_.mean_node_downtime_s);
+        ++failures_;
+      }
+    } else if (downtime_left_[idx] > 0.0) {
+      downtime_left_[idx] -= dt;
+      if (downtime_left_[idx] <= 0.0) {
+        node.dyn.alive = true;  // reboot: fresh, idle node
+        node.dyn.cpu_load = 0.0;
+        node.dyn.cpu_util = 0.0;
+        node.dyn.users = 0;
+      }
+    }
+  }
+}
+
+void Scenario::attach(sim::Simulation& sim) {
+  NLARM_CHECK(!attached_) << "scenario already attached";
+  attached_ = true;
+  const double dt = options_.tick_seconds;
+  tick_handle_ = sim.schedule_every(dt, dt, [this, &sim, dt]() {
+    tick(sim.now(), dt);
+  });
+}
+
+void Scenario::tick(double now, double dt) {
+  update_failures(dt);
+  for (cluster::NodeId n = 0; n < cluster_.size(); ++n) {
+    if (!cluster_.node(n).dyn.alive) continue;  // dead nodes do nothing
+    node_gens_[static_cast<std::size_t>(n)].step(dt, cluster_.mutable_node(n));
+  }
+  traffic_->step(now, dt);
+  // Node data flow rate is derived from the traffic state.
+  for (cluster::NodeId n = 0; n < cluster_.size(); ++n) {
+    cluster_.mutable_node(n).dyn.net_flow_mbps = network_.node_flow_mbps(n);
+  }
+}
+
+void Scenario::warm_up(double seconds) {
+  NLARM_CHECK(seconds >= 0.0) << "negative warm-up";
+  const double dt = options_.tick_seconds;
+  for (double t = 0.0; t < seconds; t += dt) {
+    warmup_clock_ += dt;
+    tick(warmup_clock_, dt);
+  }
+}
+
+const NodeLoadGenerator& Scenario::node_generator(cluster::NodeId id) const {
+  NLARM_CHECK(id >= 0 && id < cluster_.size()) << "bad node id " << id;
+  return node_gens_[static_cast<std::size_t>(id)];
+}
+
+}  // namespace nlarm::workload

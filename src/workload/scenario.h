@@ -1,0 +1,92 @@
+// Scenario: wires the background generators to a cluster and a simulation.
+//
+// A scenario owns one NodeLoadGenerator per node and one BackgroundTraffic
+// generator, advances them on a periodic tick, and keeps the ground-truth
+// node dynamics (including the derived node data flow rate) up to date.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "net/flows.h"
+#include "net/network_model.h"
+#include "sim/simulation.h"
+#include "workload/net_flow_gen.h"
+#include "workload/node_load_gen.h"
+
+namespace nlarm::workload {
+
+enum class ScenarioKind {
+  kQuiet,      ///< nearly idle cluster; allocations barely matter
+  kSharedLab,  ///< the paper's shared departmental cluster (default)
+  kHotspot,    ///< a third of the nodes chronically busy, heavy server flows
+  kHeavy,      ///< everything loaded; the broker should recommend waiting
+};
+
+ScenarioKind parse_scenario_kind(const std::string& name);
+std::string to_string(ScenarioKind kind);
+
+struct ScenarioOptions {
+  ScenarioKind kind = ScenarioKind::kSharedLab;
+  double tick_seconds = 2.0;  ///< generator update period
+  std::uint64_t seed = 42;
+  /// Mean time between failures per node (0 = nodes never fail). Failed
+  /// nodes stop responding to pings (LivehostsD notices), kill the daemons
+  /// they host (CentralMonitor migrates them) and reboot after
+  /// `mean_node_downtime_s` on average.
+  double mean_node_uptime_s = 0.0;
+  double mean_node_downtime_s = 300.0;
+};
+
+class Scenario {
+ public:
+  /// The scenario references (does not own) cluster/flows/network; all must
+  /// outlive it.
+  Scenario(cluster::Cluster& cluster, net::FlowSet& flows,
+           net::NetworkModel& network, const ScenarioOptions& options);
+
+  /// Registers the periodic tick with the simulation. Call once.
+  void attach(sim::Simulation& sim);
+
+  /// Advances all generators by dt at simulated time `now` (attach() does
+  /// this automatically; exposed for tests).
+  void tick(double now, double dt);
+
+  /// Runs the generators for `seconds` of warm-up without a Simulation
+  /// (ticks synchronously); useful to start experiments from a developed
+  /// state instead of the all-zeros initial state.
+  void warm_up(double seconds);
+
+  const ScenarioOptions& options() const { return options_; }
+  const NodeLoadGenerator& node_generator(cluster::NodeId id) const;
+
+  /// Total node failures injected so far.
+  int failures_injected() const { return failures_; }
+
+ private:
+  cluster::Cluster& cluster_;
+  net::FlowSet& flows_;
+  net::NetworkModel& network_;
+  ScenarioOptions options_;
+  void update_failures(double dt);
+
+  std::vector<NodeLoadGenerator> node_gens_;
+  std::unique_ptr<BackgroundTraffic> traffic_;
+  sim::Rng failure_rng_;
+  std::vector<double> downtime_left_;  ///< >0 while a node is down
+  int failures_ = 0;
+  sim::PeriodicHandle tick_handle_;
+  double warmup_clock_ = 0.0;
+  bool attached_ = false;
+};
+
+/// Generator tuning for each preset.
+struct ScenarioTuning {
+  double load_flavor = 1.0;     ///< scales node personalities
+  TrafficParams traffic;
+};
+ScenarioTuning tuning_for(ScenarioKind kind);
+
+}  // namespace nlarm::workload

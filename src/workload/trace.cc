@@ -1,0 +1,94 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/csv.h"
+#include "util/strings.h"
+
+namespace nlarm::workload {
+
+double TimeSeries::value_at(double time) const {
+  NLARM_CHECK(!times.empty()) << "value_at on empty series '" << name << "'";
+  NLARM_CHECK(times.size() == values.size()) << "series misaligned";
+  // First sample at or after `time`; step-interpolate with the previous one.
+  auto it = std::upper_bound(times.begin(), times.end(), time);
+  if (it == times.begin()) return values.front();
+  const auto idx = static_cast<std::size_t>(it - times.begin()) - 1;
+  return values[idx];
+}
+
+void TraceRecorder::add_channel(const std::string& name, Sampler sampler) {
+  NLARM_CHECK(static_cast<bool>(sampler)) << "empty sampler";
+  NLARM_CHECK(sample_times_.empty())
+      << "cannot add channels after sampling started";
+  for (const Channel& c : channels_) {
+    NLARM_CHECK(c.series.name != name) << "duplicate channel '" << name << "'";
+  }
+  Channel channel;
+  channel.series.name = name;
+  channel.sampler = std::move(sampler);
+  channels_.push_back(std::move(channel));
+}
+
+void TraceRecorder::attach(sim::Simulation& sim, double period) {
+  NLARM_CHECK(period > 0.0) << "period must be positive";
+  handle_ = sim.schedule_every(period, period,
+                               [this, &sim]() { sample(sim.now()); });
+}
+
+void TraceRecorder::sample(double now) {
+  if (!sample_times_.empty()) {
+    NLARM_CHECK(now >= sample_times_.back()) << "samples must be ordered";
+  }
+  sample_times_.push_back(now);
+  for (Channel& c : channels_) {
+    c.series.times.push_back(now);
+    c.series.values.push_back(c.sampler());
+  }
+}
+
+const TimeSeries& TraceRecorder::series(std::size_t index) const {
+  NLARM_CHECK(index < channels_.size()) << "bad channel index " << index;
+  return channels_[index].series;
+}
+
+const TimeSeries& TraceRecorder::series(const std::string& name) const {
+  for (const Channel& c : channels_) {
+    if (c.series.name == name) return c.series;
+  }
+  NLARM_CHECK(false) << "unknown channel '" << name << "'";
+}
+
+void TraceRecorder::write_csv(std::ostream& out) const {
+  util::CsvWriter writer(out);
+  std::vector<std::string> header{"time"};
+  for (const Channel& c : channels_) header.push_back(c.series.name);
+  writer.write_header(header);
+  for (std::size_t i = 0; i < sample_times_.size(); ++i) {
+    std::vector<double> row{sample_times_[i]};
+    for (const Channel& c : channels_) row.push_back(c.series.values[i]);
+    writer.write_row(row);
+  }
+}
+
+std::vector<TimeSeries> load_trace_csv(std::istream& in) {
+  const util::CsvDocument doc = util::read_csv(in);
+  NLARM_CHECK(!doc.header.empty() && doc.header[0] == "time")
+      << "trace CSV must start with a 'time' column";
+  std::vector<TimeSeries> series(doc.header.size() - 1);
+  for (std::size_t c = 1; c < doc.header.size(); ++c) {
+    series[c - 1].name = doc.header[c];
+  }
+  for (const auto& row : doc.rows) {
+    NLARM_CHECK(row.size() == doc.header.size()) << "ragged trace CSV row";
+    const double t = util::parse_double(row[0]);
+    for (std::size_t c = 1; c < row.size(); ++c) {
+      series[c - 1].times.push_back(t);
+      series[c - 1].values.push_back(util::parse_double(row[c]));
+    }
+  }
+  return series;
+}
+
+}  // namespace nlarm::workload

@@ -1,0 +1,61 @@
+// Time-series trace recording and replay.
+//
+// Figures 1 and 2(b) of the paper are multi-day traces of node metrics; the
+// recorder samples named channels on a fixed period and can serialize the
+// result to CSV. Replay loads a recorded CSV back into memory so recorded
+// cluster days can be re-used as deterministic workloads.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/simulation.h"
+
+namespace nlarm::workload {
+
+/// One recorded channel: aligned time/value vectors.
+struct TimeSeries {
+  std::string name;
+  std::vector<double> times;
+  std::vector<double> values;
+
+  double value_at(double time) const;  ///< step interpolation; clamped
+};
+
+class TraceRecorder {
+ public:
+  using Sampler = std::function<double()>;
+
+  /// Registers a channel; `sampler` is called on each sampling tick.
+  void add_channel(const std::string& name, Sampler sampler);
+
+  /// Schedules sampling every `period` seconds on the simulation.
+  void attach(sim::Simulation& sim, double period);
+
+  /// Takes one sample of all channels at time `now` (attach() does this
+  /// automatically; exposed for tests and manual loops).
+  void sample(double now);
+
+  std::size_t channel_count() const { return channels_.size(); }
+  const TimeSeries& series(std::size_t index) const;
+  const TimeSeries& series(const std::string& name) const;
+
+  /// CSV with a `time` column plus one column per channel.
+  void write_csv(std::ostream& out) const;
+
+ private:
+  struct Channel {
+    TimeSeries series;
+    Sampler sampler;
+  };
+  std::vector<Channel> channels_;
+  std::vector<double> sample_times_;
+  sim::PeriodicHandle handle_;
+};
+
+/// Loads a trace CSV (as written by TraceRecorder::write_csv) into series.
+std::vector<TimeSeries> load_trace_csv(std::istream& in);
+
+}  // namespace nlarm::workload

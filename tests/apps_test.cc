@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "apps/minife.h"
+#include "apps/minimd.h"
+#include "apps/synthetic.h"
+#include "cluster/cluster.h"
+#include "mpisim/cost_model.h"
+#include "mpisim/placement.h"
+#include "mpisim/runtime.h"
+#include "net/flows.h"
+#include "net/network_model.h"
+#include "util/check.h"
+
+namespace nlarm::apps {
+namespace {
+
+mpisim::Placement spread(int nranks, int ppn) {
+  std::vector<cluster::NodeId> rank_nodes;
+  for (int r = 0; r < nranks; ++r) {
+    rank_nodes.push_back(static_cast<cluster::NodeId>(r / ppn));
+  }
+  return mpisim::Placement(std::move(rank_nodes));
+}
+
+TEST(MiniMdTest, AtomCountsMatchPaper) {
+  // §5.1: s = 8..48 → "2K – 442K atoms".
+  EXPECT_EQ(minimd_atoms(8), 2048);
+  EXPECT_EQ(minimd_atoms(16), 16384);
+  EXPECT_EQ(minimd_atoms(48), 442368);
+}
+
+TEST(MiniMdTest, ProfileIsValid) {
+  for (int s : {8, 16, 24, 32, 40, 48}) {
+    for (int p : {8, 16, 32, 64}) {
+      MiniMdParams params;
+      params.size = s;
+      params.nranks = p;
+      const auto profile = make_minimd_profile(params);
+      EXPECT_NO_THROW(profile.validate());
+      EXPECT_EQ(profile.nranks, p);
+    }
+  }
+}
+
+TEST(MiniMdTest, WorkScalesWithProblemSize) {
+  MiniMdParams small;
+  small.size = 8;
+  MiniMdParams big;
+  big.size = 48;
+  const auto ps = make_minimd_profile(small);
+  const auto pb = make_minimd_profile(big);
+  const auto& cs = std::get<mpisim::ComputePhase>(ps.phases[0]);
+  const auto& cb = std::get<mpisim::ComputePhase>(pb.phases[0]);
+  // 6^3 = 216× the atoms → 216× the flops.
+  EXPECT_NEAR(cb.flops_per_rank / cs.flops_per_rank, 216.0, 1e-9);
+}
+
+TEST(MiniMdTest, HaloShrinksSublinearly) {
+  // Surface-to-volume: doubling ranks cuts per-rank halo by ~2^(2/3).
+  MiniMdParams p8;
+  p8.size = 32;
+  p8.nranks = 8;
+  MiniMdParams p64 = p8;
+  p64.nranks = 64;
+  const auto prof8 = make_minimd_profile(p8);
+  const auto prof64 = make_minimd_profile(p64);
+  const auto& h8 = std::get<mpisim::HaloPhase>(prof8.phases[1]);
+  const auto& h64 = std::get<mpisim::HaloPhase>(prof64.phases[1]);
+  EXPECT_NEAR(h8.bytes_per_face / h64.bytes_per_face, 4.0, 1e-6);
+}
+
+TEST(MiniMdTest, PeriodicBoundaries) {
+  const auto profile = make_minimd_profile(MiniMdParams{});
+  const auto& halo = std::get<mpisim::HaloPhase>(profile.phases[1]);
+  EXPECT_TRUE(halo.periodic);
+}
+
+TEST(MiniFeTest, RowCountsMatchGeometry) {
+  EXPECT_EQ(minife_rows(48), 49L * 49 * 49);
+  EXPECT_EQ(minife_rows(384), 385L * 385 * 385);
+}
+
+TEST(MiniFeTest, ProfileIsValid) {
+  for (int nx : {48, 96, 144, 256, 384}) {
+    for (int p : {8, 16, 32, 48}) {
+      MiniFeParams params;
+      params.nx = nx;
+      params.nranks = p;
+      const auto profile = make_minife_profile(params);
+      EXPECT_NO_THROW(profile.validate());
+    }
+  }
+}
+
+TEST(MiniFeTest, NonPeriodicBoundaries) {
+  const auto profile = make_minife_profile(MiniFeParams{});
+  const auto& halo = std::get<mpisim::HaloPhase>(profile.phases[1]);
+  EXPECT_FALSE(halo.periodic);
+}
+
+TEST(MiniFeTest, TwoDotProductsPerIteration) {
+  const auto profile = make_minife_profile(MiniFeParams{});
+  int allreduces = 0;
+  for (const auto& phase : profile.phases) {
+    if (std::holds_alternative<mpisim::AllreducePhase>(phase)) ++allreduces;
+  }
+  EXPECT_EQ(allreduces, 2);
+}
+
+TEST(AppsCommFractionTest, MiniMdMoreCommIntensiveThanMiniFe) {
+  // §5.2: "percentage of communication time was higher for miniMD (40-80%)
+  // than for miniFE (25-60%)". Check the models' comm fractions are ordered
+  // this way on identical placements.
+  cluster::Cluster c = cluster::make_uniform_cluster(8, 2, 12, 4.6);
+  net::FlowSet flows;
+  net::NetworkModel network(c, flows);
+  mpisim::MpiRuntime runtime(c, network);
+
+  MiniMdParams md;
+  md.size = 16;
+  md.nranks = 32;
+  MiniFeParams fe;
+  fe.nx = 144;
+  fe.nranks = 32;
+  const auto placement = spread(32, 4);
+  const auto md_result = runtime.estimate(make_minimd_profile(md), placement);
+  const auto fe_result = runtime.estimate(make_minife_profile(fe), placement);
+  EXPECT_GT(md_result.comm_fraction(), fe_result.comm_fraction());
+  // Both in plausible bands.
+  EXPECT_GT(md_result.comm_fraction(), 0.2);
+  EXPECT_LT(fe_result.comm_fraction(), 0.8);
+}
+
+TEST(SyntheticTest, PhasesMatchConfiguration) {
+  SyntheticParams params;
+  params.flops_per_rank = 1e6;
+  params.halo_bytes_per_face = 1e3;
+  params.allreduce_bytes = 8.0;
+  const auto profile = make_synthetic_profile(params);
+  EXPECT_EQ(profile.phases.size(), 3u);
+  SyntheticParams compute_only;
+  compute_only.flops_per_rank = 1e6;
+  EXPECT_EQ(make_synthetic_profile(compute_only).phases.size(), 1u);
+}
+
+TEST(SyntheticTest, AllZeroPhasesRejected) {
+  SyntheticParams params;
+  params.flops_per_rank = 0.0;
+  EXPECT_THROW(make_synthetic_profile(params), util::CheckError);
+}
+
+TEST(SyntheticTest, ExtremesAreExtreme) {
+  cluster::Cluster c = cluster::make_uniform_cluster(8, 2);
+  net::FlowSet flows;
+  net::NetworkModel network(c, flows);
+  mpisim::MpiRuntime runtime(c, network);
+  const auto placement = spread(8, 1);
+  const auto compute =
+      runtime.estimate(make_compute_bound_profile(8), placement);
+  const auto comm = runtime.estimate(make_comm_bound_profile(8), placement);
+  EXPECT_LT(compute.comm_fraction(), 0.2);
+  EXPECT_GT(comm.comm_fraction(), 0.8);
+}
+
+}  // namespace
+}  // namespace nlarm::apps

@@ -1,0 +1,119 @@
+#include "cluster/spec_loader.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace nlarm::cluster {
+namespace {
+
+TEST(SpecParserTest, SingleGroup) {
+  const ClusterSpec spec = parse_cluster_spec("4x8c@2.8");
+  ASSERT_EQ(spec.switches.size(), 1u);
+  ASSERT_EQ(spec.switches[0].size(), 1u);
+  EXPECT_EQ(spec.switches[0][0].count, 4);
+  EXPECT_EQ(spec.switches[0][0].cores, 8);
+  EXPECT_DOUBLE_EQ(spec.switches[0][0].freq_ghz, 2.8);
+  EXPECT_DOUBLE_EQ(spec.switches[0][0].mem_gb, 16.0);  // default
+  EXPECT_EQ(spec.node_count(), 4);
+}
+
+TEST(SpecParserTest, MemoryOverride) {
+  const ClusterSpec spec = parse_cluster_spec("2x12c@4.6m32");
+  EXPECT_DOUBLE_EQ(spec.switches[0][0].mem_gb, 32.0);
+}
+
+TEST(SpecParserTest, PaperClusterSpec) {
+  const ClusterSpec spec = parse_cluster_spec(
+      "15x12c@4.6;15x12c@4.6;10x12c@4.6/5x8c@2.8;15x8c@2.8");
+  EXPECT_EQ(spec.switches.size(), 4u);
+  EXPECT_EQ(spec.node_count(), 60);
+  EXPECT_EQ(spec.switches[2].size(), 2u);  // mixed switch
+}
+
+TEST(SpecParserTest, WhitespaceTolerated) {
+  const ClusterSpec spec = parse_cluster_spec(" 2x4c@3.0 ; 3x8c@2.5 ");
+  EXPECT_EQ(spec.node_count(), 5);
+}
+
+TEST(SpecParserTest, MalformedSpecsRejected) {
+  EXPECT_THROW(parse_cluster_spec(""), util::CheckError);
+  EXPECT_THROW(parse_cluster_spec("8c@2.8"), util::CheckError);
+  EXPECT_THROW(parse_cluster_spec("4x8@2.8"), util::CheckError);
+  EXPECT_THROW(parse_cluster_spec("4x8c2.8"), util::CheckError);
+  EXPECT_THROW(parse_cluster_spec("0x8c@2.8"), util::CheckError);
+  EXPECT_THROW(parse_cluster_spec("4x8c@-1"), util::CheckError);
+}
+
+TEST(SpecClusterTest, BuildsMatchingCluster) {
+  const ClusterSpec spec = parse_cluster_spec("2x12c@4.6;3x8c@2.8m8");
+  const Cluster c = make_cluster(spec);
+  EXPECT_EQ(c.size(), 5);
+  EXPECT_EQ(c.topology().switch_count(), 2);
+  EXPECT_EQ(c.node(0).spec.core_count, 12);
+  EXPECT_EQ(c.node(0).spec.switch_id, 0);
+  EXPECT_EQ(c.node(4).spec.core_count, 8);
+  EXPECT_EQ(c.node(4).spec.switch_id, 1);
+  EXPECT_DOUBLE_EQ(c.node(4).spec.total_mem_gb, 8.0);
+  EXPECT_EQ(c.node(2).spec.hostname, "csews3");
+}
+
+TEST(SpecClusterTest, EquivalentToIitkFactory) {
+  const Cluster from_spec = make_cluster(parse_cluster_spec(
+      "15x12c@4.6;15x12c@4.6;10x12c@4.6/5x8c@2.8;15x8c@2.8"));
+  const Cluster from_factory = make_iitk_cluster();
+  EXPECT_EQ(from_spec.size(), from_factory.size());
+  EXPECT_EQ(from_spec.total_cores(), from_factory.total_cores());
+  EXPECT_EQ(from_spec.topology().switch_count(),
+            from_factory.topology().switch_count());
+}
+
+TEST(CsvClusterTest, LoadsNodeTable) {
+  std::istringstream in(
+      "hostname,switch,cores,freq_ghz,mem_gb\n"
+      "alpha,0,12,4.6,16\n"
+      "beta,0,12,4.6,16\n"
+      "gamma,1,8,2.8,32\n");
+  const Cluster c = load_cluster_csv(in);
+  EXPECT_EQ(c.size(), 3);
+  EXPECT_EQ(c.topology().switch_count(), 2);
+  EXPECT_EQ(c.find_hostname("gamma"), 2);
+  EXPECT_EQ(c.node(2).spec.switch_id, 1);
+  EXPECT_DOUBLE_EQ(c.node(2).spec.total_mem_gb, 32.0);
+}
+
+TEST(CsvClusterTest, RowsReorderedBySwitch) {
+  // Rows arrive interleaved; loader must group by switch for the chain
+  // topology while keeping hostnames attached to the right specs.
+  std::istringstream in(
+      "hostname,switch,cores,freq_ghz,mem_gb\n"
+      "far,1,8,2.8,16\n"
+      "near,0,12,4.6,16\n");
+  const Cluster c = load_cluster_csv(in);
+  EXPECT_EQ(c.node(0).spec.hostname, "near");
+  EXPECT_EQ(c.node(0).spec.switch_id, 0);
+  EXPECT_EQ(c.node(1).spec.hostname, "far");
+  EXPECT_EQ(c.node(1).spec.switch_id, 1);
+}
+
+TEST(CsvClusterTest, SparseSwitchIdsRejected) {
+  std::istringstream in(
+      "hostname,switch,cores,freq_ghz,mem_gb\n"
+      "a,0,8,3.0,16\n"
+      "b,2,8,3.0,16\n");  // switch 1 missing
+  EXPECT_THROW(load_cluster_csv(in), util::CheckError);
+}
+
+TEST(CsvClusterTest, InvalidRowsRejected) {
+  std::istringstream in(
+      "hostname,switch,cores,freq_ghz,mem_gb\n"
+      "a,0,0,3.0,16\n");
+  EXPECT_THROW(load_cluster_csv(in), util::CheckError);
+  std::istringstream empty("hostname,switch,cores,freq_ghz,mem_gb\n");
+  EXPECT_THROW(load_cluster_csv(empty), util::CheckError);
+}
+
+}  // namespace
+}  // namespace nlarm::cluster

@@ -1,0 +1,161 @@
+#include "cluster/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace nlarm::cluster {
+namespace {
+
+TEST(NodeTest, MemAvailableFloorsAtZero) {
+  Node n;
+  n.spec.total_mem_gb = 16.0;
+  n.dyn.mem_used_gb = 20.0;
+  EXPECT_DOUBLE_EQ(n.mem_available_gb(), 0.0);
+  n.dyn.mem_used_gb = 4.0;
+  EXPECT_DOUBLE_EQ(n.mem_available_gb(), 12.0);
+}
+
+TEST(NodeTest, ClampDynamicsBoundsEverything) {
+  Node n;
+  n.spec.total_mem_gb = 16.0;
+  n.dyn.cpu_load = -3.0;
+  n.dyn.cpu_util = 1.7;
+  n.dyn.mem_used_gb = 99.0;
+  n.dyn.users = -2;
+  n.dyn.net_flow_mbps = -1.0;
+  n.clamp_dynamics();
+  EXPECT_DOUBLE_EQ(n.dyn.cpu_load, 0.0);
+  EXPECT_DOUBLE_EQ(n.dyn.cpu_util, 1.0);
+  EXPECT_DOUBLE_EQ(n.dyn.mem_used_gb, 16.0);
+  EXPECT_EQ(n.dyn.users, 0);
+  EXPECT_DOUBLE_EQ(n.dyn.net_flow_mbps, 0.0);
+}
+
+TEST(NodeTest, DefaultHostnameMatchesPaperConvention) {
+  EXPECT_EQ(default_hostname(0), "csews1");
+  EXPECT_EQ(default_hostname(59), "csews60");
+}
+
+TEST(TopologyTest, ChainHopsMatchProximity) {
+  // 4 switches in a chain, 2 nodes each: nodes 0,1 | 2,3 | 4,5 | 6,7.
+  Topology topo = make_chain_topology({2, 2, 2, 2}, 1000.0, 1000.0);
+  EXPECT_EQ(topo.hops(0, 0), 0);
+  EXPECT_EQ(topo.hops(0, 1), 1);  // same switch
+  EXPECT_EQ(topo.hops(0, 2), 2);  // adjacent switches
+  EXPECT_EQ(topo.hops(0, 4), 3);
+  EXPECT_EQ(topo.hops(0, 6), 4);  // the paper's max: 4 hops
+  EXPECT_EQ(topo.hops(6, 0), 4);  // symmetric
+}
+
+TEST(TopologyTest, PathLinksSameSwitch) {
+  Topology topo = make_chain_topology({2, 2}, 1000.0, 1000.0);
+  const auto path = topo.path_links(0, 1);
+  // Two uplinks only.
+  ASSERT_EQ(path.size(), 2u);
+  EXPECT_EQ(path[0], 0);
+  EXPECT_EQ(path[1], 1);
+  EXPECT_FALSE(topo.link(path[0]).is_trunk);
+}
+
+TEST(TopologyTest, PathLinksCrossSwitchIncludesTrunks) {
+  Topology topo = make_chain_topology({2, 2, 2}, 1000.0, 500.0);
+  const auto path = topo.path_links(0, 4);  // switch 0 → switch 2
+  // uplink(0), trunk(sw1? no: ascend from sw0... sw2's chain:
+  // parents: sw0=-1, sw1=sw0, sw2=sw1. Path sw0→sw2 descends through both
+  // trunks: uplink + 2 trunks + uplink.
+  ASSERT_EQ(path.size(), 4u);
+  EXPECT_FALSE(topo.link(path[0]).is_trunk);
+  EXPECT_TRUE(topo.link(path[1]).is_trunk);
+  EXPECT_TRUE(topo.link(path[2]).is_trunk);
+  EXPECT_FALSE(topo.link(path[3]).is_trunk);
+  EXPECT_DOUBLE_EQ(topo.link(path[1]).capacity_mbps, 500.0);
+}
+
+TEST(TopologyTest, PathLinksEmptyForSelf) {
+  Topology topo = make_chain_topology({2}, 1000.0, 1000.0);
+  EXPECT_TRUE(topo.path_links(0, 0).empty());
+}
+
+TEST(TopologyTest, StarTopologyUniformDistance) {
+  Topology topo = make_star_topology({2, 2, 2}, 1000.0, 1000.0);
+  // All leaf switches are 2 apart (via the core), so node hops are 3.
+  EXPECT_EQ(topo.hops(0, 2), 3);
+  EXPECT_EQ(topo.hops(0, 4), 3);
+  EXPECT_EQ(topo.hops(0, 1), 1);
+}
+
+TEST(TopologyTest, NodesOnSwitch) {
+  Topology topo = make_chain_topology({2, 3}, 1000.0, 1000.0);
+  EXPECT_EQ(topo.nodes_on_switch(0), (std::vector<NodeId>{0, 1}));
+  EXPECT_EQ(topo.nodes_on_switch(1), (std::vector<NodeId>{2, 3, 4}));
+}
+
+TEST(TopologyTest, TrunkLinkOfRootThrows) {
+  Topology topo = make_chain_topology({2, 2}, 1000.0, 1000.0);
+  EXPECT_THROW(topo.trunk_link(0), util::CheckError);
+  EXPECT_GE(topo.trunk_link(1), 0);
+}
+
+TEST(TopologyTest, InvalidConstructionRejected) {
+  // Two roots.
+  EXPECT_THROW(Topology({-1, -1}, {0, 1}, 1000.0, 1000.0), util::CheckError);
+  // Cycle.
+  EXPECT_THROW(Topology({1, 0}, {0, 1}, 1000.0, 1000.0), util::CheckError);
+  // Bad node switch.
+  EXPECT_THROW(Topology({-1}, {5}, 1000.0, 1000.0), util::CheckError);
+  // Bad capacities.
+  EXPECT_THROW(Topology({-1}, {0}, 0.0, 1000.0), util::CheckError);
+}
+
+TEST(ClusterTest, IitkClusterMatchesPaperSetup) {
+  Cluster c = make_iitk_cluster();
+  EXPECT_EQ(c.size(), 60);
+  // 40 fast 12-core 4.6 GHz nodes then 20 slow 8-core 2.8 GHz nodes.
+  EXPECT_EQ(c.node(0).spec.core_count, 12);
+  EXPECT_DOUBLE_EQ(c.node(0).spec.cpu_freq_ghz, 4.6);
+  EXPECT_EQ(c.node(59).spec.core_count, 8);
+  EXPECT_DOUBLE_EQ(c.node(59).spec.cpu_freq_ghz, 2.8);
+  EXPECT_EQ(c.topology().switch_count(), 4);
+  EXPECT_EQ(c.total_cores(), 40 * 12 + 20 * 8);
+  // Hostnames follow the paper's csews convention.
+  EXPECT_EQ(c.node(0).spec.hostname, "csews1");
+}
+
+TEST(ClusterTest, IitkClusterSwitchSizesBalanced) {
+  Cluster c = make_iitk_cluster();
+  for (SwitchId s = 0; s < 4; ++s) {
+    const auto nodes = c.topology().nodes_on_switch(s);
+    EXPECT_EQ(nodes.size(), 15u);
+  }
+}
+
+TEST(ClusterTest, FindHostname) {
+  Cluster c = make_uniform_cluster(4);
+  EXPECT_EQ(c.find_hostname("csews3"), 2);
+  EXPECT_THROW(c.find_hostname("nope"), util::CheckError);
+}
+
+TEST(ClusterTest, AliveNodesReflectsDynamics) {
+  Cluster c = make_uniform_cluster(3);
+  c.mutable_node(1).dyn.alive = false;
+  EXPECT_EQ(c.alive_nodes(), (std::vector<NodeId>{0, 2}));
+}
+
+TEST(ClusterTest, UniformClusterSpreadsOverSwitches) {
+  Cluster c = make_uniform_cluster(10, 3);
+  EXPECT_EQ(c.topology().switch_count(), 3);
+  int total = 0;
+  for (SwitchId s = 0; s < 3; ++s) {
+    total += static_cast<int>(c.topology().nodes_on_switch(s).size());
+  }
+  EXPECT_EQ(total, 10);
+}
+
+TEST(ClusterTest, InvalidClusterRejected) {
+  EXPECT_THROW(make_uniform_cluster(0), util::CheckError);
+  EXPECT_THROW(make_uniform_cluster(2, 5), util::CheckError);
+}
+
+}  // namespace
+}  // namespace nlarm::cluster

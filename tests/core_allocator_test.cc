@@ -1,0 +1,192 @@
+#include "core/allocator.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "test_helpers.h"
+#include "util/check.h"
+
+namespace nlarm::core {
+namespace {
+
+using nlarm::testing::TestNode;
+using nlarm::testing::idle_nodes;
+using nlarm::testing::make_snapshot;
+using nlarm::testing::set_pair;
+
+AllocationRequest request_for(int nprocs, int ppn = 4) {
+  AllocationRequest req;
+  req.nprocs = nprocs;
+  req.ppn = ppn;
+  req.job = JobWeights::balanced();
+  return req;
+}
+
+TEST(AllocatorTest, AvoidsLoadedNodes) {
+  std::vector<TestNode> nodes = idle_nodes(6);
+  nodes[0].cpu_load = 8.0;
+  nodes[3].cpu_load = 6.0;
+  auto snap = make_snapshot(nodes);
+  NetworkLoadAwareAllocator allocator;
+  const Allocation alloc = allocator.allocate(snap, request_for(8, 4));
+  ASSERT_EQ(alloc.nodes.size(), 2u);
+  for (cluster::NodeId id : alloc.nodes) {
+    EXPECT_NE(id, 0);
+    EXPECT_NE(id, 3);
+  }
+}
+
+TEST(AllocatorTest, AvoidsCongestedPairs) {
+  auto snap = make_snapshot(idle_nodes(4), 100.0, 950.0, 1000.0);
+  // Node 3 has terrible connectivity to everyone.
+  for (int other = 0; other < 3; ++other) {
+    set_pair(snap, 3, other, 800.0, 100.0);
+  }
+  NetworkLoadAwareAllocator allocator;
+  const Allocation alloc = allocator.allocate(snap, request_for(12, 4));
+  ASSERT_EQ(alloc.nodes.size(), 3u);
+  for (cluster::NodeId id : alloc.nodes) {
+    EXPECT_NE(id, 3);
+  }
+}
+
+TEST(AllocatorTest, TradesLoadForConnectivity) {
+  // The paper's §5.3 narrative: a slightly-loaded node with excellent
+  // connectivity beats an idle node behind a congested link.
+  std::vector<TestNode> nodes = idle_nodes(3);
+  nodes[1].cpu_load = 1.0;  // slightly loaded, well connected
+  auto snap = make_snapshot(nodes, 100.0, 950.0, 1000.0);
+  set_pair(snap, 0, 2, 700.0, 150.0);  // idle node 2 is poorly connected
+  set_pair(snap, 1, 2, 700.0, 150.0);
+  NetworkLoadAwareAllocator allocator;
+  AllocationRequest req = request_for(8, 4);
+  req.job = JobWeights{0.3, 0.7};  // communication-heavy
+  const Allocation alloc = allocator.allocate(snap, req);
+  const std::set<cluster::NodeId> chosen(alloc.nodes.begin(),
+                                         alloc.nodes.end());
+  EXPECT_TRUE(chosen.count(0));
+  EXPECT_TRUE(chosen.count(1));
+  EXPECT_FALSE(chosen.count(2));
+}
+
+TEST(AllocatorTest, ProcsSumToRequest) {
+  auto snap = make_snapshot(idle_nodes(8));
+  NetworkLoadAwareAllocator allocator;
+  for (int n : {1, 4, 7, 16, 32}) {
+    const Allocation alloc = allocator.allocate(snap, request_for(n, 4));
+    EXPECT_EQ(std::accumulate(alloc.procs_per_node.begin(),
+                              alloc.procs_per_node.end(), 0),
+              n);
+  }
+}
+
+TEST(AllocatorTest, NodesAreDistinct) {
+  auto snap = make_snapshot(idle_nodes(8));
+  NetworkLoadAwareAllocator allocator;
+  const Allocation alloc = allocator.allocate(snap, request_for(16, 4));
+  std::set<cluster::NodeId> unique(alloc.nodes.begin(), alloc.nodes.end());
+  EXPECT_EQ(unique.size(), alloc.nodes.size());
+}
+
+TEST(AllocatorTest, SkipsDeadAndUnmonitoredNodes) {
+  std::vector<TestNode> nodes = idle_nodes(5);
+  nodes[1].live = false;
+  auto snap = make_snapshot(nodes);
+  snap.nodes[2].valid = false;  // no NodeStateD record yet
+  NetworkLoadAwareAllocator allocator;
+  const Allocation alloc = allocator.allocate(snap, request_for(12, 4));
+  for (cluster::NodeId id : alloc.nodes) {
+    EXPECT_NE(id, 1);
+    EXPECT_NE(id, 2);
+  }
+}
+
+TEST(AllocatorTest, NoUsableNodesThrows) {
+  std::vector<TestNode> nodes = idle_nodes(2);
+  nodes[0].live = false;
+  nodes[1].live = false;
+  auto snap = make_snapshot(nodes);
+  NetworkLoadAwareAllocator allocator;
+  EXPECT_THROW(allocator.allocate(snap, request_for(4)), util::CheckError);
+}
+
+TEST(AllocatorTest, Deterministic) {
+  std::vector<TestNode> nodes = idle_nodes(10);
+  for (int i = 0; i < 10; ++i) {
+    nodes[static_cast<std::size_t>(i)].cpu_load = (i * 7) % 5;
+  }
+  auto snap = make_snapshot(nodes);
+  NetworkLoadAwareAllocator a;
+  NetworkLoadAwareAllocator b;
+  const Allocation alloc_a = a.allocate(snap, request_for(16, 4));
+  const Allocation alloc_b = b.allocate(snap, request_for(16, 4));
+  EXPECT_EQ(alloc_a.nodes, alloc_b.nodes);
+  EXPECT_EQ(alloc_a.procs_per_node, alloc_b.procs_per_node);
+}
+
+TEST(AllocatorTest, DiagnosticsAnnotated) {
+  std::vector<TestNode> nodes = idle_nodes(4);
+  nodes[0].cpu_load = 2.0;
+  nodes[1].cpu_load = 2.0;
+  auto snap = make_snapshot(nodes, 150.0, 900.0, 1000.0);
+  NetworkLoadAwareAllocator allocator;
+  const Allocation alloc = allocator.allocate(snap, request_for(8, 4));
+  EXPECT_GT(alloc.avg_latency_us, 0.0);
+  EXPECT_NEAR(alloc.avg_bw_complement_mbps, 100.0, 1e-9);
+  EXPECT_GE(alloc.avg_cpu_load, 0.0);
+  EXPECT_GT(alloc.total_cost, 0.0);
+  EXPECT_EQ(alloc.policy, "network-load-aware");
+}
+
+TEST(AllocatorTest, LastSelectionExposed) {
+  auto snap = make_snapshot(idle_nodes(5));
+  NetworkLoadAwareAllocator allocator;
+  allocator.allocate(snap, request_for(8, 4));
+  EXPECT_EQ(allocator.last_selection().scored.size(), 5u);
+  EXPECT_EQ(allocator.last_node_set().size(), 5u);
+}
+
+TEST(AllocatorTest, EffectiveCapacityUsedWithoutPpn) {
+  // Two idle 8-core nodes: a 16-proc request with ppn=0 fits exactly.
+  auto snap = make_snapshot(idle_nodes(2));
+  NetworkLoadAwareAllocator allocator;
+  const Allocation alloc = allocator.allocate(snap, request_for(16, 0));
+  EXPECT_EQ(alloc.nodes.size(), 2u);
+  EXPECT_EQ(alloc.procs_per_node, (std::vector<int>{8, 8}));
+}
+
+TEST(AllocatorTest, OversubscriptionRoundRobin) {
+  auto snap = make_snapshot(idle_nodes(2));
+  NetworkLoadAwareAllocator allocator;
+  const Allocation alloc = allocator.allocate(snap, request_for(20, 0));
+  EXPECT_EQ(std::accumulate(alloc.procs_per_node.begin(),
+                            alloc.procs_per_node.end(), 0),
+            20);
+  EXPECT_EQ(alloc.procs_per_node, (std::vector<int>{10, 10}));
+}
+
+TEST(AllocatorTest, HostfileRendered) {
+  auto snap = make_snapshot(idle_nodes(3));
+  NetworkLoadAwareAllocator allocator;
+  const Allocation alloc = allocator.allocate(snap, request_for(8, 4));
+  const std::string hostfile = to_hostfile(alloc, snap);
+  EXPECT_NE(hostfile.find(":4"), std::string::npos);
+  EXPECT_NE(hostfile.find("csews"), std::string::npos);
+}
+
+TEST(AllocationRequestTest, Validation) {
+  AllocationRequest req;
+  req.nprocs = 0;
+  EXPECT_THROW(req.validate(), util::CheckError);
+  req.nprocs = 4;
+  req.ppn = -1;
+  EXPECT_THROW(req.validate(), util::CheckError);
+  req.ppn = 0;
+  req.job = JobWeights{0.8, 0.8};
+  EXPECT_THROW(req.validate(), util::CheckError);
+}
+
+}  // namespace
+}  // namespace nlarm::core

@@ -1,0 +1,161 @@
+#include "core/baselines.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "test_helpers.h"
+#include "util/check.h"
+
+namespace nlarm::core {
+namespace {
+
+using nlarm::testing::TestNode;
+using nlarm::testing::idle_nodes;
+using nlarm::testing::make_snapshot;
+
+AllocationRequest request_for(int nprocs, int ppn = 4) {
+  AllocationRequest req;
+  req.nprocs = nprocs;
+  req.ppn = ppn;
+  req.job = JobWeights::balanced();
+  return req;
+}
+
+TEST(RandomAllocatorTest, SatisfiesRequestWithDistinctNodes) {
+  auto snap = make_snapshot(idle_nodes(10));
+  RandomAllocator allocator(1);
+  const Allocation alloc = allocator.allocate(snap, request_for(16, 4));
+  EXPECT_EQ(alloc.nodes.size(), 4u);
+  std::set<cluster::NodeId> unique(alloc.nodes.begin(), alloc.nodes.end());
+  EXPECT_EQ(unique.size(), 4u);
+  EXPECT_EQ(std::accumulate(alloc.procs_per_node.begin(),
+                            alloc.procs_per_node.end(), 0),
+            16);
+  EXPECT_EQ(alloc.policy, "random");
+}
+
+TEST(RandomAllocatorTest, DifferentSeedsDifferentPicks) {
+  auto snap = make_snapshot(idle_nodes(20));
+  RandomAllocator a(1);
+  RandomAllocator b(2);
+  const Allocation alloc_a = a.allocate(snap, request_for(8, 4));
+  const Allocation alloc_b = b.allocate(snap, request_for(8, 4));
+  EXPECT_NE(alloc_a.nodes, alloc_b.nodes);  // overwhelmingly likely
+}
+
+TEST(RandomAllocatorTest, IgnoresLoad) {
+  // With a fixed seed the random allocator picks the same nodes regardless
+  // of load — that is exactly its weakness.
+  std::vector<TestNode> loaded = idle_nodes(10);
+  for (auto& n : loaded) n.cpu_load = 10.0;
+  auto snap_idle = make_snapshot(idle_nodes(10));
+  auto snap_loaded = make_snapshot(loaded);
+  RandomAllocator a(3);
+  RandomAllocator b(3);
+  EXPECT_EQ(a.allocate(snap_idle, request_for(8)).nodes,
+            b.allocate(snap_loaded, request_for(8)).nodes);
+}
+
+TEST(SequentialAllocatorTest, PicksConsecutiveNodes) {
+  auto snap = make_snapshot(idle_nodes(10));
+  SequentialAllocator allocator(5);
+  const Allocation alloc = allocator.allocate(snap, request_for(12, 4));
+  ASSERT_EQ(alloc.nodes.size(), 3u);
+  // Consecutive ids with wraparound.
+  for (std::size_t i = 1; i < alloc.nodes.size(); ++i) {
+    EXPECT_EQ(alloc.nodes[i], (alloc.nodes[i - 1] + 1) % 10);
+  }
+  EXPECT_EQ(alloc.policy, "sequential");
+}
+
+TEST(SequentialAllocatorTest, WrapsAroundTheEnd) {
+  auto snap = make_snapshot(idle_nodes(4));
+  // Try many seeds until a start near the end is chosen; wrap must hold.
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    SequentialAllocator allocator(seed);
+    const Allocation alloc = allocator.allocate(snap, request_for(12, 4));
+    ASSERT_EQ(alloc.nodes.size(), 3u);
+    std::set<cluster::NodeId> unique(alloc.nodes.begin(), alloc.nodes.end());
+    EXPECT_EQ(unique.size(), 3u);
+  }
+}
+
+TEST(SequentialAllocatorTest, SkipsUnusableNodes) {
+  std::vector<TestNode> nodes = idle_nodes(6);
+  nodes[2].live = false;
+  auto snap = make_snapshot(nodes);
+  SequentialAllocator allocator(1);
+  const Allocation alloc = allocator.allocate(snap, request_for(20, 4));
+  ASSERT_EQ(alloc.nodes.size(), 5u);
+  for (cluster::NodeId id : alloc.nodes) EXPECT_NE(id, 2);
+}
+
+TEST(LoadAwareAllocatorTest, PicksLeastLoadedGroup) {
+  std::vector<TestNode> nodes = idle_nodes(6);
+  nodes[0].cpu_load = 5.0;
+  nodes[2].cpu_load = 3.0;
+  nodes[4].cpu_load = 7.0;
+  auto snap = make_snapshot(nodes);
+  LoadAwareAllocator allocator;
+  const Allocation alloc = allocator.allocate(snap, request_for(12, 4));
+  const std::set<cluster::NodeId> chosen(alloc.nodes.begin(),
+                                         alloc.nodes.end());
+  EXPECT_EQ(chosen, (std::set<cluster::NodeId>{1, 3, 5}));
+  EXPECT_EQ(alloc.policy, "load-aware");
+}
+
+TEST(LoadAwareAllocatorTest, IgnoresNetworkState) {
+  // Two idle nodes behind a congested link still win over a loaded pair
+  // with a clean link — load-aware cannot see the difference.
+  std::vector<TestNode> nodes = idle_nodes(4);
+  nodes[2].cpu_load = 2.0;
+  nodes[3].cpu_load = 2.0;
+  auto snap = make_snapshot(nodes, 100.0, 950.0, 1000.0);
+  nlarm::testing::set_pair(snap, 0, 1, 900.0, 50.0);  // terrible link
+  LoadAwareAllocator allocator;
+  const Allocation alloc = allocator.allocate(snap, request_for(8, 4));
+  const std::set<cluster::NodeId> chosen(alloc.nodes.begin(),
+                                         alloc.nodes.end());
+  EXPECT_EQ(chosen, (std::set<cluster::NodeId>{0, 1}));
+}
+
+TEST(LoadAwareAllocatorTest, Deterministic) {
+  std::vector<TestNode> nodes = idle_nodes(8);
+  for (int i = 0; i < 8; ++i) {
+    nodes[static_cast<std::size_t>(i)].cpu_load = (i * 3) % 7;
+  }
+  auto snap = make_snapshot(nodes);
+  LoadAwareAllocator a;
+  LoadAwareAllocator b;
+  EXPECT_EQ(a.allocate(snap, request_for(8)).nodes,
+            b.allocate(snap, request_for(8)).nodes);
+}
+
+TEST(BaselinesTest, AllRespectPpn) {
+  auto snap = make_snapshot(idle_nodes(10));
+  RandomAllocator random(1);
+  SequentialAllocator sequential(1);
+  LoadAwareAllocator load_aware;
+  for (Allocator* allocator :
+       {static_cast<Allocator*>(&random), static_cast<Allocator*>(&sequential),
+        static_cast<Allocator*>(&load_aware)}) {
+    const Allocation alloc = allocator->allocate(snap, request_for(10, 2));
+    EXPECT_EQ(alloc.nodes.size(), 5u) << allocator->name();
+    for (int procs : alloc.procs_per_node) {
+      EXPECT_LE(procs, 2) << allocator->name();
+    }
+  }
+}
+
+TEST(BaselinesTest, NoUsableNodesThrows) {
+  std::vector<TestNode> nodes = idle_nodes(1);
+  nodes[0].live = false;
+  auto snap = make_snapshot(nodes);
+  RandomAllocator random(1);
+  EXPECT_THROW(random.allocate(snap, request_for(4)), util::CheckError);
+}
+
+}  // namespace
+}  // namespace nlarm::core

@@ -1,0 +1,121 @@
+#include "core/broker.h"
+
+#include <gtest/gtest.h>
+
+#include "core/baselines.h"
+#include "test_helpers.h"
+#include "util/check.h"
+
+namespace nlarm::core {
+namespace {
+
+using nlarm::testing::TestNode;
+using nlarm::testing::idle_nodes;
+using nlarm::testing::make_snapshot;
+
+AllocationRequest request_for(int nprocs, int ppn = 4) {
+  AllocationRequest req;
+  req.nprocs = nprocs;
+  req.ppn = ppn;
+  req.job = JobWeights::balanced();
+  return req;
+}
+
+TEST(BrokerTest, AllocatesOnQuietCluster) {
+  auto snap = make_snapshot(idle_nodes(6));
+  NetworkLoadAwareAllocator allocator;
+  ResourceBroker broker(allocator);
+  const BrokerDecision decision = broker.decide(snap, request_for(8, 4));
+  EXPECT_EQ(decision.action, BrokerDecision::Action::kAllocate);
+  EXPECT_EQ(decision.allocation.nodes.size(), 2u);
+  EXPECT_EQ(broker.decisions_made(), 1);
+  EXPECT_EQ(broker.waits_recommended(), 0);
+}
+
+TEST(BrokerTest, RecommendsWaitingUnderExtremeLoad) {
+  // §6: "If the overall load on the cluster is extremely high ... our tool
+  // should recommend waiting rather than allocating it right away."
+  std::vector<TestNode> nodes = idle_nodes(6);
+  for (auto& n : nodes) n.cpu_load = 20.0;  // 2.5 load per core
+  auto snap = make_snapshot(nodes);
+  NetworkLoadAwareAllocator allocator;
+  ResourceBroker broker(allocator);
+  const BrokerDecision decision = broker.decide(snap, request_for(8, 4));
+  EXPECT_EQ(decision.action, BrokerDecision::Action::kWait);
+  EXPECT_NE(decision.reason.find("wait"), std::string::npos);
+  EXPECT_GT(decision.cluster_load_per_core, 1.0);
+  EXPECT_EQ(broker.waits_recommended(), 1);
+}
+
+TEST(BrokerTest, ThresholdIsConfigurable) {
+  std::vector<TestNode> nodes = idle_nodes(4);
+  for (auto& n : nodes) n.cpu_load = 4.0;  // 0.5 per core
+  auto snap = make_snapshot(nodes);
+  NetworkLoadAwareAllocator allocator;
+  BrokerPolicy strict;
+  strict.max_load_per_core = 0.25;
+  ResourceBroker broker(allocator, strict);
+  EXPECT_EQ(broker.decide(snap, request_for(4)).action,
+            BrokerDecision::Action::kWait);
+  BrokerPolicy lenient;
+  lenient.max_load_per_core = 2.0;
+  ResourceBroker broker2(allocator, lenient);
+  EXPECT_EQ(broker2.decide(snap, request_for(4)).action,
+            BrokerDecision::Action::kAllocate);
+}
+
+TEST(BrokerTest, RejectsOversubscriptionByDefault) {
+  auto snap = make_snapshot(idle_nodes(2));  // 2 nodes × ppn 4 = 8 slots
+  NetworkLoadAwareAllocator allocator;
+  ResourceBroker broker(allocator);
+  const BrokerDecision decision = broker.decide(snap, request_for(32, 4));
+  EXPECT_EQ(decision.action, BrokerDecision::Action::kWait);
+  EXPECT_NE(decision.reason.find("capacity"), std::string::npos);
+  EXPECT_EQ(decision.effective_capacity, 8);
+}
+
+TEST(BrokerTest, OversubscriptionAllowedWhenConfigured) {
+  auto snap = make_snapshot(idle_nodes(2));
+  NetworkLoadAwareAllocator allocator;
+  BrokerPolicy policy;
+  policy.allow_oversubscription = true;
+  ResourceBroker broker(allocator, policy);
+  const BrokerDecision decision = broker.decide(snap, request_for(32, 4));
+  EXPECT_EQ(decision.action, BrokerDecision::Action::kAllocate);
+  EXPECT_EQ(decision.allocation.total_procs, 32);
+}
+
+TEST(BrokerTest, WaitsWhenTooFewUsableNodes) {
+  std::vector<TestNode> nodes = idle_nodes(3);
+  nodes[1].live = false;
+  nodes[2].live = false;
+  auto snap = make_snapshot(nodes);
+  NetworkLoadAwareAllocator allocator;
+  BrokerPolicy policy;
+  policy.min_usable_nodes = 2;
+  ResourceBroker broker(allocator, policy);
+  const BrokerDecision decision = broker.decide(snap, request_for(4));
+  EXPECT_EQ(decision.action, BrokerDecision::Action::kWait);
+}
+
+TEST(BrokerTest, WorksWithAnyAllocator) {
+  auto snap = make_snapshot(idle_nodes(4));
+  RandomAllocator random(9);
+  ResourceBroker broker(random);
+  const BrokerDecision decision = broker.decide(snap, request_for(8, 4));
+  EXPECT_EQ(decision.action, BrokerDecision::Action::kAllocate);
+  EXPECT_EQ(decision.allocation.policy, "random");
+}
+
+TEST(BrokerTest, InvalidPolicyRejected) {
+  NetworkLoadAwareAllocator allocator;
+  BrokerPolicy bad;
+  bad.max_load_per_core = 0.0;
+  EXPECT_THROW(ResourceBroker(allocator, bad), util::CheckError);
+  BrokerPolicy bad2;
+  bad2.min_usable_nodes = 0;
+  EXPECT_THROW(ResourceBroker(allocator, bad2), util::CheckError);
+}
+
+}  // namespace
+}  // namespace nlarm::core

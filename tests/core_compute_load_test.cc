@@ -1,0 +1,182 @@
+#include "core/compute_load.h"
+
+#include <gtest/gtest.h>
+
+#include "core/attributes.h"
+#include "test_helpers.h"
+#include "util/check.h"
+
+namespace nlarm::core {
+namespace {
+
+using nlarm::testing::TestNode;
+using nlarm::testing::make_snapshot;
+
+TEST(AttributesTest, CriteriaMatchTableOne) {
+  EXPECT_EQ(criterion_of(Attribute::kCoreCount), Criterion::kMaximize);
+  EXPECT_EQ(criterion_of(Attribute::kCpuFreq), Criterion::kMaximize);
+  EXPECT_EQ(criterion_of(Attribute::kTotalMem), Criterion::kMaximize);
+  EXPECT_EQ(criterion_of(Attribute::kMemAvail5), Criterion::kMaximize);
+  EXPECT_EQ(criterion_of(Attribute::kUsers), Criterion::kMinimize);
+  EXPECT_EQ(criterion_of(Attribute::kCpuLoad1), Criterion::kMinimize);
+  EXPECT_EQ(criterion_of(Attribute::kCpuUtil15), Criterion::kMinimize);
+  EXPECT_EQ(criterion_of(Attribute::kNetFlow5), Criterion::kMinimize);
+}
+
+TEST(AttributesTest, ValuesExtractedFromSnapshot) {
+  auto snap = make_snapshot({TestNode{.cpu_load = 2.0,
+                                      .cpu_util = 0.4,
+                                      .mem_used_gb = 6.0,
+                                      .net_flow_mbps = 12.0,
+                                      .users = 3,
+                                      .cores = 12,
+                                      .freq_ghz = 4.6,
+                                      .total_mem_gb = 16.0}});
+  const auto& node = snap.nodes[0];
+  EXPECT_DOUBLE_EQ(attribute_value(node, Attribute::kCoreCount), 12.0);
+  EXPECT_DOUBLE_EQ(attribute_value(node, Attribute::kCpuFreq), 4.6);
+  EXPECT_DOUBLE_EQ(attribute_value(node, Attribute::kCpuLoad5), 2.0);
+  EXPECT_DOUBLE_EQ(attribute_value(node, Attribute::kNetFlow1), 12.0);
+  EXPECT_DOUBLE_EQ(attribute_value(node, Attribute::kMemAvail15), 10.0);
+  EXPECT_DOUBLE_EQ(attribute_value(node, Attribute::kUsers), 3.0);
+}
+
+TEST(AttributesTest, NamesAreUnique) {
+  std::set<std::string> names;
+  for (Attribute a : kAllAttributes) {
+    EXPECT_TRUE(names.insert(to_string(a)).second);
+  }
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(kAttributeCount));
+}
+
+TEST(ComputeLoadTest, LoadedNodeCostsMore) {
+  auto snap = make_snapshot({TestNode{.cpu_load = 0.1},
+                             TestNode{.cpu_load = 6.0}});
+  const std::vector<cluster::NodeId> nodes{0, 1};
+  const auto cl = compute_loads(snap, nodes, ComputeLoadWeights{});
+  EXPECT_LT(cl[0], cl[1]);
+}
+
+TEST(ComputeLoadTest, FasterNodeCostsLess) {
+  auto snap = make_snapshot({TestNode{.cores = 8, .freq_ghz = 2.8},
+                             TestNode{.cores = 12, .freq_ghz = 4.6}});
+  const std::vector<cluster::NodeId> nodes{0, 1};
+  const auto cl = compute_loads(snap, nodes, ComputeLoadWeights{});
+  EXPECT_GT(cl[0], cl[1]);
+}
+
+TEST(ComputeLoadTest, IdenticalNodesEqualCost) {
+  auto snap = make_snapshot(nlarm::testing::idle_nodes(4));
+  const std::vector<cluster::NodeId> nodes{0, 1, 2, 3};
+  const auto cl = compute_loads(snap, nodes, ComputeLoadWeights{});
+  for (std::size_t i = 1; i < cl.size(); ++i) {
+    EXPECT_NEAR(cl[i], cl[0], 1e-12);
+  }
+}
+
+TEST(ComputeLoadTest, NetworkFlowRaisesCost) {
+  auto snap = make_snapshot({TestNode{.net_flow_mbps = 0.0},
+                             TestNode{.net_flow_mbps = 500.0}});
+  const std::vector<cluster::NodeId> nodes{0, 1};
+  const auto cl = compute_loads(snap, nodes, ComputeLoadWeights{});
+  EXPECT_LT(cl[0], cl[1]);
+}
+
+TEST(ComputeLoadTest, MemoryPressureRaisesCost) {
+  auto snap = make_snapshot({TestNode{.mem_used_gb = 1.0},
+                             TestNode{.mem_used_gb = 15.0}});
+  const std::vector<cluster::NodeId> nodes{0, 1};
+  const auto cl = compute_loads(snap, nodes, ComputeLoadWeights{});
+  EXPECT_LT(cl[0], cl[1]);
+}
+
+TEST(ComputeLoadTest, SubsetNormalizationIsSelfContained) {
+  auto snap = make_snapshot({TestNode{.cpu_load = 1.0},
+                             TestNode{.cpu_load = 2.0},
+                             TestNode{.cpu_load = 100.0}});
+  // Over the pair {0,1} only, the extreme node 2 must not influence costs.
+  const std::vector<cluster::NodeId> pair{0, 1};
+  const auto cl_pair = compute_loads(snap, pair, ComputeLoadWeights{});
+  auto snap2 = make_snapshot({TestNode{.cpu_load = 1.0},
+                              TestNode{.cpu_load = 2.0}});
+  const std::vector<cluster::NodeId> both{0, 1};
+  const auto cl_two = compute_loads(snap2, both, ComputeLoadWeights{});
+  EXPECT_NEAR(cl_pair[0], cl_two[0], 1e-12);
+  EXPECT_NEAR(cl_pair[1], cl_two[1], 1e-12);
+}
+
+TEST(ComputeLoadTest, WeightProfilesChangeRanking) {
+  // Node 0: loaded CPU but quiet network; node 1: idle CPU, busy network.
+  auto snap = make_snapshot({TestNode{.cpu_load = 4.0, .net_flow_mbps = 0.0},
+                             TestNode{.cpu_load = 0.0,
+                                      .net_flow_mbps = 800.0}});
+  const std::vector<cluster::NodeId> nodes{0, 1};
+  const auto compute = compute_loads(snap, nodes,
+                                     ComputeLoadWeights::compute_intensive());
+  const auto network = compute_loads(snap, nodes,
+                                     ComputeLoadWeights::network_intensive());
+  EXPECT_GT(compute[0], compute[1]);  // CPU-heavy job avoids loaded CPU
+  EXPECT_LT(network[0], network[1]);  // network-heavy job avoids busy NIC
+}
+
+TEST(ComputeLoadTest, InvalidWeightsRejected) {
+  auto snap = make_snapshot(nlarm::testing::idle_nodes(2));
+  const std::vector<cluster::NodeId> nodes{0, 1};
+  ComputeLoadWeights w;
+  w.cpu_load = -0.1;
+  EXPECT_THROW(compute_loads(snap, nodes, w), util::CheckError);
+  ComputeLoadWeights zero;
+  zero.cpu_load = zero.cpu_util = zero.net_flow = zero.memory = 0.0;
+  zero.core_count = zero.cpu_freq = zero.total_mem = zero.users = 0.0;
+  EXPECT_THROW(compute_loads(snap, nodes, zero), util::CheckError);
+}
+
+TEST(ComputeLoadTest, AttributeWeightsDecomposeGroups) {
+  ComputeLoadWeights w;
+  const double total = w.attribute_weight(Attribute::kCpuLoad1) +
+                       w.attribute_weight(Attribute::kCpuLoad5) +
+                       w.attribute_weight(Attribute::kCpuLoad15);
+  EXPECT_NEAR(total, w.cpu_load, 1e-12);
+  EXPECT_DOUBLE_EQ(w.attribute_weight(Attribute::kCoreCount), w.core_count);
+}
+
+TEST(EffectiveProcessCountTest, MatchesEquationThree) {
+  auto snap = make_snapshot({TestNode{.cpu_load = 0.0, .cores = 12}});
+  // ceil(0) % 12 = 0 → pc = 12.
+  EXPECT_EQ(effective_process_count(snap.nodes[0]), 12);
+
+  snap = make_snapshot({TestNode{.cpu_load = 3.2, .cores = 12}});
+  // ceil(3.2)=4, 4%12=4 → pc = 8.
+  EXPECT_EQ(effective_process_count(snap.nodes[0]), 8);
+
+  snap = make_snapshot({TestNode{.cpu_load = 13.0, .cores = 12}});
+  // 13%12=1 → pc = 11 (the paper's modulo semantics).
+  EXPECT_EQ(effective_process_count(snap.nodes[0]), 11);
+
+  snap = make_snapshot({TestNode{.cpu_load = 12.0, .cores = 12}});
+  // 12%12=0 → pc = 12.
+  EXPECT_EQ(effective_process_count(snap.nodes[0]), 12);
+}
+
+TEST(EffectiveProcessCountTest, AlwaysInOneToCores) {
+  for (double load = 0.0; load < 40.0; load += 0.7) {
+    auto snap = make_snapshot({TestNode{.cpu_load = load, .cores = 8}});
+    const int pc = effective_process_count(snap.nodes[0]);
+    EXPECT_GE(pc, 1);
+    EXPECT_LE(pc, 8);
+  }
+}
+
+TEST(EffectiveProcessCountTest, PpnOverrides) {
+  auto snap = make_snapshot({TestNode{.cpu_load = 5.0, .cores = 12},
+                             TestNode{.cpu_load = 0.0, .cores = 8}});
+  const std::vector<cluster::NodeId> nodes{0, 1};
+  const auto pc = effective_process_counts(snap, nodes, /*ppn=*/4);
+  EXPECT_EQ(pc, (std::vector<int>{4, 4}));
+  const auto derived = effective_process_counts(snap, nodes, /*ppn=*/0);
+  EXPECT_EQ(derived[0], 7);   // ceil(5)%12=5 → 7
+  EXPECT_EQ(derived[1], 8);
+}
+
+}  // namespace
+}  // namespace nlarm::core

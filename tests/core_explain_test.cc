@@ -1,0 +1,82 @@
+#include "core/explain.h"
+
+#include <gtest/gtest.h>
+
+#include "core/baselines.h"
+#include "test_helpers.h"
+
+namespace nlarm::core {
+namespace {
+
+using nlarm::testing::TestNode;
+using nlarm::testing::idle_nodes;
+using nlarm::testing::make_snapshot;
+
+AllocationRequest request_for(int nprocs) {
+  AllocationRequest req;
+  req.nprocs = nprocs;
+  req.ppn = 4;
+  req.job = JobWeights{0.3, 0.7};
+  return req;
+}
+
+TEST(ExplainTest, ReportNamesNodesAndPolicy) {
+  auto snap = make_snapshot(idle_nodes(6));
+  NetworkLoadAwareAllocator allocator;
+  const AllocationRequest req = request_for(8);
+  const Allocation alloc = allocator.allocate(snap, req);
+  const std::string report =
+      explain_allocation(snap, req, alloc, &allocator);
+  EXPECT_NE(report.find("network-load-aware"), std::string::npos);
+  for (cluster::NodeId id : alloc.nodes) {
+    EXPECT_NE(report.find(snap.nodes[static_cast<std::size_t>(id)]
+                              .spec.hostname),
+              std::string::npos);
+  }
+}
+
+TEST(ExplainTest, IncludesCandidateRankingWhenAllocatorGiven) {
+  auto snap = make_snapshot(idle_nodes(5));
+  NetworkLoadAwareAllocator allocator;
+  const AllocationRequest req = request_for(8);
+  const Allocation alloc = allocator.allocate(snap, req);
+  const std::string with =
+      explain_allocation(snap, req, alloc, &allocator);
+  const std::string without = explain_allocation(snap, req, alloc);
+  EXPECT_NE(with.find("Candidates: 5 generated"), std::string::npos);
+  EXPECT_EQ(without.find("Candidates:"), std::string::npos);
+}
+
+TEST(ExplainTest, WorksForBaselinePolicies) {
+  auto snap = make_snapshot(idle_nodes(4));
+  RandomAllocator allocator(3);
+  const AllocationRequest req = request_for(8);
+  const Allocation alloc = allocator.allocate(snap, req);
+  const std::string report = explain_allocation(snap, req, alloc);
+  EXPECT_NE(report.find("'random'"), std::string::npos);
+  EXPECT_NE(report.find("Group network"), std::string::npos);
+}
+
+TEST(ExplainTest, ShowsMonitoredLoad) {
+  std::vector<TestNode> nodes = idle_nodes(3);
+  nodes[0].cpu_load = 7.25;
+  auto snap = make_snapshot(nodes);
+  LoadAwareAllocator allocator;
+  const AllocationRequest req = request_for(12);
+  const Allocation alloc = allocator.allocate(snap, req);
+  const std::string report = explain_allocation(snap, req, alloc);
+  EXPECT_NE(report.find("7.25"), std::string::npos);
+}
+
+TEST(ExplainTest, SingleNodeAllocationHasNoPairSection) {
+  auto snap = make_snapshot(idle_nodes(3));
+  NetworkLoadAwareAllocator allocator;
+  const AllocationRequest req = request_for(4);  // one node at ppn 4
+  const Allocation alloc = allocator.allocate(snap, req);
+  const std::string report = explain_allocation(snap, req, alloc);
+  EXPECT_EQ(report.find("Group network"), std::string::npos);
+  EXPECT_NE(report.find("Group compute"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nlarm::core

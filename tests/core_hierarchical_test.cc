@@ -1,0 +1,180 @@
+#include "core/hierarchical.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "test_helpers.h"
+#include "util/check.h"
+
+namespace nlarm::core {
+namespace {
+
+using nlarm::testing::TestNode;
+using nlarm::testing::idle_nodes;
+using nlarm::testing::make_snapshot;
+using nlarm::testing::set_pair;
+
+/// Snapshot with `groups` switch groups of `per_group` nodes; intra-group
+/// pairs get good network, cross-group pairs get progressively worse.
+monitor::ClusterSnapshot grouped_snapshot(int groups, int per_group,
+                                          double cross_latency = 400.0,
+                                          double cross_bw = 500.0) {
+  const int n = groups * per_group;
+  auto snap = make_snapshot(idle_nodes(n), 80.0, 950.0, 1000.0);
+  for (int i = 0; i < n; ++i) {
+    snap.nodes[static_cast<std::size_t>(i)].spec.switch_id = i / per_group;
+  }
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      if (u / per_group != v / per_group) {
+        set_pair(snap, u, v, cross_latency, cross_bw);
+      }
+    }
+  }
+  return snap;
+}
+
+AllocationRequest request_for(int nprocs, int ppn = 4) {
+  AllocationRequest req;
+  req.nprocs = nprocs;
+  req.ppn = ppn;
+  req.job = JobWeights{0.3, 0.7};
+  return req;
+}
+
+TEST(FormGroupsTest, PartitionsBySwitch) {
+  auto snap = grouped_snapshot(3, 4);
+  const auto usable = snap.usable_nodes();
+  const auto groups = form_groups(snap, usable);
+  ASSERT_EQ(groups.size(), 3u);
+  for (const NodeGroup& group : groups) {
+    EXPECT_EQ(group.nodes.size(), 4u);
+    for (cluster::NodeId id : group.nodes) {
+      EXPECT_EQ(snap.nodes[static_cast<std::size_t>(id)].spec.switch_id,
+                group.switch_id);
+    }
+  }
+}
+
+TEST(HierarchicalTest, SatisfiesRequest) {
+  auto snap = grouped_snapshot(4, 5);
+  HierarchicalAllocator allocator;
+  for (int nprocs : {4, 8, 16, 20}) {
+    const Allocation alloc = allocator.allocate(snap, request_for(nprocs));
+    EXPECT_EQ(std::accumulate(alloc.procs_per_node.begin(),
+                              alloc.procs_per_node.end(), 0),
+              nprocs);
+    std::set<cluster::NodeId> unique(alloc.nodes.begin(), alloc.nodes.end());
+    EXPECT_EQ(unique.size(), alloc.nodes.size());
+    EXPECT_EQ(alloc.policy, "hierarchical");
+  }
+}
+
+TEST(HierarchicalTest, StaysInsideOneGroupWhenItFits) {
+  auto snap = grouped_snapshot(3, 4);
+  HierarchicalAllocator allocator;
+  // 12 procs at ppn 4 = 3 nodes; one 4-node group suffices.
+  const Allocation alloc = allocator.allocate(snap, request_for(12));
+  ASSERT_EQ(alloc.nodes.size(), 3u);
+  std::set<int> switches;
+  for (cluster::NodeId id : alloc.nodes) {
+    switches.insert(snap.nodes[static_cast<std::size_t>(id)].spec.switch_id);
+  }
+  EXPECT_EQ(switches.size(), 1u);
+  EXPECT_EQ(allocator.last_chosen_groups().size(), 1u);
+}
+
+TEST(HierarchicalTest, SpillsToSecondGroupWhenNecessary) {
+  auto snap = grouped_snapshot(3, 4);
+  HierarchicalAllocator allocator;
+  // 24 procs = 6 nodes; needs two groups.
+  const Allocation alloc = allocator.allocate(snap, request_for(24));
+  EXPECT_EQ(alloc.nodes.size(), 6u);
+  EXPECT_GE(allocator.last_chosen_groups().size(), 2u);
+}
+
+TEST(HierarchicalTest, AvoidsLoadedGroup) {
+  auto snap = grouped_snapshot(3, 4);
+  // Load every node in group 0.
+  for (int i = 0; i < 4; ++i) {
+    auto& node = snap.nodes[static_cast<std::size_t>(i)];
+    node.cpu_load = 8.0;
+    node.cpu_load_avg = {8.0, 8.0, 8.0};
+  }
+  HierarchicalAllocator allocator;
+  const Allocation alloc = allocator.allocate(snap, request_for(12));
+  for (cluster::NodeId id : alloc.nodes) {
+    EXPECT_GE(id, 4);  // group 0 avoided
+  }
+}
+
+TEST(HierarchicalTest, AvoidsPoorlyConnectedGroupPair) {
+  auto snap = grouped_snapshot(3, 2);  // groups of 2, need 2 groups for 16p
+  // Make group 0 ↔ group 1 and 0 ↔ 2 terrible, 1 ↔ 2 decent.
+  auto worsen = [&](int ga, int gb, double lat, double bw) {
+    for (int u = ga * 2; u < ga * 2 + 2; ++u) {
+      for (int v = gb * 2; v < gb * 2 + 2; ++v) {
+        set_pair(snap, u, v, lat, bw);
+      }
+    }
+  };
+  worsen(0, 1, 900.0, 100.0);
+  worsen(0, 2, 900.0, 100.0);
+  worsen(1, 2, 120.0, 900.0);
+  HierarchicalAllocator allocator;
+  const Allocation alloc = allocator.allocate(snap, request_for(16));
+  // 4 nodes needed → two groups; the pair {1,2} is clearly best.
+  for (cluster::NodeId id : alloc.nodes) {
+    EXPECT_GE(id, 2);  // no group-0 node
+  }
+}
+
+TEST(HierarchicalTest, MatchesFlatAllocatorOnSmallCluster) {
+  // On one switch the hierarchy degenerates; results should satisfy the
+  // same request with comparable quality (same node set, order aside).
+  auto snap = make_snapshot(idle_nodes(6), 80.0, 950.0, 1000.0);
+  snap.nodes[2].cpu_load = 9.0;
+  snap.nodes[2].cpu_load_avg = {9.0, 9.0, 9.0};
+  HierarchicalAllocator hierarchical;
+  NetworkLoadAwareAllocator flat;
+  const Allocation a = hierarchical.allocate(snap, request_for(8));
+  const Allocation b = flat.allocate(snap, request_for(8));
+  const std::set<cluster::NodeId> sa(a.nodes.begin(), a.nodes.end());
+  const std::set<cluster::NodeId> sb(b.nodes.begin(), b.nodes.end());
+  EXPECT_EQ(sa, sb);
+}
+
+TEST(HierarchicalTest, PairSampleZeroMeansExhaustive) {
+  auto snap = grouped_snapshot(2, 3);
+  HierarchicalOptions options;
+  options.pair_sample = 0;
+  HierarchicalAllocator allocator(options);
+  EXPECT_NO_THROW(allocator.allocate(snap, request_for(8)));
+  HierarchicalOptions bad;
+  bad.pair_sample = -1;
+  EXPECT_THROW(HierarchicalAllocator{bad}, util::CheckError);
+}
+
+TEST(HierarchicalTest, Deterministic) {
+  auto snap = grouped_snapshot(4, 4);
+  snap.nodes[5].cpu_load = 3.0;
+  snap.nodes[5].cpu_load_avg = {3.0, 3.0, 3.0};
+  HierarchicalAllocator a;
+  HierarchicalAllocator b;
+  EXPECT_EQ(a.allocate(snap, request_for(16)).nodes,
+            b.allocate(snap, request_for(16)).nodes);
+}
+
+TEST(HierarchicalTest, NoUsableNodesThrows) {
+  std::vector<TestNode> nodes = idle_nodes(2);
+  nodes[0].live = false;
+  nodes[1].live = false;
+  auto snap = make_snapshot(nodes);
+  HierarchicalAllocator allocator;
+  EXPECT_THROW(allocator.allocate(snap, request_for(4)), util::CheckError);
+}
+
+}  // namespace
+}  // namespace nlarm::core

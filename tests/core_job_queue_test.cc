@@ -1,0 +1,155 @@
+#include "core/job_queue.h"
+
+#include <gtest/gtest.h>
+
+#include "core/baselines.h"
+#include "test_helpers.h"
+#include "util/check.h"
+
+namespace nlarm::core {
+namespace {
+
+using nlarm::testing::TestNode;
+using nlarm::testing::idle_nodes;
+using nlarm::testing::make_snapshot;
+
+AllocationRequest request_for(int nprocs, int ppn = 4) {
+  AllocationRequest req;
+  req.nprocs = nprocs;
+  req.ppn = ppn;
+  req.job = JobWeights::balanced();
+  return req;
+}
+
+class JobQueueTest : public ::testing::Test {
+ protected:
+  NetworkLoadAwareAllocator allocator_;
+};
+
+TEST_F(JobQueueTest, StartsJobImmediatelyWhenClusterFree) {
+  JobQueue queue(allocator_);
+  auto snap = make_snapshot(idle_nodes(6));
+  queue.submit("job-a", request_for(8), 0.0);
+  const auto started = queue.poll(snap, 1.0);
+  ASSERT_EQ(started.size(), 1u);
+  EXPECT_EQ(started[0].name, "job-a");
+  EXPECT_DOUBLE_EQ(started[0].wait_time(), 1.0);
+  EXPECT_EQ(queue.pending(), 0u);
+  EXPECT_EQ(queue.running(), 1u);
+}
+
+TEST_F(JobQueueTest, ReservationPreventsDoubleBooking) {
+  JobQueue queue(allocator_);
+  auto snap = make_snapshot(idle_nodes(4));  // 4 nodes × ppn4 = 16 slots
+  queue.submit("a", request_for(8), 0.0);   // 2 nodes
+  queue.submit("b", request_for(8), 0.0);   // 2 nodes
+  const auto started = queue.poll(snap, 0.0);
+  ASSERT_EQ(started.size(), 2u);
+  // Disjoint node sets.
+  for (cluster::NodeId n : started[0].allocation.nodes) {
+    for (cluster::NodeId m : started[1].allocation.nodes) {
+      EXPECT_NE(n, m);
+    }
+  }
+  EXPECT_EQ(queue.reserved_nodes().size(), 4u);
+}
+
+TEST_F(JobQueueTest, FullClusterQueuesUntilRelease) {
+  JobQueue queue(allocator_);
+  auto snap = make_snapshot(idle_nodes(2));
+  const JobId first = queue.submit("big", request_for(8), 0.0);
+  queue.submit("second", request_for(8), 0.0);
+  auto started = queue.poll(snap, 0.0);
+  ASSERT_EQ(started.size(), 1u);
+  EXPECT_EQ(started[0].id, first);
+  EXPECT_EQ(queue.pending(), 1u);
+  // Still blocked.
+  EXPECT_TRUE(queue.poll(snap, 5.0).empty());
+  // Free the nodes; the queued job starts.
+  queue.release(first);
+  started = queue.poll(snap, 10.0);
+  ASSERT_EQ(started.size(), 1u);
+  EXPECT_EQ(started[0].name, "second");
+  EXPECT_DOUBLE_EQ(started[0].wait_time(), 10.0);
+}
+
+TEST_F(JobQueueTest, BackfillLetsSmallJobJumpBlockedHead) {
+  QueueOptions options;
+  options.backfill = true;
+  JobQueue queue(allocator_, options);
+  auto snap = make_snapshot(idle_nodes(3));
+  // Head job needs 3 nodes but 2 are taken; small job fits in 1.
+  const JobId runner = queue.submit("runner", request_for(8), 0.0);
+  queue.poll(snap, 0.0);
+  queue.submit("head-too-big", request_for(8), 1.0);   // needs 2 free, has 1
+  queue.submit("small", request_for(4), 1.0);          // needs 1 free
+  const auto started = queue.poll(snap, 2.0);
+  ASSERT_EQ(started.size(), 1u);
+  EXPECT_EQ(started[0].name, "small");
+  EXPECT_EQ(queue.pending(), 1u);
+  queue.release(runner);
+}
+
+TEST_F(JobQueueTest, FifoWithoutBackfill) {
+  QueueOptions options;
+  options.backfill = false;
+  JobQueue queue(allocator_, options);
+  auto snap = make_snapshot(idle_nodes(3));
+  queue.submit("runner", request_for(8), 0.0);
+  queue.poll(snap, 0.0);
+  queue.submit("head-too-big", request_for(8), 1.0);
+  queue.submit("small", request_for(4), 1.0);
+  EXPECT_TRUE(queue.poll(snap, 2.0).empty());  // strict FIFO blocks
+  EXPECT_EQ(queue.pending(), 2u);
+}
+
+TEST_F(JobQueueTest, MaxAttemptsRejects) {
+  QueueOptions options;
+  options.max_attempts = 2;
+  JobQueue queue(allocator_, options);
+  std::vector<TestNode> nodes = idle_nodes(2);
+  for (auto& n : nodes) n.cpu_load = 50.0;  // broker always says wait
+  auto snap = make_snapshot(nodes);
+  queue.submit("doomed", request_for(4), 0.0);
+  EXPECT_TRUE(queue.poll(snap, 1.0).empty());
+  EXPECT_EQ(queue.rejected(), 0);
+  EXPECT_TRUE(queue.poll(snap, 2.0).empty());
+  EXPECT_EQ(queue.rejected(), 1);
+  EXPECT_EQ(queue.pending(), 0u);
+}
+
+TEST_F(JobQueueTest, ReleaseUnknownJobThrows) {
+  JobQueue queue(allocator_);
+  EXPECT_THROW(queue.release(99), util::CheckError);
+}
+
+TEST_F(JobQueueTest, MeanWaitTimeTracked) {
+  JobQueue queue(allocator_);
+  auto snap = make_snapshot(idle_nodes(4));
+  queue.submit("a", request_for(4), 0.0);
+  queue.submit("b", request_for(4), 0.0);
+  queue.poll(snap, 3.0);
+  EXPECT_DOUBLE_EQ(queue.mean_wait_time(), 3.0);
+}
+
+TEST_F(JobQueueTest, ReservationCanBeDisabled) {
+  QueueOptions options;
+  options.reserve_nodes = false;
+  JobQueue queue(allocator_, options);
+  auto snap = make_snapshot(idle_nodes(2));
+  queue.submit("a", request_for(8), 0.0);
+  queue.submit("b", request_for(8), 0.0);
+  // Without reservations both start (overlapping, like today's unmanaged
+  // shared clusters).
+  EXPECT_EQ(queue.poll(snap, 0.0).size(), 2u);
+}
+
+TEST_F(JobQueueTest, InvalidRequestRejectedAtSubmit) {
+  JobQueue queue(allocator_);
+  AllocationRequest bad;
+  bad.nprocs = 0;
+  EXPECT_THROW(queue.submit("bad", bad, 0.0), util::CheckError);
+}
+
+}  // namespace
+}  // namespace nlarm::core

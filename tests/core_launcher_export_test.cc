@@ -1,0 +1,113 @@
+#include "core/launcher_export.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "test_helpers.h"
+
+namespace nlarm::core {
+namespace {
+
+using nlarm::testing::idle_nodes;
+using nlarm::testing::make_snapshot;
+
+Allocation make_allocation(std::vector<cluster::NodeId> nodes, int ppn) {
+  Allocation alloc;
+  alloc.policy = "test";
+  alloc.nodes = std::move(nodes);
+  alloc.procs_per_node.assign(alloc.nodes.size(), ppn);
+  alloc.total_procs = static_cast<int>(alloc.nodes.size()) * ppn;
+  return alloc;
+}
+
+TEST(CompressHostlistTest, SingleHost) {
+  EXPECT_EQ(compress_hostlist({"csews5"}), "csews5");
+}
+
+TEST(CompressHostlistTest, ContiguousRange) {
+  EXPECT_EQ(compress_hostlist({"csews1", "csews2", "csews3"}),
+            "csews[1-3]");
+}
+
+TEST(CompressHostlistTest, MixedRangesAndSingles) {
+  EXPECT_EQ(
+      compress_hostlist({"csews1", "csews2", "csews3", "csews7", "csews9",
+                         "csews10"}),
+      "csews[1-3,7,9-10]");
+}
+
+TEST(CompressHostlistTest, UnsortedAndDuplicatesHandled) {
+  EXPECT_EQ(compress_hostlist({"csews3", "csews1", "csews2", "csews2"}),
+            "csews[1-3]");
+}
+
+TEST(CompressHostlistTest, MultiplePrefixes) {
+  EXPECT_EQ(compress_hostlist({"gpu1", "gpu2", "csews4"}),
+            "csews4,gpu[1-2]");
+}
+
+TEST(CompressHostlistTest, NonNumericHostsVerbatim) {
+  EXPECT_EQ(compress_hostlist({"headnode", "csews1"}), "csews1,headnode");
+}
+
+TEST(CompressHostlistTest, EmptyList) {
+  EXPECT_EQ(compress_hostlist({}), "");
+}
+
+TEST(LauncherExportTest, OpenMpiHostfileFormat) {
+  auto snap = make_snapshot(idle_nodes(4));
+  const Allocation alloc = make_allocation({0, 2}, 4);
+  const std::string hostfile = to_openmpi_hostfile(alloc, snap);
+  EXPECT_EQ(hostfile, "csews1 slots=4\ncsews3 slots=4\n");
+}
+
+TEST(LauncherExportTest, MpichMachinefileFormat) {
+  auto snap = make_snapshot(idle_nodes(4));
+  const Allocation alloc = make_allocation({1}, 8);
+  EXPECT_EQ(to_mpich_machinefile(alloc, snap), "csews2:8\n");
+}
+
+TEST(LauncherExportTest, SlurmNodelistCompressed) {
+  auto snap = make_snapshot(idle_nodes(8));
+  const Allocation alloc = make_allocation({0, 1, 2, 5}, 4);
+  EXPECT_EQ(to_slurm_nodelist(alloc, snap), "csews[1-3,6]");
+}
+
+TEST(LauncherExportTest, SlurmExcludeIsComplement) {
+  auto snap = make_snapshot(idle_nodes(6));
+  const Allocation alloc = make_allocation({0, 1}, 4);
+  EXPECT_EQ(to_slurm_exclude(alloc, snap), "csews[3-6]");
+}
+
+TEST(LauncherExportTest, ExcludeSkipsDeadNodes) {
+  auto nodes = idle_nodes(4);
+  nodes[3].live = false;
+  auto snap = make_snapshot(nodes);
+  const Allocation alloc = make_allocation({0}, 4);
+  // Node 3 is not usable, so it is not "excludable" either.
+  EXPECT_EQ(to_slurm_exclude(alloc, snap), "csews[2-3]");
+}
+
+TEST(LauncherExportTest, SrunCommandComplete) {
+  auto snap = make_snapshot(idle_nodes(8));
+  const Allocation alloc = make_allocation({0, 1, 2, 3}, 4);
+  const std::string cmd = to_srun_command(alloc, snap, "./minimd");
+  EXPECT_EQ(cmd,
+            "srun --nodes=4 --ntasks=16 --ntasks-per-node=4 "
+            "--nodelist=csews[1-4] ./minimd");
+}
+
+TEST(LauncherExportTest, TopologyConfListsSwitchesAndNodes) {
+  cluster::Cluster c = cluster::make_uniform_cluster(6, 3);
+  auto snap = make_snapshot(idle_nodes(6));
+  const std::string conf =
+      to_slurm_topology_conf(c.topology(), snap);
+  EXPECT_NE(conf.find("SwitchName=sw0 Nodes=csews[1-2] Switches=sw1"),
+            std::string::npos)
+      << conf;
+  EXPECT_NE(conf.find("SwitchName=sw2 Nodes=csews[5-6]"), std::string::npos)
+      << conf;
+}
+
+}  // namespace
+}  // namespace nlarm::core

@@ -1,0 +1,136 @@
+#include "core/network_load.h"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+#include "util/check.h"
+
+namespace nlarm::core {
+namespace {
+
+using nlarm::testing::TestNode;
+using nlarm::testing::idle_nodes;
+using nlarm::testing::make_snapshot;
+using nlarm::testing::set_pair;
+
+TEST(PairMetricsTest, ComplementIsPeakMinusAvailable) {
+  auto snap = make_snapshot(idle_nodes(2), /*lat=*/100.0, /*bw=*/880.0,
+                            /*peak=*/1000.0);
+  const PairMetrics m = pair_metrics(snap, 0, 1);
+  EXPECT_DOUBLE_EQ(m.latency_us, 100.0);
+  EXPECT_DOUBLE_EQ(m.bandwidth_complement_mbps, 120.0);
+}
+
+TEST(PairMetricsTest, UnmeasuredPairSignalled) {
+  auto snap = make_snapshot(idle_nodes(2));
+  snap.net.bandwidth_mbps[0][1] = -1.0;
+  const PairMetrics m = pair_metrics(snap, 0, 1);
+  EXPECT_LT(m.bandwidth_complement_mbps, 0.0);
+}
+
+TEST(PairMetricsTest, SelfPairRejected) {
+  auto snap = make_snapshot(idle_nodes(2));
+  EXPECT_THROW(pair_metrics(snap, 1, 1), util::CheckError);
+}
+
+TEST(NetworkLoadTest, MatrixIsSymmetricZeroDiagonal) {
+  auto snap = make_snapshot(idle_nodes(4));
+  set_pair(snap, 0, 1, 300.0, 500.0);
+  const std::vector<cluster::NodeId> nodes{0, 1, 2, 3};
+  const auto nl = network_loads(snap, nodes, NetworkLoadWeights{});
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(nl[i][i], 0.0);
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_DOUBLE_EQ(nl[i][j], nl[j][i]);
+    }
+  }
+}
+
+TEST(NetworkLoadTest, CongestedPairCostsMore) {
+  auto snap = make_snapshot(idle_nodes(3), 100.0, 950.0, 1000.0);
+  set_pair(snap, 0, 1, 600.0, 200.0);  // slow, congested pair
+  const std::vector<cluster::NodeId> nodes{0, 1, 2};
+  const auto nl = network_loads(snap, nodes, NetworkLoadWeights{});
+  EXPECT_GT(nl[0][1], nl[0][2]);
+  EXPECT_GT(nl[0][1], nl[1][2]);
+}
+
+TEST(NetworkLoadTest, LatencyWeightIsolatesLatency) {
+  auto snap = make_snapshot(idle_nodes(3), 100.0, 900.0, 1000.0);
+  set_pair(snap, 0, 1, 500.0, 900.0);  // high latency, same bandwidth
+  set_pair(snap, 0, 2, 100.0, 300.0);  // low latency, poor bandwidth
+  const std::vector<cluster::NodeId> nodes{0, 1, 2};
+  const auto lat_only =
+      network_loads(snap, nodes, NetworkLoadWeights{1.0, 0.0});
+  EXPECT_GT(lat_only[0][1], lat_only[0][2]);
+  const auto bw_only =
+      network_loads(snap, nodes, NetworkLoadWeights{0.0, 1.0});
+  EXPECT_LT(bw_only[0][1], bw_only[0][2]);
+}
+
+TEST(NetworkLoadTest, UniformNetworkUniformLoads) {
+  auto snap = make_snapshot(idle_nodes(4));
+  const std::vector<cluster::NodeId> nodes{0, 1, 2, 3};
+  const auto nl = network_loads(snap, nodes, NetworkLoadWeights{});
+  const double reference = nl[0][1];
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = i + 1; j < 4; ++j) {
+      EXPECT_NEAR(nl[i][j], reference, 1e-12);
+    }
+  }
+}
+
+TEST(NetworkLoadTest, MissingMeasurementsFilledWithMean) {
+  auto snap = make_snapshot(idle_nodes(3), 100.0, 900.0, 1000.0);
+  // Pair (1,2) never measured.
+  set_pair(snap, 1, 2, -1.0, -1.0);
+  snap.net.peak_mbps[1][2] = -1.0;
+  snap.net.peak_mbps[2][1] = -1.0;
+  const std::vector<cluster::NodeId> nodes{0, 1, 2};
+  const auto nl = network_loads(snap, nodes, NetworkLoadWeights{});
+  // Filled with the mean of measured pairs → equal to them.
+  EXPECT_NEAR(nl[1][2], nl[0][1], 1e-12);
+}
+
+TEST(NetworkLoadTest, FullyUnmeasuredDegradesGracefully) {
+  auto snap = make_snapshot(idle_nodes(3), -1.0, -1.0, -1.0);
+  for (auto& row : snap.net.peak_mbps) {
+    for (double& v : row) v = -1.0;
+  }
+  const std::vector<cluster::NodeId> nodes{0, 1, 2};
+  const auto nl = network_loads(snap, nodes, NetworkLoadWeights{});
+  // All pairs equal: the allocator falls back to compute load only.
+  EXPECT_NEAR(nl[0][1], nl[0][2], 1e-12);
+  EXPECT_NEAR(nl[0][1], nl[1][2], 1e-12);
+}
+
+TEST(NetworkLoadTest, SingleNodeHasNoNetworkLoad) {
+  auto snap = make_snapshot(idle_nodes(1));
+  const std::vector<cluster::NodeId> nodes{0};
+  const auto nl = network_loads(snap, nodes, NetworkLoadWeights{});
+  ASSERT_EQ(nl.size(), 1u);
+  EXPECT_DOUBLE_EQ(nl[0][0], 0.0);
+}
+
+TEST(GroupNetworkLoadTest, AveragesOverPairs) {
+  std::vector<std::vector<double>> nl{{0.0, 2.0, 4.0},
+                                      {2.0, 0.0, 6.0},
+                                      {4.0, 6.0, 0.0}};
+  const std::vector<std::size_t> all{0, 1, 2};
+  EXPECT_DOUBLE_EQ(group_network_load(nl, all), 4.0);  // (2+4+6)/3
+  const std::vector<std::size_t> pair{0, 2};
+  EXPECT_DOUBLE_EQ(group_network_load(nl, pair), 4.0);
+  const std::vector<std::size_t> single{1};
+  EXPECT_DOUBLE_EQ(group_network_load(nl, single), 0.0);
+}
+
+TEST(NetworkLoadWeightsTest, Validation) {
+  NetworkLoadWeights w{-0.1, 0.5};
+  EXPECT_THROW(w.validate(), util::CheckError);
+  NetworkLoadWeights zero{0.0, 0.0};
+  EXPECT_THROW(zero.validate(), util::CheckError);
+  EXPECT_NO_THROW(NetworkLoadWeights{}.validate());
+}
+
+}  // namespace
+}  // namespace nlarm::core

@@ -1,0 +1,93 @@
+#include "core/normalize.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "util/check.h"
+
+namespace nlarm::core {
+namespace {
+
+TEST(NormalizeTest, DividesBySum) {
+  const std::vector<double> v{1.0, 3.0};
+  const auto n = normalize_by_sum(v);
+  EXPECT_DOUBLE_EQ(n[0], 0.25);
+  EXPECT_DOUBLE_EQ(n[1], 0.75);
+}
+
+TEST(NormalizeTest, NormalizedValuesSumToOne) {
+  const std::vector<double> v{0.2, 5.0, 1.7, 9.3};
+  const auto n = normalize_by_sum(v);
+  EXPECT_NEAR(std::accumulate(n.begin(), n.end(), 0.0), 1.0, 1e-12);
+}
+
+TEST(NormalizeTest, AllZeroStaysZero) {
+  const std::vector<double> v{0.0, 0.0, 0.0};
+  const auto n = normalize_by_sum(v);
+  for (double x : n) EXPECT_DOUBLE_EQ(x, 0.0);
+}
+
+TEST(NormalizeTest, NegativeInputRejected) {
+  const std::vector<double> v{1.0, -2.0};
+  EXPECT_THROW(normalize_by_sum(v), util::CheckError);
+}
+
+TEST(NormalizeTest, EmptyInputOk) {
+  EXPECT_TRUE(normalize_by_sum({}).empty());
+  EXPECT_TRUE(complement_max({}).empty());
+}
+
+TEST(ComplementTest, ComplementsAgainstMax) {
+  const std::vector<double> v{1.0, 4.0, 2.5};
+  const auto c = complement_max(v);
+  EXPECT_DOUBLE_EQ(c[0], 3.0);
+  EXPECT_DOUBLE_EQ(c[1], 0.0);
+  EXPECT_DOUBLE_EQ(c[2], 1.5);
+}
+
+TEST(ComplementTest, ResultNonNegative) {
+  const std::vector<double> v{0.1, 0.9, 0.5};
+  for (double c : complement_max(v)) EXPECT_GE(c, 0.0);
+}
+
+TEST(ComplementTest, BestElementBecomesZero) {
+  // The node with the most of a maximize-attribute should carry zero cost.
+  const std::vector<double> v{10.0, 50.0, 30.0};
+  const auto c = complement_max(v);
+  EXPECT_DOUBLE_EQ(c[1], 0.0);
+}
+
+TEST(NormalizeAttributeTest, MinimizeIsPlainNormalization) {
+  const std::vector<double> v{2.0, 2.0};
+  const auto n = normalize_attribute(v, /*maximize=*/false);
+  EXPECT_DOUBLE_EQ(n[0], 0.5);
+}
+
+TEST(NormalizeAttributeTest, MaximizeFlipsOrdering) {
+  // Higher raw value (better for maximize) must yield lower cost.
+  const std::vector<double> v{8.0, 16.0, 4.0};
+  const auto n = normalize_attribute(v, /*maximize=*/true);
+  EXPECT_LT(n[1], n[0]);
+  EXPECT_LT(n[0], n[2]);
+}
+
+TEST(NormalizeAttributeTest, MinimizeKeepsOrdering) {
+  const std::vector<double> v{8.0, 16.0, 4.0};
+  const auto n = normalize_attribute(v, /*maximize=*/false);
+  EXPECT_GT(n[1], n[0]);
+  EXPECT_GT(n[0], n[2]);
+}
+
+TEST(NormalizeAttributeTest, EqualValuesEqualCosts) {
+  const std::vector<double> v{3.0, 3.0, 3.0};
+  for (bool maximize : {false, true}) {
+    const auto n = normalize_attribute(v, maximize);
+    EXPECT_DOUBLE_EQ(n[0], n[1]);
+    EXPECT_DOUBLE_EQ(n[1], n[2]);
+  }
+}
+
+}  // namespace
+}  // namespace nlarm::core

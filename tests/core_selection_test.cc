@@ -1,0 +1,126 @@
+#include "core/selection.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace nlarm::core {
+namespace {
+
+Candidate make_candidate(std::size_t start, std::vector<std::size_t> members) {
+  Candidate c;
+  c.start_index = start;
+  c.members = std::move(members);
+  c.procs.assign(c.members.size(), 4);
+  c.total_procs = static_cast<int>(c.members.size()) * 4;
+  return c;
+}
+
+std::vector<std::vector<double>> uniform_nl(std::size_t n, double value) {
+  std::vector<std::vector<double>> nl(n, std::vector<double>(n, value));
+  for (std::size_t i = 0; i < n; ++i) nl[i][i] = 0.0;
+  return nl;
+}
+
+TEST(SelectionTest, PicksLowestComputeCostWhenNetworkUniform) {
+  const std::vector<double> cl{0.1, 0.9, 0.2, 0.8};
+  const auto nl = uniform_nl(4, 0.1);
+  std::vector<Candidate> candidates;
+  candidates.push_back(make_candidate(0, {0, 2}));  // light pair
+  candidates.push_back(make_candidate(1, {1, 3}));  // heavy pair
+  const SelectionResult result = select_best_candidate(
+      std::move(candidates), cl, nl, JobWeights::balanced());
+  EXPECT_EQ(result.best_index, 0u);
+}
+
+TEST(SelectionTest, PicksLowestNetworkCostWhenComputeUniform) {
+  const std::vector<double> cl{0.5, 0.5, 0.5, 0.5};
+  auto nl = uniform_nl(4, 0.1);
+  nl[1][3] = nl[3][1] = 0.9;  // candidate {1,3} has a bad link
+  std::vector<Candidate> candidates;
+  candidates.push_back(make_candidate(0, {0, 2}));
+  candidates.push_back(make_candidate(1, {1, 3}));
+  const SelectionResult result = select_best_candidate(
+      std::move(candidates), cl, nl, JobWeights::balanced());
+  EXPECT_EQ(result.best_index, 0u);
+}
+
+TEST(SelectionTest, AlphaBetaTradeOff) {
+  // Candidate A: low compute, high network. Candidate B: the reverse.
+  const std::vector<double> cl{0.1, 0.1, 0.9, 0.9};
+  auto nl = uniform_nl(4, 0.0);
+  nl[0][1] = nl[1][0] = 0.8;   // A's edge is congested
+  nl[2][3] = nl[3][2] = 0.05;  // B's edge is clean
+  std::vector<Candidate> candidates;
+  candidates.push_back(make_candidate(0, {0, 1}));
+  candidates.push_back(make_candidate(2, {2, 3}));
+
+  auto pick = [&](JobWeights job) {
+    std::vector<Candidate> copy = candidates;
+    return select_best_candidate(std::move(copy), cl, nl, job).best_index;
+  };
+  EXPECT_EQ(pick(JobWeights{0.9, 0.1}), 0u);  // compute-heavy → A
+  EXPECT_EQ(pick(JobWeights{0.1, 0.9}), 1u);  // comm-heavy → B
+}
+
+TEST(SelectionTest, CostsComputedCorrectly) {
+  const std::vector<double> cl{1.0, 2.0, 4.0};
+  auto nl = uniform_nl(3, 0.0);
+  nl[0][1] = nl[1][0] = 3.0;
+  nl[0][2] = nl[2][0] = 5.0;
+  nl[1][2] = nl[2][1] = 7.0;
+  std::vector<Candidate> candidates;
+  candidates.push_back(make_candidate(0, {0, 1, 2}));
+  const SelectionResult result = select_best_candidate(
+      std::move(candidates), cl, nl, JobWeights::balanced());
+  const ScoredCandidate& scored = result.scored[0];
+  EXPECT_DOUBLE_EQ(scored.compute_cost, 7.0);
+  EXPECT_DOUBLE_EQ(scored.network_cost, 15.0);
+  // Single candidate: normalized costs are 1, total = α + β = 1.
+  EXPECT_NEAR(scored.total_cost, 1.0, 1e-12);
+}
+
+TEST(SelectionTest, NormalizationAcrossCandidates) {
+  const std::vector<double> cl{1.0, 3.0};
+  const auto nl = uniform_nl(2, 0.0);
+  std::vector<Candidate> candidates;
+  candidates.push_back(make_candidate(0, {0}));
+  candidates.push_back(make_candidate(1, {1}));
+  const SelectionResult result = select_best_candidate(
+      std::move(candidates), cl, nl, JobWeights{1.0, 0.0});
+  EXPECT_DOUBLE_EQ(result.scored[0].total_cost, 0.25);
+  EXPECT_DOUBLE_EQ(result.scored[1].total_cost, 0.75);
+  EXPECT_EQ(result.best_index, 0u);
+}
+
+TEST(SelectionTest, SingleNodeCandidateHasZeroNetworkCost) {
+  const std::vector<double> cl{0.4};
+  const auto nl = uniform_nl(1, 0.0);
+  std::vector<Candidate> candidates;
+  candidates.push_back(make_candidate(0, {0}));
+  const SelectionResult result = select_best_candidate(
+      std::move(candidates), cl, nl, JobWeights::balanced());
+  EXPECT_DOUBLE_EQ(result.scored[0].network_cost, 0.0);
+}
+
+TEST(SelectionTest, EmptyCandidateListRejected) {
+  const std::vector<double> cl{0.1};
+  const auto nl = uniform_nl(1, 0.0);
+  EXPECT_THROW(
+      select_best_candidate({}, cl, nl, JobWeights::balanced()),
+      util::CheckError);
+}
+
+TEST(SelectionTest, FirstMinimumWinsOnTies) {
+  const std::vector<double> cl{0.5, 0.5};
+  const auto nl = uniform_nl(2, 0.0);
+  std::vector<Candidate> candidates;
+  candidates.push_back(make_candidate(0, {0}));
+  candidates.push_back(make_candidate(1, {1}));
+  const SelectionResult result = select_best_candidate(
+      std::move(candidates), cl, nl, JobWeights::balanced());
+  EXPECT_EQ(result.best_index, 0u);
+}
+
+}  // namespace
+}  // namespace nlarm::core

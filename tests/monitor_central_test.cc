@@ -1,0 +1,149 @@
+#include "monitor/central.h"
+
+#include <gtest/gtest.h>
+
+#include "monitor/resource_monitor.h"
+#include "net/flows.h"
+#include "util/check.h"
+
+namespace nlarm::monitor {
+namespace {
+
+class CentralTest : public ::testing::Test {
+ protected:
+  CentralTest()
+      : cluster_(cluster::make_uniform_cluster(6, 2)),
+        network_(cluster_, flows_),
+        store_(cluster_.size()),
+        sim_(7) {}
+
+  cluster::Cluster cluster_;
+  net::FlowSet flows_;
+  net::NetworkModel network_;
+  MonitorStore store_;
+  sim::Simulation sim_;
+};
+
+TEST_F(CentralTest, RelaunchesKilledDaemon) {
+  LivehostsD daemon("livehosts", cluster_, 2, 5.0, store_);
+  CentralMonitor central(cluster_, 0, 1, 10.0);
+  central.supervise(&daemon);
+  daemon.launch(sim_);
+  central.start(sim_);
+  sim_.run_until(15.0);
+  daemon.kill();
+  EXPECT_FALSE(daemon.running());
+  sim_.run_until(40.0);
+  EXPECT_TRUE(daemon.running());
+  EXPECT_GE(central.relaunch_count(), 1);
+}
+
+TEST_F(CentralTest, RelaunchesOnNewHostWhenHostDies) {
+  LivehostsD daemon("livehosts", cluster_, 2, 5.0, store_);
+  CentralMonitor central(cluster_, 0, 1, 10.0);
+  central.supervise(&daemon);
+  daemon.launch(sim_);
+  central.start(sim_);
+  cluster_.mutable_node(2).dyn.alive = false;
+  sim_.run_until(40.0);
+  EXPECT_TRUE(daemon.running());
+  EXPECT_NE(daemon.host(), 2);
+  EXPECT_TRUE(cluster_.node(daemon.host()).dyn.alive);
+}
+
+TEST_F(CentralTest, SlavePromotedWhenMasterDies) {
+  CentralMonitor central(cluster_, 0, 1, 10.0);
+  central.start(sim_);
+  sim_.run_until(15.0);
+  EXPECT_TRUE(central.master_alive());
+  central.fail_master();
+  sim_.run_until(30.0);
+  // The old slave (node 1) is now master; a fresh slave exists elsewhere.
+  EXPECT_EQ(central.master_host(), 1);
+  EXPECT_TRUE(central.master_alive());
+  EXPECT_TRUE(central.slave_alive());
+  EXPECT_NE(central.slave_host(), central.master_host());
+  EXPECT_EQ(central.promotion_count(), 1);
+}
+
+TEST_F(CentralTest, MasterReplacesDeadSlave) {
+  CentralMonitor central(cluster_, 0, 1, 10.0);
+  central.start(sim_);
+  central.fail_slave();
+  sim_.run_until(15.0);
+  EXPECT_TRUE(central.slave_alive());
+  EXPECT_NE(central.slave_host(), 0);
+  EXPECT_EQ(central.promotion_count(), 0);
+}
+
+TEST_F(CentralTest, SimultaneousFailureAbandonsSupervision) {
+  LivehostsD daemon("livehosts", cluster_, 2, 5.0, store_);
+  CentralMonitor central(cluster_, 0, 1, 10.0);
+  central.supervise(&daemon);
+  daemon.launch(sim_);
+  central.start(sim_);
+  sim_.run_until(15.0);
+  central.fail_master();
+  central.fail_slave();
+  sim_.run_until(30.0);
+  EXPECT_TRUE(central.abandoned());
+  // Daemons keep running unsupervised (paper §4)...
+  EXPECT_TRUE(daemon.running());
+  // ...but a crash is no longer repaired.
+  daemon.kill();
+  sim_.run_until(60.0);
+  EXPECT_FALSE(daemon.running());
+}
+
+TEST_F(CentralTest, MasterHostNodeDeathTriggersPromotion) {
+  CentralMonitor central(cluster_, 0, 1, 10.0);
+  central.start(sim_);
+  cluster_.mutable_node(0).dyn.alive = false;
+  sim_.run_until(15.0);
+  EXPECT_EQ(central.master_host(), 1);
+  EXPECT_TRUE(central.master_alive());
+}
+
+TEST_F(CentralTest, InvalidConstructionRejected) {
+  EXPECT_THROW(CentralMonitor(cluster_, 0, 0, 10.0), util::CheckError);
+  EXPECT_THROW(CentralMonitor(cluster_, 0, 1, 0.0), util::CheckError);
+  EXPECT_THROW(CentralMonitor(cluster_, 99, 1, 10.0), util::CheckError);
+  CentralMonitor central(cluster_, 0, 1, 10.0);
+  EXPECT_THROW(central.supervise(nullptr), util::CheckError);
+}
+
+TEST_F(CentralTest, ResourceMonitorFacadePopulatesStore) {
+  ResourceMonitor monitor(cluster_, network_, sim_);
+  monitor.start();
+  sim_.run_until(400.0);
+  const ClusterSnapshot snap = monitor.snapshot();
+  // All nodes live, all with records, network matrices measured.
+  EXPECT_EQ(snap.usable_nodes().size(), static_cast<std::size_t>(6));
+  EXPECT_GT(snap.net.latency_us[0][5], 0.0);
+  EXPECT_GT(snap.net.bandwidth_mbps[0][5], 0.0);
+  EXPECT_GT(snap.nodes[3].cpu_load_avg.five_min, -1.0);
+}
+
+TEST_F(CentralTest, ResourceMonitorFindDaemon) {
+  ResourceMonitor monitor(cluster_, network_, sim_);
+  EXPECT_NE(monitor.find_daemon("latencyd"), nullptr);
+  EXPECT_NE(monitor.find_daemon("nodestate.3"), nullptr);
+  EXPECT_EQ(monitor.find_daemon("bogus"), nullptr);
+  // 2 livehosts + 6 nodestate + latency + bandwidth
+  EXPECT_EQ(monitor.daemons().size(), 10u);
+}
+
+TEST_F(CentralTest, ResourceMonitorEndToEndFailover) {
+  ResourceMonitor monitor(cluster_, network_, sim_);
+  monitor.start();
+  sim_.run_until(100.0);
+  Daemon* latencyd = monitor.find_daemon("latencyd");
+  ASSERT_NE(latencyd, nullptr);
+  latencyd->kill();
+  sim_.run_until(200.0);
+  EXPECT_TRUE(latencyd->running());
+  EXPECT_GE(monitor.central().relaunch_count(), 1);
+}
+
+}  // namespace
+}  // namespace nlarm::monitor

@@ -1,0 +1,191 @@
+#include "monitor/daemons.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cluster/cluster.h"
+#include "net/flows.h"
+#include "net/network_model.h"
+#include "util/check.h"
+
+namespace nlarm::monitor {
+namespace {
+
+class DaemonsTest : public ::testing::Test {
+ protected:
+  DaemonsTest()
+      : cluster_(cluster::make_uniform_cluster(6, 2)),
+        network_(cluster_, flows_),
+        store_(cluster_.size()),
+        sim_(123) {}
+
+  cluster::Cluster cluster_;
+  net::FlowSet flows_;
+  net::NetworkModel network_;
+  MonitorStore store_;
+  sim::Simulation sim_;
+};
+
+TEST(TournamentTest, EvenNodeCountCoversAllPairsOnce) {
+  const auto rounds = tournament_rounds(6);
+  EXPECT_EQ(rounds.size(), 5u);  // n-1 rounds
+  std::set<std::pair<cluster::NodeId, cluster::NodeId>> seen;
+  for (const auto& round : rounds) {
+    EXPECT_EQ(round.size(), 3u);  // n/2 pairs per round
+    std::set<cluster::NodeId> in_round;
+    for (const auto& [a, b] : round) {
+      EXPECT_LT(a, b);
+      EXPECT_TRUE(in_round.insert(a).second) << "node repeated in round";
+      EXPECT_TRUE(in_round.insert(b).second) << "node repeated in round";
+      EXPECT_TRUE(seen.insert({a, b}).second) << "pair repeated";
+    }
+  }
+  EXPECT_EQ(seen.size(), 15u);  // C(6,2)
+}
+
+TEST(TournamentTest, OddNodeCountUsesByes) {
+  const auto rounds = tournament_rounds(5);
+  EXPECT_EQ(rounds.size(), 5u);  // n rounds with a bye each
+  std::set<std::pair<cluster::NodeId, cluster::NodeId>> seen;
+  for (const auto& round : rounds) {
+    EXPECT_EQ(round.size(), 2u);  // (n-1)/2 real pairs
+    for (const auto& pair : round) seen.insert(pair);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // C(5,2)
+}
+
+TEST(TournamentTest, MinimumTwoNodes) {
+  EXPECT_THROW(tournament_rounds(1), util::CheckError);
+  const auto rounds = tournament_rounds(2);
+  ASSERT_EQ(rounds.size(), 1u);
+  EXPECT_EQ(rounds[0][0], (std::pair<cluster::NodeId, cluster::NodeId>{0, 1}));
+}
+
+TEST_F(DaemonsTest, LivehostsDaemonTracksAliveness) {
+  LivehostsD daemon("livehosts", cluster_, 0, 5.0, store_);
+  daemon.launch(sim_);
+  sim_.run_until(6.0);
+  EXPECT_TRUE(store_.livehosts()[3]);
+  cluster_.mutable_node(3).dyn.alive = false;
+  sim_.run_until(11.0);
+  EXPECT_FALSE(store_.livehosts()[3]);
+}
+
+TEST_F(DaemonsTest, NodeStateDaemonWritesRecordWithMeans) {
+  cluster_.mutable_node(2).dyn.cpu_load = 4.0;
+  cluster_.mutable_node(2).dyn.cpu_util = 0.5;
+  NodeStateD daemon("nodestate.2", cluster_, 2, 5.0, store_, sim::Rng(1),
+                    /*sample_noise=*/0.0);
+  daemon.launch(sim_);
+  sim_.run_until(100.0);
+  const NodeSnapshot& record = store_.node_record(2);
+  ASSERT_TRUE(record.valid);
+  EXPECT_DOUBLE_EQ(record.cpu_load, 4.0);
+  EXPECT_NEAR(record.cpu_load_avg.one_min, 4.0, 1e-9);
+  EXPECT_NEAR(record.cpu_util_avg.five_min, 0.5, 1e-9);
+  EXPECT_NEAR(record.mem_avail_avg.one_min, 16.0, 1e-9);
+  EXPECT_EQ(record.spec.hostname, "csews3");
+}
+
+TEST_F(DaemonsTest, NodeStateNoiseStaysClose) {
+  cluster_.mutable_node(0).dyn.cpu_load = 2.0;
+  NodeStateD daemon("nodestate.0", cluster_, 0, 5.0, store_, sim::Rng(2),
+                    /*sample_noise=*/0.02);
+  daemon.launch(sim_);
+  sim_.run_until(1000.0);
+  const NodeSnapshot& record = store_.node_record(0);
+  EXPECT_NEAR(record.cpu_load_avg.fifteen_min, 2.0, 0.1);
+}
+
+TEST_F(DaemonsTest, DaemonStopsWhenHostDies) {
+  NodeStateD daemon("nodestate.1", cluster_, 1, 5.0, store_, sim::Rng(3));
+  daemon.launch(sim_);
+  sim_.run_until(20.0);
+  const auto ticks_before = daemon.tick_count();
+  EXPECT_GT(ticks_before, 0u);
+  cluster_.mutable_node(1).dyn.alive = false;
+  sim_.run_until(60.0);
+  EXPECT_FALSE(daemon.running());
+  EXPECT_LE(daemon.tick_count(), ticks_before);
+}
+
+TEST_F(DaemonsTest, KilledDaemonStopsTicking) {
+  LivehostsD daemon("livehosts", cluster_, 0, 5.0, store_);
+  daemon.launch(sim_);
+  sim_.run_until(12.0);
+  const auto ticks = daemon.tick_count();
+  daemon.kill();
+  EXPECT_FALSE(daemon.running());
+  sim_.run_until(60.0);
+  EXPECT_EQ(daemon.tick_count(), ticks);
+}
+
+TEST_F(DaemonsTest, RelaunchResumesTicking) {
+  LivehostsD daemon("livehosts", cluster_, 0, 5.0, store_);
+  daemon.launch(sim_);
+  sim_.run_until(12.0);
+  daemon.kill();
+  daemon.launch(sim_);
+  EXPECT_EQ(daemon.launch_count(), 2);
+  const auto ticks = daemon.tick_count();
+  sim_.run_until(30.0);
+  EXPECT_GT(daemon.tick_count(), ticks);
+}
+
+TEST_F(DaemonsTest, LatencyDaemonFillsAllPairs) {
+  LatencyD daemon("latencyd", cluster_, 0, 60.0, 0.05, network_, store_,
+                  sim::Rng(4));
+  daemon.launch(sim_);
+  sim_.run_until(70.0);
+  const ClusterSnapshot snap = store_.assemble(sim_.now());
+  for (int u = 0; u < cluster_.size(); ++u) {
+    for (int v = 0; v < cluster_.size(); ++v) {
+      if (u == v) continue;
+      EXPECT_GT(snap.net.latency_us[u][v], 0.0)
+          << "pair " << u << "," << v << " unmeasured";
+    }
+  }
+}
+
+TEST_F(DaemonsTest, BandwidthDaemonFillsAllPairsSymmetrically) {
+  BandwidthD daemon("bandwidthd", cluster_, 0, 300.0, 0.05, network_, store_,
+                    sim::Rng(5));
+  daemon.launch(sim_);
+  sim_.run_until(310.0);
+  const ClusterSnapshot snap = store_.assemble(sim_.now());
+  for (int u = 0; u < cluster_.size(); ++u) {
+    for (int v = u + 1; v < cluster_.size(); ++v) {
+      EXPECT_GT(snap.net.bandwidth_mbps[u][v], 0.0);
+      EXPECT_DOUBLE_EQ(snap.net.bandwidth_mbps[u][v],
+                       snap.net.bandwidth_mbps[v][u]);
+      EXPECT_DOUBLE_EQ(snap.net.peak_mbps[u][v], 1000.0);
+    }
+  }
+}
+
+TEST_F(DaemonsTest, ProbeSkipsDeadNodes) {
+  cluster_.mutable_node(4).dyn.alive = false;
+  LatencyD daemon("latencyd", cluster_, 0, 60.0, 0.05, network_, store_,
+                  sim::Rng(6));
+  daemon.launch(sim_);
+  sim_.run_until(70.0);
+  const ClusterSnapshot snap = store_.assemble(sim_.now());
+  EXPECT_LT(snap.net.latency_us[4][0], 0.0);  // never measured
+  EXPECT_GT(snap.net.latency_us[0][1], 0.0);
+}
+
+TEST_F(DaemonsTest, RoundsMustFitInPeriod) {
+  EXPECT_THROW(LatencyD("latencyd", cluster_, 0, /*period=*/1.0,
+                        /*round_spacing=*/0.5, network_, store_,
+                        sim::Rng(7)),
+               util::CheckError);
+}
+
+TEST_F(DaemonsTest, InvalidDaemonParamsRejected) {
+  EXPECT_THROW(LivehostsD("x", cluster_, 99, 5.0, store_), util::CheckError);
+  EXPECT_THROW(LivehostsD("x", cluster_, 0, 0.0, store_), util::CheckError);
+}
+
+}  // namespace
+}  // namespace nlarm::monitor

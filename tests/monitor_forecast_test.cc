@@ -1,0 +1,159 @@
+#include "monitor/forecast.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/rng.h"
+#include "util/check.h"
+
+namespace nlarm::monitor {
+namespace {
+
+TEST(PredictorTest, LastValueTracksLastObservation) {
+  LastValuePredictor p;
+  p.observe(0.0, 3.0);
+  p.observe(1.0, 7.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 7.0);
+}
+
+TEST(PredictorTest, SlidingMeanAveragesWindow) {
+  SlidingMeanPredictor p(3);
+  p.observe(0, 1.0);
+  p.observe(1, 2.0);
+  p.observe(2, 3.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 2.0);
+  p.observe(3, 10.0);  // evicts the 1.0
+  EXPECT_DOUBLE_EQ(p.predict(), 5.0);
+}
+
+TEST(PredictorTest, SlidingMeanEmptyWindowRejected) {
+  EXPECT_THROW(SlidingMeanPredictor(0), util::CheckError);
+}
+
+TEST(PredictorTest, EwmaConvergesToConstant) {
+  EwmaPredictor p(0.5);
+  p.observe(0, 10.0);
+  for (int i = 1; i < 50; ++i) p.observe(i, 4.0);
+  EXPECT_NEAR(p.predict(), 4.0, 1e-6);
+}
+
+TEST(PredictorTest, EwmaAlphaValidated) {
+  EXPECT_THROW(EwmaPredictor(0.0), util::CheckError);
+  EXPECT_THROW(EwmaPredictor(1.5), util::CheckError);
+}
+
+TEST(PredictorTest, Ar1LearnsPersistence) {
+  // Strongly autocorrelated alternating-decay series: AR(1) should predict
+  // better than the global mean.
+  Ar1Predictor p;
+  sim::Rng rng(1);
+  double x = 5.0;
+  for (int i = 0; i < 500; ++i) {
+    x = 2.0 + 0.9 * (x - 2.0) + rng.normal(0.0, 0.1);
+    p.observe(i, x);
+  }
+  // Next value should be near 2 + 0.9(x−2).
+  const double expected = 2.0 + 0.9 * (x - 2.0);
+  EXPECT_NEAR(p.predict(), expected, 0.5);
+}
+
+TEST(PredictorTest, Ar1ConstantSeriesPredictsConstant) {
+  Ar1Predictor p;
+  for (int i = 0; i < 20; ++i) p.observe(i, 3.0);
+  EXPECT_NEAR(p.predict(), 3.0, 1e-9);
+}
+
+TEST(AdaptiveForecasterTest, NoObservationsForecastZero) {
+  AdaptiveForecaster f;
+  EXPECT_DOUBLE_EQ(f.forecast(), 0.0);
+}
+
+TEST(AdaptiveForecasterTest, ConstantSeriesForecastExact) {
+  AdaptiveForecaster f;
+  for (int i = 0; i < 50; ++i) f.observe(i, 2.5);
+  EXPECT_NEAR(f.forecast(), 2.5, 1e-9);
+  EXPECT_NEAR(f.best_error(), 0.0, 1e-9);
+}
+
+TEST(AdaptiveForecasterTest, PicksGoodPredictorForNoisySeries) {
+  // White noise around a mean: sliding mean / EWMA should beat last-value.
+  AdaptiveForecaster f;
+  sim::Rng rng(2);
+  for (int i = 0; i < 400; ++i) {
+    f.observe(i, 5.0 + rng.normal(0.0, 1.0));
+  }
+  EXPECT_NE(f.best_predictor(), "last");
+  EXPECT_NEAR(f.forecast(), 5.0, 1.0);
+}
+
+TEST(AdaptiveForecasterTest, PicksLastForRandomWalk) {
+  // Random walk: last value is the optimal predictor.
+  AdaptiveForecaster f;
+  sim::Rng rng(3);
+  double x = 0.0;
+  for (int i = 0; i < 400; ++i) {
+    x += rng.normal(0.0, 1.0);
+    f.observe(i, x);
+  }
+  // last or ar1 (φ→1 mimics last); both acceptable, sliding mean is not.
+  EXPECT_NE(f.best_predictor(), "sliding_mean");
+  EXPECT_NEAR(f.forecast(), x, 3.0);
+}
+
+TEST(ForecastingStoreTest, ForecastReplacesInstantaneous) {
+  MonitorStore store(2);
+  NodeSnapshot record;
+  record.spec.id = 0;
+  record.spec.core_count = 8;
+  record.spec.cpu_freq_ghz = 3.0;
+  record.spec.total_mem_gb = 16.0;
+
+  ForecastingStore forecast(store);
+  // Feed a rising load series for node 0.
+  for (int t = 0; t < 30; ++t) {
+    record.cpu_load = 1.0 + 0.1 * t;
+    record.cpu_load_avg = {record.cpu_load, record.cpu_load,
+                           record.cpu_load};
+    store.write_node_record(t, record);
+    forecast.feed(t);
+  }
+  const ClusterSnapshot snap = forecast.assemble_forecast(30.0);
+  // Forecast should be near the latest values (~3.9), not near zero.
+  EXPECT_GT(snap.nodes[0].cpu_load, 3.0);
+  EXPECT_DOUBLE_EQ(snap.nodes[0].cpu_load_avg.one_min,
+                   snap.nodes[0].cpu_load);
+  // Node 1 never reported: untouched (invalid).
+  EXPECT_FALSE(snap.nodes[1].valid);
+}
+
+TEST(ForecastingStoreTest, ForecastsAreClamped) {
+  MonitorStore store(1);
+  NodeSnapshot record;
+  record.spec.id = 0;
+  record.spec.core_count = 8;
+  record.spec.cpu_freq_ghz = 3.0;
+  record.spec.total_mem_gb = 16.0;
+  ForecastingStore forecast(store);
+  // A crashing series could extrapolate below zero; it must clamp.
+  for (int t = 0; t < 10; ++t) {
+    record.cpu_load = std::max(0.0, 5.0 - t);
+    record.cpu_util = 0.01;
+    store.write_node_record(t, record);
+    forecast.feed(t);
+  }
+  const ClusterSnapshot snap = forecast.assemble_forecast(10.0);
+  EXPECT_GE(snap.nodes[0].cpu_load, 0.0);
+  EXPECT_GE(snap.nodes[0].cpu_util, 0.0);
+  EXPECT_LE(snap.nodes[0].cpu_util, 1.0);
+}
+
+TEST(ForecastingStoreTest, LoadForecasterAccessible) {
+  MonitorStore store(3);
+  ForecastingStore forecast(store);
+  EXPECT_EQ(forecast.load_forecaster(1).observations(), 0u);
+  EXPECT_THROW(forecast.load_forecaster(9), util::CheckError);
+}
+
+}  // namespace
+}  // namespace nlarm::monitor

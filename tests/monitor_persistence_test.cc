@@ -1,0 +1,105 @@
+#include "monitor/persistence.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/allocator.h"
+#include "exp/experiment.h"
+#include "test_helpers.h"
+#include "util/check.h"
+
+namespace nlarm::monitor {
+namespace {
+
+using nlarm::testing::TestNode;
+using nlarm::testing::make_snapshot;
+
+TEST(PersistenceTest, RoundTripsHandBuiltSnapshot) {
+  std::vector<TestNode> nodes = nlarm::testing::idle_nodes(4);
+  nodes[1].cpu_load = 3.25;
+  nodes[2].live = false;
+  auto snap = make_snapshot(nodes, 123.0, 850.0, 1000.0);
+  snap.time = 777.5;
+  snap.nodes[3].valid = false;
+
+  std::ostringstream out;
+  write_snapshot(out, snap);
+  std::istringstream in(out.str());
+  const ClusterSnapshot loaded = read_snapshot(in);
+
+  EXPECT_DOUBLE_EQ(loaded.time, 777.5);
+  ASSERT_EQ(loaded.size(), 4);
+  EXPECT_DOUBLE_EQ(loaded.nodes[1].cpu_load, 3.25);
+  EXPECT_DOUBLE_EQ(loaded.nodes[1].cpu_load_avg.fifteen_min, 3.25);
+  EXPECT_EQ(loaded.nodes[0].spec.hostname, "csews1");
+  EXPECT_FALSE(loaded.livehosts[2]);
+  EXPECT_FALSE(loaded.nodes[3].valid);
+  EXPECT_DOUBLE_EQ(loaded.net.latency_us[0][1], 123.0);
+  EXPECT_DOUBLE_EQ(loaded.net.bandwidth_mbps[2][3], 850.0);
+  EXPECT_DOUBLE_EQ(loaded.net.peak_mbps[1][2], 1000.0);
+  EXPECT_EQ(loaded.usable_nodes(), snap.usable_nodes());
+}
+
+TEST(PersistenceTest, UnmeasuredPairsStayUnmeasured) {
+  auto snap = make_snapshot(nlarm::testing::idle_nodes(3));
+  nlarm::testing::set_pair(snap, 1, 2, -1.0, -1.0);
+  snap.net.peak_mbps[1][2] = -1.0;
+  snap.net.peak_mbps[2][1] = -1.0;
+  std::ostringstream out;
+  write_snapshot(out, snap);
+  std::istringstream in(out.str());
+  const ClusterSnapshot loaded = read_snapshot(in);
+  EXPECT_LT(loaded.net.latency_us[1][2], 0.0);
+  EXPECT_LT(loaded.net.bandwidth_mbps[1][2], 0.0);
+  EXPECT_GT(loaded.net.latency_us[0][1], 0.0);
+}
+
+TEST(PersistenceTest, MonitorSnapshotRoundTripsAndAllocatesIdentically) {
+  exp::Testbed::Options options;
+  options.seed = 23;
+  options.cluster.fast_nodes = 8;
+  options.cluster.slow_nodes = 4;
+  options.cluster.switches = 3;
+  auto testbed = exp::Testbed::make(options);
+  const ClusterSnapshot live = testbed->snapshot();
+
+  std::ostringstream out;
+  write_snapshot(out, live);
+  std::istringstream in(out.str());
+  const ClusterSnapshot loaded = read_snapshot(in);
+
+  core::AllocationRequest request;
+  request.nprocs = 16;
+  request.ppn = 4;
+  request.job = core::JobWeights{0.3, 0.7};
+  core::NetworkLoadAwareAllocator a;
+  core::NetworkLoadAwareAllocator b;
+  // Offline allocation from the file equals the live decision exactly.
+  EXPECT_EQ(a.allocate(live, request).nodes,
+            b.allocate(loaded, request).nodes);
+}
+
+TEST(PersistenceTest, RejectsGarbage) {
+  std::istringstream not_snapshot("hello world\n");
+  EXPECT_THROW(read_snapshot(not_snapshot), util::CheckError);
+  std::istringstream missing_time("#nlarm-snapshot v1\nlive 0 1\n");
+  EXPECT_THROW(read_snapshot(missing_time), util::CheckError);
+  std::istringstream bad_tag("#nlarm-snapshot v1\ntime 0\nwat 1 2\n");
+  EXPECT_THROW(read_snapshot(bad_tag), util::CheckError);
+  std::istringstream empty("#nlarm-snapshot v1\ntime 0\n");
+  EXPECT_THROW(read_snapshot(empty), util::CheckError);
+}
+
+TEST(PersistenceTest, FileHelpersWork) {
+  auto snap = make_snapshot(nlarm::testing::idle_nodes(2));
+  const std::string path = ::testing::TempDir() + "/nlarm_snapshot_test.txt";
+  save_snapshot_file(path, snap);
+  const ClusterSnapshot loaded = load_snapshot_file(path);
+  EXPECT_EQ(loaded.size(), 2);
+  EXPECT_THROW(load_snapshot_file("/nonexistent/snap.txt"),
+               util::CheckError);
+}
+
+}  // namespace
+}  // namespace nlarm::monitor

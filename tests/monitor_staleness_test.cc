@@ -1,0 +1,101 @@
+// Staleness filtering: records from dead daemons must stop being trusted.
+#include <gtest/gtest.h>
+
+#include "exp/experiment.h"
+#include "monitor/resource_monitor.h"
+#include "monitor/snapshot.h"
+#include "util/check.h"
+
+namespace nlarm::monitor {
+namespace {
+
+NodeSnapshot record_at(cluster::NodeId id, double time) {
+  NodeSnapshot record;
+  record.spec.id = id;
+  record.spec.core_count = 8;
+  record.spec.cpu_freq_ghz = 3.0;
+  record.spec.total_mem_gb = 16.0;
+  record.valid = true;
+  record.sample_time = time;
+  return record;
+}
+
+TEST(StalenessFilterTest, InvalidatesOldRecords) {
+  ClusterSnapshot snap;
+  snap.time = 1000.0;
+  snap.livehosts = {true, true, true};
+  snap.nodes.push_back(record_at(0, 995.0));   // fresh
+  snap.nodes.push_back(record_at(1, 800.0));   // stale
+  snap.nodes.push_back(record_at(2, 990.0));   // fresh
+  const int dropped = apply_staleness_filter(snap, 60.0);
+  EXPECT_EQ(dropped, 1);
+  EXPECT_TRUE(snap.nodes[0].valid);
+  EXPECT_FALSE(snap.nodes[1].valid);
+  EXPECT_EQ(snap.usable_nodes(), (std::vector<cluster::NodeId>{0, 2}));
+}
+
+TEST(StalenessFilterTest, AlreadyInvalidNotCounted) {
+  ClusterSnapshot snap;
+  snap.time = 100.0;
+  snap.livehosts = {true};
+  NodeSnapshot never = record_at(0, 0.0);
+  never.valid = false;
+  snap.nodes.push_back(never);
+  EXPECT_EQ(apply_staleness_filter(snap, 10.0), 0);
+}
+
+TEST(StalenessFilterTest, NonPositiveLimitRejected) {
+  ClusterSnapshot snap;
+  EXPECT_THROW(apply_staleness_filter(snap, 0.0), util::CheckError);
+}
+
+TEST(StalenessFilterTest, MonitorDropsNodesWithDeadStateDaemon) {
+  // End-to-end: kill one node's NodeStateD, abandon supervision so it stays
+  // dead, advance past the record-age limit, and check the allocator's view
+  // loses that node.
+  cluster::Cluster cluster = cluster::make_uniform_cluster(5, 2);
+  net::FlowSet flows;
+  net::NetworkModel network(cluster, flows);
+  sim::Simulation sim(31);
+  MonitorConfig config;
+  config.max_record_age_s = 60.0;
+  ResourceMonitor monitor(cluster, network, sim, config);
+  monitor.start();
+  sim.run_until(30.0);
+  EXPECT_EQ(monitor.snapshot().usable_nodes().size(), 5u);
+
+  monitor.central().fail_master();
+  monitor.central().fail_slave();
+  sim.run_until(60.0);  // supervision abandons
+  Daemon* statd = monitor.find_daemon("nodestate.3");
+  ASSERT_NE(statd, nullptr);
+  statd->kill();
+  sim.run_until(200.0);  // well past the 60 s limit
+
+  const ClusterSnapshot snap = monitor.snapshot();
+  const auto usable = snap.usable_nodes();
+  EXPECT_EQ(usable.size(), 4u);
+  for (cluster::NodeId id : usable) EXPECT_NE(id, 3);
+}
+
+TEST(StalenessFilterTest, DisabledByZeroConfig) {
+  cluster::Cluster cluster = cluster::make_uniform_cluster(3, 1);
+  net::FlowSet flows;
+  net::NetworkModel network(cluster, flows);
+  sim::Simulation sim(32);
+  MonitorConfig config;
+  config.max_record_age_s = 0.0;  // filter off
+  ResourceMonitor monitor(cluster, network, sim, config);
+  monitor.start();
+  sim.run_until(30.0);
+  monitor.central().fail_master();
+  monitor.central().fail_slave();
+  sim.run_until(60.0);
+  monitor.find_daemon("nodestate.1")->kill();
+  sim.run_until(600.0);
+  // Stale record still trusted when the filter is disabled.
+  EXPECT_EQ(monitor.snapshot().usable_nodes().size(), 3u);
+}
+
+}  // namespace
+}  // namespace nlarm::monitor

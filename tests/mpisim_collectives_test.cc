@@ -1,0 +1,178 @@
+// Tests for the extended collective cost models (broadcast, reduce,
+// alltoall) and the miniFFT proxy that exercises them.
+#include <gtest/gtest.h>
+
+#include "apps/minifft.h"
+#include "apps/minimd.h"
+#include "cluster/cluster.h"
+#include "mpisim/cost_model.h"
+#include "mpisim/placement.h"
+#include "mpisim/profiler.h"
+#include "mpisim/runtime.h"
+#include "net/flows.h"
+#include "net/network_model.h"
+
+namespace nlarm::mpisim {
+namespace {
+
+class CollectivesTest : public ::testing::Test {
+ protected:
+  CollectivesTest()
+      : cluster_(cluster::make_uniform_cluster(8, 2)),
+        network_(cluster_, flows_),
+        model_(cluster_, network_) {}
+
+  Placement spread(int nranks, int ppn) {
+    std::vector<cluster::NodeId> rank_nodes;
+    for (int r = 0; r < nranks; ++r) {
+      rank_nodes.push_back(static_cast<cluster::NodeId>(r / ppn));
+    }
+    return Placement(std::move(rank_nodes));
+  }
+
+  AppProfile app_with(Phase phase, int nranks) {
+    AppProfile app;
+    app.nranks = nranks;
+    app.grid = {1, 1, nranks};
+    app.iterations = 1;
+    app.phases.push_back(phase);
+    return app;
+  }
+
+  cluster::Cluster cluster_;
+  net::FlowSet flows_;
+  net::NetworkModel network_;
+  CostModel model_;
+};
+
+TEST_F(CollectivesTest, BroadcastSingleRankFree) {
+  const auto app = app_with(BroadcastPhase{1e6}, 1);
+  EXPECT_DOUBLE_EQ(model_.phase_time_s(app.phases[0], app, spread(1, 1)),
+                   0.0);
+}
+
+TEST_F(CollectivesTest, BroadcastGrowsLogarithmically) {
+  // Binomial tree: rounds = ceil(log2 P); 8 ranks spread on 8 nodes should
+  // cost ~3 rounds, 4 ranks ~2 rounds.
+  const auto app8 = app_with(BroadcastPhase{8.0}, 8);
+  const auto app4 = app_with(BroadcastPhase{8.0}, 4);
+  const double t8 = model_.phase_time_s(app8.phases[0], app8, spread(8, 1));
+  const double t4 = model_.phase_time_s(app4.phases[0], app4, spread(4, 1));
+  EXPECT_GT(t8, t4);
+  EXPECT_LT(t8, t4 * 2.0);  // log growth, not linear
+}
+
+TEST_F(CollectivesTest, ReduceMatchesBroadcastCostShape) {
+  const auto bc = app_with(BroadcastPhase{1024.0}, 8);
+  const auto rd = app_with(ReducePhase{1024.0}, 8);
+  const Placement p = spread(8, 2);
+  EXPECT_DOUBLE_EQ(model_.phase_time_s(bc.phases[0], bc, p),
+                   model_.phase_time_s(rd.phases[0], rd, p));
+}
+
+TEST_F(CollectivesTest, AlltoallSingleRankFree) {
+  const auto app = app_with(AlltoallPhase{1e5}, 1);
+  EXPECT_DOUBLE_EQ(model_.phase_time_s(app.phases[0], app, spread(1, 1)),
+                   0.0);
+}
+
+TEST_F(CollectivesTest, AlltoallScalesWithRankCount) {
+  const auto app4 = app_with(AlltoallPhase{1e5}, 4);
+  const auto app8 = app_with(AlltoallPhase{1e5}, 8);
+  const double t4 = model_.phase_time_s(app4.phases[0], app4, spread(4, 1));
+  const double t8 = model_.phase_time_s(app8.phases[0], app8, spread(8, 1));
+  EXPECT_GT(t8, t4 * 1.5);  // ~(P−1) messages per rank
+}
+
+TEST_F(CollectivesTest, AlltoallCheaperColocated) {
+  const auto app = app_with(AlltoallPhase{1e5}, 8);
+  const Placement together(std::vector<cluster::NodeId>(8, 0));
+  const Placement apart = spread(8, 1);
+  EXPECT_LT(model_.phase_time_s(app.phases[0], app, together),
+            model_.phase_time_s(app.phases[0], app, apart));
+}
+
+TEST_F(CollectivesTest, AlltoallSensitiveToTrunkCongestion) {
+  // 8 ranks across both switches: the trunk carries half the traffic.
+  const auto app = app_with(AlltoallPhase{1e6}, 8);
+  const Placement p = spread(8, 1);  // nodes 0..7 over switches 0 and 1
+  const double idle = model_.phase_time_s(app.phases[0], app, p);
+  flows_.add(0, 7, 900.0);  // load the trunk
+  const double congested = model_.phase_time_s(app.phases[0], app, p);
+  EXPECT_GT(congested, idle);
+}
+
+TEST(MiniFftTest, PointsCubed) {
+  EXPECT_EQ(apps::minifft_points(4), 64);
+  EXPECT_EQ(apps::minifft_points(128), 2097152);
+}
+
+TEST(MiniFftTest, ProfileValidAcrossSizes) {
+  for (int n : {32, 64, 128, 256}) {
+    for (int p : {4, 8, 16, 32}) {
+      apps::MiniFftParams params;
+      params.n = n;
+      params.nranks = p;
+      const auto profile = apps::make_minifft_profile(params);
+      EXPECT_NO_THROW(profile.validate());
+    }
+  }
+}
+
+TEST(MiniFftTest, TransposeBytesConserveSlab) {
+  apps::MiniFftParams params;
+  params.n = 64;
+  params.nranks = 8;
+  const auto profile = apps::make_minifft_profile(params);
+  const auto& a2a = std::get<AlltoallPhase>(profile.phases[1]);
+  // Each rank's slab: n³/P points × 16 B, split over P partners.
+  const double slab_bytes = 64.0 * 64 * 64 / 8 * 16;
+  EXPECT_DOUBLE_EQ(a2a.bytes_per_pair * 8, slab_bytes);
+}
+
+TEST(MiniFftTest, MoreCommBoundThanMiniMd) {
+  cluster::Cluster c = cluster::make_uniform_cluster(8, 2, 12, 4.6);
+  net::FlowSet flows;
+  net::NetworkModel network(c, flows);
+  MpiRuntime runtime(c, network);
+  std::vector<cluster::NodeId> rank_nodes;
+  for (int r = 0; r < 32; ++r) {
+    rank_nodes.push_back(static_cast<cluster::NodeId>(r / 4));
+  }
+  const Placement placement(rank_nodes);
+
+  apps::MiniFftParams fft;
+  fft.n = 128;
+  fft.nranks = 32;
+  apps::MiniMdParams md;
+  md.size = 16;
+  md.nranks = 32;
+  const auto fft_result =
+      runtime.estimate(apps::make_minifft_profile(fft), placement);
+  const auto md_result =
+      runtime.estimate(apps::make_minimd_profile(md), placement);
+  EXPECT_GT(fft_result.comm_fraction(), md_result.comm_fraction());
+}
+
+TEST(MiniFftTest, ProfilerSeesBandwidthBoundApp) {
+  cluster::Cluster c = cluster::make_uniform_cluster(8, 2, 12, 4.6);
+  net::FlowSet flows;
+  net::NetworkModel network(c, flows);
+  JobProfiler profiler(c, network);
+  apps::MiniFftParams params;
+  params.n = 128;
+  params.nranks = 16;
+  std::vector<cluster::NodeId> rank_nodes;
+  for (int r = 0; r < 16; ++r) {
+    rank_nodes.push_back(static_cast<cluster::NodeId>(r / 4));
+  }
+  const auto report = profiler.profile(apps::make_minifft_profile(params),
+                                       Placement(rank_nodes));
+  // Big transpose messages → bandwidth-sensitive network weights.
+  EXPECT_GT(report.network_weights.bandwidth,
+            report.network_weights.latency);
+  EXPECT_GT(report.job_weights.beta, 0.5);
+}
+
+}  // namespace
+}  // namespace nlarm::mpisim

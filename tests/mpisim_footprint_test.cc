@@ -1,0 +1,204 @@
+#include "mpisim/footprint.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/synthetic.h"
+#include "cluster/cluster.h"
+#include "core/allocator.h"
+#include "exp/experiment.h"
+#include "mpisim/runtime.h"
+#include "net/flows.h"
+#include "net/network_model.h"
+#include "util/check.h"
+
+namespace nlarm::mpisim {
+namespace {
+
+Placement spread(int nranks, int ppn) {
+  std::vector<cluster::NodeId> rank_nodes;
+  for (int r = 0; r < nranks; ++r) {
+    rank_nodes.push_back(static_cast<cluster::NodeId>(r / ppn));
+  }
+  return Placement(std::move(rank_nodes));
+}
+
+TEST(PairTrafficTest, HaloTrafficBetweenDistinctNodesOnly) {
+  apps::SyntheticParams params;
+  params.nranks = 8;
+  params.flops_per_rank = 1e6;
+  params.halo_bytes_per_face = 1000.0;
+  const auto app = apps::make_synthetic_profile(params);
+  // All ranks on a single node: no network traffic at all.
+  const Placement together(std::vector<cluster::NodeId>(8, 0));
+  EXPECT_TRUE(estimate_pair_traffic(app, together).empty());
+  // Spread: traffic between neighbor-hosting nodes.
+  const auto traffic = estimate_pair_traffic(app, spread(8, 4));
+  EXPECT_FALSE(traffic.empty());
+  for (const PairTraffic& t : traffic) {
+    EXPECT_NE(t.src, t.dst);
+    EXPECT_GT(t.bytes_per_iteration, 0.0);
+  }
+}
+
+TEST(PairTrafficTest, AlltoallCoversAllNodePairs) {
+  apps::SyntheticParams params;
+  params.nranks = 8;
+  params.flops_per_rank = 1e6;
+  const auto base = apps::make_synthetic_profile(params);
+  AppProfile app = base;
+  app.phases.push_back(AlltoallPhase{100.0});
+  const auto traffic = estimate_pair_traffic(app, spread(8, 4));
+  // 2 nodes → 2 directed pairs, each carrying 4×4 rank-pairs × 100 B.
+  ASSERT_EQ(traffic.size(), 2u);
+  EXPECT_DOUBLE_EQ(traffic[0].bytes_per_iteration, 1600.0);
+}
+
+TEST(FootprintTest, AppliesAndRemovesJobLoad) {
+  cluster::Cluster c = cluster::make_uniform_cluster(4);
+  net::FlowSet flows;
+  apps::SyntheticParams params;
+  params.nranks = 8;
+  params.flops_per_rank = 1e6;
+  params.halo_bytes_per_face = 1e5;
+  const auto app = apps::make_synthetic_profile(params);
+  {
+    JobFootprint footprint(c, flows, app, spread(8, 4), 0.01);
+    EXPECT_DOUBLE_EQ(c.node(0).dyn.job_load, 4.0);
+    EXPECT_DOUBLE_EQ(c.node(1).dyn.job_load, 4.0);
+    EXPECT_DOUBLE_EQ(c.node(2).dyn.job_load, 0.0);
+    EXPECT_GT(flows.size(), 0u);
+    EXPECT_DOUBLE_EQ(c.node(0).dyn.total_load(),
+                     c.node(0).dyn.cpu_load + 4.0);
+  }
+  // RAII removal.
+  EXPECT_DOUBLE_EQ(c.node(0).dyn.job_load, 0.0);
+  EXPECT_EQ(flows.size(), 0u);
+}
+
+TEST(FootprintTest, SuspendResume) {
+  cluster::Cluster c = cluster::make_uniform_cluster(2);
+  net::FlowSet flows;
+  apps::SyntheticParams params;
+  params.nranks = 4;
+  params.flops_per_rank = 1e6;
+  params.halo_bytes_per_face = 1e5;
+  const auto app = apps::make_synthetic_profile(params);
+  JobFootprint footprint(c, flows, app, spread(4, 2), 0.01);
+  EXPECT_TRUE(footprint.active());
+  footprint.suspend();
+  EXPECT_FALSE(footprint.active());
+  EXPECT_DOUBLE_EQ(c.node(0).dyn.job_load, 0.0);
+  EXPECT_EQ(flows.size(), 0u);
+  footprint.resume();
+  EXPECT_DOUBLE_EQ(c.node(0).dyn.job_load, 2.0);
+  EXPECT_GT(flows.size(), 0u);
+}
+
+TEST(FootprintTest, SurvivesGeneratorTicks) {
+  // The workload generator overwrites cpu_load but must not erase job_load.
+  exp::Testbed::Options options;
+  options.seed = 12;
+  options.cluster.fast_nodes = 4;
+  options.cluster.slow_nodes = 2;
+  options.cluster.switches = 2;
+  options.warmup_seconds = 300.0;
+  auto testbed = exp::Testbed::make(options);
+  apps::SyntheticParams params;
+  params.nranks = 8;
+  params.flops_per_rank = 1e6;
+  params.halo_bytes_per_face = 1e5;
+  const auto app = apps::make_synthetic_profile(params);
+  JobFootprint footprint(testbed->cluster(), testbed->flows(), app,
+                         spread(8, 4), 0.01);
+  testbed->sim().run_until(testbed->sim().now() + 60.0);
+  EXPECT_DOUBLE_EQ(testbed->cluster().node(0).dyn.job_load, 4.0);
+}
+
+TEST(FootprintTest, MonitorSeesRunningJob) {
+  exp::Testbed::Options options;
+  options.seed = 13;
+  options.cluster.fast_nodes = 4;
+  options.cluster.slow_nodes = 2;
+  options.cluster.switches = 2;
+  options.warmup_seconds = 300.0;
+  auto testbed = exp::Testbed::make(options);
+  const double before =
+      testbed->snapshot().nodes[0].cpu_load;
+
+  apps::SyntheticParams params;
+  params.nranks = 8;
+  params.flops_per_rank = 1e6;
+  params.halo_bytes_per_face = 1e5;
+  const auto app = apps::make_synthetic_profile(params);
+  JobFootprint footprint(testbed->cluster(), testbed->flows(), app,
+                         spread(8, 4), 0.01);
+  testbed->sim().run_until(testbed->sim().now() + 30.0);  // NodeStateD ticks
+  const double during = testbed->snapshot().nodes[0].cpu_load;
+  EXPECT_GT(during, before + 3.0);  // ~4 ranks visible (modulo noise)
+}
+
+TEST(FootprintTest, RunWithFootprintMatchesPlainRunTime) {
+  // The footprint must not change the job's own price (it is lifted while
+  // pricing), only the world others see.
+  exp::Testbed::Options options;
+  options.seed = 14;
+  options.cluster.fast_nodes = 4;
+  options.cluster.slow_nodes = 2;
+  options.cluster.switches = 2;
+  options.warmup_seconds = 300.0;
+
+  const auto app = apps::make_comm_bound_profile(8, 10);
+  auto bed_a = exp::Testbed::make(options);
+  const auto plain =
+      bed_a->runtime().run(bed_a->sim(), app, spread(8, 4));
+  auto bed_b = exp::Testbed::make(options);
+  const auto with_footprint = bed_b->runtime().run_with_footprint(
+      bed_b->sim(), app, spread(8, 4), bed_b->cluster(), bed_b->flows());
+  EXPECT_NEAR(with_footprint.total_s, plain.total_s, plain.total_s * 1e-6);
+}
+
+TEST(FootprintTest, ConcurrentJobSeesTheFirstOne) {
+  // Allocate a second job while the first is "running" (footprint active):
+  // the allocator should steer clear of the first job's nodes.
+  exp::Testbed::Options options;
+  options.seed = 15;
+  auto testbed = exp::Testbed::make(options);
+
+  core::AllocationRequest request;
+  request.nprocs = 16;
+  request.ppn = 4;
+  request.job = core::JobWeights{0.5, 0.5};
+  core::NetworkLoadAwareAllocator allocator;
+  const core::Allocation first =
+      allocator.allocate(testbed->snapshot(), request);
+
+  const auto app = apps::make_comm_bound_profile(16, 10);
+  JobFootprint footprint(testbed->cluster(), testbed->flows(), app,
+                         Placement::from_allocation(first), 0.05);
+  testbed->sim().run_until(testbed->sim().now() + 30.0);  // monitor catches up
+
+  core::NetworkLoadAwareAllocator allocator2;
+  const core::Allocation second =
+      allocator2.allocate(testbed->snapshot(), request);
+  int overlap = 0;
+  for (cluster::NodeId a : first.nodes) {
+    for (cluster::NodeId b : second.nodes) {
+      if (a == b) ++overlap;
+    }
+  }
+  EXPECT_LE(overlap, 1);  // at most incidental overlap
+}
+
+TEST(FootprintTest, InvalidIterationTimeRejected) {
+  cluster::Cluster c = cluster::make_uniform_cluster(2);
+  net::FlowSet flows;
+  apps::SyntheticParams params;
+  params.nranks = 2;
+  params.flops_per_rank = 1e6;
+  const auto app = apps::make_synthetic_profile(params);
+  EXPECT_THROW(JobFootprint(c, flows, app, spread(2, 1), 0.0),
+               util::CheckError);
+}
+
+}  // namespace
+}  // namespace nlarm::mpisim

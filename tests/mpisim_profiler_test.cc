@@ -1,0 +1,125 @@
+#include "mpisim/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/minife.h"
+#include "apps/minimd.h"
+#include "apps/synthetic.h"
+#include "cluster/cluster.h"
+#include "net/flows.h"
+#include "net/network_model.h"
+
+namespace nlarm::mpisim {
+namespace {
+
+class ProfilerTest : public ::testing::Test {
+ protected:
+  ProfilerTest()
+      : cluster_(cluster::make_uniform_cluster(8, 2, 12, 4.6)),
+        network_(cluster_, flows_),
+        profiler_(cluster_, network_) {}
+
+  Placement spread(int nranks, int ppn) {
+    std::vector<cluster::NodeId> rank_nodes;
+    for (int r = 0; r < nranks; ++r) {
+      rank_nodes.push_back(static_cast<cluster::NodeId>(r / ppn));
+    }
+    return Placement(std::move(rank_nodes));
+  }
+
+  cluster::Cluster cluster_;
+  net::FlowSet flows_;
+  net::NetworkModel network_;
+  JobProfiler profiler_;
+};
+
+TEST_F(ProfilerTest, CommBoundAppGetsNetworkWeights) {
+  const auto app = apps::make_comm_bound_profile(16);
+  const auto report = profiler_.profile(app, spread(16, 4));
+  EXPECT_GT(report.comm_fraction, 0.6);
+  EXPECT_GT(report.job_weights.beta, report.job_weights.alpha);
+  EXPECT_NO_THROW(report.job_weights.validate());
+  // network-intensive Eq. 1 profile: high node-flow weight.
+  EXPECT_GT(report.compute_weights.net_flow,
+            core::ComputeLoadWeights::paper_defaults().net_flow);
+}
+
+TEST_F(ProfilerTest, ComputeBoundAppGetsComputeWeights) {
+  const auto app = apps::make_compute_bound_profile(16);
+  const auto report = profiler_.profile(app, spread(16, 4));
+  EXPECT_LT(report.comm_fraction, 0.3);
+  EXPECT_GT(report.job_weights.alpha, report.job_weights.beta);
+  EXPECT_GT(report.compute_weights.cpu_load,
+            core::ComputeLoadWeights::paper_defaults().cpu_load);
+}
+
+TEST_F(ProfilerTest, WeightsNeverDegenerate) {
+  // Even a 100%-compute profile keeps β ≥ 0.05 (never network-blind).
+  apps::SyntheticParams params;
+  params.nranks = 8;
+  params.flops_per_rank = 1e10;
+  const auto app = apps::make_synthetic_profile(params);
+  const auto report = profiler_.profile(app, spread(8, 4));
+  EXPECT_GE(report.job_weights.beta, 0.05);
+  EXPECT_GE(report.job_weights.alpha, 0.05);
+}
+
+TEST_F(ProfilerTest, MessageSizeDrivesLatencyVsBandwidth) {
+  // Tiny allreduces only → latency-sensitive Eq. 2 weights.
+  apps::SyntheticParams small;
+  small.nranks = 8;
+  small.flops_per_rank = 1e6;
+  small.allreduce_bytes = 8.0;
+  const auto small_report =
+      profiler_.profile(apps::make_synthetic_profile(small), spread(8, 4));
+  EXPECT_GT(small_report.network_weights.latency,
+            small_report.network_weights.bandwidth);
+
+  // Huge halos → bandwidth-sensitive.
+  apps::SyntheticParams big;
+  big.nranks = 8;
+  big.flops_per_rank = 1e6;
+  big.halo_bytes_per_face = 4e6;
+  const auto big_report =
+      profiler_.profile(apps::make_synthetic_profile(big), spread(8, 4));
+  EXPECT_GT(big_report.network_weights.bandwidth,
+            big_report.network_weights.latency);
+}
+
+TEST_F(ProfilerTest, MeanMessageBytesWeighted) {
+  apps::SyntheticParams params;
+  params.nranks = 8;
+  params.flops_per_rank = 1e6;
+  params.halo_bytes_per_face = 1000.0;
+  const auto app = apps::make_synthetic_profile(params);
+  EXPECT_DOUBLE_EQ(mean_message_bytes(app), 1000.0);
+  // Pure compute → no messages.
+  apps::SyntheticParams compute;
+  compute.nranks = 8;
+  compute.flops_per_rank = 1e6;
+  EXPECT_DOUBLE_EQ(
+      mean_message_bytes(apps::make_synthetic_profile(compute)), 0.0);
+}
+
+TEST_F(ProfilerTest, PaperAppsLandInTheirBands) {
+  apps::MiniMdParams md;
+  md.size = 16;
+  md.nranks = 32;
+  apps::MiniFeParams fe;
+  fe.nx = 144;
+  fe.nranks = 32;
+  cluster::Cluster big = cluster::make_uniform_cluster(8, 2, 12, 4.6);
+  net::FlowSet flows;
+  net::NetworkModel network(big, flows);
+  JobProfiler profiler(big, network);
+  const auto md_report =
+      profiler.profile(apps::make_minimd_profile(md), spread(32, 4));
+  const auto fe_report =
+      profiler.profile(apps::make_minife_profile(fe), spread(32, 4));
+  // The derived β ordering matches the paper's empirical α/β choice
+  // (miniMD more communication-weighted than miniFE).
+  EXPECT_GT(md_report.job_weights.beta, fe_report.job_weights.beta);
+}
+
+}  // namespace
+}  // namespace nlarm::mpisim

@@ -1,0 +1,267 @@
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "mpisim/app_profile.h"
+#include "mpisim/cost_model.h"
+#include "mpisim/placement.h"
+#include "mpisim/runtime.h"
+#include "net/flows.h"
+#include "net/network_model.h"
+#include "util/check.h"
+
+namespace nlarm::mpisim {
+namespace {
+
+class MpisimTest : public ::testing::Test {
+ protected:
+  MpisimTest()
+      : cluster_(cluster::make_uniform_cluster(8, 2, /*cores=*/8,
+                                               /*freq=*/3.0)),
+        network_(cluster_, flows_),
+        model_(cluster_, network_) {}
+
+  Placement spread_placement(int nranks, int ppn) {
+    std::vector<cluster::NodeId> rank_nodes;
+    for (int r = 0; r < nranks; ++r) {
+      rank_nodes.push_back(static_cast<cluster::NodeId>(r / ppn));
+    }
+    return Placement(std::move(rank_nodes));
+  }
+
+  cluster::Cluster cluster_;
+  net::FlowSet flows_;
+  net::NetworkModel network_;
+  CostModel model_;
+};
+
+TEST(GridTest, BalancedGridCoversRanks) {
+  for (int n : {1, 2, 3, 4, 6, 8, 12, 16, 27, 32, 48, 64, 100}) {
+    const auto grid = balanced_grid_3d(n);
+    EXPECT_EQ(grid[0] * grid[1] * grid[2], n) << "n=" << n;
+    EXPECT_LE(grid[0], grid[1]);
+    EXPECT_LE(grid[1], grid[2]);
+  }
+}
+
+TEST(GridTest, PerfectCubesAreCubic) {
+  EXPECT_EQ(balanced_grid_3d(8), (std::array<int, 3>{2, 2, 2}));
+  EXPECT_EQ(balanced_grid_3d(27), (std::array<int, 3>{3, 3, 3}));
+  EXPECT_EQ(balanced_grid_3d(64), (std::array<int, 3>{4, 4, 4}));
+}
+
+TEST(GridTest, RejectsNonPositive) {
+  EXPECT_THROW(balanced_grid_3d(0), util::CheckError);
+}
+
+TEST(ProfileTest, ValidationCatchesMismatch) {
+  AppProfile profile;
+  profile.nranks = 8;
+  profile.iterations = 10;
+  profile.grid = {2, 2, 3};  // 12 != 8
+  profile.phases.push_back(ComputePhase{1.0});
+  EXPECT_THROW(profile.validate(), util::CheckError);
+  profile.grid = {2, 2, 2};
+  EXPECT_NO_THROW(profile.validate());
+}
+
+TEST(PlacementTest, FromAllocationBlocksRanks) {
+  core::Allocation alloc;
+  alloc.nodes = {3, 5};
+  alloc.procs_per_node = {2, 3};
+  alloc.total_procs = 5;
+  const Placement placement = Placement::from_allocation(alloc);
+  EXPECT_EQ(placement.nranks(), 5);
+  EXPECT_EQ(placement.node_of(0), 3);
+  EXPECT_EQ(placement.node_of(1), 3);
+  EXPECT_EQ(placement.node_of(2), 5);
+  EXPECT_EQ(placement.ranks_on(3), 2);
+  EXPECT_EQ(placement.ranks_on(5), 3);
+  EXPECT_EQ(placement.ranks_on(7), 0);
+  EXPECT_EQ(placement.nodes(), (std::vector<cluster::NodeId>{3, 5}));
+}
+
+TEST_F(MpisimTest, ComputeTimeScalesWithFlops) {
+  const double t1 = model_.compute_time_s(0, 1e9, 1);
+  const double t2 = model_.compute_time_s(0, 2e9, 1);
+  EXPECT_NEAR(t2, 2.0 * t1, 1e-12);
+}
+
+TEST_F(MpisimTest, BackgroundLoadSlowsCompute) {
+  const double idle = model_.compute_time_s(0, 1e9, 8);
+  cluster_.mutable_node(0).dyn.cpu_load = 8.0;  // node now 2x oversubscribed
+  const double loaded = model_.compute_time_s(0, 1e9, 8);
+  EXPECT_GT(loaded, idle * 1.5);
+}
+
+TEST_F(MpisimTest, ModerateLoadCausesInterferenceOnly) {
+  // 1 rank + small load on an 8-core node: no time-sharing penalty, but the
+  // interference term still applies (cache/membw contention, jitter).
+  cluster_.mutable_node(0).dyn.cpu_load = 2.0;
+  const double t = model_.compute_time_s(0, 1e9, 1);
+  const double full_speed = 1e9 / (3.0e9 * model_.options().flops_per_cycle);
+  const double interference =
+      1.0 + model_.options().interference_coeff * (2.0 / 8.0);
+  EXPECT_NEAR(t, full_speed * interference, 1e-12);
+  EXPECT_LT(t, full_speed * 2.0);  // far from a time-sharing collapse
+}
+
+TEST_F(MpisimTest, LoadedEndpointsInflateLatency) {
+  const double idle = model_.p2p_time_s(0, 1, 8.0);
+  cluster_.mutable_node(1).dyn.cpu_load = 8.0;  // 1.0 load per core
+  const double loaded = model_.p2p_time_s(0, 1, 8.0);
+  EXPECT_GT(loaded, idle * 1.2);
+}
+
+TEST_F(MpisimTest, FasterNodesComputeFaster) {
+  cluster::Cluster fast = cluster::make_uniform_cluster(2, 1, 8, 4.6);
+  net::FlowSet flows;
+  net::NetworkModel network(fast, flows);
+  CostModel fast_model(fast, network);
+  EXPECT_LT(fast_model.compute_time_s(0, 1e9, 1),
+            model_.compute_time_s(0, 1e9, 1));
+}
+
+TEST_F(MpisimTest, P2pIntranodeFasterThanCross) {
+  const double intra = model_.p2p_time_s(0, 0, 1e6);
+  const double cross = model_.p2p_time_s(0, 1, 1e6);
+  EXPECT_LT(intra, cross);
+}
+
+TEST_F(MpisimTest, P2pRespectsCongestion) {
+  const double idle = model_.p2p_time_s(0, 1, 1e7);
+  flows_.add(0, 1, 900.0);
+  const double congested = model_.p2p_time_s(0, 1, 1e7);
+  EXPECT_GT(congested, idle * 2.0);
+}
+
+TEST_F(MpisimTest, ConcurrencyDividesBandwidth) {
+  const double alone = model_.p2p_time_s(0, 1, 1e7, 1.0);
+  const double shared = model_.p2p_time_s(0, 1, 1e7, 4.0);
+  EXPECT_GT(shared, alone * 2.0);
+}
+
+TEST_F(MpisimTest, AllreduceGrowsWithRanks) {
+  AllreducePhase ar{8.0};
+  const Placement small = spread_placement(4, 1);
+  const Placement large = spread_placement(8, 1);
+  AppProfile dummy;  // unused by allreduce
+  dummy.nranks = 4;
+  dummy.grid = {1, 1, 4};
+  dummy.iterations = 1;
+  dummy.phases.push_back(ar);
+  const double t_small = model_.phase_time_s(Phase{ar}, dummy, small);
+  AppProfile dummy8 = dummy;
+  dummy8.nranks = 8;
+  dummy8.grid = {1, 1, 8};
+  const double t_large = model_.phase_time_s(Phase{ar}, dummy8, large);
+  EXPECT_GT(t_large, t_small);
+}
+
+TEST_F(MpisimTest, SingleRankAllreduceFree) {
+  const Placement solo = spread_placement(1, 1);
+  AppProfile app;
+  app.nranks = 1;
+  app.grid = {1, 1, 1};
+  app.iterations = 1;
+  app.phases.push_back(AllreducePhase{8.0});
+  EXPECT_DOUBLE_EQ(model_.phase_time_s(app.phases[0], app, solo), 0.0);
+}
+
+TEST_F(MpisimTest, HaloCheaperWhenColocated) {
+  AppProfile app;
+  app.nranks = 8;
+  app.grid = {2, 2, 2};
+  app.iterations = 1;
+  app.phases.push_back(HaloPhase{1e6, true});
+  // All ranks on one node vs spread 1-per-node.
+  const Placement together(std::vector<cluster::NodeId>(8, 0));
+  const Placement apart = spread_placement(8, 1);
+  const double t_together = model_.phase_time_s(app.phases[0], app, together);
+  const double t_apart = model_.phase_time_s(app.phases[0], app, apart);
+  EXPECT_LT(t_together, t_apart);
+}
+
+TEST_F(MpisimTest, IterationCostSplitsComputeAndComm) {
+  AppProfile app;
+  app.nranks = 8;
+  app.grid = {2, 2, 2};
+  app.iterations = 10;
+  app.phases.push_back(ComputePhase{1e8});
+  app.phases.push_back(HaloPhase{1e5, true});
+  app.phases.push_back(AllreducePhase{8.0});
+  const Placement placement = spread_placement(8, 4);
+  const IterationCost cost = model_.iteration_cost(app, placement);
+  EXPECT_GT(cost.compute_s, 0.0);
+  EXPECT_GT(cost.comm_s, 0.0);
+  EXPECT_DOUBLE_EQ(cost.total(), cost.compute_s + cost.comm_s);
+}
+
+TEST_F(MpisimTest, RankCountMismatchRejected) {
+  AppProfile app;
+  app.nranks = 8;
+  app.grid = {2, 2, 2};
+  app.iterations = 1;
+  app.phases.push_back(ComputePhase{1.0});
+  const Placement placement = spread_placement(4, 4);
+  EXPECT_THROW(model_.iteration_cost(app, placement), util::CheckError);
+}
+
+TEST_F(MpisimTest, EstimateMatchesIterationsTimesPerIter) {
+  MpiRuntime runtime(cluster_, network_);
+  AppProfile app;
+  app.nranks = 4;
+  app.grid = {1, 2, 2};
+  app.iterations = 10;
+  app.phases.push_back(ComputePhase{1e8});
+  const Placement placement = spread_placement(4, 2);
+  const ExecutionResult result = runtime.estimate(app, placement);
+  const IterationCost per_iter =
+      runtime.cost_model().iteration_cost(app, placement);
+  EXPECT_NEAR(result.total_s, per_iter.total() * 10, 1e-9);
+  EXPECT_EQ(result.iterations, 10);
+}
+
+TEST_F(MpisimTest, RunAdvancesSimulationClock) {
+  MpiRuntime runtime(cluster_, network_);
+  sim::Simulation sim(1);
+  AppProfile app;
+  app.nranks = 4;
+  app.grid = {1, 2, 2};
+  app.iterations = 20;
+  app.phases.push_back(ComputePhase{1e8});
+  const Placement placement = spread_placement(4, 2);
+  const double before = sim.now();
+  const ExecutionResult result = runtime.run(sim, app, placement);
+  EXPECT_NEAR(sim.now() - before, result.total_s, 1e-9);
+  EXPECT_GT(result.total_s, 0.0);
+}
+
+TEST_F(MpisimTest, RunSeesConditionChanges) {
+  // A flow added mid-run (via a scheduled event) should make the dynamic
+  // run slower than the frozen estimate.
+  MpiRuntime runtime(cluster_, network_);
+  sim::Simulation sim(2);
+  AppProfile app;
+  app.nranks = 2;
+  app.grid = {1, 1, 2};
+  app.iterations = 100;
+  app.phases.push_back(HaloPhase{1e6, true});
+  const Placement placement = spread_placement(2, 1);
+  const ExecutionResult frozen = runtime.estimate(app, placement);
+  sim.schedule_in(frozen.total_s * 0.1,
+                  [&] { flows_.add(0, 1, 950.0); });
+  const ExecutionResult dynamic = runtime.run(sim, app, placement);
+  EXPECT_GT(dynamic.total_s, frozen.total_s * 1.5);
+}
+
+TEST_F(MpisimTest, CommFractionComputed) {
+  ExecutionResult result;
+  result.total_s = 10.0;
+  result.comm_s = 4.0;
+  EXPECT_DOUBLE_EQ(result.comm_fraction(), 0.4);
+  ExecutionResult empty;
+  EXPECT_DOUBLE_EQ(empty.comm_fraction(), 0.0);
+}
+
+}  // namespace
+}  // namespace nlarm::mpisim

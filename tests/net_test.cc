@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "net/flows.h"
+#include "net/network_model.h"
+#include "util/check.h"
+
+namespace nlarm::net {
+namespace {
+
+class NetworkModelTest : public ::testing::Test {
+ protected:
+  NetworkModelTest()
+      : cluster_(cluster::make_uniform_cluster(6, 3)),  // 2 nodes per switch
+        model_(cluster_, flows_) {}
+
+  cluster::Cluster cluster_;
+  FlowSet flows_;
+  NetworkModel model_;
+};
+
+TEST(FlowSetTest, AddRemoveAndRate) {
+  FlowSet flows;
+  const FlowId id = flows.add(0, 1, 100.0);
+  EXPECT_EQ(flows.size(), 1u);
+  EXPECT_DOUBLE_EQ(flows.node_rate_mbps(0), 100.0);
+  EXPECT_DOUBLE_EQ(flows.node_rate_mbps(2), 0.0);
+  EXPECT_TRUE(flows.remove(id));
+  EXPECT_FALSE(flows.remove(id));
+  EXPECT_EQ(flows.size(), 0u);
+}
+
+TEST(FlowSetTest, RevisionBumpsOnMutation) {
+  FlowSet flows;
+  const auto r0 = flows.revision();
+  const FlowId id = flows.add(0, 1, 10.0);
+  EXPECT_GT(flows.revision(), r0);
+  const auto r1 = flows.revision();
+  flows.set_rate(id, 20.0);
+  EXPECT_GT(flows.revision(), r1);
+}
+
+TEST(FlowSetTest, InvalidFlowsRejected) {
+  FlowSet flows;
+  EXPECT_THROW(flows.add(1, 1, 10.0), util::CheckError);
+  EXPECT_THROW(flows.add(0, 1, -5.0), util::CheckError);
+  EXPECT_THROW(flows.set_rate(999, 1.0), util::CheckError);
+}
+
+TEST_F(NetworkModelTest, IdleNetworkGivesFullBandwidth) {
+  EXPECT_DOUBLE_EQ(model_.available_bandwidth_mbps(0, 1), 1000.0);
+  EXPECT_DOUBLE_EQ(model_.peak_bandwidth_mbps(0, 5), 1000.0);
+}
+
+TEST_F(NetworkModelTest, FlowReducesBandwidthOnItsPath) {
+  flows_.add(0, 1, 400.0);
+  // Same-switch pair 0↔1 shares both uplinks with the flow.
+  EXPECT_NEAR(model_.available_bandwidth_mbps(0, 1), 600.0, 1e-9);
+  // Pair 2↔3 (another switch) is unaffected.
+  EXPECT_DOUBLE_EQ(model_.available_bandwidth_mbps(2, 3), 1000.0);
+}
+
+TEST_F(NetworkModelTest, CrossSwitchFlowLoadsTrunk) {
+  flows_.add(0, 2, 300.0);  // crosses the sw0–sw1 trunk
+  // 4↔5 on switch 2 untouched; 1↔3 shares the trunk.
+  EXPECT_DOUBLE_EQ(model_.available_bandwidth_mbps(4, 5), 1000.0);
+  EXPECT_NEAR(model_.available_bandwidth_mbps(1, 3), 700.0, 1e-9);
+}
+
+TEST_F(NetworkModelTest, SaturatedLinkStillGivesFairShareFloor) {
+  flows_.add(0, 1, 5000.0);  // massively oversubscribed
+  const double bw = model_.available_bandwidth_mbps(0, 1);
+  EXPECT_NEAR(bw, 1000.0 * model_.options().fair_share_floor, 1e-9);
+  EXPECT_GT(bw, 0.0);
+}
+
+TEST_F(NetworkModelTest, MoreTrafficNeverIncreasesBandwidth) {
+  double last = model_.available_bandwidth_mbps(0, 3);
+  for (int i = 1; i <= 5; ++i) {
+    flows_.add(0, 3, 100.0);
+    const double now = model_.available_bandwidth_mbps(0, 3);
+    EXPECT_LE(now, last + 1e-9);
+    last = now;
+  }
+}
+
+TEST_F(NetworkModelTest, LatencyGrowsWithHops) {
+  const double same_switch = model_.latency_us(0, 1);
+  const double one_trunk = model_.latency_us(0, 2);
+  const double two_trunks = model_.latency_us(0, 4);
+  EXPECT_LT(same_switch, one_trunk);
+  EXPECT_LT(one_trunk, two_trunks);
+}
+
+TEST_F(NetworkModelTest, LatencyGrowsWithCongestion) {
+  const double idle = model_.latency_us(0, 1);
+  flows_.add(0, 1, 900.0);
+  const double loaded = model_.latency_us(0, 1);
+  EXPECT_GT(loaded, idle);
+}
+
+TEST_F(NetworkModelTest, UplinkBackgroundCountsAsLoad) {
+  const double before = model_.available_bandwidth_mbps(0, 1);
+  model_.set_uplink_background_mbps(0, 250.0);
+  const double after = model_.available_bandwidth_mbps(0, 1);
+  EXPECT_NEAR(before - after, 250.0, 1e-9);
+  EXPECT_DOUBLE_EQ(model_.uplink_background_mbps(0), 250.0);
+}
+
+TEST_F(NetworkModelTest, NodeFlowSumsChatterAndFlows) {
+  model_.set_uplink_background_mbps(2, 50.0);
+  flows_.add(2, 4, 100.0);
+  flows_.add(0, 2, 25.0);
+  EXPECT_DOUBLE_EQ(model_.node_flow_mbps(2), 175.0);
+}
+
+TEST_F(NetworkModelTest, LinkUtilizationReflectsOfferedLoad) {
+  flows_.add(0, 1, 500.0);
+  EXPECT_NEAR(model_.link_utilization(0), 0.5, 1e-9);   // node 0 uplink
+  EXPECT_NEAR(model_.link_utilization(2), 0.0, 1e-9);   // node 2 uplink
+}
+
+TEST_F(NetworkModelTest, MeasurementNoiseIsBounded) {
+  sim::Rng rng(5);
+  flows_.add(0, 1, 200.0);
+  for (int i = 0; i < 200; ++i) {
+    const double bw = model_.measure_bandwidth_mbps(0, 1, rng);
+    EXPECT_GT(bw, 0.0);
+    EXPECT_LE(bw, 1000.0);  // never above peak
+    const double lat = model_.measure_latency_us(0, 1, rng);
+    EXPECT_GT(lat, 0.0);
+  }
+}
+
+TEST_F(NetworkModelTest, MeasurementsCenterOnTruth) {
+  sim::Rng rng(6);
+  flows_.add(0, 1, 300.0);
+  const double truth = model_.available_bandwidth_mbps(0, 1);
+  double sum = 0.0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) sum += model_.measure_bandwidth_mbps(0, 1, rng);
+  EXPECT_NEAR(sum / n, truth, truth * 0.02);
+}
+
+TEST_F(NetworkModelTest, SelfPairRejected) {
+  EXPECT_THROW(model_.available_bandwidth_mbps(2, 2), util::CheckError);
+  EXPECT_THROW(model_.latency_us(2, 2), util::CheckError);
+}
+
+TEST_F(NetworkModelTest, ExpiredFlowRestoresBandwidth) {
+  const FlowId id = flows_.add(0, 1, 400.0);
+  EXPECT_LT(model_.available_bandwidth_mbps(0, 1), 1000.0);
+  flows_.remove(id);
+  EXPECT_DOUBLE_EQ(model_.available_bandwidth_mbps(0, 1), 1000.0);
+}
+
+}  // namespace
+}  // namespace nlarm::net

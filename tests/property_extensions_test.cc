@@ -1,0 +1,226 @@
+// Property tests for the extension subsystems: job queue invariants over
+// random job streams, hierarchical-allocator invariants over random
+// snapshots, and forecaster sanity over signal families.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "core/hierarchical.h"
+#include "core/job_queue.h"
+#include "monitor/forecast.h"
+#include "sim/rng.h"
+#include "test_helpers.h"
+
+namespace nlarm {
+namespace {
+
+using nlarm::testing::TestNode;
+using nlarm::testing::make_snapshot;
+
+monitor::ClusterSnapshot random_grouped_snapshot(std::uint64_t seed, int n,
+                                                 int switches) {
+  sim::Rng rng(seed);
+  std::vector<TestNode> nodes;
+  for (int i = 0; i < n; ++i) {
+    TestNode t;
+    t.cpu_load = rng.uniform(0.0, 8.0);
+    t.cpu_util = rng.uniform(0.0, 1.0);
+    t.net_flow_mbps = rng.uniform(0.0, 600.0);
+    nodes.push_back(t);
+  }
+  auto snap = make_snapshot(nodes);
+  for (int i = 0; i < n; ++i) {
+    snap.nodes[static_cast<std::size_t>(i)].spec.switch_id = i % switches;
+  }
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      nlarm::testing::set_pair(snap, u, v, rng.uniform(60.0, 700.0),
+                               rng.uniform(100.0, 1000.0));
+    }
+  }
+  return snap;
+}
+
+class QueueProperty : public ::testing::TestWithParam<std::uint64_t> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, QueueProperty,
+                         ::testing::Values(1u, 7u, 21u, 63u, 127u));
+
+TEST_P(QueueProperty, NoDoubleBookingUnderRandomStreams) {
+  sim::Rng rng(GetParam());
+  core::NetworkLoadAwareAllocator allocator;
+  core::JobQueue queue(allocator);
+  auto snap = make_snapshot(nlarm::testing::idle_nodes(12));
+
+  std::vector<core::JobId> running_ids;
+  double now = 0.0;
+  for (int step = 0; step < 60; ++step) {
+    now += rng.uniform(1.0, 30.0);
+    if (rng.chance(0.5)) {
+      core::AllocationRequest request;
+      request.nprocs = 4 * static_cast<int>(rng.uniform_int(1, 4));
+      request.ppn = 4;
+      request.job = core::JobWeights::balanced();
+      queue.submit("job", request, now);
+    }
+    if (!running_ids.empty() && rng.chance(0.4)) {
+      const auto idx = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(running_ids.size()) - 1));
+      queue.release(running_ids[idx]);
+      running_ids.erase(running_ids.begin() +
+                        static_cast<std::ptrdiff_t>(idx));
+    }
+    const auto started = queue.poll(snap, now);
+    for (const auto& job : started) running_ids.push_back(job.id);
+
+    // Invariant: reserved nodes are exactly the union of running jobs'
+    // nodes, with no duplicates.
+    const auto reserved = queue.reserved_nodes();
+    const std::set<cluster::NodeId> unique(reserved.begin(), reserved.end());
+    EXPECT_EQ(unique.size(), reserved.size());
+    EXPECT_EQ(queue.running(), running_ids.size());
+    EXPECT_LE(reserved.size(), 12u);
+  }
+}
+
+TEST_P(QueueProperty, EveryJobEventuallyStartsWhenClusterDrains) {
+  sim::Rng rng(GetParam() ^ 0xabcd);
+  core::NetworkLoadAwareAllocator allocator;
+  core::JobQueue queue(allocator);
+  auto snap = make_snapshot(nlarm::testing::idle_nodes(8));
+  double now = 0.0;
+  const int total = 12;
+  for (int j = 0; j < total; ++j) {
+    core::AllocationRequest request;
+    request.nprocs = 4 * static_cast<int>(rng.uniform_int(1, 8));
+    request.ppn = 4;
+    request.job = core::JobWeights::balanced();
+    queue.submit("job", request, now);
+  }
+  int started_total = 0;
+  std::vector<core::JobId> running_ids;
+  for (int round = 0; round < 200 && started_total < total; ++round) {
+    now += 10.0;
+    const auto started = queue.poll(snap, now);
+    for (const auto& job : started) running_ids.push_back(job.id);
+    started_total += static_cast<int>(started.size());
+    // Release the oldest running job every other round.
+    if (!running_ids.empty() && round % 2 == 1) {
+      queue.release(running_ids.front());
+      running_ids.erase(running_ids.begin());
+    }
+  }
+  EXPECT_EQ(started_total, total);
+  EXPECT_EQ(queue.pending(), 0u);
+}
+
+class HierarchicalProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+INSTANTIATE_TEST_SUITE_P(Seeds, HierarchicalProperty,
+                         ::testing::Values(2u, 4u, 8u, 16u, 32u));
+
+TEST_P(HierarchicalProperty, SatisfiesAndDoesNotDuplicate) {
+  const auto snap = random_grouped_snapshot(GetParam(), 18, 3);
+  core::HierarchicalAllocator allocator;
+  for (int nprocs : {4, 12, 24, 48}) {
+    core::AllocationRequest request;
+    request.nprocs = nprocs;
+    request.ppn = 4;
+    request.job = core::JobWeights{0.3, 0.7};
+    const core::Allocation alloc = allocator.allocate(snap, request);
+    EXPECT_EQ(std::accumulate(alloc.procs_per_node.begin(),
+                              alloc.procs_per_node.end(), 0),
+              nprocs);
+    const std::set<cluster::NodeId> unique(alloc.nodes.begin(),
+                                           alloc.nodes.end());
+    EXPECT_EQ(unique.size(), alloc.nodes.size());
+  }
+}
+
+TEST_P(HierarchicalProperty, ChosenGroupsCoverSelection) {
+  const auto snap = random_grouped_snapshot(GetParam() ^ 0x77, 15, 3);
+  core::HierarchicalAllocator allocator;
+  core::AllocationRequest request;
+  request.nprocs = 20;
+  request.ppn = 4;
+  request.job = core::JobWeights{0.3, 0.7};
+  const core::Allocation alloc = allocator.allocate(snap, request);
+  std::set<int> chosen_switches;
+  for (std::size_t g : allocator.last_chosen_groups()) {
+    chosen_switches.insert(allocator.last_groups()[g].switch_id);
+  }
+  for (cluster::NodeId id : alloc.nodes) {
+    EXPECT_TRUE(chosen_switches.count(
+        snap.nodes[static_cast<std::size_t>(id)].spec.switch_id))
+        << "node outside the chosen groups";
+  }
+}
+
+class ForecasterProperty : public ::testing::TestWithParam<std::uint64_t> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, ForecasterProperty,
+                         ::testing::Values(3u, 9u, 27u, 81u));
+
+TEST_P(ForecasterProperty, BeatsWorstPredictorOnMixedSignals) {
+  // The adaptive pick's error must never exceed the worst bank member's by
+  // construction; sanity-check it also stays within the best's error plus
+  // adaptation slack across signal families.
+  sim::Rng rng(GetParam());
+  for (int family = 0; family < 3; ++family) {
+    monitor::AdaptiveForecaster forecaster;
+    double x = 5.0;
+    double abs_err = 0.0;
+    int scored = 0;
+    for (int t = 0; t < 300; ++t) {
+      double value = 0.0;
+      switch (family) {
+        case 0:  // white noise around a mean
+          value = 5.0 + rng.normal(0.0, 1.0);
+          break;
+        case 1:  // random walk
+          x += rng.normal(0.0, 0.5);
+          value = x;
+          break;
+        case 2:  // AR(1)
+          x = 2.0 + 0.8 * (x - 2.0) + rng.normal(0.0, 0.3);
+          value = x;
+          break;
+      }
+      if (t > 0) {
+        abs_err += std::abs(forecaster.forecast() - value);
+        ++scored;
+      }
+      forecaster.observe(t, value);
+    }
+    const double adaptive_mae = abs_err / scored;
+    // The winner's self-reported error should be in the same ballpark.
+    EXPECT_LT(adaptive_mae, forecaster.best_error() * 2.0 + 1.0)
+        << "family " << family;
+    EXPECT_TRUE(std::isfinite(adaptive_mae));
+  }
+}
+
+TEST_P(ForecasterProperty, ForecastsNonNegativeLoadsAfterClamping) {
+  sim::Rng rng(GetParam() ^ 0x5555);
+  monitor::MonitorStore store(2);
+  monitor::ForecastingStore forecasting(store);
+  monitor::NodeSnapshot record;
+  record.spec.id = 0;
+  record.spec.core_count = 8;
+  record.spec.cpu_freq_ghz = 3.0;
+  record.spec.total_mem_gb = 16.0;
+  for (int t = 0; t < 100; ++t) {
+    record.cpu_load = std::max(0.0, rng.normal(0.5, 1.0));
+    record.cpu_util = rng.uniform(0.0, 1.0);
+    record.net_flow_mbps = std::max(0.0, rng.normal(50.0, 80.0));
+    store.write_node_record(t, record);
+    forecasting.feed(t);
+    const auto snap = forecasting.assemble_forecast(t);
+    EXPECT_GE(snap.nodes[0].cpu_load, 0.0);
+    EXPECT_GE(snap.nodes[0].net_flow_mbps, 0.0);
+    EXPECT_LE(snap.nodes[0].cpu_util, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace nlarm

@@ -1,0 +1,212 @@
+// Property-based tests: invariants checked over parameterized sweeps of
+// seeds, cluster shapes and request sizes (TEST_P / INSTANTIATE_TEST_SUITE_P).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "core/allocator.h"
+#include "core/baselines.h"
+#include "core/compute_load.h"
+#include "core/network_load.h"
+#include "core/normalize.h"
+#include "monitor/snapshot.h"
+#include "sim/rng.h"
+#include "test_helpers.h"
+
+namespace nlarm {
+namespace {
+
+using nlarm::testing::TestNode;
+using nlarm::testing::make_snapshot;
+
+/// Generates a random but valid snapshot from a seed.
+monitor::ClusterSnapshot random_snapshot(std::uint64_t seed, int n) {
+  sim::Rng rng(seed);
+  std::vector<TestNode> nodes;
+  for (int i = 0; i < n; ++i) {
+    TestNode t;
+    t.cpu_load = rng.uniform(0.0, 12.0);
+    t.cpu_util = rng.uniform(0.0, 1.0);
+    t.mem_used_gb = rng.uniform(0.0, 16.0);
+    t.net_flow_mbps = rng.uniform(0.0, 900.0);
+    t.users = static_cast<int>(rng.uniform_int(0, 8));
+    t.cores = rng.chance(0.5) ? 8 : 12;
+    t.freq_ghz = t.cores == 8 ? 2.8 : 4.6;
+    nodes.push_back(t);
+  }
+  auto snap = make_snapshot(nodes);
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      nlarm::testing::set_pair(snap, u, v, rng.uniform(50.0, 900.0),
+                               rng.uniform(50.0, 1000.0));
+    }
+  }
+  return snap;
+}
+
+class SeededProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u,
+                                           55u, 89u));
+
+TEST_P(SeededProperty, ComputeLoadsAreFiniteNonNegative) {
+  const auto snap = random_snapshot(GetParam(), 12);
+  std::vector<cluster::NodeId> nodes(12);
+  std::iota(nodes.begin(), nodes.end(), 0);
+  const auto cl = core::compute_loads(snap, nodes,
+                                      core::ComputeLoadWeights{});
+  for (double v : cl) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);  // sum of weights ≤ 1 and normalized columns ≤ 1
+  }
+}
+
+TEST_P(SeededProperty, NetworkLoadMatrixSymmetricNonNegative) {
+  const auto snap = random_snapshot(GetParam(), 10);
+  std::vector<cluster::NodeId> nodes(10);
+  std::iota(nodes.begin(), nodes.end(), 0);
+  const auto nl = core::network_loads(snap, nodes,
+                                      core::NetworkLoadWeights{});
+  for (std::size_t i = 0; i < nl.size(); ++i) {
+    EXPECT_DOUBLE_EQ(nl[i][i], 0.0);
+    for (std::size_t j = 0; j < nl.size(); ++j) {
+      EXPECT_DOUBLE_EQ(nl[i][j], nl[j][i]);
+      EXPECT_GE(nl[i][j], 0.0);
+      EXPECT_TRUE(std::isfinite(nl[i][j]));
+    }
+  }
+}
+
+TEST_P(SeededProperty, NormalizationPartitionOfUnity) {
+  sim::Rng rng(GetParam());
+  std::vector<double> values;
+  for (int i = 0; i < 20; ++i) values.push_back(rng.uniform(0.0, 100.0));
+  const auto n = core::normalize_by_sum(values);
+  EXPECT_NEAR(std::accumulate(n.begin(), n.end(), 0.0), 1.0, 1e-9);
+  for (double v : n) EXPECT_GE(v, 0.0);
+}
+
+TEST_P(SeededProperty, AllAllocatorsSatisfyRequestExactly) {
+  const auto snap = random_snapshot(GetParam(), 14);
+  core::AllocationRequest req;
+  req.nprocs = 4 + static_cast<int>(GetParam() % 29);
+  req.ppn = 4;
+  req.job = core::JobWeights::balanced();
+
+  core::RandomAllocator random(GetParam());
+  core::SequentialAllocator sequential(GetParam());
+  core::LoadAwareAllocator load_aware;
+  core::NetworkLoadAwareAllocator ours;
+  for (core::Allocator* a :
+       {static_cast<core::Allocator*>(&random),
+        static_cast<core::Allocator*>(&sequential),
+        static_cast<core::Allocator*>(&load_aware),
+        static_cast<core::Allocator*>(&ours)}) {
+    const core::Allocation alloc = a->allocate(snap, req);
+    EXPECT_EQ(std::accumulate(alloc.procs_per_node.begin(),
+                              alloc.procs_per_node.end(), 0),
+              req.nprocs)
+        << a->name();
+    const std::set<cluster::NodeId> unique(alloc.nodes.begin(),
+                                           alloc.nodes.end());
+    EXPECT_EQ(unique.size(), alloc.nodes.size()) << a->name();
+    EXPECT_EQ(alloc.nodes.size(), alloc.procs_per_node.size()) << a->name();
+    for (int procs : alloc.procs_per_node) EXPECT_GT(procs, 0) << a->name();
+  }
+}
+
+TEST_P(SeededProperty, OursNeverWorseTotalCostThanAnyCandidate) {
+  const auto snap = random_snapshot(GetParam(), 10);
+  core::AllocationRequest req;
+  req.nprocs = 12;
+  req.ppn = 4;
+  req.job = core::JobWeights{0.4, 0.6};
+  core::NetworkLoadAwareAllocator ours;
+  ours.allocate(snap, req);
+  const auto& selection = ours.last_selection();
+  const double best = selection.scored[selection.best_index].total_cost;
+  for (const auto& scored : selection.scored) {
+    EXPECT_LE(best, scored.total_cost + 1e-12);
+  }
+}
+
+TEST_P(SeededProperty, EffectiveCoresWithinBounds) {
+  const auto snap = random_snapshot(GetParam(), 16);
+  std::vector<cluster::NodeId> nodes(16);
+  std::iota(nodes.begin(), nodes.end(), 0);
+  const auto pc = core::effective_process_counts(snap, nodes, 0);
+  for (std::size_t i = 0; i < pc.size(); ++i) {
+    EXPECT_GE(pc[i], 1);
+    EXPECT_LE(pc[i], snap.nodes[i].spec.core_count);
+  }
+}
+
+TEST_P(SeededProperty, AddingLoadNeverLowersANodesComputeLoad) {
+  auto snap = random_snapshot(GetParam(), 8);
+  std::vector<cluster::NodeId> nodes(8);
+  std::iota(nodes.begin(), nodes.end(), 0);
+  const auto before = core::compute_loads(snap, nodes,
+                                          core::ComputeLoadWeights{});
+  // Double node 3's CPU load.
+  auto& target = snap.nodes[3];
+  const double new_load = target.cpu_load_avg.one_min * 2.0 + 1.0;
+  target.cpu_load = new_load;
+  target.cpu_load_avg = {new_load, new_load, new_load};
+  const auto after = core::compute_loads(snap, nodes,
+                                         core::ComputeLoadWeights{});
+  EXPECT_GT(after[3], before[3]);
+}
+
+class RequestSizeProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Requests, RequestSizeProperty,
+    ::testing::Combine(::testing::Values(1, 3, 8, 16, 32, 64),
+                       ::testing::Values(1, 2, 4)));
+
+TEST_P(RequestSizeProperty, NodeCountMatchesCeilDivision) {
+  const auto [nprocs, ppn] = GetParam();
+  const auto snap = random_snapshot(99, 20);
+  core::AllocationRequest req;
+  req.nprocs = nprocs;
+  req.ppn = ppn;
+  req.job = core::JobWeights::balanced();
+  core::NetworkLoadAwareAllocator ours;
+  const core::Allocation alloc = ours.allocate(snap, req);
+  const int expected_nodes = std::min(20, (nprocs + ppn - 1) / ppn);
+  EXPECT_EQ(static_cast<int>(alloc.nodes.size()), expected_nodes);
+}
+
+class ClusterSizeProperty : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ClusterSizeProperty,
+                         ::testing::Values(2, 3, 5, 10, 30, 60));
+
+TEST_P(ClusterSizeProperty, CandidateCountEqualsNodeCount) {
+  const int n = GetParam();
+  const auto snap = random_snapshot(5, n);
+  core::AllocationRequest req;
+  req.nprocs = std::min(n * 4, 8);
+  req.ppn = 4;
+  req.job = core::JobWeights::balanced();
+  core::NetworkLoadAwareAllocator ours;
+  ours.allocate(snap, req);
+  EXPECT_EQ(ours.last_selection().scored.size(),
+            static_cast<std::size_t>(n));
+}
+
+TEST_P(ClusterSizeProperty, GroundTruthSnapshotUsableEverywhere) {
+  cluster::Cluster c = cluster::make_uniform_cluster(GetParam(), 1);
+  net::FlowSet flows;
+  net::NetworkModel network(c, flows);
+  const auto snap = monitor::make_ground_truth_snapshot(c, network, 1.0);
+  EXPECT_EQ(snap.usable_nodes().size(), static_cast<std::size_t>(GetParam()));
+}
+
+}  // namespace
+}  // namespace nlarm

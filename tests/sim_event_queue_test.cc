@@ -1,0 +1,100 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/check.h"
+
+namespace nlarm::sim {
+namespace {
+
+TEST(EventQueueTest, DispatchesInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  while (!q.empty()) q.dispatch_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1.0, [&] { order.push_back(0); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(1.0, [&] { order.push_back(2); });
+  while (!q.empty()) q.dispatch_next();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueueTest, CancelPreventsDispatch) {
+  EventQueue q;
+  bool fired = false;
+  EventHandle handle = q.schedule(1.0, [&] { fired = true; });
+  EXPECT_TRUE(handle.pending());
+  handle.cancel();
+  EXPECT_FALSE(handle.pending());
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueueTest, CancelIsIdempotentAndSafeAfterFire) {
+  EventQueue q;
+  EventHandle handle = q.schedule(1.0, [] {});
+  q.dispatch_next();
+  EXPECT_FALSE(handle.pending());
+  handle.cancel();  // no effect, no crash
+  EventHandle empty;
+  empty.cancel();  // default-constructed handle
+  EXPECT_FALSE(empty.pending());
+}
+
+TEST(EventQueueTest, NextTimeSkipsCancelled) {
+  EventQueue q;
+  EventHandle first = q.schedule(1.0, [] {});
+  q.schedule(2.0, [] {});
+  first.cancel();
+  EXPECT_DOUBLE_EQ(q.next_time(), 2.0);
+}
+
+TEST(EventQueueTest, SchedulingIntoPastThrows) {
+  EventQueue q;
+  q.schedule(5.0, [] {});
+  q.dispatch_next();
+  EXPECT_THROW(q.schedule(4.0, [] {}), util::CheckError);
+}
+
+TEST(EventQueueTest, EventsCanScheduleMoreEvents) {
+  EventQueue q;
+  std::vector<double> times;
+  q.schedule(1.0, [&] {
+    times.push_back(1.0);
+    q.schedule(2.0, [&] { times.push_back(2.0); });
+  });
+  while (!q.empty()) q.dispatch_next();
+  EXPECT_EQ(times, (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(EventQueueTest, EmptyQueueOperationsThrow) {
+  EventQueue q;
+  EXPECT_THROW(q.next_time(), util::CheckError);
+  EXPECT_THROW(q.dispatch_next(), util::CheckError);
+}
+
+TEST(EventQueueTest, EmptyCallbackRejected) {
+  EventQueue q;
+  EXPECT_THROW(q.schedule(1.0, EventFn{}), util::CheckError);
+}
+
+TEST(EventQueueTest, LastDispatchedTracksTime) {
+  EventQueue q;
+  q.schedule(2.5, [] {});
+  EXPECT_DOUBLE_EQ(q.last_dispatched(), 0.0);
+  q.dispatch_next();
+  EXPECT_DOUBLE_EQ(q.last_dispatched(), 2.5);
+}
+
+}  // namespace
+}  // namespace nlarm::sim

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/markov.h"
+#include "sim/ou_process.h"
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace nlarm::sim {
+namespace {
+
+TEST(OuProcessTest, RevertsTowardMean) {
+  Rng rng(1);
+  OuProcess ou(10.0, /*reversion_rate=*/0.1, /*volatility=*/0.0,
+               /*initial=*/0.0);
+  for (int i = 0; i < 100; ++i) ou.step(1.0, rng);
+  EXPECT_NEAR(ou.value(), 10.0, 0.01);
+}
+
+TEST(OuProcessTest, ZeroVolatilityIsDeterministicExponential) {
+  Rng rng(2);
+  OuProcess ou(0.0, 0.5, 0.0, 8.0);
+  ou.step(1.0, rng);
+  EXPECT_NEAR(ou.value(), 8.0 * std::exp(-0.5), 1e-12);
+}
+
+TEST(OuProcessTest, StationaryMomentsMatchTheory) {
+  Rng rng(3);
+  OuProcess ou(5.0, 0.2, 1.0, 5.0);
+  util::StreamingStats stats;
+  // Burn in, then sample.
+  for (int i = 0; i < 500; ++i) ou.step(1.0, rng);
+  for (int i = 0; i < 50000; ++i) stats.add(ou.step(1.0, rng));
+  EXPECT_NEAR(stats.mean(), 5.0, 0.1);
+  EXPECT_NEAR(stats.stdev(), ou.stationary_stdev(), 0.1);
+}
+
+TEST(OuProcessTest, StationaryStdevFormula) {
+  Rng rng(4);
+  OuProcess ou(0.0, 2.0, 3.0, 0.0);
+  EXPECT_DOUBLE_EQ(ou.stationary_stdev(), 3.0 / std::sqrt(4.0));
+}
+
+TEST(OuProcessTest, ZeroStepKeepsValue) {
+  Rng rng(5);
+  OuProcess ou(1.0, 1.0, 1.0, 7.0);
+  EXPECT_DOUBLE_EQ(ou.step(0.0, rng), 7.0);
+}
+
+TEST(OuProcessTest, StepSizeInvariance) {
+  // One big step and many small steps have the same distribution; with zero
+  // volatility they must agree exactly.
+  Rng rng(6);
+  OuProcess big(3.0, 0.3, 0.0, 10.0);
+  OuProcess small(3.0, 0.3, 0.0, 10.0);
+  big.step(10.0, rng);
+  for (int i = 0; i < 100; ++i) small.step(0.1, rng);
+  EXPECT_NEAR(big.value(), small.value(), 1e-9);
+}
+
+TEST(OuProcessTest, InvalidParamsRejected) {
+  EXPECT_THROW(OuProcess(0.0, 0.0, 1.0, 0.0), util::CheckError);
+  EXPECT_THROW(OuProcess(0.0, 1.0, -1.0, 0.0), util::CheckError);
+  Rng rng(7);
+  OuProcess ou(0.0, 1.0, 1.0, 0.0);
+  EXPECT_THROW(ou.step(-1.0, rng), util::CheckError);
+}
+
+TEST(OnOffModulatorTest, DutyCycleMatchesHoldingTimes) {
+  Rng rng(8);
+  OnOffModulator mod(300.0, 100.0, false, rng);
+  EXPECT_NEAR(mod.duty_cycle(), 0.25, 1e-12);
+  double on_time = 0.0;
+  const double dt = 10.0;
+  const int steps = 100000;
+  for (int i = 0; i < steps; ++i) {
+    mod.step(dt, rng);
+    on_time += mod.last_on_fraction() * dt;
+  }
+  EXPECT_NEAR(on_time / (steps * dt), 0.25, 0.02);
+}
+
+TEST(OnOffModulatorTest, OnFractionWithinBounds) {
+  Rng rng(9);
+  OnOffModulator mod(60.0, 60.0, true, rng);
+  for (int i = 0; i < 1000; ++i) {
+    mod.step(5.0, rng);
+    EXPECT_GE(mod.last_on_fraction(), 0.0);
+    EXPECT_LE(mod.last_on_fraction(), 1.0);
+  }
+}
+
+TEST(OnOffModulatorTest, StateChangesEventually) {
+  Rng rng(10);
+  OnOffModulator mod(10.0, 10.0, false, rng);
+  bool saw_on = false;
+  bool saw_off = false;
+  for (int i = 0; i < 1000; ++i) {
+    if (mod.step(5.0, rng)) {
+      saw_on = true;
+    } else {
+      saw_off = true;
+    }
+  }
+  EXPECT_TRUE(saw_on);
+  EXPECT_TRUE(saw_off);
+}
+
+TEST(OnOffModulatorTest, InvalidParamsRejected) {
+  Rng rng(11);
+  EXPECT_THROW(OnOffModulator(0.0, 10.0, false, rng), util::CheckError);
+  OnOffModulator mod(10.0, 10.0, false, rng);
+  EXPECT_THROW(mod.step(-1.0, rng), util::CheckError);
+}
+
+}  // namespace
+}  // namespace nlarm::sim

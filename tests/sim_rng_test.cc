@@ -1,0 +1,158 @@
+#include "sim/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace nlarm::sim {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanNearHalf) {
+  Rng rng(11);
+  util::StreamingStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(rng.uniform());
+  EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+  EXPECT_THROW(rng.uniform(3.0, -2.0), util::CheckError);
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(17);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(0, 5);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(RngTest, UniformIntSinglePoint) {
+  Rng rng(19);
+  EXPECT_EQ(rng.uniform_int(4, 4), 4);
+}
+
+TEST(RngTest, NormalMomentsCorrect) {
+  Rng rng(23);
+  util::StreamingStats stats;
+  for (int i = 0; i < 40000; ++i) stats.add(rng.normal());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+  EXPECT_NEAR(stats.stdev(), 1.0, 0.02);
+}
+
+TEST(RngTest, NormalWithParams) {
+  Rng rng(29);
+  util::StreamingStats stats;
+  for (int i = 0; i < 40000; ++i) stats.add(rng.normal(5.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 5.0, 0.05);
+  EXPECT_NEAR(stats.stdev(), 2.0, 0.05);
+  EXPECT_THROW(rng.normal(0.0, -1.0), util::CheckError);
+}
+
+TEST(RngTest, ExponentialMeanIsInverseRate) {
+  Rng rng(31);
+  util::StreamingStats stats;
+  for (int i = 0; i < 40000; ++i) stats.add(rng.exponential(0.5));
+  EXPECT_NEAR(stats.mean(), 2.0, 0.05);
+  EXPECT_THROW(rng.exponential(0.0), util::CheckError);
+}
+
+TEST(RngTest, PoissonMeanMatches) {
+  Rng rng(37);
+  util::StreamingStats small;
+  for (int i = 0; i < 20000; ++i) {
+    small.add(static_cast<double>(rng.poisson(3.0)));
+  }
+  EXPECT_NEAR(small.mean(), 3.0, 0.1);
+  util::StreamingStats large;
+  for (int i = 0; i < 20000; ++i) {
+    large.add(static_cast<double>(rng.poisson(200.0)));
+  }
+  EXPECT_NEAR(large.mean(), 200.0, 1.0);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(RngTest, LognormalMedian) {
+  Rng rng(41);
+  std::vector<double> samples;
+  for (int i = 0; i < 20001; ++i) samples.push_back(rng.lognormal(std::log(10.0), 0.5));
+  EXPECT_NEAR(util::median(samples), 10.0, 0.5);
+}
+
+TEST(RngTest, ChanceProbability) {
+  Rng rng(43);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (rng.chance(0.25)) ++hits;
+  }
+  EXPECT_NEAR(hits / 20000.0, 0.25, 0.02);
+  EXPECT_THROW(rng.chance(1.5), util::CheckError);
+}
+
+TEST(RngTest, ForkedStreamsIndependent) {
+  Rng root(99);
+  Rng a = root.fork("alpha");
+  Rng b = root.fork("beta");
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(51);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7};
+  rng.shuffle(v.data(), v.size());
+  std::set<int> seen(v.begin(), v.end());
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(HashLabelTest, DistinctLabelsDistinctHashes) {
+  EXPECT_NE(hash_label("a"), hash_label("b"));
+  EXPECT_EQ(hash_label("same"), hash_label("same"));
+}
+
+}  // namespace
+}  // namespace nlarm::sim

@@ -1,0 +1,127 @@
+#include "sim/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/check.h"
+
+namespace nlarm::sim {
+namespace {
+
+TEST(SimulationTest, ClockAdvancesToRunUntilTarget) {
+  Simulation sim;
+  sim.run_until(10.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+}
+
+TEST(SimulationTest, ScheduleInFiresAtRightTime) {
+  Simulation sim;
+  double fired_at = -1.0;
+  sim.schedule_in(5.0, [&] { fired_at = sim.now(); });
+  sim.run_until(10.0);
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);
+}
+
+TEST(SimulationTest, EventsBeyondHorizonNotFired) {
+  Simulation sim;
+  bool fired = false;
+  sim.schedule_in(20.0, [&] { fired = true; });
+  sim.run_until(10.0);
+  EXPECT_FALSE(fired);
+  sim.run_until(25.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulationTest, NegativeDelayRejected) {
+  Simulation sim;
+  EXPECT_THROW(sim.schedule_in(-1.0, [] {}), util::CheckError);
+}
+
+TEST(SimulationTest, RunUntilPastRejected) {
+  Simulation sim;
+  sim.run_until(5.0);
+  EXPECT_THROW(sim.run_until(4.0), util::CheckError);
+}
+
+TEST(SimulationTest, PeriodicTaskFiresRepeatedly) {
+  Simulation sim;
+  std::vector<double> fire_times;
+  sim.schedule_every(2.0, 2.0, [&] { fire_times.push_back(sim.now()); });
+  sim.run_until(9.0);
+  EXPECT_EQ(fire_times, (std::vector<double>{2.0, 4.0, 6.0, 8.0}));
+}
+
+TEST(SimulationTest, PeriodicTaskInitialDelayIndependent) {
+  Simulation sim;
+  std::vector<double> fire_times;
+  sim.schedule_every(5.0, 1.0, [&] { fire_times.push_back(sim.now()); });
+  sim.run_until(12.0);
+  EXPECT_EQ(fire_times, (std::vector<double>{1.0, 6.0, 11.0}));
+}
+
+TEST(SimulationTest, CancelledPeriodicStops) {
+  Simulation sim;
+  int count = 0;
+  PeriodicHandle handle = sim.schedule_every(1.0, 1.0, [&] { ++count; });
+  sim.run_until(3.5);
+  EXPECT_EQ(count, 3);
+  handle.cancel();
+  EXPECT_FALSE(handle.active());
+  sim.run_until(10.0);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(SimulationTest, PeriodicCanCancelItself) {
+  Simulation sim;
+  int count = 0;
+  PeriodicHandle handle;
+  handle = sim.schedule_every(1.0, 1.0, [&] {
+    ++count;
+    if (count == 2) handle.cancel();
+  });
+  sim.run_until(10.0);
+  EXPECT_EQ(count, 2);
+}
+
+TEST(SimulationTest, EventsDispatchedCounter) {
+  Simulation sim;
+  sim.schedule_in(1.0, [] {});
+  sim.schedule_in(2.0, [] {});
+  sim.run_until(5.0);
+  EXPECT_EQ(sim.events_dispatched(), 2u);
+}
+
+TEST(SimulationTest, ForkRngIsStableAcrossCallOrder) {
+  Simulation sim_a(42);
+  Rng first_a = sim_a.fork_rng("x");
+  Rng second_a = sim_a.fork_rng("y");
+
+  Simulation sim_b(42);
+  Rng second_b = sim_b.fork_rng("y");
+  Rng first_b = sim_b.fork_rng("x");
+
+  EXPECT_EQ(first_a.next_u64(), first_b.next_u64());
+  EXPECT_EQ(second_a.next_u64(), second_b.next_u64());
+}
+
+TEST(SimulationTest, ForkRngDependsOnSeed) {
+  Simulation sim_a(1);
+  Simulation sim_b(2);
+  EXPECT_NE(sim_a.fork_rng("x").next_u64(), sim_b.fork_rng("x").next_u64());
+}
+
+TEST(SimulationTest, StepRunsOneEvent) {
+  Simulation sim;
+  int count = 0;
+  sim.schedule_in(1.0, [&] { ++count; });
+  sim.schedule_in(2.0, [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 1.0);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+}  // namespace
+}  // namespace nlarm::sim

@@ -1,0 +1,98 @@
+#include "util/args.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace nlarm::util {
+namespace {
+
+ArgParser make_parser() {
+  return ArgParser("test program",
+                   {{"count", "a number"},
+                    {"name", "a string"},
+                    {"verbose", "a boolean"},
+                    {"ratio", "a double"}});
+}
+
+TEST(ArgParserTest, ParsesEqualsForm) {
+  auto parser = make_parser();
+  const char* argv[] = {"prog", "--count=5", "--name=x"};
+  ASSERT_TRUE(parser.parse(3, argv));
+  EXPECT_EQ(parser.get_long("count", 0), 5);
+  EXPECT_EQ(parser.get_string("name", ""), "x");
+}
+
+TEST(ArgParserTest, ParsesSpaceForm) {
+  auto parser = make_parser();
+  const char* argv[] = {"prog", "--count", "7"};
+  ASSERT_TRUE(parser.parse(3, argv));
+  EXPECT_EQ(parser.get_long("count", 0), 7);
+}
+
+TEST(ArgParserTest, BooleanFlagWithoutValue) {
+  auto parser = make_parser();
+  const char* argv[] = {"prog", "--verbose"};
+  ASSERT_TRUE(parser.parse(2, argv));
+  EXPECT_TRUE(parser.get_bool("verbose"));
+}
+
+TEST(ArgParserTest, DefaultsApplyWhenAbsent) {
+  auto parser = make_parser();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(parser.parse(1, argv));
+  EXPECT_EQ(parser.get_long("count", 9), 9);
+  EXPECT_DOUBLE_EQ(parser.get_double("ratio", 0.5), 0.5);
+  EXPECT_FALSE(parser.get_bool("verbose"));
+}
+
+TEST(ArgParserTest, UnknownFlagThrows) {
+  auto parser = make_parser();
+  const char* argv[] = {"prog", "--bogus=1"};
+  EXPECT_THROW(parser.parse(2, argv), CheckError);
+}
+
+TEST(ArgParserTest, QueryingUnspecifiedFlagThrows) {
+  auto parser = make_parser();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(parser.parse(1, argv));
+  EXPECT_THROW(parser.get_string("nonexistent", ""), CheckError);
+}
+
+TEST(ArgParserTest, PositionalArgumentsCollected) {
+  auto parser = make_parser();
+  const char* argv[] = {"prog", "input.txt", "--count=1", "more"};
+  ASSERT_TRUE(parser.parse(4, argv));
+  ASSERT_EQ(parser.positional().size(), 2u);
+  EXPECT_EQ(parser.positional()[0], "input.txt");
+}
+
+TEST(ArgParserTest, HelpReturnsFalse) {
+  auto parser = make_parser();
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(parser.parse(2, argv));
+}
+
+TEST(ArgParserTest, MalformedBooleanThrows) {
+  auto parser = make_parser();
+  const char* argv[] = {"prog", "--verbose=maybe"};
+  ASSERT_TRUE(parser.parse(2, argv));
+  EXPECT_THROW(parser.get_bool("verbose"), CheckError);
+}
+
+TEST(ArgParserTest, BooleanSpellings) {
+  auto parser = make_parser();
+  const char* argv[] = {"prog", "--verbose=off"};
+  ASSERT_TRUE(parser.parse(2, argv));
+  EXPECT_FALSE(parser.get_bool("verbose", true));
+}
+
+TEST(ArgParserTest, HelpTextListsFlags) {
+  auto parser = make_parser();
+  const std::string help = parser.help();
+  EXPECT_NE(help.find("--count"), std::string::npos);
+  EXPECT_NE(help.find("--help"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nlarm::util

@@ -1,0 +1,52 @@
+#include "util/check.h"
+
+#include <gtest/gtest.h>
+
+namespace nlarm::util {
+namespace {
+
+TEST(CheckTest, PassingCheckDoesNothing) {
+  EXPECT_NO_THROW(NLARM_CHECK(1 + 1 == 2) << "never evaluated");
+}
+
+TEST(CheckTest, FailingCheckThrowsCheckError) {
+  EXPECT_THROW(NLARM_CHECK(false) << "boom", CheckError);
+}
+
+TEST(CheckTest, MessageContainsExpressionAndDetail) {
+  try {
+    NLARM_CHECK(2 > 3) << "detail " << 42;
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 > 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("detail 42"), std::string::npos) << what;
+    EXPECT_NE(what.find("util_check_test.cc"), std::string::npos) << what;
+  }
+}
+
+TEST(CheckTest, MessageIsOptional) {
+  try {
+    NLARM_CHECK(false);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("false"), std::string::npos);
+  }
+}
+
+TEST(CheckTest, StreamedMessageNotEvaluatedOnPass) {
+  int calls = 0;
+  auto count = [&]() {
+    ++calls;
+    return 1;
+  };
+  NLARM_CHECK(true) << count();
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(CheckTest, CheckErrorIsLogicError) {
+  EXPECT_THROW(NLARM_CHECK(false), std::logic_error);
+}
+
+}  // namespace
+}  // namespace nlarm::util

@@ -1,0 +1,104 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace nlarm::util {
+namespace {
+
+TEST(CsvWriterTest, WritesHeaderAndRows) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.write_header({"a", "b"});
+  writer.write_row(std::vector<std::string>{"1", "2"});
+  EXPECT_EQ(out.str(), "a,b\n1,2\n");
+  EXPECT_EQ(writer.rows_written(), 1u);
+}
+
+TEST(CsvWriterTest, RejectsRowWidthMismatch) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.write_header({"a", "b"});
+  EXPECT_THROW(writer.write_row(std::vector<std::string>{"1"}), CheckError);
+}
+
+TEST(CsvWriterTest, RejectsSecondHeader) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.write_header({"a"});
+  EXPECT_THROW(writer.write_header({"b"}), CheckError);
+}
+
+TEST(CsvWriterTest, NumericRowsFormatted) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.write_row(std::vector<double>{1.0, 2.5});
+  EXPECT_EQ(out.str(), "1,2.5\n");
+}
+
+TEST(CsvEscapeTest, PlainFieldUntouched) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+}
+
+TEST(CsvEscapeTest, CommaQuoted) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+}
+
+TEST(CsvEscapeTest, QuoteDoubled) {
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvFormatTest, IntegersStayIntegral) {
+  EXPECT_EQ(csv_format(42.0), "42");
+  EXPECT_EQ(csv_format(-3.0), "-3");
+}
+
+TEST(CsvFormatTest, FractionsKeepPrecision) {
+  EXPECT_EQ(csv_format(0.125), "0.125");
+}
+
+TEST(CsvReadTest, RoundTrips) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.write_header({"x", "label"});
+  writer.write_row(std::vector<std::string>{"1.5", "with,comma"});
+  writer.write_row(std::vector<std::string>{"2", "plain"});
+
+  std::istringstream in(out.str());
+  const CsvDocument doc = read_csv(in);
+  ASSERT_EQ(doc.header.size(), 2u);
+  EXPECT_EQ(doc.header[0], "x");
+  ASSERT_EQ(doc.rows.size(), 2u);
+  EXPECT_EQ(doc.rows[0][1], "with,comma");
+  EXPECT_EQ(doc.rows[1][0], "2");
+}
+
+TEST(CsvReadTest, ColumnLookup) {
+  std::istringstream in("a,b,c\n1,2,3\n");
+  const CsvDocument doc = read_csv(in);
+  EXPECT_EQ(doc.column("b"), 1u);
+  EXPECT_THROW(doc.column("missing"), CheckError);
+}
+
+TEST(CsvReadTest, SkipsEmptyLines) {
+  std::istringstream in("a\n\n1\n\n2\n");
+  const CsvDocument doc = read_csv(in);
+  EXPECT_EQ(doc.rows.size(), 2u);
+}
+
+TEST(CsvReadTest, HandlesCrLf) {
+  std::istringstream in("a,b\r\n1,2\r\n");
+  const CsvDocument doc = read_csv(in);
+  ASSERT_EQ(doc.rows.size(), 1u);
+  EXPECT_EQ(doc.rows[0][1], "2");
+}
+
+TEST(CsvFileTest, MissingFileThrows) {
+  EXPECT_THROW(read_csv_file("/nonexistent/path.csv"), CheckError);
+}
+
+}  // namespace
+}  // namespace nlarm::util

@@ -1,0 +1,165 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/check.h"
+
+namespace nlarm::util {
+namespace {
+
+TEST(StatsTest, MeanOfEmptyIsZero) { EXPECT_EQ(mean({}), 0.0); }
+
+TEST(StatsTest, MeanOfValues) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+}
+
+TEST(StatsTest, StdevOfConstantIsZero) {
+  const std::vector<double> v{5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(stdev(v), 0.0);
+}
+
+TEST(StatsTest, StdevMatchesHandComputation) {
+  const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  // Sample stdev with n-1 = sqrt(32/7).
+  EXPECT_NEAR(stdev(v), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(StatsTest, StdevOfSingleSampleIsZero) {
+  const std::vector<double> v{3.0};
+  EXPECT_DOUBLE_EQ(stdev(v), 0.0);
+}
+
+TEST(StatsTest, CoefficientOfVariation) {
+  const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(coefficient_of_variation(v), std::sqrt(32.0 / 7.0) / 5.0,
+              1e-12);
+}
+
+TEST(StatsTest, CovOfZeroMeanIsZero) {
+  const std::vector<double> v{-1.0, 1.0};
+  EXPECT_DOUBLE_EQ(coefficient_of_variation(v), 0.0);
+}
+
+TEST(StatsTest, MedianOddCount) {
+  const std::vector<double> v{9.0, 1.0, 5.0};
+  EXPECT_DOUBLE_EQ(median(v), 5.0);
+}
+
+TEST(StatsTest, MedianEvenCountAveragesCenter) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 10.0};
+  EXPECT_DOUBLE_EQ(median(v), 2.5);
+}
+
+TEST(StatsTest, PercentileEndpoints) {
+  const std::vector<double> v{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 4.0);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  const std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 2.5);
+}
+
+TEST(StatsTest, PercentileOutOfRangeThrows) {
+  const std::vector<double> v{1.0};
+  EXPECT_THROW(percentile(v, -1.0), CheckError);
+  EXPECT_THROW(percentile(v, 101.0), CheckError);
+}
+
+TEST(StatsTest, MinMax) {
+  const std::vector<double> v{3.0, -2.0, 8.0};
+  EXPECT_DOUBLE_EQ(min_value(v), -2.0);
+  EXPECT_DOUBLE_EQ(max_value(v), 8.0);
+}
+
+TEST(StatsTest, SummarizeIsConsistent) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0, 5.0};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_NEAR(s.cov, s.stdev / s.mean, 1e-12);
+}
+
+TEST(StreamingStatsTest, MatchesBatchStats) {
+  const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  StreamingStats s;
+  for (double x : v) s.add(x);
+  EXPECT_EQ(s.count(), v.size());
+  EXPECT_NEAR(s.mean(), mean(v), 1e-12);
+  EXPECT_NEAR(s.stdev(), stdev(v), 1e-12);
+}
+
+TEST(StreamingStatsTest, VarianceNeedsTwoSamples) {
+  StreamingStats s;
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(WindowedMeanTest, SingleSampleReturnsValue) {
+  WindowedMean w(60.0);
+  w.add(0.0, 7.0);
+  EXPECT_DOUBLE_EQ(w.value(), 7.0);
+}
+
+TEST(WindowedMeanTest, ConstantSignal) {
+  WindowedMean w(60.0);
+  for (int t = 0; t <= 120; t += 5) w.add(t, 3.0);
+  EXPECT_NEAR(w.value(), 3.0, 1e-12);
+}
+
+TEST(WindowedMeanTest, StepSignalWeightsByTime) {
+  WindowedMean w(60.0);
+  // Value 0 for the first 30 s of the window, then 10 for the last 30 s.
+  w.add(0.0, 0.0);
+  w.add(30.0, 10.0);
+  w.add(60.0, 10.0);
+  // Window [0,60]: 0 over [0,30), 10 over [30,60) → mean 5.
+  EXPECT_NEAR(w.value(), 5.0, 1e-9);
+}
+
+TEST(WindowedMeanTest, OldSamplesEvicted) {
+  WindowedMean w(60.0);
+  w.add(0.0, 100.0);
+  for (int t = 120; t <= 200; t += 10) w.add(t, 1.0);
+  EXPECT_NEAR(w.value(), 1.0, 1e-9);
+}
+
+TEST(WindowedMeanTest, RejectsTimeGoingBackwards) {
+  WindowedMean w(60.0);
+  w.add(10.0, 1.0);
+  EXPECT_THROW(w.add(5.0, 1.0), CheckError);
+}
+
+TEST(WindowedMeanTest, RejectsNonPositiveWindow) {
+  EXPECT_THROW(WindowedMean(0.0), CheckError);
+  EXPECT_THROW(WindowedMean(-5.0), CheckError);
+}
+
+TEST(LoadAveragesTest, WindowsDivergeForTrendingSignal) {
+  LoadAverages la;
+  // Signal ramps up: the 1-minute mean should exceed the 15-minute mean.
+  for (int t = 0; t <= 900; t += 5) {
+    la.add(t, static_cast<double>(t));
+  }
+  EXPECT_GT(la.one_minute(), la.five_minutes());
+  EXPECT_GT(la.five_minutes(), la.fifteen_minutes());
+}
+
+TEST(LoadAveragesTest, AllWindowsEqualForConstant) {
+  LoadAverages la;
+  for (int t = 0; t <= 1800; t += 10) la.add(t, 2.5);
+  EXPECT_NEAR(la.one_minute(), 2.5, 1e-9);
+  EXPECT_NEAR(la.five_minutes(), 2.5, 1e-9);
+  EXPECT_NEAR(la.fifteen_minutes(), 2.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace nlarm::util

@@ -1,0 +1,69 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace nlarm::util {
+namespace {
+
+TEST(SplitTest, BasicSplit) {
+  const auto parts = split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  const auto parts = split(",x,", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(TrimTest, TrimsBothEnds) {
+  EXPECT_EQ(trim("  hi \t\n"), "hi");
+  EXPECT_EQ(trim("hi"), "hi");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(ToLowerTest, Lowercases) { EXPECT_EQ(to_lower("AbC"), "abc"); }
+
+TEST(FormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(format("%d-%s-%.2f", 3, "x", 1.5), "3-x-1.50");
+}
+
+TEST(StartsWithTest, Basics) {
+  EXPECT_TRUE(starts_with("--flag", "--"));
+  EXPECT_FALSE(starts_with("-", "--"));
+}
+
+TEST(ParseDoubleTest, ParsesValid) {
+  EXPECT_DOUBLE_EQ(parse_double("2.5"), 2.5);
+  EXPECT_DOUBLE_EQ(parse_double(" -3e2 "), -300.0);
+}
+
+TEST(ParseDoubleTest, RejectsGarbage) {
+  EXPECT_THROW(parse_double("abc"), CheckError);
+  EXPECT_THROW(parse_double("1.5x"), CheckError);
+  EXPECT_THROW(parse_double(""), CheckError);
+}
+
+TEST(ParseLongTest, ParsesValid) {
+  EXPECT_EQ(parse_long("42"), 42);
+  EXPECT_EQ(parse_long(" -7 "), -7);
+}
+
+TEST(ParseLongTest, RejectsGarbage) {
+  EXPECT_THROW(parse_long("4.2"), CheckError);
+  EXPECT_THROW(parse_long(""), CheckError);
+}
+
+TEST(JoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"one"}, ","), "one");
+}
+
+}  // namespace
+}  // namespace nlarm::util

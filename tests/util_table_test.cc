@@ -1,0 +1,93 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace nlarm::util {
+namespace {
+
+TEST(TextTableTest, RendersAlignedColumns) {
+  TextTable table({"name", "value"});
+  table.add_row({"x", "1"});
+  table.add_row({"longer", "22"});
+  const std::string rendered = table.render();
+  EXPECT_NE(rendered.find("name"), std::string::npos);
+  EXPECT_NE(rendered.find("longer"), std::string::npos);
+  // Header separator line present.
+  EXPECT_NE(rendered.find("---"), std::string::npos);
+}
+
+TEST(TextTableTest, NumericRowHelper) {
+  TextTable table({"policy", "gain"});
+  table.add_row("random", {0.499}, 3);
+  EXPECT_NE(table.render().find("0.499"), std::string::npos);
+}
+
+TEST(TextTableTest, RejectsWidthMismatch) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), CheckError);
+  EXPECT_THROW(table.add_row("label", {1.0, 2.0}), CheckError);
+}
+
+TEST(TextTableTest, RejectsEmptyHeader) {
+  EXPECT_THROW(TextTable({}), CheckError);
+}
+
+TEST(ShadeCharTest, MonotoneRamp) {
+  EXPECT_EQ(shade_char(0.0), ' ');
+  EXPECT_EQ(shade_char(1.0), '@');
+  // Mid values fall strictly inside the ramp.
+  const char mid = shade_char(0.5);
+  EXPECT_NE(mid, ' ');
+  EXPECT_NE(mid, '@');
+}
+
+TEST(ShadeCharTest, ClampsOutOfRange) {
+  EXPECT_EQ(shade_char(-3.0), ' ');
+  EXPECT_EQ(shade_char(7.0), '@');
+}
+
+TEST(HeatmapTest, RendersSquareMatrix) {
+  const std::vector<std::vector<double>> m{{0.0, 1.0}, {1.0, 0.0}};
+  const std::string rendered = render_heatmap(m);
+  // Two rows of cells plus a scale line.
+  EXPECT_NE(rendered.find("scale:"), std::string::npos);
+  EXPECT_NE(rendered.find("@@"), std::string::npos);
+}
+
+TEST(HeatmapTest, InvertFlipsShades) {
+  const std::vector<std::vector<double>> m{{0.0, 1.0}, {1.0, 0.0}};
+  HeatmapOptions options;
+  options.invert = true;
+  const std::string inverted = render_heatmap(m, options);
+  const std::string normal = render_heatmap(m);
+  EXPECT_NE(inverted, normal);
+}
+
+TEST(HeatmapTest, RejectsRaggedMatrix) {
+  const std::vector<std::vector<double>> m{{0.0, 1.0}, {1.0}};
+  EXPECT_THROW(render_heatmap(m), CheckError);
+}
+
+TEST(HeatmapTest, LabelsMustMatchSize) {
+  const std::vector<std::vector<double>> m{{0.0}};
+  HeatmapOptions options;
+  options.labels = {"a", "b"};
+  EXPECT_THROW(render_heatmap(m, options), CheckError);
+}
+
+TEST(HeatmapTest, LabelsAppear) {
+  const std::vector<std::vector<double>> m{{0.0, 0.5}, {0.5, 0.0}};
+  HeatmapOptions options;
+  options.labels = {"csews1", "csews2"};
+  const std::string rendered = render_heatmap(m, options);
+  EXPECT_NE(rendered.find("csews1"), std::string::npos);
+}
+
+TEST(HeatmapTest, EmptyMatrixHandled) {
+  EXPECT_EQ(render_heatmap({}), "(empty heatmap)\n");
+}
+
+}  // namespace
+}  // namespace nlarm::util

@@ -1,0 +1,131 @@
+#include "workload/replay.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "net/flows.h"
+#include "util/check.h"
+#include "util/strings.h"
+#include "workload/scenario.h"
+
+namespace nlarm::workload {
+namespace {
+
+TEST(ReplayRecorderTest, RecordsAllNodeChannels) {
+  cluster::Cluster cluster = cluster::make_uniform_cluster(3);
+  TraceRecorder recorder = make_replay_recorder(cluster);
+  EXPECT_EQ(recorder.channel_count(), 12u);  // 4 channels × 3 nodes
+  cluster.mutable_node(1).dyn.cpu_load = 2.5;
+  recorder.sample(0.0);
+  EXPECT_DOUBLE_EQ(recorder.series("load_1").values[0], 2.5);
+}
+
+TEST(ReplayTest, RoundTripsRecordedDynamics) {
+  // Record a scenario-driven cluster, replay onto a fresh one, and compare
+  // the dynamics at sample times.
+  cluster::Cluster source = cluster::make_uniform_cluster(4, 2);
+  net::FlowSet source_flows;
+  net::NetworkModel source_net(source, source_flows);
+  ScenarioOptions options;
+  options.seed = 5;
+  Scenario scenario(source, source_flows, source_net, options);
+  sim::Simulation sim(5);
+  scenario.attach(sim);
+  TraceRecorder recorder = make_replay_recorder(source);
+  recorder.attach(sim, 10.0);
+  sim.run_until(300.0);
+
+  std::ostringstream csv;
+  recorder.write_csv(csv);
+  std::istringstream in(csv.str());
+  auto series = load_trace_csv(in);
+
+  cluster::Cluster target = cluster::make_uniform_cluster(4, 2);
+  net::FlowSet target_flows;
+  net::NetworkModel target_net(target, target_flows);
+  TraceReplay replay(target, target_net, std::move(series));
+  EXPECT_DOUBLE_EQ(replay.duration(), 300.0);
+
+  replay.apply(200.0);
+  for (cluster::NodeId n = 0; n < 4; ++n) {
+    EXPECT_NEAR(target.node(n).dyn.cpu_load,
+                recorder.series(util::format("load_%d", n)).value_at(200.0),
+                1e-9);
+    EXPECT_NEAR(target.node(n).dyn.net_flow_mbps,
+                recorder.series(util::format("flow_%d", n)).value_at(200.0),
+                1e-9);
+  }
+  // The replayed flows load the target network's uplinks.
+  double background = 0.0;
+  for (cluster::NodeId n = 0; n < 4; ++n) {
+    background += target_net.uplink_background_mbps(n);
+  }
+  double recorded = 0.0;
+  for (cluster::NodeId n = 0; n < 4; ++n) {
+    recorded += recorder.series(util::format("flow_%d", n)).value_at(200.0);
+  }
+  EXPECT_NEAR(background, recorded, 1e-9);
+}
+
+TEST(ReplayTest, AttachDrivesClusterOverTime) {
+  cluster::Cluster source = cluster::make_uniform_cluster(2);
+  TraceRecorder recorder = make_replay_recorder(source);
+  source.mutable_node(0).dyn.cpu_load = 1.0;
+  recorder.sample(0.0);
+  source.mutable_node(0).dyn.cpu_load = 9.0;
+  recorder.sample(100.0);
+
+  std::ostringstream csv;
+  recorder.write_csv(csv);
+  std::istringstream in(csv.str());
+
+  cluster::Cluster target = cluster::make_uniform_cluster(2);
+  net::FlowSet flows;
+  net::NetworkModel network(target, flows);
+  TraceReplay replay(target, network, load_trace_csv(in));
+  sim::Simulation sim(1);
+  replay.attach(sim, 5.0);
+  sim.run_until(50.0);
+  EXPECT_DOUBLE_EQ(target.node(0).dyn.cpu_load, 1.0);
+  sim.run_until(150.0);
+  EXPECT_DOUBLE_EQ(target.node(0).dyn.cpu_load, 9.0);
+}
+
+TEST(ReplayTest, MissingChannelRejected) {
+  cluster::Cluster target = cluster::make_uniform_cluster(2);
+  net::FlowSet flows;
+  net::NetworkModel network(target, flows);
+  TimeSeries only_load;
+  only_load.name = "load_0";
+  only_load.times = {0.0};
+  only_load.values = {1.0};
+  EXPECT_THROW(TraceReplay(target, network, {only_load}), util::CheckError);
+}
+
+TEST(ReplayTest, ClampsOutOfRangeValues) {
+  cluster::Cluster target = cluster::make_uniform_cluster(1);
+  net::FlowSet flows;
+  net::NetworkModel network(target, flows);
+  std::vector<TimeSeries> series;
+  auto add = [&](const std::string& name, double value) {
+    TimeSeries s;
+    s.name = name;
+    s.times = {0.0};
+    s.values = {value};
+    series.push_back(std::move(s));
+  };
+  add("load_0", -5.0);
+  add("util_0", 3.0);
+  add("mem_0", 99.0);
+  add("flow_0", -1.0);
+  TraceReplay replay(target, network, std::move(series));
+  replay.apply(0.0);
+  EXPECT_DOUBLE_EQ(target.node(0).dyn.cpu_load, 0.0);
+  EXPECT_DOUBLE_EQ(target.node(0).dyn.cpu_util, 1.0);
+  EXPECT_DOUBLE_EQ(target.node(0).dyn.mem_used_gb, 16.0);
+  EXPECT_DOUBLE_EQ(target.node(0).dyn.net_flow_mbps, 0.0);
+}
+
+}  // namespace
+}  // namespace nlarm::workload

@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cluster/cluster.h"
+#include "net/network_model.h"
+#include "util/check.h"
+#include "util/stats.h"
+#include "workload/net_flow_gen.h"
+#include "workload/node_load_gen.h"
+#include "workload/scenario.h"
+#include "workload/trace.h"
+
+namespace nlarm::workload {
+namespace {
+
+TEST(NodeLoadGeneratorTest, ProducesValidDynamics) {
+  cluster::Cluster c = cluster::make_uniform_cluster(1);
+  sim::Rng rng(1);
+  NodePersonality p;
+  NodeLoadGenerator gen(c.node(0).spec, p, rng);
+  for (int i = 0; i < 2000; ++i) {
+    gen.step(2.0, c.mutable_node(0));
+    const auto& dyn = c.node(0).dyn;
+    EXPECT_GE(dyn.cpu_load, 0.0);
+    EXPECT_GE(dyn.cpu_util, 0.0);
+    EXPECT_LE(dyn.cpu_util, 1.0);
+    EXPECT_GE(dyn.mem_used_gb, 0.0);
+    EXPECT_LE(dyn.mem_used_gb, c.node(0).spec.total_mem_gb);
+    EXPECT_GE(dyn.users, 0);
+  }
+}
+
+TEST(NodeLoadGeneratorTest, LongRunStatisticsMatchPersonality) {
+  cluster::Cluster c = cluster::make_uniform_cluster(1);
+  sim::Rng rng(2);
+  NodePersonality p;
+  p.base_load_mean = 0.5;
+  p.spike_magnitude = 0.0;  // isolate the baseline
+  p.mem_frac_mean = 0.3;
+  NodeLoadGenerator gen(c.node(0).spec, p, rng);
+  util::StreamingStats load;
+  util::StreamingStats mem;
+  for (int i = 0; i < 20000; ++i) {
+    gen.step(2.0, c.mutable_node(0));
+    load.add(c.node(0).dyn.cpu_load);
+    mem.add(c.node(0).dyn.mem_used_gb / c.node(0).spec.total_mem_gb);
+  }
+  EXPECT_NEAR(load.mean(), 0.5, 0.12);
+  EXPECT_NEAR(mem.mean(), 0.3, 0.06);
+}
+
+TEST(NodeLoadGeneratorTest, SpikesRaiseLoad) {
+  cluster::Cluster c = cluster::make_uniform_cluster(1);
+  sim::Rng rng(3);
+  NodePersonality p;
+  p.base_load_mean = 0.2;
+  p.spike_magnitude = 8.0;
+  p.mean_spike_gap_s = 600.0;  // frequent spikes for the test
+  p.mean_spike_len_s = 600.0;
+  NodeLoadGenerator gen(c.node(0).spec, p, rng);
+  double max_load = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    gen.step(2.0, c.mutable_node(0));
+    max_load = std::max(max_load, c.node(0).dyn.cpu_load);
+  }
+  EXPECT_GT(max_load, 3.0);  // spikes visible
+}
+
+TEST(PersonalityTest, FlavorScalesBusiness) {
+  sim::Rng rng_quiet(4);
+  sim::Rng rng_heavy(4);
+  double quiet_sum = 0.0;
+  double heavy_sum = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    quiet_sum += draw_personality(rng_quiet, 0.2).base_load_mean;
+    heavy_sum += draw_personality(rng_heavy, 4.0).base_load_mean;
+  }
+  EXPECT_GT(heavy_sum, quiet_sum * 5.0);
+}
+
+TEST(BackgroundTrafficTest, ElephantsComeAndGo) {
+  cluster::Cluster c = cluster::make_uniform_cluster(8, 2);
+  net::FlowSet flows;
+  net::NetworkModel network(c, flows);
+  TrafficParams params;
+  params.elephant_interarrival_s = 10.0;
+  params.elephant_mean_duration_s = 30.0;
+  BackgroundTraffic traffic(c, flows, network, params, sim::Rng(5));
+  double now = 0.0;
+  std::size_t max_active = 0;
+  for (int i = 0; i < 2000; ++i) {
+    now += 2.0;
+    traffic.step(now, 2.0);
+    max_active = std::max(max_active, traffic.active_elephants());
+  }
+  EXPECT_GT(max_active, 0u);
+  // Stationary count ≈ duration / interarrival = 3; far less than arrivals.
+  EXPECT_LT(max_active, 30u);
+  EXPECT_EQ(flows.size(), traffic.active_elephants());
+}
+
+TEST(BackgroundTrafficTest, ChatterLoadsUplinks) {
+  cluster::Cluster c = cluster::make_uniform_cluster(4);
+  net::FlowSet flows;
+  net::NetworkModel network(c, flows);
+  TrafficParams params;
+  params.chatter_mean_off_s = 10.0;
+  params.chatter_mean_on_s = 50.0;  // mostly on
+  params.elephant_interarrival_s = 1e9;  // no elephants
+  BackgroundTraffic traffic(c, flows, network, params, sim::Rng(6));
+  double total_chatter = 0.0;
+  double now = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    now += 2.0;
+    traffic.step(now, 2.0);
+    for (cluster::NodeId n = 0; n < c.size(); ++n) {
+      total_chatter += network.uplink_background_mbps(n);
+    }
+  }
+  EXPECT_GT(total_chatter, 0.0);
+}
+
+TEST(ScenarioTest, KindParsingRoundTrips) {
+  EXPECT_EQ(parse_scenario_kind("quiet"), ScenarioKind::kQuiet);
+  EXPECT_EQ(parse_scenario_kind("Shared_Lab"), ScenarioKind::kSharedLab);
+  EXPECT_EQ(parse_scenario_kind("hotspot"), ScenarioKind::kHotspot);
+  EXPECT_EQ(parse_scenario_kind("heavy"), ScenarioKind::kHeavy);
+  EXPECT_THROW(parse_scenario_kind("bogus"), util::CheckError);
+  EXPECT_EQ(to_string(ScenarioKind::kHeavy), "heavy");
+}
+
+TEST(ScenarioTest, TickUpdatesAllNodes) {
+  cluster::Cluster c = cluster::make_uniform_cluster(5);
+  net::FlowSet flows;
+  net::NetworkModel network(c, flows);
+  ScenarioOptions options;
+  Scenario scenario(c, flows, network, options);
+  scenario.warm_up(600.0);
+  // After warm-up, nodes should show non-trivial utilization.
+  double util_sum = 0.0;
+  for (cluster::NodeId n = 0; n < c.size(); ++n) {
+    util_sum += c.node(n).dyn.cpu_util;
+  }
+  EXPECT_GT(util_sum, 0.0);
+}
+
+TEST(ScenarioTest, HeavyLoadsMoreThanQuiet) {
+  auto run = [](ScenarioKind kind) {
+    cluster::Cluster c = cluster::make_uniform_cluster(10);
+    net::FlowSet flows;
+    net::NetworkModel network(c, flows);
+    ScenarioOptions options;
+    options.kind = kind;
+    options.seed = 7;
+    Scenario scenario(c, flows, network, options);
+    scenario.warm_up(3600.0);
+    double load = 0.0;
+    for (cluster::NodeId n = 0; n < c.size(); ++n) {
+      load += c.node(n).dyn.cpu_load;
+    }
+    return load;
+  };
+  EXPECT_GT(run(ScenarioKind::kHeavy), run(ScenarioKind::kQuiet) * 3.0);
+}
+
+TEST(ScenarioTest, AttachDrivesTicksThroughSimulation) {
+  cluster::Cluster c = cluster::make_uniform_cluster(3);
+  net::FlowSet flows;
+  net::NetworkModel network(c, flows);
+  ScenarioOptions options;
+  Scenario scenario(c, flows, network, options);
+  sim::Simulation sim(9);
+  scenario.attach(sim);
+  sim.run_until(120.0);
+  double util_sum = 0.0;
+  for (cluster::NodeId n = 0; n < c.size(); ++n) {
+    util_sum += c.node(n).dyn.cpu_util;
+  }
+  EXPECT_GT(util_sum, 0.0);
+  EXPECT_THROW(scenario.attach(sim), util::CheckError);  // only once
+}
+
+TEST(ScenarioTest, DeterministicUnderSeed) {
+  auto run = [](std::uint64_t seed) {
+    cluster::Cluster c = cluster::make_uniform_cluster(4);
+    net::FlowSet flows;
+    net::NetworkModel network(c, flows);
+    ScenarioOptions options;
+    options.seed = seed;
+    Scenario scenario(c, flows, network, options);
+    scenario.warm_up(300.0);
+    return c.node(2).dyn.cpu_load;
+  };
+  EXPECT_DOUBLE_EQ(run(11), run(11));
+  EXPECT_NE(run(11), run(12));
+}
+
+TEST(TraceRecorderTest, RecordsChannels) {
+  TraceRecorder recorder;
+  double x = 0.0;
+  recorder.add_channel("x", [&] { return x; });
+  recorder.sample(0.0);
+  x = 5.0;
+  recorder.sample(10.0);
+  const TimeSeries& series = recorder.series("x");
+  ASSERT_EQ(series.values.size(), 2u);
+  EXPECT_DOUBLE_EQ(series.values[1], 5.0);
+  EXPECT_DOUBLE_EQ(series.value_at(3.0), 0.0);
+  EXPECT_DOUBLE_EQ(series.value_at(10.0), 5.0);
+  EXPECT_DOUBLE_EQ(series.value_at(99.0), 5.0);
+}
+
+TEST(TraceRecorderTest, DuplicateChannelRejected) {
+  TraceRecorder recorder;
+  recorder.add_channel("x", [] { return 0.0; });
+  EXPECT_THROW(recorder.add_channel("x", [] { return 1.0; }),
+               util::CheckError);
+}
+
+TEST(TraceRecorderTest, CsvRoundTrip) {
+  TraceRecorder recorder;
+  double v = 1.0;
+  recorder.add_channel("a", [&] { return v; });
+  recorder.add_channel("b", [&] { return v * 2; });
+  recorder.sample(0.0);
+  v = 3.0;
+  recorder.sample(1.0);
+
+  std::ostringstream out;
+  recorder.write_csv(out);
+  std::istringstream in(out.str());
+  const auto series = load_trace_csv(in);
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_EQ(series[0].name, "a");
+  EXPECT_DOUBLE_EQ(series[1].values[1], 6.0);
+}
+
+TEST(TraceRecorderTest, AttachSamplesPeriodically) {
+  TraceRecorder recorder;
+  sim::Simulation sim;
+  recorder.add_channel("t", [&] { return sim.now(); });
+  recorder.attach(sim, 5.0);
+  sim.run_until(20.0);
+  EXPECT_EQ(recorder.series("t").values.size(), 4u);
+}
+
+}  // namespace
+}  // namespace nlarm::workload

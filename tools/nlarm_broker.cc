@@ -1,0 +1,180 @@
+// nlarm_broker — the command-line face of the resource manager.
+//
+// Builds a cluster (the paper's testbed or a user --cluster spec), runs the
+// background workload and the Resource Monitor for a warm-up period, then
+// serves one allocation request and prints the result in a launcher-ready
+// format. One process = one brokered decision, like invoking the paper's
+// tool before an mpiexec.
+//
+// Examples:
+//   nlarm_broker --procs 32 --ppn 4 --beta 0.7 --format srun
+//   nlarm_broker --cluster "8x12c@4.6;8x8c@2.8" --procs 16 --format openmpi
+//   nlarm_broker --procs 64 --scenario heavy            # → wait advice
+//   nlarm_broker --procs 32 --policy hierarchical --explain
+#include <cstdio>
+#include <iostream>
+
+#include "apps/minimd.h"
+#include "cluster/spec_loader.h"
+#include "core/baselines.h"
+#include "core/broker.h"
+#include "core/explain.h"
+#include "core/hierarchical.h"
+#include "core/launcher_export.h"
+#include "exp/experiment.h"
+#include "monitor/persistence.h"
+#include "util/args.h"
+#include "util/strings.h"
+
+using namespace nlarm;
+
+int main(int argc, char** argv) {
+  util::ArgParser parser(
+      "nlarm_broker: network- and load-aware node allocation for one MPI "
+      "job on a (simulated) shared cluster.",
+      {{"procs", "total MPI processes (default 32)"},
+       {"ppn", "processes per node; 0 derives from Eq. 3 (default 4)"},
+       {"alpha", "compute weight; beta = 1 - alpha (default 0.3)"},
+       {"beta", "network weight (overrides alpha if given)"},
+       {"policy",
+        "network-load-aware|hierarchical|load-aware|sequential|random "
+        "(default network-load-aware)"},
+       {"format", "hostfile|openmpi|srun|nodelist (default hostfile)"},
+       {"cluster", "cluster spec string (default: the paper's testbed)"},
+       {"scenario", "quiet|shared_lab|hotspot|heavy (default shared_lab)"},
+       {"seed", "simulation seed (default 2020)"},
+       {"warmup", "simulated warm-up seconds before deciding (default 1500)"},
+       {"max-load", "broker wait threshold, load per core (default 0.5)"},
+       {"explain", "print the decision rationale"},
+       {"topology-conf", "also print SLURM topology.conf"},
+       {"snapshot", "decide offline from a saved snapshot file"},
+       {"dump-snapshot", "save the monitored snapshot to a file and exit"}});
+  if (!parser.parse(argc, argv)) return 0;
+
+  exp::Testbed::Options options;
+  options.seed = static_cast<std::uint64_t>(parser.get_long("seed", 2020));
+  options.scenario = workload::parse_scenario_kind(
+      parser.get_string("scenario", "shared_lab"));
+  options.warmup_seconds = parser.get_double("warmup", 1500.0);
+  const std::string cluster_spec = parser.get_string("cluster", "");
+  if (!cluster_spec.empty()) {
+    // Translate the spec into factory options via a spec-built cluster: the
+    // testbed factory only knows the two-kind layout, so for a custom spec
+    // we rebuild the whole world around it below.
+  }
+
+  // Custom specs need their own wiring; the Testbed covers the default.
+  std::unique_ptr<exp::Testbed> testbed;
+  std::unique_ptr<cluster::Cluster> custom_cluster;
+  std::unique_ptr<net::NetworkModel> custom_network;
+  std::unique_ptr<sim::Simulation> custom_sim;
+  std::unique_ptr<workload::Scenario> custom_scenario;
+  std::unique_ptr<monitor::ResourceMonitor> custom_monitor;
+  net::FlowSet custom_flows;
+
+  monitor::ClusterSnapshot snapshot;
+  const std::string snapshot_path = parser.get_string("snapshot", "");
+  if (!snapshot_path.empty()) {
+    // Offline decision from a dumped snapshot — no simulation at all.
+    snapshot = monitor::load_snapshot_file(snapshot_path);
+  } else if (cluster_spec.empty()) {
+    testbed = exp::Testbed::make(options);
+    snapshot = testbed->snapshot();
+  } else {
+    custom_cluster = std::make_unique<cluster::Cluster>(
+        cluster::make_cluster(cluster::parse_cluster_spec(cluster_spec)));
+    custom_network = std::make_unique<net::NetworkModel>(*custom_cluster,
+                                                         custom_flows);
+    custom_sim = std::make_unique<sim::Simulation>(options.seed);
+    workload::ScenarioOptions scenario_options;
+    scenario_options.kind = options.scenario;
+    scenario_options.seed = options.seed ^ 0x5ce9a210ULL;
+    custom_scenario = std::make_unique<workload::Scenario>(
+        *custom_cluster, custom_flows, *custom_network, scenario_options);
+    custom_scenario->attach(*custom_sim);
+    custom_monitor = std::make_unique<monitor::ResourceMonitor>(
+        *custom_cluster, *custom_network, *custom_sim);
+    custom_monitor->start();
+    custom_sim->run_until(options.warmup_seconds);
+    snapshot = custom_monitor->snapshot();
+  }
+
+  const std::string dump_path = parser.get_string("dump-snapshot", "");
+  if (!dump_path.empty()) {
+    monitor::save_snapshot_file(dump_path, snapshot);
+    std::cerr << "snapshot written to " << dump_path << "\n";
+    return 0;
+  }
+
+  core::AllocationRequest request;
+  request.nprocs = static_cast<int>(parser.get_long("procs", 32));
+  request.ppn = static_cast<int>(parser.get_long("ppn", 4));
+  double alpha = parser.get_double("alpha", 0.3);
+  if (parser.has("beta")) alpha = 1.0 - parser.get_double("beta", 0.7);
+  request.job = core::JobWeights{alpha, 1.0 - alpha};
+
+  // Pick the policy.
+  const std::string policy_name =
+      parser.get_string("policy", "network-load-aware");
+  core::NetworkLoadAwareAllocator ours;
+  core::HierarchicalAllocator hierarchical;
+  core::LoadAwareAllocator load_aware;
+  core::SequentialAllocator sequential(options.seed);
+  core::RandomAllocator random(options.seed);
+  core::Allocator* allocator = nullptr;
+  if (policy_name == "network-load-aware") allocator = &ours;
+  else if (policy_name == "hierarchical") allocator = &hierarchical;
+  else if (policy_name == "load-aware") allocator = &load_aware;
+  else if (policy_name == "sequential") allocator = &sequential;
+  else if (policy_name == "random") allocator = &random;
+  if (allocator == nullptr) {
+    std::cerr << "unknown --policy '" << policy_name << "'\n";
+    return 1;
+  }
+
+  core::BrokerPolicy broker_policy;
+  broker_policy.max_load_per_core = parser.get_double("max-load", 0.5);
+  core::ResourceBroker broker(*allocator, broker_policy);
+  const core::BrokerDecision decision = broker.decide(snapshot, request);
+
+  if (decision.action == core::BrokerDecision::Action::kWait) {
+    std::cerr << "WAIT: " << decision.reason << "\n";
+    return 2;  // scripts can retry later
+  }
+
+  const std::string format = parser.get_string("format", "hostfile");
+  if (format == "hostfile") {
+    std::cout << core::to_mpich_machinefile(decision.allocation, snapshot);
+  } else if (format == "openmpi") {
+    std::cout << core::to_openmpi_hostfile(decision.allocation, snapshot);
+  } else if (format == "srun") {
+    std::cout << core::to_srun_command(decision.allocation, snapshot,
+                                       "<your-binary>")
+              << "\n";
+  } else if (format == "nodelist") {
+    std::cout << core::to_slurm_nodelist(decision.allocation, snapshot)
+              << "\n";
+  } else {
+    std::cerr << "unknown --format '" << format << "'\n";
+    return 1;
+  }
+
+  if (parser.get_bool("explain")) {
+    std::cerr << "\n"
+              << core::explain_allocation(
+                     snapshot, request, decision.allocation,
+                     policy_name == "network-load-aware" ? &ours : nullptr);
+  }
+  if (parser.get_bool("topology-conf")) {
+    if (!snapshot_path.empty()) {
+      std::cerr << "--topology-conf needs a live cluster (snapshots carry "
+                   "no switch tree)\n";
+    } else {
+      const cluster::Topology& topo = cluster_spec.empty()
+                                          ? testbed->cluster().topology()
+                                          : custom_cluster->topology();
+      std::cerr << "\n" << core::to_slurm_topology_conf(topo, snapshot);
+    }
+  }
+  return 0;
+}
