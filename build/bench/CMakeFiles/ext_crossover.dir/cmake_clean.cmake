@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_crossover.dir/ext_crossover.cc.o"
+  "CMakeFiles/ext_crossover.dir/ext_crossover.cc.o.d"
+  "ext_crossover"
+  "ext_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_minifft_alltoall.dir/ext_minifft_alltoall.cc.o"
+  "CMakeFiles/ext_minifft_alltoall.dir/ext_minifft_alltoall.cc.o.d"
+  "ext_minifft_alltoall"
+  "ext_minifft_alltoall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_minifft_alltoall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_resource_variation.dir/fig01_resource_variation.cc.o"
+  "CMakeFiles/fig01_resource_variation.dir/fig01_resource_variation.cc.o.d"
+  "fig01_resource_variation"
+  "fig01_resource_variation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_resource_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_minimd_scaling.dir/fig04_minimd_scaling.cc.o"
+  "CMakeFiles/fig04_minimd_scaling.dir/fig04_minimd_scaling.cc.o.d"
+  "fig04_minimd_scaling"
+  "fig04_minimd_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_minimd_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_cpu_load_per_core.dir/fig05_cpu_load_per_core.cc.o"
+  "CMakeFiles/fig05_cpu_load_per_core.dir/fig05_cpu_load_per_core.cc.o.d"
+  "fig05_cpu_load_per_core"
+  "fig05_cpu_load_per_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_cpu_load_per_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

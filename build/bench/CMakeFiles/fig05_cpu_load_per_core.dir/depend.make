@@ -1,0 +1,2 @@
+# Empty dependencies file for fig05_cpu_load_per_core.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_monitor.dir/micro_monitor.cc.o"
+  "CMakeFiles/micro_monitor.dir/micro_monitor.cc.o.d"
+  "micro_monitor"
+  "micro_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_minimd_gains.dir/table2_minimd_gains.cc.o"
+  "CMakeFiles/table2_minimd_gains.dir/table2_minimd_gains.cc.o.d"
+  "table2_minimd_gains"
+  "table2_minimd_gains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_minimd_gains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

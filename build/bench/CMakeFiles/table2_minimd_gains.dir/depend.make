@@ -1,0 +1,2 @@
+# Empty dependencies file for table2_minimd_gains.
+# This may be replaced when dependencies are built.

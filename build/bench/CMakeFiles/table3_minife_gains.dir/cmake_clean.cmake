@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_minife_gains.dir/table3_minife_gains.cc.o"
+  "CMakeFiles/table3_minife_gains.dir/table3_minife_gains.cc.o.d"
+  "table3_minife_gains"
+  "table3_minife_gains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_minife_gains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

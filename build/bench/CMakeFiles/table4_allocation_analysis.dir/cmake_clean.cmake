@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_allocation_analysis.dir/table4_allocation_analysis.cc.o"
+  "CMakeFiles/table4_allocation_analysis.dir/table4_allocation_analysis.cc.o.d"
+  "table4_allocation_analysis"
+  "table4_allocation_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_allocation_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitor_failover.dir/monitor_failover.cc.o"
+  "CMakeFiles/monitor_failover.dir/monitor_failover.cc.o.d"
+  "monitor_failover"
+  "monitor_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitor_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

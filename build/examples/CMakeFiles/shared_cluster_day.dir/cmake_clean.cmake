@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_cluster_day.dir/shared_cluster_day.cc.o"
+  "CMakeFiles/shared_cluster_day.dir/shared_cluster_day.cc.o.d"
+  "shared_cluster_day"
+  "shared_cluster_day.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_cluster_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slurm_handoff.dir/slurm_handoff.cc.o"
+  "CMakeFiles/slurm_handoff.dir/slurm_handoff.cc.o.d"
+  "slurm_handoff"
+  "slurm_handoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slurm_handoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

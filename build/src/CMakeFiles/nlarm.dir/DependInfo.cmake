@@ -1,0 +1,74 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/minife.cc" "src/CMakeFiles/nlarm.dir/apps/minife.cc.o" "gcc" "src/CMakeFiles/nlarm.dir/apps/minife.cc.o.d"
+  "/root/repo/src/apps/minifft.cc" "src/CMakeFiles/nlarm.dir/apps/minifft.cc.o" "gcc" "src/CMakeFiles/nlarm.dir/apps/minifft.cc.o.d"
+  "/root/repo/src/apps/minimd.cc" "src/CMakeFiles/nlarm.dir/apps/minimd.cc.o" "gcc" "src/CMakeFiles/nlarm.dir/apps/minimd.cc.o.d"
+  "/root/repo/src/apps/synthetic.cc" "src/CMakeFiles/nlarm.dir/apps/synthetic.cc.o" "gcc" "src/CMakeFiles/nlarm.dir/apps/synthetic.cc.o.d"
+  "/root/repo/src/cluster/cluster.cc" "src/CMakeFiles/nlarm.dir/cluster/cluster.cc.o" "gcc" "src/CMakeFiles/nlarm.dir/cluster/cluster.cc.o.d"
+  "/root/repo/src/cluster/node.cc" "src/CMakeFiles/nlarm.dir/cluster/node.cc.o" "gcc" "src/CMakeFiles/nlarm.dir/cluster/node.cc.o.d"
+  "/root/repo/src/cluster/spec_loader.cc" "src/CMakeFiles/nlarm.dir/cluster/spec_loader.cc.o" "gcc" "src/CMakeFiles/nlarm.dir/cluster/spec_loader.cc.o.d"
+  "/root/repo/src/cluster/topology.cc" "src/CMakeFiles/nlarm.dir/cluster/topology.cc.o" "gcc" "src/CMakeFiles/nlarm.dir/cluster/topology.cc.o.d"
+  "/root/repo/src/core/allocator.cc" "src/CMakeFiles/nlarm.dir/core/allocator.cc.o" "gcc" "src/CMakeFiles/nlarm.dir/core/allocator.cc.o.d"
+  "/root/repo/src/core/attributes.cc" "src/CMakeFiles/nlarm.dir/core/attributes.cc.o" "gcc" "src/CMakeFiles/nlarm.dir/core/attributes.cc.o.d"
+  "/root/repo/src/core/baselines.cc" "src/CMakeFiles/nlarm.dir/core/baselines.cc.o" "gcc" "src/CMakeFiles/nlarm.dir/core/baselines.cc.o.d"
+  "/root/repo/src/core/broker.cc" "src/CMakeFiles/nlarm.dir/core/broker.cc.o" "gcc" "src/CMakeFiles/nlarm.dir/core/broker.cc.o.d"
+  "/root/repo/src/core/candidate.cc" "src/CMakeFiles/nlarm.dir/core/candidate.cc.o" "gcc" "src/CMakeFiles/nlarm.dir/core/candidate.cc.o.d"
+  "/root/repo/src/core/compute_load.cc" "src/CMakeFiles/nlarm.dir/core/compute_load.cc.o" "gcc" "src/CMakeFiles/nlarm.dir/core/compute_load.cc.o.d"
+  "/root/repo/src/core/explain.cc" "src/CMakeFiles/nlarm.dir/core/explain.cc.o" "gcc" "src/CMakeFiles/nlarm.dir/core/explain.cc.o.d"
+  "/root/repo/src/core/hierarchical.cc" "src/CMakeFiles/nlarm.dir/core/hierarchical.cc.o" "gcc" "src/CMakeFiles/nlarm.dir/core/hierarchical.cc.o.d"
+  "/root/repo/src/core/job_queue.cc" "src/CMakeFiles/nlarm.dir/core/job_queue.cc.o" "gcc" "src/CMakeFiles/nlarm.dir/core/job_queue.cc.o.d"
+  "/root/repo/src/core/launcher_export.cc" "src/CMakeFiles/nlarm.dir/core/launcher_export.cc.o" "gcc" "src/CMakeFiles/nlarm.dir/core/launcher_export.cc.o.d"
+  "/root/repo/src/core/network_load.cc" "src/CMakeFiles/nlarm.dir/core/network_load.cc.o" "gcc" "src/CMakeFiles/nlarm.dir/core/network_load.cc.o.d"
+  "/root/repo/src/core/normalize.cc" "src/CMakeFiles/nlarm.dir/core/normalize.cc.o" "gcc" "src/CMakeFiles/nlarm.dir/core/normalize.cc.o.d"
+  "/root/repo/src/core/selection.cc" "src/CMakeFiles/nlarm.dir/core/selection.cc.o" "gcc" "src/CMakeFiles/nlarm.dir/core/selection.cc.o.d"
+  "/root/repo/src/core/weights.cc" "src/CMakeFiles/nlarm.dir/core/weights.cc.o" "gcc" "src/CMakeFiles/nlarm.dir/core/weights.cc.o.d"
+  "/root/repo/src/exp/experiment.cc" "src/CMakeFiles/nlarm.dir/exp/experiment.cc.o" "gcc" "src/CMakeFiles/nlarm.dir/exp/experiment.cc.o.d"
+  "/root/repo/src/exp/report.cc" "src/CMakeFiles/nlarm.dir/exp/report.cc.o" "gcc" "src/CMakeFiles/nlarm.dir/exp/report.cc.o.d"
+  "/root/repo/src/monitor/central.cc" "src/CMakeFiles/nlarm.dir/monitor/central.cc.o" "gcc" "src/CMakeFiles/nlarm.dir/monitor/central.cc.o.d"
+  "/root/repo/src/monitor/daemons.cc" "src/CMakeFiles/nlarm.dir/monitor/daemons.cc.o" "gcc" "src/CMakeFiles/nlarm.dir/monitor/daemons.cc.o.d"
+  "/root/repo/src/monitor/forecast.cc" "src/CMakeFiles/nlarm.dir/monitor/forecast.cc.o" "gcc" "src/CMakeFiles/nlarm.dir/monitor/forecast.cc.o.d"
+  "/root/repo/src/monitor/persistence.cc" "src/CMakeFiles/nlarm.dir/monitor/persistence.cc.o" "gcc" "src/CMakeFiles/nlarm.dir/monitor/persistence.cc.o.d"
+  "/root/repo/src/monitor/resource_monitor.cc" "src/CMakeFiles/nlarm.dir/monitor/resource_monitor.cc.o" "gcc" "src/CMakeFiles/nlarm.dir/monitor/resource_monitor.cc.o.d"
+  "/root/repo/src/monitor/snapshot.cc" "src/CMakeFiles/nlarm.dir/monitor/snapshot.cc.o" "gcc" "src/CMakeFiles/nlarm.dir/monitor/snapshot.cc.o.d"
+  "/root/repo/src/monitor/store.cc" "src/CMakeFiles/nlarm.dir/monitor/store.cc.o" "gcc" "src/CMakeFiles/nlarm.dir/monitor/store.cc.o.d"
+  "/root/repo/src/mpisim/app_profile.cc" "src/CMakeFiles/nlarm.dir/mpisim/app_profile.cc.o" "gcc" "src/CMakeFiles/nlarm.dir/mpisim/app_profile.cc.o.d"
+  "/root/repo/src/mpisim/cost_model.cc" "src/CMakeFiles/nlarm.dir/mpisim/cost_model.cc.o" "gcc" "src/CMakeFiles/nlarm.dir/mpisim/cost_model.cc.o.d"
+  "/root/repo/src/mpisim/footprint.cc" "src/CMakeFiles/nlarm.dir/mpisim/footprint.cc.o" "gcc" "src/CMakeFiles/nlarm.dir/mpisim/footprint.cc.o.d"
+  "/root/repo/src/mpisim/placement.cc" "src/CMakeFiles/nlarm.dir/mpisim/placement.cc.o" "gcc" "src/CMakeFiles/nlarm.dir/mpisim/placement.cc.o.d"
+  "/root/repo/src/mpisim/profiler.cc" "src/CMakeFiles/nlarm.dir/mpisim/profiler.cc.o" "gcc" "src/CMakeFiles/nlarm.dir/mpisim/profiler.cc.o.d"
+  "/root/repo/src/mpisim/runtime.cc" "src/CMakeFiles/nlarm.dir/mpisim/runtime.cc.o" "gcc" "src/CMakeFiles/nlarm.dir/mpisim/runtime.cc.o.d"
+  "/root/repo/src/net/flows.cc" "src/CMakeFiles/nlarm.dir/net/flows.cc.o" "gcc" "src/CMakeFiles/nlarm.dir/net/flows.cc.o.d"
+  "/root/repo/src/net/network_model.cc" "src/CMakeFiles/nlarm.dir/net/network_model.cc.o" "gcc" "src/CMakeFiles/nlarm.dir/net/network_model.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/nlarm.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/nlarm.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/markov.cc" "src/CMakeFiles/nlarm.dir/sim/markov.cc.o" "gcc" "src/CMakeFiles/nlarm.dir/sim/markov.cc.o.d"
+  "/root/repo/src/sim/ou_process.cc" "src/CMakeFiles/nlarm.dir/sim/ou_process.cc.o" "gcc" "src/CMakeFiles/nlarm.dir/sim/ou_process.cc.o.d"
+  "/root/repo/src/sim/rng.cc" "src/CMakeFiles/nlarm.dir/sim/rng.cc.o" "gcc" "src/CMakeFiles/nlarm.dir/sim/rng.cc.o.d"
+  "/root/repo/src/sim/simulation.cc" "src/CMakeFiles/nlarm.dir/sim/simulation.cc.o" "gcc" "src/CMakeFiles/nlarm.dir/sim/simulation.cc.o.d"
+  "/root/repo/src/util/args.cc" "src/CMakeFiles/nlarm.dir/util/args.cc.o" "gcc" "src/CMakeFiles/nlarm.dir/util/args.cc.o.d"
+  "/root/repo/src/util/check.cc" "src/CMakeFiles/nlarm.dir/util/check.cc.o" "gcc" "src/CMakeFiles/nlarm.dir/util/check.cc.o.d"
+  "/root/repo/src/util/csv.cc" "src/CMakeFiles/nlarm.dir/util/csv.cc.o" "gcc" "src/CMakeFiles/nlarm.dir/util/csv.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/nlarm.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/nlarm.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/stats.cc" "src/CMakeFiles/nlarm.dir/util/stats.cc.o" "gcc" "src/CMakeFiles/nlarm.dir/util/stats.cc.o.d"
+  "/root/repo/src/util/strings.cc" "src/CMakeFiles/nlarm.dir/util/strings.cc.o" "gcc" "src/CMakeFiles/nlarm.dir/util/strings.cc.o.d"
+  "/root/repo/src/util/table.cc" "src/CMakeFiles/nlarm.dir/util/table.cc.o" "gcc" "src/CMakeFiles/nlarm.dir/util/table.cc.o.d"
+  "/root/repo/src/workload/net_flow_gen.cc" "src/CMakeFiles/nlarm.dir/workload/net_flow_gen.cc.o" "gcc" "src/CMakeFiles/nlarm.dir/workload/net_flow_gen.cc.o.d"
+  "/root/repo/src/workload/node_load_gen.cc" "src/CMakeFiles/nlarm.dir/workload/node_load_gen.cc.o" "gcc" "src/CMakeFiles/nlarm.dir/workload/node_load_gen.cc.o.d"
+  "/root/repo/src/workload/replay.cc" "src/CMakeFiles/nlarm.dir/workload/replay.cc.o" "gcc" "src/CMakeFiles/nlarm.dir/workload/replay.cc.o.d"
+  "/root/repo/src/workload/scenario.cc" "src/CMakeFiles/nlarm.dir/workload/scenario.cc.o" "gcc" "src/CMakeFiles/nlarm.dir/workload/scenario.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/CMakeFiles/nlarm.dir/workload/trace.cc.o" "gcc" "src/CMakeFiles/nlarm.dir/workload/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_broker_test.dir/core_broker_test.cc.o"
+  "CMakeFiles/core_broker_test.dir/core_broker_test.cc.o.d"
+  "core_broker_test"
+  "core_broker_test.pdb"
+  "core_broker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_broker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_candidate_test.dir/core_candidate_test.cc.o"
+  "CMakeFiles/core_candidate_test.dir/core_candidate_test.cc.o.d"
+  "core_candidate_test"
+  "core_candidate_test.pdb"
+  "core_candidate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_candidate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_compute_load_test.dir/core_compute_load_test.cc.o"
+  "CMakeFiles/core_compute_load_test.dir/core_compute_load_test.cc.o.d"
+  "core_compute_load_test"
+  "core_compute_load_test.pdb"
+  "core_compute_load_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_compute_load_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitor_central_test.dir/monitor_central_test.cc.o"
+  "CMakeFiles/monitor_central_test.dir/monitor_central_test.cc.o.d"
+  "monitor_central_test"
+  "monitor_central_test.pdb"
+  "monitor_central_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitor_central_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitor_daemons_test.dir/monitor_daemons_test.cc.o"
+  "CMakeFiles/monitor_daemons_test.dir/monitor_daemons_test.cc.o.d"
+  "monitor_daemons_test"
+  "monitor_daemons_test.pdb"
+  "monitor_daemons_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitor_daemons_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

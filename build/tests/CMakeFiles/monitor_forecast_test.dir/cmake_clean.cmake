@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitor_forecast_test.dir/monitor_forecast_test.cc.o"
+  "CMakeFiles/monitor_forecast_test.dir/monitor_forecast_test.cc.o.d"
+  "monitor_forecast_test"
+  "monitor_forecast_test.pdb"
+  "monitor_forecast_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitor_forecast_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitor_persistence_test.dir/monitor_persistence_test.cc.o"
+  "CMakeFiles/monitor_persistence_test.dir/monitor_persistence_test.cc.o.d"
+  "monitor_persistence_test"
+  "monitor_persistence_test.pdb"
+  "monitor_persistence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitor_persistence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitor_staleness_test.dir/monitor_staleness_test.cc.o"
+  "CMakeFiles/monitor_staleness_test.dir/monitor_staleness_test.cc.o.d"
+  "monitor_staleness_test"
+  "monitor_staleness_test.pdb"
+  "monitor_staleness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitor_staleness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitor_store_test.dir/monitor_store_test.cc.o"
+  "CMakeFiles/monitor_store_test.dir/monitor_store_test.cc.o.d"
+  "monitor_store_test"
+  "monitor_store_test.pdb"
+  "monitor_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitor_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpisim_footprint_test.dir/mpisim_footprint_test.cc.o"
+  "CMakeFiles/mpisim_footprint_test.dir/mpisim_footprint_test.cc.o.d"
+  "mpisim_footprint_test"
+  "mpisim_footprint_test.pdb"
+  "mpisim_footprint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpisim_footprint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

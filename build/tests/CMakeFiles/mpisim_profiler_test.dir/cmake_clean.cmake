@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpisim_profiler_test.dir/mpisim_profiler_test.cc.o"
+  "CMakeFiles/mpisim_profiler_test.dir/mpisim_profiler_test.cc.o.d"
+  "mpisim_profiler_test"
+  "mpisim_profiler_test.pdb"
+  "mpisim_profiler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpisim_profiler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

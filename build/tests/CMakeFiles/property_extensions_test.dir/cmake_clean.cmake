@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_extensions_test.dir/property_extensions_test.cc.o"
+  "CMakeFiles/property_extensions_test.dir/property_extensions_test.cc.o.d"
+  "property_extensions_test"
+  "property_extensions_test.pdb"
+  "property_extensions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_processes_test.dir/sim_processes_test.cc.o"
+  "CMakeFiles/sim_processes_test.dir/sim_processes_test.cc.o.d"
+  "sim_processes_test"
+  "sim_processes_test.pdb"
+  "sim_processes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_processes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_replay_test.dir/workload_replay_test.cc.o"
+  "CMakeFiles/workload_replay_test.dir/workload_replay_test.cc.o.d"
+  "workload_replay_test"
+  "workload_replay_test.pdb"
+  "workload_replay_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_replay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlarm_broker.dir/nlarm_broker.cc.o"
+  "CMakeFiles/nlarm_broker.dir/nlarm_broker.cc.o.d"
+  "nlarm_broker"
+  "nlarm_broker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlarm_broker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
