@@ -32,7 +32,7 @@ struct GroupScore {
 
 GroupScore score_group(const std::vector<std::size_t>& members,
                        const std::vector<double>& cl,
-                       const std::vector<std::vector<double>>& nl) {
+                       const util::FlatMatrix& nl) {
   GroupScore s;
   for (std::size_t m : members) s.compute += cl[m];
   for (std::size_t i = 0; i < members.size(); ++i) {

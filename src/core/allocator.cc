@@ -22,8 +22,9 @@ void annotate_allocation(Allocation& allocation,
   if (allocation.nodes.empty()) return;
   double load_sum = 0.0;
   for (cluster::NodeId id : allocation.nodes) {
-    load_sum += snapshot.nodes[static_cast<std::size_t>(id)].cpu_load_avg
-                    .one_min;
+    const auto idx = static_cast<std::size_t>(id);
+    NLARM_CHECK(idx < snapshot.nodes.size()) << "node out of snapshot";
+    load_sum += snapshot.nodes[idx].cpu_load_avg.one_min;
   }
   allocation.avg_cpu_load =
       load_sum / static_cast<double>(allocation.nodes.size());
@@ -64,27 +65,53 @@ std::string to_hostfile(const Allocation& allocation,
   return out.str();
 }
 
+const NetworkLoadAwareAllocator::PreparedInputs&
+NetworkLoadAwareAllocator::prepare(const monitor::ClusterSnapshot& snapshot,
+                                   const AllocationRequest& request) {
+  PreparedKey key;
+  key.version = snapshot.version;
+  key.time = snapshot.time;
+  key.node_count = snapshot.nodes.size();
+  key.compute_weights = request.compute_weights;
+  key.network_weights = request.network_weights;
+  key.ppn = request.ppn;
+  // version 0 marks a hand-built snapshot with no change tracking; those
+  // must always be prepared from scratch.
+  if (has_prepared_ && key.version != 0 && key == prepared_key_) {
+    return prepared_;
+  }
+
+  has_prepared_ = false;  // invalidate while prepared_ is being rebuilt
+  prepared_.usable = snapshot.usable_nodes();
+  NLARM_CHECK(!prepared_.usable.empty()) << "no usable nodes in snapshot";
+
+  // Unit-mean rescaling puts node costs and pair costs on a common scale so
+  // α/β trade them off as intended (see rescale_unit_mean).
+  prepared_.cl = rescale_unit_mean(
+      compute_loads(snapshot, prepared_.usable, request.compute_weights));
+  network_loads_into(snapshot, prepared_.usable, request.network_weights,
+                     prepared_.nl);
+  rescale_unit_mean_inplace(prepared_.nl);
+  prepared_.pc =
+      effective_process_counts(snapshot, prepared_.usable, request.ppn);
+
+  prepared_key_ = key;
+  has_prepared_ = true;
+  return prepared_;
+}
+
 Allocation NetworkLoadAwareAllocator::allocate(
     const monitor::ClusterSnapshot& snapshot,
     const AllocationRequest& request) {
   request.validate();
-  const std::vector<cluster::NodeId> usable = snapshot.usable_nodes();
-  NLARM_CHECK(!usable.empty()) << "no usable nodes in snapshot";
-
-  // Unit-mean rescaling puts node costs and pair costs on a common scale so
-  // α/β trade them off as intended (see rescale_unit_mean).
-  const std::vector<double> cl = rescale_unit_mean(
-      compute_loads(snapshot, usable, request.compute_weights));
-  const std::vector<std::vector<double>> nl = rescale_unit_mean(
-      network_loads(snapshot, usable, request.network_weights));
-  const std::vector<int> pc =
-      effective_process_counts(snapshot, usable, request.ppn);
+  const PreparedInputs& inputs = prepare(snapshot, request);
 
   std::vector<Candidate> candidates =
-      generate_all_candidates(cl, nl, pc, request.nprocs, request.job);
-  last_selection_ =
-      select_best_candidate(std::move(candidates), cl, nl, request.job);
-  last_node_set_ = usable;
+      generate_all_candidates(inputs.cl, inputs.nl, inputs.pc, request.nprocs,
+                              request.job, generation_options_);
+  last_selection_ = select_best_candidate(std::move(candidates), inputs.cl,
+                                          inputs.nl, request.job);
+  last_node_set_ = inputs.usable;
 
   const ScoredCandidate& best =
       last_selection_.scored[last_selection_.best_index];
@@ -93,7 +120,7 @@ Allocation NetworkLoadAwareAllocator::allocate(
   allocation.total_procs = request.nprocs;
   allocation.total_cost = best.total_cost;
   for (std::size_t i = 0; i < best.candidate.members.size(); ++i) {
-    allocation.nodes.push_back(usable[best.candidate.members[i]]);
+    allocation.nodes.push_back(inputs.usable[best.candidate.members[i]]);
     allocation.procs_per_node.push_back(best.candidate.procs[i]);
   }
   annotate_allocation(allocation, snapshot);

@@ -2,6 +2,7 @@
 // and the paper's network-and-load-aware implementation.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -65,11 +66,26 @@ class Allocator {
 
 /// The paper's contribution: Algorithms 1 + 2 over monitored compute and
 /// network load.
+///
+/// Fast path: the normalized CL vector, NL matrix and pc vector only depend
+/// on the snapshot and the request's weight/ppn profile, so the allocator
+/// memoizes them keyed on the snapshot's version counter. Back-to-back
+/// requests against the same monitored state (the common broker pattern)
+/// skip the O(V²) input preparation entirely. Unversioned snapshots
+/// (version == 0) always recompute.
 class NetworkLoadAwareAllocator : public Allocator {
  public:
   std::string name() const override { return "network-load-aware"; }
   Allocation allocate(const monitor::ClusterSnapshot& snapshot,
                       const AllocationRequest& request) override;
+
+  /// Controls the candidate-generation fan-out (see GenerationOptions).
+  void set_generation_options(const GenerationOptions& options) {
+    generation_options_ = options;
+  }
+  const GenerationOptions& generation_options() const {
+    return generation_options_;
+  }
 
   /// Full scoring detail of the last allocate() call (for analysis benches).
   const SelectionResult& last_selection() const { return last_selection_; }
@@ -78,6 +94,32 @@ class NetworkLoadAwareAllocator : public Allocator {
   }
 
  private:
+  /// Normalized allocator inputs over the snapshot's usable node set.
+  struct PreparedInputs {
+    std::vector<cluster::NodeId> usable;
+    std::vector<double> cl;
+    util::FlatMatrix nl;
+    std::vector<int> pc;
+  };
+  /// Everything the prepared inputs depend on. `version` 0 never matches.
+  struct PreparedKey {
+    std::uint64_t version = 0;
+    double time = 0.0;
+    std::size_t node_count = 0;
+    ComputeLoadWeights compute_weights;
+    NetworkLoadWeights network_weights;
+    int ppn = 0;
+
+    bool operator==(const PreparedKey&) const = default;
+  };
+
+  const PreparedInputs& prepare(const monitor::ClusterSnapshot& snapshot,
+                                const AllocationRequest& request);
+
+  GenerationOptions generation_options_;
+  PreparedInputs prepared_;
+  PreparedKey prepared_key_;
+  bool has_prepared_ = false;
   SelectionResult last_selection_;
   std::vector<cluster::NodeId> last_node_set_;
 };

@@ -13,6 +13,44 @@ ResourceBroker::ResourceBroker(Allocator& allocator, BrokerPolicy policy)
   NLARM_CHECK(policy.min_usable_nodes >= 1) << "need at least one node";
 }
 
+const ResourceBroker::Aggregates& ResourceBroker::aggregates(
+    const monitor::ClusterSnapshot& snapshot,
+    const AllocationRequest& request) {
+  AggregatesKey key;
+  key.version = snapshot.version;
+  key.time = snapshot.time;
+  key.node_count = snapshot.nodes.size();
+  key.ppn = request.ppn;
+  if (has_aggregates_ && key.version != 0 && key == aggregates_key_) {
+    return aggregates_;
+  }
+
+  has_aggregates_ = false;
+  aggregates_.usable = snapshot.usable_nodes();
+
+  // Cluster-wide load per core.
+  double load_sum = 0.0;
+  double core_sum = 0.0;
+  for (cluster::NodeId id : aggregates_.usable) {
+    const monitor::NodeSnapshot& node =
+        snapshot.nodes[static_cast<std::size_t>(id)];
+    load_sum += node.cpu_load_avg.one_min;
+    core_sum += static_cast<double>(node.spec.core_count);
+  }
+  aggregates_.load_per_core = core_sum > 0.0 ? load_sum / core_sum : 0.0;
+
+  aggregates_.effective_capacity = 0;
+  if (!aggregates_.usable.empty()) {
+    const std::vector<int> pc =
+        effective_process_counts(snapshot, aggregates_.usable, request.ppn);
+    for (int c : pc) aggregates_.effective_capacity += c;
+  }
+
+  aggregates_key_ = key;
+  has_aggregates_ = true;
+  return aggregates_;
+}
+
 BrokerDecision ResourceBroker::decide(
     const monitor::ClusterSnapshot& snapshot,
     const AllocationRequest& request) {
@@ -20,30 +58,18 @@ BrokerDecision ResourceBroker::decide(
   ++decisions_;
   BrokerDecision decision;
 
-  const std::vector<cluster::NodeId> usable = snapshot.usable_nodes();
-  if (static_cast<int>(usable.size()) < policy_.min_usable_nodes) {
+  const Aggregates& agg = aggregates(snapshot, request);
+  decision.cluster_load_per_core = agg.load_per_core;
+  decision.effective_capacity = agg.effective_capacity;
+
+  if (static_cast<int>(agg.usable.size()) < policy_.min_usable_nodes) {
     decision.action = BrokerDecision::Action::kWait;
     decision.reason = util::format(
-        "only %zu usable node(s), need at least %d", usable.size(),
+        "only %zu usable node(s), need at least %d", agg.usable.size(),
         policy_.min_usable_nodes);
     ++waits_;
     return decision;
   }
-
-  // Cluster-wide load per core.
-  double load_sum = 0.0;
-  double core_sum = 0.0;
-  for (cluster::NodeId id : usable) {
-    const monitor::NodeSnapshot& node =
-        snapshot.nodes[static_cast<std::size_t>(id)];
-    load_sum += node.cpu_load_avg.one_min;
-    core_sum += static_cast<double>(node.spec.core_count);
-  }
-  decision.cluster_load_per_core = core_sum > 0.0 ? load_sum / core_sum : 0.0;
-
-  const std::vector<int> pc =
-      effective_process_counts(snapshot, usable, request.ppn);
-  for (int c : pc) decision.effective_capacity += c;
 
   if (decision.cluster_load_per_core > policy_.max_load_per_core) {
     decision.action = BrokerDecision::Action::kWait;

@@ -6,7 +6,9 @@
 // should recommend waiting rather than allocating it right away").
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/allocator.h"
 
@@ -47,8 +49,33 @@ class ResourceBroker {
   int waits_recommended() const { return waits_; }
 
  private:
+  /// Snapshot-level aggregates the wait/allocate gate needs. They only
+  /// depend on the snapshot and the request's ppn, so they are memoized on
+  /// the snapshot version counter — a broker fielding many requests between
+  /// monitor updates computes them once. Version 0 (unversioned snapshot)
+  /// never matches.
+  struct Aggregates {
+    std::vector<cluster::NodeId> usable;
+    double load_per_core = 0.0;
+    int effective_capacity = 0;
+  };
+  struct AggregatesKey {
+    std::uint64_t version = 0;
+    double time = 0.0;
+    std::size_t node_count = 0;
+    int ppn = 0;
+
+    bool operator==(const AggregatesKey&) const = default;
+  };
+
+  const Aggregates& aggregates(const monitor::ClusterSnapshot& snapshot,
+                               const AllocationRequest& request);
+
   Allocator& allocator_;
   BrokerPolicy policy_;
+  Aggregates aggregates_;
+  AggregatesKey aggregates_key_;
+  bool has_aggregates_ = false;
   int decisions_ = 0;
   int waits_ = 0;
 };

@@ -7,6 +7,40 @@
 
 namespace nlarm::core {
 
+namespace {
+
+/// Strict total order on (addition cost, index). Equivalent to the original
+/// stable_sort with an index tie-break: indices are unique, so the key is a
+/// total order and any correct sort produces the same permutation.
+struct AdditionOrder {
+  std::span<const double> addition;
+  bool operator()(std::size_t a, std::size_t b) const {
+    if (addition[a] != addition[b]) return addition[a] < addition[b];
+    return a < b;
+  }
+};
+
+}  // namespace
+
+CandidateCosts candidate_costs(std::span<const std::size_t> members,
+                               std::span<const double> cl,
+                               const util::FlatMatrix& nl) {
+  thread_local std::vector<std::size_t> sorted;
+  sorted.assign(members.begin(), members.end());
+  std::sort(sorted.begin(), sorted.end());
+  CandidateCosts costs;
+  for (std::size_t t = 0; t < sorted.size(); ++t) {
+    const std::size_t m = sorted[t];
+    NLARM_CHECK(m < cl.size()) << "member out of cl range";
+    costs.compute += cl[m];
+    const double* row = nl[m];  // NL is symmetric; one row walk per member
+    for (std::size_t i = 0; i < t; ++i) {
+      costs.network += row[sorted[i]];
+    }
+  }
+  return costs;
+}
+
 FillResult fill_processes(std::span<const std::size_t> order,
                           std::span<const int> pc, int nprocs) {
   NLARM_CHECK(nprocs > 0) << "request must ask for at least one process";
@@ -35,7 +69,7 @@ FillResult fill_processes(std::span<const std::size_t> order,
 }
 
 Candidate generate_candidate(std::size_t start, std::span<const double> cl,
-                             const std::vector<std::vector<double>>& nl,
+                             const util::FlatMatrix& nl,
                              std::span<const int> pc, int nprocs,
                              const JobWeights& job) {
   job.validate();
@@ -43,45 +77,80 @@ Candidate generate_candidate(std::size_t start, std::span<const double> cl,
   NLARM_CHECK(start < count) << "start index out of range";
   NLARM_CHECK(nl.size() == count && pc.size() == count)
       << "cl/nl/pc size mismatch";
+  NLARM_CHECK(nprocs > 0) << "request must ask for at least one process";
+
+  // Scratch reused across start nodes and requests (one copy per thread, so
+  // the parallel fan-out needs no coordination).
+  thread_local std::vector<double> addition;
+  thread_local std::vector<std::size_t> order;
 
   // Addition costs A_v(u); A_v(v) = 0 so the start node sorts first.
-  std::vector<double> addition(count);
+  addition.resize(count);
+  const double* nl_start = nl[start];
   for (std::size_t u = 0; u < count; ++u) {
-    addition[u] = (u == start)
-                      ? 0.0
-                      : job.alpha * cl[u] + job.beta * nl[start][u];
+    addition[u] =
+        (u == start) ? 0.0 : job.alpha * cl[u] + job.beta * nl_start[u];
   }
 
-  std::vector<std::size_t> order(count);
+  order.resize(count);
   std::iota(order.begin(), order.end(), 0);
-  std::stable_sort(order.begin(), order.end(),
-                   [&](std::size_t a, std::size_t b) {
-                     if (addition[a] != addition[b]) {
-                       return addition[a] < addition[b];
-                     }
-                     return a < b;  // deterministic tie-break
-                   });
-  NLARM_CHECK(order.front() == start)
+  const AdditionOrder cmp{addition};
+
+  // fill_processes consumes at most `nprocs` nodes before the request is
+  // covered (each taken node contributes ≥1 process), so only the k
+  // cheapest nodes can ever be used. Partial-select them; the full sort
+  // remains only for requests that need the whole working set (where the
+  // round-robin overflow may also touch every node).
+  const std::size_t k = std::min(count, static_cast<std::size_t>(nprocs));
+  std::span<const std::size_t> prefix;
+  if (k < count) {
+    std::nth_element(order.begin(),
+                     order.begin() + static_cast<std::ptrdiff_t>(k),
+                     order.end(), cmp);
+    std::sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(k),
+              cmp);
+    prefix = std::span<const std::size_t>(order.data(), k);
+  } else {
+    std::sort(order.begin(), order.end(), cmp);
+    prefix = std::span<const std::size_t>(order.data(), count);
+  }
+  NLARM_CHECK(prefix.front() == start)
       << "start node must sort first (its addition cost is 0)";
 
-  FillResult fill = fill_processes(order, pc, nprocs);
+  FillResult fill = fill_processes(prefix, pc, nprocs);
   Candidate candidate;
   candidate.start_index = start;
   candidate.members = std::move(fill.members);
   candidate.procs = std::move(fill.procs);
   candidate.total_procs = nprocs;
+  const CandidateCosts costs = candidate_costs(candidate.members, cl, nl);
+  candidate.compute_cost = costs.compute;
+  candidate.network_cost = costs.network;
+  candidate.has_costs = true;
   return candidate;
 }
 
 std::vector<Candidate> generate_all_candidates(
-    std::span<const double> cl, const std::vector<std::vector<double>>& nl,
-    std::span<const int> pc, int nprocs, const JobWeights& job) {
-  std::vector<Candidate> candidates;
-  candidates.reserve(cl.size());
-  for (std::size_t start = 0; start < cl.size(); ++start) {
-    candidates.push_back(
-        generate_candidate(start, cl, nl, pc, nprocs, job));
+    std::span<const double> cl, const util::FlatMatrix& nl,
+    std::span<const int> pc, int nprocs, const JobWeights& job,
+    const GenerationOptions& options) {
+  const std::size_t count = cl.size();
+  std::vector<Candidate> candidates(count);
+  const bool parallel =
+      options.parallel_threshold >= 0 &&
+      count >= static_cast<std::size_t>(options.parallel_threshold) &&
+      count > 1;
+  if (!parallel) {
+    for (std::size_t start = 0; start < count; ++start) {
+      candidates[start] = generate_candidate(start, cl, nl, pc, nprocs, job);
+    }
+    return candidates;
   }
+  util::ThreadPool& pool =
+      options.pool != nullptr ? *options.pool : util::ThreadPool::shared();
+  pool.parallel_for(count, [&](std::size_t start) {
+    candidates[start] = generate_candidate(start, cl, nl, pc, nprocs, job);
+  });
   return candidates;
 }
 

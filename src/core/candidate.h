@@ -4,12 +4,22 @@
 // A_v(u) = α·CL(u) + β·NL(v,u) (A_v(v) = 0), nodes are taken in increasing
 // cost order until the requested process count is covered, and any shortfall
 // (cluster smaller than the request) is assigned round-robin.
+//
+// Fast path: the allocator only ever consumes the first min(|V|, n) entries
+// of the sorted order (every taken node contributes at least one process),
+// so generation selects that top-k with a partial selection instead of
+// sorting all |V| nodes, falling back to the full sort only when the request
+// needs the whole cluster. The (addition cost, index) key is a strict total
+// order, so the partial selection is deterministic and reproduces the full
+// stable_sort prefix exactly.
 #pragma once
 
 #include <span>
 #include <vector>
 
 #include "core/weights.h"
+#include "util/flat_matrix.h"
+#include "util/thread_pool.h"
 
 namespace nlarm::core {
 
@@ -20,7 +30,28 @@ struct Candidate {
   std::vector<std::size_t> members;  ///< in selection order, starts with start_index
   std::vector<int> procs;            ///< processes assigned per member; sums to n
   int total_procs = 0;
+
+  // Raw Algorithm-2 costs, accumulated during generation over the canonical
+  // (ascending-index) member order so identical member sets always produce
+  // bit-identical values. Selection skips its own cost walk when
+  // `has_costs` is set.
+  double compute_cost = 0.0;  ///< C_Gv = Σ CL over members
+  double network_cost = 0.0;  ///< N_Gv = Σ NL over sub-graph edges
+  bool has_costs = false;
 };
+
+/// Raw candidate costs over the canonical ascending member order: members
+/// are sorted by index, then each member's CL and its NL edges to the
+/// already-added members are accumulated incrementally. One definition
+/// shared by generation, selection and the retained reference path keeps
+/// the three bit-identical.
+struct CandidateCosts {
+  double compute = 0.0;
+  double network = 0.0;
+};
+CandidateCosts candidate_costs(std::span<const std::size_t> members,
+                               std::span<const double> cl,
+                               const util::FlatMatrix& nl);
 
 /// Distributes `nprocs` over the prefix of `order` using per-node capacity
 /// `pc` (Algorithm 1 lines 8–14): nodes are consumed in order until the
@@ -37,13 +68,26 @@ FillResult fill_processes(std::span<const std::size_t> order,
 /// `cl` is the CL vector, `nl` the NL matrix, `pc` the effective process
 /// counts — all over the same working node set.
 Candidate generate_candidate(std::size_t start, std::span<const double> cl,
-                             const std::vector<std::vector<double>>& nl,
+                             const util::FlatMatrix& nl,
                              std::span<const int> pc, int nprocs,
                              const JobWeights& job);
 
-/// All |V| candidates (one per possible start node).
+/// Controls how generate_all_candidates fans out over start nodes.
+struct GenerationOptions {
+  /// Fan out across the thread pool when the working set has at least this
+  /// many nodes; below it the per-request fork-join overhead outweighs the
+  /// win. Negative disables parallelism entirely.
+  int parallel_threshold = 192;
+  /// Pool to fan out on; nullptr uses ThreadPool::shared().
+  util::ThreadPool* pool = nullptr;
+};
+
+/// All |V| candidates (one per possible start node). Results are ordered by
+/// start index and bit-identical whether generated serially or in parallel
+/// (each start node writes only its own slot).
 std::vector<Candidate> generate_all_candidates(
-    std::span<const double> cl, const std::vector<std::vector<double>>& nl,
-    std::span<const int> pc, int nprocs, const JobWeights& job);
+    std::span<const double> cl, const util::FlatMatrix& nl,
+    std::span<const int> pc, int nprocs, const JobWeights& job,
+    const GenerationOptions& options = {});
 
 }  // namespace nlarm::core

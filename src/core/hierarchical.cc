@@ -64,8 +64,8 @@ Allocation HierarchicalAllocator::allocate(
 
   // Inter-group network load: mean pair metric over a bounded sample of
   // cross pairs (deterministic stride so results are reproducible).
-  std::vector<std::vector<double>> group_lat(g, std::vector<double>(g, 0.0));
-  std::vector<std::vector<double>> group_cmp(g, std::vector<double>(g, 0.0));
+  util::FlatMatrix group_lat(g, 0.0);
+  util::FlatMatrix group_cmp(g, 0.0);
   for (std::size_t a = 0; a < g; ++a) {
     for (std::size_t b = a + 1; b < g; ++b) {
       double lat_sum = 0.0;
@@ -98,7 +98,7 @@ Allocation HierarchicalAllocator::allocate(
 
   // Normalize the two aggregate terms over group pairs and combine (Eq. 2
   // at group granularity).
-  std::vector<std::vector<double>> group_nl(g, std::vector<double>(g, 0.0));
+  util::FlatMatrix group_nl(g, 0.0);
   if (g > 1) {
     std::vector<double> lat_flat;
     std::vector<double> cmp_flat;
@@ -128,14 +128,13 @@ Allocation HierarchicalAllocator::allocate(
     group_capacity[a] = std::max(1, groups_[a].capacity);
   }
   const std::vector<double> group_cl_scaled = rescale_unit_mean(group_cl);
-  const std::vector<std::vector<double>> group_nl_scaled =
-      rescale_unit_mean(group_nl);
+  rescale_unit_mean_inplace(group_nl);
 
   std::vector<Candidate> group_candidates = generate_all_candidates(
-      group_cl_scaled, group_nl_scaled, group_capacity, request.nprocs,
+      group_cl_scaled, group_nl, group_capacity, request.nprocs,
       request.job);
   const SelectionResult group_selection = select_best_candidate(
-      std::move(group_candidates), group_cl_scaled, group_nl_scaled,
+      std::move(group_candidates), group_cl_scaled, group_nl,
       request.job);
   chosen_ =
       group_selection.scored[group_selection.best_index].candidate.members;
@@ -150,7 +149,7 @@ Allocation HierarchicalAllocator::allocate(
 
   const std::vector<double> pool_cl = rescale_unit_mean(
       compute_loads(snapshot, pool, request.compute_weights));
-  const std::vector<std::vector<double>> pool_nl = rescale_unit_mean(
+  const util::FlatMatrix pool_nl = rescale_unit_mean(
       network_loads(snapshot, pool, request.network_weights));
   const std::vector<int> pool_pc =
       effective_process_counts(snapshot, pool, request.ppn);

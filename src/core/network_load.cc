@@ -49,25 +49,52 @@ PairMetrics pair_metrics(const monitor::ClusterSnapshot& snapshot,
   return m;
 }
 
-std::vector<std::vector<double>> network_loads(
-    const monitor::ClusterSnapshot& snapshot,
-    std::span<const cluster::NodeId> nodes,
-    const NetworkLoadWeights& weights) {
+util::FlatMatrix network_loads(const monitor::ClusterSnapshot& snapshot,
+                               std::span<const cluster::NodeId> nodes,
+                               const NetworkLoadWeights& weights) {
+  util::FlatMatrix nl;
+  network_loads_into(snapshot, nodes, weights, nl);
+  return nl;
+}
+
+void network_loads_into(const monitor::ClusterSnapshot& snapshot,
+                        std::span<const cluster::NodeId> nodes,
+                        const NetworkLoadWeights& weights,
+                        util::FlatMatrix& out) {
   weights.validate();
   const std::size_t count = nodes.size();
-  std::vector<std::vector<double>> nl(count, std::vector<double>(count, 0.0));
-  if (count < 2) return nl;
+  out.assign(count, 0.0);
+  if (count < 2) return;
 
-  // Gather the upper-triangle pair terms.
+  const std::size_t matrix_size =
+      static_cast<std::size_t>(snapshot.net.size());
+  const util::FlatMatrix& lat_m = snapshot.net.latency_us;
+  const util::FlatMatrix& bw_m = snapshot.net.bandwidth_mbps;
+  const util::FlatMatrix& peak_m = snapshot.net.peak_mbps;
+
+  // Gather the upper-triangle pair terms. The scratch vectors are
+  // thread-local so repeated calls reuse their allocations.
   const std::size_t pair_count = count * (count - 1) / 2;
-  std::vector<double> latency(pair_count);
-  std::vector<double> complement(pair_count);
+  thread_local std::vector<double> latency;
+  thread_local std::vector<double> complement;
+  latency.resize(pair_count);
+  complement.resize(pair_count);
   std::size_t k = 0;
   for (std::size_t i = 0; i < count; ++i) {
+    const auto ui = static_cast<std::size_t>(nodes[i]);
+    NLARM_CHECK(ui < matrix_size) << "pair out of snapshot";
+    const double* lat_row = lat_m[ui];
+    const double* bw_row = bw_m[ui];
+    const double* peak_row = peak_m[ui];
     for (std::size_t j = i + 1; j < count; ++j, ++k) {
-      const PairMetrics m = pair_metrics(snapshot, nodes[i], nodes[j]);
-      latency[k] = m.latency_us;  // may be <0 (unmeasured)
-      complement[k] = m.bandwidth_complement_mbps;
+      const auto vj = static_cast<std::size_t>(nodes[j]);
+      NLARM_CHECK(vj < matrix_size) << "pair out of snapshot";
+      NLARM_CHECK(vj != ui) << "pair metrics of a self pair";
+      latency[k] = lat_row[vj];  // may be <0 (unmeasured)
+      const double bw = bw_row[vj];
+      const double peak = peak_row[vj];
+      complement[k] =
+          (bw < 0.0 || peak < 0.0) ? -1.0 : std::max(0.0, peak - bw);
     }
   }
   fill_missing(latency, /*fallback=*/100.0);
@@ -84,14 +111,13 @@ std::vector<std::vector<double>> network_loads(
     for (std::size_t j = i + 1; j < count; ++j, ++k) {
       const double value = weights.latency * latency_norm[k] +
                            weights.bandwidth * complement_norm[k];
-      nl[i][j] = value;
-      nl[j][i] = value;
+      out[i][j] = value;
+      out[j][i] = value;
     }
   }
-  return nl;
 }
 
-double group_network_load(const std::vector<std::vector<double>>& nl,
+double group_network_load(const util::FlatMatrix& nl,
                           std::span<const std::size_t> member_indices) {
   const std::size_t count = member_indices.size();
   if (count < 2) return 0.0;

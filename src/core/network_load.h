@@ -7,6 +7,7 @@
 
 #include "core/weights.h"
 #include "monitor/snapshot.h"
+#include "util/flat_matrix.h"
 
 namespace nlarm::core {
 
@@ -16,10 +17,17 @@ namespace nlarm::core {
 /// Missing measurements (the store may not have every pair yet) are filled
 /// with the mean of the measured values; a completely unmeasured network
 /// degrades gracefully to "all pairs equal" (pure load-aware behaviour).
-std::vector<std::vector<double>> network_loads(
-    const monitor::ClusterSnapshot& snapshot,
-    std::span<const cluster::NodeId> nodes,
-    const NetworkLoadWeights& weights);
+util::FlatMatrix network_loads(const monitor::ClusterSnapshot& snapshot,
+                               std::span<const cluster::NodeId> nodes,
+                               const NetworkLoadWeights& weights);
+
+/// Storage-reusing variant: writes the NL matrix into `out` (resized as
+/// needed). The allocator calls this with a long-lived scratch matrix so a
+/// request allocates no per-row buffers.
+void network_loads_into(const monitor::ClusterSnapshot& snapshot,
+                        std::span<const cluster::NodeId> nodes,
+                        const NetworkLoadWeights& weights,
+                        util::FlatMatrix& out);
 
 /// Raw (unnormalized) pairwise terms, exposed for diagnostics (Table 4):
 /// latency in µs and complement of available bandwidth in Mbit/s.
@@ -32,7 +40,7 @@ PairMetrics pair_metrics(const monitor::ClusterSnapshot& snapshot,
 
 /// Group network load of a node set: the paper takes "the average of
 /// network load between all pairs of nodes" (§3.2.2).
-double group_network_load(const std::vector<std::vector<double>>& nl,
+double group_network_load(const util::FlatMatrix& nl,
                           std::span<const std::size_t> member_indices);
 
 }  // namespace nlarm::core

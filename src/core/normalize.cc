@@ -39,34 +39,44 @@ std::vector<double> normalize_attribute(std::span<const double> values,
 
 std::vector<double> rescale_unit_mean(std::span<const double> values) {
   std::vector<double> out(values.begin(), values.end());
-  double sum = 0.0;
-  for (double v : out) sum += v;
-  if (sum <= 0.0) return out;
-  const double mean = sum / static_cast<double>(out.size());
-  for (double& v : out) v /= mean;
+  rescale_unit_mean_inplace(out);
   return out;
 }
 
-std::vector<std::vector<double>> rescale_unit_mean(
-    const std::vector<std::vector<double>>& matrix) {
-  std::vector<std::vector<double>> out = matrix;
+void rescale_unit_mean_inplace(std::vector<double>& values) {
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  if (sum <= 0.0) return;
+  const double mean = sum / static_cast<double>(values.size());
+  for (double& v : values) v /= mean;
+}
+
+util::FlatMatrix rescale_unit_mean(const util::FlatMatrix& matrix) {
+  util::FlatMatrix out = matrix;
+  rescale_unit_mean_inplace(out);
+  return out;
+}
+
+void rescale_unit_mean_inplace(util::FlatMatrix& matrix) {
+  const std::size_t n = matrix.size();
   double sum = 0.0;
   std::size_t count = 0;
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    for (std::size_t j = 0; j < out.size(); ++j) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* row = matrix[i];
+    for (std::size_t j = 0; j < n; ++j) {
       if (i == j) continue;
-      sum += out[i][j];
+      sum += row[j];
       ++count;
     }
   }
-  if (sum <= 0.0 || count == 0) return out;
+  if (sum <= 0.0 || count == 0) return;
   const double mean = sum / static_cast<double>(count);
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    for (std::size_t j = 0; j < out.size(); ++j) {
-      if (i != j) out[i][j] /= mean;
+  for (std::size_t i = 0; i < n; ++i) {
+    double* row = matrix[i];
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j) row[j] /= mean;
     }
   }
-  return out;
 }
 
 }  // namespace nlarm::core

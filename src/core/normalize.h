@@ -10,6 +10,8 @@
 #include <span>
 #include <vector>
 
+#include "util/flat_matrix.h"
+
 namespace nlarm::core {
 
 /// Divides each value by the sum of all values. All-zero input → all zeros
@@ -37,8 +39,13 @@ std::vector<double> normalize_attribute(std::span<const double> values,
 /// scaling; orderings within each cost are untouched.
 std::vector<double> rescale_unit_mean(std::span<const double> values);
 
+/// In-place variant; the allocator's scratch buffers reuse their storage.
+void rescale_unit_mean_inplace(std::vector<double>& values);
+
 /// Matrix variant: rescales off-diagonal entries to unit mean.
-std::vector<std::vector<double>> rescale_unit_mean(
-    const std::vector<std::vector<double>>& matrix);
+util::FlatMatrix rescale_unit_mean(const util::FlatMatrix& matrix);
+
+/// In-place matrix variant.
+void rescale_unit_mean_inplace(util::FlatMatrix& matrix);
 
 }  // namespace nlarm::core

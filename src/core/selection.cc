@@ -1,12 +1,16 @@
 #include "core/selection.h"
 
+#include <algorithm>
+#include <map>
+
 #include "util/check.h"
 
 namespace nlarm::core {
 
-SelectionResult select_best_candidate(
-    std::vector<Candidate> candidates, std::span<const double> cl,
-    const std::vector<std::vector<double>>& nl, const JobWeights& job) {
+SelectionResult select_best_candidate(std::vector<Candidate> candidates,
+                                      std::span<const double> cl,
+                                      const util::FlatMatrix& nl,
+                                      const JobWeights& job) {
   job.validate();
   NLARM_CHECK(!candidates.empty()) << "no candidates to select from";
 
@@ -14,18 +18,28 @@ SelectionResult select_best_candidate(
   result.scored.reserve(candidates.size());
   double compute_sum = 0.0;
   double network_sum = 0.0;
+  // Cost-walk dedup for candidates that arrive without generation-time
+  // costs: raw costs depend only on the member set (canonical order), so
+  // each unique set is walked once.
+  std::map<std::vector<std::size_t>, CandidateCosts> by_member_set;
   for (Candidate& candidate : candidates) {
     ScoredCandidate scored;
     scored.candidate = std::move(candidate);
-    const auto& members = scored.candidate.members;
-    for (std::size_t m : members) {
-      NLARM_CHECK(m < cl.size()) << "member out of cl range";
-      scored.compute_cost += cl[m];
-    }
-    for (std::size_t i = 0; i < members.size(); ++i) {
-      for (std::size_t j = i + 1; j < members.size(); ++j) {
-        scored.network_cost += nl[members[i]][members[j]];
+    if (scored.candidate.has_costs) {
+      scored.compute_cost = scored.candidate.compute_cost;
+      scored.network_cost = scored.candidate.network_cost;
+    } else {
+      std::vector<std::size_t> key = scored.candidate.members;
+      std::sort(key.begin(), key.end());
+      auto it = by_member_set.find(key);
+      if (it == by_member_set.end()) {
+        it = by_member_set
+                 .emplace(std::move(key),
+                          candidate_costs(scored.candidate.members, cl, nl))
+                 .first;
       }
+      scored.compute_cost = it->second.compute;
+      scored.network_cost = it->second.network;
     }
     compute_sum += scored.compute_cost;
     network_sum += scored.network_cost;

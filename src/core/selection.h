@@ -4,6 +4,12 @@
 // network cost N_Gv = Σ NL over sub-graph edges are normalized by their sums
 // across all candidates; the candidate minimizing
 // T_Gv = α·C_norm + β·N_norm wins.
+//
+// Raw costs are defined over the canonical ascending member order (see
+// candidate_costs), so candidates with identical member sets always carry
+// bit-identical raw costs. Scoring therefore (a) reuses costs already
+// accumulated during generation and (b) deduplicates the remaining cost
+// walks by member set instead of re-walking O(k²) pairs per candidate.
 #pragma once
 
 #include <span>
@@ -11,6 +17,7 @@
 
 #include "core/candidate.h"
 #include "core/weights.h"
+#include "util/flat_matrix.h"
 
 namespace nlarm::core {
 
@@ -22,13 +29,15 @@ struct ScoredCandidate {
 };
 
 /// Scores all candidates and returns them plus the index of the winner
-/// (minimum T_Gv; ties broken by smaller start index).
+/// (minimum T_Gv; ties broken by smaller start index). The scored list
+/// keeps every input candidate (duplicates included) in input order.
 struct SelectionResult {
   std::vector<ScoredCandidate> scored;
   std::size_t best_index = 0;
 };
-SelectionResult select_best_candidate(
-    std::vector<Candidate> candidates, std::span<const double> cl,
-    const std::vector<std::vector<double>>& nl, const JobWeights& job);
+SelectionResult select_best_candidate(std::vector<Candidate> candidates,
+                                      std::span<const double> cl,
+                                      const util::FlatMatrix& nl,
+                                      const JobWeights& job);
 
 }  // namespace nlarm::core

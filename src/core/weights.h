@@ -29,8 +29,12 @@ struct ComputeLoadWeights {
     double one_min = 0.5;
     double five_min = 0.3;
     double fifteen_min = 0.2;
+
+    bool operator==(const WindowBlend&) const = default;
   };
   WindowBlend window_blend;
+
+  bool operator==(const ComputeLoadWeights&) const = default;
 
   /// Throws CheckError if any weight is negative or all are zero.
   void validate() const;
@@ -51,6 +55,8 @@ struct NetworkLoadWeights {
   double latency = 0.25;    ///< w_lt
   double bandwidth = 0.75;  ///< w_bw
 
+  bool operator==(const NetworkLoadWeights&) const = default;
+
   void validate() const;
 
   static NetworkLoadWeights paper_defaults() { return {}; }
@@ -64,6 +70,8 @@ struct NetworkLoadWeights {
 struct JobWeights {
   double alpha = 0.3;  ///< compute share
   double beta = 0.7;   ///< network share
+
+  bool operator==(const JobWeights&) const = default;
 
   void validate() const;
 

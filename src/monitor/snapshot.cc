@@ -29,14 +29,10 @@ int apply_staleness_filter(ClusterSnapshot& snapshot,
   return invalidated;
 }
 
-std::vector<std::vector<double>> make_matrix(int n, double fill) {
+util::FlatMatrix make_matrix(int n, double fill) {
   NLARM_CHECK(n >= 0) << "negative matrix size";
-  std::vector<std::vector<double>> m(
-      static_cast<std::size_t>(n),
-      std::vector<double>(static_cast<std::size_t>(n), fill));
-  for (int i = 0; i < n; ++i) {
-    m[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)] = 0.0;
-  }
+  util::FlatMatrix m(static_cast<std::size_t>(n), fill);
+  m.zero_diagonal();
   return m;
 }
 

@@ -7,10 +7,12 @@
 // builds the same structure straight from the simulator state.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "cluster/cluster.h"
 #include "net/network_model.h"
+#include "util/flat_matrix.h"
 
 namespace nlarm::monitor {
 
@@ -48,18 +50,23 @@ struct NodeSnapshot {
 
 /// Pairwise network state written by LatencyD/BandwidthD.
 struct NetSnapshot {
-  /// Square matrices indexed by NodeId; diagonal entries are 0. A value of
-  /// <0 means "never measured".
-  std::vector<std::vector<double>> latency_us;        ///< 1-min mean
-  std::vector<std::vector<double>> latency_5min_us;   ///< 5-min mean
-  std::vector<std::vector<double>> bandwidth_mbps;    ///< instantaneous
-  std::vector<std::vector<double>> peak_mbps;         ///< per-pair capacity
+  /// Square row-major matrices indexed by NodeId; diagonal entries are 0. A
+  /// value of <0 means "never measured".
+  util::FlatMatrix latency_us;        ///< 1-min mean
+  util::FlatMatrix latency_5min_us;   ///< 5-min mean
+  util::FlatMatrix bandwidth_mbps;    ///< instantaneous
+  util::FlatMatrix peak_mbps;         ///< per-pair capacity
 
   int size() const { return static_cast<int>(latency_us.size()); }
 };
 
 struct ClusterSnapshot {
   double time = 0.0;               ///< assembly time
+  /// Monotone change counter stamped by the assembling MonitorStore; 0 means
+  /// "unversioned" (hand-built snapshots) and disables every memoization
+  /// keyed on it. Two snapshots from the same process with equal non-zero
+  /// versions carry identical monitored state.
+  std::uint64_t version = 0;
   std::vector<bool> livehosts;     ///< LivehostsD's view
   std::vector<NodeSnapshot> nodes;
   NetSnapshot net;
@@ -77,7 +84,7 @@ ClusterSnapshot make_ground_truth_snapshot(const cluster::Cluster& cluster,
                                            double now);
 
 /// Allocates an n×n matrix filled with `fill` (diagonal 0).
-std::vector<std::vector<double>> make_matrix(int n, double fill);
+util::FlatMatrix make_matrix(int n, double fill);
 
 /// Invalidates node records older than `max_age_seconds` (relative to
 /// snapshot.time). A node whose NodeStateD died keeps serving its last

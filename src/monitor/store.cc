@@ -1,12 +1,25 @@
 #include "monitor/store.h"
 
+#include <atomic>
 #include <limits>
 
 #include "util/check.h"
 
 namespace nlarm::monitor {
 
-MonitorStore::MonitorStore(int node_count) : node_count_(node_count) {
+namespace {
+
+// Each store stamps snapshots with (store_id << 32) | local_version, so
+// snapshots from different stores in one process can never share a version.
+std::uint64_t next_store_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+MonitorStore::MonitorStore(int node_count)
+    : node_count_(node_count), store_id_(next_store_id()) {
   NLARM_CHECK(node_count > 0) << "store needs at least one node";
   livehosts_.assign(static_cast<std::size_t>(node_count), false);
   node_records_.resize(static_cast<std::size_t>(node_count));
@@ -27,6 +40,7 @@ void MonitorStore::write_livehosts(double now, std::vector<bool> livehosts) {
       << "livehosts size mismatch";
   livehosts_ = std::move(livehosts);
   livehosts_time_ = now;
+  ++version_;
 }
 
 void MonitorStore::write_node_record(double now, const NodeSnapshot& record) {
@@ -35,6 +49,7 @@ void MonitorStore::write_node_record(double now, const NodeSnapshot& record) {
   copy.valid = true;
   copy.sample_time = now;
   node_records_[static_cast<std::size_t>(record.spec.id)] = std::move(copy);
+  ++version_;
 }
 
 const NodeSnapshot& MonitorStore::node_record(cluster::NodeId node) const {
@@ -53,6 +68,7 @@ void MonitorStore::write_latency(double now, cluster::NodeId u,
   net_.latency_us[uu][vv] = one_min_us;
   net_.latency_5min_us[uu][vv] = five_min_us;
   latency_time_[uu][vv] = now;
+  ++version_;
 }
 
 void MonitorStore::write_bandwidth(double now, cluster::NodeId u,
@@ -66,11 +82,13 @@ void MonitorStore::write_bandwidth(double now, cluster::NodeId u,
   net_.bandwidth_mbps[uu][vv] = bandwidth_mbps;
   net_.peak_mbps[uu][vv] = peak_mbps;
   bandwidth_time_[uu][vv] = now;
+  ++version_;
 }
 
 ClusterSnapshot MonitorStore::assemble(double now) const {
   ClusterSnapshot snap;
   snap.time = now;
+  snap.version = (store_id_ << 32) | (version_ & 0xffffffffull);
   snap.livehosts = livehosts_;
   snap.nodes = node_records_;
   snap.net = net_;

@@ -6,6 +6,7 @@
 // same way an NFS reader would (mtime).
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -36,8 +37,14 @@ class MonitorStore {
   void write_bandwidth(double now, cluster::NodeId u, cluster::NodeId v,
                        double bandwidth_mbps, double peak_mbps);
 
-  /// Assembles the allocator-facing snapshot from the current records.
+  /// Assembles the allocator-facing snapshot from the current records. The
+  /// snapshot carries this store's change version, so consumers can tell
+  /// "same data as last time" apart from "new data" without diffing.
   ClusterSnapshot assemble(double now) const;
+
+  /// Bumped on every write; combined with a process-unique store id into the
+  /// snapshot version stamp.
+  std::uint64_t version() const { return version_; }
 
   /// Seconds since the given node's record was refreshed (inf if never).
   double node_staleness(double now, cluster::NodeId node) const;
@@ -50,12 +57,14 @@ class MonitorStore {
   void check_node(cluster::NodeId node) const;
 
   int node_count_;
+  std::uint64_t store_id_;       ///< process-unique, from a static counter
+  std::uint64_t version_ = 1;    ///< bumped on every write
   std::vector<bool> livehosts_;
   double livehosts_time_ = -1.0;
   std::vector<NodeSnapshot> node_records_;
   NetSnapshot net_;
-  std::vector<std::vector<double>> latency_time_;
-  std::vector<std::vector<double>> bandwidth_time_;
+  util::FlatMatrix latency_time_;
+  util::FlatMatrix bandwidth_time_;
 };
 
 }  // namespace nlarm::monitor

@@ -1,0 +1,50 @@
+#include "util/flat_matrix.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace nlarm::util {
+
+FlatMatrix::FlatMatrix(const std::vector<std::vector<double>>& rows)
+    : n_(rows.size()) {
+  data_.reserve(n_ * n_);
+  for (const std::vector<double>& row : rows) {
+    NLARM_CHECK(row.size() == n_)
+        << "matrix row has " << row.size() << " entries, expected " << n_;
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+FlatMatrix::FlatMatrix(
+    std::initializer_list<std::initializer_list<double>> rows)
+    : n_(rows.size()) {
+  data_.reserve(n_ * n_);
+  for (const auto& row : rows) {
+    NLARM_CHECK(row.size() == n_)
+        << "matrix row has " << row.size() << " entries, expected " << n_;
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+double& FlatMatrix::at(std::size_t i, std::size_t j) {
+  NLARM_CHECK(i < n_ && j < n_)
+      << "matrix index (" << i << ", " << j << ") out of " << n_ << "x" << n_;
+  return data_[i * n_ + j];
+}
+
+double FlatMatrix::at(std::size_t i, std::size_t j) const {
+  NLARM_CHECK(i < n_ && j < n_)
+      << "matrix index (" << i << ", " << j << ") out of " << n_ << "x" << n_;
+  return data_[i * n_ + j];
+}
+
+void FlatMatrix::fill(double value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void FlatMatrix::zero_diagonal() {
+  for (std::size_t i = 0; i < n_; ++i) data_[i * n_ + i] = 0.0;
+}
+
+}  // namespace nlarm::util

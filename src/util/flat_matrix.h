@@ -1,0 +1,72 @@
+// FlatMatrix: a dense square matrix of doubles in one contiguous row-major
+// allocation.
+//
+// The allocator's hot loops walk whole rows of the NL/latency/bandwidth
+// matrices (addition costs for a start node, pair sums for a candidate).
+// With vector<vector<double>> every row is its own heap block, so those
+// walks chase a pointer per row and the V² doubles are scattered across the
+// heap. FlatMatrix keeps the classic m[i][j] syntax (operator[] yields a
+// pointer to the row) while making a row walk a linear scan and the whole
+// matrix one allocation.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+namespace nlarm::util {
+
+class FlatMatrix {
+ public:
+  FlatMatrix() = default;
+
+  /// n×n matrix with every entry set to `fill` (including the diagonal).
+  FlatMatrix(std::size_t n, double fill)
+      : n_(n), data_(n * n, fill) {}
+
+  /// Converts from the nested-vector form. Implicit on purpose: tests and
+  /// tools build small literal matrices as vector<vector<double>>.
+  /// Rows must all have length equal to the row count.
+  FlatMatrix(const std::vector<std::vector<double>>& rows);
+
+  FlatMatrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  std::size_t size() const { return n_; }
+  bool empty() const { return n_ == 0; }
+
+  double* operator[](std::size_t i) { return data_.data() + i * n_; }
+  const double* operator[](std::size_t i) const {
+    return data_.data() + i * n_;
+  }
+
+  /// Bounds-checked element access (throws CheckError).
+  double& at(std::size_t i, std::size_t j);
+  double at(std::size_t i, std::size_t j) const;
+
+  std::span<const double> row(std::size_t i) const {
+    return {data_.data() + i * n_, n_};
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  std::size_t value_count() const { return data_.size(); }
+
+  /// Resizes to n×n and sets every entry to `fill`. Reuses the existing
+  /// allocation when capacity allows (scratch-buffer friendly).
+  void assign(std::size_t n, double fill) {
+    n_ = n;
+    data_.assign(n * n, fill);
+  }
+
+  void fill(double value);
+  void zero_diagonal();
+
+  bool operator==(const FlatMatrix&) const = default;
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace nlarm::util

@@ -1,0 +1,114 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace nlarm::util {
+
+struct ThreadPool::Job {
+  Job(std::size_t count, const std::function<void(std::size_t)>& fn)
+      : count(count), fn(fn) {}
+
+  const std::size_t count;
+  const std::function<void(std::size_t)>& fn;
+  std::atomic<std::size_t> next{0};       ///< next index to claim
+  std::atomic<std::size_t> completed{0};  ///< indices finished
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::mutex error_mutex;
+  std::exception_ptr error;
+};
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool([] {
+    const unsigned hw = std::thread::hardware_concurrency();
+    // Workers only; the submitting thread participates as one more. On a
+    // single-core machine (or when hw is unknown) extra threads just contend
+    // with the caller, so run inline instead.
+    return hw >= 2 ? static_cast<std::size_t>(std::min(hw - 1u, 15u))
+                   : std::size_t{0};
+  }());
+  return pool;
+}
+
+void ThreadPool::run_job(Job& job) {
+  for (;;) {
+    const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job.count) return;
+    try {
+      job.fn(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(job.error_mutex);
+      if (!job.error) job.error = std::current_exception();
+    }
+    if (job.completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        job.count) {
+      std::lock_guard<std::mutex> lock(job.done_mutex);
+      job.done_cv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] {
+        return stop_ ||
+               (job_ != nullptr &&
+                job_->next.load(std::memory_order_relaxed) < job_->count);
+      });
+      if (stop_) return;
+      job = job_;
+    }
+    run_job(*job);
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (workers_.empty() || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::lock_guard<std::mutex> submit_lock(submit_mutex_);
+  auto job = std::make_shared<Job>(count, fn);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = job;
+  }
+  work_cv_.notify_all();
+  run_job(*job);  // the caller claims indices too
+  {
+    std::unique_lock<std::mutex> lock(job->done_mutex);
+    job->done_cv.wait(lock, [&] {
+      return job->completed.load(std::memory_order_acquire) == job->count;
+    });
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = nullptr;
+  }
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+}  // namespace nlarm::util

@@ -1,0 +1,56 @@
+// A small reusable worker pool for deterministic fork-join loops.
+//
+// The allocator fans candidate generation out across start nodes: each index
+// writes only its own output slot, so any scheduling of indices over threads
+// produces bit-identical results. parallel_for() is the only primitive —
+// there is deliberately no futures/queueing surface to keep the concurrency
+// easy to audit (this is the repo's first threaded code).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nlarm::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers. 0 workers is allowed: parallel_for then runs
+  /// inline on the caller.
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Runs fn(i) for every i in [0, count), spreading indices over the
+  /// workers; the calling thread participates too. Blocks until every call
+  /// has finished. If any call throws, the first exception is rethrown on
+  /// the caller after the loop drains (remaining indices still run, so
+  /// output slots stay fully written).
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Process-wide pool sized to the hardware, constructed on first use.
+  static ThreadPool& shared();
+
+ private:
+  struct Job;
+  void worker_loop();
+  static void run_job(Job& job);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;                 ///< guards job_ / stop_
+  std::condition_variable work_cv_;  ///< wakes workers for a new job
+  std::mutex submit_mutex_;          ///< serializes concurrent parallel_for
+  std::shared_ptr<Job> job_;
+  bool stop_ = false;
+};
+
+}  // namespace nlarm::util

@@ -1,0 +1,258 @@
+// Golden-equivalence property test for the allocation fast path.
+//
+// The optimized pipeline (flat matrices, top-k candidate generation,
+// generation-time incremental costs, dedup'd selection, parallel fan-out,
+// prepared-input memoization) must be BIT-IDENTICAL to the retained
+// reference implementation (core/reference.h) — same members, same procs,
+// same raw and normalized costs, same winner — on random monitored
+// snapshots at several cluster sizes, through both the top-k path and the
+// full-sort/round-robin overflow fallback, serially and in parallel.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/allocator.h"
+#include "core/candidate.h"
+#include "core/compute_load.h"
+#include "core/network_load.h"
+#include "core/normalize.h"
+#include "core/reference.h"
+#include "core/selection.h"
+#include "monitor/snapshot.h"
+#include "sim/rng.h"
+#include "util/thread_pool.h"
+
+namespace nlarm::core {
+namespace {
+
+monitor::ClusterSnapshot random_snapshot(int n, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  monitor::ClusterSnapshot snap;
+  snap.time = 123.0;
+  snap.livehosts.assign(static_cast<std::size_t>(n), true);
+  snap.nodes.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    auto& node = snap.nodes[static_cast<std::size_t>(i)];
+    node.spec.id = i;
+    node.spec.hostname = cluster::default_hostname(i);
+    node.spec.core_count = rng.chance(0.5) ? 8 : 12;
+    node.spec.cpu_freq_ghz = rng.uniform(2.0, 4.5);
+    node.spec.total_mem_gb = 16.0;
+    node.valid = true;
+    node.sample_time = 123.0;
+    const double load = rng.uniform(0.0, 8.0);
+    node.cpu_load = load;
+    node.cpu_load_avg = {load, load * 0.9, load * 0.8};
+    const double util = rng.uniform(0.0, 1.0);
+    node.cpu_util = util;
+    node.cpu_util_avg = {util, util, util};
+    const double flow = rng.uniform(0.0, 400.0);
+    node.net_flow_mbps = flow;
+    node.net_flow_avg = {flow, flow, flow};
+    node.mem_used_gb = rng.uniform(1.0, 14.0);
+    const double avail = 16.0 - node.mem_used_gb;
+    node.mem_avail_avg = {avail, avail, avail};
+    node.users = static_cast<int>(rng.uniform_int(0, 4));
+  }
+  snap.net.latency_us = monitor::make_matrix(n, -1.0);
+  snap.net.latency_5min_us = monitor::make_matrix(n, -1.0);
+  snap.net.bandwidth_mbps = monitor::make_matrix(n, -1.0);
+  snap.net.peak_mbps = monitor::make_matrix(n, -1.0);
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      const auto uu = static_cast<std::size_t>(u);
+      const auto vv = static_cast<std::size_t>(v);
+      if (rng.chance(0.1)) continue;  // ~10% of pairs stay unmeasured
+      const double lat = rng.uniform(40.0, 800.0);
+      const double bw = rng.uniform(50.0, 950.0);
+      snap.net.latency_us[uu][vv] = snap.net.latency_us[vv][uu] = lat;
+      snap.net.latency_5min_us[uu][vv] = snap.net.latency_5min_us[vv][uu] =
+          lat;
+      snap.net.bandwidth_mbps[uu][vv] = snap.net.bandwidth_mbps[vv][uu] = bw;
+      snap.net.peak_mbps[uu][vv] = snap.net.peak_mbps[vv][uu] = 1000.0;
+    }
+  }
+  return snap;
+}
+
+AllocationRequest make_request(int nprocs) {
+  AllocationRequest request;
+  request.nprocs = nprocs;
+  request.ppn = 4;
+  request.job = JobWeights{0.3, 0.7};
+  return request;
+}
+
+void expect_same_candidates(const std::vector<Candidate>& actual,
+                            const std::vector<Candidate>& expected) {
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_EQ(actual[i].start_index, expected[i].start_index) << "cand " << i;
+    EXPECT_EQ(actual[i].members, expected[i].members) << "cand " << i;
+    EXPECT_EQ(actual[i].procs, expected[i].procs) << "cand " << i;
+    EXPECT_EQ(actual[i].total_procs, expected[i].total_procs) << "cand " << i;
+  }
+}
+
+void expect_same_selection(const SelectionResult& actual,
+                           const SelectionResult& expected) {
+  ASSERT_EQ(actual.scored.size(), expected.scored.size());
+  EXPECT_EQ(actual.best_index, expected.best_index);
+  for (std::size_t i = 0; i < actual.scored.size(); ++i) {
+    // EXPECT_EQ on doubles on purpose: equality must be bit-exact, not
+    // within a tolerance.
+    EXPECT_EQ(actual.scored[i].compute_cost, expected.scored[i].compute_cost)
+        << "cand " << i;
+    EXPECT_EQ(actual.scored[i].network_cost, expected.scored[i].network_cost)
+        << "cand " << i;
+    EXPECT_EQ(actual.scored[i].total_cost, expected.scored[i].total_cost)
+        << "cand " << i;
+    EXPECT_EQ(actual.scored[i].candidate.members,
+              expected.scored[i].candidate.members)
+        << "cand " << i;
+  }
+}
+
+void expect_same_allocation(const Allocation& actual,
+                            const Allocation& expected) {
+  EXPECT_EQ(actual.nodes, expected.nodes);
+  EXPECT_EQ(actual.procs_per_node, expected.procs_per_node);
+  EXPECT_EQ(actual.total_procs, expected.total_procs);
+  EXPECT_EQ(actual.total_cost, expected.total_cost);
+  EXPECT_EQ(actual.avg_cpu_load, expected.avg_cpu_load);
+  EXPECT_EQ(actual.avg_latency_us, expected.avg_latency_us);
+  EXPECT_EQ(actual.avg_bw_complement_mbps, expected.avg_bw_complement_mbps);
+}
+
+/// Checks the whole pipeline at one cluster size and process count, through
+/// every fast-path configuration.
+void check_equivalence(int v, int nprocs, std::uint64_t seed) {
+  SCOPED_TRACE(::testing::Message() << "V=" << v << " nprocs=" << nprocs
+                                    << " seed=" << seed);
+  const monitor::ClusterSnapshot snap = random_snapshot(v, seed);
+  const AllocationRequest request = make_request(nprocs);
+
+  const std::vector<cluster::NodeId> usable = snap.usable_nodes();
+  const std::vector<double> cl = rescale_unit_mean(
+      compute_loads(snap, usable, request.compute_weights));
+  const util::FlatMatrix nl = rescale_unit_mean(
+      network_loads(snap, usable, request.network_weights));
+  const std::vector<int> pc =
+      effective_process_counts(snap, usable, request.ppn);
+
+  // Reference generation vs optimized, serial and parallel.
+  const std::vector<Candidate> ref_candidates =
+      reference::generate_all_candidates(cl, nl, pc, nprocs, request.job);
+  GenerationOptions serial;
+  serial.parallel_threshold = -1;
+  const std::vector<Candidate> fast_serial =
+      generate_all_candidates(cl, nl, pc, nprocs, request.job, serial);
+  util::ThreadPool pool(3);
+  GenerationOptions parallel;
+  parallel.parallel_threshold = 0;  // always fan out
+  parallel.pool = &pool;
+  const std::vector<Candidate> fast_parallel =
+      generate_all_candidates(cl, nl, pc, nprocs, request.job, parallel);
+  expect_same_candidates(fast_serial, ref_candidates);
+  expect_same_candidates(fast_parallel, ref_candidates);
+
+  // Generation-time costs must equal the canonical definition.
+  for (const Candidate& candidate : fast_serial) {
+    ASSERT_TRUE(candidate.has_costs);
+    const CandidateCosts costs = candidate_costs(candidate.members, cl, nl);
+    EXPECT_EQ(candidate.compute_cost, costs.compute);
+    EXPECT_EQ(candidate.network_cost, costs.network);
+  }
+
+  // Selection: precomputed-cost path, dedup path (costs stripped) and the
+  // reference cost-walk-per-candidate all agree.
+  const SelectionResult ref_selection = reference::select_best_candidate(
+      ref_candidates, cl, nl, request.job);
+  const SelectionResult fast_selection =
+      select_best_candidate(fast_serial, cl, nl, request.job);
+  std::vector<Candidate> stripped = fast_serial;
+  for (Candidate& candidate : stripped) candidate.has_costs = false;
+  const SelectionResult dedup_selection =
+      select_best_candidate(std::move(stripped), cl, nl, request.job);
+  expect_same_selection(fast_selection, ref_selection);
+  expect_same_selection(dedup_selection, ref_selection);
+
+  // End to end through the public allocator, serial and parallel.
+  const Allocation ref_alloc = reference::allocate(snap, request);
+  NetworkLoadAwareAllocator allocator;
+  allocator.set_generation_options(serial);
+  expect_same_allocation(allocator.allocate(snap, request), ref_alloc);
+  NetworkLoadAwareAllocator parallel_allocator;
+  parallel_allocator.set_generation_options(parallel);
+  expect_same_allocation(parallel_allocator.allocate(snap, request),
+                         ref_alloc);
+
+  // Memoized repeat on a versioned snapshot changes nothing.
+  monitor::ClusterSnapshot versioned = snap;
+  versioned.version = 0xbeef0000ull + static_cast<std::uint64_t>(v);
+  NetworkLoadAwareAllocator memo_allocator;
+  memo_allocator.set_generation_options(serial);
+  expect_same_allocation(memo_allocator.allocate(versioned, request),
+                         ref_alloc);
+  expect_same_allocation(memo_allocator.allocate(versioned, request),
+                         ref_alloc);
+}
+
+TEST(FastPathEquivalenceTest, TopKPathSmall) {
+  check_equivalence(8, 13, 1001);  // k < V: partial-selection path
+}
+
+TEST(FastPathEquivalenceTest, TopKPathPaperScale) {
+  check_equivalence(60, 32, 2002);
+}
+
+TEST(FastPathEquivalenceTest, TopKPathLarge) {
+  check_equivalence(257, 48, 3003);
+}
+
+TEST(FastPathEquivalenceTest, FullSortOverflowSmall) {
+  // nprocs exceeds effective capacity (ppn 4): k == V, full sort + the
+  // round-robin overflow fallback.
+  check_equivalence(8, 8 * 4 + 7, 4004);
+}
+
+TEST(FastPathEquivalenceTest, FullSortOverflowPaperScale) {
+  check_equivalence(60, 60 * 4 + 11, 5005);
+}
+
+TEST(FastPathEquivalenceTest, FullSortOverflowLarge) {
+  check_equivalence(257, 257 * 4 + 3, 6006);
+}
+
+TEST(FastPathEquivalenceTest, ManySeedsSmallClusters) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    check_equivalence(8, 5 + static_cast<int>(seed), 7000 + seed);
+  }
+}
+
+TEST(FastPathEquivalenceTest, MemoizationInvalidatedByVersionBump) {
+  // Two different versioned snapshots through one allocator must match what
+  // a fresh allocator computes for each — the cache may never leak stale
+  // inputs across versions.
+  const AllocationRequest request = make_request(12);
+  monitor::ClusterSnapshot snap_a = random_snapshot(20, 11);
+  snap_a.version = 1;
+  monitor::ClusterSnapshot snap_b = random_snapshot(20, 22);
+  snap_b.version = 2;
+  snap_b.time = snap_a.time;  // version alone must distinguish them
+
+  NetworkLoadAwareAllocator reused;
+  const Allocation a1 = reused.allocate(snap_a, request);
+  const Allocation b1 = reused.allocate(snap_b, request);
+  const Allocation a2 = reused.allocate(snap_a, request);
+
+  NetworkLoadAwareAllocator fresh_a;
+  NetworkLoadAwareAllocator fresh_b;
+  expect_same_allocation(a1, fresh_a.allocate(snap_a, request));
+  expect_same_allocation(b1, fresh_b.allocate(snap_b, request));
+  expect_same_allocation(a2, a1);
+}
+
+}  // namespace
+}  // namespace nlarm::core

@@ -94,9 +94,7 @@ TEST(NetworkLoadTest, MissingMeasurementsFilledWithMean) {
 
 TEST(NetworkLoadTest, FullyUnmeasuredDegradesGracefully) {
   auto snap = make_snapshot(idle_nodes(3), -1.0, -1.0, -1.0);
-  for (auto& row : snap.net.peak_mbps) {
-    for (double& v : row) v = -1.0;
-  }
+  snap.net.peak_mbps.fill(-1.0);
   const std::vector<cluster::NodeId> nodes{0, 1, 2};
   const auto nl = network_loads(snap, nodes, NetworkLoadWeights{});
   // All pairs equal: the allocator falls back to compute load only.

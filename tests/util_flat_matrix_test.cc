@@ -1,0 +1,100 @@
+#include "util/flat_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/check.h"
+
+namespace nlarm::util {
+namespace {
+
+TEST(FlatMatrixTest, FilledConstruction) {
+  FlatMatrix m(3, 2.5);
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_EQ(m.value_count(), 9u);
+  EXPECT_FALSE(m.empty());
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(m[i][j], 2.5);
+    }
+  }
+}
+
+TEST(FlatMatrixTest, DefaultIsEmpty) {
+  FlatMatrix m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_EQ(m.value_count(), 0u);
+}
+
+TEST(FlatMatrixTest, ConvertsFromNestedVectors) {
+  const std::vector<std::vector<double>> rows{
+      {0.0, 1.0, 2.0}, {1.0, 0.0, 3.0}, {2.0, 3.0, 0.0}};
+  const FlatMatrix m = rows;  // implicit conversion on purpose
+  ASSERT_EQ(m.size(), 3u);
+  EXPECT_DOUBLE_EQ(m[0][1], 1.0);
+  EXPECT_DOUBLE_EQ(m[1][2], 3.0);
+  EXPECT_DOUBLE_EQ(m[2][0], 2.0);
+}
+
+TEST(FlatMatrixTest, RaggedRowsRejected) {
+  const std::vector<std::vector<double>> ragged{{0.0, 1.0}, {1.0}};
+  EXPECT_THROW(FlatMatrix{ragged}, CheckError);
+}
+
+TEST(FlatMatrixTest, InitializerListConstruction) {
+  const FlatMatrix m{{0.0, 4.0}, {4.0, 0.0}};
+  ASSERT_EQ(m.size(), 2u);
+  EXPECT_DOUBLE_EQ(m[0][1], 4.0);
+  EXPECT_DOUBLE_EQ(m[1][0], 4.0);
+}
+
+TEST(FlatMatrixTest, RowsAreContiguous) {
+  FlatMatrix m(4, 0.0);
+  m[2][3] = 7.0;
+  // Row-major layout: element (i, j) lives at data()[i*n + j].
+  EXPECT_DOUBLE_EQ(m.data()[2 * 4 + 3], 7.0);
+  EXPECT_EQ(m.row(2).size(), 4u);
+  EXPECT_DOUBLE_EQ(m.row(2)[3], 7.0);
+}
+
+TEST(FlatMatrixTest, CheckedAccess) {
+  FlatMatrix m(2, 1.0);
+  m.at(0, 1) = 5.0;
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 5.0);
+  EXPECT_THROW(m.at(2, 0), CheckError);
+  EXPECT_THROW(m.at(0, 2), CheckError);
+  const FlatMatrix& cm = m;
+  EXPECT_THROW(cm.at(5, 5), CheckError);
+}
+
+TEST(FlatMatrixTest, AssignReshapesAndRefills) {
+  FlatMatrix m(3, 9.0);
+  m.assign(2, 1.5);
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_EQ(m.value_count(), 4u);
+  EXPECT_DOUBLE_EQ(m[1][1], 1.5);
+}
+
+TEST(FlatMatrixTest, FillAndZeroDiagonal) {
+  FlatMatrix m(3, 0.0);
+  m.fill(2.0);
+  m.zero_diagonal();
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(m[i][j], i == j ? 0.0 : 2.0);
+    }
+  }
+}
+
+TEST(FlatMatrixTest, Equality) {
+  FlatMatrix a(2, 1.0);
+  FlatMatrix b(2, 1.0);
+  EXPECT_EQ(a, b);
+  b[0][1] = 2.0;
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace nlarm::util

@@ -1,0 +1,82 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace nlarm::util {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.thread_count(), 3u);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(100, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ZeroWorkersRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 0u);
+  std::vector<int> out(10, 0);
+  pool.parallel_for(10, [&](std::size_t i) { out[i] = static_cast<int>(i); });
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], i);
+}
+
+TEST(ThreadPoolTest, EmptyLoopIsANoOp) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [&](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPoolTest, ResultsMatchSerialForSlotWrites) {
+  // The allocator's usage pattern: each index writes only its own slot, so
+  // parallel and serial runs must produce identical output.
+  const std::size_t n = 257;
+  std::vector<double> serial(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    serial[i] = static_cast<double>(i) * 1.5 + 1.0;
+  }
+  ThreadPool pool(4);
+  std::vector<double> parallel(n);
+  pool.parallel_for(
+      n, [&](std::size_t i) { parallel[i] = static_cast<double>(i) * 1.5 + 1.0; });
+  EXPECT_EQ(parallel, serial);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesAfterDraining) {
+  ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      pool.parallel_for(50,
+                        [&](std::size_t i) {
+                          if (i == 10) throw std::runtime_error("boom");
+                          completed.fetch_add(1);
+                        }),
+      std::runtime_error);
+  // Every non-throwing index still ran (slots stay fully written).
+  EXPECT_EQ(completed.load(), 49);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossCalls) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<std::size_t> sum{0};
+    pool.parallel_for(10, [&](std::size_t i) { sum.fetch_add(i); });
+    EXPECT_EQ(sum.load(), 45u);
+  }
+}
+
+TEST(ThreadPoolTest, SharedPoolSingleton) {
+  ThreadPool& a = ThreadPool::shared();
+  ThreadPool& b = ThreadPool::shared();
+  EXPECT_EQ(&a, &b);
+  std::atomic<int> count{0};
+  a.parallel_for(32, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 32);
+}
+
+}  // namespace
+}  // namespace nlarm::util
