@@ -1,0 +1,71 @@
+// Shared main() for the google-benchmark microbenches, replacing the stock
+// benchmark_main so runs can opt into an nlarm metrics dump:
+//
+//   micro_allocator --metrics-out=metrics.prom   (or NLARM_METRICS_OUT=...)
+//
+// writes the full Prometheus exposition of the global registry after the
+// benchmarks finish, letting EXPERIMENTS.md runs correlate wall-clock
+// numbers with cache-hit rates and stage histograms. Also silences nlarm
+// logging by default (NLARM_LOG_LEVEL overrides) so bench output stays
+// machine-parseable.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "obs/catalog.h"
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+inline int nlarm_benchmark_main(int argc, char** argv) {
+  std::string metrics_out;
+  if (const char* env = std::getenv("NLARM_METRICS_OUT")) metrics_out = env;
+
+  // Strip --metrics-out before google-benchmark sees (and rejects) it.
+  std::vector<char*> args;
+  const std::string prefix = "--metrics-out=";
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]).rfind(prefix, 0) == 0) {
+      metrics_out = std::string(argv[i]).substr(prefix.size());
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+
+  try {
+    const char* level = std::getenv("NLARM_LOG_LEVEL");
+    nlarm::util::set_log_level(level ? nlarm::util::parse_log_level(level)
+                                     : nlarm::util::LogLevel::kOff);
+  } catch (...) {
+    nlarm::util::set_log_level(nlarm::util::LogLevel::kOff);
+  }
+
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+
+  if (!metrics_out.empty()) {
+    nlarm::obs::metrics::register_all();
+    std::ofstream out(metrics_out);
+    if (!out) {
+      std::cerr << "cannot write metrics to " << metrics_out << "\n";
+      return 1;
+    }
+    out << nlarm::obs::MetricsRegistry::global().prometheus_text();
+    std::cerr << "metrics written to " << metrics_out << "\n";
+  }
+  return 0;
+}
+
+#define NLARM_BENCHMARK_MAIN()                  \
+  int main(int argc, char** argv) {             \
+    return nlarm_benchmark_main(argc, argv);    \
+  }

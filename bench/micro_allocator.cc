@@ -176,3 +176,6 @@ void BM_BaselineRandom(benchmark::State& state) {
 BENCHMARK(BM_BaselineRandom);
 
 }  // namespace
+
+#include "bench_main.h"
+NLARM_BENCHMARK_MAIN()

@@ -120,3 +120,6 @@ void BM_TournamentSchedule(benchmark::State& state) {
 BENCHMARK(BM_TournamentSchedule)->Arg(60)->Arg(256);
 
 }  // namespace
+
+#include "bench_main.h"
+NLARM_BENCHMARK_MAIN()

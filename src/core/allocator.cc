@@ -5,7 +5,10 @@
 #include "core/compute_load.h"
 #include "core/network_load.h"
 #include "core/normalize.h"
+#include "obs/catalog.h"
+#include "obs/trace.h"
 #include "util/check.h"
+#include "util/logging.h"
 
 namespace nlarm::core {
 
@@ -78,8 +81,18 @@ NetworkLoadAwareAllocator::prepare(const monitor::ClusterSnapshot& snapshot,
   // version 0 marks a hand-built snapshot with no change tracking; those
   // must always be prepared from scratch.
   if (has_prepared_ && key.version != 0 && key == prepared_key_) {
+    stats_.prepared_cache_hit = true;
+    obs::metrics::alloc_prepared_cache_hits().inc();
     return prepared_;
   }
+  if (has_prepared_) {
+    NLARM_DEBUG << "prepared-input memo invalidated: snapshot version "
+                << prepared_key_.version << " -> " << key.version
+                << " (nodes " << prepared_key_.node_count << " -> "
+                << key.node_count << ")";
+  }
+  stats_.prepared_cache_hit = false;
+  obs::metrics::alloc_prepared_cache_misses().inc();
 
   has_prepared_ = false;  // invalidate while prepared_ is being rebuilt
   prepared_.usable = snapshot.usable_nodes();
@@ -104,17 +117,42 @@ Allocation NetworkLoadAwareAllocator::allocate(
     const monitor::ClusterSnapshot& snapshot,
     const AllocationRequest& request) {
   request.validate();
-  const PreparedInputs& inputs = prepare(snapshot, request);
+  obs::metrics::alloc_requests().inc();
+  stats_ = AllocStats{};
+  obs::ScopedSpan total_span("alloc.total",
+                             &obs::metrics::alloc_total_seconds());
 
+  obs::ScopedSpan prepare_span("alloc.prepare",
+                               &obs::metrics::alloc_prepare_seconds());
+  const PreparedInputs& inputs = prepare(snapshot, request);
+  stats_.prepare_seconds = prepare_span.stop();
+  stats_.usable_nodes = inputs.usable.size();
+
+  obs::ScopedSpan generate_span("alloc.generate",
+                                &obs::metrics::alloc_generate_seconds());
   std::vector<Candidate> candidates =
       generate_all_candidates(inputs.cl, inputs.nl, inputs.pc, request.nprocs,
                               request.job, generation_options_);
+  stats_.generate_seconds = generate_span.stop();
+  stats_.candidates_generated = candidates.size();
+  obs::metrics::alloc_candidates_generated().inc(candidates.size());
+  if (static_cast<std::size_t>(request.nprocs) < inputs.usable.size()) {
+    obs::metrics::alloc_topk_generations().inc();
+  } else {
+    obs::metrics::alloc_fullsort_generations().inc();
+  }
+
+  obs::ScopedSpan select_span("alloc.select",
+                              &obs::metrics::alloc_select_seconds());
   last_selection_ = select_best_candidate(std::move(candidates), inputs.cl,
                                           inputs.nl, request.job);
+  stats_.select_seconds = select_span.stop();
   last_node_set_ = inputs.usable;
 
   const ScoredCandidate& best =
       last_selection_.scored[last_selection_.best_index];
+  stats_.compute_cost = best.compute_cost;
+  stats_.network_cost = best.network_cost;
   Allocation allocation;
   allocation.policy = name();
   allocation.total_procs = request.nprocs;
@@ -124,6 +162,8 @@ Allocation NetworkLoadAwareAllocator::allocate(
     allocation.procs_per_node.push_back(best.candidate.procs[i]);
   }
   annotate_allocation(allocation, snapshot);
+  stats_.total_seconds = total_span.stop();
+  stats_.valid = true;
   return allocation;
 }
 

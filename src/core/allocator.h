@@ -51,6 +51,21 @@ void annotate_allocation(Allocation& allocation,
 std::string to_hostfile(const Allocation& allocation,
                         const monitor::ClusterSnapshot& snapshot);
 
+/// Observability record of the last allocate() call: cache behaviour and
+/// per-stage wall times. Consumed by the broker's decision audit.
+struct AllocStats {
+  bool valid = false;  ///< set once allocate() has run
+  bool prepared_cache_hit = false;
+  std::size_t usable_nodes = 0;
+  std::uint64_t candidates_generated = 0;
+  double compute_cost = 0.0;  ///< C_Gv of the winning candidate
+  double network_cost = 0.0;  ///< N_Gv of the winning candidate
+  double prepare_seconds = 0.0;
+  double generate_seconds = 0.0;
+  double select_seconds = 0.0;
+  double total_seconds = 0.0;
+};
+
 /// Allocation policy interface. Implementations must be deterministic given
 /// their construction-time seed and the snapshot.
 class Allocator {
@@ -62,6 +77,10 @@ class Allocator {
   /// no usable nodes.
   virtual Allocation allocate(const monitor::ClusterSnapshot& snapshot,
                               const AllocationRequest& request) = 0;
+
+  /// Stats for the last allocate() call; null for policies that don't
+  /// instrument themselves (the baselines).
+  virtual const AllocStats* last_stats() const { return nullptr; }
 };
 
 /// The paper's contribution: Algorithms 1 + 2 over monitored compute and
@@ -93,6 +112,10 @@ class NetworkLoadAwareAllocator : public Allocator {
     return last_node_set_;
   }
 
+  const AllocStats* last_stats() const override {
+    return stats_.valid ? &stats_ : nullptr;
+  }
+
  private:
   /// Normalized allocator inputs over the snapshot's usable node set.
   struct PreparedInputs {
@@ -122,6 +145,7 @@ class NetworkLoadAwareAllocator : public Allocator {
   bool has_prepared_ = false;
   SelectionResult last_selection_;
   std::vector<cluster::NodeId> last_node_set_;
+  AllocStats stats_;
 };
 
 }  // namespace nlarm::core

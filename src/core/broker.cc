@@ -1,7 +1,10 @@
 #include "core/broker.h"
 
 #include "core/compute_load.h"
+#include "obs/catalog.h"
+#include "obs/trace.h"
 #include "util/check.h"
+#include "util/logging.h"
 #include "util/strings.h"
 
 namespace nlarm::core {
@@ -22,8 +25,16 @@ const ResourceBroker::Aggregates& ResourceBroker::aggregates(
   key.node_count = snapshot.nodes.size();
   key.ppn = request.ppn;
   if (has_aggregates_ && key.version != 0 && key == aggregates_key_) {
+    last_aggregates_hit_ = true;
+    obs::metrics::broker_aggregates_cache_hits().inc();
     return aggregates_;
   }
+  if (has_aggregates_) {
+    NLARM_DEBUG << "broker aggregates memo invalidated: snapshot version "
+                << aggregates_key_.version << " -> " << key.version;
+  }
+  last_aggregates_hit_ = false;
+  obs::metrics::broker_aggregates_cache_misses().inc();
 
   has_aggregates_ = false;
   aggregates_.usable = snapshot.usable_nodes();
@@ -51,52 +62,117 @@ const ResourceBroker::Aggregates& ResourceBroker::aggregates(
   return aggregates_;
 }
 
+namespace {
+
+/// The wait/allocate gate verdict (extracted so decide() can audit it).
+BrokerDecision evaluate_gate(const BrokerPolicy& policy,
+                             const AllocationRequest& request,
+                             std::size_t usable_count, double load_per_core,
+                             int effective_capacity) {
+  BrokerDecision decision;
+  decision.cluster_load_per_core = load_per_core;
+  decision.effective_capacity = effective_capacity;
+  decision.action = BrokerDecision::Action::kWait;
+
+  if (static_cast<int>(usable_count) < policy.min_usable_nodes) {
+    decision.reason =
+        util::format("only %zu usable node(s), need at least %d",
+                     usable_count, policy.min_usable_nodes);
+    return decision;
+  }
+  if (load_per_core > policy.max_load_per_core) {
+    decision.reason = util::format(
+        "cluster load per core %.2f exceeds threshold %.2f; "
+        "not enough lightly loaded processors — wait and retry",
+        load_per_core, policy.max_load_per_core);
+    return decision;
+  }
+  if (!policy.allow_oversubscription &&
+      effective_capacity < request.nprocs) {
+    decision.reason = util::format(
+        "request for %d processes exceeds effective capacity %d; "
+        "allocation would oversubscribe — wait and retry",
+        request.nprocs, effective_capacity);
+    return decision;
+  }
+  decision.action = BrokerDecision::Action::kAllocate;
+  return decision;
+}
+
+}  // namespace
+
 BrokerDecision ResourceBroker::decide(
     const monitor::ClusterSnapshot& snapshot,
     const AllocationRequest& request) {
   request.validate();
   ++decisions_;
-  BrokerDecision decision;
+  obs::metrics::broker_decisions().inc();
+  obs::ScopedSpan decide_span("broker.decide");
 
+  obs::ScopedSpan gate_span("broker.gate",
+                            &obs::metrics::broker_gate_seconds());
   const Aggregates& agg = aggregates(snapshot, request);
-  decision.cluster_load_per_core = agg.load_per_core;
-  decision.effective_capacity = agg.effective_capacity;
+  BrokerDecision decision =
+      evaluate_gate(policy_, request, agg.usable.size(), agg.load_per_core,
+                    agg.effective_capacity);
+  const double gate_seconds = gate_span.stop();
 
-  if (static_cast<int>(agg.usable.size()) < policy_.min_usable_nodes) {
-    decision.action = BrokerDecision::Action::kWait;
-    decision.reason = util::format(
-        "only %zu usable node(s), need at least %d", agg.usable.size(),
-        policy_.min_usable_nodes);
+  if (decision.action == BrokerDecision::Action::kWait) {
     ++waits_;
-    return decision;
+    obs::metrics::broker_waits().inc();
+    NLARM_INFO << "broker verdict: wait — " << decision.reason;
+  } else {
+    decision.allocation = allocator_.allocate(snapshot, request);
+    decision.reason = util::format(
+        "allocated %d node(s) via %s", decision.allocation.node_count(),
+        decision.allocation.policy.c_str());
+    obs::metrics::broker_allocations().inc();
+    NLARM_DEBUG << "broker verdict: " << decision.reason;
   }
 
-  if (decision.cluster_load_per_core > policy_.max_load_per_core) {
-    decision.action = BrokerDecision::Action::kWait;
-    decision.reason = util::format(
-        "cluster load per core %.2f exceeds threshold %.2f; "
-        "not enough lightly loaded processors — wait and retry",
-        decision.cluster_load_per_core, policy_.max_load_per_core);
-    ++waits_;
-    return decision;
+  if (audit_log_ != nullptr) {
+    obs::AuditRecord record;
+    record.nprocs = request.nprocs;
+    record.ppn = request.ppn;
+    record.alpha = request.job.alpha;
+    record.beta = request.job.beta;
+    record.snapshot_version = snapshot.version;
+    record.snapshot_time = snapshot.time;
+    record.snapshot_nodes = snapshot.size();
+    record.usable_nodes = static_cast<int>(agg.usable.size());
+    record.action = decision.action == BrokerDecision::Action::kAllocate
+                        ? "allocate"
+                        : "wait";
+    record.reason = decision.reason;
+    record.cluster_load_per_core = decision.cluster_load_per_core;
+    record.effective_capacity = decision.effective_capacity;
+    record.aggregates_cache_hit = last_aggregates_hit_;
+    record.gate_seconds = gate_seconds;
+    if (decision.action == BrokerDecision::Action::kAllocate) {
+      const Allocation& alloc = decision.allocation;
+      record.policy = alloc.policy;
+      record.total_cost = alloc.total_cost;
+      for (std::size_t i = 0; i < alloc.nodes.size(); ++i) {
+        const auto id = static_cast<std::size_t>(alloc.nodes[i]);
+        record.nodes.push_back(static_cast<int>(alloc.nodes[i]));
+        if (id < snapshot.nodes.size()) {
+          record.hostnames.push_back(snapshot.nodes[id].spec.hostname);
+        }
+        record.procs_per_node.push_back(alloc.procs_per_node[i]);
+      }
+      if (const AllocStats* stats = allocator_.last_stats()) {
+        record.prepared_cache_hit = stats->prepared_cache_hit;
+        record.candidates_generated = stats->candidates_generated;
+        record.compute_cost = stats->compute_cost;
+        record.network_cost = stats->network_cost;
+        record.prepare_seconds = stats->prepare_seconds;
+        record.generate_seconds = stats->generate_seconds;
+        record.select_seconds = stats->select_seconds;
+      }
+    }
+    record.total_seconds = decide_span.stop();
+    audit_log_->append(std::move(record));
   }
-
-  if (!policy_.allow_oversubscription &&
-      decision.effective_capacity < request.nprocs) {
-    decision.action = BrokerDecision::Action::kWait;
-    decision.reason = util::format(
-        "request for %d processes exceeds effective capacity %d; "
-        "allocation would oversubscribe — wait and retry",
-        request.nprocs, decision.effective_capacity);
-    ++waits_;
-    return decision;
-  }
-
-  decision.action = BrokerDecision::Action::kAllocate;
-  decision.allocation = allocator_.allocate(snapshot, request);
-  decision.reason = util::format(
-      "allocated %d node(s) via %s", decision.allocation.node_count(),
-      decision.allocation.policy.c_str());
   return decision;
 }
 

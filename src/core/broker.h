@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/allocator.h"
+#include "obs/audit.h"
 
 namespace nlarm::core {
 
@@ -48,6 +49,10 @@ class ResourceBroker {
   int decisions_made() const { return decisions_; }
   int waits_recommended() const { return waits_; }
 
+  /// Attaches a decision-audit sink; every decide() appends one record.
+  /// Pass nullptr to detach. The log must outlive the broker (borrowed).
+  void set_audit_log(obs::AuditLog* log) { audit_log_ = log; }
+
  private:
   /// Snapshot-level aggregates the wait/allocate gate needs. They only
   /// depend on the snapshot and the request's ppn, so they are memoized on
@@ -76,8 +81,10 @@ class ResourceBroker {
   Aggregates aggregates_;
   AggregatesKey aggregates_key_;
   bool has_aggregates_ = false;
+  bool last_aggregates_hit_ = false;  ///< memo outcome of the last decide()
   int decisions_ = 0;
   int waits_ = 0;
+  obs::AuditLog* audit_log_ = nullptr;
 };
 
 }  // namespace nlarm::core

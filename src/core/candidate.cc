@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/catalog.h"
 #include "util/check.h"
+#include "util/logging.h"
 
 namespace nlarm::core {
 
@@ -59,6 +61,12 @@ FillResult fill_processes(std::span<const std::size_t> order,
   // Round-robin overflow (Algorithm 1 lines 12–13): the request exceeds the
   // cluster's effective capacity, so the rest is spread one process at a
   // time over the selected nodes.
+  if (remaining > 0) {
+    obs::metrics::alloc_fill_overflows().inc();
+    NLARM_DEBUG << "candidate fill overflow: " << remaining << " of "
+                << nprocs << " process(es) beyond capacity, oversubscribing "
+                << result.members.size() << " node(s) round-robin";
+  }
   std::size_t cursor = 0;
   while (remaining > 0) {
     result.procs[cursor] += 1;

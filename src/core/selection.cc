@@ -1,8 +1,10 @@
 #include "core/selection.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <map>
 
+#include "obs/catalog.h"
 #include "util/check.h"
 
 namespace nlarm::core {
@@ -22,6 +24,8 @@ SelectionResult select_best_candidate(std::vector<Candidate> candidates,
   // costs: raw costs depend only on the member set (canonical order), so
   // each unique set is walked once.
   std::map<std::vector<std::size_t>, CandidateCosts> by_member_set;
+  std::uint64_t cost_walks = 0;
+  std::uint64_t dedup_hits = 0;
   for (Candidate& candidate : candidates) {
     ScoredCandidate scored;
     scored.candidate = std::move(candidate);
@@ -33,10 +37,13 @@ SelectionResult select_best_candidate(std::vector<Candidate> candidates,
       std::sort(key.begin(), key.end());
       auto it = by_member_set.find(key);
       if (it == by_member_set.end()) {
+        ++cost_walks;
         it = by_member_set
                  .emplace(std::move(key),
                           candidate_costs(scored.candidate.members, cl, nl))
                  .first;
+      } else {
+        ++dedup_hits;
       }
       scored.compute_cost = it->second.compute;
       scored.network_cost = it->second.network;
@@ -45,6 +52,8 @@ SelectionResult select_best_candidate(std::vector<Candidate> candidates,
     network_sum += scored.network_cost;
     result.scored.push_back(std::move(scored));
   }
+  if (cost_walks > 0) obs::metrics::select_cost_walks().inc(cost_walks);
+  if (dedup_hits > 0) obs::metrics::select_cost_dedup_hits().inc(dedup_hits);
 
   double best = 0.0;
   bool have_best = false;

@@ -1,5 +1,6 @@
 #include "monitor/central.h"
 
+#include "obs/catalog.h"
 #include "util/check.h"
 #include "util/logging.h"
 
@@ -65,13 +66,20 @@ void CentralMonitor::relaunch_dead_daemons() {
     }
     daemon->launch(*sim_);
     ++relaunches_;
-    NLARM_DEBUG << "relaunched daemon " << daemon->name() << " on node "
-                << new_host;
+    obs::metrics::monitor_daemon_relaunches().inc();
+    NLARM_INFO << "central monitor: relaunched daemon " << daemon->name()
+               << " on node " << new_host;
   }
 }
 
 void CentralMonitor::supervision_tick() {
   if (abandoned_) return;
+
+  int running = 0;
+  for (const Daemon* daemon : daemons_) {
+    if (daemon->running()) ++running;
+  }
+  obs::metrics::monitor_daemons_running().set(static_cast<double>(running));
 
   if (!master_alive()) {
     if (!slave_alive()) {
@@ -79,6 +87,7 @@ void CentralMonitor::supervision_tick() {
       // supervised (paper §4).
       abandoned_ = true;
       timer_.cancel();
+      obs::metrics::monitor_abandoned().set(1.0);
       NLARM_WARN << "central monitor abandoned: master and slave both dead";
       return;
     }
@@ -86,6 +95,7 @@ void CentralMonitor::supervision_tick() {
     master_host_ = slave_host_;
     master_process_up_ = true;
     ++promotions_;
+    obs::metrics::monitor_promotions().inc();
     const cluster::NodeId new_slave = pick_host();
     if (new_slave != cluster::kInvalidNode && new_slave != master_host_) {
       slave_host_ = new_slave;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/catalog.h"
 #include "util/check.h"
 
 namespace nlarm::monitor {
@@ -50,6 +51,7 @@ void Daemon::on_timer() {
     return;
   }
   ++ticks_;
+  obs::metrics::monitor_daemon_ticks().inc();
   tick(sim_->now());
 }
 
@@ -110,6 +112,7 @@ void NodeStateD::tick(double now) {
                           mem_avail_avg_.fifteen_minutes()};
 
   store_.write_node_record(now, record);
+  obs::metrics::monitor_node_samples().inc();
 }
 
 std::vector<std::vector<std::pair<cluster::NodeId, cluster::NodeId>>>
@@ -181,6 +184,7 @@ void PairProbeDaemon::run_round(std::size_t round_index) {
       continue;
     }
     probe_pair(now, u, v);
+    obs::metrics::monitor_pair_probes().inc();
   }
 }
 

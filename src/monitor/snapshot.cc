@@ -1,6 +1,10 @@
 #include "monitor/snapshot.h"
 
+#include <algorithm>
+
+#include "obs/catalog.h"
 #include "util/check.h"
+#include "util/logging.h"
 
 namespace nlarm::monitor {
 
@@ -19,12 +23,23 @@ int apply_staleness_filter(ClusterSnapshot& snapshot,
                            double max_age_seconds) {
   NLARM_CHECK(max_age_seconds > 0.0) << "staleness limit must be positive";
   int invalidated = 0;
+  double oldest_valid_age = 0.0;
   for (NodeSnapshot& node : snapshot.nodes) {
     if (!node.valid) continue;
-    if (snapshot.time - node.sample_time > max_age_seconds) {
+    const double age = snapshot.time - node.sample_time;
+    if (age > max_age_seconds) {
       node.valid = false;
       ++invalidated;
+    } else {
+      oldest_valid_age = std::max(oldest_valid_age, age);
     }
+  }
+  obs::metrics::monitor_record_age_seconds().set(oldest_valid_age);
+  if (invalidated > 0) {
+    obs::metrics::monitor_stale_records().inc(
+        static_cast<std::uint64_t>(invalidated));
+    NLARM_DEBUG << "staleness filter invalidated " << invalidated
+                << " node record(s) older than " << max_age_seconds << "s";
   }
   return invalidated;
 }

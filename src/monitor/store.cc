@@ -3,6 +3,7 @@
 #include <atomic>
 #include <limits>
 
+#include "obs/catalog.h"
 #include "util/check.h"
 
 namespace nlarm::monitor {
@@ -86,6 +87,7 @@ void MonitorStore::write_bandwidth(double now, cluster::NodeId u,
 }
 
 ClusterSnapshot MonitorStore::assemble(double now) const {
+  obs::metrics::monitor_snapshots().inc();
   ClusterSnapshot snap;
   snap.time = now;
   snap.version = (store_id_ << 32) | (version_ & 0xffffffffull);

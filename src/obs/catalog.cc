@@ -1,0 +1,180 @@
+#include "obs/catalog.h"
+
+namespace nlarm::obs::metrics {
+
+namespace {
+MetricsRegistry& reg() { return MetricsRegistry::global(); }
+}  // namespace
+
+#define NLARM_CATALOG_COUNTER(fn, name, help)      \
+  Counter& fn() {                                  \
+    static Counter& metric = reg().counter(name, help); \
+    return metric;                                 \
+  }
+#define NLARM_CATALOG_GAUGE(fn, name, help)        \
+  Gauge& fn() {                                    \
+    static Gauge& metric = reg().gauge(name, help); \
+    return metric;                                 \
+  }
+#define NLARM_CATALOG_HISTOGRAM(fn, name, help)    \
+  Histogram& fn() {                                \
+    static Histogram& metric = reg().histogram(name, help); \
+    return metric;                                 \
+  }
+
+NLARM_CATALOG_COUNTER(alloc_requests, "nlarm_alloc_requests_total",
+                      "Allocation requests served by the network-load-aware "
+                      "allocator.")
+NLARM_CATALOG_COUNTER(alloc_prepared_cache_hits,
+                      "nlarm_alloc_prepared_cache_hits_total",
+                      "Prepared-input memoization hits (CL/NL/pc reused for "
+                      "an unchanged snapshot version).")
+NLARM_CATALOG_COUNTER(alloc_prepared_cache_misses,
+                      "nlarm_alloc_prepared_cache_misses_total",
+                      "Prepared-input memoization misses (full O(V^2) input "
+                      "preparation ran).")
+NLARM_CATALOG_COUNTER(alloc_candidates_generated,
+                      "nlarm_alloc_candidates_generated_total",
+                      "Candidate sub-graphs generated (one per start node "
+                      "per request).")
+NLARM_CATALOG_COUNTER(alloc_topk_generations,
+                      "nlarm_alloc_topk_generations_total",
+                      "Requests whose candidate generation used the top-k "
+                      "partial selection.")
+NLARM_CATALOG_COUNTER(alloc_fullsort_generations,
+                      "nlarm_alloc_fullsort_generations_total",
+                      "Requests whose candidate generation needed the full "
+                      "sort (request covers the whole working set).")
+NLARM_CATALOG_COUNTER(alloc_fill_overflows, "nlarm_alloc_fill_overflows_total",
+                      "Candidates whose process fill overflowed capacity and "
+                      "fell back to round-robin oversubscription.")
+NLARM_CATALOG_HISTOGRAM(alloc_prepare_seconds, "nlarm_alloc_prepare_seconds",
+                        "Wall time of the input-preparation stage "
+                        "(normalized CL/NL/pc).")
+NLARM_CATALOG_HISTOGRAM(alloc_generate_seconds, "nlarm_alloc_generate_seconds",
+                        "Wall time of candidate generation (Algorithm 1 over "
+                        "all start nodes).")
+NLARM_CATALOG_HISTOGRAM(alloc_select_seconds, "nlarm_alloc_select_seconds",
+                        "Wall time of best-candidate selection "
+                        "(Algorithm 2).")
+NLARM_CATALOG_HISTOGRAM(alloc_total_seconds, "nlarm_alloc_total_seconds",
+                        "End-to-end wall time of allocate().")
+
+NLARM_CATALOG_COUNTER(select_cost_walks, "nlarm_select_cost_walks_total",
+                      "O(k^2) candidate cost walks run during selection "
+                      "(candidates arriving without generation-time costs).")
+NLARM_CATALOG_COUNTER(select_cost_dedup_hits,
+                      "nlarm_select_cost_dedup_hits_total",
+                      "Selection cost walks skipped because an identical "
+                      "member set was already walked.")
+
+NLARM_CATALOG_COUNTER(broker_decisions, "nlarm_broker_decisions_total",
+                      "Brokered decisions (allocate or wait).")
+NLARM_CATALOG_COUNTER(broker_waits, "nlarm_broker_waits_total",
+                      "Decisions that recommended waiting.")
+NLARM_CATALOG_COUNTER(broker_allocations, "nlarm_broker_allocations_total",
+                      "Decisions that allocated nodes.")
+NLARM_CATALOG_COUNTER(broker_aggregates_cache_hits,
+                      "nlarm_broker_aggregates_cache_hits_total",
+                      "Broker gate aggregates served from the snapshot-"
+                      "version memo.")
+NLARM_CATALOG_COUNTER(broker_aggregates_cache_misses,
+                      "nlarm_broker_aggregates_cache_misses_total",
+                      "Broker gate aggregates recomputed from the snapshot.")
+NLARM_CATALOG_HISTOGRAM(broker_gate_seconds, "nlarm_broker_gate_seconds",
+                        "Wall time of the wait/allocate gate evaluation.")
+
+NLARM_CATALOG_GAUGE(threadpool_threads, "nlarm_threadpool_threads",
+                    "Worker threads in the most recently constructed "
+                    "util::ThreadPool.")
+NLARM_CATALOG_COUNTER(threadpool_batches, "nlarm_threadpool_batches_total",
+                      "parallel_for batches dispatched to pool workers.")
+NLARM_CATALOG_COUNTER(threadpool_tasks, "nlarm_threadpool_tasks_total",
+                      "Indices executed across pooled parallel_for batches.")
+NLARM_CATALOG_HISTOGRAM(threadpool_submit_wait_seconds,
+                        "nlarm_threadpool_submit_wait_seconds",
+                        "Time a parallel_for caller waited for the pool to "
+                        "become free (submit-lock queue wait).")
+NLARM_CATALOG_HISTOGRAM(threadpool_batch_seconds,
+                        "nlarm_threadpool_batch_seconds",
+                        "Wall time of one pooled parallel_for batch, submit "
+                        "to last index done.")
+
+NLARM_CATALOG_COUNTER(monitor_daemon_ticks, "nlarm_monitor_daemon_ticks_total",
+                      "Periodic ticks executed across all monitoring "
+                      "daemons.")
+NLARM_CATALOG_COUNTER(monitor_node_samples,
+                      "nlarm_monitor_node_samples_total",
+                      "Node-state records written by NodeStateD daemons.")
+NLARM_CATALOG_COUNTER(monitor_pair_probes, "nlarm_monitor_pair_probes_total",
+                      "P2P latency/bandwidth pair probes measured.")
+NLARM_CATALOG_COUNTER(monitor_snapshots, "nlarm_monitor_snapshots_total",
+                      "Allocator-facing snapshots assembled from the store.")
+NLARM_CATALOG_COUNTER(monitor_stale_records,
+                      "nlarm_monitor_stale_records_total",
+                      "Node records invalidated by the staleness filter.")
+NLARM_CATALOG_GAUGE(monitor_record_age_seconds,
+                    "nlarm_monitor_record_age_seconds",
+                    "Oldest valid node record age at the last staleness-"
+                    "filtered snapshot.")
+NLARM_CATALOG_GAUGE(monitor_daemons_running, "nlarm_monitor_daemons_running",
+                    "Daemons observed running at the last supervision tick.")
+NLARM_CATALOG_COUNTER(monitor_daemon_relaunches,
+                      "nlarm_monitor_daemon_relaunches_total",
+                      "Dead daemons relaunched by the CentralMonitor.")
+NLARM_CATALOG_COUNTER(monitor_promotions, "nlarm_monitor_promotions_total",
+                      "Slave supervisors promoted to master.")
+NLARM_CATALOG_GAUGE(monitor_abandoned, "nlarm_monitor_abandoned",
+                    "1 once master and slave supervisors both died and "
+                    "supervision stopped.")
+
+NLARM_CATALOG_COUNTER(sim_events, "nlarm_sim_events_total",
+                      "Discrete events dispatched by the simulation engine.")
+NLARM_CATALOG_GAUGE(sim_time_ratio, "nlarm_sim_time_ratio",
+                    "Simulated seconds advanced per wall second in the last "
+                    "run_until().")
+
+#undef NLARM_CATALOG_COUNTER
+#undef NLARM_CATALOG_GAUGE
+#undef NLARM_CATALOG_HISTOGRAM
+
+void register_all() {
+  alloc_requests();
+  alloc_prepared_cache_hits();
+  alloc_prepared_cache_misses();
+  alloc_candidates_generated();
+  alloc_topk_generations();
+  alloc_fullsort_generations();
+  alloc_fill_overflows();
+  alloc_prepare_seconds();
+  alloc_generate_seconds();
+  alloc_select_seconds();
+  alloc_total_seconds();
+  select_cost_walks();
+  select_cost_dedup_hits();
+  broker_decisions();
+  broker_waits();
+  broker_allocations();
+  broker_aggregates_cache_hits();
+  broker_aggregates_cache_misses();
+  broker_gate_seconds();
+  threadpool_threads();
+  threadpool_batches();
+  threadpool_tasks();
+  threadpool_submit_wait_seconds();
+  threadpool_batch_seconds();
+  monitor_daemon_ticks();
+  monitor_node_samples();
+  monitor_pair_probes();
+  monitor_snapshots();
+  monitor_stale_records();
+  monitor_record_age_seconds();
+  monitor_daemons_running();
+  monitor_daemon_relaunches();
+  monitor_promotions();
+  monitor_abandoned();
+  sim_events();
+  sim_time_ratio();
+}
+
+}  // namespace nlarm::obs::metrics

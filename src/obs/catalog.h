@@ -1,0 +1,66 @@
+// The catalog of nlarm's well-known metric series.
+//
+// Every instrumented layer fetches its series through these accessors, so
+// the naming scheme lives in exactly one file (documented in DESIGN.md §9:
+// nlarm_<layer>_<quantity>[_total|_seconds]). Each accessor registers on
+// first call and caches the reference, making updates lock- and
+// allocation-free. register_all() touches every series so exporters emit a
+// complete exposition even for code paths that have not run yet.
+#pragma once
+
+#include "obs/metrics.h"
+
+namespace nlarm::obs::metrics {
+
+// --- allocator (NetworkLoadAwareAllocator) ---
+Counter& alloc_requests();               ///< nlarm_alloc_requests_total
+Counter& alloc_prepared_cache_hits();    ///< nlarm_alloc_prepared_cache_hits_total
+Counter& alloc_prepared_cache_misses();  ///< nlarm_alloc_prepared_cache_misses_total
+Counter& alloc_candidates_generated();   ///< nlarm_alloc_candidates_generated_total
+Counter& alloc_topk_generations();       ///< nlarm_alloc_topk_generations_total
+Counter& alloc_fullsort_generations();   ///< nlarm_alloc_fullsort_generations_total
+Counter& alloc_fill_overflows();         ///< nlarm_alloc_fill_overflows_total
+Histogram& alloc_prepare_seconds();      ///< nlarm_alloc_prepare_seconds
+Histogram& alloc_generate_seconds();     ///< nlarm_alloc_generate_seconds
+Histogram& alloc_select_seconds();       ///< nlarm_alloc_select_seconds
+Histogram& alloc_total_seconds();        ///< nlarm_alloc_total_seconds
+
+// --- selection (Algorithm 2) ---
+Counter& select_cost_walks();            ///< nlarm_select_cost_walks_total
+Counter& select_cost_dedup_hits();       ///< nlarm_select_cost_dedup_hits_total
+
+// --- broker ---
+Counter& broker_decisions();             ///< nlarm_broker_decisions_total
+Counter& broker_waits();                 ///< nlarm_broker_waits_total
+Counter& broker_allocations();           ///< nlarm_broker_allocations_total
+Counter& broker_aggregates_cache_hits();   ///< nlarm_broker_aggregates_cache_hits_total
+Counter& broker_aggregates_cache_misses(); ///< nlarm_broker_aggregates_cache_misses_total
+Histogram& broker_gate_seconds();        ///< nlarm_broker_gate_seconds
+
+// --- util::ThreadPool (pooled parallel_for path only) ---
+Gauge& threadpool_threads();             ///< nlarm_threadpool_threads
+Counter& threadpool_batches();           ///< nlarm_threadpool_batches_total
+Counter& threadpool_tasks();             ///< nlarm_threadpool_tasks_total
+Histogram& threadpool_submit_wait_seconds(); ///< nlarm_threadpool_submit_wait_seconds
+Histogram& threadpool_batch_seconds();   ///< nlarm_threadpool_batch_seconds
+
+// --- resource monitor ---
+Counter& monitor_daemon_ticks();         ///< nlarm_monitor_daemon_ticks_total
+Counter& monitor_node_samples();         ///< nlarm_monitor_node_samples_total
+Counter& monitor_pair_probes();          ///< nlarm_monitor_pair_probes_total
+Counter& monitor_snapshots();            ///< nlarm_monitor_snapshots_total
+Counter& monitor_stale_records();        ///< nlarm_monitor_stale_records_total
+Gauge& monitor_record_age_seconds();     ///< nlarm_monitor_record_age_seconds
+Gauge& monitor_daemons_running();        ///< nlarm_monitor_daemons_running
+Counter& monitor_daemon_relaunches();    ///< nlarm_monitor_daemon_relaunches_total
+Counter& monitor_promotions();           ///< nlarm_monitor_promotions_total
+Gauge& monitor_abandoned();              ///< nlarm_monitor_abandoned
+
+// --- simulation engine ---
+Counter& sim_events();                   ///< nlarm_sim_events_total
+Gauge& sim_time_ratio();                 ///< nlarm_sim_time_ratio
+
+/// Registers every catalog series in the global registry (idempotent).
+void register_all();
+
+}  // namespace nlarm::obs::metrics

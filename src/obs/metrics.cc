@@ -1,0 +1,182 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace nlarm::obs {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  NLARM_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()))
+      << "histogram bounds must be ascending";
+  buckets_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i] = 0;
+}
+
+void Histogram::observe(double value) {
+  // Linear scan: stage-latency histograms keep ~20 buckets, and the common
+  // case (sub-millisecond stages) exits within the first few.
+  std::size_t i = 0;
+  while (i < bounds_.size() && value > bounds_[i]) ++i;
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, value);
+}
+
+std::vector<double> latency_seconds_bounds() {
+  std::vector<double> bounds;
+  for (double decade = 1e-6; decade < 0.5; decade *= 10.0) {
+    bounds.push_back(decade);
+    bounds.push_back(2.0 * decade);
+    bounds.push_back(5.0 * decade);
+  }
+  bounds.push_back(1.0);
+  return bounds;
+}
+
+std::string format_metric_value(double value) {
+  // Shortest representation that round-trips: try increasing precision.
+  char buf[64];
+  for (int precision = 6; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) break;
+  }
+  return buf;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = entries_[name];
+  if (!entry.counter) {
+    NLARM_CHECK(!entry.gauge && !entry.histogram)
+        << "metric '" << name << "' already registered with another type";
+    entry.help = help;
+    entry.counter = std::make_unique<Counter>();
+  }
+  return *entry.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name,
+                              const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = entries_[name];
+  if (!entry.gauge) {
+    NLARM_CHECK(!entry.counter && !entry.histogram)
+        << "metric '" << name << "' already registered with another type";
+    entry.help = help;
+    entry.gauge = std::make_unique<Gauge>();
+  }
+  return *entry.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::string& help,
+                                      std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = entries_[name];
+  if (!entry.histogram) {
+    NLARM_CHECK(!entry.counter && !entry.gauge)
+        << "metric '" << name << "' already registered with another type";
+    entry.help = help;
+    entry.histogram = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return *entry.histogram;
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : it->second.counter.get();
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : it->second.gauge.get();
+}
+
+const Histogram* MetricsRegistry::find_histogram(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : it->second.histogram.get();
+}
+
+std::uint64_t MetricsRegistry::counter_value(const std::string& name) const {
+  const Counter* c = find_counter(name);
+  return c != nullptr ? c->value() : 0;
+}
+
+double MetricsRegistry::gauge_value(const std::string& name) const {
+  const Gauge* g = find_gauge(name);
+  return g != nullptr ? g->value() : 0.0;
+}
+
+std::string MetricsRegistry::prometheus_text() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  for (const auto& [name, entry] : entries_) {
+    out << "# HELP " << name << " " << entry.help << "\n";
+    if (entry.counter) {
+      out << "# TYPE " << name << " counter\n";
+      out << name << " " << entry.counter->value() << "\n";
+    } else if (entry.gauge) {
+      out << "# TYPE " << name << " gauge\n";
+      out << name << " " << format_metric_value(entry.gauge->value()) << "\n";
+    } else if (entry.histogram) {
+      const Histogram& h = *entry.histogram;
+      out << "# TYPE " << name << " histogram\n";
+      std::uint64_t cumulative = 0;
+      for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+        cumulative += h.bucket_count(i);
+        out << name << "_bucket{le=\"" << format_metric_value(h.bounds()[i])
+            << "\"} " << cumulative << "\n";
+      }
+      cumulative += h.bucket_count(h.bounds().size());
+      out << name << "_bucket{le=\"+Inf\"} " << cumulative << "\n";
+      out << name << "_sum " << format_metric_value(h.sum()) << "\n";
+      out << name << "_count " << h.count() << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string MetricsRegistry::jsonl() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  for (const auto& [name, entry] : entries_) {
+    out << "{\"name\":\"" << name << "\",";
+    if (entry.counter) {
+      out << "\"type\":\"counter\",\"value\":" << entry.counter->value();
+    } else if (entry.gauge) {
+      out << "\"type\":\"gauge\",\"value\":"
+          << format_metric_value(entry.gauge->value());
+    } else if (entry.histogram) {
+      const Histogram& h = *entry.histogram;
+      out << "\"type\":\"histogram\",\"count\":" << h.count()
+          << ",\"sum\":" << format_metric_value(h.sum()) << ",\"buckets\":[";
+      for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+        if (i > 0) out << ",";
+        out << "{\"le\":" << format_metric_value(h.bounds()[i])
+            << ",\"count\":" << h.bucket_count(i) << "}";
+      }
+      if (!h.bounds().empty()) out << ",";
+      out << "{\"le\":\"+Inf\",\"count\":"
+          << h.bucket_count(h.bounds().size()) << "}]";
+    }
+    out << "}\n";
+  }
+  return out.str();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace nlarm::obs

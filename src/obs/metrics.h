@@ -1,0 +1,129 @@
+// Thread-safe in-process metrics: counters, gauges and fixed-bucket
+// histograms behind a named registry.
+//
+// Design constraints (this feeds the allocator hot path):
+//  - Updating a metric never allocates and never takes a lock — counters and
+//    histogram buckets are relaxed atomics, gauges/sums use a CAS add.
+//  - Registration (name → metric) allocates and locks, so call sites cache
+//    the returned reference (function-local static or member).
+//  - Exposition (Prometheus v0.0.4 text, JSONL) reads concurrently with
+//    updates; values are individually atomic, not snapshotted as a set.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace nlarm::obs {
+
+/// Adds `delta` to an atomic double with a CAS loop (portable stand-in for
+/// std::atomic<double>::fetch_add).
+inline void atomic_add(std::atomic<double>& target, double delta) {
+  double observed = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(observed, observed + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+/// Monotone event counter.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-writer-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta) { atomic_add(value_, delta); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram (Prometheus semantics: `bounds` are ascending
+/// inclusive upper limits; an implicit +Inf bucket catches the rest).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double value);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Count in bucket `i` alone (not cumulative); `i == bounds().size()` is
+  /// the +Inf bucket.
+  std::uint64_t bucket_count(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  ///< bounds+1 slots
+  std::atomic<double> sum_{0.0};
+  std::atomic<std::uint64_t> count_{0};
+};
+
+/// Default bucket bounds for stage latencies: 1-2-5 decades from 1µs to 1s.
+std::vector<double> latency_seconds_bounds();
+
+/// Named metric registry. `global()` is the process-wide instance every
+/// instrumented layer reports into; tests may build private instances.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the named metric, registering it on first use. Re-registering
+  /// the same name with a different type throws CheckError; `help` and
+  /// `bounds` are fixed by the first registration.
+  Counter& counter(const std::string& name, const std::string& help);
+  Gauge& gauge(const std::string& name, const std::string& help);
+  Histogram& histogram(const std::string& name, const std::string& help,
+                       std::vector<double> bounds = latency_seconds_bounds());
+
+  // Read-side lookups for tests and exporters; null/0 when absent.
+  const Counter* find_counter(const std::string& name) const;
+  const Gauge* find_gauge(const std::string& name) const;
+  const Histogram* find_histogram(const std::string& name) const;
+  std::uint64_t counter_value(const std::string& name) const;
+  double gauge_value(const std::string& name) const;
+
+  /// Prometheus text exposition format v0.0.4, metrics sorted by name.
+  std::string prometheus_text() const;
+
+  /// One JSON object per metric per line.
+  std::string jsonl() const;
+
+  static MetricsRegistry& global();
+
+ private:
+  struct Entry {
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;  ///< ordered for stable exposition
+};
+
+/// Formats a double the way both exporters do: shortest round-trip form
+/// ("0.5", "12", "1e-06").
+std::string format_metric_value(double value);
+
+}  // namespace nlarm::obs

@@ -1,0 +1,91 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace nlarm::obs {
+
+double trace_clock_seconds() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch)
+      .count();
+}
+
+SpanTracer::SpanTracer(std::size_t capacity) : capacity_(capacity) {
+  NLARM_CHECK(capacity > 0) << "span ring needs at least one slot";
+  ring_.reserve(capacity);
+}
+
+void SpanTracer::record(const char* name, double start_seconds,
+                        double duration_seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back({name, start_seconds, duration_seconds});
+  } else {
+    ring_[next_] = {name, start_seconds, duration_seconds};
+  }
+  next_ = (next_ + 1) % capacity_;
+  ++recorded_;
+}
+
+std::vector<Span> SpanTracer::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Span> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    // `next_` is the oldest slot once the ring has wrapped.
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      out.push_back(ring_[(next_ + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+std::uint64_t SpanTracer::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return recorded_;
+}
+
+std::string SpanTracer::jsonl() const {
+  std::ostringstream out;
+  for (const Span& span : snapshot()) {
+    out << "{\"span\":\"" << span.name
+        << "\",\"start_s\":" << format_metric_value(span.start_seconds)
+        << ",\"duration_s\":" << format_metric_value(span.duration_seconds)
+        << "}\n";
+  }
+  return out.str();
+}
+
+SpanTracer& SpanTracer::global() {
+  static SpanTracer tracer;
+  return tracer;
+}
+
+ScopedSpan::ScopedSpan(const char* name, Histogram* histogram,
+                       SpanTracer* tracer)
+    : name_(name),
+      histogram_(histogram),
+      tracer_(tracer),
+      start_seconds_(trace_clock_seconds()) {}
+
+ScopedSpan::~ScopedSpan() { stop(); }
+
+double ScopedSpan::stop() {
+  if (stopped_) return duration_seconds_;
+  stopped_ = true;
+  duration_seconds_ = trace_clock_seconds() - start_seconds_;
+  if (tracer_ != nullptr) {
+    tracer_->record(name_, start_seconds_, duration_seconds_);
+  }
+  if (histogram_ != nullptr) histogram_->observe(duration_seconds_);
+  return duration_seconds_;
+}
+
+}  // namespace nlarm::obs

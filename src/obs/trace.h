@@ -1,0 +1,80 @@
+// Lightweight span tracing: scoped RAII timers feeding a bounded ring
+// buffer, with optional fan-in to a latency histogram.
+//
+// A span is (name, start, duration) on the process-wide steady clock;
+// completed spans overwrite the oldest entry once the ring is full, so
+// tracing cost and memory stay bounded no matter how long the process runs.
+// Span names must be string literals (the ring stores the pointer).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace nlarm::obs {
+
+/// Seconds since the process-wide trace epoch (first call) on the steady
+/// clock. Shared by every span so traces from different threads line up.
+double trace_clock_seconds();
+
+struct Span {
+  const char* name = "";
+  double start_seconds = 0.0;     ///< trace-clock time the span opened
+  double duration_seconds = 0.0;
+};
+
+class SpanTracer {
+ public:
+  explicit SpanTracer(std::size_t capacity = 4096);
+
+  void record(const char* name, double start_seconds,
+              double duration_seconds);
+
+  /// Completed spans, oldest first (at most `capacity` of them).
+  std::vector<Span> snapshot() const;
+
+  std::size_t capacity() const { return capacity_; }
+  /// Spans recorded over the tracer's lifetime, including overwritten ones.
+  std::uint64_t total_recorded() const;
+
+  /// One JSON object per span per line, oldest first.
+  std::string jsonl() const;
+
+  static SpanTracer& global();
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<Span> ring_;
+  std::size_t next_ = 0;          ///< ring slot the next span lands in
+  std::uint64_t recorded_ = 0;
+};
+
+/// Times a scope; on destruction (or the first stop()) records the span into
+/// the tracer and, when given, observes the duration into `histogram`.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name, Histogram* histogram = nullptr,
+                      SpanTracer* tracer = &SpanTracer::global());
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Ends the span early; returns its duration in seconds. Idempotent.
+  double stop();
+
+ private:
+  const char* name_;
+  Histogram* histogram_;
+  SpanTracer* tracer_;
+  double start_seconds_;
+  double duration_seconds_ = 0.0;
+  bool stopped_ = false;
+};
+
+}  // namespace nlarm::obs

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/catalog.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace nlarm::sim {
@@ -61,6 +63,9 @@ void Simulation::fire_periodic(std::shared_ptr<PeriodicHandle::State> state,
 void Simulation::run_until(double until) {
   NLARM_CHECK(until >= now_) << "run_until target " << until
                              << " is in the past (now " << now_ << ")";
+  const double sim_start = now_;
+  const std::uint64_t dispatched_before = dispatched_;
+  const double wall_start = obs::trace_clock_seconds();
   while (!queue_.empty() && queue_.next_time() <= until) {
     // Advance the clock *before* running the event so callbacks observe the
     // correct now() and can schedule relative to it.
@@ -69,6 +74,11 @@ void Simulation::run_until(double until) {
     ++dispatched_;
   }
   now_ = until;
+  const double wall_seconds = obs::trace_clock_seconds() - wall_start;
+  obs::metrics::sim_events().inc(dispatched_ - dispatched_before);
+  if (wall_seconds > 0.0 && until > sim_start) {
+    obs::metrics::sim_time_ratio().set((until - sim_start) / wall_seconds);
+  }
 }
 
 bool Simulation::step() {
@@ -76,6 +86,7 @@ bool Simulation::step() {
   now_ = queue_.next_time();
   queue_.dispatch_next();
   ++dispatched_;
+  obs::metrics::sim_events().inc();
   return true;
 }
 

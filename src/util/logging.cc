@@ -1,15 +1,24 @@
 #include "util/logging.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <cstdio>
+#include <mutex>
+#include <string>
 
 #include "util/check.h"
+#include "util/strings.h"
 
 namespace nlarm::util {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+std::mutex& emit_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -28,9 +37,11 @@ const char* level_tag(LogLevel level) {
 }
 }  // namespace
 
-LogLevel log_level() { return g_level; }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
-void set_log_level(LogLevel level) { g_level = level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
 LogLevel parse_log_level(const std::string& name) {
   std::string lower(name.size(), '\0');
@@ -53,8 +64,12 @@ void emit_log(LogLevel level, const char* file, int line,
   for (const char* p = file; *p != '\0'; ++p) {
     if (*p == '/') base = p + 1;
   }
-  std::fprintf(stderr, "[%s %s:%d] %s\n", level_tag(level), base, line,
-               message.c_str());
+  // Assemble the whole line first, then write it in one call under the
+  // mutex, so lines from concurrent threads never interleave.
+  std::string out =
+      format("[%s %s:%d] ", level_tag(level), base, line) + message + "\n";
+  std::lock_guard<std::mutex> lock(emit_mutex());
+  std::fwrite(out.data(), 1, out.size(), stderr);
 }
 
 }  // namespace detail

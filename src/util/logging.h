@@ -1,8 +1,9 @@
 // Minimal leveled logger.
 //
-// The simulator is single-threaded by design (discrete-event), so the logger
-// keeps no locks. Output goes to stderr; the level is a process-wide setting
-// so tests and benches can silence the library.
+// Thread-safe: util::ThreadPool fans allocator work out across threads, so
+// emit_log assembles each line into one buffer and writes it to stderr under
+// a mutex — concurrent log statements never interleave mid-line. The level
+// is a process-wide atomic so tests and benches can silence the library.
 #pragma once
 
 #include <sstream>

@@ -4,6 +4,9 @@
 #include <atomic>
 #include <exception>
 
+#include "obs/catalog.h"
+#include "obs/trace.h"
+
 namespace nlarm::util {
 
 struct ThreadPool::Job {
@@ -25,6 +28,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
   for (std::size_t i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
+  obs::metrics::threadpool_threads().set(static_cast<double>(threads));
 }
 
 ThreadPool::~ThreadPool() {
@@ -90,7 +94,14 @@ void ThreadPool::parallel_for(std::size_t count,
     for (std::size_t i = 0; i < count; ++i) fn(i);
     return;
   }
+  obs::ScopedSpan wait_span("threadpool.submit_wait",
+                            &obs::metrics::threadpool_submit_wait_seconds());
   std::lock_guard<std::mutex> submit_lock(submit_mutex_);
+  wait_span.stop();
+  obs::ScopedSpan batch_span("threadpool.batch",
+                             &obs::metrics::threadpool_batch_seconds());
+  obs::metrics::threadpool_batches().inc();
+  obs::metrics::threadpool_tasks().inc(count);
   auto job = std::make_shared<Job>(count, fn);
   {
     std::lock_guard<std::mutex> lock(mutex_);

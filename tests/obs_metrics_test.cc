@@ -1,0 +1,175 @@
+// MetricsRegistry: concurrent updates, Prometheus/JSONL exposition, and the
+// registration contract.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/check.h"
+
+namespace nlarm::obs {
+namespace {
+
+TEST(Counter, IncrementsByArbitraryDeltas) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, SetAndAdd) {
+  Gauge g;
+  g.set(1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+  g.add(-0.25);
+  EXPECT_DOUBLE_EQ(g.value(), 1.25);
+  g.set(-3.0);
+  EXPECT_DOUBLE_EQ(g.value(), -3.0);
+}
+
+TEST(Histogram, BucketsBoundsInclusive) {
+  Histogram h({1.0, 2.0, 5.0});
+  h.observe(0.5);   // bucket 0 (<= 1)
+  h.observe(1.0);   // bucket 0 (bounds are inclusive)
+  h.observe(1.5);   // bucket 1
+  h.observe(5.0);   // bucket 2
+  h.observe(100.0); // +Inf bucket
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(3), 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 5.0 + 100.0);
+}
+
+TEST(MetricsRegistry, RegisterOrGetReturnsSameInstance) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x_total", "help a");
+  Counter& b = reg.counter("x_total", "different help is ignored");
+  EXPECT_EQ(&a, &b);
+  a.inc(3);
+  EXPECT_EQ(reg.counter_value("x_total"), 3u);
+}
+
+TEST(MetricsRegistry, TypeMismatchThrows) {
+  MetricsRegistry reg;
+  reg.counter("dual_use", "a counter");
+  EXPECT_THROW(reg.gauge("dual_use", "now a gauge"), util::CheckError);
+  EXPECT_THROW(reg.histogram("dual_use", "now a histogram"),
+               util::CheckError);
+}
+
+TEST(MetricsRegistry, FindersReturnNullForUnknownNames) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.find_counter("nope"), nullptr);
+  EXPECT_EQ(reg.find_gauge("nope"), nullptr);
+  EXPECT_EQ(reg.find_histogram("nope"), nullptr);
+  EXPECT_EQ(reg.counter_value("nope"), 0u);
+  EXPECT_DOUBLE_EQ(reg.gauge_value("nope"), 0.0);
+}
+
+// The acceptance-critical concurrency property: N threads hammering the same
+// counter/gauge/histogram lose no updates (run under NLARM_SANITIZE=ON this
+// also proves data-race freedom).
+TEST(MetricsRegistry, ConcurrentUpdatesLoseNothing) {
+  MetricsRegistry reg;
+  Counter& counter = reg.counter("conc_total", "concurrent counter");
+  Gauge& gauge = reg.gauge("conc_gauge", "concurrent gauge");
+  Histogram& hist = reg.histogram("conc_seconds", "concurrent histogram",
+                                  {0.25, 0.75});
+
+  constexpr int kThreads = 8;
+  constexpr int kIters = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter, &gauge, &hist] {
+      for (int i = 0; i < kIters; ++i) {
+        counter.inc();
+        gauge.add(0.5);  // dyadic: the CAS-loop sum is exact
+        hist.observe(i % 2 == 0 ? 0.25 : 1.0);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(counter.value(),
+            static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_DOUBLE_EQ(gauge.value(), kThreads * kIters * 0.5);
+  EXPECT_EQ(hist.count(), static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(hist.bucket_count(0),
+            static_cast<std::uint64_t>(kThreads) * (kIters / 2));
+  EXPECT_EQ(hist.bucket_count(2),
+            static_cast<std::uint64_t>(kThreads) * (kIters / 2));
+  EXPECT_DOUBLE_EQ(hist.sum(), kThreads * (kIters / 2) * (0.25 + 1.0));
+}
+
+// Golden-format test: exact Prometheus text exposition v0.0.4 for a private
+// registry (dyadic values so the shortest round-trip formatting is stable).
+TEST(MetricsRegistry, PrometheusGoldenFormat) {
+  MetricsRegistry reg;
+  reg.counter("nlarm_test_events_total", "Events seen.").inc(7);
+  reg.gauge("nlarm_test_depth", "Queue depth.").set(0.5);
+  Histogram& h =
+      reg.histogram("nlarm_test_latency_seconds", "Latency.", {0.25, 1.0});
+  h.observe(0.25);
+  h.observe(0.5);
+  h.observe(2.0);
+  h.observe(2.0);
+
+  const std::string expected =
+      "# HELP nlarm_test_depth Queue depth.\n"
+      "# TYPE nlarm_test_depth gauge\n"
+      "nlarm_test_depth 0.5\n"
+      "# HELP nlarm_test_events_total Events seen.\n"
+      "# TYPE nlarm_test_events_total counter\n"
+      "nlarm_test_events_total 7\n"
+      "# HELP nlarm_test_latency_seconds Latency.\n"
+      "# TYPE nlarm_test_latency_seconds histogram\n"
+      "nlarm_test_latency_seconds_bucket{le=\"0.25\"} 1\n"
+      "nlarm_test_latency_seconds_bucket{le=\"1\"} 2\n"
+      "nlarm_test_latency_seconds_bucket{le=\"+Inf\"} 4\n"
+      "nlarm_test_latency_seconds_sum 4.75\n"
+      "nlarm_test_latency_seconds_count 4\n";
+  EXPECT_EQ(reg.prometheus_text(), expected);
+}
+
+TEST(MetricsRegistry, JsonlListsEveryMetric) {
+  MetricsRegistry reg;
+  reg.counter("a_total", "a").inc(2);
+  reg.gauge("b_gauge", "b").set(1.5);
+  reg.histogram("c_seconds", "c", {1.0}).observe(0.5);
+
+  const std::string jsonl = reg.jsonl();
+  EXPECT_NE(jsonl.find("\"a_total\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"b_gauge\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"c_seconds\""), std::string::npos);
+  // One line per metric.
+  int lines = 0;
+  for (char ch : jsonl) {
+    if (ch == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 3);
+}
+
+TEST(FormatMetricValue, ShortestRoundTrip) {
+  EXPECT_EQ(format_metric_value(0.5), "0.5");
+  EXPECT_EQ(format_metric_value(12.0), "12");
+  EXPECT_EQ(format_metric_value(1e-06), "1e-06");
+}
+
+TEST(LatencyBounds, AscendingAndCoversTargetRange) {
+  const auto bounds = latency_seconds_bounds();
+  ASSERT_GE(bounds.size(), 2u);
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+  EXPECT_LE(bounds.front(), 1e-6);
+  EXPECT_GE(bounds.back(), 1.0);
+}
+
+}  // namespace
+}  // namespace nlarm::obs

@@ -1,0 +1,89 @@
+// SpanTracer ring semantics and ScopedSpan timing.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace nlarm::obs {
+namespace {
+
+TEST(TraceClock, MonotoneNonNegative) {
+  const double a = trace_clock_seconds();
+  const double b = trace_clock_seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+}
+
+TEST(SpanTracer, RecordsUpToCapacityOldestFirst) {
+  SpanTracer tracer(3);
+  tracer.record("a", 0.0, 1.0);
+  tracer.record("b", 1.0, 1.0);
+  const auto spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_STREQ(spans[0].name, "a");
+  EXPECT_STREQ(spans[1].name, "b");
+  EXPECT_EQ(tracer.total_recorded(), 2u);
+}
+
+TEST(SpanTracer, RingOverwritesOldest) {
+  SpanTracer tracer(3);
+  tracer.record("a", 0.0, 1.0);
+  tracer.record("b", 1.0, 1.0);
+  tracer.record("c", 2.0, 1.0);
+  tracer.record("d", 3.0, 1.0);  // evicts "a"
+  tracer.record("e", 4.0, 1.0);  // evicts "b"
+  const auto spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_STREQ(spans[0].name, "c");
+  EXPECT_STREQ(spans[1].name, "d");
+  EXPECT_STREQ(spans[2].name, "e");
+  EXPECT_EQ(tracer.total_recorded(), 5u);
+}
+
+TEST(SpanTracer, JsonlHasOneLinePerSpan) {
+  SpanTracer tracer(4);
+  tracer.record("alpha", 0.5, 0.25);
+  tracer.record("beta", 1.0, 0.125);
+  const std::string jsonl = tracer.jsonl();
+  EXPECT_NE(jsonl.find("\"alpha\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"beta\""), std::string::npos);
+  int lines = 0;
+  for (char ch : jsonl) {
+    if (ch == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 2);
+}
+
+TEST(ScopedSpan, RecordsIntoTracerAndHistogram) {
+  SpanTracer tracer(8);
+  Histogram hist({0.5, 1.0});
+  {
+    ScopedSpan span("scoped.work", &hist, &tracer);
+  }
+  const auto spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_STREQ(spans[0].name, "scoped.work");
+  EXPECT_GE(spans[0].duration_seconds, 0.0);
+  EXPECT_EQ(hist.count(), 1u);
+}
+
+TEST(ScopedSpan, StopIsIdempotent) {
+  SpanTracer tracer(8);
+  Histogram hist({0.5});
+  ScopedSpan span("idem", &hist, &tracer);
+  const double first = span.stop();
+  const double second = span.stop();
+  EXPECT_GE(first, 0.0);
+  EXPECT_DOUBLE_EQ(first, second);
+  EXPECT_EQ(tracer.total_recorded(), 1u);
+  EXPECT_EQ(hist.count(), 1u);
+}
+
+TEST(SpanTracer, GlobalIsSingleton) {
+  EXPECT_EQ(&SpanTracer::global(), &SpanTracer::global());
+}
+
+}  // namespace
+}  // namespace nlarm::obs

@@ -1,0 +1,26 @@
+// Linked into every test binary (see nlarm_test in CMakeLists.txt): silences
+// nlarm logging before main() so ctest output stays clean now that the
+// library logs at decision points. Set NLARM_LOG_LEVEL=debug (etc.) to see
+// the logs while debugging a test.
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace {
+
+struct QuietLogs {
+  QuietLogs() {
+    try {
+      const char* level = std::getenv("NLARM_LOG_LEVEL");
+      nlarm::util::set_log_level(level
+                                     ? nlarm::util::parse_log_level(level)
+                                     : nlarm::util::LogLevel::kOff);
+    } catch (...) {
+      nlarm::util::set_log_level(nlarm::util::LogLevel::kOff);
+    }
+  }
+};
+
+const QuietLogs quiet_logs;
+
+}  // namespace

@@ -11,7 +11,9 @@
 //   nlarm_broker --cluster "8x12c@4.6;8x8c@2.8" --procs 16 --format openmpi
 //   nlarm_broker --procs 64 --scenario heavy            # → wait advice
 //   nlarm_broker --procs 32 --policy hierarchical --explain
+//   nlarm_broker --procs 32 --metrics-out metrics.prom --audit-out audit.jsonl
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 
 #include "apps/minimd.h"
@@ -23,8 +25,42 @@
 #include "core/launcher_export.h"
 #include "exp/experiment.h"
 #include "monitor/persistence.h"
+#include "obs/audit.h"
+#include "obs/catalog.h"
+#include "obs/metrics.h"
 #include "util/args.h"
+#include "util/logging.h"
 #include "util/strings.h"
+
+namespace {
+
+/// Writes the full Prometheus exposition (every catalog series, even ones
+/// whose code path did not run) and the audit JSONL, if requested.
+void write_observability_outputs(const std::string& metrics_path,
+                                 const std::string& audit_path,
+                                 const nlarm::obs::AuditLog& audit_log) {
+  if (!metrics_path.empty()) {
+    nlarm::obs::metrics::register_all();
+    std::ofstream out(metrics_path);
+    if (!out) {
+      std::cerr << "cannot write metrics to " << metrics_path << "\n";
+    } else {
+      out << nlarm::obs::MetricsRegistry::global().prometheus_text();
+      std::cerr << "metrics written to " << metrics_path << "\n";
+    }
+  }
+  if (!audit_path.empty()) {
+    std::ofstream out(audit_path, std::ios::app);
+    if (!out) {
+      std::cerr << "cannot write audit log to " << audit_path << "\n";
+    } else {
+      out << audit_log.jsonl();
+      std::cerr << "audit record(s) appended to " << audit_path << "\n";
+    }
+  }
+}
+
+}  // namespace
 
 using namespace nlarm;
 
@@ -48,8 +84,14 @@ int main(int argc, char** argv) {
        {"explain", "print the decision rationale"},
        {"topology-conf", "also print SLURM topology.conf"},
        {"snapshot", "decide offline from a saved snapshot file"},
-       {"dump-snapshot", "save the monitored snapshot to a file and exit"}});
+       {"dump-snapshot", "save the monitored snapshot to a file and exit"},
+       {"metrics-out", "write Prometheus text exposition to this file"},
+       {"audit-out", "append one decision-audit JSON line to this file"},
+       {"log-level", "debug|info|warn|error|off (default warn)"}});
   if (!parser.parse(argc, argv)) return 0;
+
+  util::set_log_level(
+      util::parse_log_level(parser.get_string("log-level", "warn")));
 
   exp::Testbed::Options options;
   options.seed = static_cast<std::uint64_t>(parser.get_long("seed", 2020));
@@ -135,7 +177,13 @@ int main(int argc, char** argv) {
   core::BrokerPolicy broker_policy;
   broker_policy.max_load_per_core = parser.get_double("max-load", 0.5);
   core::ResourceBroker broker(*allocator, broker_policy);
+  obs::AuditLog audit_log;
+  broker.set_audit_log(&audit_log);
   const core::BrokerDecision decision = broker.decide(snapshot, request);
+
+  const std::string metrics_path = parser.get_string("metrics-out", "");
+  const std::string audit_path = parser.get_string("audit-out", "");
+  write_observability_outputs(metrics_path, audit_path, audit_log);
 
   if (decision.action == core::BrokerDecision::Action::kWait) {
     std::cerr << "WAIT: " << decision.reason << "\n";
