@@ -1,10 +1,11 @@
 #include "core/allocator.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "core/compute_load.h"
-#include "core/network_load.h"
 #include "core/normalize.h"
+#include "core/prepared.h"
 #include "obs/catalog.h"
 #include "obs/trace.h"
 #include "util/check.h"
@@ -32,20 +33,37 @@ void annotate_allocation(Allocation& allocation,
   allocation.avg_cpu_load =
       load_sum / static_cast<double>(allocation.nodes.size());
 
+  // Walks the FlatMatrix views directly with one row-pointer hoist per
+  // outer node; same reads and accumulation order as the former per-pair
+  // pair_metrics() calls, so diagnostics are unchanged bit for bit.
+  const util::FlatMatrix& lat_m = snapshot.net.latency_us;
+  const util::FlatMatrix& bw_m = snapshot.net.bandwidth_mbps;
+  const util::FlatMatrix& peak_m = snapshot.net.peak_mbps;
+  const auto matrix_size = static_cast<std::size_t>(snapshot.net.size());
   double lat_sum = 0.0;
   double comp_sum = 0.0;
   std::size_t lat_pairs = 0;
   std::size_t comp_pairs = 0;
   for (std::size_t i = 0; i < allocation.nodes.size(); ++i) {
+    const auto ui = static_cast<std::size_t>(allocation.nodes[i]);
+    NLARM_CHECK(ui < matrix_size) << "pair out of snapshot";
+    const double* lat_row = lat_m[ui];
+    const double* bw_row = bw_m[ui];
+    const double* peak_row = peak_m[ui];
     for (std::size_t j = i + 1; j < allocation.nodes.size(); ++j) {
-      const PairMetrics m =
-          pair_metrics(snapshot, allocation.nodes[i], allocation.nodes[j]);
-      if (m.latency_us >= 0.0) {
-        lat_sum += m.latency_us;
+      const auto vj = static_cast<std::size_t>(allocation.nodes[j]);
+      NLARM_CHECK(vj < matrix_size) << "pair out of snapshot";
+      const double lat = lat_row[vj];
+      if (lat >= 0.0) {
+        lat_sum += lat;
         ++lat_pairs;
       }
-      if (m.bandwidth_complement_mbps >= 0.0) {
-        comp_sum += m.bandwidth_complement_mbps;
+      const double bw = bw_row[vj];
+      const double peak = peak_row[vj];
+      const double comp =
+          (bw < 0.0 || peak < 0.0) ? -1.0 : std::max(0.0, peak - bw);
+      if (comp >= 0.0) {
+        comp_sum += comp;
         ++comp_pairs;
       }
     }
@@ -73,7 +91,6 @@ NetworkLoadAwareAllocator::prepare(const monitor::ClusterSnapshot& snapshot,
                                    const AllocationRequest& request) {
   PreparedKey key;
   key.version = snapshot.version;
-  key.time = snapshot.time;
   key.node_count = snapshot.nodes.size();
   key.compute_weights = request.compute_weights;
   key.network_weights = request.network_weights;
@@ -99,12 +116,13 @@ NetworkLoadAwareAllocator::prepare(const monitor::ClusterSnapshot& snapshot,
   NLARM_CHECK(!prepared_.usable.empty()) << "no usable nodes in snapshot";
 
   // Unit-mean rescaling puts node costs and pair costs on a common scale so
-  // α/β trade them off as intended (see rescale_unit_mean).
+  // α/β trade them off as intended (see rescale_unit_mean). NL goes through
+  // the canonical chunked pipeline shared with the epoch builder and the
+  // reference path (core/prepared.h).
   prepared_.cl = rescale_unit_mean(
       compute_loads(snapshot, prepared_.usable, request.compute_weights));
-  network_loads_into(snapshot, prepared_.usable, request.network_weights,
-                     prepared_.nl);
-  rescale_unit_mean_inplace(prepared_.nl);
+  prepared_network_loads(snapshot, prepared_.usable, request.network_weights,
+                         prepared_.nl);
   prepared_.pc =
       effective_process_counts(snapshot, prepared_.usable, request.ppn);
 

@@ -125,9 +125,12 @@ class NetworkLoadAwareAllocator : public Allocator {
     std::vector<int> pc;
   };
   /// Everything the prepared inputs depend on. `version` 0 never matches.
+  /// The snapshot's float timestamp is deliberately NOT part of the key:
+  /// the version counter already changes on every store write, and keying
+  /// on wall-clock time made periodic re-assembly of unchanged data defeat
+  /// the memo.
   struct PreparedKey {
     std::uint64_t version = 0;
-    double time = 0.0;
     std::size_t node_count = 0;
     ComputeLoadWeights compute_weights;
     NetworkLoadWeights network_weights;

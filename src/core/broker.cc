@@ -1,5 +1,7 @@
 #include "core/broker.h"
 
+#include <algorithm>
+
 #include "core/compute_load.h"
 #include "obs/catalog.h"
 #include "obs/trace.h"
@@ -21,7 +23,6 @@ const ResourceBroker::Aggregates& ResourceBroker::aggregates(
     const AllocationRequest& request) {
   AggregatesKey key;
   key.version = snapshot.version;
-  key.time = snapshot.time;
   key.node_count = snapshot.nodes.size();
   key.ppn = request.ppn;
   if (has_aggregates_ && key.version != 0 && key == aggregates_key_) {
@@ -105,7 +106,11 @@ BrokerDecision ResourceBroker::decide(
     const monitor::ClusterSnapshot& snapshot,
     const AllocationRequest& request) {
   request.validate();
-  ++decisions_;
+  // The borrowed allocator and the aggregates memo are shared mutable
+  // state, so the classic path is serialized; concurrent callers should use
+  // the epoch path instead.
+  std::lock_guard<std::mutex> lock(decide_mutex_);
+  decisions_.fetch_add(1, std::memory_order_relaxed);
   obs::metrics::broker_decisions().inc();
   obs::ScopedSpan decide_span("broker.decide");
 
@@ -118,7 +123,7 @@ BrokerDecision ResourceBroker::decide(
   const double gate_seconds = gate_span.stop();
 
   if (decision.action == BrokerDecision::Action::kWait) {
-    ++waits_;
+    waits_.fetch_add(1, std::memory_order_relaxed);
     obs::metrics::broker_waits().inc();
     NLARM_INFO << "broker verdict: wait — " << decision.reason;
   } else {
@@ -174,6 +179,169 @@ BrokerDecision ResourceBroker::decide(
     audit_log_->append(std::move(record));
   }
   return decision;
+}
+
+void ResourceBroker::refresh_epoch(
+    std::shared_ptr<const monitor::ClusterSnapshot> snapshot,
+    const RequestProfile& profile) {
+  std::lock_guard<std::mutex> lock(builder_mutex_);
+  if (!builder_.has_value() || !(builder_->profile() == profile)) {
+    builder_.emplace(profile);
+  }
+  builder_->rebuild(std::move(snapshot));
+  publisher_.publish(builder_->build());
+}
+
+bool ResourceBroker::refresh_epoch(
+    std::shared_ptr<const monitor::ClusterSnapshot> snapshot,
+    const monitor::SnapshotDelta& delta, const RequestProfile& profile) {
+  std::lock_guard<std::mutex> lock(builder_mutex_);
+  if (!builder_.has_value() || !(builder_->profile() == profile)) {
+    builder_.emplace(profile);
+  }
+  const bool incremental = builder_->update(std::move(snapshot), delta);
+  publisher_.publish(builder_->build());
+  return incremental;
+}
+
+BrokerDecision ResourceBroker::decide_prepared(
+    const PreparedSnapshot& prepared, const AllocationRequest& request,
+    std::span<const int> pc_override, std::span<const std::size_t> starts,
+    std::size_t gate_usable, int gate_capacity) {
+  request.validate();
+  decisions_.fetch_add(1, std::memory_order_relaxed);
+  obs::metrics::broker_decisions().inc();
+  obs::metrics::broker_epoch_decisions().inc();
+  obs::ScopedSpan decide_span("broker.decide");
+
+  obs::ScopedSpan gate_span("broker.gate",
+                            &obs::metrics::broker_gate_seconds());
+  BrokerDecision decision = evaluate_gate(
+      policy_, request, gate_usable, prepared.load_per_core, gate_capacity);
+  const double gate_seconds = gate_span.stop();
+
+  AllocStats stats;
+  if (decision.action == BrokerDecision::Action::kWait) {
+    waits_.fetch_add(1, std::memory_order_relaxed);
+    obs::metrics::broker_waits().inc();
+    NLARM_DEBUG << "broker verdict (epoch " << prepared.epoch << "): wait — "
+                << decision.reason;
+  } else {
+    decision.allocation =
+        allocate_prepared(prepared, request, epoch_generation_options_,
+                          &stats, pc_override, starts);
+    decision.reason = util::format(
+        "allocated %d node(s) via %s", decision.allocation.node_count(),
+        decision.allocation.policy.c_str());
+    obs::metrics::broker_allocations().inc();
+    NLARM_DEBUG << "broker verdict (epoch " << prepared.epoch
+                << "): " << decision.reason;
+  }
+
+  if (audit_log_ != nullptr) {
+    obs::AuditRecord record;
+    record.nprocs = request.nprocs;
+    record.ppn = request.ppn;
+    record.alpha = request.job.alpha;
+    record.beta = request.job.beta;
+    record.snapshot_version = prepared.version;
+    record.snapshot_time = prepared.time;
+    record.snapshot_nodes = static_cast<int>(prepared.snapshot->size());
+    record.usable_nodes = static_cast<int>(gate_usable);
+    record.epoch = prepared.epoch;
+    record.action = decision.action == BrokerDecision::Action::kAllocate
+                        ? "allocate"
+                        : "wait";
+    record.reason = decision.reason;
+    record.cluster_load_per_core = decision.cluster_load_per_core;
+    record.effective_capacity = decision.effective_capacity;
+    // The epoch IS the prepared/aggregate cache; serving from it is a hit
+    // by construction.
+    record.aggregates_cache_hit = true;
+    record.gate_seconds = gate_seconds;
+    if (decision.action == BrokerDecision::Action::kAllocate) {
+      const Allocation& alloc = decision.allocation;
+      record.policy = alloc.policy;
+      record.total_cost = alloc.total_cost;
+      const monitor::ClusterSnapshot& snapshot = *prepared.snapshot;
+      for (std::size_t i = 0; i < alloc.nodes.size(); ++i) {
+        const auto id = static_cast<std::size_t>(alloc.nodes[i]);
+        record.nodes.push_back(static_cast<int>(alloc.nodes[i]));
+        if (id < snapshot.nodes.size()) {
+          record.hostnames.push_back(snapshot.nodes[id].spec.hostname);
+        }
+        record.procs_per_node.push_back(alloc.procs_per_node[i]);
+      }
+      record.prepared_cache_hit = stats.prepared_cache_hit;
+      record.candidates_generated = stats.candidates_generated;
+      record.compute_cost = stats.compute_cost;
+      record.network_cost = stats.network_cost;
+      record.prepare_seconds = stats.prepare_seconds;
+      record.generate_seconds = stats.generate_seconds;
+      record.select_seconds = stats.select_seconds;
+    }
+    record.total_seconds = decide_span.stop();
+    audit_log_->append(std::move(record));
+  }
+  return decision;
+}
+
+BrokerDecision ResourceBroker::decide(const EpochPin& pin,
+                                      const AllocationRequest& request) {
+  NLARM_CHECK(pin.valid())
+      << "no epoch pinned — publish one with refresh_epoch() first";
+  const PreparedSnapshot& prepared = *pin.prepared;
+  return decide_prepared(prepared, request, /*pc_override=*/{},
+                         /*starts=*/{}, prepared.usable.size(),
+                         prepared.effective_capacity);
+}
+
+std::vector<BrokerDecision> ResourceBroker::decide_batch(
+    const EpochPin& pin, std::span<const AllocationRequest> requests) {
+  NLARM_CHECK(pin.valid())
+      << "no epoch pinned — publish one with refresh_epoch() first";
+  const PreparedSnapshot& prepared = *pin.prepared;
+  obs::metrics::broker_batches().inc();
+  obs::metrics::broker_batch_requests().inc(requests.size());
+
+  // Working copy of the epoch's capacities; every admitted request debits
+  // the processes it took, so later requests in the batch compete only for
+  // what is left.
+  std::vector<int> remaining = prepared.pc;
+  int remaining_capacity = prepared.effective_capacity;
+  std::vector<std::size_t> starts;
+  std::vector<BrokerDecision> decisions;
+  decisions.reserve(requests.size());
+
+  for (const AllocationRequest& request : requests) {
+    starts.clear();
+    for (std::size_t i = 0; i < remaining.size(); ++i) {
+      if (remaining[i] > 0) starts.push_back(i);
+    }
+    // With zero nodes left the gate's min_usable_nodes check forces a wait,
+    // so the empty `starts` span never reaches candidate generation.
+    BrokerDecision decision =
+        decide_prepared(prepared, request, remaining, starts, starts.size(),
+                        remaining_capacity);
+    if (decision.action == BrokerDecision::Action::kAllocate) {
+      const Allocation& alloc = decision.allocation;
+      for (std::size_t i = 0; i < alloc.nodes.size(); ++i) {
+        const auto id = static_cast<std::size_t>(alloc.nodes[i]);
+        NLARM_CHECK(id < prepared.pos_of.size()) << "allocated unknown node";
+        const std::int32_t pos = prepared.pos_of[id];
+        NLARM_CHECK(pos >= 0) << "allocated node outside the working set";
+        // Round-robin oversubscription can hand a node more processes than
+        // its remaining capacity; the debit floors at zero.
+        const int take =
+            std::min(alloc.procs_per_node[i],
+                     remaining[static_cast<std::size_t>(pos)]);
+        remaining[static_cast<std::size_t>(pos)] -= take;
+        remaining_capacity -= take;
+      }
+    }
+    decisions.push_back(std::move(decision));
+  }
+  return decisions;
 }
 
 }  // namespace nlarm::core

@@ -4,13 +4,31 @@
 // of allocating when the cluster is too loaded for the gain to matter
 // ("if the overall load on the cluster is extremely high ... our tool
 // should recommend waiting rather than allocating it right away").
+//
+// Two serving paths:
+//  - decide(snapshot, request): the classic synchronous path. Thread-safe
+//    but serialized (the borrowed allocator and the aggregates memo are
+//    shared mutable state).
+//  - refresh_epoch(...) + decide(pin, request): the concurrent path. A
+//    refresh thread turns snapshots (or snapshot deltas) into immutable
+//    prepared epochs; any number of threads decide() against their pinned
+//    epoch with no locks on the hot path. decide_batch() admits a vector of
+//    requests against one epoch with conflict-aware capacity debiting.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "core/allocator.h"
+#include "core/epoch.h"
+#include "core/prepared.h"
+#include "monitor/snapshot_delta.h"
 #include "obs/audit.h"
 
 namespace nlarm::core {
@@ -41,16 +59,69 @@ class ResourceBroker {
   /// The broker borrows the allocator; it must outlive the broker.
   ResourceBroker(Allocator& allocator, BrokerPolicy policy = {});
 
-  /// Decides between allocating and waiting for the given request.
+  /// Decides between allocating and waiting for the given request
+  /// (classic path; serialized internally).
   BrokerDecision decide(const monitor::ClusterSnapshot& snapshot,
                         const AllocationRequest& request);
 
+  // --- concurrent epoch path ---
+
+  /// Rebuilds the prepared epoch from scratch and publishes it. A profile
+  /// change (different weights/ppn) resets the builder.
+  void refresh_epoch(
+      std::shared_ptr<const monitor::ClusterSnapshot> snapshot,
+      const RequestProfile& profile);
+
+  /// Applies a snapshot delta to the prepared state in O(dirty) and
+  /// publishes the result. Returns true when the delta was applied
+  /// incrementally (false = continuity could not be proven and a full
+  /// rebuild ran instead — same published result either way).
+  bool refresh_epoch(
+      std::shared_ptr<const monitor::ClusterSnapshot> snapshot,
+      const monitor::SnapshotDelta& delta, const RequestProfile& profile);
+
+  /// Current epoch counter (0 = nothing published yet).
+  std::uint64_t epoch() const { return publisher_.epoch(); }
+
+  /// A fresh pin on the current epoch (one per reader thread).
+  EpochPin pin_epoch() const { return publisher_.pin(); }
+
+  /// Re-validates a pin against the publisher; true when it changed.
+  bool refresh_pin(EpochPin& pin) const { return publisher_.refresh(pin); }
+
+  /// Lock-free decision against the pinned epoch. The request's profile
+  /// must match the epoch's. Safe to call from any number of threads.
+  BrokerDecision decide(const EpochPin& pin,
+                        const AllocationRequest& request);
+
+  /// Batched admission: decides every request (in order) against one epoch,
+  /// debiting each allocation's processes from a working copy of the
+  /// per-node capacities so later requests see what earlier ones took.
+  /// All requests must share the epoch's profile.
+  std::vector<BrokerDecision> decide_batch(
+      const EpochPin& pin, std::span<const AllocationRequest> requests);
+
   const BrokerPolicy& policy() const { return policy_; }
-  int decisions_made() const { return decisions_; }
-  int waits_recommended() const { return waits_; }
+  int decisions_made() const {
+    return decisions_.load(std::memory_order_relaxed);
+  }
+  int waits_recommended() const {
+    return waits_.load(std::memory_order_relaxed);
+  }
+
+  /// Candidate fan-out options for the epoch paths. Defaults to serial
+  /// generation: with many decide() threads in flight, cross-request
+  /// concurrency already fills the machine, and per-request fork-join only
+  /// adds coordination. (The classic path keeps the allocator's own
+  /// options.)
+  void set_epoch_generation_options(const GenerationOptions& options) {
+    epoch_generation_options_ = options;
+  }
 
   /// Attaches a decision-audit sink; every decide() appends one record.
   /// Pass nullptr to detach. The log must outlive the broker (borrowed).
+  /// Set before concurrent decides start (the pointer itself is unguarded;
+  /// AuditLog::append is thread-safe).
   void set_audit_log(obs::AuditLog* log) { audit_log_ = log; }
 
  private:
@@ -64,9 +135,12 @@ class ResourceBroker {
     double load_per_core = 0.0;
     int effective_capacity = 0;
   };
+  /// The float snapshot timestamp is deliberately NOT part of the key: the
+  /// version counter already changes on every store write (and is trusted
+  /// whenever nonzero), while wall-clock time drifts on every re-assembly
+  /// of unchanged data and was defeating the memo.
   struct AggregatesKey {
     std::uint64_t version = 0;
-    double time = 0.0;
     std::size_t node_count = 0;
     int ppn = 0;
 
@@ -76,15 +150,30 @@ class ResourceBroker {
   const Aggregates& aggregates(const monitor::ClusterSnapshot& snapshot,
                                const AllocationRequest& request);
 
+  /// Shared epilogue of the epoch paths: gate, allocate, audit.
+  BrokerDecision decide_prepared(const PreparedSnapshot& prepared,
+                                 const AllocationRequest& request,
+                                 std::span<const int> pc_override,
+                                 std::span<const std::size_t> starts,
+                                 std::size_t gate_usable,
+                                 int gate_capacity);
+
   Allocator& allocator_;
   BrokerPolicy policy_;
+  std::mutex decide_mutex_;  ///< serializes the classic decide() path
   Aggregates aggregates_;
   AggregatesKey aggregates_key_;
   bool has_aggregates_ = false;
   bool last_aggregates_hit_ = false;  ///< memo outcome of the last decide()
-  int decisions_ = 0;
-  int waits_ = 0;
+  std::atomic<int> decisions_{0};
+  std::atomic<int> waits_{0};
   obs::AuditLog* audit_log_ = nullptr;
+
+  std::mutex builder_mutex_;  ///< serializes refresh_epoch callers
+  std::optional<PreparedBuilder> builder_;
+  EpochPublisher publisher_;
+  GenerationOptions epoch_generation_options_{.parallel_threshold = -1,
+                                              .pool = nullptr};
 };
 
 }  // namespace nlarm::core

@@ -52,12 +52,15 @@ FillResult fill_processes(std::span<const std::size_t> order,
   for (std::size_t idx : order) {
     if (remaining <= 0) break;
     NLARM_CHECK(idx < pc.size()) << "order index out of pc range";
-    NLARM_CHECK(pc[idx] > 0) << "node with non-positive capacity " << pc[idx];
+    NLARM_CHECK(pc[idx] >= 0) << "node with negative capacity " << pc[idx];
+    if (pc[idx] == 0) continue;  // drained by a batch debit; never a member
     const int take = std::min(pc[idx], remaining);
     result.members.push_back(idx);
     result.procs.push_back(take);
     remaining -= take;
   }
+  NLARM_CHECK(!result.members.empty())
+      << "no node in the candidate prefix has capacity left";
   // Round-robin overflow (Algorithm 1 lines 12–13): the request exceeds the
   // cluster's effective capacity, so the rest is spread one process at a
   // time over the selected nodes.
@@ -86,6 +89,7 @@ Candidate generate_candidate(std::size_t start, std::span<const double> cl,
   NLARM_CHECK(nl.size() == count && pc.size() == count)
       << "cl/nl/pc size mismatch";
   NLARM_CHECK(nprocs > 0) << "request must ask for at least one process";
+  NLARM_CHECK(pc[start] > 0) << "start node has no capacity left";
 
   // Scratch reused across start nodes and requests (one copy per thread, so
   // the parallel fan-out needs no coordination).
@@ -108,8 +112,15 @@ Candidate generate_candidate(std::size_t start, std::span<const double> cl,
   // covered (each taken node contributes ≥1 process), so only the k
   // cheapest nodes can ever be used. Partial-select them; the full sort
   // remains only for requests that need the whole working set (where the
-  // round-robin overflow may also touch every node).
-  const std::size_t k = std::min(count, static_cast<std::size_t>(nprocs));
+  // round-robin overflow may also touch every node). Zero-capacity nodes
+  // (batch debits) are skipped by the fill without contributing, so they
+  // widen the prefix the fill may have to walk.
+  std::size_t zero_caps = 0;
+  for (std::size_t u = 0; u < count; ++u) {
+    if (pc[u] == 0) ++zero_caps;
+  }
+  const std::size_t k =
+      std::min(count, static_cast<std::size_t>(nprocs) + zero_caps);
   std::span<const std::size_t> prefix;
   if (k < count) {
     std::nth_element(order.begin(),
@@ -158,6 +169,30 @@ std::vector<Candidate> generate_all_candidates(
       options.pool != nullptr ? *options.pool : util::ThreadPool::shared();
   pool.parallel_for(count, [&](std::size_t start) {
     candidates[start] = generate_candidate(start, cl, nl, pc, nprocs, job);
+  });
+  return candidates;
+}
+
+std::vector<Candidate> generate_all_candidates(
+    std::span<const double> cl, const util::FlatMatrix& nl,
+    std::span<const int> pc, int nprocs, const JobWeights& job,
+    std::span<const std::size_t> starts, const GenerationOptions& options) {
+  const std::size_t count = starts.size();
+  std::vector<Candidate> candidates(count);
+  const bool parallel =
+      options.parallel_threshold >= 0 &&
+      count >= static_cast<std::size_t>(options.parallel_threshold) &&
+      count > 1;
+  if (!parallel) {
+    for (std::size_t i = 0; i < count; ++i) {
+      candidates[i] = generate_candidate(starts[i], cl, nl, pc, nprocs, job);
+    }
+    return candidates;
+  }
+  util::ThreadPool& pool =
+      options.pool != nullptr ? *options.pool : util::ThreadPool::shared();
+  pool.parallel_for(count, [&](std::size_t i) {
+    candidates[i] = generate_candidate(starts[i], cl, nl, pc, nprocs, job);
   });
   return candidates;
 }

@@ -56,7 +56,8 @@ CandidateCosts candidate_costs(std::span<const std::size_t> members,
 /// Distributes `nprocs` over the prefix of `order` using per-node capacity
 /// `pc` (Algorithm 1 lines 8–14): nodes are consumed in order until the
 /// request is covered; if capacity runs out, the remainder is handed out
-/// round-robin one process at a time.
+/// round-robin one process at a time. Zero-capacity nodes (batch admission
+/// debits capacities down to 0) are skipped, never oversubscribed.
 struct FillResult {
   std::vector<std::size_t> members;
   std::vector<int> procs;
@@ -89,5 +90,13 @@ std::vector<Candidate> generate_all_candidates(
     std::span<const double> cl, const util::FlatMatrix& nl,
     std::span<const int> pc, int nprocs, const JobWeights& job,
     const GenerationOptions& options = {});
+
+/// Restricted fan-out: one candidate per entry of `starts` (working-set
+/// positions, each with pc > 0), in `starts` order. Batch admission uses
+/// this to only start from nodes with remaining capacity.
+std::vector<Candidate> generate_all_candidates(
+    std::span<const double> cl, const util::FlatMatrix& nl,
+    std::span<const int> pc, int nprocs, const JobWeights& job,
+    std::span<const std::size_t> starts, const GenerationOptions& options = {});
 
 }  // namespace nlarm::core

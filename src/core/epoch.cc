@@ -1,0 +1,33 @@
+#include "core/epoch.h"
+
+#include "obs/catalog.h"
+#include "util/check.h"
+
+namespace nlarm::core {
+
+void EpochPublisher::publish(std::shared_ptr<PreparedSnapshot> prepared) {
+  NLARM_CHECK(prepared != nullptr) << "publishing a null epoch";
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t next = epoch_.load(std::memory_order_relaxed) + 1;
+  prepared->epoch = next;
+  if (next > 1) {
+    // How stale the previous epoch had become, in snapshot time.
+    obs::metrics::epoch_age_seconds().set(prepared->time -
+                                          last_publish_time_);
+  }
+  last_publish_time_ = prepared->time;
+  current_ = std::move(prepared);
+  epoch_.store(next, std::memory_order_release);
+  obs::metrics::epoch_publishes().inc();
+}
+
+bool EpochPublisher::refresh(EpochPin& pin) const {
+  const std::uint64_t current = epoch_.load(std::memory_order_acquire);
+  if (pin.valid() && pin.epoch == current) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  pin.prepared = current_;
+  pin.epoch = epoch_.load(std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace nlarm::core

@@ -1,0 +1,73 @@
+// RCU-style publication of immutable prepared epochs.
+//
+// One refresh thread builds PreparedSnapshot epochs (core/prepared.h) and
+// publish()es them; any number of decide() threads consume the current
+// epoch with no locks on the hot path. The classic double-buffer problem
+// (when may the old buffer be reclaimed?) is solved by shared_ptr: readers
+// pin the epoch they are using, and the last pin dropping frees it.
+//
+// gcc's std::atomic<std::shared_ptr> goes through a lock pool, so the
+// publisher instead keeps the pointer under a mutex and exposes a plain
+// atomic epoch counter as the fast-path guard:
+//
+//   reader: epoch_.load(acquire) == pin.epoch  → keep using pin.prepared
+//           (one atomic load per decide; no contention, no refcount bump)
+//   else:   lock, copy the current shared_ptr into the pin (rare: only
+//           right after a publish)
+//
+// The RELEASE store of epoch_ in publish() pairs with the ACQUIRE load in
+// refresh(): a reader that observes the new counter value then takes the
+// mutex, which orders it after the pointer store. Readers never observe a
+// counter ahead of the pointer it announces.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "core/prepared.h"
+
+namespace nlarm::core {
+
+/// A reader's pinned epoch. Holding the pin keeps the epoch (and the
+/// snapshot it references) alive; refresh cheaply re-validates it against
+/// the publisher. One pin per reader thread, not shared.
+struct EpochPin {
+  std::uint64_t epoch = 0;  ///< 0 = nothing pinned yet
+  std::shared_ptr<const PreparedSnapshot> prepared;
+
+  bool valid() const { return prepared != nullptr; }
+};
+
+class EpochPublisher {
+ public:
+  /// Stamps the epoch number into `prepared` and makes it current.
+  /// Called by the owning refresh thread (publishes are serialized by the
+  /// internal mutex either way).
+  void publish(std::shared_ptr<PreparedSnapshot> prepared);
+
+  /// Current epoch counter (0 = nothing published yet).
+  std::uint64_t epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Brings `pin` up to date. Fast path: one acquire load when the pinned
+  /// epoch is still current. Returns true when the pin changed.
+  bool refresh(EpochPin& pin) const;
+
+  /// Convenience: a fresh up-to-date pin.
+  EpochPin pin() const {
+    EpochPin fresh;
+    refresh(fresh);
+    return fresh;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::shared_ptr<const PreparedSnapshot> current_;
+  std::atomic<std::uint64_t> epoch_{0};
+  double last_publish_time_ = 0.0;  ///< snapshot time of the last publish
+};
+
+}  // namespace nlarm::core

@@ -1,0 +1,468 @@
+#include "core/prepared.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "core/compute_load.h"
+#include "core/normalize.h"
+#include "core/selection.h"
+#include "obs/catalog.h"
+#include "obs/trace.h"
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace nlarm::core {
+
+namespace detail {
+
+void ExactSum::accumulate(double v, bool negate) {
+  if (!(v > 0.0)) return;  // zero adds nothing; NaN/negatives never arrive
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  const int exp = static_cast<int>(bits >> 52);  // sign bit is clear: v > 0
+  if (exp == 0) return;  // subnormal: far below the window, contributes 0
+  const std::uint64_t mant =
+      (bits & ((std::uint64_t{1} << 52) - 1)) | (std::uint64_t{1} << 52);
+  // value = mant × 2^(exp − 1075); in units of the 2⁻⁸⁰ LSB the mantissa
+  // lands at bit (exp − 995). +inf (exp 0x7ff) rides the same clamp as any
+  // over-the-top finite value.
+  int shift = exp - 995;
+  if (shift < 0) return;
+  if (shift > 191) shift = 191;  // keep mant's two limbs inside limbs_[0..3]
+  const unsigned __int128 wide = static_cast<unsigned __int128>(mant)
+                                 << (shift & 63);
+  const std::uint64_t part[2] = {static_cast<std::uint64_t>(wide),
+                                 static_cast<std::uint64_t>(wide >> 64)};
+  const int idx = shift >> 6;
+  if (negate) {
+    unsigned __int128 borrow = 0;
+    for (int l = idx, p = 0; l < 4; ++l, ++p) {
+      const unsigned __int128 take = (p < 2 ? part[p] : 0) + borrow;
+      const std::uint64_t before = limbs_[static_cast<std::size_t>(l)];
+      limbs_[static_cast<std::size_t>(l)] =
+          before - static_cast<std::uint64_t>(take);
+      borrow = static_cast<unsigned __int128>(before) < take ? 1 : 0;
+      if (p >= 2 && borrow == 0) break;
+    }
+  } else {
+    unsigned __int128 carry = 0;
+    for (int l = idx, p = 0; l < 4; ++l, ++p) {
+      const unsigned __int128 sum =
+          static_cast<unsigned __int128>(limbs_[static_cast<std::size_t>(l)]) +
+          (p < 2 ? part[p] : 0) + carry;
+      limbs_[static_cast<std::size_t>(l)] = static_cast<std::uint64_t>(sum);
+      carry = sum >> 64;
+      if (p >= 2 && carry == 0) break;
+    }
+  }
+}
+
+double ExactSum::to_double() const {
+  return std::ldexp(static_cast<double>(limbs_[3]), 112) +
+         std::ldexp(static_cast<double>(limbs_[2]), 48) +
+         std::ldexp(static_cast<double>(limbs_[1]), -16) +
+         std::ldexp(static_cast<double>(limbs_[0]), -80);
+}
+
+void NlState::read_pair(const monitor::ClusterSnapshot& snapshot,
+                        cluster::NodeId u, cluster::NodeId v, std::size_t k) {
+  const auto uu = static_cast<std::size_t>(u);
+  const auto vv = static_cast<std::size_t>(v);
+  lat_raw_[k] = snapshot.net.latency_us[uu][vv];
+  const double bw = snapshot.net.bandwidth_mbps[uu][vv];
+  const double peak = snapshot.net.peak_mbps[uu][vv];
+  comp_raw_[k] = (bw < 0.0 || peak < 0.0) ? -1.0 : std::max(0.0, peak - bw);
+}
+
+void NlState::full_build(const monitor::ClusterSnapshot& snapshot,
+                         std::span<const cluster::NodeId> nodes,
+                         const NetworkLoadWeights& weights) {
+  weights.validate();
+  weights_ = weights;
+  n_ = nodes.size();
+  const std::size_t pair_count = n_ < 2 ? 0 : n_ * (n_ - 1) / 2;
+  lat_raw_.resize(pair_count);
+  comp_raw_.resize(pair_count);
+  pair_i_.resize(pair_count);
+  pair_j_.resize(pair_count);
+
+  const auto matrix_size = static_cast<std::size_t>(snapshot.net.size());
+  lat_acc_.reset();
+  comp_acc_.reset();
+  lat_missing_ = 0;
+  comp_missing_ = 0;
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    const auto ui = static_cast<std::size_t>(nodes[i]);
+    NLARM_CHECK(ui < matrix_size) << "pair out of snapshot";
+    for (std::size_t j = i + 1; j < n_; ++j, ++k) {
+      const auto vj = static_cast<std::size_t>(nodes[j]);
+      NLARM_CHECK(vj < matrix_size) << "pair out of snapshot";
+      NLARM_CHECK(vj != ui) << "pair metrics of a self pair";
+      pair_i_[k] = static_cast<std::uint32_t>(i);
+      pair_j_[k] = static_cast<std::uint32_t>(j);
+      read_pair(snapshot, nodes[i], nodes[j], k);
+      account_add(k);
+    }
+  }
+  recompute_scalars();
+}
+
+void NlState::account_add(std::size_t k) {
+  const double lat = lat_raw_[k];
+  if (lat >= 0.0) {
+    lat_acc_.add(lat);
+  } else {
+    ++lat_missing_;
+  }
+  const double comp = comp_raw_[k];
+  if (comp >= 0.0) {
+    comp_acc_.add(comp);
+  } else {
+    ++comp_missing_;
+  }
+}
+
+void NlState::account_remove(std::size_t k) {
+  const double lat = lat_raw_[k];
+  if (lat >= 0.0) {
+    lat_acc_.sub(lat);
+  } else {
+    --lat_missing_;
+  }
+  const double comp = comp_raw_[k];
+  if (comp >= 0.0) {
+    comp_acc_.sub(comp);
+  } else {
+    --comp_missing_;
+  }
+}
+
+void NlState::patch_pair(const monitor::ClusterSnapshot& snapshot,
+                         std::span<const cluster::NodeId> nodes,
+                         std::size_t i, std::size_t j) {
+  NLARM_CHECK(i < j && j < n_) << "bad pair position (" << i << ", " << j
+                               << ")";
+  const std::size_t k = pair_index(i, j);
+  account_remove(k);
+  read_pair(snapshot, nodes[i], nodes[j], k);
+  account_add(k);
+}
+
+void NlState::refresh_dirty() { recompute_scalars(); }
+
+void NlState::recompute_scalars() {
+  // The totals come out of the exact accumulators — order-independent, so
+  // the same whether every pair was just re-accumulated (full build) or a
+  // few contributions were swapped in place (incremental). That identity is
+  // what makes the two paths bit-identical.
+  const double lat_sum = lat_acc_.to_double();
+  const double comp_sum = comp_acc_.to_double();
+  const std::uint64_t lat_missing = lat_missing_;
+  const std::uint64_t comp_missing = comp_missing_;
+  const std::size_t pairs = lat_raw_.size();
+  const std::uint64_t lat_measured =
+      static_cast<std::uint64_t>(pairs) - lat_missing;
+  const std::uint64_t comp_measured =
+      static_cast<std::uint64_t>(pairs) - comp_missing;
+  // Missing pairs take the mean of the measured ones; a fully unmeasured
+  // network degrades to "all pairs equal" exactly like network_loads().
+  lat_fill_ = lat_measured > 0
+                  ? lat_sum / static_cast<double>(lat_measured)
+                  : 100.0;
+  comp_fill_ =
+      comp_measured > 0 ? comp_sum / static_cast<double>(comp_measured) : 0.0;
+  lat_s_ = lat_sum + static_cast<double>(lat_missing) * lat_fill_;
+  comp_s_ = comp_sum + static_cast<double>(comp_missing) * comp_fill_;
+  // Each sum-normalized column totals exactly 1 over the pairs, so the
+  // off-diagonal mean is (active weights)/pairs analytically; dividing by it
+  // is the unit-mean rescale without an extra O(n²) pass.
+  const double weight_sum = (lat_s_ > 0.0 ? weights_.latency : 0.0) +
+                            (comp_s_ > 0.0 ? weights_.bandwidth : 0.0);
+  rescale_ =
+      weight_sum > 0.0 ? static_cast<double>(pairs) / weight_sum : 1.0;
+}
+
+void NlState::materialize(util::FlatMatrix& out) const {
+  out.assign(n_, 0.0);
+  const std::size_t pairs = lat_raw_.size();
+  for (std::size_t k = 0; k < pairs; ++k) {
+    const double lat_raw = lat_raw_[k];
+    const double lat_value = lat_raw < 0.0 ? lat_fill_ : lat_raw;
+    const double lat_term = lat_s_ > 0.0 ? lat_value / lat_s_ : 0.0;
+    const double comp_raw = comp_raw_[k];
+    const double comp_value = comp_raw < 0.0 ? comp_fill_ : comp_raw;
+    const double comp_term = comp_s_ > 0.0 ? comp_value / comp_s_ : 0.0;
+    const double value =
+        (weights_.latency * lat_term + weights_.bandwidth * comp_term) *
+        rescale_;
+    const std::size_t i = pair_i_[k];
+    const std::size_t j = pair_j_[k];
+    out[i][j] = value;
+    out[j][i] = value;
+  }
+}
+
+}  // namespace detail
+
+void prepared_network_loads(const monitor::ClusterSnapshot& snapshot,
+                            std::span<const cluster::NodeId> nodes,
+                            const NetworkLoadWeights& weights,
+                            util::FlatMatrix& out) {
+  // Reused per thread so repeated one-shot preparations (the classic
+  // allocator path) allocate nothing in steady state.
+  thread_local detail::NlState state;
+  state.full_build(snapshot, nodes, weights);
+  state.materialize(out);
+}
+
+PreparedBuilder::PreparedBuilder(RequestProfile profile)
+    : profile_(std::move(profile)) {
+  profile_.compute_weights.validate();
+  profile_.network_weights.validate();
+  NLARM_CHECK(profile_.ppn >= 0) << "negative ppn";
+}
+
+void PreparedBuilder::recompute_node_state() {
+  if (usable_.empty()) {
+    cl_.clear();
+    pc_.clear();
+    load_per_core_ = 0.0;
+    effective_capacity_ = 0;
+    return;
+  }
+  cl_ = rescale_unit_mean(
+      compute_loads(*snapshot_, usable_, profile_.compute_weights));
+  pc_ = effective_process_counts(*snapshot_, usable_, profile_.ppn);
+
+  // Same accumulation order as the classic broker aggregates, so epoch gate
+  // verdicts are bit-identical to ResourceBroker::aggregates().
+  double load_sum = 0.0;
+  double core_sum = 0.0;
+  for (cluster::NodeId id : usable_) {
+    const monitor::NodeSnapshot& node =
+        snapshot_->nodes[static_cast<std::size_t>(id)];
+    load_sum += node.cpu_load_avg.one_min;
+    core_sum += static_cast<double>(node.spec.core_count);
+  }
+  load_per_core_ = core_sum > 0.0 ? load_sum / core_sum : 0.0;
+  effective_capacity_ = 0;
+  for (int c : pc_) effective_capacity_ += c;
+}
+
+void PreparedBuilder::rebuild(
+    std::shared_ptr<const monitor::ClusterSnapshot> snapshot) {
+  NLARM_CHECK(snapshot != nullptr) << "rebuild over a null snapshot";
+  obs::ScopedSpan span("prepared.rebuild",
+                       &obs::metrics::prepared_rebuild_seconds());
+  obs::metrics::prepared_full_rebuilds().inc();
+  snapshot_ = std::move(snapshot);
+  usable_ = snapshot_->usable_nodes();
+  pos_of_.assign(snapshot_->nodes.size(), -1);
+  for (std::size_t i = 0; i < usable_.size(); ++i) {
+    pos_of_[static_cast<std::size_t>(usable_[i])] =
+        static_cast<std::int32_t>(i);
+  }
+  nl_state_.full_build(*snapshot_, usable_, profile_.network_weights);
+  recompute_node_state();
+  version_ = snapshot_->version;
+  time_ = snapshot_->time;
+  has_state_ = true;
+  nl_stale_ = true;
+  incremental_ = false;
+  delta_nodes_ = 0;
+  delta_pairs_ = 0;
+}
+
+bool PreparedBuilder::update(
+    std::shared_ptr<const monitor::ClusterSnapshot> snapshot,
+    const monitor::SnapshotDelta& delta) {
+  NLARM_CHECK(snapshot != nullptr) << "update over a null snapshot";
+  const auto fall_back = [&](const char* why) {
+    NLARM_DEBUG << "prepared delta fallback (" << why << "): base "
+                << delta.base_version << " -> " << delta.version
+                << ", state " << version_;
+    obs::metrics::prepared_incremental_fallbacks().inc();
+    rebuild(std::move(snapshot));
+    return false;
+  };
+
+  if (!has_state_) return fall_back("no prior state");
+  if (delta.requires_full_rebuild()) return fall_back("delta demands full");
+  if (delta.base_version != version_) return fall_back("version gap");
+  if (snapshot->version != delta.version) return fall_back("stale snapshot");
+  if (snapshot->nodes.size() != pos_of_.size()) {
+    return fall_back("node count changed");
+  }
+
+  // A dirty node whose usability flipped (first record arriving, record
+  // invalidated) changes the working set's shape — every position shifts,
+  // so incremental application is off the table.
+  for (cluster::NodeId id : delta.dirty_nodes) {
+    const auto idx = static_cast<std::size_t>(id);
+    if (idx >= snapshot->nodes.size()) return fall_back("node out of range");
+    const bool now_usable =
+        snapshot->livehosts[idx] && snapshot->nodes[idx].valid;
+    if (now_usable != (pos_of_[idx] >= 0)) {
+      return fall_back("usable set changed");
+    }
+  }
+
+  obs::ScopedSpan span("prepared.update",
+                       &obs::metrics::prepared_update_seconds());
+  obs::metrics::prepared_incremental_updates().inc();
+
+  std::size_t applied_pairs = 0;
+  // Re-reading dirty cells is a random walk over three V×V matrices;
+  // prefetching a handful of pairs ahead overlaps the DRAM misses instead
+  // of serializing them.
+  constexpr std::size_t kAhead = 16;
+  const auto& lat_m = snapshot->net.latency_us;
+  const auto& bw_m = snapshot->net.bandwidth_mbps;
+  const auto& peak_m = snapshot->net.peak_mbps;
+  for (std::size_t a = 0; a < delta.dirty_pairs.size(); ++a) {
+    if (a + kAhead < delta.dirty_pairs.size()) {
+      const auto& [fu, fv] = delta.dirty_pairs[a + kAhead];
+      const auto fuu = static_cast<std::size_t>(fu);
+      const auto fvv = static_cast<std::size_t>(fv);
+      const auto edge = static_cast<std::size_t>(snapshot->net.size());
+      if (fuu < edge && fvv < edge) {
+        __builtin_prefetch(lat_m[fuu] + fvv);
+        __builtin_prefetch(bw_m[fuu] + fvv);
+        __builtin_prefetch(peak_m[fuu] + fvv);
+        const std::int32_t fpu = pos_of_[fuu];
+        const std::int32_t fpv = pos_of_[fvv];
+        if (fpu >= 0 && fpv >= 0) {
+          nl_state_.prefetch_pair(
+              static_cast<std::size_t>(std::min(fpu, fpv)),
+              static_cast<std::size_t>(std::max(fpu, fpv)));
+        }
+      }
+    }
+    const auto& [u, v] = delta.dirty_pairs[a];
+    const std::int32_t pu = pos_of_[static_cast<std::size_t>(u)];
+    const std::int32_t pv = pos_of_[static_cast<std::size_t>(v)];
+    if (pu < 0 || pv < 0) continue;  // pair outside the working set
+    const auto i = static_cast<std::size_t>(std::min(pu, pv));
+    const auto j = static_cast<std::size_t>(std::max(pu, pv));
+    nl_state_.patch_pair(*snapshot, usable_, i, j);
+    ++applied_pairs;
+  }
+  if (applied_pairs > 0) {
+    nl_state_.refresh_dirty();
+    nl_stale_ = true;
+  }
+
+  std::size_t applied_nodes = 0;
+  for (cluster::NodeId id : delta.dirty_nodes) {
+    if (pos_of_[static_cast<std::size_t>(id)] >= 0) ++applied_nodes;
+  }
+  snapshot_ = std::move(snapshot);
+  if (applied_nodes > 0) recompute_node_state();
+
+  version_ = snapshot_->version;
+  time_ = snapshot_->time;
+  incremental_ = true;
+  delta_nodes_ = applied_nodes;
+  delta_pairs_ = applied_pairs;
+  return true;
+}
+
+std::shared_ptr<PreparedSnapshot> PreparedBuilder::build() {
+  NLARM_CHECK(has_state_) << "build() before rebuild()";
+  if (nl_stale_ || nl_cache_ == nullptr) {
+    auto matrix = std::make_shared<util::FlatMatrix>();
+    nl_state_.materialize(*matrix);
+    nl_cache_ = std::move(matrix);
+    nl_stale_ = false;
+    obs::metrics::prepared_nl_materializations().inc();
+  } else {
+    obs::metrics::prepared_nl_reuses().inc();
+  }
+  auto prepared = std::make_shared<PreparedSnapshot>();
+  prepared->snapshot = snapshot_;
+  prepared->profile = profile_;
+  prepared->version = version_;
+  prepared->time = time_;
+  prepared->usable = usable_;
+  prepared->cl = cl_;
+  prepared->nl = nl_cache_;
+  prepared->pc = pc_;
+  prepared->pos_of = pos_of_;
+  prepared->load_per_core = load_per_core_;
+  prepared->effective_capacity = effective_capacity_;
+  prepared->incremental = incremental_;
+  prepared->delta_nodes = delta_nodes_;
+  prepared->delta_pairs = delta_pairs_;
+  return prepared;
+}
+
+Allocation allocate_prepared(const PreparedSnapshot& prepared,
+                             const AllocationRequest& request,
+                             const GenerationOptions& options,
+                             AllocStats* stats,
+                             std::span<const int> pc_override,
+                             std::span<const std::size_t> starts) {
+  request.validate();
+  NLARM_CHECK(RequestProfile::of(request) == prepared.profile)
+      << "request profile does not match the epoch's prepared inputs";
+  NLARM_CHECK(prepared.snapshot != nullptr) << "epoch carries no snapshot";
+  NLARM_CHECK(prepared.nl != nullptr) << "epoch carries no NL matrix";
+  NLARM_CHECK(!prepared.usable.empty()) << "no usable nodes in epoch";
+  const std::span<const int> pc =
+      pc_override.empty() ? std::span<const int>(prepared.pc) : pc_override;
+  NLARM_CHECK(pc.size() == prepared.usable.size())
+      << "pc override size mismatch";
+
+  obs::metrics::alloc_requests().inc();
+  AllocStats local_stats;
+  AllocStats& out_stats = stats != nullptr ? *stats : local_stats;
+  out_stats = AllocStats{};
+  out_stats.prepared_cache_hit = true;  // the epoch IS the prepared state
+  out_stats.usable_nodes = prepared.usable.size();
+  obs::ScopedSpan total_span("alloc.total",
+                             &obs::metrics::alloc_total_seconds());
+
+  obs::ScopedSpan generate_span("alloc.generate",
+                                &obs::metrics::alloc_generate_seconds());
+  std::vector<Candidate> candidates =
+      starts.empty()
+          ? generate_all_candidates(prepared.cl, *prepared.nl, pc,
+                                    request.nprocs, request.job, options)
+          : generate_all_candidates(prepared.cl, *prepared.nl, pc,
+                                    request.nprocs, request.job, starts,
+                                    options);
+  out_stats.generate_seconds = generate_span.stop();
+  out_stats.candidates_generated = candidates.size();
+  obs::metrics::alloc_candidates_generated().inc(candidates.size());
+  if (static_cast<std::size_t>(request.nprocs) < prepared.usable.size()) {
+    obs::metrics::alloc_topk_generations().inc();
+  } else {
+    obs::metrics::alloc_fullsort_generations().inc();
+  }
+
+  obs::ScopedSpan select_span("alloc.select",
+                              &obs::metrics::alloc_select_seconds());
+  const SelectionResult selection = select_best_candidate(
+      std::move(candidates), prepared.cl, *prepared.nl, request.job);
+  out_stats.select_seconds = select_span.stop();
+
+  const ScoredCandidate& best = selection.scored[selection.best_index];
+  out_stats.compute_cost = best.compute_cost;
+  out_stats.network_cost = best.network_cost;
+  Allocation allocation;
+  allocation.policy = "network-load-aware";
+  allocation.total_procs = request.nprocs;
+  allocation.total_cost = best.total_cost;
+  for (std::size_t i = 0; i < best.candidate.members.size(); ++i) {
+    allocation.nodes.push_back(prepared.usable[best.candidate.members[i]]);
+    allocation.procs_per_node.push_back(best.candidate.procs[i]);
+  }
+  annotate_allocation(allocation, *prepared.snapshot);
+  out_stats.total_seconds = total_span.stop();
+  out_stats.valid = true;
+  return allocation;
+}
+
+}  // namespace nlarm::core

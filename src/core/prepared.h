@@ -1,0 +1,297 @@
+// Prepared allocator state as a first-class, incrementally-maintained value.
+//
+// PR 1 memoized the O(V²) prepared inputs (normalized CL, NL matrix, pc)
+// per whole-snapshot version, so ANY monitor write threw all of it away.
+// This layer makes re-preparation scale with what actually changed:
+//
+//   MonitorStore ──assemble()──► ClusterSnapshot ─┐
+//        └───────drain_delta()─► SnapshotDelta  ──┤
+//                                                 ▼
+//                       PreparedBuilder (mutable, owner thread only)
+//                          rebuild()  O(V²) — fallback / correctness oracle
+//                          update()   O(dirty + V)
+//                          build()  ──► PreparedSnapshot (immutable epoch)
+//
+// The built PreparedSnapshot is immutable and safe to share across threads;
+// EpochPublisher (core/epoch.h) hands it to concurrent decide() callers.
+//
+// Bit-identity contract: update()+build() must equal rebuild()+build() down
+// to the last bit, so the incremental path can be property-tested against
+// the from-scratch path on every tick. Global sum-normalization makes that
+// impossible for a floating-point running sum (every NL entry divides by a
+// global sum, and FP addition is not associative, so "subtract the old term,
+// add the new one" drifts from a from-scratch sum). The canonical pipeline
+// here sidesteps that: pair-term totals are *defined* as exact fixed-point
+// accumulators (detail::ExactSum — integer arithmetic, so addition IS
+// associative and commutative), and the fill/normalizer/rescale scalars are
+// derived from those totals with a fixed operation sequence. An incremental
+// update subtracts a pair's old contribution and adds its new one; because
+// the accumulator is exact, the result equals re-accumulating every pair
+// from scratch, bit for bit, with O(dirty) work and no auxiliary partial-sum
+// structure. prepare() in the allocator and reference::allocate consume the
+// same canonical pipeline (prepared_network_loads), keeping the
+// golden-equivalence suite meaningful.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/allocator.h"
+#include "core/candidate.h"
+#include "core/weights.h"
+#include "monitor/snapshot.h"
+#include "monitor/snapshot_delta.h"
+#include "util/flat_matrix.h"
+
+namespace nlarm::core {
+
+/// The request-dependent part of the prepared state: everything besides the
+/// snapshot that CL/NL/pc derive from. Epochs are built per profile; a
+/// decide() against an epoch must carry a matching profile.
+struct RequestProfile {
+  ComputeLoadWeights compute_weights;
+  NetworkLoadWeights network_weights;
+  int ppn = 0;
+
+  static RequestProfile of(const AllocationRequest& request) {
+    return {request.compute_weights, request.network_weights, request.ppn};
+  }
+
+  bool operator==(const RequestProfile&) const = default;
+};
+
+namespace detail {
+
+/// Order-independent exact accumulator for nonnegative doubles: a 256-bit
+/// two's-complement fixed-point integer with its least-significant bit at
+/// 2⁻⁸⁰. Integer addition is associative and commutative, so a sequence of
+/// add()/sub() calls lands on the same state regardless of order — which is
+/// exactly what lets an incremental "subtract old term, add new term" match
+/// a from-scratch accumulation bit for bit.
+///
+/// Window: values in [2⁻²⁸, 2¹⁹¹) are decomposed exactly (a 53-bit mantissa
+/// shifted into the limbs). Realistic pair metrics — microsecond latencies,
+/// Mbit/s bandwidth complements — sit many decades inside that window. Out
+/// of deference to garbage inputs the edges are still *deterministic*:
+/// positive values below the window contribute 0, values at/above the top
+/// (including +inf) clamp to the highest representable shift, and overflow
+/// wraps mod 2²⁵⁶ — degenerate, but identical on both paths, which is the
+/// contract that matters. NaN and negatives are filtered by the caller
+/// (they mean "unmeasured" and are counted, not summed).
+class ExactSum {
+ public:
+  void add(double v) { accumulate(v, /*negate=*/false); }
+  void sub(double v) { accumulate(v, /*negate=*/true); }
+  void reset() { limbs_ = {}; }
+
+  /// Deterministic conversion: fold the limbs high→low in one fixed
+  /// expression. (Not correctly-rounded against the abstract sum — it does
+  /// not need to be; this fold IS the canonical definition of the total.)
+  double to_double() const;
+
+ private:
+  void accumulate(double v, bool negate);
+
+  // Little-endian limbs; limb l carries weight 2^(64l − 80).
+  std::array<std::uint64_t, 4> limbs_{};
+};
+
+/// Exact-accumulator network-load state over a working node set. This class
+/// IS the canonical definition of the prepared NL matrix (see file
+/// comment): both the one-shot prepared_network_loads() and the incremental
+/// PreparedBuilder go through it, which is what makes them bit-identical.
+class NlState {
+ public:
+  /// Gathers every upper-triangle pair term from the snapshot and computes
+  /// all aggregates. O(n²).
+  void full_build(const monitor::ClusterSnapshot& snapshot,
+                  std::span<const cluster::NodeId> nodes,
+                  const NetworkLoadWeights& weights);
+
+  /// Re-reads one pair (positions i < j in the working set) from the
+  /// snapshot, swapping its old contribution out of the exact totals and
+  /// the new one in. Finish a batch of patches with refresh_dirty().
+  void patch_pair(const monitor::ClusterSnapshot& snapshot,
+                  std::span<const cluster::NodeId> nodes, std::size_t i,
+                  std::size_t j);
+
+  /// Re-derives the normalization scalars from the (already exact) totals.
+  /// O(1) — the accumulators absorbed the per-pair work in patch_pair().
+  void refresh_dirty();
+
+  /// Pulls this pair's raw terms toward the cache ahead of a patch_pair()
+  /// call (the patch loop's random walk is DRAM-latency-bound otherwise).
+  void prefetch_pair(std::size_t i, std::size_t j) const {
+    const std::size_t k = pair_index(i, j);
+    if (k < lat_raw_.size()) {
+      __builtin_prefetch(lat_raw_.data() + k, 1);
+      __builtin_prefetch(comp_raw_.data() + k, 1);
+    }
+  }
+
+  /// Writes the canonical NL matrix (normalized, unit-mean rescaled,
+  /// symmetric, zero diagonal). O(n²).
+  void materialize(util::FlatMatrix& out) const;
+
+  std::size_t node_count() const { return n_; }
+  std::size_t pair_count() const { return lat_raw_.size(); }
+
+ private:
+  /// Flat index of pair (i, j), i < j, in the i-major upper triangle.
+  std::size_t pair_index(std::size_t i, std::size_t j) const {
+    return i * n_ - i * (i + 1) / 2 + (j - i - 1);
+  }
+
+  void read_pair(const monitor::ClusterSnapshot& snapshot, cluster::NodeId u,
+                 cluster::NodeId v, std::size_t k);
+  void account_add(std::size_t k);
+  void account_remove(std::size_t k);
+  void recompute_scalars();
+
+  std::size_t n_ = 0;
+  NetworkLoadWeights weights_;
+
+  // Pair-indexed raw terms: latency in µs, complement of available
+  // bandwidth in Mbit/s; <0 = unmeasured (the store's sentinel).
+  std::vector<double> lat_raw_;
+  std::vector<double> comp_raw_;
+  // Reverse map k → (i, j), so materialize() needs no arithmetic inversion
+  // of pair_index.
+  std::vector<std::uint32_t> pair_i_;
+  std::vector<std::uint32_t> pair_j_;
+
+  // Exact totals over the measured pair terms plus unmeasured-pair counts.
+  // Maintained incrementally; order-independence makes the incremental and
+  // from-scratch paths agree exactly.
+  ExactSum lat_acc_;
+  ExactSum comp_acc_;
+  std::uint64_t lat_missing_ = 0;
+  std::uint64_t comp_missing_ = 0;
+
+  // Scalars derived from the exact totals (fixed operation sequence).
+  double lat_fill_ = 0.0;   ///< mean measured latency (or 100 µs fallback)
+  double comp_fill_ = 0.0;  ///< mean measured complement (or 0 fallback)
+  double lat_s_ = 0.0;      ///< latency normalizer Σ (with fills)
+  double comp_s_ = 0.0;     ///< complement normalizer Σ (with fills)
+  double rescale_ = 1.0;    ///< unit-mean rescale factor
+};
+
+}  // namespace detail
+
+/// One-shot canonical prepared-NL matrix (normalize by chunked sums, fill
+/// missing with the measured mean, unit-mean rescale). This is what the
+/// allocator's prepare(), reference::allocate and the epoch builder all use;
+/// it intentionally supersedes rescale_unit_mean(network_loads(...)) as the
+/// prepared-input definition (the raw network_loads() stays as the Eq. 2
+/// diagnostic form).
+void prepared_network_loads(const monitor::ClusterSnapshot& snapshot,
+                            std::span<const cluster::NodeId> nodes,
+                            const NetworkLoadWeights& weights,
+                            util::FlatMatrix& out);
+
+/// An immutable epoch: everything a decide() needs, derived from one
+/// snapshot version and one request profile. Safe to read from any number
+/// of threads; never mutated after build().
+struct PreparedSnapshot {
+  /// The snapshot the epoch derives from (annotation, hostfiles, audit).
+  std::shared_ptr<const monitor::ClusterSnapshot> snapshot;
+  RequestProfile profile;
+  std::uint64_t version = 0;  ///< snapshot version the state matches
+  double time = 0.0;          ///< snapshot assembly time
+  std::uint64_t epoch = 0;    ///< stamped by EpochPublisher::publish
+
+  std::vector<cluster::NodeId> usable;
+  std::vector<double> cl;  ///< unit-mean rescaled compute loads
+  /// Canonical NL matrix. shared_ptr so epochs whose network state did not
+  /// change (node-only ticks — the common case given the paper's 3–10 s node
+  /// vs 1–5 min pair cadences) share one materialized matrix.
+  std::shared_ptr<const util::FlatMatrix> nl;
+  std::vector<int> pc;
+
+  /// Position of each NodeId in `usable` (-1 = not usable). Batch admission
+  /// uses this to debit capacity by node id.
+  std::vector<std::int32_t> pos_of;
+
+  // Broker-gate aggregates (same accumulation order as the classic path).
+  double load_per_core = 0.0;
+  int effective_capacity = 0;
+
+  // Build provenance (observability / tests).
+  bool incremental = false;     ///< last state change was a delta apply
+  std::size_t delta_nodes = 0;  ///< in-working-set dirty nodes applied
+  std::size_t delta_pairs = 0;  ///< in-working-set dirty pairs applied
+};
+
+/// Owner-thread builder of PreparedSnapshot epochs. Not thread-safe; one
+/// monitor/refresh thread drives it while decide() threads consume the
+/// immutable epochs it builds.
+class PreparedBuilder {
+ public:
+  explicit PreparedBuilder(RequestProfile profile);
+
+  const RequestProfile& profile() const { return profile_; }
+  bool has_state() const { return has_state_; }
+  std::uint64_t state_version() const { return version_; }
+
+  /// Full O(V²) re-preparation from the snapshot. Also the fallback target
+  /// of update() and the correctness oracle the tests compare against.
+  void rebuild(std::shared_ptr<const monitor::ClusterSnapshot> snapshot);
+
+  /// Applies a delta in O(dirty + V). Returns true when the
+  /// delta was applied incrementally; falls back to rebuild() (returning
+  /// false) whenever continuity cannot be proven: no prior state, version
+  /// gap, livehosts change, an explicit full flag, a node-count change, or
+  /// a dirty node whose usability flipped.
+  bool update(std::shared_ptr<const monitor::ClusterSnapshot> snapshot,
+              const monitor::SnapshotDelta& delta);
+
+  /// Materializes the current state as an immutable epoch. O(V²) only when
+  /// pair state changed since the last build; otherwise the previous NL
+  /// matrix is shared.
+  std::shared_ptr<PreparedSnapshot> build();
+
+ private:
+  void recompute_node_state();
+
+  RequestProfile profile_;
+  bool has_state_ = false;
+  std::shared_ptr<const monitor::ClusterSnapshot> snapshot_;
+  std::uint64_t version_ = 0;
+  double time_ = 0.0;
+
+  std::vector<cluster::NodeId> usable_;
+  std::vector<std::int32_t> pos_of_;
+  std::vector<double> cl_;
+  std::vector<int> pc_;
+  double load_per_core_ = 0.0;
+  int effective_capacity_ = 0;
+
+  detail::NlState nl_state_;
+  std::shared_ptr<const util::FlatMatrix> nl_cache_;  ///< last materialized
+  bool nl_stale_ = true;
+
+  bool incremental_ = false;
+  std::size_t delta_nodes_ = 0;
+  std::size_t delta_pairs_ = 0;
+};
+
+/// Stateless Algorithms 1+2 against an immutable epoch — the concurrent
+/// decide() hot path (thread safety comes from touching only the epoch,
+/// thread-local scratch and atomic metrics).
+///
+/// `pc_override`/`starts` support batch admission: a non-empty pc_override
+/// replaces the epoch's per-node capacities (zero entries are skipped by the
+/// process fill), and a non-empty `starts` restricts candidate generation to
+/// those working-set positions. Both empty = the plain single-request path.
+/// `stats` (optional) receives the per-stage timings and counters.
+Allocation allocate_prepared(const PreparedSnapshot& prepared,
+                             const AllocationRequest& request,
+                             const GenerationOptions& options = {},
+                             AllocStats* stats = nullptr,
+                             std::span<const int> pc_override = {},
+                             std::span<const std::size_t> starts = {});
+
+}  // namespace nlarm::core

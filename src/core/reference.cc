@@ -4,8 +4,8 @@
 #include <numeric>
 
 #include "core/compute_load.h"
-#include "core/network_load.h"
 #include "core/normalize.h"
+#include "core/prepared.h"
 #include "util/check.h"
 
 namespace nlarm::core::reference {
@@ -108,8 +108,10 @@ Allocation allocate(const monitor::ClusterSnapshot& snapshot,
 
   const std::vector<double> cl = rescale_unit_mean(
       compute_loads(snapshot, usable, request.compute_weights));
-  const util::FlatMatrix nl = rescale_unit_mean(
-      network_loads(snapshot, usable, request.network_weights));
+  // Same canonical NL pipeline as the fast allocator and the epoch builder,
+  // so the equivalence suite compares like with like bit for bit.
+  util::FlatMatrix nl;
+  prepared_network_loads(snapshot, usable, request.network_weights, nl);
   const std::vector<int> pc =
       effective_process_counts(snapshot, usable, request.ppn);
 

@@ -1,0 +1,67 @@
+#include "monitor/snapshot_delta.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace nlarm::monitor {
+
+DeltaTracker::DeltaTracker(int node_count) : node_count_(node_count) {
+  NLARM_CHECK(node_count > 0) << "delta tracker needs at least one node";
+  node_dirty_.assign(static_cast<std::size_t>(node_count), false);
+  pair_dirty_.assign(
+      static_cast<std::size_t>(node_count) * static_cast<std::size_t>(node_count),
+      false);
+}
+
+void DeltaTracker::mark_node(cluster::NodeId node) {
+  NLARM_CHECK(node >= 0 && node < node_count_) << "bad node id " << node;
+  const auto idx = static_cast<std::size_t>(node);
+  if (node_dirty_[idx]) return;
+  node_dirty_[idx] = true;
+  dirty_nodes_.push_back(node);
+}
+
+void DeltaTracker::mark_pair(cluster::NodeId u, cluster::NodeId v) {
+  NLARM_CHECK(u >= 0 && u < node_count_ && v >= 0 && v < node_count_)
+      << "bad pair (" << u << ", " << v << ")";
+  NLARM_CHECK(u != v) << "self pair marked dirty";
+  const auto lo = static_cast<std::size_t>(std::min(u, v));
+  const auto hi = static_cast<std::size_t>(std::max(u, v));
+  const std::size_t key = lo * static_cast<std::size_t>(node_count_) + hi;
+  if (pair_dirty_[key]) return;
+  pair_dirty_[key] = true;
+  dirty_pair_keys_.push_back(key);
+}
+
+void DeltaTracker::mark_livehosts() { livehosts_changed_ = true; }
+
+void DeltaTracker::mark_full() { full_ = true; }
+
+SnapshotDelta DeltaTracker::drain() {
+  SnapshotDelta delta;
+  std::sort(dirty_nodes_.begin(), dirty_nodes_.end());
+  delta.dirty_nodes = std::move(dirty_nodes_);
+  dirty_nodes_ = {};
+  for (cluster::NodeId node : delta.dirty_nodes) {
+    node_dirty_[static_cast<std::size_t>(node)] = false;
+  }
+
+  std::sort(dirty_pair_keys_.begin(), dirty_pair_keys_.end());
+  delta.dirty_pairs.reserve(dirty_pair_keys_.size());
+  const auto n = static_cast<std::size_t>(node_count_);
+  for (std::size_t key : dirty_pair_keys_) {
+    pair_dirty_[key] = false;
+    delta.dirty_pairs.emplace_back(static_cast<cluster::NodeId>(key / n),
+                                   static_cast<cluster::NodeId>(key % n));
+  }
+  dirty_pair_keys_.clear();
+
+  delta.livehosts_changed = livehosts_changed_;
+  delta.full = full_;
+  livehosts_changed_ = false;
+  full_ = false;
+  return delta;
+}
+
+}  // namespace nlarm::monitor

@@ -1,0 +1,89 @@
+// SnapshotDelta: what changed in the monitored state between two snapshot
+// versions.
+//
+// The paper's daemons refresh node records every 3-10 s and P2P probes every
+// 1-5 min, so consecutive snapshots differ in a small fraction of entries.
+// Instead of forcing consumers to re-derive O(V²) prepared state per tick,
+// the MonitorStore records which node ids and which P2P pairs were written
+// and hands the dirty sets out alongside the snapshot. Consumers that track
+// state per version (core::PreparedBuilder) re-prepare O(dirty) instead of
+// O(V²), falling back to a full rebuild whenever the delta cannot prove
+// continuity (version gap, liveness change, ...).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "cluster/node.h"
+
+namespace nlarm::monitor {
+
+/// Dirty sets accumulated between two drain points of a MonitorStore.
+///
+/// `base_version`/`version` are snapshot-style version stamps (store id in
+/// the high bits): the delta describes exactly the writes that took the
+/// store from `base_version` to `version`. A consumer holding prepared
+/// state for `base_version` may apply the delta; any other base requires a
+/// full rebuild.
+struct SnapshotDelta {
+  std::uint64_t base_version = 0;
+  std::uint64_t version = 0;
+
+  /// Node ids whose NodeStateD record was rewritten (sorted, unique).
+  std::vector<cluster::NodeId> dirty_nodes;
+  /// Unordered pairs with a fresh latency or bandwidth measurement, stored
+  /// as (min id, max id) and sorted lexicographically (unique).
+  std::vector<std::pair<cluster::NodeId, cluster::NodeId>> dirty_pairs;
+
+  /// The livehosts vector was rewritten. The usable-node set may have
+  /// changed shape, so incremental consumers must do a full rebuild.
+  bool livehosts_changed = false;
+  /// Catch-all escape hatch: the producer could not track the change set
+  /// (or the tracker overflowed); consumers must do a full rebuild.
+  bool full = false;
+
+  bool empty() const {
+    return dirty_nodes.empty() && dirty_pairs.empty() && !livehosts_changed &&
+           !full;
+  }
+
+  /// True when the delta alone cannot justify incremental application.
+  bool requires_full_rebuild() const { return full || livehosts_changed; }
+
+  void clear() {
+    dirty_nodes.clear();
+    dirty_pairs.clear();
+    livehosts_changed = false;
+    full = false;
+  }
+};
+
+/// Accumulates dirty node ids / pairs between drains. Used by MonitorStore;
+/// exposed so simulations and tests can build deltas by hand.
+class DeltaTracker {
+ public:
+  explicit DeltaTracker(int node_count);
+
+  void mark_node(cluster::NodeId node);
+  void mark_pair(cluster::NodeId u, cluster::NodeId v);
+  void mark_livehosts();
+  void mark_full();
+
+  /// Moves the accumulated dirty sets out (sorted, deduplicated) and resets
+  /// the tracker. Version stamps are the caller's business.
+  SnapshotDelta drain();
+
+ private:
+  int node_count_;
+  std::vector<bool> node_dirty_;
+  std::vector<cluster::NodeId> dirty_nodes_;
+  /// Pair dedup bitmap over (min*n + max) flat keys; the vector of keys
+  /// remembers which bits to clear on drain so repeated drains stay O(dirty).
+  std::vector<bool> pair_dirty_;
+  std::vector<std::size_t> dirty_pair_keys_;
+  bool livehosts_changed_ = false;
+  bool full_ = false;
+};
+
+}  // namespace nlarm::monitor

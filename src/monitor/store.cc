@@ -20,7 +20,9 @@ std::uint64_t next_store_id() {
 }  // namespace
 
 MonitorStore::MonitorStore(int node_count)
-    : node_count_(node_count), store_id_(next_store_id()) {
+    : node_count_(node_count),
+      store_id_(next_store_id()),
+      delta_tracker_(node_count) {
   NLARM_CHECK(node_count > 0) << "store needs at least one node";
   livehosts_.assign(static_cast<std::size_t>(node_count), false);
   node_records_.resize(static_cast<std::size_t>(node_count));
@@ -39,6 +41,9 @@ void MonitorStore::check_node(cluster::NodeId node) const {
 void MonitorStore::write_livehosts(double now, std::vector<bool> livehosts) {
   NLARM_CHECK(static_cast<int>(livehosts.size()) == node_count_)
       << "livehosts size mismatch";
+  // Only a changed vector invalidates incremental consumers; the periodic
+  // LivehostsD rewrite of an unchanged view stays a cheap no-op delta.
+  if (livehosts != livehosts_) delta_tracker_.mark_livehosts();
   livehosts_ = std::move(livehosts);
   livehosts_time_ = now;
   ++version_;
@@ -50,6 +55,7 @@ void MonitorStore::write_node_record(double now, const NodeSnapshot& record) {
   copy.valid = true;
   copy.sample_time = now;
   node_records_[static_cast<std::size_t>(record.spec.id)] = std::move(copy);
+  delta_tracker_.mark_node(record.spec.id);
   ++version_;
 }
 
@@ -69,6 +75,7 @@ void MonitorStore::write_latency(double now, cluster::NodeId u,
   net_.latency_us[uu][vv] = one_min_us;
   net_.latency_5min_us[uu][vv] = five_min_us;
   latency_time_[uu][vv] = now;
+  delta_tracker_.mark_pair(u, v);
   ++version_;
 }
 
@@ -83,6 +90,7 @@ void MonitorStore::write_bandwidth(double now, cluster::NodeId u,
   net_.bandwidth_mbps[uu][vv] = bandwidth_mbps;
   net_.peak_mbps[uu][vv] = peak_mbps;
   bandwidth_time_[uu][vv] = now;
+  delta_tracker_.mark_pair(u, v);
   ++version_;
 }
 
@@ -90,11 +98,26 @@ ClusterSnapshot MonitorStore::assemble(double now) const {
   obs::metrics::monitor_snapshots().inc();
   ClusterSnapshot snap;
   snap.time = now;
-  snap.version = (store_id_ << 32) | (version_ & 0xffffffffull);
+  snap.version = snapshot_version();
   snap.livehosts = livehosts_;
   snap.nodes = node_records_;
   snap.net = net_;
   return snap;
+}
+
+std::uint64_t MonitorStore::snapshot_version() const {
+  return (store_id_ << 32) | (version_ & 0xffffffffull);
+}
+
+SnapshotDelta MonitorStore::drain_delta() {
+  SnapshotDelta delta = delta_tracker_.drain();
+  delta.base_version = (store_id_ << 32) | (delta_base_version_ & 0xffffffffull);
+  delta.version = snapshot_version();
+  delta_base_version_ = version_;
+  obs::metrics::monitor_delta_drains().inc();
+  obs::metrics::monitor_delta_dirty_nodes().inc(delta.dirty_nodes.size());
+  obs::metrics::monitor_delta_dirty_pairs().inc(delta.dirty_pairs.size());
+  return delta;
 }
 
 double MonitorStore::node_staleness(double now, cluster::NodeId node) const {

@@ -12,6 +12,7 @@
 
 #include "cluster/node.h"
 #include "monitor/snapshot.h"
+#include "monitor/snapshot_delta.h"
 
 namespace nlarm::monitor {
 
@@ -46,6 +47,16 @@ class MonitorStore {
   /// snapshot version stamp.
   std::uint64_t version() const { return version_; }
 
+  /// The version stamp assemble() would put on a snapshot right now.
+  std::uint64_t snapshot_version() const;
+
+  /// Returns the dirty node/pair sets accumulated since the previous drain
+  /// (or since construction), stamped with the snapshot-style versions the
+  /// delta spans. Call right after assemble(): a consumer whose prepared
+  /// state matches `delta.base_version` can then apply the delta to reach
+  /// the assembled snapshot's version instead of re-preparing from scratch.
+  SnapshotDelta drain_delta();
+
   /// Seconds since the given node's record was refreshed (inf if never).
   double node_staleness(double now, cluster::NodeId node) const;
 
@@ -65,6 +76,8 @@ class MonitorStore {
   NetSnapshot net_;
   util::FlatMatrix latency_time_;
   util::FlatMatrix bandwidth_time_;
+  DeltaTracker delta_tracker_;
+  std::uint64_t delta_base_version_ = 1;  ///< local version at last drain
 };
 
 }  // namespace nlarm::monitor

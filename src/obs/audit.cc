@@ -279,7 +279,8 @@ std::string AuditRecord::to_json() const {
       << ",\"snapshot_version\":" << snapshot_version
       << ",\"snapshot_time\":" << num(snapshot_time)
       << ",\"snapshot_nodes\":" << snapshot_nodes
-      << ",\"usable_nodes\":" << usable_nodes << ",\"action\":";
+      << ",\"usable_nodes\":" << usable_nodes << ",\"epoch\":" << epoch
+      << ",\"action\":";
   append_json_string(out, action);
   out << ",\"reason\":";
   append_json_string(out, reason);
@@ -330,6 +331,7 @@ AuditRecord AuditRecord::from_json(const std::string& json) {
   r.snapshot_time = get_number(root, "snapshot_time", 0.0);
   r.snapshot_nodes = static_cast<int>(get_number(root, "snapshot_nodes", 0));
   r.usable_nodes = static_cast<int>(get_number(root, "usable_nodes", 0));
+  r.epoch = static_cast<std::uint64_t>(get_number(root, "epoch", 0));
   r.action = get_string(root, "action");
   r.reason = get_string(root, "reason");
   r.cluster_load_per_core = get_number(root, "cluster_load_per_core", 0.0);
@@ -358,6 +360,7 @@ AuditRecord AuditRecord::from_json(const std::string& json) {
 }
 
 std::string AuditLog::jsonl() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::string out;
   for (const AuditRecord& record : records_) {
     out += record.to_json();

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,7 @@ struct AuditRecord {
   double snapshot_time = 0.0;
   int snapshot_nodes = 0;
   int usable_nodes = 0;
+  std::uint64_t epoch = 0;  ///< published epoch served (0 = classic path)
 
   // Gate verdict.
   std::string action;  ///< "allocate" | "wait"
@@ -60,14 +62,27 @@ struct AuditRecord {
   static AuditRecord from_json(const std::string& json);
 };
 
-/// In-memory collection of audit records with JSONL output.
+/// In-memory collection of audit records with JSONL output. Thread-safe:
+/// concurrent epoch decide() calls append from many threads, so the log
+/// serializes internally and readers get a snapshot copy.
 class AuditLog {
  public:
-  void append(AuditRecord record) { records_.push_back(std::move(record)); }
-  const std::vector<AuditRecord>& records() const { return records_; }
+  void append(AuditRecord record) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    records_.push_back(std::move(record));
+  }
+  std::vector<AuditRecord> records() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return records_;
+  }
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return records_.size();
+  }
   std::string jsonl() const;
 
  private:
+  mutable std::mutex mutex_;
   std::vector<AuditRecord> records_;
 };
 

@@ -68,6 +68,38 @@ NLARM_CATALOG_COUNTER(select_cost_dedup_hits,
                       "Selection cost walks skipped because an identical "
                       "member set was already walked.")
 
+NLARM_CATALOG_COUNTER(prepared_full_rebuilds,
+                      "nlarm_prepared_full_rebuilds_total",
+                      "Full O(V^2) prepared-state rebuilds (initial builds "
+                      "and incremental fallbacks).")
+NLARM_CATALOG_COUNTER(prepared_incremental_updates,
+                      "nlarm_prepared_incremental_updates_total",
+                      "Snapshot deltas applied incrementally to prepared "
+                      "state.")
+NLARM_CATALOG_COUNTER(prepared_incremental_fallbacks,
+                      "nlarm_prepared_incremental_fallbacks_total",
+                      "Delta applications that could not prove continuity "
+                      "and fell back to a full rebuild.")
+NLARM_CATALOG_COUNTER(prepared_nl_materializations,
+                      "nlarm_prepared_nl_materializations_total",
+                      "Epoch builds that materialized a fresh O(V^2) NL "
+                      "matrix.")
+NLARM_CATALOG_COUNTER(prepared_nl_reuses, "nlarm_prepared_nl_reuses_total",
+                      "Epoch builds that shared the previous NL matrix "
+                      "(no pair state changed).")
+NLARM_CATALOG_HISTOGRAM(prepared_update_seconds,
+                        "nlarm_prepared_update_seconds",
+                        "Wall time of one incremental delta application.")
+NLARM_CATALOG_HISTOGRAM(prepared_rebuild_seconds,
+                        "nlarm_prepared_rebuild_seconds",
+                        "Wall time of one full prepared-state rebuild.")
+
+NLARM_CATALOG_COUNTER(epoch_publishes, "nlarm_epoch_publishes_total",
+                      "Prepared epochs published to concurrent readers.")
+NLARM_CATALOG_GAUGE(epoch_age_seconds, "nlarm_epoch_age_seconds",
+                    "Snapshot-time gap between the last two published "
+                    "epochs (how stale the previous epoch had become).")
+
 NLARM_CATALOG_COUNTER(broker_decisions, "nlarm_broker_decisions_total",
                       "Brokered decisions (allocate or wait).")
 NLARM_CATALOG_COUNTER(broker_waits, "nlarm_broker_waits_total",
@@ -83,6 +115,15 @@ NLARM_CATALOG_COUNTER(broker_aggregates_cache_misses,
                       "Broker gate aggregates recomputed from the snapshot.")
 NLARM_CATALOG_HISTOGRAM(broker_gate_seconds, "nlarm_broker_gate_seconds",
                         "Wall time of the wait/allocate gate evaluation.")
+NLARM_CATALOG_COUNTER(broker_epoch_decisions,
+                      "nlarm_broker_epoch_decisions_total",
+                      "Decisions served from a published epoch (lock-free "
+                      "concurrent path).")
+NLARM_CATALOG_COUNTER(broker_batches, "nlarm_broker_batches_total",
+                      "Batched admission rounds decided against one epoch.")
+NLARM_CATALOG_COUNTER(broker_batch_requests,
+                      "nlarm_broker_batch_requests_total",
+                      "Requests decided inside batched admission rounds.")
 
 NLARM_CATALOG_GAUGE(threadpool_threads, "nlarm_threadpool_threads",
                     "Worker threads in the most recently constructed "
@@ -127,6 +168,14 @@ NLARM_CATALOG_COUNTER(monitor_promotions, "nlarm_monitor_promotions_total",
 NLARM_CATALOG_GAUGE(monitor_abandoned, "nlarm_monitor_abandoned",
                     "1 once master and slave supervisors both died and "
                     "supervision stopped.")
+NLARM_CATALOG_COUNTER(monitor_delta_drains, "nlarm_monitor_delta_drains_total",
+                      "Snapshot deltas drained from monitor stores.")
+NLARM_CATALOG_COUNTER(monitor_delta_dirty_nodes,
+                      "nlarm_monitor_delta_dirty_nodes_total",
+                      "Dirty node ids carried by drained deltas.")
+NLARM_CATALOG_COUNTER(monitor_delta_dirty_pairs,
+                      "nlarm_monitor_delta_dirty_pairs_total",
+                      "Dirty P2P pairs carried by drained deltas.")
 
 NLARM_CATALOG_COUNTER(sim_events, "nlarm_sim_events_total",
                       "Discrete events dispatched by the simulation engine.")
@@ -152,12 +201,24 @@ void register_all() {
   alloc_total_seconds();
   select_cost_walks();
   select_cost_dedup_hits();
+  prepared_full_rebuilds();
+  prepared_incremental_updates();
+  prepared_incremental_fallbacks();
+  prepared_nl_materializations();
+  prepared_nl_reuses();
+  prepared_update_seconds();
+  prepared_rebuild_seconds();
+  epoch_publishes();
+  epoch_age_seconds();
   broker_decisions();
   broker_waits();
   broker_allocations();
   broker_aggregates_cache_hits();
   broker_aggregates_cache_misses();
   broker_gate_seconds();
+  broker_epoch_decisions();
+  broker_batches();
+  broker_batch_requests();
   threadpool_threads();
   threadpool_batches();
   threadpool_tasks();
@@ -173,6 +234,9 @@ void register_all() {
   monitor_daemon_relaunches();
   monitor_promotions();
   monitor_abandoned();
+  monitor_delta_drains();
+  monitor_delta_dirty_nodes();
+  monitor_delta_dirty_pairs();
   sim_events();
   sim_time_ratio();
 }

@@ -29,6 +29,19 @@ Histogram& alloc_total_seconds();        ///< nlarm_alloc_total_seconds
 Counter& select_cost_walks();            ///< nlarm_select_cost_walks_total
 Counter& select_cost_dedup_hits();       ///< nlarm_select_cost_dedup_hits_total
 
+// --- prepared-state maintenance (PreparedBuilder) ---
+Counter& prepared_full_rebuilds();        ///< nlarm_prepared_full_rebuilds_total
+Counter& prepared_incremental_updates();  ///< nlarm_prepared_incremental_updates_total
+Counter& prepared_incremental_fallbacks(); ///< nlarm_prepared_incremental_fallbacks_total
+Counter& prepared_nl_materializations();  ///< nlarm_prepared_nl_materializations_total
+Counter& prepared_nl_reuses();            ///< nlarm_prepared_nl_reuses_total
+Histogram& prepared_update_seconds();     ///< nlarm_prepared_update_seconds
+Histogram& prepared_rebuild_seconds();    ///< nlarm_prepared_rebuild_seconds
+
+// --- epoch publication (EpochPublisher) ---
+Counter& epoch_publishes();              ///< nlarm_epoch_publishes_total
+Gauge& epoch_age_seconds();              ///< nlarm_epoch_age_seconds
+
 // --- broker ---
 Counter& broker_decisions();             ///< nlarm_broker_decisions_total
 Counter& broker_waits();                 ///< nlarm_broker_waits_total
@@ -36,6 +49,9 @@ Counter& broker_allocations();           ///< nlarm_broker_allocations_total
 Counter& broker_aggregates_cache_hits();   ///< nlarm_broker_aggregates_cache_hits_total
 Counter& broker_aggregates_cache_misses(); ///< nlarm_broker_aggregates_cache_misses_total
 Histogram& broker_gate_seconds();        ///< nlarm_broker_gate_seconds
+Counter& broker_epoch_decisions();       ///< nlarm_broker_epoch_decisions_total
+Counter& broker_batches();               ///< nlarm_broker_batches_total
+Counter& broker_batch_requests();        ///< nlarm_broker_batch_requests_total
 
 // --- util::ThreadPool (pooled parallel_for path only) ---
 Gauge& threadpool_threads();             ///< nlarm_threadpool_threads
@@ -55,6 +71,9 @@ Gauge& monitor_daemons_running();        ///< nlarm_monitor_daemons_running
 Counter& monitor_daemon_relaunches();    ///< nlarm_monitor_daemon_relaunches_total
 Counter& monitor_promotions();           ///< nlarm_monitor_promotions_total
 Gauge& monitor_abandoned();              ///< nlarm_monitor_abandoned
+Counter& monitor_delta_drains();         ///< nlarm_monitor_delta_drains_total
+Counter& monitor_delta_dirty_nodes();    ///< nlarm_monitor_delta_dirty_nodes_total
+Counter& monitor_delta_dirty_pairs();    ///< nlarm_monitor_delta_dirty_pairs_total
 
 // --- simulation engine ---
 Counter& sim_events();                   ///< nlarm_sim_events_total

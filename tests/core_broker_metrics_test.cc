@@ -71,8 +71,9 @@ TEST(BrokerMetricsTest, RepeatedDecideOnSameSnapshotHitsCaches) {
 
   // Audit trail: one record per decide(), the second marked as a cache hit.
   ASSERT_EQ(audit.records().size(), 2u);
-  const obs::AuditRecord& r0 = audit.records()[0];
-  const obs::AuditRecord& r1 = audit.records()[1];
+  const std::vector<obs::AuditRecord> records = audit.records();
+  const obs::AuditRecord& r0 = records[0];
+  const obs::AuditRecord& r1 = records[1];
   EXPECT_EQ(r0.action, "allocate");
   EXPECT_FALSE(r0.prepared_cache_hit);
   EXPECT_TRUE(r1.prepared_cache_hit);
@@ -110,7 +111,8 @@ TEST(BrokerMetricsTest, WaitVerdictIsCountedAndAudited) {
   EXPECT_EQ(obs::metrics::broker_allocations().value(), allocations0);
 
   ASSERT_EQ(audit.records().size(), 1u);
-  const obs::AuditRecord& r = audit.records()[0];
+  const std::vector<obs::AuditRecord> records = audit.records();
+  const obs::AuditRecord& r = records[0];
   EXPECT_EQ(r.action, "wait");
   EXPECT_FALSE(r.reason.empty());
   EXPECT_TRUE(r.nodes.empty());
@@ -167,7 +169,8 @@ TEST(BrokerMetricsTest, BaselineAllocatorAuditsWithoutStats) {
   ASSERT_EQ(broker.decide(snap, request_for(8)).action,
             BrokerDecision::Action::kAllocate);
   ASSERT_EQ(audit.records().size(), 1u);
-  const obs::AuditRecord& r = audit.records()[0];
+  const std::vector<obs::AuditRecord> records = audit.records();
+  const obs::AuditRecord& r = records[0];
   EXPECT_EQ(r.policy, "random");
   EXPECT_FALSE(r.nodes.empty());
   EXPECT_FALSE(r.prepared_cache_hit);
@@ -192,6 +195,35 @@ TEST(BrokerMetricsTest, RegisterAllExposesEverySeries) {
        }) {
     EXPECT_NE(text.find(name), std::string::npos) << name;
   }
+}
+
+
+TEST(BrokerMetricsTest, DriftedSnapshotTimeStillHitsCaches) {
+  // Regression: the memo keys used to include the snapshot's float
+  // timestamp, so periodically re-assembled (identical, re-stamped) data
+  // never hit. A nonzero version counter is the source of truth.
+  auto snap = make_snapshot(idle_nodes(6));
+  snap.version = 77;
+  NetworkLoadAwareAllocator allocator;
+  ResourceBroker broker(allocator);
+
+  const std::uint64_t agg_hits0 =
+      obs::metrics::broker_aggregates_cache_hits().value();
+  const std::uint64_t prepared_hits0 =
+      obs::metrics::alloc_prepared_cache_hits().value();
+
+  const BrokerDecision first = broker.decide(snap, request_for(8));
+  ASSERT_EQ(first.action, BrokerDecision::Action::kAllocate);
+
+  snap.time += 30.0;  // same data, re-assembled later
+  const BrokerDecision second = broker.decide(snap, request_for(8));
+  ASSERT_EQ(second.action, BrokerDecision::Action::kAllocate);
+
+  EXPECT_EQ(obs::metrics::broker_aggregates_cache_hits().value(),
+            agg_hits0 + 1);
+  EXPECT_EQ(obs::metrics::alloc_prepared_cache_hits().value(),
+            prepared_hits0 + 1);
+  EXPECT_EQ(second.allocation.nodes, first.allocation.nodes);
 }
 
 }  // namespace

@@ -1,0 +1,247 @@
+// Concurrent serving path: epoch publication, multi-threaded decide(), and
+// batched admission. The multi-threaded cases are the ThreadSanitizer
+// targets of the NLARM_SANITIZE=thread CI job.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/broker.h"
+#include "core/epoch.h"
+#include "core/prepared.h"
+#include "monitor/store.h"
+#include "obs/audit.h"
+#include "sim/rng.h"
+#include "test_helpers.h"
+#include "util/check.h"
+
+namespace nlarm::core {
+namespace {
+
+using nlarm::testing::TestNode;
+using nlarm::testing::idle_nodes;
+using nlarm::testing::make_snapshot;
+
+AllocationRequest request_for(int nprocs, int ppn = 2) {
+  AllocationRequest req;
+  req.nprocs = nprocs;
+  req.ppn = ppn;
+  req.job = JobWeights{0.3, 0.7};
+  return req;
+}
+
+std::shared_ptr<const monitor::ClusterSnapshot> versioned_snapshot(
+    int nodes, std::uint64_t version) {
+  auto snap = make_snapshot(idle_nodes(nodes));
+  snap.version = version;
+  return std::make_shared<const monitor::ClusterSnapshot>(std::move(snap));
+}
+
+TEST(ConcurrentBrokerTest, EpochDecisionMatchesClassicPath) {
+  auto snapshot = versioned_snapshot(6, 5);
+  const AllocationRequest request = request_for(8);
+
+  NetworkLoadAwareAllocator allocator;
+  ResourceBroker broker(allocator);
+  broker.refresh_epoch(snapshot, RequestProfile::of(request));
+  EXPECT_EQ(broker.epoch(), 1u);
+
+  EpochPin pin = broker.pin_epoch();
+  ASSERT_TRUE(pin.valid());
+  const BrokerDecision via_epoch = broker.decide(pin, request);
+  const BrokerDecision classic = broker.decide(*snapshot, request);
+
+  ASSERT_EQ(via_epoch.action, BrokerDecision::Action::kAllocate);
+  EXPECT_EQ(via_epoch.allocation.nodes, classic.allocation.nodes);
+  EXPECT_EQ(via_epoch.allocation.procs_per_node,
+            classic.allocation.procs_per_node);
+  EXPECT_EQ(via_epoch.allocation.total_cost, classic.allocation.total_cost);
+  EXPECT_EQ(via_epoch.cluster_load_per_core, classic.cluster_load_per_core);
+  EXPECT_EQ(via_epoch.effective_capacity, classic.effective_capacity);
+  EXPECT_EQ(broker.decisions_made(), 2);
+}
+
+TEST(ConcurrentBrokerTest, DecideWithoutEpochRejected) {
+  NetworkLoadAwareAllocator allocator;
+  ResourceBroker broker(allocator);
+  EpochPin pin;
+  EXPECT_THROW(broker.decide(pin, request_for(4)), util::CheckError);
+}
+
+TEST(ConcurrentBrokerTest, PinTracksRepublishes) {
+  NetworkLoadAwareAllocator allocator;
+  ResourceBroker broker(allocator);
+  const AllocationRequest request = request_for(4);
+  const RequestProfile profile = RequestProfile::of(request);
+
+  broker.refresh_epoch(versioned_snapshot(4, 10), profile);
+  EpochPin pin = broker.pin_epoch();
+  EXPECT_EQ(pin.epoch, 1u);
+  EXPECT_FALSE(broker.refresh_pin(pin));  // still current
+
+  broker.refresh_epoch(versioned_snapshot(4, 11), profile);
+  EXPECT_TRUE(broker.refresh_pin(pin));
+  EXPECT_EQ(pin.epoch, 2u);
+  EXPECT_EQ(pin.prepared->version, 11u);
+}
+
+TEST(ConcurrentBrokerTest, ManyThreadsDecideWhilePublisherRepublishes) {
+  constexpr int kThreads = 4;
+  constexpr int kDecidesPerThread = 100;
+  constexpr int kRepublishes = 50;
+
+  monitor::MonitorStore store(8);
+  sim::Rng rng(99);
+  store.write_livehosts(1.0, std::vector<bool>(8, true));
+  for (int i = 0; i < 8; ++i) {
+    monitor::NodeSnapshot record;
+    record.spec.id = i;
+    record.spec.hostname = cluster::default_hostname(i);
+    record.spec.core_count = 8;
+    record.spec.cpu_freq_ghz = 3.0;
+    record.spec.total_mem_gb = 16.0;
+    record.cpu_load_avg = {0.5, 0.5, 0.5};
+    store.write_node_record(1.0, record);
+  }
+
+  const AllocationRequest request = request_for(8);
+  const RequestProfile profile = RequestProfile::of(request);
+  NetworkLoadAwareAllocator allocator;
+  ResourceBroker broker(allocator);
+  obs::AuditLog audit;
+  broker.set_audit_log(&audit);
+  broker.refresh_epoch(
+      std::make_shared<const monitor::ClusterSnapshot>(store.assemble(1.0)),
+      profile);
+  store.drain_delta();
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> allocations{0};
+  std::vector<std::thread> readers;
+  readers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    readers.emplace_back([&broker, &request, &allocations] {
+      EpochPin pin = broker.pin_epoch();
+      for (int i = 0; i < kDecidesPerThread; ++i) {
+        broker.refresh_pin(pin);
+        const BrokerDecision decision = broker.decide(pin, request);
+        if (decision.action == BrokerDecision::Action::kAllocate) {
+          int procs = 0;
+          for (int p : decision.allocation.procs_per_node) procs += p;
+          ASSERT_EQ(procs, request.nprocs);
+          allocations.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  double now = 1.0;
+  for (int i = 0; i < kRepublishes && !stop.load(); ++i) {
+    now += 1.0;
+    monitor::NodeSnapshot record;
+    const int id = static_cast<int>(rng.uniform_int(0, 7));
+    record.spec.id = id;
+    record.spec.hostname = cluster::default_hostname(id);
+    record.spec.core_count = 8;
+    record.spec.cpu_freq_ghz = 3.0;
+    record.spec.total_mem_gb = 16.0;
+    const double load = rng.uniform(0.0, 2.0);
+    record.cpu_load_avg = {load, load, load};
+    store.write_node_record(now, record);
+    if (rng.chance(0.4)) {
+      const int u = static_cast<int>(rng.uniform_int(0, 6));
+      const int v = static_cast<int>(rng.uniform_int(u + 1, 7));
+      store.write_latency(now, u, v, rng.uniform(20.0, 200.0), 100.0);
+    }
+    auto snapshot =
+        std::make_shared<const monitor::ClusterSnapshot>(store.assemble(now));
+    const monitor::SnapshotDelta delta = store.drain_delta();
+    broker.refresh_epoch(snapshot, delta, profile);
+  }
+  for (std::thread& thread : readers) thread.join();
+
+  EXPECT_EQ(broker.decisions_made(), kThreads * kDecidesPerThread);
+  EXPECT_EQ(allocations.load(), kThreads * kDecidesPerThread);
+  EXPECT_EQ(audit.size(),
+            static_cast<std::size_t>(kThreads * kDecidesPerThread));
+  EXPECT_GE(broker.epoch(), static_cast<std::uint64_t>(kRepublishes));
+}
+
+TEST(ConcurrentBrokerTest, BatchDebitsCapacityAcrossRequests) {
+  // 4 idle identical nodes at ppn 2 → capacity 8. The first request takes
+  // nodes {0, 1}; the second must land on the remaining {2, 3}; the third
+  // finds nothing left and waits.
+  auto snapshot = versioned_snapshot(4, 21);
+  const AllocationRequest request = request_for(4);
+  NetworkLoadAwareAllocator allocator;
+  ResourceBroker broker(allocator);
+  broker.refresh_epoch(snapshot, RequestProfile::of(request));
+  EpochPin pin = broker.pin_epoch();
+
+  const std::vector<AllocationRequest> batch{request, request, request};
+  const std::vector<BrokerDecision> decisions =
+      broker.decide_batch(pin, batch);
+  ASSERT_EQ(decisions.size(), 3u);
+
+  ASSERT_EQ(decisions[0].action, BrokerDecision::Action::kAllocate);
+  EXPECT_EQ(decisions[0].allocation.nodes,
+            (std::vector<cluster::NodeId>{0, 1}));
+  ASSERT_EQ(decisions[1].action, BrokerDecision::Action::kAllocate);
+  EXPECT_EQ(decisions[1].allocation.nodes,
+            (std::vector<cluster::NodeId>{2, 3}));
+  EXPECT_EQ(decisions[2].action, BrokerDecision::Action::kWait);
+  EXPECT_EQ(decisions[2].effective_capacity, 0);
+
+  // Unbatched, the same request still sees the epoch's full capacity.
+  const BrokerDecision alone = broker.decide(pin, request);
+  ASSERT_EQ(alone.action, BrokerDecision::Action::kAllocate);
+  EXPECT_EQ(alone.allocation.nodes, (std::vector<cluster::NodeId>{0, 1}));
+}
+
+TEST(ConcurrentBrokerTest, BatchPrefersLightNodesThenSpills) {
+  // Nodes 0/1 are heavily loaded; 2/3 idle. The first batched request takes
+  // the idle pair, the second is forced onto the loaded pair.
+  std::vector<TestNode> nodes = idle_nodes(4);
+  nodes[0].cpu_load = 6.0;
+  nodes[1].cpu_load = 6.0;
+  auto snap = make_snapshot(nodes);
+  snap.version = 31;
+  auto snapshot =
+      std::make_shared<const monitor::ClusterSnapshot>(std::move(snap));
+
+  const AllocationRequest request = request_for(4);
+  NetworkLoadAwareAllocator allocator;
+  BrokerPolicy policy;
+  policy.max_load_per_core = 10.0;  // gate stays open despite the hot pair
+  ResourceBroker broker(allocator, policy);
+  broker.refresh_epoch(snapshot, RequestProfile::of(request));
+  EpochPin pin = broker.pin_epoch();
+
+  const std::vector<AllocationRequest> batch{request, request};
+  const std::vector<BrokerDecision> decisions =
+      broker.decide_batch(pin, batch);
+  ASSERT_EQ(decisions[0].action, BrokerDecision::Action::kAllocate);
+  EXPECT_EQ(decisions[0].allocation.nodes,
+            (std::vector<cluster::NodeId>{2, 3}));
+  ASSERT_EQ(decisions[1].action, BrokerDecision::Action::kAllocate);
+  EXPECT_EQ(decisions[1].allocation.nodes,
+            (std::vector<cluster::NodeId>{0, 1}));
+}
+
+TEST(ConcurrentBrokerTest, ProfileMismatchRejected) {
+  auto snapshot = versioned_snapshot(4, 41);
+  const AllocationRequest request = request_for(4);
+  NetworkLoadAwareAllocator allocator;
+  ResourceBroker broker(allocator);
+  broker.refresh_epoch(snapshot, RequestProfile::of(request));
+  EpochPin pin = broker.pin_epoch();
+
+  AllocationRequest other = request;
+  other.ppn = 3;  // different profile than the epoch was prepared for
+  EXPECT_THROW(broker.decide(pin, other), util::CheckError);
+}
+
+}  // namespace
+}  // namespace nlarm::core

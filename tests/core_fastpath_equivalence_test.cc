@@ -254,5 +254,39 @@ TEST(FastPathEquivalenceTest, MemoizationInvalidatedByVersionBump) {
   expect_same_allocation(a2, a1);
 }
 
+
+TEST(FastPathEquivalenceTest, AnnotationMatchesPairMetricsReference) {
+  // annotate_allocation walks the FlatMatrix views directly; its averages
+  // must stay bit-identical to the per-pair pair_metrics() formulation.
+  const monitor::ClusterSnapshot snap = random_snapshot(40, 909);
+  const AllocationRequest request = make_request(24);
+  NetworkLoadAwareAllocator allocator;
+  const Allocation allocation = allocator.allocate(snap, request);
+  ASSERT_GE(allocation.nodes.size(), 2u);
+
+  double lat_sum = 0.0, comp_sum = 0.0;
+  std::size_t lat_pairs = 0, comp_pairs = 0;
+  for (std::size_t i = 0; i < allocation.nodes.size(); ++i) {
+    for (std::size_t j = i + 1; j < allocation.nodes.size(); ++j) {
+      const PairMetrics m =
+          pair_metrics(snap, allocation.nodes[i], allocation.nodes[j]);
+      if (m.latency_us >= 0.0) {
+        lat_sum += m.latency_us;
+        ++lat_pairs;
+      }
+      if (m.bandwidth_complement_mbps >= 0.0) {
+        comp_sum += m.bandwidth_complement_mbps;
+        ++comp_pairs;
+      }
+    }
+  }
+  const double want_lat =
+      lat_pairs > 0 ? lat_sum / static_cast<double>(lat_pairs) : 0.0;
+  const double want_comp =
+      comp_pairs > 0 ? comp_sum / static_cast<double>(comp_pairs) : 0.0;
+  EXPECT_EQ(allocation.avg_latency_us, want_lat);
+  EXPECT_EQ(allocation.avg_bw_complement_mbps, want_comp);
+}
+
 }  // namespace
 }  // namespace nlarm::core

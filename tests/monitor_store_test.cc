@@ -123,5 +123,76 @@ TEST(SnapshotTest, MemAvailableComputed) {
   EXPECT_DOUBLE_EQ(record.mem_available_gb(), 0.0);
 }
 
+
+TEST(SnapshotDeltaTest, FreshStoreDrainsEmptyDelta) {
+  MonitorStore store(4);
+  const SnapshotDelta delta = store.drain_delta();
+  EXPECT_TRUE(delta.empty());
+  EXPECT_FALSE(delta.requires_full_rebuild());
+  EXPECT_EQ(delta.base_version, delta.version);
+}
+
+TEST(SnapshotDeltaTest, WritesAccumulateIntoOneDelta) {
+  MonitorStore store(4);
+  store.write_node_record(1.0, make_record(2, 1.5));
+  store.write_node_record(2.0, make_record(0, 0.5));
+  store.write_node_record(3.0, make_record(2, 2.5));  // dedup with first
+  store.write_latency(4.0, 3, 1, 50.0, 60.0);
+  store.write_bandwidth(5.0, 1, 3, 800.0, 1000.0);  // same pair, both orders
+  store.write_latency(6.0, 0, 2, 70.0, 80.0);
+
+  const SnapshotDelta delta = store.drain_delta();
+  EXPECT_EQ(delta.dirty_nodes, (std::vector<cluster::NodeId>{0, 2}));
+  ASSERT_EQ(delta.dirty_pairs.size(), 2u);
+  EXPECT_EQ(delta.dirty_pairs[0], (std::pair<cluster::NodeId, cluster::NodeId>{0, 2}));
+  EXPECT_EQ(delta.dirty_pairs[1], (std::pair<cluster::NodeId, cluster::NodeId>{1, 3}));
+  EXPECT_FALSE(delta.livehosts_changed);
+  EXPECT_FALSE(delta.full);
+}
+
+TEST(SnapshotDeltaTest, DrainSpansVersionsAndResets) {
+  MonitorStore store(3);
+  const std::uint64_t v0 = store.snapshot_version();
+  store.write_node_record(1.0, make_record(1));
+  const SnapshotDelta first = store.drain_delta();
+  EXPECT_EQ(first.base_version, v0);
+  EXPECT_EQ(first.version, store.snapshot_version());
+  EXPECT_EQ(first.dirty_nodes.size(), 1u);
+
+  // The second drain starts where the first ended and is empty.
+  const SnapshotDelta second = store.drain_delta();
+  EXPECT_EQ(second.base_version, first.version);
+  EXPECT_TRUE(second.empty());
+}
+
+TEST(SnapshotDeltaTest, LivehostsChangeOnlyWhenVectorChanges) {
+  MonitorStore store(3);
+  store.write_livehosts(1.0, {true, true, false});
+  EXPECT_TRUE(store.drain_delta().livehosts_changed);
+
+  // The periodic rewrite of an identical view is a version bump but not a
+  // livehosts change.
+  store.write_livehosts(2.0, {true, true, false});
+  const SnapshotDelta unchanged = store.drain_delta();
+  EXPECT_FALSE(unchanged.livehosts_changed);
+  EXPECT_NE(unchanged.base_version, unchanged.version);
+
+  store.write_livehosts(3.0, {true, true, true});
+  EXPECT_TRUE(store.drain_delta().livehosts_changed);
+}
+
+TEST(SnapshotDeltaTest, TrackerFullFlagAndBounds) {
+  DeltaTracker tracker(3);
+  tracker.mark_full();
+  const SnapshotDelta delta = tracker.drain();
+  EXPECT_TRUE(delta.full);
+  EXPECT_TRUE(delta.requires_full_rebuild());
+  EXPECT_FALSE(tracker.drain().full);  // drained flags reset
+
+  EXPECT_THROW(tracker.mark_node(3), util::CheckError);
+  EXPECT_THROW(tracker.mark_pair(0, 0), util::CheckError);
+  EXPECT_THROW(tracker.mark_pair(0, 5), util::CheckError);
+}
+
 }  // namespace
 }  // namespace nlarm::monitor

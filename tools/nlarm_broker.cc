@@ -12,16 +12,22 @@
 //   nlarm_broker --procs 64 --scenario heavy            # → wait advice
 //   nlarm_broker --procs 32 --policy hierarchical --explain
 //   nlarm_broker --procs 32 --metrics-out metrics.prom --audit-out audit.jsonl
+//   nlarm_broker --procs 32 --serve-threads 4 --serve-requests 20000
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <thread>
 
 #include "apps/minimd.h"
 #include "cluster/spec_loader.h"
 #include "core/baselines.h"
 #include "core/broker.h"
+#include "core/epoch.h"
 #include "core/explain.h"
 #include "core/hierarchical.h"
+#include "core/prepared.h"
 #include "core/launcher_export.h"
 #include "exp/experiment.h"
 #include "monitor/persistence.h"
@@ -87,6 +93,11 @@ int main(int argc, char** argv) {
        {"dump-snapshot", "save the monitored snapshot to a file and exit"},
        {"metrics-out", "write Prometheus text exposition to this file"},
        {"audit-out", "append one decision-audit JSON line to this file"},
+       {"serve-threads",
+        "serve decisions concurrently from a published epoch on this many "
+        "threads, print throughput, and exit"},
+       {"serve-requests", "total decisions to serve in serve mode "
+                          "(default 10000)"},
        {"log-level", "debug|info|warn|error|off (default warn)"}});
   if (!parser.parse(argc, argv)) return 0;
 
@@ -179,10 +190,52 @@ int main(int argc, char** argv) {
   core::ResourceBroker broker(*allocator, broker_policy);
   obs::AuditLog audit_log;
   broker.set_audit_log(&audit_log);
-  const core::BrokerDecision decision = broker.decide(snapshot, request);
 
   const std::string metrics_path = parser.get_string("metrics-out", "");
   const std::string audit_path = parser.get_string("audit-out", "");
+
+  // Serve mode: publish one epoch from the monitored snapshot and hammer it
+  // with concurrent decide() calls — the multi-threaded front-door the
+  // epoch machinery exists for, runnable from the command line.
+  const int serve_threads =
+      static_cast<int>(parser.get_long("serve-threads", 0));
+  if (serve_threads > 0) {
+    const long serve_requests = parser.get_long("serve-requests", 10000);
+    broker.refresh_epoch(
+        std::make_shared<const monitor::ClusterSnapshot>(snapshot),
+        core::RequestProfile::of(request));
+    std::atomic<long> remaining{serve_requests};
+    std::atomic<long> allocated{0};
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> servers;
+    servers.reserve(static_cast<std::size_t>(serve_threads));
+    for (int t = 0; t < serve_threads; ++t) {
+      servers.emplace_back([&broker, &request, &remaining, &allocated] {
+        core::EpochPin pin = broker.pin_epoch();
+        while (remaining.fetch_sub(1, std::memory_order_relaxed) > 0) {
+          broker.refresh_pin(pin);
+          const core::BrokerDecision served = broker.decide(pin, request);
+          if (served.action == core::BrokerDecision::Action::kAllocate) {
+            allocated.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (std::thread& server : servers) server.join();
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    std::fprintf(stderr,
+                 "served %ld decisions (%ld allocate) on %d thread(s) in "
+                 "%.3f s -> %.0f decisions/s\n",
+                 serve_requests, allocated.load(), serve_threads, seconds,
+                 seconds > 0.0 ? static_cast<double>(serve_requests) / seconds
+                               : 0.0);
+    write_observability_outputs(metrics_path, audit_path, audit_log);
+    return 0;
+  }
+
+  const core::BrokerDecision decision = broker.decide(snapshot, request);
   write_observability_outputs(metrics_path, audit_path, audit_log);
 
   if (decision.action == core::BrokerDecision::Action::kWait) {
