@@ -204,10 +204,73 @@ bool ResourceBroker::refresh_epoch(
   return incremental;
 }
 
+void ResourceBroker::set_degradation(const DegradationPolicy& policy) {
+  policy.validate();
+  degradation_ = policy;
+}
+
+void ResourceBroker::refresh_epoch(
+    std::shared_ptr<const monitor::ClusterSnapshot> snapshot,
+    const monitor::StalenessView& staleness, const RequestProfile& profile) {
+  NLARM_CHECK(degradation_.has_value())
+      << "degraded refresh without set_degradation()";
+  std::lock_guard<std::mutex> lock(builder_mutex_);
+  if (!degrader_.has_value()) degrader_.emplace(*degradation_);
+  DegradationOutcome out = degrader_->apply(std::move(snapshot), staleness);
+  if (!builder_.has_value() || !(builder_->profile() == profile)) {
+    builder_.emplace(profile);
+  }
+  builder_->rebuild(std::move(out.snapshot));
+  auto built = builder_->build();
+  built->degraded = out.degraded;
+  built->quarantined = out.quarantined;
+  built->pair_fallbacks = out.pair_fallbacks;
+  publisher_.publish(std::move(built));
+}
+
+bool ResourceBroker::refresh_epoch(
+    std::shared_ptr<const monitor::ClusterSnapshot> snapshot,
+    const monitor::SnapshotDelta& delta,
+    const monitor::StalenessView& staleness, const RequestProfile& profile) {
+  NLARM_CHECK(degradation_.has_value())
+      << "degraded refresh without set_degradation()";
+  std::lock_guard<std::mutex> lock(builder_mutex_);
+  if (!degrader_.has_value()) degrader_.emplace(*degradation_);
+  DegradationOutcome out = degrader_->apply(std::move(snapshot), staleness);
+  if (!builder_.has_value() || !(builder_->profile() == profile)) {
+    builder_.emplace(profile);
+  }
+  bool incremental = false;
+  if (out.quarantine_changed) {
+    // Quarantine membership moved, so the degraded livehosts vector changed
+    // shape — the delta cannot prove continuity against that.
+    builder_->rebuild(std::move(out.snapshot));
+  } else if (out.changed_pairs.empty()) {
+    incremental = builder_->update(std::move(out.snapshot), delta);
+  } else {
+    // Pairs can cross the staleness budget without any store write, so
+    // their fallback rewrite is invisible to the delta's dirty set; patch
+    // them alongside. patch_pair is idempotent (subtract-old/add-new), so
+    // overlap with the delta's own dirty pairs is harmless.
+    monitor::SnapshotDelta merged = delta;
+    merged.dirty_pairs.insert(merged.dirty_pairs.end(),
+                              out.changed_pairs.begin(),
+                              out.changed_pairs.end());
+    incremental = builder_->update(std::move(out.snapshot), merged);
+  }
+  auto built = builder_->build();
+  built->degraded = out.degraded;
+  built->quarantined = out.quarantined;
+  built->pair_fallbacks = out.pair_fallbacks;
+  publisher_.publish(std::move(built));
+  return incremental;
+}
+
 BrokerDecision ResourceBroker::decide_prepared(
     const PreparedSnapshot& prepared, const AllocationRequest& request,
     std::span<const int> pc_override, std::span<const std::size_t> starts,
-    std::size_t gate_usable, int gate_capacity) {
+    std::size_t gate_usable, int gate_capacity,
+    const char* degradation_note) {
   request.validate();
   decisions_.fetch_add(1, std::memory_order_relaxed);
   obs::metrics::broker_decisions().inc();
@@ -259,6 +322,11 @@ BrokerDecision ResourceBroker::decide_prepared(
     // by construction.
     record.aggregates_cache_hit = true;
     record.gate_seconds = gate_seconds;
+    record.degradation = (degradation_note != nullptr &&
+                          degradation_note[0] != '\0')
+                             ? degradation_note
+                             : (prepared.degraded ? "degraded-epoch" : "none");
+    record.quarantined_nodes = static_cast<int>(prepared.quarantined);
     if (decision.action == BrokerDecision::Action::kAllocate) {
       const Allocation& alloc = decision.allocation;
       record.policy = alloc.policy;
@@ -286,21 +354,104 @@ BrokerDecision ResourceBroker::decide_prepared(
   return decision;
 }
 
+const PreparedSnapshot* ResourceBroker::resolve_degraded(
+    const PreparedSnapshot& current,
+    std::shared_ptr<const PreparedSnapshot>& keepalive, const char*& note,
+    double& last_good_age) {
+  note = "";
+  last_good_age = 0.0;
+  if (!degradation_.has_value() || !current.usable.empty()) return &current;
+  keepalive = publisher_.last_good();
+  // With no last-good epoch at all there is nothing to fall back to; the
+  // gate's min_usable_nodes check turns the poisoned epoch into a wait.
+  if (keepalive == nullptr) return &current;
+  last_good_age = current.time - keepalive->time;
+  if (last_good_age > degradation_->max_epoch_age_s) return nullptr;
+  fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  obs::metrics::broker_fallback_decisions().inc();
+  note = "last-good-fallback";
+  return keepalive.get();
+}
+
+BrokerDecision ResourceBroker::refuse_stale(const PreparedSnapshot& prepared,
+                                            const AllocationRequest& request,
+                                            double last_good_age) {
+  request.validate();
+  decisions_.fetch_add(1, std::memory_order_relaxed);
+  obs::metrics::broker_decisions().inc();
+  obs::metrics::broker_epoch_decisions().inc();
+  waits_.fetch_add(1, std::memory_order_relaxed);
+  obs::metrics::broker_waits().inc();
+  refusals_.fetch_add(1, std::memory_order_relaxed);
+  obs::metrics::broker_stale_refusals().inc();
+
+  BrokerDecision decision;
+  decision.action = BrokerDecision::Action::kWait;
+  decision.cluster_load_per_core = prepared.load_per_core;
+  decision.effective_capacity = 0;
+  decision.reason = util::format(
+      "current epoch has no usable nodes and the last-good epoch is "
+      "%.0f s stale (bound %.0f s) — refusing to decide",
+      last_good_age, degradation_->max_epoch_age_s);
+  NLARM_WARN << "broker verdict (epoch " << prepared.epoch << "): wait — "
+             << decision.reason;
+
+  if (audit_log_ != nullptr) {
+    obs::AuditRecord record;
+    record.nprocs = request.nprocs;
+    record.ppn = request.ppn;
+    record.alpha = request.job.alpha;
+    record.beta = request.job.beta;
+    record.snapshot_version = prepared.version;
+    record.snapshot_time = prepared.time;
+    record.snapshot_nodes = static_cast<int>(prepared.snapshot->size());
+    record.usable_nodes = 0;
+    record.epoch = prepared.epoch;
+    record.action = "wait";
+    record.reason = decision.reason;
+    record.effective_capacity = 0;
+    record.degradation = "refused-stale";
+    record.quarantined_nodes = static_cast<int>(prepared.quarantined);
+    audit_log_->append(std::move(record));
+  }
+  return decision;
+}
+
 BrokerDecision ResourceBroker::decide(const EpochPin& pin,
                                       const AllocationRequest& request) {
   NLARM_CHECK(pin.valid())
       << "no epoch pinned — publish one with refresh_epoch() first";
-  const PreparedSnapshot& prepared = *pin.prepared;
-  return decide_prepared(prepared, request, /*pc_override=*/{},
-                         /*starts=*/{}, prepared.usable.size(),
-                         prepared.effective_capacity);
+  std::shared_ptr<const PreparedSnapshot> keepalive;
+  const char* note = "";
+  double last_good_age = 0.0;
+  const PreparedSnapshot* prepared =
+      resolve_degraded(*pin.prepared, keepalive, note, last_good_age);
+  if (prepared == nullptr) {
+    return refuse_stale(*pin.prepared, request, last_good_age);
+  }
+  return decide_prepared(*prepared, request, /*pc_override=*/{},
+                         /*starts=*/{}, prepared->usable.size(),
+                         prepared->effective_capacity, note);
 }
 
 std::vector<BrokerDecision> ResourceBroker::decide_batch(
     const EpochPin& pin, std::span<const AllocationRequest> requests) {
   NLARM_CHECK(pin.valid())
       << "no epoch pinned — publish one with refresh_epoch() first";
-  const PreparedSnapshot& prepared = *pin.prepared;
+  std::shared_ptr<const PreparedSnapshot> keepalive;
+  const char* note = "";
+  double last_good_age = 0.0;
+  const PreparedSnapshot* resolved =
+      resolve_degraded(*pin.prepared, keepalive, note, last_good_age);
+  if (resolved == nullptr) {
+    std::vector<BrokerDecision> refused;
+    refused.reserve(requests.size());
+    for (const AllocationRequest& request : requests) {
+      refused.push_back(refuse_stale(*pin.prepared, request, last_good_age));
+    }
+    return refused;
+  }
+  const PreparedSnapshot& prepared = *resolved;
   obs::metrics::broker_batches().inc();
   obs::metrics::broker_batch_requests().inc(requests.size());
 
@@ -322,7 +473,7 @@ std::vector<BrokerDecision> ResourceBroker::decide_batch(
     // so the empty `starts` span never reaches candidate generation.
     BrokerDecision decision =
         decide_prepared(prepared, request, remaining, starts, starts.size(),
-                        remaining_capacity);
+                        remaining_capacity, note);
     if (decision.action == BrokerDecision::Action::kAllocate) {
       const Allocation& alloc = decision.allocation;
       for (std::size_t i = 0; i < alloc.nodes.size(); ++i) {

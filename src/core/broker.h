@@ -26,9 +26,11 @@
 #include <vector>
 
 #include "core/allocator.h"
+#include "core/degrade.h"
 #include "core/epoch.h"
 #include "core/prepared.h"
 #include "monitor/snapshot_delta.h"
+#include "monitor/store.h"
 #include "obs/audit.h"
 
 namespace nlarm::core {
@@ -80,6 +82,31 @@ class ResourceBroker {
       std::shared_ptr<const monitor::ClusterSnapshot> snapshot,
       const monitor::SnapshotDelta& delta, const RequestProfile& profile);
 
+  // --- staleness-aware degradation (core/degrade.h) ---
+
+  /// Enables degradation: the StalenessView refresh overloads rewrite
+  /// snapshots through a Degrader before preparation, and decide(pin) falls
+  /// back to the last-good epoch when the current one is poisoned — refusing
+  /// only once that epoch's age exceeds policy.max_epoch_age_s. Set before
+  /// serving starts (same contract as set_audit_log).
+  void set_degradation(const DegradationPolicy& policy);
+  bool degradation_enabled() const { return degradation_.has_value(); }
+
+  /// Degraded full refresh: quarantine/fallback rewrite, then rebuild.
+  /// Requires set_degradation().
+  void refresh_epoch(
+      std::shared_ptr<const monitor::ClusterSnapshot> snapshot,
+      const monitor::StalenessView& staleness, const RequestProfile& profile);
+
+  /// Degraded delta refresh. Pairs whose fallback state flipped without a
+  /// store write are patched alongside the delta's dirty pairs; a
+  /// quarantine-membership change forces a full rebuild (the usable set's
+  /// shape moved). Returns true when applied incrementally.
+  bool refresh_epoch(
+      std::shared_ptr<const monitor::ClusterSnapshot> snapshot,
+      const monitor::SnapshotDelta& delta,
+      const monitor::StalenessView& staleness, const RequestProfile& profile);
+
   /// Current epoch counter (0 = nothing published yet).
   std::uint64_t epoch() const { return publisher_.epoch(); }
 
@@ -107,6 +134,16 @@ class ResourceBroker {
   }
   int waits_recommended() const {
     return waits_.load(std::memory_order_relaxed);
+  }
+  /// Epoch decides served from the last-good epoch because the current one
+  /// had no usable nodes.
+  int fallback_decisions() const {
+    return fallbacks_.load(std::memory_order_relaxed);
+  }
+  /// Epoch decides refused outright because even the last-good epoch was
+  /// older than the policy's hard bound.
+  int stale_refusals() const {
+    return refusals_.load(std::memory_order_relaxed);
   }
 
   /// Candidate fan-out options for the epoch paths. Defaults to serial
@@ -151,12 +188,31 @@ class ResourceBroker {
                                const AllocationRequest& request);
 
   /// Shared epilogue of the epoch paths: gate, allocate, audit.
+  /// `degradation_note` annotates the audit record when the decision was
+  /// served in a degraded mode ("" = derive from the epoch itself).
   BrokerDecision decide_prepared(const PreparedSnapshot& prepared,
                                  const AllocationRequest& request,
                                  std::span<const int> pc_override,
                                  std::span<const std::size_t> starts,
                                  std::size_t gate_usable,
-                                 int gate_capacity);
+                                 int gate_capacity,
+                                 const char* degradation_note = "");
+
+  /// Degradation fallback resolution shared by decide(pin) and
+  /// decide_batch(): picks the epoch to serve from. Returns the pinned
+  /// epoch when it is healthy (or degradation is off), the last-good epoch
+  /// (kept alive through `keepalive`, `note` set) when the pinned one is
+  /// poisoned but the last-good is young enough, and nullptr when the
+  /// decision must be refused (`last_good_age` tells how stale it was).
+  const PreparedSnapshot* resolve_degraded(
+      const PreparedSnapshot& current,
+      std::shared_ptr<const PreparedSnapshot>& keepalive, const char*& note,
+      double& last_good_age);
+
+  /// Hand-rolled wait verdict + audit for a refused stale decision.
+  BrokerDecision refuse_stale(const PreparedSnapshot& prepared,
+                              const AllocationRequest& request,
+                              double last_good_age);
 
   Allocator& allocator_;
   BrokerPolicy policy_;
@@ -167,9 +223,14 @@ class ResourceBroker {
   bool last_aggregates_hit_ = false;  ///< memo outcome of the last decide()
   std::atomic<int> decisions_{0};
   std::atomic<int> waits_{0};
+  std::atomic<int> fallbacks_{0};
+  std::atomic<int> refusals_{0};
   obs::AuditLog* audit_log_ = nullptr;
 
+  std::optional<DegradationPolicy> degradation_;
+
   std::mutex builder_mutex_;  ///< serializes refresh_epoch callers
+  std::optional<Degrader> degrader_;  ///< under builder_mutex_
   std::optional<PreparedBuilder> builder_;
   EpochPublisher publisher_;
   GenerationOptions epoch_generation_options_{.parallel_threshold = -1,

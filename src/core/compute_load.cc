@@ -1,6 +1,7 @@
 #include "core/compute_load.h"
 
 #include <cmath>
+#include <limits>
 
 #include "core/normalize.h"
 #include "util/check.h"
@@ -39,7 +40,15 @@ std::vector<double> compute_loads(const monitor::ClusterSnapshot& snapshot,
 int effective_process_count(const monitor::NodeSnapshot& node) {
   NLARM_CHECK(node.spec.core_count > 0) << "node has no cores";
   const int cores = node.spec.core_count;
-  const int load = static_cast<int>(std::ceil(node.cpu_load_avg.one_min));
+  // A misbehaving daemon can report a negative, NaN or absurdly large load;
+  // casting such a ceil() straight to int is UB. Clamp to [0, INT_MAX]
+  // first (the !(x > 0) form also routes NaN to 0).
+  double ceiled = std::ceil(node.cpu_load_avg.one_min);
+  if (!(ceiled > 0.0)) ceiled = 0.0;
+  const int load =
+      ceiled >= static_cast<double>(std::numeric_limits<int>::max())
+          ? std::numeric_limits<int>::max()
+          : static_cast<int>(ceiled);
   // Eq. 3 verbatim: coreCount − ceil(Load) % coreCount. The modulo keeps the
   // result in [1, coreCount]: a node is never entirely excluded, it just
   // contributes fewer slots when loaded.

@@ -1,0 +1,141 @@
+#include "core/degrade.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/catalog.h"
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace nlarm::core {
+
+void DegradationPolicy::validate() const {
+  NLARM_CHECK(node_staleness_budget_s > 0.0)
+      << "node staleness budget must be positive";
+  NLARM_CHECK(node_readmit_s > 0.0 &&
+              node_readmit_s <= node_staleness_budget_s)
+      << "readmit threshold must be in (0, budget]";
+  NLARM_CHECK(pair_staleness_budget_s > 0.0)
+      << "pair staleness budget must be positive";
+  NLARM_CHECK(pair_penalty >= 1.0) << "pair penalty must be >= 1";
+  NLARM_CHECK(max_epoch_age_s > 0.0) << "max epoch age must be positive";
+}
+
+Degrader::Degrader(DegradationPolicy policy) : policy_(policy) {
+  policy_.validate();
+}
+
+void Degrader::reset(std::size_t n) {
+  n_ = n;
+  node_quarantined_.assign(n, 0);
+  pair_fallback_.assign(n * n, 0);
+  quarantined_count_ = 0;
+  pair_fallback_count_ = 0;
+}
+
+DegradationOutcome Degrader::apply(
+    std::shared_ptr<const monitor::ClusterSnapshot> snapshot,
+    const monitor::StalenessView& staleness) {
+  NLARM_CHECK(snapshot != nullptr) << "degrading a null snapshot";
+  const std::size_t n = snapshot->nodes.size();
+  NLARM_CHECK(staleness.node.size() == n && staleness.pair.size() == n)
+      << "staleness view does not match the snapshot (" << n << " nodes)";
+  if (n != n_) reset(n);
+
+  DegradationOutcome outcome;
+
+  // --- node quarantine with two-threshold hysteresis ---
+  for (std::size_t id = 0; id < n; ++id) {
+    const double age = staleness.node[id];
+    const bool was = node_quarantined_[id] != 0;
+    bool now = was;
+    if (was) {
+      if (age <= policy_.node_readmit_s) now = false;
+    } else {
+      if (age > policy_.node_staleness_budget_s) now = true;
+    }
+    // A node the snapshot cannot use anyway (dead, or record invalidated by
+    // the monitor's own staleness filter) carries no quarantine state:
+    // quarantining it would be a no-op and readmitting it later would
+    // spuriously flag a membership change.
+    const bool usable = snapshot->livehosts[id] && snapshot->nodes[id].valid;
+    if (!usable) now = false;
+    if (now != was) {
+      node_quarantined_[id] = now ? 1 : 0;
+      if (now) {
+        ++quarantined_count_;
+        obs::metrics::degrade_quarantine_events().inc();
+        NLARM_INFO << "degrade: quarantined node " << id << " (record "
+                   << age << " s old)";
+      } else {
+        --quarantined_count_;
+        if (usable) obs::metrics::degrade_readmissions().inc();
+        NLARM_INFO << "degrade: readmitted node " << id;
+      }
+      outcome.quarantine_changed = true;
+    }
+  }
+
+  // --- pair fallback tracking (unordered, u < v) ---
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = u + 1; v < n; ++v) {
+      // The freshest direction decides for the pair (daemons write both
+      // orders together); never-measured pairs (inf) have nothing to fall
+      // back to and stay out.
+      const double age = std::min(staleness.pair[u][v], staleness.pair[v][u]);
+      const bool was = pair_fallback_[u * n + v] != 0;
+      const bool now =
+          std::isfinite(age) && age > policy_.pair_staleness_budget_s;
+      if (now != was) {
+        pair_fallback_[u * n + v] = now ? 1 : 0;
+        pair_fallback_count_ += now ? 1 : std::size_t(-1);
+        outcome.changed_pairs.emplace_back(static_cast<cluster::NodeId>(u),
+                                           static_cast<cluster::NodeId>(v));
+      }
+    }
+  }
+
+  outcome.quarantined = quarantined_count_;
+  outcome.pair_fallbacks = pair_fallback_count_;
+  obs::metrics::degrade_quarantined_nodes().set(
+      static_cast<double>(quarantined_count_));
+  obs::metrics::degrade_pair_fallbacks().set(
+      static_cast<double>(pair_fallback_count_));
+
+  if (quarantined_count_ == 0 && pair_fallback_count_ == 0) {
+    // Nothing to rewrite: pass the input through untouched so fresh-data
+    // epochs stay bit-identical to the undegraded pipeline, copy-free.
+    outcome.snapshot = std::move(snapshot);
+    return outcome;
+  }
+
+  auto copy = std::make_shared<monitor::ClusterSnapshot>(*snapshot);
+  for (std::size_t id = 0; id < n; ++id) {
+    if (node_quarantined_[id]) copy->livehosts[id] = false;
+  }
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = u + 1; v < n; ++v) {
+      if (!pair_fallback_[u * n + v]) continue;
+      // Serve the 5-minute mean with a pessimism penalty, both directions.
+      // Unmeasured cells (-1 sentinels) stay unmeasured.
+      for (const auto& [a, b] : {std::pair{u, v}, std::pair{v, u}}) {
+        const double lat5 = copy->net.latency_5min_us[a][b];
+        if (lat5 >= 0.0) {
+          copy->net.latency_us[a][b] = lat5 * policy_.pair_penalty;
+        }
+        const double bw = copy->net.bandwidth_mbps[a][b];
+        const double peak = copy->net.peak_mbps[a][b];
+        if (bw >= 0.0 && peak >= 0.0) {
+          const double deficit =
+              std::max(0.0, peak - bw) * policy_.pair_penalty;
+          copy->net.bandwidth_mbps[a][b] = std::max(0.0, peak - deficit);
+        }
+      }
+    }
+  }
+  outcome.degraded = true;
+  outcome.snapshot = std::move(copy);
+  return outcome;
+}
+
+}  // namespace nlarm::core

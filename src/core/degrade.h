@@ -1,0 +1,98 @@
+// Staleness-aware degradation of monitor snapshots (the consumer side of
+// MonitorStore's record timestamps).
+//
+// The paper's monitor keeps serving whatever NFS holds; nothing downstream
+// reacts to how old that data is. This layer closes the gap on the
+// allocator side: before a snapshot becomes a prepared epoch, the Degrader
+// rewrites a copy of it according to per-record staleness —
+//
+//   * nodes whose NodeStateD record exceeds the staleness budget are
+//     quarantined out of the usable set (livehosts forced false), with
+//     two-threshold hysteresis so a node flapping around the budget does
+//     not thrash the working set;
+//   * pairs whose P2P probes exceed their budget fall back to the 5-minute
+//     running mean with a pessimism penalty (stale data is trusted less);
+//   * everything fresh passes through bit-identically.
+//
+// Both the fast path and the reference allocator consume the SAME degraded
+// snapshot, so the bit-identity equivalence contract survives degradation
+// untouched. The Degrader is stateful (hysteresis, change tracking) and
+// owner-thread only, like PreparedBuilder; ResourceBroker drives it under
+// its refresh lock.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "cluster/node.h"
+#include "monitor/snapshot.h"
+#include "monitor/store.h"
+
+namespace nlarm::core {
+
+struct DegradationPolicy {
+  /// Quarantine a node once its record is older than this.
+  double node_staleness_budget_s = 30.0;
+  /// Hysteresis: readmit a quarantined node only once its record is fresher
+  /// than this (must be <= node_staleness_budget_s).
+  double node_readmit_s = 15.0;
+  /// A pair older than this serves the 5-minute mean instead of the 1-minute
+  /// instantaneous values.
+  double pair_staleness_budget_s = 600.0;
+  /// Pessimism multiplier applied to fallback pair costs (latency and the
+  /// bandwidth deficit); >= 1.
+  double pair_penalty = 1.25;
+  /// decide() falls back to the last-good epoch when the current one is
+  /// poisoned, but refuses once that epoch is older than this.
+  double max_epoch_age_s = 120.0;
+
+  void validate() const;
+};
+
+/// One apply() call's result. `snapshot` is the input pointer when nothing
+/// needed rewriting, else a rewritten copy.
+struct DegradationOutcome {
+  std::shared_ptr<const monitor::ClusterSnapshot> snapshot;
+  bool degraded = false;          ///< anything was rewritten
+  std::size_t quarantined = 0;    ///< nodes currently quarantined
+  std::size_t pair_fallbacks = 0; ///< unordered pairs on the 5-min fallback
+  /// Quarantine membership changed since the previous apply() — the usable
+  /// set's shape moved, so incremental prepared updates must rebuild.
+  bool quarantine_changed = false;
+  /// Unordered pairs whose fallback state flipped since the previous
+  /// apply(). A pair can cross the budget without any store write (staleness
+  /// grows by itself), so these must be patched alongside the delta's dirty
+  /// pairs to keep incremental state bit-identical to a rebuild.
+  std::vector<std::pair<cluster::NodeId, cluster::NodeId>> changed_pairs;
+};
+
+/// Stateful snapshot rewriter. Not thread-safe; one refresh thread drives
+/// it (ResourceBroker holds it under builder_mutex_).
+class Degrader {
+ public:
+  explicit Degrader(DegradationPolicy policy);
+
+  const DegradationPolicy& policy() const { return policy_; }
+
+  /// Applies the policy to one snapshot given the store's staleness view.
+  /// Hysteresis state carries across calls; a node-count change resets it.
+  DegradationOutcome apply(
+      std::shared_ptr<const monitor::ClusterSnapshot> snapshot,
+      const monitor::StalenessView& staleness);
+
+  std::size_t quarantined_count() const { return quarantined_count_; }
+
+ private:
+  void reset(std::size_t n);
+
+  DegradationPolicy policy_;
+  std::size_t n_ = 0;
+  std::vector<char> node_quarantined_;
+  std::vector<char> pair_fallback_;  ///< unordered (u,v), u<v, at u*n+v
+  std::size_t quarantined_count_ = 0;
+  std::size_t pair_fallback_count_ = 0;
+};
+
+}  // namespace nlarm::core

@@ -1,5 +1,7 @@
 #include "core/epoch.h"
 
+#include <algorithm>
+
 #include "obs/catalog.h"
 #include "util/check.h"
 
@@ -12,11 +14,13 @@ void EpochPublisher::publish(std::shared_ptr<PreparedSnapshot> prepared) {
   prepared->epoch = next;
   if (next > 1) {
     // How stale the previous epoch had become, in snapshot time.
-    obs::metrics::epoch_age_seconds().set(prepared->time -
-                                          last_publish_time_);
+    const double age = prepared->time - last_publish_time_;
+    obs::metrics::epoch_age_seconds().set(age);
+    obs::metrics::broker_epoch_age_seconds().observe(std::max(0.0, age));
   }
   last_publish_time_ = prepared->time;
   current_ = std::move(prepared);
+  if (!current_->usable.empty()) last_good_ = current_;
   epoch_.store(next, std::memory_order_release);
   obs::metrics::epoch_publishes().inc();
 }

@@ -63,9 +63,18 @@ class EpochPublisher {
     return fresh;
   }
 
+  /// The newest published epoch with a non-empty usable set (null until one
+  /// exists). The broker's degradation fallback serves from this when the
+  /// current epoch is poisoned.
+  std::shared_ptr<const PreparedSnapshot> last_good() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return last_good_;
+  }
+
  private:
   mutable std::mutex mutex_;
   std::shared_ptr<const PreparedSnapshot> current_;
+  std::shared_ptr<const PreparedSnapshot> last_good_;
   std::atomic<std::uint64_t> epoch_{0};
   double last_publish_time_ = 0.0;  ///< snapshot time of the last publish
 };

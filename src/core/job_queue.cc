@@ -1,7 +1,9 @@
 #include "core/job_queue.h"
 
 #include <algorithm>
+#include <cmath>
 
+#include "obs/catalog.h"
 #include "util/check.h"
 #include "util/logging.h"
 
@@ -10,8 +12,14 @@ namespace nlarm::core {
 JobQueue::JobQueue(Allocator& allocator, QueueOptions options)
     : allocator_(allocator),
       broker_(allocator, options.broker),
-      options_(options) {
+      options_(options),
+      backoff_rng_(options.backoff_seed) {
   NLARM_CHECK(options.max_attempts >= 0) << "negative max attempts";
+  NLARM_CHECK(options.backoff_base_s >= 0.0) << "negative backoff base";
+  NLARM_CHECK(options.backoff_max_s >= options.backoff_base_s)
+      << "backoff max below base";
+  NLARM_CHECK(options.backoff_jitter >= 0.0 && options.backoff_jitter < 1.0)
+      << "backoff jitter must be in [0, 1)";
 }
 
 JobId JobQueue::submit(const std::string& name,
@@ -63,12 +71,34 @@ std::optional<StartedJob> JobQueue::try_start(
   return started;
 }
 
+double JobQueue::backoff_deadline(const QueuedJob& job, double now) {
+  // Exponent capped well below the double range; the min() against
+  // backoff_max_s bounds the delay either way.
+  const int exponent = std::min(job.attempts - 1, 32);
+  double delay =
+      std::min(std::ldexp(options_.backoff_base_s, exponent),
+               options_.backoff_max_s);
+  if (options_.backoff_jitter > 0.0) {
+    delay *= backoff_rng_.uniform(1.0 - options_.backoff_jitter,
+                                  1.0 + options_.backoff_jitter);
+  }
+  return now + delay;
+}
+
 std::vector<StartedJob> JobQueue::poll(
     const monitor::ClusterSnapshot& snapshot, double now) {
   std::vector<StartedJob> started;
   bool head_blocked = false;
   for (auto it = queue_.begin(); it != queue_.end();) {
     if (head_blocked && !options_.backfill) break;
+
+    // A job inside its backoff window is not attempted (and does not burn
+    // an attempt); it still blocks the head for FIFO purposes.
+    if (now < it->not_before) {
+      head_blocked = true;
+      ++it;
+      continue;
+    }
 
     std::optional<StartedJob> attempt = try_start(*it, snapshot, now);
     if (attempt.has_value()) {
@@ -87,6 +117,12 @@ std::vector<StartedJob> JobQueue::poll(
       ++rejected_;
       it = queue_.erase(it);
       continue;
+    }
+    if (options_.backoff_base_s > 0.0) {
+      it->not_before = backoff_deadline(*it, now);
+      obs::metrics::jobqueue_backoffs().inc();
+      NLARM_DEBUG << "job " << it->id << " backing off until "
+                  << it->not_before << " (attempt " << it->attempts << ")";
     }
     head_blocked = true;
     ++it;

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/broker.h"
+#include "sim/rng.h"
 
 namespace nlarm::core {
 
@@ -30,6 +31,14 @@ struct QueueOptions {
   bool backfill = true;
   /// Give up and reject a job after this many failed attempts (0 = never).
   int max_attempts = 0;
+  /// Exponential backoff for wait verdicts: after the k-th failed attempt a
+  /// job is not retried for min(base * 2^(k-1), max) seconds, with a
+  /// uniform ±jitter fraction so synchronized jobs desynchronize. 0 keeps
+  /// the legacy behavior (retry on every poll).
+  double backoff_base_s = 0.0;
+  double backoff_max_s = 300.0;
+  double backoff_jitter = 0.2;  ///< fraction of the delay, in [0, 1)
+  std::uint64_t backoff_seed = 0x6a6f62;  ///< jitter stream seed
 };
 
 struct QueuedJob {
@@ -38,6 +47,7 @@ struct QueuedJob {
   AllocationRequest request;
   double submit_time = 0.0;
   int attempts = 0;
+  double not_before = 0.0;  ///< backoff: skip polls before this time
 };
 
 struct StartedJob {
@@ -82,9 +92,13 @@ class JobQueue {
       const QueuedJob& job, const monitor::ClusterSnapshot& snapshot,
       double now);
 
+  /// The post-failure backoff deadline for a job on its (new) attempt count.
+  double backoff_deadline(const QueuedJob& job, double now);
+
   Allocator& allocator_;
   ResourceBroker broker_;
   QueueOptions options_;
+  sim::Rng backoff_rng_;
   std::deque<QueuedJob> queue_;
   std::map<JobId, StartedJob> running_;
   JobId next_id_ = 0;

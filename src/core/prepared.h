@@ -223,6 +223,12 @@ struct PreparedSnapshot {
   bool incremental = false;     ///< last state change was a delta apply
   std::size_t delta_nodes = 0;  ///< in-working-set dirty nodes applied
   std::size_t delta_pairs = 0;  ///< in-working-set dirty pairs applied
+
+  // Degradation provenance (set by ResourceBroker when a Degrader rewrote
+  // the snapshot this epoch derives from; see core/degrade.h).
+  bool degraded = false;           ///< snapshot was rewritten for staleness
+  std::size_t quarantined = 0;     ///< nodes quarantined out of usable
+  std::size_t pair_fallbacks = 0;  ///< pairs served from the 5-min fallback
 };
 
 /// Owner-thread builder of PreparedSnapshot epochs. Not thread-safe; one

@@ -1,0 +1,114 @@
+#include "exp/chaos_harness.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "monitor/persistence.h"
+#include "obs/catalog.h"
+#include "util/check.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace nlarm::exp {
+
+ChaosHarness::ChaosHarness(sim::ChaosSpec spec, sim::Simulation& sim,
+                           cluster::Cluster& cluster,
+                           monitor::ResourceMonitor& monitor)
+    : sim_(sim), cluster_(cluster), monitor_(monitor) {
+  sim::ChaosHooks hooks;
+  hooks.stall_daemons = [this](const sim::ChaosEvent& e, sim::Rng& rng) {
+    stall_daemons(e, rng);
+  };
+  hooks.flap_node = [this](const sim::ChaosEvent& e, sim::Rng& rng) {
+    flap_node(e, rng);
+  };
+  hooks.kill_master = [this](const sim::ChaosEvent&) {
+    obs::metrics::chaos_supervisor_kills().inc();
+    NLARM_WARN << "chaos: killing master supervisor";
+    monitor_.central().fail_master();
+  };
+  hooks.kill_slave = [this](const sim::ChaosEvent&) {
+    obs::metrics::chaos_supervisor_kills().inc();
+    NLARM_WARN << "chaos: killing slave supervisor";
+    monitor_.central().fail_slave();
+  };
+  hooks.tear_snapshot = [](const sim::ChaosEvent&) {
+    NLARM_WARN << "chaos: arming a torn write for the next snapshot save";
+    monitor::arm_torn_snapshot_write();
+  };
+  hooks.clock_skew = [this](const sim::ChaosEvent& e) {
+    clock_skew_ += e.amount;
+    obs::metrics::chaos_clock_skew_seconds().set(clock_skew_);
+    NLARM_WARN << "chaos: clock skew now " << clock_skew_ << " s";
+  };
+  engine_ = std::make_unique<sim::ChaosEngine>(std::move(spec), sim,
+                                              std::move(hooks));
+}
+
+void ChaosHarness::stall_daemons(const sim::ChaosEvent& event,
+                                 sim::Rng& rng) {
+  std::vector<monitor::Daemon*> matching;
+  for (monitor::Daemon* daemon : monitor_.daemons()) {
+    if (util::starts_with(daemon->name(), event.selector) &&
+        !daemon->stalled()) {
+      matching.push_back(daemon);
+    }
+  }
+  std::size_t count;
+  if (event.amount_is_count) {
+    count = std::min(matching.size(),
+                     static_cast<std::size_t>(event.amount));
+  } else {
+    // Fractional amounts round up so "0.1 of 8 daemons" stalls one, not
+    // zero — a schedule entry always does something when victims exist.
+    count = std::min(
+        matching.size(),
+        static_cast<std::size_t>(std::ceil(
+            event.amount * static_cast<double>(matching.size()))));
+  }
+  // Seeded Fisher–Yates prefix: the first `count` entries are the victims.
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t j = static_cast<std::size_t>(rng.uniform_int(
+        static_cast<std::int64_t>(i),
+        static_cast<std::int64_t>(matching.size()) - 1));
+    std::swap(matching[i], matching[j]);
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    monitor::Daemon* daemon = matching[i];
+    daemon->set_stalled(true);
+    obs::metrics::chaos_daemon_stalls().inc();
+    NLARM_WARN << "chaos: stalled " << daemon->name() << " for "
+               << event.duration << " s";
+    sim_.schedule_in(event.duration, [daemon] {
+      // The daemon may have been relaunched (fresh, unstalled) meanwhile;
+      // clearing the flag is idempotent either way.
+      daemon->set_stalled(false);
+    });
+  }
+}
+
+void ChaosHarness::flap_node(const sim::ChaosEvent& event, sim::Rng& rng) {
+  cluster::NodeId target = static_cast<cluster::NodeId>(event.node);
+  if (event.node < 0) {
+    const std::vector<cluster::NodeId> alive = cluster_.alive_nodes();
+    if (alive.empty()) {
+      NLARM_WARN << "chaos: flap requested but no node is alive";
+      return;
+    }
+    target = alive[static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(alive.size()) - 1))];
+  }
+  NLARM_CHECK(target >= 0 && target < cluster_.size())
+      << "chaos flap target " << target << " outside the cluster";
+  obs::metrics::chaos_node_flaps().inc();
+  NLARM_WARN << "chaos: node " << target << " down for " << event.duration
+             << " s";
+  cluster_.mutable_node(target).dyn.alive = false;
+  cluster::Cluster* cluster = &cluster_;
+  sim_.schedule_in(event.duration, [cluster, target] {
+    cluster->mutable_node(target).dyn.alive = true;
+    NLARM_WARN << "chaos: node " << target << " back up";
+  });
+}
+
+}  // namespace nlarm::exp

@@ -1,0 +1,44 @@
+// ChaosHarness: binds a sim::ChaosEngine's abstract fault events to a
+// concrete testbed — daemon objects, cluster nodes, the supervisor pair and
+// the snapshot persistence layer. This is the layer that knows what a
+// "stall" or a "flap" means; sim/chaos.h only knows when one happens.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "monitor/resource_monitor.h"
+#include "sim/chaos.h"
+#include "sim/simulation.h"
+
+namespace nlarm::exp {
+
+class ChaosHarness {
+ public:
+  /// Borrows everything; the testbed must outlive the harness.
+  ChaosHarness(sim::ChaosSpec spec, sim::Simulation& sim,
+               cluster::Cluster& cluster, monitor::ResourceMonitor& monitor);
+
+  /// Schedules the spec's events at sim.now() + t. Call once, after the
+  /// monitor has started (typically post-warmup).
+  void arm() { engine_->arm(); }
+
+  const sim::ChaosEngine& engine() const { return *engine_; }
+
+  /// Accumulated clock skew injected so far (seconds, may be negative).
+  /// Consumers add this to `now` when computing staleness views.
+  double clock_skew() const { return clock_skew_; }
+
+ private:
+  void stall_daemons(const sim::ChaosEvent& event, sim::Rng& rng);
+  void flap_node(const sim::ChaosEvent& event, sim::Rng& rng);
+
+  sim::Simulation& sim_;
+  cluster::Cluster& cluster_;
+  monitor::ResourceMonitor& monitor_;
+  double clock_skew_ = 0.0;
+  std::unique_ptr<sim::ChaosEngine> engine_;
+};
+
+}  // namespace nlarm::exp

@@ -25,6 +25,7 @@ void Daemon::launch(sim::Simulation& sim) {
   timer_.cancel();
   sim_ = &sim;
   alive_ = true;
+  stalled_ = false;  // a (re)launched process starts fresh
   ++launches_;
   timer_ = sim.schedule_every(period_, period_, [this]() { on_timer(); });
 }
@@ -50,6 +51,9 @@ void Daemon::on_timer() {
     kill();
     return;
   }
+  // Stalled: the process looks alive (timer keeps firing, running() stays
+  // true) but produces nothing — its records age out instead.
+  if (stalled_) return;
   ++ticks_;
   obs::metrics::monitor_daemon_ticks().inc();
   tick(sim_->now());

@@ -34,6 +34,13 @@ class Daemon {
   /// Stops the daemon (failure injection or supervised shutdown).
   void kill();
 
+  /// Chaos hook: a stalled daemon keeps its timer and still counts as
+  /// running() — so supervision does NOT relaunch it — but skips its tick
+  /// work. This is the "wedged process" fault: alive to the supervisor,
+  /// silent to the store.
+  void set_stalled(bool stalled) { stalled_ = stalled; }
+  bool stalled() const { return stalled_; }
+
   /// True if launched, not killed, and its host is alive.
   bool running() const;
 
@@ -59,6 +66,7 @@ class Daemon {
   sim::Simulation* sim_ = nullptr;
   sim::PeriodicHandle timer_;
   bool alive_ = false;
+  bool stalled_ = false;
   std::uint64_t ticks_ = 0;
   int launches_ = 0;
 };

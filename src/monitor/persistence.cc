@@ -1,12 +1,16 @@
 #include "monitor/persistence.h"
 
+#include <atomic>
+#include <cstdio>
 #include <fstream>
 #include <istream>
 #include <ostream>
 #include <sstream>
 
+#include "obs/catalog.h"
 #include "util/check.h"
 #include "util/csv.h"
+#include "util/logging.h"
 #include "util/strings.h"
 
 namespace nlarm::monitor {
@@ -15,7 +19,25 @@ namespace {
 constexpr const char* kHeader = "#nlarm-snapshot v1";
 
 std::string fmt(double v) { return util::csv_format(v); }
+
+std::atomic<int> g_torn_writes_armed{0};
+
+/// Consumes one armed torn write, if any.
+bool consume_torn_write() {
+  int armed = g_torn_writes_armed.load(std::memory_order_relaxed);
+  while (armed > 0) {
+    if (g_torn_writes_armed.compare_exchange_weak(
+            armed, armed - 1, std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
 }  // namespace
+
+void arm_torn_snapshot_write() {
+  g_torn_writes_armed.fetch_add(1, std::memory_order_relaxed);
+}
 
 void write_snapshot(std::ostream& out, const ClusterSnapshot& snapshot) {
   out << kHeader << "\n";
@@ -177,11 +199,44 @@ ClusterSnapshot read_snapshot(std::istream& in) {
   return snapshot;
 }
 
-void save_snapshot_file(const std::string& path,
+bool save_snapshot_file(const std::string& path,
                         const ClusterSnapshot& snapshot) {
-  std::ofstream out(path);
-  NLARM_CHECK(out.is_open()) << "cannot open '" << path << "' for writing";
-  write_snapshot(out, snapshot);
+  // Serialize fully in memory first: any NLARM_CHECK inside write_snapshot
+  // fires before a byte touches the filesystem.
+  std::ostringstream buffer;
+  write_snapshot(buffer, snapshot);
+  std::string text = buffer.str();
+
+  const std::string tmp = path + ".tmp";
+  const bool torn = consume_torn_write();
+  if (torn) {
+    // The writer "crashed" mid-write: leave a truncated tmp file behind and
+    // never rename. Whatever good snapshot sits at `path` survives.
+    text.resize(text.size() / 2);
+    obs::metrics::chaos_torn_snapshot_writes().inc();
+  }
+
+  std::ofstream out(tmp, std::ios::trunc);
+  NLARM_CHECK(out.is_open()) << "cannot open '" << tmp << "' for writing";
+  out << text;
+  out.flush();
+  const bool wrote_ok = out.good();
+  out.close();
+
+  if (torn || !wrote_ok) {
+    obs::metrics::persistence_snapshot_save_failures().inc();
+    NLARM_WARN << "snapshot save to " << path
+               << (torn ? " torn by fault injection" : " failed to flush")
+               << "; previous file left untouched";
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    obs::metrics::persistence_snapshot_save_failures().inc();
+    NLARM_WARN << "snapshot rename " << tmp << " -> " << path << " failed";
+    return false;
+  }
+  obs::metrics::persistence_snapshot_saves().inc();
+  return true;
 }
 
 ClusterSnapshot load_snapshot_file(const std::string& path) {

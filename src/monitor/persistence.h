@@ -28,9 +28,19 @@ void write_snapshot(std::ostream& out, const ClusterSnapshot& snapshot);
 /// malformed or missing section.
 ClusterSnapshot read_snapshot(std::istream& in);
 
-/// File convenience wrappers.
-void save_snapshot_file(const std::string& path,
+/// Crash-safe file save: serializes to `<path>.tmp`, verifies the stream
+/// flushed cleanly, then renames into place — a torn write never replaces a
+/// good snapshot. Returns false (leaving any previous file at `path`
+/// untouched) when the write failed or a torn write was armed; throws
+/// CheckError only when the tmp file cannot be opened at all.
+bool save_snapshot_file(const std::string& path,
                         const ClusterSnapshot& snapshot);
 ClusterSnapshot load_snapshot_file(const std::string& path);
+
+/// Fault injection: the next save_snapshot_file() call writes a truncated
+/// `<path>.tmp`, skips the rename and returns false — the on-disk
+/// aftermath of a writer crashing mid-snapshot. Arms stack (n calls tear
+/// the next n saves). Thread-safe.
+void arm_torn_snapshot_write();
 
 }  // namespace nlarm::monitor

@@ -139,4 +139,29 @@ double MonitorStore::pair_staleness(double now, cluster::NodeId u,
   return now - last;
 }
 
+StalenessView MonitorStore::staleness_view(double now) const {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  StalenessView view;
+  view.now = now;
+  const auto n = static_cast<std::size_t>(node_count_);
+  view.node.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeSnapshot& record = node_records_[i];
+    view.node[i] = record.valid ? now - record.sample_time : kInf;
+  }
+  view.pair.assign(n, kInf);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = 0; v < n; ++v) {
+      if (u == v) {
+        view.pair[u][v] = 0.0;
+        continue;
+      }
+      const double last =
+          std::max(latency_time_[u][v], bandwidth_time_[u][v]);
+      if (last >= 0.0) view.pair[u][v] = now - last;
+    }
+  }
+  return view;
+}
+
 }  // namespace nlarm::monitor

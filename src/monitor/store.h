@@ -16,6 +16,16 @@
 
 namespace nlarm::monitor {
 
+/// Point-in-time staleness of every record in a store, for degradation
+/// consumers (core/degrade.h). Entries are seconds since the record's last
+/// refresh, +inf for never-written records.
+struct StalenessView {
+  double now = 0.0;
+  std::vector<double> node;  ///< per-node record age
+  util::FlatMatrix pair;     ///< per ordered pair (u,v): age of the freshest
+                             ///< latency/bandwidth entry for that direction
+};
+
 class MonitorStore {
  public:
   explicit MonitorStore(int node_count);
@@ -63,6 +73,10 @@ class MonitorStore {
   /// Seconds since any latency/bandwidth entry for the pair was refreshed.
   double pair_staleness(double now, cluster::NodeId u,
                         cluster::NodeId v) const;
+
+  /// Materializes node_staleness/pair_staleness for every record at once —
+  /// the per-refresh input of the degradation layer. O(V²).
+  StalenessView staleness_view(double now) const;
 
  private:
   void check_node(cluster::NodeId node) const;

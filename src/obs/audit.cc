@@ -287,7 +287,9 @@ std::string AuditRecord::to_json() const {
   out << ",\"cluster_load_per_core\":" << num(cluster_load_per_core)
       << ",\"effective_capacity\":" << effective_capacity
       << ",\"aggregates_cache_hit\":"
-      << (aggregates_cache_hit ? "true" : "false") << ",\"policy\":";
+      << (aggregates_cache_hit ? "true" : "false") << ",\"degradation\":";
+  append_json_string(out, degradation);
+  out << ",\"quarantined_nodes\":" << quarantined_nodes << ",\"policy\":";
   append_json_string(out, policy);
   out << ",\"nodes\":[";
   for (std::size_t i = 0; i < nodes.size(); ++i) {
@@ -338,6 +340,10 @@ AuditRecord AuditRecord::from_json(const std::string& json) {
   r.effective_capacity =
       static_cast<int>(get_number(root, "effective_capacity", 0));
   r.aggregates_cache_hit = get_bool(root, "aggregates_cache_hit", false);
+  r.degradation = get_string(root, "degradation");
+  if (r.degradation.empty()) r.degradation = "none";  // pre-degradation logs
+  r.quarantined_nodes =
+      static_cast<int>(get_number(root, "quarantined_nodes", 0));
   r.policy = get_string(root, "policy");
   r.nodes = get_int_array(root, "nodes");
   r.hostnames = get_string_array(root, "hostnames");

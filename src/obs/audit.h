@@ -35,6 +35,13 @@ struct AuditRecord {
   int effective_capacity = 0;
   bool aggregates_cache_hit = false;
 
+  // Degradation verdict: "none" | "degraded-epoch" (served from an epoch
+  // rewritten for staleness) | "last-good-fallback" (current epoch poisoned,
+  // served from the last-good one) | "refused-stale" (even the last-good
+  // epoch exceeded the hard age bound).
+  std::string degradation = "none";
+  int quarantined_nodes = 0;  ///< nodes quarantined in the serving epoch
+
   // Allocation outcome (empty/zero when action == "wait").
   std::string policy;
   std::vector<int> nodes;

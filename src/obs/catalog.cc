@@ -124,6 +124,38 @@ NLARM_CATALOG_COUNTER(broker_batches, "nlarm_broker_batches_total",
 NLARM_CATALOG_COUNTER(broker_batch_requests,
                       "nlarm_broker_batch_requests_total",
                       "Requests decided inside batched admission rounds.")
+NLARM_CATALOG_COUNTER(broker_fallback_decisions,
+                      "nlarm_broker_fallback_decisions_total",
+                      "Epoch decisions served from the last-good epoch "
+                      "because the current one had no usable nodes.")
+NLARM_CATALOG_COUNTER(broker_stale_refusals,
+                      "nlarm_broker_stale_refusals_total",
+                      "Epoch decisions refused because even the last-good "
+                      "epoch exceeded the degradation policy's age bound.")
+NLARM_CATALOG_HISTOGRAM(broker_epoch_age_seconds,
+                        "nlarm_broker_epoch_age_seconds",
+                        "Distribution of snapshot-time gaps between "
+                        "consecutive published epochs.")
+
+NLARM_CATALOG_GAUGE(degrade_quarantined_nodes,
+                    "nlarm_degrade_quarantined_nodes",
+                    "Nodes currently quarantined out of candidate "
+                    "generation for record staleness.")
+NLARM_CATALOG_COUNTER(degrade_quarantine_events,
+                      "nlarm_degrade_quarantine_events_total",
+                      "Node quarantine entries (record age crossed the "
+                      "staleness budget).")
+NLARM_CATALOG_COUNTER(degrade_readmissions,
+                      "nlarm_degrade_readmissions_total",
+                      "Quarantined nodes readmitted after their record "
+                      "freshened past the hysteresis threshold.")
+NLARM_CATALOG_GAUGE(degrade_pair_fallbacks, "nlarm_degrade_pair_fallbacks",
+                    "P2P pairs currently served from the penalized 5-minute "
+                    "running mean instead of the stale spot measurement.")
+
+NLARM_CATALOG_COUNTER(jobqueue_backoffs, "nlarm_jobqueue_backoffs_total",
+                      "Wait verdicts that put the head job into exponential "
+                      "backoff instead of retrying immediately.")
 
 NLARM_CATALOG_GAUGE(threadpool_threads, "nlarm_threadpool_threads",
                     "Worker threads in the most recently constructed "
@@ -177,11 +209,40 @@ NLARM_CATALOG_COUNTER(monitor_delta_dirty_pairs,
                       "nlarm_monitor_delta_dirty_pairs_total",
                       "Dirty P2P pairs carried by drained deltas.")
 
+NLARM_CATALOG_COUNTER(persistence_snapshot_saves,
+                      "nlarm_persistence_snapshot_saves_total",
+                      "Snapshot files saved through the crash-safe "
+                      "tmp-then-rename path.")
+NLARM_CATALOG_COUNTER(persistence_snapshot_save_failures,
+                      "nlarm_persistence_snapshot_save_failures_total",
+                      "Snapshot saves that failed (torn or short write, "
+                      "rename error); the previous file is left intact.")
+
 NLARM_CATALOG_COUNTER(sim_events, "nlarm_sim_events_total",
                       "Discrete events dispatched by the simulation engine.")
 NLARM_CATALOG_GAUGE(sim_time_ratio, "nlarm_sim_time_ratio",
                     "Simulated seconds advanced per wall second in the last "
                     "run_until().")
+
+NLARM_CATALOG_COUNTER(chaos_events, "nlarm_chaos_events_total",
+                      "Chaos-schedule events fired by the fault-injection "
+                      "engine.")
+NLARM_CATALOG_COUNTER(chaos_daemon_stalls, "nlarm_chaos_daemon_stalls_total",
+                      "Daemons wedged (alive but not ticking) by chaos "
+                      "stall events.")
+NLARM_CATALOG_COUNTER(chaos_node_flaps, "nlarm_chaos_node_flaps_total",
+                      "Node down/up flaps injected by chaos events.")
+NLARM_CATALOG_COUNTER(chaos_supervisor_kills,
+                      "nlarm_chaos_supervisor_kills_total",
+                      "Master/slave supervisor kills injected by chaos "
+                      "events.")
+NLARM_CATALOG_COUNTER(chaos_torn_snapshot_writes,
+                      "nlarm_chaos_torn_snapshot_writes_total",
+                      "Snapshot saves deliberately torn mid-write by chaos "
+                      "events.")
+NLARM_CATALOG_GAUGE(chaos_clock_skew_seconds, "nlarm_chaos_clock_skew_seconds",
+                    "Accumulated clock skew injected into staleness "
+                    "computations.")
 
 #undef NLARM_CATALOG_COUNTER
 #undef NLARM_CATALOG_GAUGE
@@ -219,6 +280,14 @@ void register_all() {
   broker_epoch_decisions();
   broker_batches();
   broker_batch_requests();
+  broker_fallback_decisions();
+  broker_stale_refusals();
+  broker_epoch_age_seconds();
+  degrade_quarantined_nodes();
+  degrade_quarantine_events();
+  degrade_readmissions();
+  degrade_pair_fallbacks();
+  jobqueue_backoffs();
   threadpool_threads();
   threadpool_batches();
   threadpool_tasks();
@@ -237,8 +306,16 @@ void register_all() {
   monitor_delta_drains();
   monitor_delta_dirty_nodes();
   monitor_delta_dirty_pairs();
+  persistence_snapshot_saves();
+  persistence_snapshot_save_failures();
   sim_events();
   sim_time_ratio();
+  chaos_events();
+  chaos_daemon_stalls();
+  chaos_node_flaps();
+  chaos_supervisor_kills();
+  chaos_torn_snapshot_writes();
+  chaos_clock_skew_seconds();
 }
 
 }  // namespace nlarm::obs::metrics

@@ -52,6 +52,18 @@ Histogram& broker_gate_seconds();        ///< nlarm_broker_gate_seconds
 Counter& broker_epoch_decisions();       ///< nlarm_broker_epoch_decisions_total
 Counter& broker_batches();               ///< nlarm_broker_batches_total
 Counter& broker_batch_requests();        ///< nlarm_broker_batch_requests_total
+Counter& broker_fallback_decisions();    ///< nlarm_broker_fallback_decisions_total
+Counter& broker_stale_refusals();        ///< nlarm_broker_stale_refusals_total
+Histogram& broker_epoch_age_seconds();   ///< nlarm_broker_epoch_age_seconds
+
+// --- staleness degradation (core::Degrader) ---
+Gauge& degrade_quarantined_nodes();      ///< nlarm_degrade_quarantined_nodes
+Counter& degrade_quarantine_events();    ///< nlarm_degrade_quarantine_events_total
+Counter& degrade_readmissions();         ///< nlarm_degrade_readmissions_total
+Gauge& degrade_pair_fallbacks();         ///< nlarm_degrade_pair_fallbacks
+
+// --- job queue ---
+Counter& jobqueue_backoffs();            ///< nlarm_jobqueue_backoffs_total
 
 // --- util::ThreadPool (pooled parallel_for path only) ---
 Gauge& threadpool_threads();             ///< nlarm_threadpool_threads
@@ -75,9 +87,21 @@ Counter& monitor_delta_drains();         ///< nlarm_monitor_delta_drains_total
 Counter& monitor_delta_dirty_nodes();    ///< nlarm_monitor_delta_dirty_nodes_total
 Counter& monitor_delta_dirty_pairs();    ///< nlarm_monitor_delta_dirty_pairs_total
 
+// --- snapshot persistence ---
+Counter& persistence_snapshot_saves();   ///< nlarm_persistence_snapshot_saves_total
+Counter& persistence_snapshot_save_failures(); ///< nlarm_persistence_snapshot_save_failures_total
+
 // --- simulation engine ---
 Counter& sim_events();                   ///< nlarm_sim_events_total
 Gauge& sim_time_ratio();                 ///< nlarm_sim_time_ratio
+
+// --- chaos / fault injection (sim::ChaosEngine + exp::ChaosHarness) ---
+Counter& chaos_events();                 ///< nlarm_chaos_events_total
+Counter& chaos_daemon_stalls();          ///< nlarm_chaos_daemon_stalls_total
+Counter& chaos_node_flaps();             ///< nlarm_chaos_node_flaps_total
+Counter& chaos_supervisor_kills();       ///< nlarm_chaos_supervisor_kills_total
+Counter& chaos_torn_snapshot_writes();   ///< nlarm_chaos_torn_snapshot_writes_total
+Gauge& chaos_clock_skew_seconds();       ///< nlarm_chaos_clock_skew_seconds
 
 /// Registers every catalog series in the global registry (idempotent).
 void register_all();

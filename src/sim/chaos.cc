@@ -1,0 +1,192 @@
+#include "sim/chaos.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/catalog.h"
+#include "util/check.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace nlarm::sim {
+
+const char* to_string(ChaosEvent::Kind kind) {
+  switch (kind) {
+    case ChaosEvent::Kind::kStallDaemons:
+      return "stall";
+    case ChaosEvent::Kind::kFlapNode:
+      return "flap";
+    case ChaosEvent::Kind::kKillMaster:
+      return "kill:master";
+    case ChaosEvent::Kind::kKillSlave:
+      return "kill:slave";
+    case ChaosEvent::Kind::kTearSnapshot:
+      return "tear:snapshot";
+    case ChaosEvent::Kind::kClockSkew:
+      return "skew";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Splits "<t>" or "<t>+<dur>" after the '@'.
+void parse_when(const std::string& text, ChaosEvent& event,
+                const std::string& entry) {
+  const auto plus = text.find('+');
+  if (plus == std::string::npos) {
+    event.time = util::parse_double(util::trim(text));
+  } else {
+    event.time = util::parse_double(util::trim(text.substr(0, plus)));
+    event.duration = util::parse_double(util::trim(text.substr(plus + 1)));
+    NLARM_CHECK(event.duration > 0.0)
+        << "chaos entry '" << entry << "': duration must be positive";
+  }
+  NLARM_CHECK(event.time >= 0.0)
+      << "chaos entry '" << entry << "': time must be >= 0";
+}
+
+}  // namespace
+
+ChaosSpec ChaosSpec::parse(const std::string& text) {
+  ChaosSpec spec;
+  for (const std::string& raw : util::split(text, ';')) {
+    const std::string entry = util::trim(raw);
+    if (entry.empty()) continue;
+
+    if (util::starts_with(entry, "seed=")) {
+      spec.seed = static_cast<std::uint64_t>(
+          util::parse_long(util::trim(entry.substr(5))));
+      continue;
+    }
+
+    const auto at = entry.find('@');
+    NLARM_CHECK(at != std::string::npos)
+        << "chaos entry '" << entry << "': missing '@<time>'";
+    const std::string head = util::trim(entry.substr(0, at));
+    const std::vector<std::string> parts = util::split(head, ':');
+    NLARM_CHECK(!parts.empty() && !parts[0].empty())
+        << "chaos entry '" << entry << "': missing event kind";
+    const std::string kind = util::to_lower(parts[0]);
+
+    ChaosEvent event;
+    parse_when(entry.substr(at + 1), event, entry);
+
+    if (kind == "stall") {
+      NLARM_CHECK(parts.size() == 3)
+          << "chaos entry '" << entry
+          << "': expected stall:<selector>:<amount>@<t>+<dur>";
+      event.kind = ChaosEvent::Kind::kStallDaemons;
+      event.selector = util::trim(parts[1]);
+      NLARM_CHECK(!event.selector.empty())
+          << "chaos entry '" << entry << "': empty daemon selector";
+      const std::string amount = util::trim(parts[2]);
+      event.amount = util::parse_double(amount);
+      event.amount_is_count = amount.find('.') == std::string::npos;
+      if (event.amount_is_count) {
+        NLARM_CHECK(event.amount >= 1.0)
+            << "chaos entry '" << entry << "': stall count must be >= 1";
+      } else {
+        NLARM_CHECK(event.amount > 0.0 && event.amount <= 1.0)
+            << "chaos entry '" << entry
+            << "': stall fraction must be in (0, 1]";
+      }
+      NLARM_CHECK(event.duration > 0.0)
+          << "chaos entry '" << entry << "': stall needs '+<duration>'";
+    } else if (kind == "flap") {
+      NLARM_CHECK(parts.size() == 2)
+          << "chaos entry '" << entry << "': expected flap:<node>@<t>+<dur>";
+      event.kind = ChaosEvent::Kind::kFlapNode;
+      const std::string target = util::to_lower(util::trim(parts[1]));
+      if (target == "random") {
+        event.node = -1;
+      } else {
+        event.node = static_cast<int>(util::parse_long(target));
+        NLARM_CHECK(event.node >= 0)
+            << "chaos entry '" << entry << "': negative node id";
+      }
+      NLARM_CHECK(event.duration > 0.0)
+          << "chaos entry '" << entry << "': flap needs '+<duration>'";
+    } else if (kind == "kill") {
+      NLARM_CHECK(parts.size() == 2)
+          << "chaos entry '" << entry
+          << "': expected kill:master@<t> or kill:slave@<t>";
+      const std::string who = util::to_lower(util::trim(parts[1]));
+      if (who == "master") {
+        event.kind = ChaosEvent::Kind::kKillMaster;
+      } else if (who == "slave") {
+        event.kind = ChaosEvent::Kind::kKillSlave;
+      } else {
+        NLARM_CHECK(false) << "chaos entry '" << entry
+                           << "': kill target must be master or slave";
+      }
+    } else if (kind == "tear") {
+      NLARM_CHECK(parts.size() == 2 &&
+                  util::to_lower(util::trim(parts[1])) == "snapshot")
+          << "chaos entry '" << entry << "': expected tear:snapshot@<t>";
+      event.kind = ChaosEvent::Kind::kTearSnapshot;
+    } else if (kind == "skew") {
+      NLARM_CHECK(parts.size() == 2)
+          << "chaos entry '" << entry << "': expected skew:<seconds>@<t>";
+      event.kind = ChaosEvent::Kind::kClockSkew;
+      event.amount = util::parse_double(util::trim(parts[1]));
+      NLARM_CHECK(event.amount != 0.0)
+          << "chaos entry '" << entry << "': zero skew is a no-op";
+    } else {
+      NLARM_CHECK(false) << "chaos entry '" << entry
+                         << "': unknown event kind '" << kind << "'";
+    }
+    spec.events.push_back(std::move(event));
+  }
+  std::stable_sort(spec.events.begin(), spec.events.end(),
+                   [](const ChaosEvent& a, const ChaosEvent& b) {
+                     return a.time < b.time;
+                   });
+  return spec;
+}
+
+ChaosEngine::ChaosEngine(ChaosSpec spec, Simulation& sim, ChaosHooks hooks)
+    : spec_(std::move(spec)), sim_(sim), hooks_(std::move(hooks)),
+      rng_(spec_.seed) {}
+
+void ChaosEngine::arm() {
+  NLARM_CHECK(!armed_) << "chaos engine armed twice";
+  armed_ = true;
+  const double base = sim_.now();
+  for (std::size_t i = 0; i < spec_.events.size(); ++i) {
+    sim_.schedule_at(base + spec_.events[i].time, [this, i]() { fire(i); });
+  }
+}
+
+void ChaosEngine::fire(std::size_t index) {
+  const ChaosEvent& event = spec_.events[index];
+  obs::metrics::chaos_events().inc();
+  NLARM_INFO << "chaos: " << to_string(event.kind) << " at t="
+             << sim_.now();
+  // Each event forks its own stream keyed by schedule position, so a hook's
+  // internal draws never shift the victims picked by later events.
+  Rng event_rng = rng_.fork(static_cast<std::uint64_t>(index));
+  switch (event.kind) {
+    case ChaosEvent::Kind::kStallDaemons:
+      if (hooks_.stall_daemons) hooks_.stall_daemons(event, event_rng);
+      break;
+    case ChaosEvent::Kind::kFlapNode:
+      if (hooks_.flap_node) hooks_.flap_node(event, event_rng);
+      break;
+    case ChaosEvent::Kind::kKillMaster:
+      if (hooks_.kill_master) hooks_.kill_master(event);
+      break;
+    case ChaosEvent::Kind::kKillSlave:
+      if (hooks_.kill_slave) hooks_.kill_slave(event);
+      break;
+    case ChaosEvent::Kind::kTearSnapshot:
+      if (hooks_.tear_snapshot) hooks_.tear_snapshot(event);
+      break;
+    case ChaosEvent::Kind::kClockSkew:
+      if (hooks_.clock_skew) hooks_.clock_skew(event);
+      break;
+  }
+  fired_.push_back(event);
+}
+
+}  // namespace nlarm::sim

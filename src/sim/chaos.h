@@ -1,0 +1,113 @@
+// Deterministic fault injection driven through the simulation clock.
+//
+// A ChaosSpec is a seeded schedule of faults — daemon stalls, node flaps,
+// supervisor kills, torn snapshot writes, clock skew — parsed from a compact
+// text DSL (the --chaos-spec flag of nlarm_broker). The ChaosEngine turns
+// the schedule into simulation events and dispatches each one to a
+// ChaosHooks callback; what a fault *means* (which daemon object to stall,
+// which cluster node to flap) is wired by the harness layer (exp/), keeping
+// sim/ free of monitor/ dependencies.
+//
+// Spec grammar (entries separated by ';', whitespace ignored):
+//
+//   seed=<u64>                      RNG seed for random victim selection
+//   stall:<selector>:<amount>@<t>+<dur>
+//                                   stall daemons whose name starts with
+//                                   <selector> (e.g. nodestate, latencyd);
+//                                   <amount> is a fraction (0.1) or a count
+//                                   (3); stalled daemons stay "alive" but
+//                                   stop refreshing for <dur> seconds
+//   flap:<node>@<t>+<dur>           kill node <node> ("random" = seeded
+//                                   pick) at t, revive it at t+dur
+//   kill:master@<t>                 kill the master supervisor process
+//   kill:slave@<t>                  kill the slave supervisor process
+//   tear:snapshot@<t>               arm a torn (truncated, unrenamed) write
+//                                   for the next snapshot save
+//   skew:<seconds>@<t>              add <seconds> (may be negative) to the
+//                                   consumers' staleness clock
+//
+// Times are relative to arm(): the engine schedules each event at
+// sim.now() + t, so one spec replays against any warm-up length.
+// Example: "seed=7; stall:nodestate:0.1@30+120; tear:snapshot@60".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/rng.h"
+#include "sim/simulation.h"
+
+namespace nlarm::sim {
+
+struct ChaosEvent {
+  enum class Kind {
+    kStallDaemons,
+    kFlapNode,
+    kKillMaster,
+    kKillSlave,
+    kTearSnapshot,
+    kClockSkew,
+  };
+
+  Kind kind = Kind::kStallDaemons;
+  double time = 0.0;      ///< seconds after arm()
+  double duration = 0.0;  ///< stall / flap length
+  double amount = 0.0;    ///< stall fraction/count; skew seconds
+  bool amount_is_count = false;  ///< stall amount was an integer count
+  int node = -1;                 ///< flap target; -1 = seeded random pick
+  std::string selector;          ///< daemon-name prefix for stalls
+};
+
+const char* to_string(ChaosEvent::Kind kind);
+
+struct ChaosSpec {
+  std::uint64_t seed = 0x5eedULL;
+  std::vector<ChaosEvent> events;  ///< sorted by time, stable on ties
+
+  bool empty() const { return events.empty(); }
+
+  /// Parses the DSL above. Throws CheckError naming the offending entry.
+  static ChaosSpec parse(const std::string& text);
+};
+
+/// The harness-provided meaning of each fault. Each callback receives the
+/// event; victim-selection randomness comes from the forked Rng so the
+/// schedule replays bit-for-bit. Unset hooks turn their events into no-ops
+/// (still counted as fired).
+struct ChaosHooks {
+  std::function<void(const ChaosEvent&, Rng&)> stall_daemons;
+  std::function<void(const ChaosEvent&, Rng&)> flap_node;
+  std::function<void(const ChaosEvent&)> kill_master;
+  std::function<void(const ChaosEvent&)> kill_slave;
+  std::function<void(const ChaosEvent&)> tear_snapshot;
+  std::function<void(const ChaosEvent&)> clock_skew;
+};
+
+/// Schedules a ChaosSpec on a Simulation and dispatches fired events to the
+/// hooks. Owns nothing but the schedule; must outlive the simulation run.
+class ChaosEngine {
+ public:
+  ChaosEngine(ChaosSpec spec, Simulation& sim, ChaosHooks hooks);
+
+  /// Schedules every event at sim.now() + event.time. Call once.
+  void arm();
+
+  const ChaosSpec& spec() const { return spec_; }
+
+  /// Events dispatched so far, in firing order.
+  const std::vector<ChaosEvent>& fired() const { return fired_; }
+
+ private:
+  void fire(std::size_t index);
+
+  ChaosSpec spec_;
+  Simulation& sim_;
+  ChaosHooks hooks_;
+  Rng rng_;
+  std::vector<ChaosEvent> fired_;
+  bool armed_ = false;
+};
+
+}  // namespace nlarm::sim

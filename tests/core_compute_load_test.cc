@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "core/attributes.h"
 #include "test_helpers.h"
 #include "util/check.h"
@@ -165,6 +167,38 @@ TEST(EffectiveProcessCountTest, AlwaysInOneToCores) {
     EXPECT_GE(pc, 1);
     EXPECT_LE(pc, 8);
   }
+}
+
+TEST(EffectiveProcessCountTest, GarbageLoadsAreClamped) {
+  // Regression: a misbehaving NodeStateD can report a negative, NaN, or
+  // absurdly large load. ceil() of those cast straight to int is UB; the
+  // clamp must route them to a sane pc instead of crashing or wrapping.
+  auto snap = make_snapshot({TestNode{.cpu_load = -3.5, .cores = 8}});
+  EXPECT_EQ(effective_process_count(snap.nodes[0]), 8);  // negative → idle
+
+  snap = make_snapshot({TestNode{.cpu_load = -1e300, .cores = 8}});
+  EXPECT_EQ(effective_process_count(snap.nodes[0]), 8);
+
+  snap = make_snapshot(
+      {TestNode{.cpu_load = std::numeric_limits<double>::quiet_NaN(),
+                .cores = 8}});
+  EXPECT_EQ(effective_process_count(snap.nodes[0]), 8);  // NaN → idle
+
+  // Loads at and beyond INT_MAX saturate instead of overflowing; the
+  // result still lands in [1, cores] via the modulo.
+  snap = make_snapshot({TestNode{.cpu_load = 1e18, .cores = 8}});
+  int pc = effective_process_count(snap.nodes[0]);
+  EXPECT_GE(pc, 1);
+  EXPECT_LE(pc, 8);
+
+  snap = make_snapshot(
+      {TestNode{.cpu_load = std::numeric_limits<double>::infinity(),
+                .cores = 8}});
+  pc = effective_process_count(snap.nodes[0]);
+  EXPECT_GE(pc, 1);
+  EXPECT_LE(pc, 8);
+  // INT_MAX % 8 = 7 → pc = 1: deterministic saturation, both paths agree.
+  EXPECT_EQ(pc, 8 - std::numeric_limits<int>::max() % 8);
 }
 
 TEST(EffectiveProcessCountTest, PpnOverrides) {

@@ -1,0 +1,181 @@
+#include "core/degrade.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include "test_helpers.h"
+#include "util/check.h"
+
+namespace nlarm::core {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+monitor::StalenessView fresh_view(std::size_t n) {
+  monitor::StalenessView view;
+  view.now = 1000.0;
+  view.node.assign(n, 1.0);
+  view.pair.assign(n, 1.0);
+  for (std::size_t i = 0; i < n; ++i) view.pair[i][i] = 0.0;
+  return view;
+}
+
+std::shared_ptr<const monitor::ClusterSnapshot> snap4() {
+  return std::make_shared<const monitor::ClusterSnapshot>(
+      testing::make_snapshot(testing::idle_nodes(4)));
+}
+
+TEST(DegradationPolicyTest, ValidatesBounds) {
+  DegradationPolicy policy;
+  policy.validate();  // defaults are sane
+
+  DegradationPolicy bad = policy;
+  bad.node_readmit_s = bad.node_staleness_budget_s + 1.0;
+  EXPECT_THROW(bad.validate(), util::CheckError);
+  bad = policy;
+  bad.pair_penalty = 0.5;
+  EXPECT_THROW(bad.validate(), util::CheckError);
+  bad = policy;
+  bad.max_epoch_age_s = 0.0;
+  EXPECT_THROW(bad.validate(), util::CheckError);
+}
+
+TEST(DegraderTest, FreshInputsPassThroughWithoutCopy) {
+  Degrader degrader(DegradationPolicy{});
+  auto snapshot = snap4();
+  const DegradationOutcome out = degrader.apply(snapshot, fresh_view(4));
+  EXPECT_FALSE(out.degraded);
+  EXPECT_EQ(out.quarantined, 0u);
+  EXPECT_EQ(out.pair_fallbacks, 0u);
+  EXPECT_TRUE(out.changed_pairs.empty());
+  // Same object, not a copy — fresh epochs stay bit-identical for free.
+  EXPECT_EQ(out.snapshot.get(), snapshot.get());
+}
+
+TEST(DegraderTest, QuarantinesOverBudgetNodesWithHysteresis) {
+  DegradationPolicy policy;
+  policy.node_staleness_budget_s = 30.0;
+  policy.node_readmit_s = 15.0;
+  Degrader degrader(policy);
+  auto snapshot = snap4();
+
+  monitor::StalenessView view = fresh_view(4);
+  view.node[2] = 31.0;  // over budget
+  DegradationOutcome out = degrader.apply(snapshot, view);
+  EXPECT_TRUE(out.degraded);
+  EXPECT_TRUE(out.quarantine_changed);
+  EXPECT_EQ(out.quarantined, 1u);
+  ASSERT_NE(out.snapshot.get(), snapshot.get());
+  EXPECT_FALSE(out.snapshot->livehosts[2]);
+  EXPECT_TRUE(out.snapshot->livehosts[1]);
+
+  // Back under budget but above the readmit threshold: still quarantined
+  // (hysteresis), and the membership did not change.
+  view.node[2] = 20.0;
+  out = degrader.apply(snapshot, view);
+  EXPECT_EQ(out.quarantined, 1u);
+  EXPECT_FALSE(out.quarantine_changed);
+  EXPECT_FALSE(out.snapshot->livehosts[2]);
+
+  // Below the readmit threshold: back in.
+  view.node[2] = 10.0;
+  out = degrader.apply(snapshot, view);
+  EXPECT_EQ(out.quarantined, 0u);
+  EXPECT_TRUE(out.quarantine_changed);
+  EXPECT_FALSE(out.degraded);
+  EXPECT_EQ(out.snapshot.get(), snapshot.get());
+}
+
+TEST(DegraderTest, NeverWrittenNodesAreNotQuarantined) {
+  // A node whose record the monitor already invalidated (or that is dead)
+  // carries no quarantine state: rewriting it would be a no-op.
+  Degrader degrader(DegradationPolicy{});
+  auto raw = testing::make_snapshot(testing::idle_nodes(4));
+  raw.nodes[1].valid = false;
+  raw.livehosts[3] = false;
+  auto snapshot = std::make_shared<const monitor::ClusterSnapshot>(raw);
+
+  monitor::StalenessView view = fresh_view(4);
+  view.node[1] = kInf;
+  view.node[3] = kInf;
+  const DegradationOutcome out = degrader.apply(snapshot, view);
+  EXPECT_EQ(out.quarantined, 0u);
+  EXPECT_FALSE(out.quarantine_changed);
+}
+
+TEST(DegraderTest, StalePairsFallBackToPenalizedRunningMean) {
+  DegradationPolicy policy;
+  policy.pair_staleness_budget_s = 600.0;
+  policy.pair_penalty = 1.25;
+  Degrader degrader(policy);
+
+  auto raw = testing::make_snapshot(testing::idle_nodes(4), /*lat_us=*/100.0,
+                                    /*bw_mbps=*/900.0, /*peak_mbps=*/1000.0);
+  // Spot value drifted away from the 5-min mean; the fallback must serve
+  // the mean with the penalty, not the stale spot value.
+  raw.net.latency_us[0][1] = raw.net.latency_us[1][0] = 50.0;
+  auto snapshot = std::make_shared<const monitor::ClusterSnapshot>(raw);
+
+  monitor::StalenessView view = fresh_view(4);
+  view.pair[0][1] = 700.0;  // one direction stale...
+  view.pair[1][0] = 650.0;  // ...the fresher one still over budget
+  DegradationOutcome out = degrader.apply(snapshot, view);
+  EXPECT_TRUE(out.degraded);
+  EXPECT_EQ(out.pair_fallbacks, 1u);
+  ASSERT_EQ(out.changed_pairs.size(), 1u);
+  EXPECT_EQ(out.changed_pairs[0], std::make_pair(cluster::NodeId(0),
+                                                 cluster::NodeId(1)));
+  // latency_5min_us is 100 → 100 * 1.25, both directions.
+  EXPECT_DOUBLE_EQ(out.snapshot->net.latency_us[0][1], 125.0);
+  EXPECT_DOUBLE_EQ(out.snapshot->net.latency_us[1][0], 125.0);
+  // bandwidth deficit (1000-900) is amplified: 1000 - 100*1.25.
+  EXPECT_DOUBLE_EQ(out.snapshot->net.bandwidth_mbps[0][1], 875.0);
+  // Untouched pairs keep their values.
+  EXPECT_DOUBLE_EQ(out.snapshot->net.latency_us[2][3], 100.0);
+
+  // One fresh direction (daemons write both orders together) rescues the
+  // pair: min() of the directions decides.
+  view.pair[1][0] = 10.0;
+  out = degrader.apply(snapshot, view);
+  EXPECT_EQ(out.pair_fallbacks, 0u);
+  // Leaving fallback is a flip too: the consumer must re-patch the pair
+  // back to its true values.
+  ASSERT_EQ(out.changed_pairs.size(), 1u);
+  EXPECT_FALSE(out.degraded);
+}
+
+TEST(DegraderTest, NeverMeasuredPairsStayOut) {
+  Degrader degrader(DegradationPolicy{});
+  auto snapshot = snap4();
+  monitor::StalenessView view = fresh_view(4);
+  view.pair[0][1] = kInf;
+  view.pair[1][0] = kInf;
+  const DegradationOutcome out = degrader.apply(snapshot, view);
+  EXPECT_EQ(out.pair_fallbacks, 0u);
+  EXPECT_FALSE(out.degraded);
+}
+
+TEST(DegraderTest, UnchangedStateReportsNoFlips) {
+  Degrader degrader(DegradationPolicy{});
+  auto snapshot = snap4();
+  monitor::StalenessView view = fresh_view(4);
+  view.pair[0][1] = view.pair[1][0] = 700.0;
+  DegradationOutcome out = degrader.apply(snapshot, view);
+  EXPECT_EQ(out.changed_pairs.size(), 1u);
+  // Same staleness again: the pair is already in fallback, nothing flipped.
+  out = degrader.apply(snapshot, view);
+  EXPECT_TRUE(out.changed_pairs.empty());
+  EXPECT_EQ(out.pair_fallbacks, 1u);
+  EXPECT_TRUE(out.degraded);
+}
+
+TEST(DegraderTest, RejectsMismatchedView) {
+  Degrader degrader(DegradationPolicy{});
+  EXPECT_THROW(degrader.apply(snap4(), fresh_view(3)), util::CheckError);
+}
+
+}  // namespace
+}  // namespace nlarm::core

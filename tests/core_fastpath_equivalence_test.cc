@@ -15,6 +15,7 @@
 #include "core/allocator.h"
 #include "core/candidate.h"
 #include "core/compute_load.h"
+#include "core/degrade.h"
 #include "core/network_load.h"
 #include "core/normalize.h"
 #include "core/reference.h"
@@ -125,12 +126,10 @@ void expect_same_allocation(const Allocation& actual,
   EXPECT_EQ(actual.avg_bw_complement_mbps, expected.avg_bw_complement_mbps);
 }
 
-/// Checks the whole pipeline at one cluster size and process count, through
-/// every fast-path configuration.
-void check_equivalence(int v, int nprocs, std::uint64_t seed) {
-  SCOPED_TRACE(::testing::Message() << "V=" << v << " nprocs=" << nprocs
-                                    << " seed=" << seed);
-  const monitor::ClusterSnapshot snap = random_snapshot(v, seed);
+/// Checks the whole pipeline on one snapshot, through every fast-path
+/// configuration.
+void check_on_snapshot(const monitor::ClusterSnapshot& snap, int nprocs) {
+  const int v = static_cast<int>(snap.nodes.size());
   const AllocationRequest request = make_request(nprocs);
 
   const std::vector<cluster::NodeId> usable = snap.usable_nodes();
@@ -199,6 +198,13 @@ void check_equivalence(int v, int nprocs, std::uint64_t seed) {
                          ref_alloc);
 }
 
+/// Random snapshot at one cluster size and process count.
+void check_equivalence(int v, int nprocs, std::uint64_t seed) {
+  SCOPED_TRACE(::testing::Message() << "V=" << v << " nprocs=" << nprocs
+                                    << " seed=" << seed);
+  check_on_snapshot(random_snapshot(v, seed), nprocs);
+}
+
 TEST(FastPathEquivalenceTest, TopKPathSmall) {
   check_equivalence(8, 13, 1001);  // k < V: partial-selection path
 }
@@ -254,6 +260,43 @@ TEST(FastPathEquivalenceTest, MemoizationInvalidatedByVersionBump) {
   expect_same_allocation(a2, a1);
 }
 
+
+TEST(FastPathEquivalenceTest, DegradedAndQuarantinedInputsStayEquivalent) {
+  // Degradation rewrites the snapshot (quarantined livehosts, penalized
+  // fallback pairs) and then hands the SAME rewritten snapshot to both
+  // pipelines — so the fast path must stay bit-identical to the reference
+  // on degraded inputs exactly as on fresh ones.
+  for (std::uint64_t seed : {101ull, 202ull, 303ull}) {
+    SCOPED_TRACE(::testing::Message() << "seed=" << seed);
+    const int v = 24;
+    auto snapshot = std::make_shared<const monitor::ClusterSnapshot>(
+        random_snapshot(v, seed));
+
+    sim::Rng rng(seed ^ 0xdead);
+    monitor::StalenessView view;
+    view.now = 1000.0;
+    view.node.assign(static_cast<std::size_t>(v), 1.0);
+    view.pair.assign(static_cast<std::size_t>(v), 1.0);
+    for (int i = 0; i < v; ++i) {
+      if (rng.chance(0.2)) view.node[static_cast<std::size_t>(i)] = 100.0;
+    }
+    for (int u = 0; u < v; ++u) {
+      for (int w = u + 1; w < v; ++w) {
+        if (rng.chance(0.15)) {
+          view.pair[static_cast<std::size_t>(u)][static_cast<std::size_t>(
+              w)] = 700.0;
+          view.pair[static_cast<std::size_t>(w)][static_cast<std::size_t>(
+              u)] = 700.0;
+        }
+      }
+    }
+
+    Degrader degrader(DegradationPolicy{});
+    const DegradationOutcome out = degrader.apply(snapshot, view);
+    ASSERT_TRUE(out.degraded);  // the chance() draws above guarantee some
+    check_on_snapshot(*out.snapshot, 16);
+  }
+}
 
 TEST(FastPathEquivalenceTest, AnnotationMatchesPairMetricsReference) {
   // annotate_allocation walks the FlatMatrix views directly; its averages

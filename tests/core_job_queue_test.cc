@@ -151,5 +151,119 @@ TEST_F(JobQueueTest, InvalidRequestRejectedAtSubmit) {
   EXPECT_THROW(queue.submit("bad", bad, 0.0), util::CheckError);
 }
 
+namespace backoff {
+
+monitor::ClusterSnapshot loaded_snapshot(int n = 2) {
+  std::vector<TestNode> nodes = idle_nodes(n);
+  for (auto& node : nodes) node.cpu_load = 50.0;  // broker always says wait
+  return make_snapshot(nodes);
+}
+
+QueueOptions backoff_options(double base, double max, double jitter = 0.0) {
+  QueueOptions options;
+  options.backoff_base_s = base;
+  options.backoff_max_s = max;
+  options.backoff_jitter = jitter;
+  return options;
+}
+
+}  // namespace backoff
+
+TEST_F(JobQueueTest, BackoffDisabledByDefaultRetriesEveryPoll) {
+  QueueOptions options;
+  EXPECT_DOUBLE_EQ(options.backoff_base_s, 0.0);  // legacy default
+  options.max_attempts = 3;
+  JobQueue queue(allocator_, options);
+  const auto snap = backoff::loaded_snapshot();
+  queue.submit("doomed", request_for(4), 0.0);
+  // Back-to-back polls each burn an attempt: no deferral anywhere.
+  EXPECT_TRUE(queue.poll(snap, 0.1).empty());
+  EXPECT_TRUE(queue.poll(snap, 0.2).empty());
+  EXPECT_TRUE(queue.poll(snap, 0.3).empty());
+  EXPECT_EQ(queue.rejected(), 1);
+}
+
+TEST_F(JobQueueTest, BackoffDelaysGrowExponentiallyAndCap) {
+  // base 2 s, cap 8 s, no jitter: deadlines after each failed attempt are
+  // t+2, t+4, t+8, t+8... Observed via an idle cluster: the job may be
+  // startable, but not before its backoff deadline passes.
+  JobQueue queue(allocator_, backoff::backoff_options(2.0, 8.0));
+  const auto busy = backoff::loaded_snapshot();
+  const auto idle = make_snapshot(idle_nodes(2));
+  queue.submit("patient", request_for(4), 0.0);
+
+  EXPECT_TRUE(queue.poll(busy, 0.0).empty());   // attempt 1 → wait until 2
+  EXPECT_TRUE(queue.poll(idle, 1.9).empty());   // deferred even though free
+  EXPECT_TRUE(queue.poll(busy, 2.0).empty());   // attempt 2 → wait until 6
+  EXPECT_TRUE(queue.poll(idle, 5.9).empty());
+  EXPECT_TRUE(queue.poll(busy, 6.0).empty());   // attempt 3 → wait until 14
+  EXPECT_TRUE(queue.poll(idle, 13.9).empty());
+  EXPECT_TRUE(queue.poll(busy, 14.0).empty());  // attempt 4 → capped: 22
+  EXPECT_TRUE(queue.poll(idle, 21.9).empty());
+  const auto started = queue.poll(idle, 22.0);  // deadline passed: starts
+  ASSERT_EQ(started.size(), 1u);
+  EXPECT_EQ(started[0].name, "patient");
+}
+
+TEST_F(JobQueueTest, DeferredPollsDoNotBurnAttempts) {
+  QueueOptions options = backoff::backoff_options(10.0, 100.0);
+  options.max_attempts = 2;
+  JobQueue queue(allocator_, options);
+  const auto busy = backoff::loaded_snapshot();
+  queue.submit("doomed", request_for(4), 0.0);
+  EXPECT_TRUE(queue.poll(busy, 0.0).empty());  // attempt 1 → wait until 10
+  // Polls inside the backoff window are free: still not rejected.
+  for (double t = 1.0; t < 10.0; t += 1.0) {
+    EXPECT_TRUE(queue.poll(busy, t).empty());
+  }
+  EXPECT_EQ(queue.rejected(), 0);
+  EXPECT_EQ(queue.pending(), 1u);
+  EXPECT_TRUE(queue.poll(busy, 10.0).empty());  // attempt 2 → rejected
+  EXPECT_EQ(queue.rejected(), 1);
+}
+
+TEST_F(JobQueueTest, BackoffJitterStaysWithinBounds) {
+  // base 10 s with ±50% jitter: the deadline lands in [5, 15]. The job
+  // must still be deferred right after the failure and must be startable
+  // by the upper bound.
+  JobQueue queue(allocator_, backoff::backoff_options(10.0, 100.0, 0.5));
+  const auto busy = backoff::loaded_snapshot();
+  const auto idle = make_snapshot(idle_nodes(2));
+  queue.submit("jittered", request_for(4), 0.0);
+  EXPECT_TRUE(queue.poll(busy, 0.0).empty());
+  EXPECT_TRUE(queue.poll(idle, 4.9).empty());      // below the lower bound
+  EXPECT_EQ(queue.poll(idle, 15.0).size(), 1u);    // at the upper bound
+}
+
+TEST_F(JobQueueTest, BackfillJumpsHeadInBackoff) {
+  // The head job sits in its backoff window; with backfill on, a later job
+  // that fits starts instead of idling the free capacity.
+  QueueOptions options = backoff::backoff_options(50.0, 100.0);
+  options.backfill = true;
+  JobQueue queue(allocator_, options);
+  const auto busy = backoff::loaded_snapshot(3);
+  const auto idle = make_snapshot(idle_nodes(3));
+  queue.submit("head", request_for(8), 0.0);
+  EXPECT_TRUE(queue.poll(busy, 0.0).empty());  // head → backoff until 50
+  queue.submit("small", request_for(4), 1.0);
+  const auto started = queue.poll(idle, 2.0);
+  ASSERT_EQ(started.size(), 1u);
+  EXPECT_EQ(started[0].name, "small");
+  EXPECT_EQ(queue.pending(), 1u);  // head still waiting out its backoff
+}
+
+TEST_F(JobQueueTest, BackoffOptionsValidated) {
+  QueueOptions bad;
+  bad.backoff_base_s = -1.0;
+  EXPECT_THROW(JobQueue(allocator_, bad), util::CheckError);
+  bad = QueueOptions{};
+  bad.backoff_base_s = 10.0;
+  bad.backoff_max_s = 5.0;  // max < base
+  EXPECT_THROW(JobQueue(allocator_, bad), util::CheckError);
+  bad = QueueOptions{};
+  bad.backoff_jitter = 1.0;  // jitter must stay below 100%
+  EXPECT_THROW(JobQueue(allocator_, bad), util::CheckError);
+}
+
 }  // namespace
 }  // namespace nlarm::core

@@ -121,6 +121,43 @@ TEST_F(DaemonsTest, KilledDaemonStopsTicking) {
   EXPECT_EQ(daemon.tick_count(), ticks);
 }
 
+TEST_F(DaemonsTest, StalledDaemonLooksAliveButStopsWriting) {
+  // The "wedged process" fault: the supervisor must NOT relaunch a stalled
+  // daemon (it still answers running()), but the store stops hearing from
+  // it — that silence is what the staleness layer quarantines on.
+  NodeStateD daemon("nodestate.1", cluster_, 1, 5.0, store_, sim::Rng(9));
+  daemon.launch(sim_);
+  sim_.run_until(20.0);
+  const auto ticks = daemon.tick_count();
+  const double written = store_.node_staleness(20.0, 1);
+  EXPECT_LT(written, 10.0);
+
+  daemon.set_stalled(true);
+  EXPECT_TRUE(daemon.running());  // alive to the supervisor
+  sim_.run_until(60.0);
+  EXPECT_EQ(daemon.tick_count(), ticks);  // silent to the store
+  EXPECT_GT(store_.node_staleness(60.0, 1), 35.0);
+
+  // Unstalling resumes on the surviving timer — no relaunch needed.
+  daemon.set_stalled(false);
+  sim_.run_until(80.0);
+  EXPECT_GT(daemon.tick_count(), ticks);
+  EXPECT_EQ(daemon.launch_count(), 1);
+  EXPECT_LT(store_.node_staleness(80.0, 1), 10.0);
+}
+
+TEST_F(DaemonsTest, RelaunchClearsStall) {
+  LivehostsD daemon("livehosts", cluster_, 0, 5.0, store_);
+  daemon.launch(sim_);
+  daemon.set_stalled(true);
+  daemon.kill();
+  daemon.launch(sim_);  // a fresh process is by definition not wedged
+  EXPECT_FALSE(daemon.stalled());
+  const auto ticks = daemon.tick_count();
+  sim_.run_until(30.0);
+  EXPECT_GT(daemon.tick_count(), ticks);
+}
+
 TEST_F(DaemonsTest, RelaunchResumesTicking) {
   LivehostsD daemon("livehosts", cluster_, 0, 5.0, store_);
   daemon.launch(sim_);

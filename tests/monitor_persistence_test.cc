@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "core/allocator.h"
@@ -94,11 +96,80 @@ TEST(PersistenceTest, RejectsGarbage) {
 TEST(PersistenceTest, FileHelpersWork) {
   auto snap = make_snapshot(nlarm::testing::idle_nodes(2));
   const std::string path = ::testing::TempDir() + "/nlarm_snapshot_test.txt";
-  save_snapshot_file(path, snap);
+  EXPECT_TRUE(save_snapshot_file(path, snap));
   const ClusterSnapshot loaded = load_snapshot_file(path);
   EXPECT_EQ(loaded.size(), 2);
   EXPECT_THROW(load_snapshot_file("/nonexistent/snap.txt"),
                util::CheckError);
+  std::remove(path.c_str());
+}
+
+TEST(PersistenceTest, SaveIsAtomicAndLeavesNoTempFile) {
+  const std::string path = ::testing::TempDir() + "/nlarm_atomic_save.txt";
+  std::remove(path.c_str());
+  auto snap = make_snapshot(nlarm::testing::idle_nodes(3));
+  snap.time = 42.0;
+  ASSERT_TRUE(save_snapshot_file(path, snap));
+  // The write went through <path>.tmp + rename; the staging file is gone.
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+
+  // Overwriting an existing file is just as safe.
+  snap.time = 43.0;
+  ASSERT_TRUE(save_snapshot_file(path, snap));
+  EXPECT_DOUBLE_EQ(load_snapshot_file(path).time, 43.0);
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+  std::remove(path.c_str());
+}
+
+TEST(PersistenceTest, TornWriteNeverReplacesGoodSnapshot) {
+  const std::string path = ::testing::TempDir() + "/nlarm_torn_save.txt";
+  std::remove(path.c_str());
+  auto snap = make_snapshot(nlarm::testing::idle_nodes(4));
+  snap.time = 100.0;
+  ASSERT_TRUE(save_snapshot_file(path, snap));
+
+  // Fault injection: the next save is torn mid-write. It must report
+  // failure and leave the previous good file byte-for-byte readable.
+  snap.time = 200.0;
+  arm_torn_snapshot_write();
+  EXPECT_FALSE(save_snapshot_file(path, snap));
+  const ClusterSnapshot survived = load_snapshot_file(path);
+  EXPECT_DOUBLE_EQ(survived.time, 100.0);
+  EXPECT_EQ(survived.size(), 4);
+
+  // The injection is one-shot: the retry lands normally.
+  EXPECT_TRUE(save_snapshot_file(path, snap));
+  EXPECT_DOUBLE_EQ(load_snapshot_file(path).time, 200.0);
+  std::remove(path.c_str());
+}
+
+TEST(PersistenceTest, TornFirstWriteLeavesNoSnapshotBehind) {
+  // With no previous good file, a torn save must not leave a half-written
+  // snapshot that a later load would trust.
+  const std::string path = ::testing::TempDir() + "/nlarm_torn_first.txt";
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+  arm_torn_snapshot_write();
+  EXPECT_FALSE(
+      save_snapshot_file(path, make_snapshot(nlarm::testing::idle_nodes(2))));
+  EXPECT_THROW(load_snapshot_file(path), util::CheckError);
+  std::remove((path + ".tmp").c_str());
+}
+
+TEST(PersistenceTest, TruncatedFileIsRejectedOnLoad) {
+  // A snapshot cut off mid-stream (what a non-atomic writer would leave
+  // after a crash) fails loudly instead of parsing to a partial cluster.
+  auto snap = make_snapshot(nlarm::testing::idle_nodes(4));
+  std::ostringstream out;
+  write_snapshot(out, snap);
+  const std::string full = out.str();
+  const std::string path = ::testing::TempDir() + "/nlarm_truncated.txt";
+  {
+    std::ofstream file(path, std::ios::trunc);
+    file << full.substr(0, full.size() / 2);
+  }
+  EXPECT_THROW(load_snapshot_file(path), util::CheckError);
+  std::remove(path.c_str());
 }
 
 }  // namespace

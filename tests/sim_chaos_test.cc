@@ -1,0 +1,134 @@
+#include "sim/chaos.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace nlarm::sim {
+namespace {
+
+TEST(ChaosSpecTest, ParsesFullGrammar) {
+  const ChaosSpec spec = ChaosSpec::parse(
+      "seed=7; stall:nodestate:0.1@30+120; flap:3@40+10; flap:random@50+5; "
+      "kill:master@60; kill:slave@70; tear:snapshot@80; skew:-12.5@90");
+  EXPECT_EQ(spec.seed, 7u);
+  ASSERT_EQ(spec.events.size(), 7u);
+
+  const ChaosEvent& stall = spec.events[0];
+  EXPECT_EQ(stall.kind, ChaosEvent::Kind::kStallDaemons);
+  EXPECT_EQ(stall.selector, "nodestate");
+  EXPECT_DOUBLE_EQ(stall.amount, 0.1);
+  EXPECT_FALSE(stall.amount_is_count);
+  EXPECT_DOUBLE_EQ(stall.time, 30.0);
+  EXPECT_DOUBLE_EQ(stall.duration, 120.0);
+
+  EXPECT_EQ(spec.events[1].kind, ChaosEvent::Kind::kFlapNode);
+  EXPECT_EQ(spec.events[1].node, 3);
+  EXPECT_EQ(spec.events[2].node, -1);  // random pick
+  EXPECT_EQ(spec.events[3].kind, ChaosEvent::Kind::kKillMaster);
+  EXPECT_EQ(spec.events[4].kind, ChaosEvent::Kind::kKillSlave);
+  EXPECT_EQ(spec.events[5].kind, ChaosEvent::Kind::kTearSnapshot);
+  EXPECT_EQ(spec.events[6].kind, ChaosEvent::Kind::kClockSkew);
+  EXPECT_DOUBLE_EQ(spec.events[6].amount, -12.5);
+}
+
+TEST(ChaosSpecTest, IntegerStallAmountIsACount) {
+  const ChaosSpec spec = ChaosSpec::parse("stall:latencyd:3@5+60");
+  ASSERT_EQ(spec.events.size(), 1u);
+  EXPECT_TRUE(spec.events[0].amount_is_count);
+  EXPECT_DOUBLE_EQ(spec.events[0].amount, 3.0);
+}
+
+TEST(ChaosSpecTest, SortsEventsByTimeStably) {
+  const ChaosSpec spec = ChaosSpec::parse(
+      "tear:snapshot@50; kill:master@10; kill:slave@10");
+  ASSERT_EQ(spec.events.size(), 3u);
+  EXPECT_EQ(spec.events[0].kind, ChaosEvent::Kind::kKillMaster);
+  EXPECT_EQ(spec.events[1].kind, ChaosEvent::Kind::kKillSlave);
+  EXPECT_EQ(spec.events[2].kind, ChaosEvent::Kind::kTearSnapshot);
+}
+
+TEST(ChaosSpecTest, EmptyAndWhitespaceSpecsParse) {
+  EXPECT_TRUE(ChaosSpec::parse("").empty());
+  EXPECT_TRUE(ChaosSpec::parse(" ;  ; ").empty());
+}
+
+TEST(ChaosSpecTest, RejectsMalformedEntries) {
+  EXPECT_THROW(ChaosSpec::parse("nonsense@5"), util::CheckError);
+  EXPECT_THROW(ChaosSpec::parse("stall:nodestate@5+10"), util::CheckError);
+  EXPECT_THROW(ChaosSpec::parse("stall:nodestate:0.5"), util::CheckError);
+  EXPECT_THROW(ChaosSpec::parse("flap:3@5"), util::CheckError);  // no +dur
+  EXPECT_THROW(ChaosSpec::parse("kill:other@5"), util::CheckError);
+  EXPECT_THROW(ChaosSpec::parse("tear:disk@5"), util::CheckError);
+  EXPECT_THROW(ChaosSpec::parse("skew:abc@5"), util::CheckError);
+  EXPECT_THROW(ChaosSpec::parse("seed=notanumber"), util::CheckError);
+  EXPECT_THROW(ChaosSpec::parse("stall:nodestate:-1@5+10"),
+               util::CheckError);
+}
+
+TEST(ChaosEngineTest, FiresEventsAtScheduledTimesRelativeToArm) {
+  Simulation sim(1);
+  sim.run_until(100.0);  // warm-up offset: times are relative to arm()
+
+  ChaosSpec spec = ChaosSpec::parse("kill:master@10; tear:snapshot@25");
+  std::vector<double> fire_times;
+  ChaosHooks hooks;
+  hooks.kill_master = [&](const ChaosEvent&) {
+    fire_times.push_back(sim.now());
+  };
+  hooks.tear_snapshot = [&](const ChaosEvent&) {
+    fire_times.push_back(sim.now());
+  };
+  ChaosEngine engine(spec, sim, std::move(hooks));
+  engine.arm();
+  sim.run_until(200.0);
+
+  ASSERT_EQ(fire_times.size(), 2u);
+  EXPECT_DOUBLE_EQ(fire_times[0], 110.0);
+  EXPECT_DOUBLE_EQ(fire_times[1], 125.0);
+  ASSERT_EQ(engine.fired().size(), 2u);
+  EXPECT_EQ(engine.fired()[0].kind, ChaosEvent::Kind::kKillMaster);
+}
+
+TEST(ChaosEngineTest, UnsetHooksAreNoOpsButStillRecorded) {
+  Simulation sim(1);
+  ChaosEngine engine(ChaosSpec::parse("flap:random@5+10"), sim, {});
+  engine.arm();
+  sim.run_until(50.0);
+  EXPECT_EQ(engine.fired().size(), 1u);
+}
+
+TEST(ChaosEngineTest, VictimRngIsDeterministicPerScheduleIndex) {
+  // Two engines with the same spec hand their hooks bit-identical RNG
+  // streams, regardless of what earlier hooks drew.
+  const std::string text = "seed=99; flap:random@5+1; flap:random@6+1";
+  std::vector<std::uint64_t> draws_a;
+  std::vector<std::uint64_t> draws_b;
+  for (auto* draws : {&draws_a, &draws_b}) {
+    Simulation sim(1);
+    ChaosHooks hooks;
+    hooks.flap_node = [draws](const ChaosEvent&, Rng& rng) {
+      draws->push_back(rng.next_u64());
+    };
+    ChaosEngine engine(ChaosSpec::parse(text), sim, std::move(hooks));
+    engine.arm();
+    sim.run_until(50.0);
+  }
+  ASSERT_EQ(draws_a.size(), 2u);
+  EXPECT_EQ(draws_a, draws_b);
+  // Distinct schedule entries fork distinct streams.
+  EXPECT_NE(draws_a[0], draws_a[1]);
+}
+
+TEST(ChaosEngineTest, ArmTwiceIsRejected) {
+  Simulation sim(1);
+  ChaosEngine engine(ChaosSpec::parse("kill:master@1"), sim, {});
+  engine.arm();
+  EXPECT_THROW(engine.arm(), util::CheckError);
+}
+
+}  // namespace
+}  // namespace nlarm::sim

@@ -29,8 +29,11 @@
 #include "core/hierarchical.h"
 #include "core/prepared.h"
 #include "core/launcher_export.h"
+#include "exp/chaos_harness.h"
 #include "exp/experiment.h"
 #include "monitor/persistence.h"
+#include "sim/chaos.h"
+#include "util/check.h"
 #include "obs/audit.h"
 #include "obs/catalog.h"
 #include "obs/metrics.h"
@@ -98,6 +101,18 @@ int main(int argc, char** argv) {
         "threads, print throughput, and exit"},
        {"serve-requests", "total decisions to serve in serve mode "
                           "(default 10000)"},
+       {"chaos-spec",
+        "fault-injection schedule (see sim/chaos.h), e.g. "
+        "\"seed=7; stall:nodestate:0.1@30+120; tear:snapshot@60\"; runs the "
+        "chaos loop instead of a single decision"},
+       {"chaos-seconds",
+        "simulated seconds to run the chaos loop (default 300)"},
+       {"staleness-budget",
+        "quarantine nodes whose record is older than this many seconds in "
+        "chaos mode (default 30)"},
+       {"max-epoch-age",
+        "refuse decisions once even the last-good epoch is this many "
+        "seconds stale (default 120)"},
        {"log-level", "debug|info|warn|error|off (default warn)"}});
   if (!parser.parse(argc, argv)) return 0;
 
@@ -125,11 +140,33 @@ int main(int argc, char** argv) {
   std::unique_ptr<monitor::ResourceMonitor> custom_monitor;
   net::FlowSet custom_flows;
 
+  const std::string chaos_text = parser.get_string("chaos-spec", "");
+  sim::ChaosSpec chaos_spec;
+  if (!chaos_text.empty()) {
+    try {
+      chaos_spec = sim::ChaosSpec::parse(chaos_text);
+    } catch (const util::CheckError& error) {
+      std::cerr << "bad --chaos-spec: " << error.what() << "\n";
+      return 1;
+    }
+    if (parser.has("snapshot")) {
+      std::cerr << "--chaos-spec needs a live simulation; it cannot run "
+                   "against a saved --snapshot file\n";
+      return 1;
+    }
+  }
+
   monitor::ClusterSnapshot snapshot;
   const std::string snapshot_path = parser.get_string("snapshot", "");
   if (!snapshot_path.empty()) {
     // Offline decision from a dumped snapshot — no simulation at all.
-    snapshot = monitor::load_snapshot_file(snapshot_path);
+    try {
+      snapshot = monitor::load_snapshot_file(snapshot_path);
+    } catch (const util::CheckError& error) {
+      std::cerr << "cannot load snapshot '" << snapshot_path
+                << "': " << error.what() << "\n";
+      return 1;
+    }
   } else if (cluster_spec.empty()) {
     testbed = exp::Testbed::make(options);
     snapshot = testbed->snapshot();
@@ -153,10 +190,13 @@ int main(int argc, char** argv) {
   }
 
   const std::string dump_path = parser.get_string("dump-snapshot", "");
-  if (!dump_path.empty()) {
-    monitor::save_snapshot_file(dump_path, snapshot);
-    std::cerr << "snapshot written to " << dump_path << "\n";
-    return 0;
+  if (!dump_path.empty() && chaos_text.empty()) {
+    if (monitor::save_snapshot_file(dump_path, snapshot)) {
+      std::cerr << "snapshot written to " << dump_path << "\n";
+      return 0;
+    }
+    std::cerr << "snapshot save to " << dump_path << " failed\n";
+    return 1;
   }
 
   core::AllocationRequest request;
@@ -193,6 +233,90 @@ int main(int argc, char** argv) {
 
   const std::string metrics_path = parser.get_string("metrics-out", "");
   const std::string audit_path = parser.get_string("audit-out", "");
+
+  // Chaos mode: arm the fault schedule, then keep the monitor→epoch→decide
+  // pipeline running under it. The degradation policy quarantines nodes
+  // with over-budget records and falls back to the last-good epoch, so a
+  // well-behaved run completes every decide without a refusal or a throw.
+  if (!chaos_text.empty()) {
+    sim::Simulation& sim = testbed ? testbed->sim() : *custom_sim;
+    cluster::Cluster& chaos_cluster =
+        testbed ? testbed->cluster() : *custom_cluster;
+    monitor::ResourceMonitor& chaos_monitor =
+        testbed ? testbed->monitor() : *custom_monitor;
+
+    core::DegradationPolicy degradation;
+    degradation.node_staleness_budget_s =
+        parser.get_double("staleness-budget", 30.0);
+    degradation.node_readmit_s = degradation.node_staleness_budget_s / 2.0;
+    degradation.max_epoch_age_s = parser.get_double("max-epoch-age", 120.0);
+    broker.set_degradation(degradation);
+
+    exp::ChaosHarness harness(chaos_spec, sim, chaos_cluster, chaos_monitor);
+    harness.arm();
+
+    const double chaos_seconds = parser.get_double("chaos-seconds", 300.0);
+    const double tick_s = 5.0;
+    const core::RequestProfile profile = core::RequestProfile::of(request);
+    const double end_time = sim.now() + chaos_seconds;
+    long decides = 0;
+    long allocates = 0;
+    long fallbacks = 0;
+    long failures = 0;
+    core::EpochPin pin;
+    while (sim.now() < end_time) {
+      sim.run_until(std::min(end_time, sim.now() + tick_s));
+      const double now = sim.now() + harness.clock_skew();
+      auto tick_snapshot = std::make_shared<const monitor::ClusterSnapshot>(
+          chaos_monitor.snapshot());
+      const monitor::SnapshotDelta delta =
+          chaos_monitor.store().drain_delta();
+      const monitor::StalenessView staleness =
+          chaos_monitor.store().staleness_view(now);
+      broker.refresh_epoch(tick_snapshot, delta, staleness, profile);
+      broker.refresh_pin(pin);
+      try {
+        const core::BrokerDecision served = broker.decide(pin, request);
+        ++decides;
+        if (served.action == core::BrokerDecision::Action::kAllocate) {
+          ++allocates;
+        }
+      } catch (const util::CheckError& error) {
+        ++failures;
+        std::cerr << "chaos decide failed: " << error.what() << "\n";
+      }
+      if (!dump_path.empty()) {
+        monitor::save_snapshot_file(dump_path, *tick_snapshot);
+      }
+    }
+    fallbacks = broker.fallback_decisions();
+    const long refusals = broker.stale_refusals();
+
+    if (!dump_path.empty()) {
+      // A torn write must never have replaced a good snapshot: whatever is
+      // on disk at the end still parses.
+      try {
+        monitor::load_snapshot_file(dump_path);
+        std::cerr << "final snapshot file " << dump_path
+                  << " loads cleanly\n";
+      } catch (const util::CheckError& error) {
+        ++failures;
+        std::cerr << "final snapshot file is corrupt: " << error.what()
+                  << "\n";
+      }
+    }
+
+    std::fprintf(stderr,
+                 "chaos run: %zu event(s) fired, %ld decide(s) "
+                 "(%ld allocate, %ld last-good fallback, %ld refusal(s), "
+                 "%ld failure(s)), %d node(s) quarantined at end\n",
+                 harness.engine().fired().size(), decides, allocates,
+                 fallbacks, refusals, failures,
+                 static_cast<int>(
+                     pin.valid() ? pin.prepared->quarantined : 0));
+    write_observability_outputs(metrics_path, audit_path, audit_log);
+    return (failures > 0 || refusals > 0) ? 3 : 0;
+  }
 
   // Serve mode: publish one epoch from the monitored snapshot and hammer it
   // with concurrent decide() calls — the multi-threaded front-door the
