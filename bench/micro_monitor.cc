@@ -1,10 +1,18 @@
 // Microbenchmarks for the monitoring substrate: per-sample daemon work,
-// windowed-mean maintenance, snapshot assembly and the network model's
-// pairwise queries. These bound the "light-weight daemons" claim of §4.
+// windowed-mean maintenance, snapshot assembly, snapshot persistence
+// (text vs binary codec vs mmap ingest vs delta append-log) and the
+// network model's pairwise queries. These bound the "light-weight
+// daemons" claim of §4.
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
 
 #include "cluster/cluster.h"
 #include "monitor/daemons.h"
+#include "monitor/delta_log.h"
+#include "monitor/persistence.h"
+#include "monitor/snapshot_codec.h"
 #include "monitor/store.h"
 #include "net/flows.h"
 #include "net/network_model.h"
@@ -118,6 +126,178 @@ void BM_TournamentSchedule(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TournamentSchedule)->Arg(60)->Arg(256);
+
+// --- snapshot persistence: text vs binary codec vs mmap vs delta log ---
+
+// A fully measured V-node snapshot (every pair carries all four values),
+// the worst case for both serializers.
+monitor::ClusterSnapshot make_dense_snapshot(int n) {
+  monitor::ClusterSnapshot snap;
+  snap.time = 1234.5;
+  snap.version = 42;
+  snap.livehosts.assign(static_cast<std::size_t>(n), true);
+  snap.nodes.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    auto& node = snap.nodes[static_cast<std::size_t>(i)];
+    node.spec.id = i;
+    node.spec.hostname = "node" + std::to_string(i);
+    node.spec.switch_id = i / 24;
+    node.spec.core_count = 8;
+    node.spec.cpu_freq_ghz = 2.6;
+    node.spec.total_mem_gb = 16.0;
+    node.valid = true;
+    node.sample_time = 1230.0;
+    node.cpu_load = 0.25 + 0.001 * i;
+    node.cpu_util = 12.5;
+    node.mem_used_gb = 3.75;
+    node.net_flow_mbps = 88.125;
+    node.users = 1 + i % 3;
+    node.cpu_load_avg = {0.25, 0.3, 0.35};
+    node.cpu_util_avg = {12.5, 13.0, 13.5};
+    node.net_flow_avg = {88.0, 90.0, 92.0};
+    node.mem_avail_avg = {12.25, 12.0, 11.75};
+  }
+  snap.net.latency_us = monitor::make_matrix(n, 0.0);
+  snap.net.latency_5min_us = monitor::make_matrix(n, 0.0);
+  snap.net.bandwidth_mbps = monitor::make_matrix(n, 0.0);
+  snap.net.peak_mbps = monitor::make_matrix(n, 0.0);
+  for (int u = 0; u < n; ++u) {
+    for (int v = 0; v < n; ++v) {
+      if (u == v) continue;
+      const auto uu = static_cast<std::size_t>(u);
+      const auto vv = static_cast<std::size_t>(v);
+      snap.net.latency_us[uu][vv] = 60.0 + 0.125 * ((u + v) % 37);
+      snap.net.latency_5min_us[uu][vv] = 62.0 + 0.125 * ((u + v) % 41);
+      snap.net.bandwidth_mbps[uu][vv] = 900.0 - 0.25 * ((u * 7 + v) % 101);
+      snap.net.peak_mbps[uu][vv] = 941.0;
+    }
+  }
+  return snap;
+}
+
+std::string bench_path(const char* tag, int n) {
+  return "nlarm_bench_" + std::string(tag) + "_" + std::to_string(n) + ".tmp";
+}
+
+void BM_SnapshotSave(benchmark::State& state,
+                     monitor::SnapshotFormat format, const char* tag) {
+  const int n = static_cast<int>(state.range(0));
+  const monitor::ClusterSnapshot snap = make_dense_snapshot(n);
+  const std::string path = bench_path(tag, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(monitor::save_snapshot_file(path, snap, format));
+  }
+  std::remove(path.c_str());
+}
+void BM_SnapshotSaveText(benchmark::State& state) {
+  BM_SnapshotSave(state, monitor::SnapshotFormat::kText, "save_text");
+}
+void BM_SnapshotSaveBinary(benchmark::State& state) {
+  BM_SnapshotSave(state, monitor::SnapshotFormat::kBinary, "save_bin");
+}
+BENCHMARK(BM_SnapshotSaveText)
+    ->Arg(256)->Arg(1024)->Arg(4096)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SnapshotSaveBinary)
+    ->Arg(256)->Arg(1024)->Arg(4096)->Unit(benchmark::kMillisecond);
+
+void BM_SnapshotLoad(benchmark::State& state, monitor::SnapshotFormat format,
+                     bool use_mmap, const char* tag) {
+  const int n = static_cast<int>(state.range(0));
+  const std::string path = bench_path(tag, n);
+  monitor::save_snapshot_file(path, make_dense_snapshot(n), format);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(monitor::load_snapshot_file(path, use_mmap));
+  }
+  std::remove(path.c_str());
+}
+void BM_SnapshotLoadText(benchmark::State& state) {
+  BM_SnapshotLoad(state, monitor::SnapshotFormat::kText, false, "load_text");
+}
+void BM_SnapshotLoadBinary(benchmark::State& state) {
+  BM_SnapshotLoad(state, monitor::SnapshotFormat::kBinary, false, "load_bin");
+}
+void BM_SnapshotLoadBinaryMmap(benchmark::State& state) {
+  BM_SnapshotLoad(state, monitor::SnapshotFormat::kBinary, true, "load_mmap");
+}
+BENCHMARK(BM_SnapshotLoadText)
+    ->Arg(256)->Arg(1024)->Arg(4096)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SnapshotLoadBinary)
+    ->Arg(256)->Arg(1024)->Arg(4096)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SnapshotLoadBinaryMmap)
+    ->Arg(256)->Arg(1024)->Arg(4096)->Unit(benchmark::kMillisecond);
+
+// One O(dirty) delta frame per iteration: ~1% of nodes re-sampled plus one
+// probe round of pairs, the shape a live monitor appends every few seconds.
+void BM_DeltaLogAppend(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  monitor::MonitorStore store(n);
+  const monitor::ClusterSnapshot seed = make_dense_snapshot(n);
+  store.restore(seed);
+  (void)store.drain_delta();
+  const std::string path = bench_path("delta_append", n);
+  std::remove(path.c_str());
+  monitor::DeltaLogWriter::Options options;
+  options.compact_after_deltas = 1 << 30;  // isolate the append cost
+  options.compact_bytes_ratio = 1e9;
+  monitor::DeltaLogWriter writer(path, options);
+  double now = seed.time;
+  int next_node = 0;
+  // Anchor the log with its full frame outside timing — iterations then
+  // measure pure O(dirty) delta appends, not the one-off compaction.
+  writer.write_full(store.assemble(now));
+  (void)store.drain_delta();
+  for (auto _ : state) {
+    now += 3.0;
+    const int dirty_nodes = n / 100 + 1;
+    for (int i = 0; i < dirty_nodes; ++i) {
+      monitor::NodeSnapshot record =
+          seed.nodes[static_cast<std::size_t>(next_node)];
+      record.cpu_load += 0.01;
+      store.write_node_record(now, record);
+      next_node = (next_node + 1) % n;
+    }
+    for (int u = 0; u + 1 < n; u += 2) {
+      store.write_latency(now, u, u + 1, 61.0, 62.5);
+      store.write_latency(now, u + 1, u, 61.0, 62.5);
+    }
+    const monitor::ClusterSnapshot snap = store.assemble(now);
+    const monitor::SnapshotDelta delta = store.drain_delta();
+    benchmark::DoNotOptimize(writer.append(snap, delta));
+  }
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_DeltaLogAppend)
+    ->Arg(256)->Arg(1024)->Arg(4096)->Unit(benchmark::kMillisecond);
+
+// Full replay of a log holding one full frame plus 32 delta frames — the
+// cold-start cost of a reader attaching to an existing log.
+void BM_DeltaLogReplay(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  monitor::MonitorStore store(n);
+  store.restore(make_dense_snapshot(n));
+  (void)store.drain_delta();
+  const std::string path = bench_path("delta_replay", n);
+  std::remove(path.c_str());
+  monitor::DeltaLogWriter::Options options;
+  options.compact_after_deltas = 1 << 30;
+  options.compact_bytes_ratio = 1e9;
+  monitor::DeltaLogWriter writer(path, options);
+  double now = 1234.5;
+  for (int frame = 0; frame < 33; ++frame) {
+    now += 3.0;
+    monitor::NodeSnapshot record = store.node_record(frame % n);
+    record.cpu_load += 0.01;
+    store.write_node_record(now, record);
+    store.write_latency(now, frame % n, (frame + 1) % n, 61.0, 62.5);
+    writer.append(store.assemble(now), store.drain_delta());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(monitor::replay_delta_log(path));
+  }
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_DeltaLogReplay)
+    ->Arg(256)->Arg(1024)->Arg(4096)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

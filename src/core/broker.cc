@@ -204,6 +204,17 @@ bool ResourceBroker::refresh_epoch(
   return incremental;
 }
 
+int ResourceBroker::ingest_delta_log(monitor::DeltaLogReader& log,
+                                     const RequestProfile& profile) {
+  const int frames = log.poll();
+  if (frames == 0) return 0;
+  const monitor::SnapshotDelta delta = log.drain_delta();
+  auto snapshot =
+      std::make_shared<const monitor::ClusterSnapshot>(log.snapshot());
+  refresh_epoch(std::move(snapshot), delta, profile);
+  return frames;
+}
+
 void ResourceBroker::set_degradation(const DegradationPolicy& policy) {
   policy.validate();
   degradation_ = policy;

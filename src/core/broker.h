@@ -29,6 +29,7 @@
 #include "core/degrade.h"
 #include "core/epoch.h"
 #include "core/prepared.h"
+#include "monitor/delta_log.h"
 #include "monitor/snapshot_delta.h"
 #include "monitor/store.h"
 #include "obs/audit.h"
@@ -81,6 +82,16 @@ class ResourceBroker {
   bool refresh_epoch(
       std::shared_ptr<const monitor::ClusterSnapshot> snapshot,
       const monitor::SnapshotDelta& delta, const RequestProfile& profile);
+
+  /// Follows an on-disk delta append-log (monitor/delta_log.h): polls the
+  /// reader and, when frames arrived, applies their coalesced delta as one
+  /// epoch refresh — incremental O(dirty) whenever the frames chain onto
+  /// the current prepared state (full/compaction frames rebuild). The
+  /// file-tailing analog of the assemble() + drain_delta() live loop.
+  /// Returns the number of frames ingested (0 = nothing new, no epoch
+  /// published).
+  int ingest_delta_log(monitor::DeltaLogReader& log,
+                       const RequestProfile& profile);
 
   // --- staleness-aware degradation (core/degrade.h) ---
 

@@ -1,0 +1,383 @@
+#include "monitor/delta_log.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "monitor/persistence.h"
+#include "monitor/snapshot_codec.h"
+#include "obs/catalog.h"
+#include "util/binio.h"
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace nlarm::monitor {
+
+namespace {
+
+constexpr std::uint32_t kFrameMagic = 0x646d6c6eu;  // "nlmd" little-endian
+constexpr std::uint8_t kKindFull = 0;
+constexpr std::uint8_t kKindDelta = 1;
+constexpr std::uint8_t kDeltaFlagLivehosts = 1u << 0;
+
+/// Wraps a payload in the frame envelope: magic, length, payload, CRC.
+std::string make_frame(std::uint8_t kind, std::string_view payload_body) {
+  std::string frame;
+  frame.reserve(payload_body.size() + 16);
+  util::put_u32(frame, kFrameMagic);
+  util::put_u32(frame, static_cast<std::uint32_t>(payload_body.size() + 1));
+  const std::size_t payload_start = frame.size();
+  util::put_u8(frame, kind);
+  frame.append(payload_body);
+  util::put_u32(frame,
+                util::crc32(std::string_view(frame).substr(payload_start)));
+  return frame;
+}
+
+std::string encode_delta_payload(const ClusterSnapshot& snapshot,
+                                 const SnapshotDelta& delta) {
+  const std::size_t n = snapshot.nodes.size();
+  std::string out;
+  out.reserve(64 + delta.dirty_nodes.size() * 256 +
+              delta.dirty_pairs.size() * 72 +
+              (delta.livehosts_changed ? n : 0));
+  util::put_u64(out, delta.base_version);
+  util::put_u64(out, delta.version);
+  util::put_f64(out, snapshot.time);
+  util::put_u32(out, static_cast<std::uint32_t>(n));
+  util::put_u8(out, delta.livehosts_changed ? kDeltaFlagLivehosts : 0);
+  if (delta.livehosts_changed) {
+    for (std::size_t i = 0; i < n; ++i) {
+      util::put_u8(out, snapshot.livehosts[i] ? 1 : 0);
+    }
+  }
+  util::put_varint(out, delta.dirty_nodes.size());
+  for (const cluster::NodeId node : delta.dirty_nodes) {
+    NLARM_CHECK(node >= 0 && static_cast<std::size_t>(node) < n)
+        << "dirty node " << node << " out of range";
+    codec::encode_node(out, snapshot.nodes[static_cast<std::size_t>(node)]);
+  }
+  util::put_varint(out, delta.dirty_pairs.size());
+  for (const auto& [u, v] : delta.dirty_pairs) {
+    NLARM_CHECK(u >= 0 && v >= 0 && static_cast<std::size_t>(u) < n &&
+                static_cast<std::size_t>(v) < n && u != v)
+        << "dirty pair (" << u << ", " << v << ") out of range";
+    const auto uu = static_cast<std::size_t>(u);
+    const auto vv = static_cast<std::size_t>(v);
+    util::put_varint(out, static_cast<std::uint64_t>(u));
+    util::put_varint(out, static_cast<std::uint64_t>(v));
+    util::put_f64(out, snapshot.net.latency_us[uu][vv]);
+    util::put_f64(out, snapshot.net.latency_us[vv][uu]);
+    util::put_f64(out, snapshot.net.latency_5min_us[uu][vv]);
+    util::put_f64(out, snapshot.net.latency_5min_us[vv][uu]);
+    util::put_f64(out, snapshot.net.bandwidth_mbps[uu][vv]);
+    util::put_f64(out, snapshot.net.bandwidth_mbps[vv][uu]);
+    util::put_f64(out, snapshot.net.peak_mbps[uu][vv]);
+    util::put_f64(out, snapshot.net.peak_mbps[vv][uu]);
+  }
+  return out;
+}
+
+}  // namespace
+
+DeltaLogWriter::DeltaLogWriter(std::string path, Options options)
+    : path_(std::move(path)), options_(options) {
+  NLARM_CHECK(options_.compact_after_deltas > 0)
+      << "compact_after_deltas must be positive";
+  NLARM_CHECK(options_.compact_bytes_ratio > 0.0)
+      << "compact_bytes_ratio must be positive";
+}
+
+bool DeltaLogWriter::write_full(const ClusterSnapshot& snapshot) {
+  std::string payload;
+  encode_snapshot_binary(snapshot, payload);
+  std::string frame = make_frame(kKindFull, payload);
+
+  const bool torn = consume_torn_snapshot_write();
+  if (torn) {
+    frame.resize(frame.size() / 2);
+    obs::metrics::chaos_torn_snapshot_writes().inc();
+  }
+
+  // Full frames are the compaction path: rewrite the whole log through
+  // tmp + rename so a reader never sees a half-replaced file.
+  const std::string tmp = path_ + ".tmp";
+  const bool wrote_ok = util::write_file_durable(tmp, frame);
+  if (torn || !wrote_ok) {
+    have_full_ = false;  // force a fresh full frame on the next append
+    NLARM_WARN << "delta-log full frame write to " << path_
+               << (torn ? " torn by fault injection" : " failed")
+               << "; previous log left untouched";
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    have_full_ = false;
+    NLARM_WARN << "delta-log rename " << tmp << " -> " << path_ << " failed";
+    return false;
+  }
+  util::fsync_parent_dir(path_);
+
+  have_full_ = true;
+  tail_version_ = snapshot.version;
+  full_bytes_ = frame.size();
+  delta_bytes_since_full_ = 0;
+  deltas_since_full_ = 0;
+  ++frames_;
+  ++compactions_;
+  obs::metrics::snapshot_bytes_written().inc(frame.size());
+  return true;
+}
+
+bool DeltaLogWriter::append(const ClusterSnapshot& snapshot,
+                            const SnapshotDelta& delta) {
+  NLARM_CHECK(delta.version == snapshot.version)
+      << "delta version " << delta.version << " does not stamp snapshot "
+      << snapshot.version;
+  const bool chains = have_full_ && delta.base_version == tail_version_ &&
+                      !delta.requires_full_rebuild();
+  const bool compaction_due =
+      deltas_since_full_ + 1 > options_.compact_after_deltas ||
+      (full_bytes_ > 0 &&
+       static_cast<double>(delta_bytes_since_full_) >
+           options_.compact_bytes_ratio * static_cast<double>(full_bytes_));
+  if (!chains || compaction_due) {
+    return write_full(snapshot);
+  }
+
+  std::string frame =
+      make_frame(kKindDelta, encode_delta_payload(snapshot, delta));
+
+  const bool torn = consume_torn_snapshot_write();
+  if (torn) {
+    frame.resize(frame.size() / 2);
+    obs::metrics::chaos_torn_snapshot_writes().inc();
+  }
+
+  const bool wrote_ok = util::append_file_durable(path_, frame);
+  if (torn || !wrote_ok) {
+    // The log tail may now hold a partial frame. Readers stop there; we
+    // recover by laying a fresh full log on the next append.
+    have_full_ = false;
+    NLARM_WARN << "delta-log append to " << path_
+               << (torn ? " torn by fault injection" : " failed")
+               << "; log will be compacted on the next append";
+    return false;
+  }
+  tail_version_ = delta.version;
+  delta_bytes_since_full_ += frame.size();
+  ++deltas_since_full_;
+  ++frames_;
+  obs::metrics::snapshot_bytes_written().inc(frame.size());
+  return true;
+}
+
+DeltaLogReader::DeltaLogReader(std::string path) : path_(std::move(path)) {}
+
+const ClusterSnapshot& DeltaLogReader::snapshot() const {
+  NLARM_CHECK(have_state_) << "delta log '" << path_
+                           << "' has not yielded a snapshot yet";
+  return state_;
+}
+
+bool DeltaLogReader::apply_frame(std::uint8_t kind,
+                                 std::string_view payload) {
+  if (kind == kKindFull) {
+    state_ = decode_snapshot_binary(payload);
+    have_state_ = true;
+    pending_.full = true;
+    pending_.version = state_.version;
+    return true;
+  }
+  if (kind != kKindDelta) {
+    NLARM_WARN << "delta log '" << path_ << "': unknown frame kind "
+               << static_cast<int>(kind);
+    return false;
+  }
+  if (!have_state_) {
+    // A delta with nothing to apply it to (log started mid-stream); skip
+    // it — the writer always lays a full frame first, so this only
+    // happens on logs truncated by hand.
+    return false;
+  }
+  util::ByteReader reader(payload);
+  const std::uint64_t base_version = reader.u64();
+  const std::uint64_t version = reader.u64();
+  const double time = reader.f64();
+  const std::uint32_t n32 = reader.u32();
+  const auto n = static_cast<std::size_t>(n32);
+  if (base_version != state_.version || n != state_.nodes.size()) {
+    NLARM_WARN << "delta log '" << path_ << "': frame base " << base_version
+               << " does not chain onto state " << state_.version;
+    return false;
+  }
+  const std::uint8_t flags = reader.u8();
+  if ((flags & kDeltaFlagLivehosts) != 0) {
+    for (std::size_t i = 0; i < n; ++i) {
+      state_.livehosts[i] = reader.u8() != 0;
+    }
+    pending_.livehosts_changed = true;
+  }
+  const std::uint64_t dirty_nodes = reader.varint();
+  for (std::uint64_t i = 0; i < dirty_nodes; ++i) {
+    NodeSnapshot node = codec::decode_node(reader);
+    const auto id = static_cast<std::size_t>(node.spec.id);
+    NLARM_CHECK(node.spec.id >= 0 && id < n)
+        << "delta frame node id " << node.spec.id << " out of range";
+    state_.nodes[id] = std::move(node);
+    pending_.dirty_nodes.push_back(static_cast<cluster::NodeId>(id));
+  }
+  const std::uint64_t dirty_pairs = reader.varint();
+  for (std::uint64_t i = 0; i < dirty_pairs; ++i) {
+    const auto u = static_cast<cluster::NodeId>(reader.varint());
+    const auto v = static_cast<cluster::NodeId>(reader.varint());
+    NLARM_CHECK(u >= 0 && v >= 0 && static_cast<std::size_t>(u) < n &&
+                static_cast<std::size_t>(v) < n && u != v)
+        << "delta frame pair (" << u << ", " << v << ") out of range";
+    const auto uu = static_cast<std::size_t>(u);
+    const auto vv = static_cast<std::size_t>(v);
+    state_.net.latency_us[uu][vv] = reader.f64();
+    state_.net.latency_us[vv][uu] = reader.f64();
+    state_.net.latency_5min_us[uu][vv] = reader.f64();
+    state_.net.latency_5min_us[vv][uu] = reader.f64();
+    state_.net.bandwidth_mbps[uu][vv] = reader.f64();
+    state_.net.bandwidth_mbps[vv][uu] = reader.f64();
+    state_.net.peak_mbps[uu][vv] = reader.f64();
+    state_.net.peak_mbps[vv][uu] = reader.f64();
+    pending_.dirty_pairs.emplace_back(std::min(u, v), std::max(u, v));
+  }
+  NLARM_CHECK(reader.remaining() == 0)
+      << reader.remaining() << " trailing byte(s) in delta frame";
+  state_.time = time;
+  state_.version = version;
+  pending_.version = version;
+  return true;
+}
+
+int DeltaLogReader::poll() {
+  util::MappedFile mapped = util::MappedFile::open(path_);
+  std::string buffer;
+  std::string_view bytes;
+  if (mapped.valid()) {
+    bytes = mapped.view();
+  } else {
+    if (!util::read_file(path_, buffer)) return 0;
+    bytes = buffer;
+  }
+
+  if (bytes.size() < offset_) {
+    // The writer compacted (file shrank): replay from the top. The full
+    // frame at the head makes the pending delta a full rebuild anyway.
+    offset_ = 0;
+  }
+
+  // A compaction can also replace the log with an equal-or-larger file.
+  // Identify the head frame by its length plus its last payload bytes:
+  // when that changes between polls, the file we were tailing is gone —
+  // replay from the top. The frame-level CRC would NOT work here: a full
+  // frame's payload ends with the snapshot codec's own CRC32, and a CRC
+  // over any message that ends with its own CRC lands on a constant
+  // residue — every full frame stores the same outer CRC. (Integrity is
+  // unaffected; only uniqueness is lost.) The trailing payload bytes are
+  // the inner CRC itself, which does vary with content.
+  if (bytes.size() >= 9) {
+    util::ByteReader head(bytes.data(), bytes.size());
+    if (head.u32() == kFrameMagic) {
+      const std::uint32_t head_len = head.u32();
+      if (head_len >= 4 &&
+          8 + static_cast<std::size_t>(head_len) + 4 <= bytes.size()) {
+        std::uint32_t head_tail;
+        std::memcpy(&head_tail, bytes.data() + 8 + head_len - 4, 4);
+        const std::uint64_t id =
+            (static_cast<std::uint64_t>(head_len) << 32) | head_tail;
+        if (have_head_id_ && id != head_id_) offset_ = 0;
+        head_id_ = id;
+        have_head_id_ = true;
+      }
+    }
+  }
+
+  int applied = 0;
+  // A compaction can also replace the log with a *larger* file, leaving
+  // our cursor pointing into the middle of unrelated bytes. The first
+  // frame of a poll is therefore allowed one bad read: it resets the
+  // cursor and replays from the head (whose full frame rebuilds state).
+  // Bad frames after a good one in the same poll are real corruption.
+  bool may_rescan = offset_ > 0;
+  while (offset_ + 9 <= bytes.size()) {  // magic + length + ≥1 payload byte
+    util::ByteReader header(bytes.data() + offset_, bytes.size() - offset_);
+    const std::uint32_t magic = header.u32();
+    if (magic != kFrameMagic) {
+      if (may_rescan) {
+        may_rescan = false;
+        offset_ = 0;
+        continue;
+      }
+      ++bad_frames_;
+      obs::metrics::snapshot_crc_failures().inc();
+      NLARM_WARN << "delta log '" << path_ << "': bad frame magic at offset "
+                 << offset_ << "; stopping replay";
+      break;
+    }
+    const std::uint32_t payload_len = header.u32();
+    const std::size_t frame_bytes =
+        8 + static_cast<std::size_t>(payload_len) + 4;
+    if (payload_len == 0 || offset_ + frame_bytes > bytes.size()) {
+      // Torn tail (writer mid-append or crashed): retry on the next poll.
+      break;
+    }
+    const std::string_view payload =
+        bytes.substr(offset_ + 8, payload_len);
+    std::uint32_t stored_crc;
+    std::memcpy(&stored_crc, bytes.data() + offset_ + 8 + payload_len, 4);
+    if (util::crc32(payload) != stored_crc) {
+      if (may_rescan) {
+        may_rescan = false;
+        offset_ = 0;
+        continue;
+      }
+      ++bad_frames_;
+      obs::metrics::snapshot_crc_failures().inc();
+      NLARM_WARN << "delta log '" << path_ << "': CRC mismatch at offset "
+                 << offset_ << "; stopping replay";
+      break;
+    }
+    may_rescan = false;
+    bool frame_ok;
+    try {
+      frame_ok = apply_frame(static_cast<std::uint8_t>(payload[0]),
+                             payload.substr(1));
+    } catch (const util::CheckError& error) {
+      ++bad_frames_;
+      NLARM_WARN << "delta log '" << path_ << "': bad frame at offset "
+                 << offset_ << ": " << error.what();
+      break;
+    }
+    offset_ += frame_bytes;
+    if (frame_ok) {
+      ++applied;
+      ++frames_applied_;
+    }
+  }
+  return applied;
+}
+
+SnapshotDelta DeltaLogReader::drain_delta() {
+  SnapshotDelta delta = std::move(pending_);
+  pending_ = SnapshotDelta{};
+  delta.base_version = drain_base_version_;
+  if (delta.version == 0 && have_state_) delta.version = state_.version;
+  drain_base_version_ = have_state_ ? state_.version : 0;
+  delta.normalize();
+  return delta;
+}
+
+ClusterSnapshot replay_delta_log(const std::string& path) {
+  DeltaLogReader reader(path);
+  reader.poll();
+  NLARM_CHECK(reader.have_snapshot())
+      << "delta log '" << path << "' holds no usable snapshot";
+  return reader.snapshot();
+}
+
+}  // namespace nlarm::monitor

@@ -1,0 +1,136 @@
+// Delta append-log (`.nlarmd`): O(dirty) snapshot persistence between full
+// snapshots.
+//
+// The paper's daemons refresh node records every 3–10 s and pair probes
+// every 1–5 min, so consecutive snapshots differ in a small fraction of
+// entries — yet a full snapshot file re-writes (and a reader re-parses)
+// all ~V² pairwise values every epoch. The log makes the on-disk pipeline
+// match the in-memory one (SnapshotDelta → PreparedBuilder): a writer
+// appends one frame per drained delta carrying only the dirty node records
+// and dirty pair values, and periodically compacts back to a single full
+// binary snapshot frame; a reader replays frames into a running
+// ClusterSnapshot and hands out coalesced SnapshotDeltas, so a broker
+// following the log ingests each epoch at O(dirty) I/O and feeds the
+// existing incremental refresh_epoch path.
+//
+// Frame layout (little-endian):
+//   u32 frame magic ("nlmd") · u32 payload length · payload · u32 CRC32
+// Payloads:
+//   kind 0 (full):  a complete `#nlarm-snapb v2` artifact (snapshot_codec)
+//   kind 1 (delta): base_version/version/time stamps, optional livehosts
+//                   vector, dirty node records, dirty pair values (both
+//                   directions of each unordered pair)
+//
+// Torn-write behavior: frames are appended with fsync, so a crash (or the
+// shared arm_torn_snapshot_write chaos hook) can only corrupt the final
+// frame. Readers stop at the first bad frame and retry it on the next
+// poll; the writer recovers by compacting — a fresh single-frame log
+// written tmp+rename over the damaged one, so a torn tail never shadows
+// good state.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "monitor/snapshot.h"
+#include "monitor/snapshot_delta.h"
+
+namespace nlarm::monitor {
+
+/// Canonical extension for delta append-logs.
+inline constexpr std::string_view kDeltaLogExtension = ".nlarmd";
+
+/// Appends (snapshot, delta) frames to a log file, compacting to a single
+/// full-snapshot frame when the delta tail outgrows the policy. Not
+/// thread-safe (one writer per log, like one MonitorStore per monitor).
+class DeltaLogWriter {
+ public:
+  struct Options {
+    /// Compact once this many delta frames follow the last full frame.
+    int compact_after_deltas = 64;
+    /// ... or once their cumulative bytes exceed this fraction of the last
+    /// full frame's size (whichever trips first).
+    double compact_bytes_ratio = 0.5;
+  };
+
+  explicit DeltaLogWriter(std::string path)
+      : DeltaLogWriter(std::move(path), Options{}) {}
+  DeltaLogWriter(std::string path, Options options);
+
+  /// Appends the state as one frame. Writes a full frame when no full
+  /// frame exists yet, when the delta requires a full rebuild or does not
+  /// chain onto the last appended version, or when the compaction policy
+  /// trips; otherwise appends an O(dirty) delta frame. `delta.version`
+  /// must match `snapshot.version`. Returns false when the write failed or
+  /// a torn write was armed (the next append then re-lays a full log).
+  bool append(const ClusterSnapshot& snapshot, const SnapshotDelta& delta);
+
+  /// Compaction entry point: rewrites the log as one full-snapshot frame
+  /// via tmp + rename + directory fsync (never corrupts a good log).
+  bool write_full(const ClusterSnapshot& snapshot);
+
+  const std::string& path() const { return path_; }
+  long frames_appended() const { return frames_; }
+  int compactions() const { return compactions_; }
+
+ private:
+  std::string path_;
+  Options options_;
+  bool have_full_ = false;        ///< a good full frame anchors the log
+  std::uint64_t tail_version_ = 0;
+  std::size_t full_bytes_ = 0;
+  std::size_t delta_bytes_since_full_ = 0;
+  int deltas_since_full_ = 0;
+  long frames_ = 0;
+  int compactions_ = 0;
+};
+
+/// Replays a delta log into a running ClusterSnapshot. poll() ingests
+/// frames appended since the last call, so a broker can follow a live log
+/// the way it follows a live MonitorStore.
+class DeltaLogReader {
+ public:
+  explicit DeltaLogReader(std::string path);
+
+  /// Reads any frames appended since the last poll and applies them to the
+  /// running state. A shrunken file (writer compacted) resets the cursor
+  /// and replays from the start; a torn or CRC-failing tail frame stops
+  /// the scan without advancing past it (retried next poll). Returns the
+  /// number of frames applied.
+  int poll();
+
+  bool have_snapshot() const { return have_state_; }
+  const ClusterSnapshot& snapshot() const;
+
+  /// Coalesced dirty sets of every frame applied since the previous drain
+  /// (full frames set the `full` flag), stamped with the versions the span
+  /// covers — the exact shape MonitorStore::drain_delta() hands out, so
+  /// the result feeds ResourceBroker::refresh_epoch unchanged.
+  SnapshotDelta drain_delta();
+
+  long frames_applied() const { return frames_applied_; }
+  long bad_frames_seen() const { return bad_frames_; }
+
+ private:
+  bool apply_frame(std::uint8_t kind, std::string_view payload);
+
+  std::string path_;
+  std::size_t offset_ = 0;  ///< byte offset of the next unread frame
+  /// (payload length << 32) | stored CRC of the log's head frame, used to
+  /// detect a compaction that replaced the file without shrinking it.
+  std::uint64_t head_id_ = 0;
+  bool have_head_id_ = false;
+  bool have_state_ = false;
+  ClusterSnapshot state_;
+  SnapshotDelta pending_;
+  std::uint64_t drain_base_version_ = 0;
+  long frames_applied_ = 0;
+  long bad_frames_ = 0;
+};
+
+/// One-shot convenience: replays the whole log and returns the final
+/// state. Throws CheckError when the log holds no usable snapshot.
+ClusterSnapshot replay_delta_log(const std::string& path);
+
+}  // namespace nlarm::monitor

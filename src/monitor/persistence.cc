@@ -1,13 +1,15 @@
 #include "monitor/persistence.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
-#include <fstream>
 #include <istream>
 #include <ostream>
 #include <sstream>
 
+#include "monitor/snapshot_codec.h"
 #include "obs/catalog.h"
+#include "util/binio.h"
 #include "util/check.h"
 #include "util/csv.h"
 #include "util/logging.h"
@@ -18,12 +20,30 @@ namespace nlarm::monitor {
 namespace {
 constexpr const char* kHeader = "#nlarm-snapshot v1";
 
-std::string fmt(double v) { return util::csv_format(v); }
-
 std::atomic<int> g_torn_writes_armed{0};
 
-/// Consumes one armed torn write, if any.
-bool consume_torn_write() {
+/// Observes one load's wall-clock parse time.
+class ParseTimer {
+ public:
+  ParseTimer() : start_(std::chrono::steady_clock::now()) {}
+  ~ParseTimer() {
+    obs::metrics::snapshot_parse_seconds().observe(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count());
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
+
+void arm_torn_snapshot_write() {
+  g_torn_writes_armed.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool consume_torn_snapshot_write() {
   int armed = g_torn_writes_armed.load(std::memory_order_relaxed);
   while (armed > 0) {
     if (g_torn_writes_armed.compare_exchange_weak(
@@ -33,38 +53,80 @@ bool consume_torn_write() {
   }
   return false;
 }
-}  // namespace
 
-void arm_torn_snapshot_write() {
-  g_torn_writes_armed.fetch_add(1, std::memory_order_relaxed);
+SnapshotFormat parse_snapshot_format(const std::string& name) {
+  const std::string lowered = util::to_lower(util::trim(name));
+  if (lowered == "text") return SnapshotFormat::kText;
+  if (lowered == "binary") return SnapshotFormat::kBinary;
+  NLARM_CHECK(false) << "unknown snapshot format '" << name
+                     << "' (expected text or binary)";
 }
 
 void write_snapshot(std::ostream& out, const ClusterSnapshot& snapshot) {
-  out << kHeader << "\n";
-  out << "time " << fmt(snapshot.time) << "\n";
+  // Rows are assembled in a reusable buffer and handed to the stream in
+  // ~64 KiB chunks: per-field operator<< calls dominated large-V saves.
+  std::string buf;
+  buf.reserve(1 << 16);
+  const auto maybe_flush = [&out, &buf] {
+    if (buf.size() >= (1 << 16) - 512) {
+      out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+      buf.clear();
+    }
+  };
+  const auto add = [&buf](double v) { util::append_csv_double(buf, v); };
+
+  buf += kHeader;
+  buf += "\ntime ";
+  add(snapshot.time);
+  buf += '\n';
   for (std::size_t i = 0; i < snapshot.nodes.size(); ++i) {
     const NodeSnapshot& n = snapshot.nodes[i];
     NLARM_CHECK(n.spec.hostname.find(',') == std::string::npos)
         << "hostname with comma cannot be serialized: " << n.spec.hostname;
-    out << "node " << n.spec.id << ',' << n.spec.hostname
-        << ',' << n.spec.switch_id << ',' << n.spec.core_count << ','
-        << fmt(n.spec.cpu_freq_ghz) << ',' << fmt(n.spec.total_mem_gb) << ','
-        << (n.valid ? 1 : 0) << ',' << fmt(n.sample_time) << ','
-        << fmt(n.cpu_load) << ',' << fmt(n.cpu_util) << ','
-        << fmt(n.mem_used_gb) << ',' << fmt(n.net_flow_mbps) << ','
-        << n.users << ',' << fmt(n.cpu_load_avg.one_min) << ','
-        << fmt(n.cpu_load_avg.five_min) << ','
-        << fmt(n.cpu_load_avg.fifteen_min) << ','
-        << fmt(n.cpu_util_avg.one_min) << ',' << fmt(n.cpu_util_avg.five_min)
-        << ',' << fmt(n.cpu_util_avg.fifteen_min) << ','
-        << fmt(n.net_flow_avg.one_min) << ',' << fmt(n.net_flow_avg.five_min)
-        << ',' << fmt(n.net_flow_avg.fifteen_min) << ','
-        << fmt(n.mem_avail_avg.one_min) << ','
-        << fmt(n.mem_avail_avg.five_min) << ','
-        << fmt(n.mem_avail_avg.fifteen_min) << "\n";
+    buf += "node ";
+    buf += std::to_string(n.spec.id);
+    buf += ',';
+    buf += n.spec.hostname;
+    buf += ',';
+    buf += std::to_string(n.spec.switch_id);
+    buf += ',';
+    buf += std::to_string(n.spec.core_count);
+    buf += ',';
+    add(n.spec.cpu_freq_ghz);
+    buf += ',';
+    add(n.spec.total_mem_gb);
+    buf += ',';
+    buf += n.valid ? '1' : '0';
+    buf += ',';
+    add(n.sample_time);
+    buf += ',';
+    add(n.cpu_load);
+    buf += ',';
+    add(n.cpu_util);
+    buf += ',';
+    add(n.mem_used_gb);
+    buf += ',';
+    add(n.net_flow_mbps);
+    buf += ',';
+    buf += std::to_string(n.users);
+    for (const RunningMeans* means :
+         {&n.cpu_load_avg, &n.cpu_util_avg, &n.net_flow_avg,
+          &n.mem_avail_avg}) {
+      buf += ',';
+      add(means->one_min);
+      buf += ',';
+      add(means->five_min);
+      buf += ',';
+      add(means->fifteen_min);
+    }
+    buf += '\n';
+    maybe_flush();
   }
   for (std::size_t i = 0; i < snapshot.livehosts.size(); ++i) {
-    out << "live " << i << ' ' << (snapshot.livehosts[i] ? 1 : 0) << "\n";
+    buf += "live ";
+    buf += std::to_string(i);
+    buf += snapshot.livehosts[i] ? " 1\n" : " 0\n";
+    maybe_flush();
   }
   const int n = snapshot.net.size();
   for (int u = 0; u < n; ++u) {
@@ -73,22 +135,56 @@ void write_snapshot(std::ostream& out, const ClusterSnapshot& snapshot) {
       const auto uu = static_cast<std::size_t>(u);
       const auto vv = static_cast<std::size_t>(v);
       if (snapshot.net.latency_us[uu][vv] >= 0.0) {
-        out << "lat " << u << ' ' << v << ' '
-            << fmt(snapshot.net.latency_us[uu][vv]) << ' '
-            << fmt(snapshot.net.latency_5min_us[uu][vv]) << "\n";
+        buf += "lat ";
+        buf += std::to_string(u);
+        buf += ' ';
+        buf += std::to_string(v);
+        buf += ' ';
+        add(snapshot.net.latency_us[uu][vv]);
+        buf += ' ';
+        add(snapshot.net.latency_5min_us[uu][vv]);
+        buf += '\n';
       }
       if (snapshot.net.bandwidth_mbps[uu][vv] >= 0.0) {
-        out << "bw " << u << ' ' << v << ' '
-            << fmt(snapshot.net.bandwidth_mbps[uu][vv]) << ' '
-            << fmt(snapshot.net.peak_mbps[uu][vv]) << "\n";
+        buf += "bw ";
+        buf += std::to_string(u);
+        buf += ' ';
+        buf += std::to_string(v);
+        buf += ' ';
+        add(snapshot.net.bandwidth_mbps[uu][vv]);
+        buf += ' ';
+        add(snapshot.net.peak_mbps[uu][vv]);
+        buf += '\n';
       }
+      maybe_flush();
     }
+  }
+  if (!buf.empty()) {
+    out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
   }
 }
 
-ClusterSnapshot read_snapshot(std::istream& in) {
-  std::string line;
-  NLARM_CHECK(std::getline(in, line) && util::trim(line) == kHeader)
+namespace {
+
+ClusterSnapshot read_snapshot_text(std::string_view bytes) {
+  // Fields are parsed as views straight out of the file bytes; nothing is
+  // copied until it lands in the snapshot.
+  std::size_t pos = 0;
+  const auto next_line = [&bytes, &pos](std::string_view& line) {
+    if (pos >= bytes.size()) return false;
+    const std::size_t eol = bytes.find('\n', pos);
+    if (eol == std::string_view::npos) {
+      line = bytes.substr(pos);
+      pos = bytes.size();
+    } else {
+      line = bytes.substr(pos, eol - pos);
+      pos = eol + 1;
+    }
+    return true;
+  };
+
+  std::string_view line;
+  NLARM_CHECK(next_line(line) && util::trim_view(line) == kHeader)
       << "not an nlarm snapshot (missing '" << kHeader << "')";
 
   ClusterSnapshot snapshot;
@@ -101,23 +197,24 @@ ClusterSnapshot read_snapshot(std::istream& in) {
   std::vector<PairRecord> bandwidths;
   bool have_time = false;
 
-  while (std::getline(in, line)) {
-    const std::string trimmed = util::trim(line);
+  while (next_line(line)) {
+    const std::string_view trimmed = util::trim_view(line);
     if (trimmed.empty() || trimmed[0] == '#') continue;
     const auto space = trimmed.find(' ');
-    NLARM_CHECK(space != std::string::npos) << "malformed line: " << trimmed;
-    const std::string tag = trimmed.substr(0, space);
-    const std::string body = trimmed.substr(space + 1);
+    NLARM_CHECK(space != std::string_view::npos)
+        << "malformed line: " << std::string(trimmed);
+    const std::string_view tag = trimmed.substr(0, space);
+    const std::string_view body = trimmed.substr(space + 1);
     if (tag == "time") {
       snapshot.time = util::parse_double(body);
       have_time = true;
     } else if (tag == "node") {
-      const auto fields = util::split(body, ',');
+      const auto fields = util::split_views(body, ',');
       NLARM_CHECK(fields.size() == 25)
           << "node record has " << fields.size() << " fields, expected 25";
       NodeSnapshot n;
       n.spec.id = static_cast<cluster::NodeId>(util::parse_long(fields[0]));
-      n.spec.hostname = fields[1];
+      n.spec.hostname = std::string(fields[1]);
       n.spec.switch_id =
           static_cast<cluster::SwitchId>(util::parse_long(fields[2]));
       n.spec.core_count = static_cast<int>(util::parse_long(fields[3]));
@@ -147,20 +244,22 @@ ClusterSnapshot read_snapshot(std::istream& in) {
           << "node records must be dense and ordered";
       snapshot.nodes.push_back(std::move(n));
     } else if (tag == "live") {
-      const auto fields = util::split(body, ' ');
+      const auto fields = util::split_views(body, ' ');
       NLARM_CHECK(fields.size() == 2) << "malformed live line";
       livehosts.emplace_back(static_cast<int>(util::parse_long(fields[0])),
                              util::parse_long(fields[1]) != 0);
     } else if (tag == "lat" || tag == "bw") {
-      const auto fields = util::split(body, ' ');
-      NLARM_CHECK(fields.size() == 4) << "malformed " << tag << " line";
+      const auto fields = util::split_views(body, ' ');
+      NLARM_CHECK(fields.size() == 4)
+          << "malformed " << std::string(tag) << " line";
       PairRecord record{static_cast<int>(util::parse_long(fields[0])),
                         static_cast<int>(util::parse_long(fields[1])),
                         util::parse_double(fields[2]),
                         util::parse_double(fields[3])};
       (tag == "lat" ? latencies : bandwidths).push_back(record);
     } else {
-      NLARM_CHECK(false) << "unknown snapshot tag '" << tag << "'";
+      NLARM_CHECK(false) << "unknown snapshot tag '" << std::string(tag)
+                         << "'";
     }
   }
 
@@ -199,30 +298,46 @@ ClusterSnapshot read_snapshot(std::istream& in) {
   return snapshot;
 }
 
-bool save_snapshot_file(const std::string& path,
-                        const ClusterSnapshot& snapshot) {
-  // Serialize fully in memory first: any NLARM_CHECK inside write_snapshot
-  // fires before a byte touches the filesystem.
+}  // namespace
+
+ClusterSnapshot read_snapshot(std::istream& in) {
   std::ostringstream buffer;
-  write_snapshot(buffer, snapshot);
-  std::string text = buffer.str();
+  buffer << in.rdbuf();
+  return read_snapshot_bytes(buffer.str());
+}
+
+ClusterSnapshot read_snapshot_bytes(std::string_view bytes) {
+  ParseTimer timer;
+  if (is_binary_snapshot(bytes)) {
+    return decode_snapshot_binary(bytes);
+  }
+  return read_snapshot_text(bytes);
+}
+
+bool save_snapshot_file(const std::string& path,
+                        const ClusterSnapshot& snapshot,
+                        SnapshotFormat format) {
+  // Serialize fully in memory first: any NLARM_CHECK inside the serializer
+  // fires before a byte touches the filesystem.
+  std::string bytes;
+  if (format == SnapshotFormat::kBinary) {
+    encode_snapshot_binary(snapshot, bytes);
+  } else {
+    std::ostringstream buffer;
+    write_snapshot(buffer, snapshot);
+    bytes = buffer.str();
+  }
 
   const std::string tmp = path + ".tmp";
-  const bool torn = consume_torn_write();
+  const bool torn = consume_torn_snapshot_write();
   if (torn) {
     // The writer "crashed" mid-write: leave a truncated tmp file behind and
     // never rename. Whatever good snapshot sits at `path` survives.
-    text.resize(text.size() / 2);
+    bytes.resize(bytes.size() / 2);
     obs::metrics::chaos_torn_snapshot_writes().inc();
   }
 
-  std::ofstream out(tmp, std::ios::trunc);
-  NLARM_CHECK(out.is_open()) << "cannot open '" << tmp << "' for writing";
-  out << text;
-  out.flush();
-  const bool wrote_ok = out.good();
-  out.close();
-
+  const bool wrote_ok = util::write_file_durable(tmp, bytes);
   if (torn || !wrote_ok) {
     obs::metrics::persistence_snapshot_save_failures().inc();
     NLARM_WARN << "snapshot save to " << path
@@ -235,14 +350,33 @@ bool save_snapshot_file(const std::string& path,
     NLARM_WARN << "snapshot rename " << tmp << " -> " << path << " failed";
     return false;
   }
+  // The rename itself lives in the directory's data: without this fsync a
+  // crash after return could roll the directory back to the old file.
+  if (!util::fsync_parent_dir(path)) {
+    NLARM_WARN << "fsync of directory containing " << path << " failed";
+  }
   obs::metrics::persistence_snapshot_saves().inc();
+  obs::metrics::snapshot_bytes_written().inc(bytes.size());
   return true;
 }
 
 ClusterSnapshot load_snapshot_file(const std::string& path) {
-  std::ifstream in(path);
-  NLARM_CHECK(in.is_open()) << "cannot open '" << path << "' for reading";
-  return read_snapshot(in);
+  return load_snapshot_file(path, /*use_mmap=*/true);
+}
+
+ClusterSnapshot load_snapshot_file(const std::string& path, bool use_mmap) {
+  if (use_mmap) {
+    util::MappedFile mapped = util::MappedFile::open(path);
+    if (mapped.valid()) {
+      return read_snapshot_bytes(mapped.view());
+    }
+    // Fall through: empty file, mmap unsupported, or open raced — the
+    // buffered read below produces the authoritative error if any.
+  }
+  std::string bytes;
+  NLARM_CHECK(util::read_file(path, bytes))
+      << "cannot open '" << path << "' for reading";
+  return read_snapshot_bytes(bytes);
 }
 
 }  // namespace nlarm::monitor

@@ -1,46 +1,84 @@
-// Snapshot persistence: serialize a ClusterSnapshot to a text stream and
-// load it back.
+// Snapshot persistence: serialize a ClusterSnapshot to disk and load it
+// back, in either of two formats.
 //
 // The real deployment's daemons write their records to NFS; dumping the
 // assembled snapshot makes the broker's exact input auditable and enables
 // offline what-if allocation (nlarm_broker against a file instead of a live
-// monitor). The format is line-oriented with sections:
+// monitor). Two formats carry the same state:
 //
-//   #nlarm-snapshot v1
-//   time <seconds>
-//   node <csv row per node: id,hostname,switch,cores,freq,mem,valid,...>
-//   live <id> <0|1>
-//   lat  <u> <v> <1min> <5min>
-//   bw   <u> <v> <mbps> <peak>
+//  - text (`#nlarm-snapshot v1`): line-oriented and greppable —
+//      #nlarm-snapshot v1
+//      time <seconds>
+//      node <csv row per node: id,hostname,switch,cores,freq,mem,valid,...>
+//      live <id> <0|1>
+//      lat  <u> <v> <1min> <5min>
+//      bw   <u> <v> <mbps> <peak>
+//  - binary (`#nlarm-snapb v2`, snapshot_codec.h): fixed-width records and
+//    raw FlatMatrix blocks with a trailing CRC32; ~10× smaller and orders
+//    of magnitude faster to parse at large V.
+//
+// load_snapshot_file sniffs the leading magic and accepts either format;
+// binary files are ingested through a read-only mmap when the platform has
+// one (one bulk copy per matrix from the page cache, no intermediate
+// buffer), falling back to a buffered read otherwise.
 #pragma once
 
 #include <iosfwd>
 #include <string>
+#include <string_view>
 
 #include "monitor/snapshot.h"
 
 namespace nlarm::monitor {
 
-/// Writes the snapshot; lossless for every field the allocator reads.
+enum class SnapshotFormat {
+  kText,    ///< `#nlarm-snapshot v1`
+  kBinary,  ///< `#nlarm-snapb v2`
+};
+
+/// Parses "text"/"binary" (CheckError otherwise) — the CLI flag spelling.
+SnapshotFormat parse_snapshot_format(const std::string& name);
+
+/// Writes the text form; lossless for every field the allocator reads.
 void write_snapshot(std::ostream& out, const ClusterSnapshot& snapshot);
 
 /// Parses a snapshot written by write_snapshot. Throws CheckError on any
 /// malformed or missing section.
 ClusterSnapshot read_snapshot(std::istream& in);
 
-/// Crash-safe file save: serializes to `<path>.tmp`, verifies the stream
-/// flushed cleanly, then renames into place — a torn write never replaces a
-/// good snapshot. Returns false (leaving any previous file at `path`
-/// untouched) when the write failed or a torn write was armed; throws
-/// CheckError only when the tmp file cannot be opened at all.
+/// Parses either format from an in-memory byte span (text parsing without
+/// stream overhead; binary without a copy). Format is sniffed from the
+/// leading magic line.
+ClusterSnapshot read_snapshot_bytes(std::string_view bytes);
+
+/// Crash-safe file save: serializes to `<path>.tmp` (fsynced), then renames
+/// into place and fsyncs the containing directory — a torn write never
+/// replaces a good snapshot, and a completed save survives a crash of the
+/// host right after it returns. Returns false (leaving any previous file at
+/// `path` untouched) when the write failed or a torn write was armed.
 bool save_snapshot_file(const std::string& path,
-                        const ClusterSnapshot& snapshot);
+                        const ClusterSnapshot& snapshot,
+                        SnapshotFormat format = SnapshotFormat::kText);
+
+/// Loads either format (sniffed, not extension-guessed). Binary files go
+/// through mmap when available. Throws CheckError when the file cannot be
+/// opened or fails validation (including the binary CRC).
 ClusterSnapshot load_snapshot_file(const std::string& path);
 
-/// Fault injection: the next save_snapshot_file() call writes a truncated
-/// `<path>.tmp`, skips the rename and returns false — the on-disk
-/// aftermath of a writer crashing mid-snapshot. Arms stack (n calls tear
-/// the next n saves). Thread-safe.
+/// Same, with the mmap fast path forced off (buffered read) — the knob the
+/// ingest benchmarks compare against; behavior is identical.
+ClusterSnapshot load_snapshot_file(const std::string& path, bool use_mmap);
+
+/// Fault injection: the next save_snapshot_file() call (either format)
+/// writes a truncated `<path>.tmp`, skips the rename and returns false —
+/// the on-disk aftermath of a writer crashing mid-snapshot. The delta
+/// append-log's frame writer consumes the same arms, tearing its next
+/// segment instead. Arms stack (n calls tear the next n writes).
+/// Thread-safe.
 void arm_torn_snapshot_write();
+
+/// Consumes one armed torn write, if any (persistence-internal; exposed for
+/// the delta-log writer so every on-disk artifact shares one chaos hook).
+bool consume_torn_snapshot_write();
 
 }  // namespace nlarm::monitor

@@ -1,0 +1,195 @@
+#include "monitor/snapshot_codec.h"
+
+#include <cstring>
+
+#include "util/binio.h"
+#include "util/check.h"
+
+namespace nlarm::monitor {
+
+namespace {
+
+constexpr std::uint32_t kFlagHasPairwise = 1u << 0;
+
+void require_little_endian() {
+  NLARM_CHECK(util::host_is_little_endian())
+      << "binary snapshot codec requires a little-endian host";
+}
+
+void encode_matrix(std::string& out, const util::FlatMatrix& m,
+                   std::size_t n) {
+  NLARM_CHECK(m.size() == n) << "pairwise matrix is " << m.size() << "x"
+                             << m.size() << ", snapshot has " << n << " nodes";
+  out.append(reinterpret_cast<const char*>(m.data()),
+             m.value_count() * sizeof(double));
+}
+
+void decode_matrix(util::ByteReader& reader, util::FlatMatrix& m,
+                   std::size_t n) {
+  m.assign(n, 0.0);
+  reader.read_into(m.data(), n * n * sizeof(double));
+}
+
+void encode_means(std::string& out, const RunningMeans& means) {
+  util::put_f64(out, means.one_min);
+  util::put_f64(out, means.five_min);
+  util::put_f64(out, means.fifteen_min);
+}
+
+RunningMeans decode_means(util::ByteReader& reader) {
+  RunningMeans means;
+  means.one_min = reader.f64();
+  means.five_min = reader.f64();
+  means.fifteen_min = reader.f64();
+  return means;
+}
+
+}  // namespace
+
+bool is_binary_snapshot(std::string_view bytes) {
+  return bytes.substr(0, kBinarySnapshotMagic.size()) == kBinarySnapshotMagic;
+}
+
+namespace codec {
+
+void encode_node(std::string& out, const NodeSnapshot& node) {
+  util::put_i32(out, node.spec.id);
+  util::put_i32(out, node.spec.switch_id);
+  util::put_i32(out, node.spec.core_count);
+  util::put_i32(out, node.users);
+  util::put_u32(out, node.valid ? 1 : 0);
+  util::put_f64(out, node.spec.cpu_freq_ghz);
+  util::put_f64(out, node.spec.total_mem_gb);
+  util::put_f64(out, node.sample_time);
+  util::put_f64(out, node.cpu_load);
+  util::put_f64(out, node.cpu_util);
+  util::put_f64(out, node.mem_used_gb);
+  util::put_f64(out, node.net_flow_mbps);
+  encode_means(out, node.cpu_load_avg);
+  encode_means(out, node.cpu_util_avg);
+  encode_means(out, node.net_flow_avg);
+  encode_means(out, node.mem_avail_avg);
+  util::put_u32(out, static_cast<std::uint32_t>(node.spec.hostname.size()));
+  out.append(node.spec.hostname);
+}
+
+NodeSnapshot decode_node(util::ByteReader& reader) {
+  NodeSnapshot node;
+  node.spec.id = reader.i32();
+  node.spec.switch_id = reader.i32();
+  node.spec.core_count = reader.i32();
+  node.users = reader.i32();
+  node.valid = reader.u32() != 0;
+  node.spec.cpu_freq_ghz = reader.f64();
+  node.spec.total_mem_gb = reader.f64();
+  node.sample_time = reader.f64();
+  node.cpu_load = reader.f64();
+  node.cpu_util = reader.f64();
+  node.mem_used_gb = reader.f64();
+  node.net_flow_mbps = reader.f64();
+  node.cpu_load_avg = decode_means(reader);
+  node.cpu_util_avg = decode_means(reader);
+  node.net_flow_avg = decode_means(reader);
+  node.mem_avail_avg = decode_means(reader);
+  const std::uint32_t hostname_len = reader.u32();
+  node.spec.hostname = std::string(reader.bytes(hostname_len));
+  return node;
+}
+
+}  // namespace codec
+
+void encode_snapshot_binary(const ClusterSnapshot& snapshot,
+                            std::string& out) {
+  require_little_endian();
+  const std::size_t n = snapshot.nodes.size();
+  NLARM_CHECK(n > 0) << "snapshot has no nodes";
+  NLARM_CHECK(snapshot.livehosts.size() == n)
+      << "livehosts size " << snapshot.livehosts.size() << " != node count "
+      << n;
+  const bool has_pairwise = !snapshot.net.latency_us.empty();
+
+  const std::size_t start = out.size();
+  // One reservation for the whole artifact: the matrices dominate.
+  out.reserve(start + kBinarySnapshotMagic.size() + 24 + n * 256 + n +
+              (has_pairwise ? 4 * n * n * sizeof(double) : 0) + 4);
+  out.append(kBinarySnapshotMagic);
+  util::put_u32(out, static_cast<std::uint32_t>(n));
+  util::put_u32(out, has_pairwise ? kFlagHasPairwise : 0);
+  util::put_f64(out, snapshot.time);
+  util::put_u64(out, snapshot.version);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeSnapshot& node = snapshot.nodes[i];
+    NLARM_CHECK(node.spec.id == static_cast<cluster::NodeId>(i))
+        << "node records must be dense and ordered";
+    codec::encode_node(out, node);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    util::put_u8(out, snapshot.livehosts[i] ? 1 : 0);
+  }
+  if (has_pairwise) {
+    encode_matrix(out, snapshot.net.latency_us, n);
+    encode_matrix(out, snapshot.net.latency_5min_us, n);
+    encode_matrix(out, snapshot.net.bandwidth_mbps, n);
+    encode_matrix(out, snapshot.net.peak_mbps, n);
+  }
+  const std::uint32_t crc =
+      util::crc32(std::string_view(out).substr(start));
+  util::put_u32(out, crc);
+}
+
+ClusterSnapshot decode_snapshot_binary(std::string_view bytes) {
+  require_little_endian();
+  NLARM_CHECK(is_binary_snapshot(bytes))
+      << "not a binary nlarm snapshot (missing '"
+      << std::string(kBinarySnapshotMagic.substr(
+             0, kBinarySnapshotMagic.size() - 1))
+      << "')";
+  NLARM_CHECK(bytes.size() >= kBinarySnapshotMagic.size() + 4)
+      << "binary snapshot truncated before header";
+  const std::uint32_t stored_crc =
+      [&] {
+        std::uint32_t v;
+        std::memcpy(&v, bytes.data() + bytes.size() - 4, 4);
+        return v;
+      }();
+  const std::uint32_t computed_crc =
+      util::crc32(bytes.substr(0, bytes.size() - 4));
+  NLARM_CHECK(stored_crc == computed_crc)
+      << "binary snapshot CRC mismatch (stored " << stored_crc
+      << ", computed " << computed_crc << ") — truncated or corrupt file";
+
+  util::ByteReader reader(bytes.substr(0, bytes.size() - 4));
+  reader.skip(kBinarySnapshotMagic.size());
+  const std::uint32_t n32 = reader.u32();
+  NLARM_CHECK(n32 > 0 && n32 <= (1u << 24))
+      << "implausible node count " << n32;
+  const std::size_t n = n32;
+  const std::uint32_t flags = reader.u32();
+
+  ClusterSnapshot snapshot;
+  snapshot.time = reader.f64();
+  snapshot.version = reader.u64();
+  snapshot.nodes.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    NodeSnapshot node = codec::decode_node(reader);
+    NLARM_CHECK(node.spec.id == static_cast<cluster::NodeId>(i))
+        << "node records must be dense and ordered";
+    snapshot.nodes.push_back(std::move(node));
+  }
+  snapshot.livehosts.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    snapshot.livehosts[i] = reader.u8() != 0;
+  }
+  if ((flags & kFlagHasPairwise) != 0) {
+    decode_matrix(reader, snapshot.net.latency_us, n);
+    decode_matrix(reader, snapshot.net.latency_5min_us, n);
+    decode_matrix(reader, snapshot.net.bandwidth_mbps, n);
+    decode_matrix(reader, snapshot.net.peak_mbps, n);
+  }
+  NLARM_CHECK(reader.remaining() == 0)
+      << reader.remaining() << " trailing byte(s) after pairwise section";
+  return snapshot;
+}
+
+}  // namespace nlarm::monitor

@@ -1,0 +1,65 @@
+// Binary snapshot codec (`#nlarm-snapb v2`), the compact sibling of the
+// text format in persistence.h.
+//
+// The text format spells every pairwise entry as a formatted `lat`/`bw`
+// line — ~2·V² lines, a million at V=1024 — and re-parsing that on every
+// broker epoch dominates end-to-end cost once allocation itself is fast.
+// v2 stores the same state as fixed-width little-endian records plus the
+// four pairwise FlatMatrix blocks verbatim (n² doubles each, diagonal and
+// the <0 "never measured" sentinels included), so a loader's pairwise work
+// is four bulk copies instead of millions of strtod calls.
+//
+// Layout (all integers/doubles little-endian):
+//
+//   magic      "#nlarm-snapb v2\n"             (16 bytes, also the sniffing
+//                                               key for format autodetection)
+//   header     u32 node_count · u32 flags · f64 time · u64 version
+//   nodes      node_count records: fixed numeric part (ids, valid flag,
+//              19 f64 dynamic fields) + u32 hostname_len + hostname bytes
+//   livehosts  node_count u8 (0|1)
+//   pairwise   4 blocks of node_count² f64: latency_us, latency_5min_us,
+//              bandwidth_mbps, peak_mbps          (flags bit0 set)
+//   trailer    u32 CRC32 (IEEE) over every preceding byte
+//
+// Doubles round-trip bit-exactly (NaN payloads, ±inf, -0.0), hostnames are
+// arbitrary bytes (the text format's comma restriction does not apply), and
+// any truncation or corruption fails the trailing CRC with a one-line
+// CheckError before a single field is trusted.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "monitor/snapshot.h"
+
+namespace nlarm::util {
+class ByteReader;
+}
+
+namespace nlarm::monitor {
+
+/// First bytes of a v2 binary snapshot; also what format sniffing keys on.
+inline constexpr std::string_view kBinarySnapshotMagic = "#nlarm-snapb v2\n";
+
+/// True when `bytes` starts with the v2 magic.
+bool is_binary_snapshot(std::string_view bytes);
+
+/// Appends the complete v2 artifact (magic through CRC trailer) to `out`.
+void encode_snapshot_binary(const ClusterSnapshot& snapshot, std::string& out);
+
+/// Parses a v2 artifact. `bytes` may alias an mmap'd file: the decoder
+/// reads fields in place and bulk-copies the matrix blocks straight into
+/// the snapshot's FlatMatrix storage (no intermediate buffer). Throws
+/// CheckError on bad magic, truncation, or CRC mismatch.
+ClusterSnapshot decode_snapshot_binary(std::string_view bytes);
+
+namespace codec {
+
+/// One node record, the unit the delta append-log also ships. The encoded
+/// form carries the node id, so decode returns a record addressable by id.
+void encode_node(std::string& out, const NodeSnapshot& node);
+NodeSnapshot decode_node(util::ByteReader& reader);
+
+}  // namespace codec
+
+}  // namespace nlarm::monitor

@@ -6,6 +6,15 @@
 
 namespace nlarm::monitor {
 
+void SnapshotDelta::normalize() {
+  std::sort(dirty_nodes.begin(), dirty_nodes.end());
+  dirty_nodes.erase(std::unique(dirty_nodes.begin(), dirty_nodes.end()),
+                    dirty_nodes.end());
+  std::sort(dirty_pairs.begin(), dirty_pairs.end());
+  dirty_pairs.erase(std::unique(dirty_pairs.begin(), dirty_pairs.end()),
+                    dirty_pairs.end());
+}
+
 DeltaTracker::DeltaTracker(int node_count) : node_count_(node_count) {
   NLARM_CHECK(node_count > 0) << "delta tracker needs at least one node";
   node_dirty_.assign(static_cast<std::size_t>(node_count), false);

@@ -57,6 +57,11 @@ struct SnapshotDelta {
     livehosts_changed = false;
     full = false;
   }
+
+  /// Restores the sorted/unique invariant after dirty sets were
+  /// accumulated out of order (e.g. coalescing several delta-log frames
+  /// into one drain). Idempotent.
+  void normalize();
 };
 
 /// Accumulates dirty node ids / pairs between drains. Used by MonitorStore;

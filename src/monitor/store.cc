@@ -105,6 +105,43 @@ ClusterSnapshot MonitorStore::assemble(double now) const {
   return snap;
 }
 
+void MonitorStore::restore(const ClusterSnapshot& snapshot) {
+  NLARM_CHECK(static_cast<int>(snapshot.nodes.size()) == node_count_)
+      << "snapshot has " << snapshot.nodes.size() << " nodes, store expects "
+      << node_count_;
+  NLARM_CHECK(snapshot.livehosts.size() == snapshot.nodes.size())
+      << "snapshot livehosts/nodes size mismatch";
+  livehosts_ = snapshot.livehosts;
+  livehosts_time_ = snapshot.time;
+  node_records_ = snapshot.nodes;
+  net_ = snapshot.net;
+  if (net_.latency_us.empty()) {
+    net_.latency_us = make_matrix(node_count_, -1.0);
+    net_.latency_5min_us = make_matrix(node_count_, -1.0);
+    net_.bandwidth_mbps = make_matrix(node_count_, -1.0);
+    net_.peak_mbps = make_matrix(node_count_, -1.0);
+  }
+  // The snapshot carries no per-pair write times; credit measured pairs
+  // with the assembly time (the freshest defensible claim) and leave
+  // never-measured pairs at the "never written" sentinel.
+  const auto n = static_cast<std::size_t>(node_count_);
+  latency_time_.assign(n, -1.0);
+  bandwidth_time_.assign(n, -1.0);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = 0; v < n; ++v) {
+      if (u == v) continue;
+      if (net_.latency_us[u][v] >= 0.0) {
+        latency_time_[u][v] = snapshot.time;
+      }
+      if (net_.bandwidth_mbps[u][v] >= 0.0) {
+        bandwidth_time_[u][v] = snapshot.time;
+      }
+    }
+  }
+  delta_tracker_.mark_full();
+  ++version_;
+}
+
 std::uint64_t MonitorStore::snapshot_version() const {
   return (store_id_ << 32) | (version_ & 0xffffffffull);
 }

@@ -53,6 +53,14 @@ class MonitorStore {
   /// "same data as last time" apart from "new data" without diffing.
   ClusterSnapshot assemble(double now) const;
 
+  /// Hydrates every record from a persisted snapshot — the warm-start path
+  /// for a store rebuilt from a snapshot file or a replayed delta log.
+  /// Record timestamps are reconstructed conservatively (node records keep
+  /// their sample_time; measured pairs are stamped with the snapshot's
+  /// assembly time), and the delta tracker is marked full so incremental
+  /// consumers rebuild once. Node counts must match.
+  void restore(const ClusterSnapshot& snapshot);
+
   /// Bumped on every write; combined with a process-unique store id into the
   /// snapshot version stamp.
   std::uint64_t version() const { return version_; }

@@ -217,6 +217,17 @@ NLARM_CATALOG_COUNTER(persistence_snapshot_save_failures,
                       "nlarm_persistence_snapshot_save_failures_total",
                       "Snapshot saves that failed (torn or short write, "
                       "rename error); the previous file is left intact.")
+NLARM_CATALOG_COUNTER(snapshot_bytes_written,
+                      "nlarm_snapshot_bytes_written_total",
+                      "Bytes written by snapshot saves and delta-log frames "
+                      "(text, binary, and .nlarmd appends/compactions).")
+NLARM_CATALOG_HISTOGRAM(snapshot_parse_seconds, "nlarm_snapshot_parse_seconds",
+                        "Wall time spent parsing a snapshot artifact back "
+                        "into a ClusterSnapshot (text or binary, any path).")
+NLARM_CATALOG_COUNTER(snapshot_crc_failures,
+                      "nlarm_snapshot_crc_failures_total",
+                      "Snapshot or delta-log frames rejected for CRC/magic "
+                      "mismatch (torn tail, truncation, corruption).")
 
 NLARM_CATALOG_COUNTER(sim_events, "nlarm_sim_events_total",
                       "Discrete events dispatched by the simulation engine.")
@@ -308,6 +319,9 @@ void register_all() {
   monitor_delta_dirty_pairs();
   persistence_snapshot_saves();
   persistence_snapshot_save_failures();
+  snapshot_bytes_written();
+  snapshot_parse_seconds();
+  snapshot_crc_failures();
   sim_events();
   sim_time_ratio();
   chaos_events();

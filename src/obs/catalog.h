@@ -90,6 +90,9 @@ Counter& monitor_delta_dirty_pairs();    ///< nlarm_monitor_delta_dirty_pairs_to
 // --- snapshot persistence ---
 Counter& persistence_snapshot_saves();   ///< nlarm_persistence_snapshot_saves_total
 Counter& persistence_snapshot_save_failures(); ///< nlarm_persistence_snapshot_save_failures_total
+Counter& snapshot_bytes_written();       ///< nlarm_snapshot_bytes_written_total
+Histogram& snapshot_parse_seconds();     ///< nlarm_snapshot_parse_seconds
+Counter& snapshot_crc_failures();        ///< nlarm_snapshot_crc_failures_total
 
 // --- simulation engine ---
 Counter& sim_events();                   ///< nlarm_sim_events_total

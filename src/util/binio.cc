@@ -1,0 +1,265 @@
+#include "util/binio.h"
+
+#include <array>
+#include <bit>
+#include <cstdio>
+
+#include "util/check.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define NLARM_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define NLARM_HAVE_MMAP 0
+#endif
+
+namespace nlarm::util {
+
+bool host_is_little_endian() {
+  return std::endian::native == std::endian::little;
+}
+
+void put_varint(std::string& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+void ByteReader::require(std::size_t n) const {
+  NLARM_CHECK(n <= size_ - offset_)
+      << "binary read past end of data (offset " << offset_ << " + " << n
+      << " > size " << size_ << ")";
+}
+
+std::uint8_t ByteReader::u8() {
+  require(1);
+  return static_cast<std::uint8_t>(data_[offset_++]);
+}
+
+std::uint32_t ByteReader::u32() {
+  require(4);
+  std::uint32_t v;
+  std::memcpy(&v, data_ + offset_, sizeof(v));
+  offset_ += sizeof(v);
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  require(8);
+  std::uint64_t v;
+  std::memcpy(&v, data_ + offset_, sizeof(v));
+  offset_ += sizeof(v);
+  return v;
+}
+
+std::int32_t ByteReader::i32() {
+  require(4);
+  std::int32_t v;
+  std::memcpy(&v, data_ + offset_, sizeof(v));
+  offset_ += sizeof(v);
+  return v;
+}
+
+double ByteReader::f64() {
+  require(8);
+  double v;
+  std::memcpy(&v, data_ + offset_, sizeof(v));
+  offset_ += sizeof(v);
+  return v;
+}
+
+std::uint64_t ByteReader::varint() {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    const std::uint8_t byte = u8();
+    NLARM_CHECK(shift < 64) << "varint longer than 10 bytes";
+    v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return v;
+    shift += 7;
+  }
+}
+
+std::string_view ByteReader::bytes(std::size_t n) {
+  require(n);
+  std::string_view view{data_ + offset_, n};
+  offset_ += n;
+  return view;
+}
+
+void ByteReader::read_into(void* dst, std::size_t n) {
+  require(n);
+  std::memcpy(dst, data_ + offset_, n);
+  offset_ += n;
+}
+
+void ByteReader::skip(std::size_t n) {
+  require(n);
+  offset_ += n;
+}
+
+namespace {
+
+// Slicing-by-8 tables: table[0] is the classic byte-at-a-time table and
+// table[k][b] is the CRC of byte b followed by k zero bytes, letting the
+// hot loop fold 8 input bytes per iteration (~1 GB/s vs ~300 MB/s — this
+// routine runs over every multi-MB snapshot artifact on both save and
+// load, so it sets the floor of the binary codec's throughput).
+using CrcTables = std::array<std::array<std::uint32_t, 256>, 8>;
+
+CrcTables make_crc_tables() {
+  CrcTables tables{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    tables[0][i] = c;
+  }
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = tables[0][i];
+    for (int k = 1; k < 8; ++k) {
+      c = tables[0][c & 0xFF] ^ (c >> 8);
+      tables[static_cast<std::size_t>(k)][i] = c;
+    }
+  }
+  return tables;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view bytes, std::uint32_t seed) {
+  static const CrcTables t = make_crc_tables();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  const char* p = bytes.data();
+  std::size_t n = bytes.size();
+  // The 8-byte fold loads words as little-endian; on a big-endian host the
+  // tail loop below handles everything (correct, just slower).
+  while (host_is_little_endian() && n >= 8) {
+    std::uint32_t lo;
+    std::uint32_t hi;
+    std::memcpy(&lo, p, 4);
+    std::memcpy(&hi, p + 4, 4);
+    c ^= lo;
+    c = t[7][c & 0xFF] ^ t[6][(c >> 8) & 0xFF] ^ t[5][(c >> 16) & 0xFF] ^
+        t[4][c >> 24] ^ t[3][hi & 0xFF] ^ t[2][(hi >> 8) & 0xFF] ^
+        t[1][(hi >> 16) & 0xFF] ^ t[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  for (; n > 0; ++p, --n) {
+    c = t[0][(c ^ static_cast<std::uint8_t>(*p)) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+MappedFile::~MappedFile() {
+#if NLARM_HAVE_MMAP
+  if (data_ != nullptr) {
+    ::munmap(const_cast<char*>(data_), size_);
+  }
+#endif
+}
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(other.data_), size_(other.size_) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    this->~MappedFile();
+    data_ = other.data_;
+    size_ = other.size_;
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+MappedFile MappedFile::open(const std::string& path) {
+  MappedFile mapped;
+#if NLARM_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return mapped;
+  struct stat st;
+  if (::fstat(fd, &st) != 0 || st.st_size <= 0) {
+    ::close(fd);
+    return mapped;
+  }
+  void* addr = ::mmap(nullptr, static_cast<std::size_t>(st.st_size), PROT_READ,
+                      MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference
+  if (addr == MAP_FAILED) return mapped;
+  mapped.data_ = static_cast<const char*>(addr);
+  mapped.size_ = static_cast<std::size_t>(st.st_size);
+#else
+  (void)path;
+#endif
+  return mapped;
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  out.clear();
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out.append(buf, n);
+  }
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+namespace {
+
+bool write_stream_durable(const std::string& path, std::string_view bytes,
+                          const char* mode) {
+  std::FILE* f = std::fopen(path.c_str(), mode);
+  if (f == nullptr) return false;
+  bool ok = bytes.empty() ||
+            std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  ok = ok && std::fflush(f) == 0;
+#if defined(__unix__) || defined(__APPLE__)
+  ok = ok && ::fsync(::fileno(f)) == 0;
+#endif
+  ok = std::fclose(f) == 0 && ok;
+  return ok;
+}
+
+}  // namespace
+
+bool write_file_durable(const std::string& path, std::string_view bytes) {
+  return write_stream_durable(path, bytes, "wb");
+}
+
+bool append_file_durable(const std::string& path, std::string_view bytes) {
+  return write_stream_durable(path, bytes, "ab");
+}
+
+bool fsync_parent_dir(const std::string& path) {
+#if defined(__unix__) || defined(__APPLE__)
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+#else
+  (void)path;
+  return true;
+#endif
+}
+
+}  // namespace nlarm::util

@@ -1,0 +1,141 @@
+// Binary I/O helpers shared by the snapshot codec and the delta append-log:
+// bounds-checked little-endian readers/writers, LEB128 varints, CRC32, a
+// read-only mmap wrapper, and durable file-write primitives (fsync of both
+// the file and its containing directory).
+//
+// Encoders append to a std::string so a whole artifact can be serialized in
+// memory, checksummed, and then written through one durable call — the same
+// "assemble fully, then tmp+flush+rename" discipline persistence.cc uses
+// for text snapshots. Decoders work off a borrowed (data, size) span, so
+// the same code parses a heap buffer or an mmap'd file without copying.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace nlarm::util {
+
+// --- little-endian primitives -------------------------------------------
+
+/// The codec is defined as little-endian on disk. All supported targets are
+/// little-endian; encode/decode verify this once (CheckError otherwise)
+/// rather than paying a byte-swap on the hot path.
+bool host_is_little_endian();
+
+inline void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+inline void put_u32(std::string& out, std::uint32_t v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+inline void put_u64(std::string& out, std::uint64_t v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+inline void put_i32(std::string& out, std::int32_t v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+inline void put_f64(std::string& out, double v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+/// Unsigned LEB128; at most 10 bytes for a u64.
+void put_varint(std::string& out, std::uint64_t v);
+
+/// Bounds-checked forward cursor over a borrowed byte span. Every read
+/// throws CheckError on overrun, so a truncated file turns into a one-line
+/// diagnostic instead of UB.
+class ByteReader {
+ public:
+  ByteReader(const char* data, std::size_t size) : data_(data), size_(size) {}
+  explicit ByteReader(std::string_view bytes)
+      : ByteReader(bytes.data(), bytes.size()) {}
+
+  std::size_t offset() const { return offset_; }
+  std::size_t remaining() const { return size_ - offset_; }
+  const char* cursor() const { return data_ + offset_; }
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int32_t i32();
+  double f64();
+  std::uint64_t varint();
+
+  /// Returns a view of the next `n` bytes and advances past them.
+  std::string_view bytes(std::size_t n);
+
+  /// Bulk copy of `n` bytes into `dst` (the zero-copy matrix ingest: one
+  /// memcpy from the mapped page cache straight into FlatMatrix storage).
+  void read_into(void* dst, std::size_t n);
+
+  void skip(std::size_t n);
+
+ private:
+  void require(std::size_t n) const;
+
+  const char* data_;
+  std::size_t size_;
+  std::size_t offset_ = 0;
+};
+
+// --- CRC32 ---------------------------------------------------------------
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), the same function
+/// gzip/PNG use. `seed` chains incremental updates: crc32(b, crc32(a)) ==
+/// crc32(a+b).
+std::uint32_t crc32(std::string_view bytes, std::uint32_t seed = 0);
+
+// --- mmap ----------------------------------------------------------------
+
+/// Read-only memory map of a whole file. Move-only; unmaps on destruction.
+/// On platforms without mmap (or when the map fails) valid() is false and
+/// callers fall back to a buffered read — behavior, not availability, is
+/// the contract.
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile();
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// Maps `path` read-only. Returns an invalid MappedFile on any failure
+  /// (missing file, empty file, mmap unsupported).
+  static MappedFile open(const std::string& path);
+
+  bool valid() const { return data_ != nullptr; }
+  const char* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  std::string_view view() const { return {data_, size_}; }
+
+ private:
+  const char* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+// --- durable file writes -------------------------------------------------
+
+/// Reads the whole file into `out`. Returns false if it cannot be opened.
+bool read_file(const std::string& path, std::string& out);
+
+/// Writes `bytes` to `path` (truncating), then fflush + fsync before close.
+/// Returns false on any failure. This is the "data reached the platter"
+/// half of a crash-safe save; rename + fsync_parent_dir is the other half.
+bool write_file_durable(const std::string& path, std::string_view bytes);
+
+/// Appends `bytes` to `path` (creating it), then fflush + fsync. The
+/// append-log's frame writes go through this so a torn frame is only ever
+/// the *last* frame.
+bool append_file_durable(const std::string& path, std::string_view bytes);
+
+/// fsyncs the directory containing `path`, making a completed rename of
+/// `path` itself durable (POSIX: the rename lives in the directory's data).
+/// Returns false if the directory cannot be opened/synced; no-op success on
+/// platforms without directory fds.
+bool fsync_parent_dir(const std::string& path);
+
+}  // namespace nlarm::util

@@ -32,19 +32,35 @@ void CsvWriter::write_row(const std::vector<std::string>& fields) {
     NLARM_CHECK(fields.size() == columns_)
         << "row has " << fields.size() << " fields, header has " << columns_;
   }
+  // Assemble the whole row, then hand the stream one write: per-field
+  // operator<< calls were the dominant cost of large trace dumps.
+  std::string row;
+  std::size_t reserve = fields.size();
+  for (const std::string& field : fields) reserve += field.size();
+  row.reserve(reserve + 1);
   for (std::size_t i = 0; i < fields.size(); ++i) {
-    if (i > 0) out_ << ',';
-    out_ << csv_escape(fields[i]);
+    if (i > 0) row.push_back(',');
+    row += csv_escape(fields[i]);
   }
-  out_ << '\n';
+  row.push_back('\n');
+  out_ << row;
   ++rows_;
 }
 
 void CsvWriter::write_row(const std::vector<double>& fields) {
-  std::vector<std::string> formatted;
-  formatted.reserve(fields.size());
-  for (double v : fields) formatted.push_back(csv_format(v));
-  write_row(formatted);
+  if (header_written_) {
+    NLARM_CHECK(fields.size() == columns_)
+        << "row has " << fields.size() << " fields, header has " << columns_;
+  }
+  std::string row;
+  row.reserve(fields.size() * 12 + 1);
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) row.push_back(',');
+    append_csv_double(row, fields[i]);
+  }
+  row.push_back('\n');
+  out_ << row;
+  ++rows_;
 }
 
 CsvFileWriter::CsvFileWriter(const std::string& path)
@@ -128,19 +144,19 @@ std::string csv_escape(const std::string& field) {
 }
 
 std::string csv_format(double value) {
-  if (value == std::floor(value) && std::abs(value) < 1e15) {
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.0f", value);
-    return buf;
-  }
-  // Shortest representation that still round-trips: try increasing
-  // precision until strtod gives the value back.
-  char buf[64];
-  for (int precision = 10; precision <= 17; ++precision) {
-    std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
-    if (std::strtod(buf, nullptr) == value) break;
-  }
-  return buf;
+  std::string out;
+  append_csv_double(out, value);
+  return out;
+}
+
+void append_csv_double(std::string& out, double value) {
+  // std::to_chars emits the shortest string that parses back to exactly
+  // `value` (the max_digits10 guarantee without ever padding to 17 digits),
+  // locale-independent and allocation-free.
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  NLARM_CHECK(ec == std::errc()) << "to_chars failed for double";
+  out.append(buf, static_cast<std::size_t>(ptr - buf));
 }
 
 }  // namespace nlarm::util

@@ -65,7 +65,12 @@ CsvDocument read_csv_file(const std::string& path);
 /// Escapes a single CSV field (quotes if it contains comma/quote).
 std::string csv_escape(const std::string& field);
 
-/// Formats a double compactly but losslessly for CSV output.
+/// Formats a double compactly but losslessly for CSV output
+/// (std::to_chars shortest form: max_digits10 round-trip guarantee).
 std::string csv_format(double value);
+
+/// Appends csv_format(value) to `out` without a temporary allocation —
+/// the building block for row-at-a-time writers on hot save paths.
+void append_csv_double(std::string& out, double value);
 
 }  // namespace nlarm::util

@@ -1,6 +1,7 @@
 #include "util/strings.h"
 
 #include <cctype>
+#include <charconv>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
@@ -22,6 +23,33 @@ std::vector<std::string> split(const std::string& text, char delimiter) {
   }
   parts.push_back(std::move(current));
   return parts;
+}
+
+std::vector<std::string_view> split_views(std::string_view text,
+                                          char delimiter) {
+  std::vector<std::string_view> parts;
+  std::size_t begin = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == delimiter) {
+      parts.push_back(text.substr(begin, i - begin));
+      begin = i + 1;
+    }
+  }
+  parts.push_back(text.substr(begin));
+  return parts;
+}
+
+std::string_view trim_view(std::string_view text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
 }
 
 std::string trim(const std::string& text) {
@@ -62,22 +90,27 @@ bool starts_with(const std::string& text, const std::string& prefix) {
          text.compare(0, prefix.size(), prefix) == 0;
 }
 
-double parse_double(const std::string& text) {
-  const std::string trimmed = trim(text);
+double parse_double(std::string_view text) {
+  std::string_view trimmed = trim_view(text);
   NLARM_CHECK(!trimmed.empty()) << "cannot parse empty string as double";
-  char* end = nullptr;
-  const double value = std::strtod(trimmed.c_str(), &end);
-  NLARM_CHECK(end == trimmed.c_str() + trimmed.size())
+  // from_chars rejects an explicit '+' that strtod used to accept.
+  if (trimmed.front() == '+') trimmed.remove_prefix(1);
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(trimmed.data(), trimmed.data() + trimmed.size(), value);
+  NLARM_CHECK(ec == std::errc() && ptr == trimmed.data() + trimmed.size())
       << "malformed double: '" << text << "'";
   return value;
 }
 
-long parse_long(const std::string& text) {
-  const std::string trimmed = trim(text);
+long parse_long(std::string_view text) {
+  std::string_view trimmed = trim_view(text);
   NLARM_CHECK(!trimmed.empty()) << "cannot parse empty string as integer";
-  char* end = nullptr;
-  const long value = std::strtol(trimmed.c_str(), &end, 10);
-  NLARM_CHECK(end == trimmed.c_str() + trimmed.size())
+  if (trimmed.front() == '+') trimmed.remove_prefix(1);
+  long value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(trimmed.data(), trimmed.data() + trimmed.size(), value);
+  NLARM_CHECK(ec == std::errc() && ptr == trimmed.data() + trimmed.size())
       << "malformed integer: '" << text << "'";
   return value;
 }

@@ -2,12 +2,22 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace nlarm::util {
 
 /// Splits on a delimiter; keeps empty fields.
 std::vector<std::string> split(const std::string& text, char delimiter);
+
+/// Allocation-free split: the views borrow from `text`, which must outlive
+/// them. The hot text-snapshot loader parses fields straight out of the
+/// line buffer through this.
+std::vector<std::string_view> split_views(std::string_view text,
+                                          char delimiter);
+
+/// Trims ASCII whitespace from both ends without copying.
+std::string_view trim_view(std::string_view text);
 
 /// Trims ASCII whitespace from both ends.
 std::string trim(const std::string& text);
@@ -21,11 +31,12 @@ std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 /// True if `text` starts with `prefix`.
 bool starts_with(const std::string& text, const std::string& prefix);
 
-/// Parses a double; throws CheckError on malformed input.
-double parse_double(const std::string& text);
+/// Parses a double with std::from_chars (locale-independent; accepts
+/// "inf"/"nan" spellings); throws CheckError on malformed input.
+double parse_double(std::string_view text);
 
 /// Parses an integer; throws CheckError on malformed input.
-long parse_long(const std::string& text);
+long parse_long(std::string_view text);
 
 /// Joins strings with a separator.
 std::string join(const std::vector<std::string>& parts,

@@ -1,0 +1,269 @@
+// Binary snapshot codec (`#nlarm-snapb v2`): text↔binary parity, exact
+// round-trips of the awkward values (NaN/±inf, "never measured" sentinels,
+// invalid records, hostnames with spaces), and the corrupted-file matrix —
+// every damaged artifact must fail with one loud CheckError, never parse
+// to a partial cluster, and never shadow a last-good file.
+#include "monitor/snapshot_codec.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "core/allocator.h"
+#include "core/broker.h"
+#include "exp/experiment.h"
+#include "monitor/persistence.h"
+#include "test_helpers.h"
+#include "util/binio.h"
+#include "util/check.h"
+
+namespace nlarm::monitor {
+namespace {
+
+using nlarm::testing::TestNode;
+using nlarm::testing::make_snapshot;
+
+std::string encode(const ClusterSnapshot& snap) {
+  std::string bytes;
+  encode_snapshot_binary(snap, bytes);
+  return bytes;
+}
+
+// Field-by-field equality that treats NaN == NaN (the default
+// operator== would reject a snapshot that legitimately carries NaN).
+void expect_same_snapshot(const ClusterSnapshot& a, const ClusterSnapshot& b) {
+  auto same_f64 = [](double x, double y) {
+    return (std::isnan(x) && std::isnan(y)) || x == y;
+  };
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_TRUE(same_f64(a.time, b.time));
+  EXPECT_EQ(a.livehosts, b.livehosts);
+  for (int i = 0; i < a.size(); ++i) {
+    const NodeSnapshot& x = a.nodes[static_cast<std::size_t>(i)];
+    const NodeSnapshot& y = b.nodes[static_cast<std::size_t>(i)];
+    EXPECT_EQ(x.spec.id, y.spec.id);
+    EXPECT_EQ(x.spec.hostname, y.spec.hostname);
+    EXPECT_EQ(x.spec.switch_id, y.spec.switch_id);
+    EXPECT_EQ(x.spec.core_count, y.spec.core_count);
+    EXPECT_TRUE(same_f64(x.spec.cpu_freq_ghz, y.spec.cpu_freq_ghz));
+    EXPECT_TRUE(same_f64(x.spec.total_mem_gb, y.spec.total_mem_gb));
+    EXPECT_EQ(x.valid, y.valid);
+    EXPECT_TRUE(same_f64(x.sample_time, y.sample_time));
+    EXPECT_TRUE(same_f64(x.cpu_load, y.cpu_load)) << "node " << i;
+    EXPECT_TRUE(same_f64(x.cpu_util, y.cpu_util));
+    EXPECT_TRUE(same_f64(x.mem_used_gb, y.mem_used_gb));
+    EXPECT_TRUE(same_f64(x.net_flow_mbps, y.net_flow_mbps));
+    EXPECT_EQ(x.users, y.users);
+    EXPECT_TRUE(same_f64(x.cpu_load_avg.five_min, y.cpu_load_avg.five_min));
+    EXPECT_TRUE(same_f64(x.mem_avail_avg.fifteen_min,
+                         y.mem_avail_avg.fifteen_min));
+  }
+  ASSERT_EQ(a.net.latency_us.size(), b.net.latency_us.size());
+  for (std::size_t u = 0; u < a.net.latency_us.size(); ++u) {
+    for (std::size_t v = 0; v < a.net.latency_us.size(); ++v) {
+      EXPECT_TRUE(same_f64(a.net.latency_us[u][v], b.net.latency_us[u][v]))
+          << "lat " << u << "," << v;
+      EXPECT_TRUE(same_f64(a.net.latency_5min_us[u][v],
+                           b.net.latency_5min_us[u][v]));
+      EXPECT_TRUE(
+          same_f64(a.net.bandwidth_mbps[u][v], b.net.bandwidth_mbps[u][v]));
+      EXPECT_TRUE(same_f64(a.net.peak_mbps[u][v], b.net.peak_mbps[u][v]));
+    }
+  }
+}
+
+TEST(SnapshotCodecTest, BinaryRoundTripsEveryField) {
+  std::vector<TestNode> nodes = nlarm::testing::idle_nodes(5);
+  nodes[1].cpu_load = 3.25;
+  nodes[2].live = false;
+  nodes[4].users = 7;
+  auto snap = make_snapshot(nodes, 123.0, 850.0, 1000.0);
+  snap.time = 777.5;
+  snap.version = 0x1234567890abcdefull;
+  snap.nodes[3].valid = false;
+  snap.nodes[0].spec.hostname = "rack 3 node 12";  // spaces survive binary
+  nlarm::testing::set_pair(snap, 1, 2, -1.0, -1.0);
+
+  const ClusterSnapshot loaded = decode_snapshot_binary(encode(snap));
+  expect_same_snapshot(snap, loaded);
+  // Unlike the text format, the binary header carries the version stamp.
+  EXPECT_EQ(loaded.version, 0x1234567890abcdefull);
+  EXPECT_EQ(loaded.usable_nodes(), snap.usable_nodes());
+}
+
+TEST(SnapshotCodecTest, NonFiniteAndSentinelValuesAreBitExact) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  auto snap = make_snapshot(nlarm::testing::idle_nodes(3));
+  snap.nodes[0].cpu_load = std::numeric_limits<double>::quiet_NaN();
+  snap.nodes[1].cpu_util = kInf;
+  snap.nodes[2].net_flow_mbps = -kInf;
+  snap.nodes[0].sample_time = -1.0;  // "never sampled" sentinel
+  nlarm::testing::set_pair(snap, 0, 2, -1.0, -1.0);  // "never measured"
+  snap.net.peak_mbps[0][2] = -1.0;
+  snap.net.peak_mbps[2][0] = -1.0;
+
+  const ClusterSnapshot loaded = decode_snapshot_binary(encode(snap));
+  EXPECT_TRUE(std::isnan(loaded.nodes[0].cpu_load));
+  EXPECT_EQ(loaded.nodes[1].cpu_util, kInf);
+  EXPECT_EQ(loaded.nodes[2].net_flow_mbps, -kInf);
+  EXPECT_DOUBLE_EQ(loaded.nodes[0].sample_time, -1.0);
+  EXPECT_DOUBLE_EQ(loaded.net.latency_us[0][2], -1.0);
+  EXPECT_DOUBLE_EQ(loaded.net.bandwidth_mbps[0][2], -1.0);
+  EXPECT_DOUBLE_EQ(loaded.net.peak_mbps[0][2], -1.0);
+}
+
+TEST(SnapshotCodecTest, TextAndBinaryAgreeOnMonitoredSnapshot) {
+  exp::Testbed::Options options;
+  options.seed = 23;
+  options.cluster.fast_nodes = 8;
+  options.cluster.slow_nodes = 4;
+  options.cluster.switches = 3;
+  auto testbed = exp::Testbed::make(options);
+  const ClusterSnapshot live = testbed->snapshot();
+
+  std::ostringstream text;
+  write_snapshot(text, live);
+  const ClusterSnapshot from_text = read_snapshot_bytes(text.str());
+  const ClusterSnapshot from_binary = decode_snapshot_binary(encode(live));
+  // max_digits10 text output round-trips doubles exactly, so both decoded
+  // snapshots must match the live one bit for bit.
+  expect_same_snapshot(live, from_text);
+  expect_same_snapshot(live, from_binary);
+}
+
+TEST(SnapshotCodecTest, BrokerDecidesIdenticallyFromEitherFormat) {
+  exp::Testbed::Options options;
+  options.seed = 31;
+  options.cluster.fast_nodes = 10;
+  options.cluster.slow_nodes = 6;
+  options.cluster.switches = 4;
+  auto testbed = exp::Testbed::make(options);
+  const ClusterSnapshot live = testbed->snapshot();
+
+  const std::string dir = ::testing::TempDir();
+  const std::string text_path = dir + "/nlarm_codec_parity.txt";
+  const std::string bin_path = dir + "/nlarm_codec_parity.bin";
+  ASSERT_TRUE(save_snapshot_file(text_path, live, SnapshotFormat::kText));
+  ASSERT_TRUE(save_snapshot_file(bin_path, live, SnapshotFormat::kBinary));
+
+  core::AllocationRequest request;
+  request.nprocs = 16;
+  request.ppn = 4;
+  request.job = core::JobWeights{0.3, 0.7};
+  core::NetworkLoadAwareAllocator alloc_text;
+  core::NetworkLoadAwareAllocator alloc_bin;
+  core::ResourceBroker broker_text(alloc_text);
+  core::ResourceBroker broker_bin(alloc_bin);
+  const core::BrokerDecision from_text =
+      broker_text.decide(load_snapshot_file(text_path), request);
+  const core::BrokerDecision from_binary =
+      broker_bin.decide(load_snapshot_file(bin_path), request);
+
+  EXPECT_EQ(from_text.action, from_binary.action);
+  EXPECT_EQ(from_text.allocation.nodes, from_binary.allocation.nodes);
+  EXPECT_EQ(from_text.allocation.procs_per_node,
+            from_binary.allocation.procs_per_node);
+  EXPECT_EQ(from_text.cluster_load_per_core, from_binary.cluster_load_per_core);
+  EXPECT_EQ(from_text.effective_capacity, from_binary.effective_capacity);
+  std::remove(text_path.c_str());
+  std::remove(bin_path.c_str());
+}
+
+TEST(SnapshotCodecTest, MmapAndBufferedLoadsAgree) {
+  auto snap = make_snapshot(nlarm::testing::idle_nodes(6), 99.0, 700.0, 941.0);
+  snap.time = 55.0;
+  const std::string path = ::testing::TempDir() + "/nlarm_codec_mmap.bin";
+  ASSERT_TRUE(save_snapshot_file(path, snap, SnapshotFormat::kBinary));
+  expect_same_snapshot(load_snapshot_file(path, /*use_mmap=*/true),
+                       load_snapshot_file(path, /*use_mmap=*/false));
+  std::remove(path.c_str());
+}
+
+// --- corrupted-file matrix ---
+
+// Every rejection must be a single-line diagnostic: these artifacts show
+// up in ops logs, and a multi-line dump per bad file drowns the one line
+// that says why.
+void expect_one_line_reject(const std::string& bytes) {
+  try {
+    (void)decode_snapshot_binary(bytes);
+    FAIL() << "corrupt artifact decoded successfully";
+  } catch (const util::CheckError& error) {
+    const std::string what = error.what();
+    EXPECT_EQ(std::count(what.begin(), what.end(), '\n'), 0) << what;
+    EXPECT_FALSE(what.empty());
+  }
+}
+
+TEST(SnapshotCodecTest, RejectsTruncatedHeader) {
+  const std::string bytes = encode(make_snapshot(nlarm::testing::idle_nodes(3)));
+  expect_one_line_reject(bytes.substr(0, kBinarySnapshotMagic.size() + 2));
+  expect_one_line_reject(bytes.substr(0, 4));
+  expect_one_line_reject("");
+}
+
+TEST(SnapshotCodecTest, RejectsBadMagic) {
+  std::string bytes = encode(make_snapshot(nlarm::testing::idle_nodes(3)));
+  bytes[1] ^= 0x20;
+  expect_one_line_reject(bytes);
+  expect_one_line_reject("#nlarm-snapb v9\n garbage");
+}
+
+TEST(SnapshotCodecTest, RejectsCrcMismatch) {
+  std::string bytes = encode(make_snapshot(nlarm::testing::idle_nodes(4)));
+  bytes[bytes.size() / 2] ^= 0x01;  // flip one payload bit
+  expect_one_line_reject(bytes);
+}
+
+TEST(SnapshotCodecTest, RejectsShortPairwiseBlock) {
+  // Cut inside the matrix section and re-seal with a valid CRC: the length
+  // check must catch what the checksum no longer can.
+  std::string bytes = encode(make_snapshot(nlarm::testing::idle_nodes(4)));
+  std::string cut = bytes.substr(0, bytes.size() - 4 - 64);
+  util::put_u32(cut, util::crc32(cut));
+  expect_one_line_reject(cut);
+}
+
+TEST(SnapshotCodecTest, TornBinaryWriteLeavesLastGoodFile) {
+  const std::string path = ::testing::TempDir() + "/nlarm_codec_torn.bin";
+  std::remove(path.c_str());
+  auto snap = make_snapshot(nlarm::testing::idle_nodes(4));
+  snap.time = 100.0;
+  ASSERT_TRUE(save_snapshot_file(path, snap, SnapshotFormat::kBinary));
+
+  snap.time = 200.0;
+  arm_torn_snapshot_write();
+  EXPECT_FALSE(save_snapshot_file(path, snap, SnapshotFormat::kBinary));
+  EXPECT_DOUBLE_EQ(load_snapshot_file(path).time, 100.0);
+
+  EXPECT_TRUE(save_snapshot_file(path, snap, SnapshotFormat::kBinary));
+  EXPECT_DOUBLE_EQ(load_snapshot_file(path).time, 200.0);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotCodecTest, TruncatedBinaryFileOnDiskIsRejected) {
+  auto snap = make_snapshot(nlarm::testing::idle_nodes(4));
+  const std::string bytes = encode(snap);
+  const std::string path = ::testing::TempDir() + "/nlarm_codec_trunc.bin";
+  {
+    std::ofstream file(path, std::ios::trunc | std::ios::binary);
+    file << bytes.substr(0, bytes.size() / 2);
+  }
+  EXPECT_THROW(load_snapshot_file(path), util::CheckError);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotCodecTest, FormatFlagParses) {
+  EXPECT_EQ(parse_snapshot_format("text"), SnapshotFormat::kText);
+  EXPECT_EQ(parse_snapshot_format("binary"), SnapshotFormat::kBinary);
+  EXPECT_THROW(parse_snapshot_format("protobuf"), util::CheckError);
+}
+
+}  // namespace
+}  // namespace nlarm::monitor

@@ -1,0 +1,310 @@
+// Delta append-log (`.nlarmd`): O(dirty) on-disk ingest. Replay must equal
+// the live store bit for bit, torn tails must be ignored and healed by
+// compaction, the compaction policy must bound the log, and a broker
+// following the log must decide exactly like one fed from the live store.
+#include "monitor/delta_log.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/allocator.h"
+#include "core/broker.h"
+#include "core/prepared.h"
+#include "monitor/persistence.h"
+#include "monitor/store.h"
+#include "test_helpers.h"
+#include "util/check.h"
+
+namespace nlarm::monitor {
+namespace {
+
+std::string log_path(const char* name) {
+  const std::string path = ::testing::TempDir() + "/" + name +
+                           std::string(kDeltaLogExtension);
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+  return path;
+}
+
+// A store with every record written once (so snapshots are fully valid).
+std::unique_ptr<MonitorStore> seeded_store(int n, double now = 10.0) {
+  auto store = std::make_unique<MonitorStore>(n);
+  store->write_livehosts(now, std::vector<bool>(static_cast<std::size_t>(n),
+                                                true));
+  for (int i = 0; i < n; ++i) {
+    NodeSnapshot record;
+    record.spec.id = i;
+    record.spec.hostname = "host" + std::to_string(i);
+    record.spec.core_count = 8;
+    record.spec.cpu_freq_ghz = 3.0;
+    record.spec.total_mem_gb = 16.0;
+    record.cpu_load = 0.1 * i;
+    store->write_node_record(now, record);
+  }
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      store->write_latency(now, u, v, 100.0 + u + v, 101.0 + u + v);
+      store->write_latency(now, v, u, 100.0 + u + v, 101.0 + u + v);
+      store->write_bandwidth(now, u, v, 900.0 - u - v, 941.0);
+      store->write_bandwidth(now, v, u, 900.0 - u - v, 941.0);
+    }
+  }
+  return store;
+}
+
+void expect_equal_state(const ClusterSnapshot& a, const ClusterSnapshot& b) {
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.version, b.version);
+  EXPECT_DOUBLE_EQ(a.time, b.time);
+  EXPECT_EQ(a.livehosts, b.livehosts);
+  for (int i = 0; i < a.size(); ++i) {
+    const auto& x = a.nodes[static_cast<std::size_t>(i)];
+    const auto& y = b.nodes[static_cast<std::size_t>(i)];
+    EXPECT_EQ(x.spec.hostname, y.spec.hostname);
+    EXPECT_EQ(x.valid, y.valid);
+    EXPECT_EQ(x.cpu_load, y.cpu_load) << "node " << i;
+    EXPECT_EQ(x.sample_time, y.sample_time);
+  }
+  EXPECT_EQ(a.net.latency_us, b.net.latency_us);
+  EXPECT_EQ(a.net.latency_5min_us, b.net.latency_5min_us);
+  EXPECT_EQ(a.net.bandwidth_mbps, b.net.bandwidth_mbps);
+  EXPECT_EQ(a.net.peak_mbps, b.net.peak_mbps);
+}
+
+TEST(DeltaLogTest, ReplayEqualsLiveStore) {
+  const std::string path = log_path("replay_equals");
+  auto store = seeded_store(5);
+  DeltaLogWriter writer(path);
+
+  double now = 10.0;
+  ASSERT_TRUE(writer.append(store->assemble(now), store->drain_delta()));
+  for (int epoch = 0; epoch < 7; ++epoch) {
+    now += 3.0;
+    NodeSnapshot record = store->node_record(epoch % 5);
+    record.cpu_load += 0.5;
+    store->write_node_record(now, record);
+    store->write_latency(now, epoch % 5, (epoch + 1) % 5, 60.0 + epoch, 61.0);
+    ASSERT_TRUE(writer.append(store->assemble(now), store->drain_delta()));
+  }
+
+  expect_equal_state(replay_delta_log(path), store->assemble(now));
+  std::remove(path.c_str());
+}
+
+TEST(DeltaLogTest, ReaderFollowsIncrementally) {
+  const std::string path = log_path("follows");
+  auto store = seeded_store(4);
+  DeltaLogWriter writer(path);
+  DeltaLogReader reader(path);
+
+  ASSERT_TRUE(writer.append(store->assemble(10.0), store->drain_delta()));
+  EXPECT_EQ(reader.poll(), 1);
+  const SnapshotDelta first = reader.drain_delta();
+  EXPECT_TRUE(first.full);  // a full frame can only promise a rebuild
+  const std::uint64_t v1 = reader.snapshot().version;
+
+  NodeSnapshot record = store->node_record(2);
+  record.cpu_load = 9.5;
+  store->write_node_record(13.0, record);
+  store->write_latency(13.0, 1, 3, 42.0, 43.0);
+  store->write_latency(13.0, 3, 1, 42.0, 43.0);
+  ASSERT_TRUE(writer.append(store->assemble(13.0), store->drain_delta()));
+
+  EXPECT_EQ(reader.poll(), 1);
+  const SnapshotDelta second = reader.drain_delta();
+  EXPECT_FALSE(second.requires_full_rebuild());
+  EXPECT_EQ(second.base_version, v1);
+  EXPECT_EQ(second.version, reader.snapshot().version);
+  ASSERT_EQ(second.dirty_nodes.size(), 1u);
+  EXPECT_EQ(second.dirty_nodes[0], 2);
+  ASSERT_EQ(second.dirty_pairs.size(), 1u);
+  EXPECT_EQ(second.dirty_pairs[0], std::make_pair(1, 3));
+  expect_equal_state(reader.snapshot(), store->assemble(13.0));
+
+  // Nothing new on disk: poll is a no-op and the drained delta is empty.
+  EXPECT_EQ(reader.poll(), 0);
+  EXPECT_TRUE(reader.drain_delta().empty());
+  std::remove(path.c_str());
+}
+
+TEST(DeltaLogTest, LivehostsChangeForcesAFullFrame) {
+  const std::string path = log_path("livehosts");
+  auto store = seeded_store(3);
+  DeltaLogWriter writer(path);
+  DeltaLogReader reader(path);
+  ASSERT_TRUE(writer.append(store->assemble(10.0), store->drain_delta()));
+  reader.poll();
+  (void)reader.drain_delta();
+
+  // A liveness flip changes the usable set's shape, so the writer promotes
+  // the epoch to a compaction (consumers must fully rebuild regardless).
+  store->write_livehosts(12.0, {true, false, true});
+  ASSERT_TRUE(writer.append(store->assemble(12.0), store->drain_delta()));
+  EXPECT_EQ(writer.compactions(), 2);
+  EXPECT_EQ(reader.poll(), 1);
+  const SnapshotDelta delta = reader.drain_delta();
+  EXPECT_TRUE(delta.full);
+  EXPECT_TRUE(delta.requires_full_rebuild());
+  EXPECT_FALSE(reader.snapshot().livehosts[1]);
+  std::remove(path.c_str());
+}
+
+TEST(DeltaLogTest, TornTailIsIgnoredAndHealedByCompaction) {
+  const std::string path = log_path("torn_tail");
+  auto store = seeded_store(4);
+  DeltaLogWriter writer(path);
+  DeltaLogReader reader(path);
+
+  ASSERT_TRUE(writer.append(store->assemble(10.0), store->drain_delta()));
+  EXPECT_EQ(reader.poll(), 1);
+  (void)reader.drain_delta();
+  const std::uint64_t good_version = reader.snapshot().version;
+
+  // The next append is torn mid-frame: the call fails, and the reader must
+  // stop cleanly at the partial tail without advancing past it.
+  NodeSnapshot record = store->node_record(0);
+  record.cpu_load = 5.0;
+  store->write_node_record(12.0, record);
+  arm_torn_snapshot_write();
+  EXPECT_FALSE(writer.append(store->assemble(12.0), store->drain_delta()));
+  EXPECT_EQ(reader.poll(), 0);
+  EXPECT_EQ(reader.snapshot().version, good_version);
+
+  // The writer heals by compacting on the next append; the reader detects
+  // the replaced file and replays the fresh full frame.
+  record.cpu_load = 6.0;
+  store->write_node_record(14.0, record);
+  ASSERT_TRUE(writer.append(store->assemble(14.0), store->drain_delta()));
+  EXPECT_EQ(writer.compactions(), 2);
+  EXPECT_GE(reader.poll(), 1);
+  EXPECT_TRUE(reader.drain_delta().full);
+  expect_equal_state(reader.snapshot(), store->assemble(14.0));
+  std::remove(path.c_str());
+}
+
+TEST(DeltaLogTest, CompactionPolicyBoundsTheLog) {
+  const std::string path = log_path("compaction");
+  auto store = seeded_store(4);
+  DeltaLogWriter::Options options;
+  options.compact_after_deltas = 2;
+  options.compact_bytes_ratio = 1e9;  // only the count trips
+  DeltaLogWriter writer(path, options);
+
+  double now = 10.0;
+  ASSERT_TRUE(writer.append(store->assemble(now), store->drain_delta()));
+  EXPECT_EQ(writer.compactions(), 1);
+  for (int epoch = 0; epoch < 6; ++epoch) {
+    now += 3.0;
+    NodeSnapshot record = store->node_record(epoch % 4);
+    record.cpu_load += 0.25;
+    store->write_node_record(now, record);
+    ASSERT_TRUE(writer.append(store->assemble(now), store->drain_delta()));
+  }
+  // full, d, d, full(compact), d, d, full(compact): 2 deltas per full.
+  EXPECT_EQ(writer.compactions(), 3);
+  expect_equal_state(replay_delta_log(path), store->assemble(now));
+  std::remove(path.c_str());
+}
+
+TEST(DeltaLogTest, GarbageAndMissingLogsAreHandled) {
+  const std::string missing = log_path("missing");
+  DeltaLogReader reader(missing);
+  EXPECT_EQ(reader.poll(), 0);
+  EXPECT_FALSE(reader.have_snapshot());
+  EXPECT_THROW(replay_delta_log(missing), util::CheckError);
+
+  const std::string garbage = log_path("garbage");
+  {
+    std::ofstream file(garbage, std::ios::binary);
+    file << "this is not a delta log, not even close";
+  }
+  DeltaLogReader garbage_reader(garbage);
+  EXPECT_EQ(garbage_reader.poll(), 0);
+  EXPECT_GE(garbage_reader.bad_frames_seen(), 1);
+  EXPECT_THROW(replay_delta_log(garbage), util::CheckError);
+  std::remove(garbage.c_str());
+}
+
+TEST(DeltaLogTest, BrokerIngestsLogIdenticallyToLiveStore) {
+  const std::string path = log_path("broker_parity");
+  auto store = seeded_store(6);
+  DeltaLogWriter writer(path);
+
+  core::AllocationRequest request;
+  request.nprocs = 8;
+  request.ppn = 2;
+  request.job = core::JobWeights{0.3, 0.7};
+  const core::RequestProfile profile = core::RequestProfile::of(request);
+
+  core::NetworkLoadAwareAllocator live_alloc;
+  core::ResourceBroker live_broker(live_alloc);
+  core::NetworkLoadAwareAllocator log_alloc;
+  core::ResourceBroker log_broker(log_alloc);
+  DeltaLogReader reader(path);
+
+  double now = 10.0;
+  for (int epoch = 0; epoch < 5; ++epoch) {
+    now += 3.0;
+    NodeSnapshot record = store->node_record(epoch % 6);
+    record.cpu_load += 0.4;
+    store->write_node_record(now, record);
+    store->write_latency(now, epoch % 6, (epoch + 2) % 6, 80.0 + epoch, 81.0);
+    store->write_latency(now, (epoch + 2) % 6, epoch % 6, 80.0 + epoch, 81.0);
+
+    auto snapshot = std::make_shared<const ClusterSnapshot>(
+        store->assemble(now));
+    const SnapshotDelta delta = store->drain_delta();
+    live_broker.refresh_epoch(snapshot, delta, profile);
+    ASSERT_TRUE(writer.append(*snapshot, delta));
+    EXPECT_EQ(log_broker.ingest_delta_log(reader, profile), 1);
+
+    const core::BrokerDecision live =
+        live_broker.decide(live_broker.pin_epoch(), request);
+    const core::BrokerDecision followed =
+        log_broker.decide(log_broker.pin_epoch(), request);
+    EXPECT_EQ(live.action, followed.action) << "epoch " << epoch;
+    EXPECT_EQ(live.allocation.nodes, followed.allocation.nodes);
+    EXPECT_EQ(live.allocation.procs_per_node,
+              followed.allocation.procs_per_node);
+    EXPECT_EQ(live.cluster_load_per_core, followed.cluster_load_per_core);
+    EXPECT_EQ(live.effective_capacity, followed.effective_capacity);
+  }
+  // No new frames: ingest publishes nothing and the epoch stays put.
+  const std::uint64_t epoch_before = log_broker.epoch();
+  EXPECT_EQ(log_broker.ingest_delta_log(reader, profile), 0);
+  EXPECT_EQ(log_broker.epoch(), epoch_before);
+  std::remove(path.c_str());
+}
+
+TEST(DeltaLogTest, StoreRestoreRehydratesEveryRecord) {
+  auto store = seeded_store(4);
+  store->write_livehosts(11.0, {true, true, false, true});
+  const ClusterSnapshot snap = store->assemble(11.0);
+
+  MonitorStore rebuilt(4);
+  rebuilt.restore(snap);
+  const ClusterSnapshot out = rebuilt.assemble(snap.time);
+  EXPECT_EQ(out.livehosts, snap.livehosts);
+  EXPECT_EQ(out.net.latency_us, snap.net.latency_us);
+  EXPECT_EQ(out.net.bandwidth_mbps, snap.net.bandwidth_mbps);
+  EXPECT_EQ(out.nodes[2].cpu_load, snap.nodes[2].cpu_load);
+  // Measured pairs are credited with the snapshot time; the diagonal (and
+  // anything never measured) stays "never written".
+  EXPECT_EQ(rebuilt.pair_staleness(snap.time, 0, 1), 0.0);
+  EXPECT_EQ(rebuilt.node_staleness(snap.time, 1),
+            snap.time - snap.nodes[1].sample_time);
+  // A restore invalidates incremental consumers exactly once.
+  SnapshotDelta delta = rebuilt.drain_delta();
+  EXPECT_TRUE(delta.full);
+
+  MonitorStore wrong_size(5);
+  EXPECT_THROW(wrong_size.restore(snap), util::CheckError);
+}
+
+}  // namespace
+}  // namespace nlarm::monitor

@@ -94,6 +94,9 @@ int main(int argc, char** argv) {
        {"topology-conf", "also print SLURM topology.conf"},
        {"snapshot", "decide offline from a saved snapshot file"},
        {"dump-snapshot", "save the monitored snapshot to a file and exit"},
+       {"snapshot-format",
+        "text|binary artifact format for --dump-snapshot (default text; "
+        "loading auto-detects either)"},
        {"metrics-out", "write Prometheus text exposition to this file"},
        {"audit-out", "append one decision-audit JSON line to this file"},
        {"serve-threads",
@@ -190,8 +193,10 @@ int main(int argc, char** argv) {
   }
 
   const std::string dump_path = parser.get_string("dump-snapshot", "");
+  const monitor::SnapshotFormat dump_format = monitor::parse_snapshot_format(
+      parser.get_string("snapshot-format", "text"));
   if (!dump_path.empty() && chaos_text.empty()) {
-    if (monitor::save_snapshot_file(dump_path, snapshot)) {
+    if (monitor::save_snapshot_file(dump_path, snapshot, dump_format)) {
       std::cerr << "snapshot written to " << dump_path << "\n";
       return 0;
     }
@@ -286,7 +291,7 @@ int main(int argc, char** argv) {
         std::cerr << "chaos decide failed: " << error.what() << "\n";
       }
       if (!dump_path.empty()) {
-        monitor::save_snapshot_file(dump_path, *tick_snapshot);
+        monitor::save_snapshot_file(dump_path, *tick_snapshot, dump_format);
       }
     }
     fallbacks = broker.fallback_decisions();
