@@ -1,0 +1,369 @@
+// Microbenchmarks for the tiled two-phase hierarchical hot path (§3.3.2 at
+// scale). The flat fast path is O(V² log V) per decide and carries a dense
+// V×V NL matrix — at V=16384 that is 2 GiB of pair state and a multi-second
+// decide. The tiled path holds O(G²) aggregates plus the few tiles a decide
+// actually touches, and runs phase 1 over G groups + phase 2 over the W
+// chosen-pool nodes. These benches pin the headline claim: decide() at
+// V=16384 lands in the same wall-clock band as the flat path at V=1024
+// (BM_FlatDecide/1024 is the reference row committed to BENCH_hier.json).
+//
+// Raw pair terms come from a procedural hash source, not dense matrices —
+// the whole point is that nothing at V=16384 may be O(V²) in memory. Tile
+// aggregates are computed in one O(V²)-time pass at setup (cached per V),
+// mirroring what PreparedBuilder's tiled full_build does over a snapshot.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "core/allocator.h"
+#include "core/compute_load.h"
+#include "core/hierarchical.h"
+#include "core/normalize.h"
+#include "core/prepared.h"
+#include "monitor/snapshot.h"
+#include "sim/rng.h"
+#include "util/tiled_matrix.h"
+
+using namespace nlarm;
+
+namespace {
+
+// One topology block per 128 nodes — the "switch" granularity the sweep
+// holds fixed while V grows, so G = V/128 ∈ {8, 32, 128}.
+constexpr std::size_t kBlockNodes = 128;
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double unit_double(std::uint64_t x) { return (x >> 11) * 0x1.0p-53; }
+
+// Deterministic pair terms as a hash of (u, v): same value ranges as the
+// dense synthetic snapshots (latency 50–600 µs, bandwidth complement
+// 0–900 Mbit/s), zero bytes of per-pair storage.
+class ProceduralPairSource final : public core::PairSource {
+ public:
+  explicit ProceduralPairSource(std::uint64_t seed) : seed_(seed) {}
+
+  Raw read(cluster::NodeId u, cluster::NodeId v) const override {
+    const auto a = static_cast<std::uint64_t>(u < v ? u : v);
+    const auto b = static_cast<std::uint64_t>(u < v ? v : u);
+    const std::uint64_t h = mix64(seed_ ^ (a << 32) ^ b);
+    Raw raw;
+    raw.lat = 50.0 + 550.0 * unit_double(h);
+    raw.comp = 900.0 * unit_double(mix64(h));
+    return raw;
+  }
+
+ private:
+  std::uint64_t seed_;
+};
+
+core::AllocationRequest standard_request(int nprocs) {
+  core::AllocationRequest request;
+  request.nprocs = nprocs;
+  request.ppn = 4;
+  request.job = core::JobWeights{0.3, 0.7};
+  return request;
+}
+
+// V nodes with per-node state but EMPTY net matrices: pair terms flow only
+// through the PairSource, never a dense snapshot section.
+std::shared_ptr<const monitor::ClusterSnapshot> netless_snapshot(
+    std::size_t v, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  auto snap = std::make_shared<monitor::ClusterSnapshot>();
+  snap->version = (seed << 24) | static_cast<std::uint64_t>(v);
+  snap->livehosts.assign(v, true);
+  snap->nodes.resize(v);
+  for (std::size_t i = 0; i < v; ++i) {
+    auto& node = snap->nodes[i];
+    node.spec.id = static_cast<cluster::NodeId>(i);
+    node.spec.hostname =
+        cluster::default_hostname(static_cast<cluster::NodeId>(i));
+    node.spec.switch_id = static_cast<std::int32_t>(i / kBlockNodes);
+    node.spec.core_count = 8;
+    node.spec.cpu_freq_ghz = 2.8;
+    node.spec.total_mem_gb = 16.0;
+    node.valid = true;
+    node.sample_time = 0.0;
+    const double load = rng.uniform(0.0, 6.0);
+    node.cpu_load = load;
+    node.cpu_load_avg = {load, load, load};
+    const double util = rng.uniform(0.0, 1.0);
+    node.cpu_util = util;
+    node.cpu_util_avg = {util, util, util};
+    const double flow = rng.uniform(0.0, 500.0);
+    node.net_flow_mbps = flow;
+    node.net_flow_avg = {flow, flow, flow};
+    node.mem_used_gb = rng.uniform(1.0, 12.0);
+    const double avail = 16.0 - node.mem_used_gb;
+    node.mem_avail_avg = {avail, avail, avail};
+    node.users = static_cast<int>(rng.uniform_int(0, 5));
+  }
+  return snap;
+}
+
+struct HierSetup {
+  std::shared_ptr<const monitor::ClusterSnapshot> snapshot;
+  std::shared_ptr<const ProceduralPairSource> source;
+  std::shared_ptr<core::TiledPairState> tiles;
+  core::PreparedSnapshot prepared;
+};
+
+// Hand-assembled tiled epoch: the same fields PreparedBuilder::build()
+// publishes, with tile aggregates and canonical scalars computed in one
+// pass over the procedural source. Cached per V — setup is O(V²) time (a
+// hash per pair) but O(G² + V) memory.
+const HierSetup& hier_setup(std::size_t v) {
+  static std::map<std::size_t, HierSetup>* cache =
+      new std::map<std::size_t, HierSetup>();
+  const auto it = cache->find(v);
+  if (it != cache->end()) {
+    return it->second;
+  }
+
+  HierSetup s;
+  s.snapshot = netless_snapshot(v, 42);
+  s.source = std::make_shared<ProceduralPairSource>(0x746c6573ULL);
+
+  const core::AllocationRequest request = standard_request(32);
+  core::PreparedSnapshot& p = s.prepared;
+  p.snapshot = s.snapshot;
+  p.profile = core::RequestProfile::of(request);
+  p.version = s.snapshot->version;
+  p.usable.resize(v);
+  std::iota(p.usable.begin(), p.usable.end(), cluster::NodeId{0});
+  p.cl = core::rescale_unit_mean(
+      core::compute_loads(*s.snapshot, p.usable, p.profile.compute_weights));
+  p.pc = core::effective_process_counts(*s.snapshot, p.usable, p.profile.ppn);
+  p.pos_of.assign(v, -1);
+  for (std::size_t i = 0; i < v; ++i) {
+    p.pos_of[i] = static_cast<std::int32_t>(i);
+  }
+  double load_sum = 0.0;
+  double core_sum = 0.0;
+  for (const cluster::NodeId id : p.usable) {
+    const monitor::NodeSnapshot& node =
+        s.snapshot->nodes[static_cast<std::size_t>(id)];
+    load_sum += node.cpu_load_avg.one_min;
+    core_sum += static_cast<double>(node.spec.core_count);
+  }
+  p.load_per_core = core_sum > 0.0 ? load_sum / core_sum : 0.0;
+  p.effective_capacity = 0;
+  for (const int c : p.pc) p.effective_capacity += c;
+
+  util::BlockPartition part = util::BlockPartition::fixed(v, kBlockNodes);
+  std::vector<double> tile_lat(part.tile_count(), 0.0);
+  std::vector<double> tile_comp(part.tile_count(), 0.0);
+  std::vector<std::uint64_t> tile_pairs(part.tile_count(), 0);
+  double lat_sum = 0.0;
+  double comp_sum = 0.0;
+  for (std::size_t i = 0; i < v; ++i) {
+    const std::size_t bi = part.block_of(i);
+    for (std::size_t j = i + 1; j < v; ++j) {
+      const core::PairSource::Raw raw =
+          s.source->read(p.usable[i], p.usable[j]);
+      const std::size_t t = part.tile_index(bi, part.block_of(j));
+      tile_lat[t] += raw.lat;
+      tile_comp[t] += raw.comp;
+      ++tile_pairs[t];
+      lat_sum += raw.lat;
+      comp_sum += raw.comp;
+    }
+  }
+  const std::size_t pairs = v * (v - 1) / 2;
+
+  s.tiles = std::make_shared<core::TiledPairState>();
+  s.tiles->partition = part;
+  s.tiles->weights = p.profile.network_weights;
+  s.tiles->scalars = core::detail::compute_nl_scalars(
+      lat_sum, comp_sum, /*lat_missing=*/0, /*comp_missing=*/0, pairs,
+      p.profile.network_weights);
+  s.tiles->nodes = p.usable;
+  s.tiles->source = s.source;
+  s.tiles->tiles.resize(part.tile_count());
+  for (std::size_t t = 0; t < part.tile_count(); ++t) {
+    const double n = static_cast<double>(tile_pairs[t]);
+    s.tiles->tiles[t] = {tile_pairs[t] > 0 ? tile_lat[t] / n : 0.0,
+                         tile_pairs[t] > 0 ? tile_comp[t] / n : 0.0,
+                         tile_pairs[t]};
+  }
+  p.tiles = s.tiles;
+  p.nl = nullptr;  // above dense_nl_limit: decides go through the tiles
+
+  return cache->emplace(v, std::move(s)).first->second;
+}
+
+// Steady-state serving: many decides against one published epoch, tile
+// cache warm after the first. This is the headline number the acceptance
+// bar compares against BM_FlatDecide/1024.
+void BM_TwoPhaseDecide(benchmark::State& state) {
+  const auto v = static_cast<std::size_t>(state.range(0));
+  const HierSetup& s = hier_setup(v);
+  const core::AllocationRequest request = standard_request(32);
+  core::HierarchicalOptions options;
+  options.two_phase_min_nodes = 0;  // prune whenever G > 1
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::allocate_two_phase(s.prepared, request, options));
+  }
+  core::HierStats hier;
+  core::allocate_two_phase(s.prepared, request, options,
+                           core::GenerationOptions{}, nullptr, &hier);
+  state.counters["groups"] = static_cast<double>(hier.groups);
+  state.counters["pool_nodes"] = static_cast<double>(hier.pool_nodes);
+  state.counters["pair_state_MB"] =
+      static_cast<double>(s.tiles->memory_bytes()) / (1024.0 * 1024.0);
+  state.counters["dense_MB"] =
+      static_cast<double>(v * v * sizeof(double)) / (1024.0 * 1024.0);
+  state.SetComplexityN(static_cast<std::int64_t>(v));
+}
+BENCHMARK(BM_TwoPhaseDecide)->Arg(1024)->Arg(4096)->Arg(16384);
+
+// First decide against a freshly published epoch: the tile cache starts
+// cold, so this includes materializing the chosen blocks' tiles from the
+// pair source (the per-epoch one-off the warm bench amortizes away).
+void BM_TwoPhaseDecideColdTiles(benchmark::State& state) {
+  const auto v = static_cast<std::size_t>(state.range(0));
+  const HierSetup& s = hier_setup(v);
+  const core::AllocationRequest request = standard_request(32);
+  core::HierarchicalOptions options;
+  options.two_phase_min_nodes = 0;
+  core::PreparedSnapshot prepared = s.prepared;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto fresh = std::make_shared<core::TiledPairState>();
+    fresh->partition = s.tiles->partition;
+    fresh->weights = s.tiles->weights;
+    fresh->tiles = s.tiles->tiles;
+    fresh->scalars = s.tiles->scalars;
+    fresh->nodes = s.tiles->nodes;
+    fresh->source = s.tiles->source;
+    prepared.tiles = std::move(fresh);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(
+        core::allocate_two_phase(prepared, request, options));
+  }
+}
+BENCHMARK(BM_TwoPhaseDecideColdTiles)->Arg(1024)->Arg(4096)->Arg(16384);
+
+// Monitor churn against the tiled accumulators: swap one pair's
+// contribution and re-derive the scalars — what a SnapshotDelta apply pays
+// per dirty pair in tiled mode.
+void BM_TilePatch(benchmark::State& state) {
+  const auto v = static_cast<std::size_t>(state.range(0));
+  struct PatchSetup {
+    std::shared_ptr<const ProceduralPairSource> source;
+    std::vector<cluster::NodeId> nodes;
+    core::detail::TiledNlState state;
+  };
+  static std::map<std::size_t, std::unique_ptr<PatchSetup>>* cache =
+      new std::map<std::size_t, std::unique_ptr<PatchSetup>>();
+  auto it = cache->find(v);
+  if (it == cache->end()) {
+    auto setup = std::make_unique<PatchSetup>();
+    setup->source = std::make_shared<ProceduralPairSource>(0x746c6573ULL);
+    setup->nodes.resize(v);
+    std::iota(setup->nodes.begin(), setup->nodes.end(), cluster::NodeId{0});
+    setup->state.full_build(*setup->source, setup->nodes,
+                            util::BlockPartition::fixed(v, kBlockNodes),
+                            core::NetworkLoadWeights{});
+    it = cache->emplace(v, std::move(setup)).first;
+  }
+  PatchSetup& ps = *it->second;
+  std::size_t k = 0;
+  for (auto _ : state) {
+    // Identical old/new source: the patch does its full read-sub-read-add
+    // work while the accumulators stay exact across iterations.
+    const std::size_t i = k % (v - 1);
+    const std::size_t j = i + 1 + (mix64(k) % (v - i - 1));
+    ps.state.patch_pair(*ps.source, *ps.source, ps.nodes, i, j);
+    ps.state.refresh_dirty();
+    ++k;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TilePatch)->Arg(1024)->Arg(16384);
+
+// Reference row for the acceptance bar: the dense flat path at V=1024,
+// same shape as micro_allocator's BM_FullAllocation/1024.
+monitor::ClusterSnapshot dense_snapshot(int n, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  monitor::ClusterSnapshot snap;
+  snap.version = (seed << 16) | static_cast<std::uint64_t>(n);
+  snap.livehosts.assign(static_cast<std::size_t>(n), true);
+  snap.nodes.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    auto& node = snap.nodes[static_cast<std::size_t>(i)];
+    node.spec.id = i;
+    node.spec.hostname = cluster::default_hostname(i);
+    node.spec.core_count = rng.chance(0.5) ? 8 : 12;
+    node.spec.cpu_freq_ghz = node.spec.core_count == 8 ? 2.8 : 4.6;
+    node.spec.total_mem_gb = 16.0;
+    node.valid = true;
+    node.sample_time = 0.0;
+    const double load = rng.uniform(0.0, 6.0);
+    node.cpu_load = load;
+    node.cpu_load_avg = {load, load, load};
+    const double util = rng.uniform(0.0, 1.0);
+    node.cpu_util = util;
+    node.cpu_util_avg = {util, util, util};
+    const double flow = rng.uniform(0.0, 500.0);
+    node.net_flow_mbps = flow;
+    node.net_flow_avg = {flow, flow, flow};
+    node.mem_used_gb = rng.uniform(1.0, 12.0);
+    const double avail = 16.0 - node.mem_used_gb;
+    node.mem_avail_avg = {avail, avail, avail};
+    node.users = static_cast<int>(rng.uniform_int(0, 5));
+  }
+  snap.net.latency_us = monitor::make_matrix(static_cast<std::size_t>(n), 0.0);
+  snap.net.latency_5min_us =
+      monitor::make_matrix(static_cast<std::size_t>(n), 0.0);
+  snap.net.bandwidth_mbps =
+      monitor::make_matrix(static_cast<std::size_t>(n), 0.0);
+  snap.net.peak_mbps = monitor::make_matrix(static_cast<std::size_t>(n), 0.0);
+  for (int u = 0; u < n; ++u) {
+    for (int w = u + 1; w < n; ++w) {
+      const double lat = rng.uniform(50.0, 600.0);
+      const double bw = rng.uniform(100.0, 1000.0);
+      const auto uu = static_cast<std::size_t>(u);
+      const auto ww = static_cast<std::size_t>(w);
+      snap.net.latency_us[uu][ww] = snap.net.latency_us[ww][uu] = lat;
+      snap.net.latency_5min_us[uu][ww] = snap.net.latency_5min_us[ww][uu] =
+          lat;
+      snap.net.bandwidth_mbps[uu][ww] = snap.net.bandwidth_mbps[ww][uu] = bw;
+      snap.net.peak_mbps[uu][ww] = snap.net.peak_mbps[ww][uu] = 1000.0;
+    }
+  }
+  return snap;
+}
+
+void BM_FlatDecide(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto snap = dense_snapshot(n, 42);
+  const auto request = standard_request(32);
+  core::NetworkLoadAwareAllocator allocator;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(allocator.allocate(snap, request));
+  }
+  state.counters["dense_MB"] = static_cast<double>(
+                                   static_cast<std::size_t>(n) *
+                                   static_cast<std::size_t>(n) *
+                                   sizeof(double)) /
+                               (1024.0 * 1024.0);
+}
+BENCHMARK(BM_FlatDecide)->Arg(1024);
+
+}  // namespace
+
+#include "bench_main.h"
+NLARM_BENCHMARK_MAIN()

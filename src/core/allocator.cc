@@ -33,6 +33,10 @@ void annotate_allocation(Allocation& allocation,
   allocation.avg_cpu_load =
       load_sum / static_cast<double>(allocation.nodes.size());
 
+  // A snapshot without pairwise matrices (tiled benches feed pair data
+  // through a PairSource instead) has no network diagnostics to annotate.
+  if (snapshot.net.latency_us.empty()) return;
+
   // Walks the FlatMatrix views directly with one row-pointer hoist per
   // outer node; same reads and accumulation order as the former per-pair
   // pair_metrics() calls, so diagnostics are unchanged bit for bit.

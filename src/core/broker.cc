@@ -186,7 +186,11 @@ void ResourceBroker::refresh_epoch(
     const RequestProfile& profile) {
   std::lock_guard<std::mutex> lock(builder_mutex_);
   if (!builder_.has_value() || !(builder_->profile() == profile)) {
-    builder_.emplace(profile);
+    if (hierarchy_.has_value()) {
+      builder_.emplace(profile, tiling_);
+    } else {
+      builder_.emplace(profile);
+    }
   }
   builder_->rebuild(std::move(snapshot));
   publisher_.publish(builder_->build());
@@ -197,7 +201,11 @@ bool ResourceBroker::refresh_epoch(
     const monitor::SnapshotDelta& delta, const RequestProfile& profile) {
   std::lock_guard<std::mutex> lock(builder_mutex_);
   if (!builder_.has_value() || !(builder_->profile() == profile)) {
-    builder_.emplace(profile);
+    if (hierarchy_.has_value()) {
+      builder_.emplace(profile, tiling_);
+    } else {
+      builder_.emplace(profile);
+    }
   }
   const bool incremental = builder_->update(std::move(snapshot), delta);
   publisher_.publish(builder_->build());
@@ -220,6 +228,17 @@ void ResourceBroker::set_degradation(const DegradationPolicy& policy) {
   degradation_ = policy;
 }
 
+void ResourceBroker::set_hierarchy(const HierarchicalOptions& options,
+                                   const TilingOptions& tiling) {
+  options.validate();
+  std::lock_guard<std::mutex> lock(builder_mutex_);
+  hierarchy_ = options;
+  tiling_ = tiling;
+  // Any existing builder holds flat (or differently-tiled) state; drop it so
+  // the next refresh constructs the tiled one.
+  builder_.reset();
+}
+
 void ResourceBroker::refresh_epoch(
     std::shared_ptr<const monitor::ClusterSnapshot> snapshot,
     const monitor::StalenessView& staleness, const RequestProfile& profile) {
@@ -229,7 +248,11 @@ void ResourceBroker::refresh_epoch(
   if (!degrader_.has_value()) degrader_.emplace(*degradation_);
   DegradationOutcome out = degrader_->apply(std::move(snapshot), staleness);
   if (!builder_.has_value() || !(builder_->profile() == profile)) {
-    builder_.emplace(profile);
+    if (hierarchy_.has_value()) {
+      builder_.emplace(profile, tiling_);
+    } else {
+      builder_.emplace(profile);
+    }
   }
   builder_->rebuild(std::move(out.snapshot));
   auto built = builder_->build();
@@ -249,7 +272,11 @@ bool ResourceBroker::refresh_epoch(
   if (!degrader_.has_value()) degrader_.emplace(*degradation_);
   DegradationOutcome out = degrader_->apply(std::move(snapshot), staleness);
   if (!builder_.has_value() || !(builder_->profile() == profile)) {
-    builder_.emplace(profile);
+    if (hierarchy_.has_value()) {
+      builder_.emplace(profile, tiling_);
+    } else {
+      builder_.emplace(profile);
+    }
   }
   bool incremental = false;
   if (out.quarantine_changed) {
@@ -301,9 +328,16 @@ BrokerDecision ResourceBroker::decide_prepared(
     NLARM_DEBUG << "broker verdict (epoch " << prepared.epoch << "): wait — "
                 << decision.reason;
   } else {
-    decision.allocation =
-        allocate_prepared(prepared, request, epoch_generation_options_,
-                          &stats, pc_override, starts);
+    if (hierarchy_.has_value() && prepared.tiles != nullptr) {
+      decision.allocation =
+          allocate_two_phase(prepared, request, *hierarchy_,
+                             epoch_generation_options_, &stats,
+                             /*hier=*/nullptr, pc_override, starts);
+    } else {
+      decision.allocation =
+          allocate_prepared(prepared, request, epoch_generation_options_,
+                            &stats, pc_override, starts);
+    }
     decision.reason = util::format(
         "allocated %d node(s) via %s", decision.allocation.node_count(),
         decision.allocation.policy.c_str());

@@ -28,6 +28,7 @@
 #include "core/allocator.h"
 #include "core/degrade.h"
 #include "core/epoch.h"
+#include "core/hierarchical.h"
 #include "core/prepared.h"
 #include "monitor/delta_log.h"
 #include "monitor/snapshot_delta.h"
@@ -117,6 +118,17 @@ class ResourceBroker {
       std::shared_ptr<const monitor::ClusterSnapshot> snapshot,
       const monitor::SnapshotDelta& delta,
       const monitor::StalenessView& staleness, const RequestProfile& profile);
+
+  // --- tiled two-phase hierarchy (core/hierarchical.h) ---
+
+  /// Enables tiled serving on the epoch path: the builder keeps pair state
+  /// per topology tile (O(G²) memory instead of O(V²)), epochs publish a
+  /// TiledPairState, and decide(pin)/decide_batch() go through
+  /// allocate_two_phase. Set before the first refresh_epoch (same contract
+  /// as set_degradation); a profile-change builder reset picks it up too.
+  void set_hierarchy(const HierarchicalOptions& options,
+                     const TilingOptions& tiling = {});
+  bool hierarchy_enabled() const { return hierarchy_.has_value(); }
 
   /// Current epoch counter (0 = nothing published yet).
   std::uint64_t epoch() const { return publisher_.epoch(); }
@@ -239,6 +251,8 @@ class ResourceBroker {
   obs::AuditLog* audit_log_ = nullptr;
 
   std::optional<DegradationPolicy> degradation_;
+  std::optional<HierarchicalOptions> hierarchy_;
+  TilingOptions tiling_;
 
   std::mutex builder_mutex_;  ///< serializes refresh_epoch callers
   std::optional<Degrader> degrader_;  ///< under builder_mutex_

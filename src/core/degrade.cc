@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 
 #include "obs/catalog.h"
 #include "util/check.h"
@@ -19,6 +20,9 @@ void DegradationPolicy::validate() const {
       << "pair staleness budget must be positive";
   NLARM_CHECK(pair_penalty >= 1.0) << "pair penalty must be >= 1";
   NLARM_CHECK(max_epoch_age_s > 0.0) << "max epoch age must be positive";
+  NLARM_CHECK(block_quarantine_fraction > 0.0 &&
+              block_quarantine_fraction <= 1.0)
+      << "block quarantine fraction must be in (0, 1]";
 }
 
 Degrader::Degrader(DegradationPolicy policy) : policy_(policy) {
@@ -28,8 +32,10 @@ Degrader::Degrader(DegradationPolicy policy) : policy_(policy) {
 void Degrader::reset(std::size_t n) {
   n_ = n;
   node_quarantined_.assign(n, 0);
+  block_overlay_.assign(n, 0);
   pair_fallback_.assign(n * n, 0);
   quarantined_count_ = 0;
+  block_overlay_count_ = 0;
   pair_fallback_count_ = 0;
 }
 
@@ -76,6 +82,49 @@ DegradationOutcome Degrader::apply(
     }
   }
 
+  // --- block (switch) quarantine overlay ---
+  // When most of a switch's usable nodes went stale together, the survivors
+  // are probably reachable only on paper; take the whole block out. The
+  // overlay is recomputed from the node states every apply(), so readmitting
+  // the stale nodes dissolves it automatically.
+  {
+    std::map<cluster::SwitchId, std::pair<std::size_t, std::size_t>> blocks;
+    for (std::size_t id = 0; id < n; ++id) {
+      if (!snapshot->livehosts[id] || !snapshot->nodes[id].valid) continue;
+      auto& [eligible, flagged] = blocks[snapshot->nodes[id].spec.switch_id];
+      ++eligible;
+      if (node_quarantined_[id]) ++flagged;
+    }
+    std::size_t overlay_count = 0;
+    for (std::size_t id = 0; id < n; ++id) {
+      const bool usable = snapshot->livehosts[id] && snapshot->nodes[id].valid;
+      bool overlay = false;
+      if (usable && !node_quarantined_[id]) {
+        const auto& [eligible, flagged] =
+            blocks[snapshot->nodes[id].spec.switch_id];
+        overlay = flagged > 0 &&
+                  static_cast<double>(flagged) >=
+                      policy_.block_quarantine_fraction *
+                          static_cast<double>(eligible);
+      }
+      const bool was = block_overlay_[id] != 0;
+      if (overlay != was) {
+        block_overlay_[id] = overlay ? 1 : 0;
+        outcome.quarantine_changed = true;
+        if (overlay) {
+          obs::metrics::degrade_block_quarantine_events().inc();
+          NLARM_INFO << "degrade: block-quarantined node " << id
+                     << " (switch " << snapshot->nodes[id].spec.switch_id
+                     << " mostly stale)";
+        } else {
+          NLARM_INFO << "degrade: block-readmitted node " << id;
+        }
+      }
+      if (overlay) ++overlay_count;
+    }
+    block_overlay_count_ = overlay_count;
+  }
+
   // --- pair fallback tracking (unordered, u < v) ---
   for (std::size_t u = 0; u < n; ++u) {
     for (std::size_t v = u + 1; v < n; ++v) {
@@ -95,14 +144,18 @@ DegradationOutcome Degrader::apply(
     }
   }
 
-  outcome.quarantined = quarantined_count_;
+  outcome.quarantined = quarantined_count_ + block_overlay_count_;
+  outcome.block_quarantined = block_overlay_count_;
   outcome.pair_fallbacks = pair_fallback_count_;
   obs::metrics::degrade_quarantined_nodes().set(
       static_cast<double>(quarantined_count_));
+  obs::metrics::degrade_block_quarantined_nodes().set(
+      static_cast<double>(block_overlay_count_));
   obs::metrics::degrade_pair_fallbacks().set(
       static_cast<double>(pair_fallback_count_));
 
-  if (quarantined_count_ == 0 && pair_fallback_count_ == 0) {
+  if (quarantined_count_ == 0 && block_overlay_count_ == 0 &&
+      pair_fallback_count_ == 0) {
     // Nothing to rewrite: pass the input through untouched so fresh-data
     // epochs stay bit-identical to the undegraded pipeline, copy-free.
     outcome.snapshot = std::move(snapshot);
@@ -111,7 +164,9 @@ DegradationOutcome Degrader::apply(
 
   auto copy = std::make_shared<monitor::ClusterSnapshot>(*snapshot);
   for (std::size_t id = 0; id < n; ++id) {
-    if (node_quarantined_[id]) copy->livehosts[id] = false;
+    if (node_quarantined_[id] || block_overlay_[id]) {
+      copy->livehosts[id] = false;
+    }
   }
   for (std::size_t u = 0; u < n; ++u) {
     for (std::size_t v = u + 1; v < n; ++v) {

@@ -47,6 +47,12 @@ struct DegradationPolicy {
   /// decide() falls back to the last-good epoch when the current one is
   /// poisoned, but refuses once that epoch is older than this.
   double max_epoch_age_s = 120.0;
+  /// Block (switch) quarantine: once this fraction of a switch's usable
+  /// nodes is stale-quarantined, the *remaining* members are quarantined
+  /// too — a mostly-dark rack usually means the switch (or its daemon
+  /// uplink) is the problem, not the survivors. In (0, 1]; the default 1.0
+  /// never triggers on a partial outage, so the overlay is opt-in.
+  double block_quarantine_fraction = 1.0;
 
   void validate() const;
 };
@@ -56,7 +62,8 @@ struct DegradationPolicy {
 struct DegradationOutcome {
   std::shared_ptr<const monitor::ClusterSnapshot> snapshot;
   bool degraded = false;          ///< anything was rewritten
-  std::size_t quarantined = 0;    ///< nodes currently quarantined
+  std::size_t quarantined = 0;    ///< nodes currently quarantined (incl. block overlay)
+  std::size_t block_quarantined = 0;  ///< nodes out via the block overlay only
   std::size_t pair_fallbacks = 0; ///< unordered pairs on the 5-min fallback
   /// Quarantine membership changed since the previous apply() — the usable
   /// set's shape moved, so incremental prepared updates must rebuild.
@@ -90,8 +97,12 @@ class Degrader {
   DegradationPolicy policy_;
   std::size_t n_ = 0;
   std::vector<char> node_quarantined_;
+  /// Block-overlay quarantine, recomputed from scratch each apply() (it is
+  /// a pure function of the node states — no hysteresis of its own).
+  std::vector<char> block_overlay_;
   std::vector<char> pair_fallback_;  ///< unordered (u,v), u<v, at u*n+v
   std::size_t quarantined_count_ = 0;
+  std::size_t block_overlay_count_ = 0;
   std::size_t pair_fallback_count_ = 0;
 };
 

@@ -7,26 +7,83 @@
 // Two levels:
 //  1. nodes are grouped by topology (their switch); each group gets an
 //     aggregate compute load and capacity, and each group pair an aggregate
-//     network load (mean over a sample of cross pairs);
+//     network load (from the tiled pair state's per-tile means, or from a
+//     seeded sample of cross pairs in measurement-frugal mode);
 //  2. Algorithms 1+2 run over *groups* to pick a group subset, then over
 //     the nodes of the chosen groups only.
 //
 // Complexity drops from O(V² log V) to O(G² log G + W² log W) where W is
 // the chosen groups' node count, and — on the real system — only O(G²)
 // inter-group probes would be needed instead of O(V²).
+//
+// allocate_two_phase() is the serving-stack hot path: it consumes the
+// immutable TiledPairState a tiled PreparedBuilder publishes with each
+// epoch, so decide() at V=16384 touches O(G²) aggregates plus the W×W
+// pair values of the chosen blocks instead of a dense V×V matrix.
+//
+// Bit-identity contract: in the *covering* regime — phase 1 selects every
+// block (G == 1, or the cluster is below two_phase_min_nodes) — the result
+// is bit-identical to the flat fast path over the same epoch, because
+// select_best_candidate normalizes C/N over the candidate set and the
+// covering pool reproduces that set exactly, with tile-materialized NL
+// values equal to the dense matrix bit for bit. Once pruning engages the
+// candidate set genuinely shrinks, which is the point.
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/allocator.h"
+#include "core/prepared.h"
 
 namespace nlarm::core {
 
 struct HierarchicalOptions {
   /// Cross-group pair sample size per group pair when aggregating network
-  /// load (0 = all pairs; the real deployment would probe only this many).
+  /// load from a raw snapshot (0 = exact tiled aggregation over all pairs;
+  /// the real deployment would probe only this many). Sampling is driven by
+  /// a seeded RNG forked per group pair, so runs are reproducible.
   int pair_sample = 4;
+  /// Root seed for the pair-sample streams.
+  std::uint64_t sample_seed = 0x6e6c61726dULL;  // "nlarm"
+  /// Phase-1 pruning engages only when the usable-node count is at least
+  /// this (and there is more than one block). 0 = always prune; set it
+  /// large to force the covering regime (bit-identical to the flat path).
+  std::size_t two_phase_min_nodes = 0;
+  /// Standalone-allocator partition override: 0 = one block per switch,
+  /// > 0 = fixed-size blocks over the usable set.
+  std::size_t block_size = 0;
+
+  void validate() const;
 };
+
+/// Diagnostics from one two-phase decide.
+struct HierStats {
+  bool pruned = false;             ///< phase 1 actually narrowed the pool
+  std::size_t groups = 0;          ///< blocks in the partition
+  std::size_t chosen_groups = 0;   ///< blocks surviving phase 1
+  std::size_t pool_nodes = 0;      ///< W — nodes entering phase 2
+  std::vector<std::size_t> chosen_blocks;  ///< phase-1 winners (block idx)
+  std::size_t tiles_materialized = 0;  ///< dense tiles filled this decide
+  std::size_t tile_cache_hits = 0;     ///< tiles served from the epoch cache
+  double phase1_seconds = 0.0;
+  double phase2_seconds = 0.0;
+};
+
+/// Two-phase Algorithms 1+2 against an immutable tiled epoch — the
+/// hierarchical decide() hot path. Requires prepared.tiles != nullptr (a
+/// tiled PreparedBuilder). `pc_override`/`starts` have allocate_prepared
+/// semantics (batch admission); starts are working-set positions and are
+/// intersected with the phase-1 pool. Thread-safe against one epoch.
+Allocation allocate_two_phase(const PreparedSnapshot& prepared,
+                              const AllocationRequest& request,
+                              const HierarchicalOptions& options,
+                              const GenerationOptions& gen = {},
+                              AllocStats* stats = nullptr,
+                              HierStats* hier = nullptr,
+                              std::span<const int> pc_override = {},
+                              std::span<const std::size_t> starts = {});
 
 /// A topology group (one per switch) with its aggregates.
 struct NodeGroup {
@@ -36,6 +93,11 @@ struct NodeGroup {
   int capacity = 0;           ///< Σ pc over member nodes
 };
 
+/// Snapshot-facing hierarchical allocator. pair_sample == 0 runs the exact
+/// tiled two-phase path (phase-1 aggregates from exact per-tile
+/// accumulators); pair_sample > 0 aggregates group pairs from a seeded
+/// sample instead — the measurement-frugal deployment mode, O(G²·s) probe
+/// reads instead of O(V²).
 class HierarchicalAllocator : public Allocator {
  public:
   explicit HierarchicalAllocator(HierarchicalOptions options = {});
@@ -44,16 +106,20 @@ class HierarchicalAllocator : public Allocator {
   Allocation allocate(const monitor::ClusterSnapshot& snapshot,
                       const AllocationRequest& request) override;
 
-  /// Groups formed during the last allocate() (diagnostics).
+  /// Groups formed during the last allocate() (diagnostics). With the
+  /// default switch partition these are index-aligned with the phase-1
+  /// blocks (both orders ascend by switch id).
   const std::vector<NodeGroup>& last_groups() const { return groups_; }
   /// Groups chosen at level 1 during the last allocate().
   const std::vector<std::size_t>& last_chosen_groups() const {
     return chosen_; }
+  const HierStats& last_hier_stats() const { return stats_; }
 
  private:
   HierarchicalOptions options_;
   std::vector<NodeGroup> groups_;
   std::vector<std::size_t> chosen_;
+  HierStats stats_;
 };
 
 /// Partitions the usable nodes of a snapshot by switch id.

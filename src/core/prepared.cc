@@ -58,6 +58,16 @@ void ExactSum::accumulate(double v, bool negate) {
   }
 }
 
+void ExactSum::add(const ExactSum& other) {
+  unsigned __int128 carry = 0;
+  for (std::size_t l = 0; l < limbs_.size(); ++l) {
+    const unsigned __int128 sum = static_cast<unsigned __int128>(limbs_[l]) +
+                                  other.limbs_[l] + carry;
+    limbs_[l] = static_cast<std::uint64_t>(sum);
+    carry = sum >> 64;
+  }
+}
+
 double ExactSum::to_double() const {
   return std::ldexp(static_cast<double>(limbs_[3]), 112) +
          std::ldexp(static_cast<double>(limbs_[2]), 48) +
@@ -152,51 +162,56 @@ void NlState::patch_pair(const monitor::ClusterSnapshot& snapshot,
 
 void NlState::refresh_dirty() { recompute_scalars(); }
 
-void NlState::recompute_scalars() {
-  // The totals come out of the exact accumulators — order-independent, so
-  // the same whether every pair was just re-accumulated (full build) or a
-  // few contributions were swapped in place (incremental). That identity is
-  // what makes the two paths bit-identical.
-  const double lat_sum = lat_acc_.to_double();
-  const double comp_sum = comp_acc_.to_double();
-  const std::uint64_t lat_missing = lat_missing_;
-  const std::uint64_t comp_missing = comp_missing_;
-  const std::size_t pairs = lat_raw_.size();
+NlScalars compute_nl_scalars(double lat_sum, double comp_sum,
+                             std::uint64_t lat_missing,
+                             std::uint64_t comp_missing, std::size_t pairs,
+                             const NetworkLoadWeights& weights) {
+  NlScalars s;
   const std::uint64_t lat_measured =
       static_cast<std::uint64_t>(pairs) - lat_missing;
   const std::uint64_t comp_measured =
       static_cast<std::uint64_t>(pairs) - comp_missing;
   // Missing pairs take the mean of the measured ones; a fully unmeasured
   // network degrades to "all pairs equal" exactly like network_loads().
-  lat_fill_ = lat_measured > 0
-                  ? lat_sum / static_cast<double>(lat_measured)
-                  : 100.0;
-  comp_fill_ =
+  s.lat_fill =
+      lat_measured > 0 ? lat_sum / static_cast<double>(lat_measured) : 100.0;
+  s.comp_fill =
       comp_measured > 0 ? comp_sum / static_cast<double>(comp_measured) : 0.0;
-  lat_s_ = lat_sum + static_cast<double>(lat_missing) * lat_fill_;
-  comp_s_ = comp_sum + static_cast<double>(comp_missing) * comp_fill_;
+  s.lat_s = lat_sum + static_cast<double>(lat_missing) * s.lat_fill;
+  s.comp_s = comp_sum + static_cast<double>(comp_missing) * s.comp_fill;
   // Each sum-normalized column totals exactly 1 over the pairs, so the
   // off-diagonal mean is (active weights)/pairs analytically; dividing by it
   // is the unit-mean rescale without an extra O(n²) pass.
-  const double weight_sum = (lat_s_ > 0.0 ? weights_.latency : 0.0) +
-                            (comp_s_ > 0.0 ? weights_.bandwidth : 0.0);
-  rescale_ =
+  const double weight_sum = (s.lat_s > 0.0 ? weights.latency : 0.0) +
+                            (s.comp_s > 0.0 ? weights.bandwidth : 0.0);
+  s.rescale =
       weight_sum > 0.0 ? static_cast<double>(pairs) / weight_sum : 1.0;
+  return s;
+}
+
+void NlState::recompute_scalars() {
+  // The totals come out of the exact accumulators — order-independent, so
+  // the same whether every pair was just re-accumulated (full build) or a
+  // few contributions were swapped in place (incremental). That identity is
+  // what makes the two paths bit-identical.
+  const NlScalars s =
+      compute_nl_scalars(lat_acc_.to_double(), comp_acc_.to_double(),
+                         lat_missing_, comp_missing_, lat_raw_.size(),
+                         weights_);
+  lat_fill_ = s.lat_fill;
+  comp_fill_ = s.comp_fill;
+  lat_s_ = s.lat_s;
+  comp_s_ = s.comp_s;
+  rescale_ = s.rescale;
 }
 
 void NlState::materialize(util::FlatMatrix& out) const {
   out.assign(n_, 0.0);
+  const NlScalars s{lat_fill_, comp_fill_, lat_s_, comp_s_, rescale_};
   const std::size_t pairs = lat_raw_.size();
   for (std::size_t k = 0; k < pairs; ++k) {
-    const double lat_raw = lat_raw_[k];
-    const double lat_value = lat_raw < 0.0 ? lat_fill_ : lat_raw;
-    const double lat_term = lat_s_ > 0.0 ? lat_value / lat_s_ : 0.0;
-    const double comp_raw = comp_raw_[k];
-    const double comp_value = comp_raw < 0.0 ? comp_fill_ : comp_raw;
-    const double comp_term = comp_s_ > 0.0 ? comp_value / comp_s_ : 0.0;
-    const double value =
-        (weights_.latency * lat_term + weights_.bandwidth * comp_term) *
-        rescale_;
+    const double value = nl_value_from_raw(lat_raw_[k], comp_raw_[k], s,
+                                           weights_);
     const std::size_t i = pair_i_[k];
     const std::size_t j = pair_j_[k];
     out[i][j] = value;
@@ -204,7 +219,200 @@ void NlState::materialize(util::FlatMatrix& out) const {
   }
 }
 
+void TiledNlState::full_build(const PairSource& source,
+                              std::span<const cluster::NodeId> nodes,
+                              util::BlockPartition partition,
+                              const NetworkLoadWeights& weights) {
+  weights.validate();
+  weights_ = weights;
+  n_ = nodes.size();
+  NLARM_CHECK(partition.position_count() == n_)
+      << "partition covers " << partition.position_count() << " positions, "
+      << "working set has " << n_;
+  partition_ = std::move(partition);
+  const std::size_t tiles = partition_.tile_count();
+  tile_lat_.assign(tiles, {});
+  tile_comp_.assign(tiles, {});
+  tile_lat_missing_.assign(tiles, 0);
+  tile_comp_missing_.assign(tiles, 0);
+  tile_pairs_.assign(tiles, 0);
+  lat_acc_.reset();
+  comp_acc_.reset();
+  lat_missing_ = 0;
+  comp_missing_ = 0;
+  pair_total_ = n_ < 2 ? 0 : n_ * (n_ - 1) / 2;
+
+  for (std::size_t i = 0; i < n_; ++i) {
+    const std::size_t bi = partition_.block_of(i);
+    for (std::size_t j = i + 1; j < n_; ++j) {
+      const std::size_t bj = partition_.block_of(j);
+      const std::size_t t =
+          partition_.tile_index(std::min(bi, bj), std::max(bi, bj));
+      const PairSource::Raw raw = source.read(nodes[i], nodes[j]);
+      ++tile_pairs_[t];
+      if (raw.lat >= 0.0) {
+        tile_lat_[t].add(raw.lat);
+      } else {
+        ++tile_lat_missing_[t];
+      }
+      if (raw.comp >= 0.0) {
+        tile_comp_[t].add(raw.comp);
+      } else {
+        ++tile_comp_missing_[t];
+      }
+    }
+  }
+  // Fold the tile accumulators into the global totals. Limb addition is
+  // associative and commutative, so this equals accumulating every pair
+  // straight into the global sums — which is what the flat NlState does —
+  // bit for bit.
+  for (std::size_t t = 0; t < tiles; ++t) {
+    lat_acc_.add(tile_lat_[t]);
+    comp_acc_.add(tile_comp_[t]);
+    lat_missing_ += tile_lat_missing_[t];
+    comp_missing_ += tile_comp_missing_[t];
+  }
+  refresh_dirty();
+}
+
+void TiledNlState::patch_pair(const PairSource& old_source,
+                              const PairSource& new_source,
+                              std::span<const cluster::NodeId> nodes,
+                              std::size_t i, std::size_t j) {
+  NLARM_CHECK(i < j && j < n_) << "bad pair position (" << i << ", " << j
+                               << ")";
+  const std::size_t bi = partition_.block_of(i);
+  const std::size_t bj = partition_.block_of(j);
+  const std::size_t t =
+      partition_.tile_index(std::min(bi, bj), std::max(bi, bj));
+  const PairSource::Raw old_raw = old_source.read(nodes[i], nodes[j]);
+  if (old_raw.lat >= 0.0) {
+    tile_lat_[t].sub(old_raw.lat);
+    lat_acc_.sub(old_raw.lat);
+  } else {
+    --tile_lat_missing_[t];
+    --lat_missing_;
+  }
+  if (old_raw.comp >= 0.0) {
+    tile_comp_[t].sub(old_raw.comp);
+    comp_acc_.sub(old_raw.comp);
+  } else {
+    --tile_comp_missing_[t];
+    --comp_missing_;
+  }
+  const PairSource::Raw new_raw = new_source.read(nodes[i], nodes[j]);
+  if (new_raw.lat >= 0.0) {
+    tile_lat_[t].add(new_raw.lat);
+    lat_acc_.add(new_raw.lat);
+  } else {
+    ++tile_lat_missing_[t];
+    ++lat_missing_;
+  }
+  if (new_raw.comp >= 0.0) {
+    tile_comp_[t].add(new_raw.comp);
+    comp_acc_.add(new_raw.comp);
+  } else {
+    ++tile_comp_missing_[t];
+    ++comp_missing_;
+  }
+}
+
+void TiledNlState::refresh_dirty() {
+  scalars_ = compute_nl_scalars(lat_acc_.to_double(), comp_acc_.to_double(),
+                                lat_missing_, comp_missing_, pair_total_,
+                                weights_);
+}
+
+void TiledNlState::materialize_dense(const PairSource& source,
+                                     std::span<const cluster::NodeId> nodes,
+                                     util::FlatMatrix& out) const {
+  NLARM_CHECK(nodes.size() == n_) << "working-set size changed";
+  out.assign(n_, 0.0);
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = i + 1; j < n_; ++j) {
+      const PairSource::Raw raw = source.read(nodes[i], nodes[j]);
+      const double value =
+          nl_value_from_raw(raw.lat, raw.comp, scalars_, weights_);
+      out[i][j] = value;
+      out[j][i] = value;
+    }
+  }
+}
+
+double TiledNlState::tile_lat_mean(std::size_t t) const {
+  const std::uint64_t pairs = tile_pairs_[t];
+  if (pairs == 0) {
+    return 0.0;
+  }
+  const double sum = tile_lat_[t].to_double() +
+                     static_cast<double>(tile_lat_missing_[t]) *
+                         scalars_.lat_fill;
+  return sum / static_cast<double>(pairs);
+}
+
+double TiledNlState::tile_comp_mean(std::size_t t) const {
+  const std::uint64_t pairs = tile_pairs_[t];
+  if (pairs == 0) {
+    return 0.0;
+  }
+  const double sum = tile_comp_[t].to_double() +
+                     static_cast<double>(tile_comp_missing_[t]) *
+                         scalars_.comp_fill;
+  return sum / static_cast<double>(pairs);
+}
+
+std::size_t TiledNlState::memory_bytes() const {
+  const std::size_t tiles = tile_pairs_.size();
+  return partition_.memory_bytes() +
+         tiles * (2 * sizeof(ExactSum) + 3 * sizeof(std::uint64_t));
+}
+
 }  // namespace detail
+
+PairSource::Raw SnapshotPairSource::read(cluster::NodeId u,
+                                         cluster::NodeId v) const {
+  const monitor::NetSnapshot& net = snapshot_->net;
+  const auto uu = static_cast<std::size_t>(u);
+  const auto vv = static_cast<std::size_t>(v);
+  const std::size_t edge = net.latency_us.size();
+  NLARM_CHECK(uu < edge && vv < edge) << "pair out of snapshot";
+  Raw raw;
+  raw.lat = net.latency_us[uu][vv];
+  const double bw = net.bandwidth_mbps[uu][vv];
+  const double peak = net.peak_mbps[uu][vv];
+  raw.comp = (bw < 0.0 || peak < 0.0) ? -1.0 : std::max(0.0, peak - bw);
+  return raw;
+}
+
+std::span<const double> TiledPairState::tile_values(std::size_t a,
+                                                    std::size_t b) const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  if (!cache_ready_) {
+    cache_.reset(partition);
+    cache_ready_ = true;
+  }
+  return cache_.tile(partition, a, b, [&](std::size_t r, std::size_t c) {
+    const PairSource::Raw raw = source->read(nodes[r], nodes[c]);
+    return detail::nl_value_from_raw(raw.lat, raw.comp, scalars, weights);
+  });
+}
+
+std::size_t TiledPairState::tiles_materialized() const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  return cache_.tiles_materialized();
+}
+
+std::size_t TiledPairState::tile_cache_hits() const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  return cache_.cache_hits();
+}
+
+std::size_t TiledPairState::memory_bytes() const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  return partition.memory_bytes() +
+         tiles.capacity() * sizeof(TileAggregate) +
+         nodes.capacity() * sizeof(cluster::NodeId) + cache_.value_bytes();
+}
 
 void prepared_network_loads(const monitor::ClusterSnapshot& snapshot,
                             std::span<const cluster::NodeId> nodes,
@@ -222,6 +430,11 @@ PreparedBuilder::PreparedBuilder(RequestProfile profile)
   profile_.compute_weights.validate();
   profile_.network_weights.validate();
   NLARM_CHECK(profile_.ppn >= 0) << "negative ppn";
+}
+
+PreparedBuilder::PreparedBuilder(RequestProfile profile, TilingOptions tiling)
+    : PreparedBuilder(std::move(profile)) {
+  tiling_ = tiling;
 }
 
 void PreparedBuilder::recompute_node_state() {
@@ -264,7 +477,29 @@ void PreparedBuilder::rebuild(
     pos_of_[static_cast<std::size_t>(usable_[i])] =
         static_cast<std::int32_t>(i);
   }
-  nl_state_.full_build(*snapshot_, usable_, profile_.network_weights);
+  if (tiling_) {
+    // Tiled mode keeps NO per-pair storage: pair state lives in O(G²) tile
+    // accumulators, and the dense matrix (when still wanted) is
+    // materialized straight from the snapshot at build().
+    util::BlockPartition partition;
+    if (tiling_->block_size > 0) {
+      partition =
+          util::BlockPartition::fixed(usable_.size(), tiling_->block_size);
+    } else {
+      std::vector<std::int32_t> labels(usable_.size());
+      for (std::size_t i = 0; i < usable_.size(); ++i) {
+        labels[i] = snapshot_
+                        ->nodes[static_cast<std::size_t>(usable_[i])]
+                        .spec.switch_id;
+      }
+      partition = util::BlockPartition::from_labels(labels);
+    }
+    const SnapshotPairSource source(snapshot_);
+    tiled_state_.full_build(source, usable_, std::move(partition),
+                            profile_.network_weights);
+  } else {
+    nl_state_.full_build(*snapshot_, usable_, profile_.network_weights);
+  }
   recompute_node_state();
   version_ = snapshot_->version;
   time_ = snapshot_->time;
@@ -298,7 +533,9 @@ bool PreparedBuilder::update(
 
   // A dirty node whose usability flipped (first record arriving, record
   // invalidated) changes the working set's shape — every position shifts,
-  // so incremental application is off the table.
+  // so incremental application is off the table. Likewise, in tiled mode a
+  // working-set node that moved to a different switch invalidates the block
+  // partition the tile accumulators are keyed on.
   for (cluster::NodeId id : delta.dirty_nodes) {
     const auto idx = static_cast<std::size_t>(id);
     if (idx >= snapshot->nodes.size()) return fall_back("node out of range");
@@ -307,6 +544,11 @@ bool PreparedBuilder::update(
     if (now_usable != (pos_of_[idx] >= 0)) {
       return fall_back("usable set changed");
     }
+    if (tiling_ && tiling_->block_size == 0 && pos_of_[idx] >= 0 &&
+        snapshot->nodes[idx].spec.switch_id !=
+            snapshot_->nodes[idx].spec.switch_id) {
+      return fall_back("switch assignment changed");
+    }
   }
 
   obs::ScopedSpan span("prepared.update",
@@ -314,6 +556,15 @@ bool PreparedBuilder::update(
   obs::metrics::prepared_incremental_updates().inc();
 
   std::size_t applied_pairs = 0;
+  // Tiled patching re-reads a pair's previous raw terms from the retained
+  // previous snapshot — the same values the accumulators last absorbed —
+  // so no per-pair storage is needed for the swap.
+  std::optional<SnapshotPairSource> old_source;
+  std::optional<SnapshotPairSource> new_source;
+  if (tiling_) {
+    old_source.emplace(snapshot_);
+    new_source.emplace(snapshot);
+  }
   // Re-reading dirty cells is a random walk over three V×V matrices;
   // prefetching a handful of pairs ahead overlaps the DRAM misses instead
   // of serializing them.
@@ -333,7 +584,7 @@ bool PreparedBuilder::update(
         __builtin_prefetch(peak_m[fuu] + fvv);
         const std::int32_t fpu = pos_of_[fuu];
         const std::int32_t fpv = pos_of_[fvv];
-        if (fpu >= 0 && fpv >= 0) {
+        if (!tiling_ && fpu >= 0 && fpv >= 0) {
           nl_state_.prefetch_pair(
               static_cast<std::size_t>(std::min(fpu, fpv)),
               static_cast<std::size_t>(std::max(fpu, fpv)));
@@ -346,11 +597,19 @@ bool PreparedBuilder::update(
     if (pu < 0 || pv < 0) continue;  // pair outside the working set
     const auto i = static_cast<std::size_t>(std::min(pu, pv));
     const auto j = static_cast<std::size_t>(std::max(pu, pv));
-    nl_state_.patch_pair(*snapshot, usable_, i, j);
+    if (tiling_) {
+      tiled_state_.patch_pair(*old_source, *new_source, usable_, i, j);
+    } else {
+      nl_state_.patch_pair(*snapshot, usable_, i, j);
+    }
     ++applied_pairs;
   }
   if (applied_pairs > 0) {
-    nl_state_.refresh_dirty();
+    if (tiling_) {
+      tiled_state_.refresh_dirty();
+    } else {
+      nl_state_.refresh_dirty();
+    }
     nl_stale_ = true;
   }
 
@@ -371,7 +630,39 @@ bool PreparedBuilder::update(
 
 std::shared_ptr<PreparedSnapshot> PreparedBuilder::build() {
   NLARM_CHECK(has_state_) << "build() before rebuild()";
-  if (nl_stale_ || nl_cache_ == nullptr) {
+  if (tiling_) {
+    if (nl_stale_ || tiles_cache_ == nullptr) {
+      auto source = std::make_shared<SnapshotPairSource>(snapshot_);
+      auto tiles = std::make_shared<TiledPairState>();
+      tiles->partition = tiled_state_.partition();
+      tiles->weights = profile_.network_weights;
+      tiles->scalars = tiled_state_.scalars();
+      tiles->nodes = usable_;
+      tiles->source = source;
+      const std::size_t tile_count = tiles->partition.tile_count();
+      tiles->tiles.resize(tile_count);
+      for (std::size_t t = 0; t < tile_count; ++t) {
+        tiles->tiles[t] = {tiled_state_.tile_lat_mean(t),
+                           tiled_state_.tile_comp_mean(t),
+                           tiled_state_.tile_pairs(t)};
+      }
+      tiles_cache_ = std::move(tiles);
+      if (usable_.size() <= tiling_->dense_nl_limit) {
+        auto matrix = std::make_shared<util::FlatMatrix>();
+        tiled_state_.materialize_dense(*source, usable_, *matrix);
+        nl_cache_ = std::move(matrix);
+      } else {
+        nl_cache_ = nullptr;
+      }
+      nl_stale_ = false;
+      obs::metrics::prepared_nl_materializations().inc();
+    } else {
+      // Node-only tick: pair state unchanged, so the previous tiled state
+      // (and its source snapshot) is shared with the new epoch — the tiled
+      // twin of the shared dense-NL fast path below.
+      obs::metrics::prepared_nl_reuses().inc();
+    }
+  } else if (nl_stale_ || nl_cache_ == nullptr) {
     auto matrix = std::make_shared<util::FlatMatrix>();
     nl_state_.materialize(*matrix);
     nl_cache_ = std::move(matrix);
@@ -388,6 +679,7 @@ std::shared_ptr<PreparedSnapshot> PreparedBuilder::build() {
   prepared->usable = usable_;
   prepared->cl = cl_;
   prepared->nl = nl_cache_;
+  prepared->tiles = tiles_cache_;
   prepared->pc = pc_;
   prepared->pos_of = pos_of_;
   prepared->load_per_core = load_per_core_;

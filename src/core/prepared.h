@@ -36,6 +36,8 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -45,6 +47,7 @@
 #include "monitor/snapshot.h"
 #include "monitor/snapshot_delta.h"
 #include "util/flat_matrix.h"
+#include "util/tiled_matrix.h"
 
 namespace nlarm::core {
 
@@ -61,6 +64,39 @@ struct RequestProfile {
   }
 
   bool operator==(const RequestProfile&) const = default;
+};
+
+/// Read-only source of raw pair terms. The snapshot-backed implementation is
+/// the production one; benches and tests substitute procedural sources so a
+/// V=16384 run never has to materialize 8 GB of dense NetSnapshot matrices.
+class PairSource {
+ public:
+  /// Raw terms for one node pair: latency in µs and complement of available
+  /// bandwidth in Mbit/s; < 0 = unmeasured (the store's sentinel).
+  struct Raw {
+    double lat = -1.0;
+    double comp = -1.0;
+  };
+
+  virtual ~PairSource() = default;
+  virtual Raw read(cluster::NodeId u, cluster::NodeId v) const = 0;
+};
+
+/// PairSource over a ClusterSnapshot's dense net matrices. Reads exactly
+/// what detail::NlState::read_pair reads, so tiled and flat state built from
+/// the same snapshot see the same raw terms bit for bit.
+class SnapshotPairSource final : public PairSource {
+ public:
+  explicit SnapshotPairSource(
+      std::shared_ptr<const monitor::ClusterSnapshot> snapshot)
+      : snapshot_(std::move(snapshot)) {}
+
+  Raw read(cluster::NodeId u, cluster::NodeId v) const override;
+
+  const monitor::ClusterSnapshot& snapshot() const { return *snapshot_; }
+
+ private:
+  std::shared_ptr<const monitor::ClusterSnapshot> snapshot_;
 };
 
 namespace detail {
@@ -85,6 +121,11 @@ class ExactSum {
  public:
   void add(double v) { accumulate(v, /*negate=*/false); }
   void sub(double v) { accumulate(v, /*negate=*/true); }
+  /// Limb-wise mod-2²⁵⁶ addition of another accumulator. Folding per-tile
+  /// partial sums into a global total this way is associative/commutative,
+  /// so a tile-partitioned accumulation equals flat per-pair accumulation
+  /// bit for bit.
+  void add(const ExactSum& other);
   void reset() { limbs_ = {}; }
 
   /// Deterministic conversion: fold the limbs high→low in one fixed
@@ -179,7 +220,154 @@ class NlState {
   double rescale_ = 1.0;    ///< unit-mean rescale factor
 };
 
+/// The normalization scalars the canonical NL pipeline derives from the
+/// exact totals. Shared between the flat NlState and the tiled state so
+/// both use the identical operation sequence (a prerequisite for their
+/// bit-identity).
+struct NlScalars {
+  double lat_fill = 0.0;
+  double comp_fill = 0.0;
+  double lat_s = 0.0;
+  double comp_s = 0.0;
+  double rescale = 1.0;
+};
+
+NlScalars compute_nl_scalars(double lat_sum, double comp_sum,
+                             std::uint64_t lat_missing,
+                             std::uint64_t comp_missing, std::size_t pairs,
+                             const NetworkLoadWeights& weights);
+
+/// Canonical per-pair NL value from raw terms + scalars — the one formula
+/// NlState::materialize, the tiled tile fill and nl_value() all share.
+inline double nl_value_from_raw(double lat_raw, double comp_raw,
+                                const NlScalars& s,
+                                const NetworkLoadWeights& weights) {
+  const double lat_value = lat_raw < 0.0 ? s.lat_fill : lat_raw;
+  const double comp_value = comp_raw < 0.0 ? s.comp_fill : comp_raw;
+  const double lat_term = s.lat_s > 0.0 ? lat_value / s.lat_s : 0.0;
+  const double comp_term = s.comp_s > 0.0 ? comp_value / s.comp_s : 0.0;
+  return (weights.latency * lat_term + weights.bandwidth * comp_term) *
+         s.rescale;
+}
+
+/// Tiled counterpart of NlState: exact pair-term accumulators kept PER TILE
+/// of a topology block partition, folded into global totals on demand. No
+/// per-pair storage at all — O(G²) accumulators plus O(V) partition vectors
+/// — which is what holds pair-state memory at V=16384 to megabytes instead
+/// of gigabytes. Raw terms are re-read from a PairSource when patching, so
+/// the owner must keep the previous snapshot alive across an update (the
+/// PreparedBuilder already does).
+class TiledNlState {
+ public:
+  /// Gathers every upper-triangle pair term through `source` and fills all
+  /// tile + global accumulators. O(n²) reads, O(G²) memory.
+  void full_build(const PairSource& source,
+                  std::span<const cluster::NodeId> nodes,
+                  util::BlockPartition partition,
+                  const NetworkLoadWeights& weights);
+
+  /// Swaps pair (i, j)'s old contribution (read from `old_source`) for its
+  /// new one (read from `new_source`) in the pair's tile and the global
+  /// totals. Finish a batch with refresh_dirty().
+  void patch_pair(const PairSource& old_source, const PairSource& new_source,
+                  std::span<const cluster::NodeId> nodes, std::size_t i,
+                  std::size_t j);
+
+  /// Re-derives the normalization scalars from the exact global totals.
+  void refresh_dirty();
+
+  /// Writes the full canonical NL matrix from `source` — same entries, bit
+  /// for bit, as NlState::materialize over the same working set. O(n²).
+  void materialize_dense(const PairSource& source,
+                         std::span<const cluster::NodeId> nodes,
+                         util::FlatMatrix& out) const;
+
+  std::size_t node_count() const { return n_; }
+  const util::BlockPartition& partition() const { return partition_; }
+  const NlScalars& scalars() const { return scalars_; }
+
+  /// Mean filled tile terms (lat, comp) for phase-1 group aggregates.
+  double tile_lat_mean(std::size_t t) const;
+  double tile_comp_mean(std::size_t t) const;
+  std::uint64_t tile_pairs(std::size_t t) const { return tile_pairs_[t]; }
+
+  std::size_t memory_bytes() const;
+
+ private:
+  std::size_t n_ = 0;
+  util::BlockPartition partition_;
+  NetworkLoadWeights weights_;
+
+  // Per-tile exact totals over measured terms + unmeasured counts + pair
+  // counts, indexed by BlockPartition::tile_index.
+  std::vector<ExactSum> tile_lat_;
+  std::vector<ExactSum> tile_comp_;
+  std::vector<std::uint64_t> tile_lat_missing_;
+  std::vector<std::uint64_t> tile_comp_missing_;
+  std::vector<std::uint64_t> tile_pairs_;
+
+  // Global exact totals (the fold of all tiles, maintained incrementally).
+  ExactSum lat_acc_;
+  ExactSum comp_acc_;
+  std::uint64_t lat_missing_ = 0;
+  std::uint64_t comp_missing_ = 0;
+  std::size_t pair_total_ = 0;
+
+  NlScalars scalars_;
+};
+
 }  // namespace detail
+
+/// Immutable tiled pair state published with an epoch. Carries the block
+/// partition over working-set positions, per-tile aggregate means for
+/// phase-1 group selection, the canonical global scalars, and a lazy dense
+/// tile cache for phase 2 — tiles of blocks an allocation actually chose
+/// are the only dense pair values ever materialized. tile_values() is
+/// thread-safe (decide() runs concurrently against one epoch).
+class TiledPairState {
+ public:
+  struct TileAggregate {
+    double lat_mean = 0.0;   ///< filled mean latency over the tile's pairs
+    double comp_mean = 0.0;  ///< filled mean bandwidth complement
+    std::uint64_t pairs = 0;
+  };
+
+  util::BlockPartition partition;
+  NetworkLoadWeights weights;
+  std::vector<TileAggregate> tiles;  ///< BlockPartition::tile_index order
+  detail::NlScalars scalars;
+  /// Working-set node ids (== PreparedSnapshot::usable) and the raw-term
+  /// source the lazy tile fill reads through.
+  std::vector<cluster::NodeId> nodes;
+  std::shared_ptr<const PairSource> source;
+
+  /// Canonical NL value for working-set positions (i, j) — bit-identical to
+  /// the dense prepared matrix entry [i][j].
+  double nl_value(std::size_t i, std::size_t j) const {
+    if (i == j) {
+      return 0.0;
+    }
+    const PairSource::Raw raw = source->read(nodes[i], nodes[j]);
+    return detail::nl_value_from_raw(raw.lat, raw.comp, scalars, weights);
+  }
+
+  /// Dense values of tile (a, b), a ≤ b, materialized on first use and
+  /// cached for the epoch's lifetime. Row-major over (members(a),
+  /// members(b)). Thread-safe.
+  std::span<const double> tile_values(std::size_t a, std::size_t b) const;
+
+  std::size_t tiles_materialized() const;
+  std::size_t tile_cache_hits() const;
+  /// Bytes of pair state held right now: aggregates, partition and the
+  /// materialized tile cache (the dense V×V matrix this replaces is
+  /// n² × 8 bytes).
+  std::size_t memory_bytes() const;
+
+ private:
+  mutable std::mutex cache_mutex_;
+  mutable util::TiledMatrix cache_;
+  mutable bool cache_ready_ = false;
+};
 
 /// One-shot canonical prepared-NL matrix (normalize by chunked sums, fill
 /// missing with the measured mean, unit-mean rescale). This is what the
@@ -207,8 +395,13 @@ struct PreparedSnapshot {
   std::vector<double> cl;  ///< unit-mean rescaled compute loads
   /// Canonical NL matrix. shared_ptr so epochs whose network state did not
   /// change (node-only ticks — the common case given the paper's 3–10 s node
-  /// vs 1–5 min pair cadences) share one materialized matrix.
+  /// vs 1–5 min pair cadences) share one materialized matrix. A tiled
+  /// builder above its dense_nl_limit publishes nullptr here — consumers
+  /// must then decide through `tiles` (allocate_two_phase).
   std::shared_ptr<const util::FlatMatrix> nl;
+  /// Tiled pair state (nullptr unless the builder runs in tiled mode).
+  /// Shared across node-only epochs exactly like `nl`.
+  std::shared_ptr<const TiledPairState> tiles;
   std::vector<int> pc;
 
   /// Position of each NodeId in `usable` (-1 = not usable). Batch admission
@@ -231,12 +424,28 @@ struct PreparedSnapshot {
   std::size_t pair_fallbacks = 0;  ///< pairs served from the 5-min fallback
 };
 
+/// Tiled-mode configuration for PreparedBuilder.
+struct TilingOptions {
+  /// Materialize the dense NL matrix only while the usable-node count is at
+  /// most this; above it epochs carry nl == nullptr and only the tiled
+  /// state, and decides must go through allocate_two_phase.
+  std::size_t dense_nl_limit = 2048;
+  /// 0 = one block per switch id (topology partition); > 0 = fixed-size
+  /// blocks of the usable set in position order (topology-free clusters).
+  std::size_t block_size = 0;
+};
+
 /// Owner-thread builder of PreparedSnapshot epochs. Not thread-safe; one
 /// monitor/refresh thread drives it while decide() threads consume the
 /// immutable epochs it builds.
 class PreparedBuilder {
  public:
   explicit PreparedBuilder(RequestProfile profile);
+  /// Tiled mode: pair state is kept per topology tile (O(G²) memory) and
+  /// epochs additionally publish a TiledPairState.
+  PreparedBuilder(RequestProfile profile, TilingOptions tiling);
+
+  bool tiling_enabled() const { return tiling_.has_value(); }
 
   const RequestProfile& profile() const { return profile_; }
   bool has_state() const { return has_state_; }
@@ -278,6 +487,11 @@ class PreparedBuilder {
   detail::NlState nl_state_;
   std::shared_ptr<const util::FlatMatrix> nl_cache_;  ///< last materialized
   bool nl_stale_ = true;
+
+  // Tiled mode (nullopt = classic dense pair state).
+  std::optional<TilingOptions> tiling_;
+  detail::TiledNlState tiled_state_;
+  std::shared_ptr<const TiledPairState> tiles_cache_;
 
   bool incremental_ = false;
   std::size_t delta_nodes_ = 0;

@@ -271,10 +271,10 @@ ClusterSnapshot read_snapshot_text(std::string_view bytes) {
     NLARM_CHECK(id >= 0 && id < n) << "live record out of range";
     snapshot.livehosts[static_cast<std::size_t>(id)] = alive;
   }
-  snapshot.net.latency_us = make_matrix(n, -1.0);
-  snapshot.net.latency_5min_us = make_matrix(n, -1.0);
-  snapshot.net.bandwidth_mbps = make_matrix(n, -1.0);
-  snapshot.net.peak_mbps = make_matrix(n, -1.0);
+  snapshot.net.latency_us = make_matrix(static_cast<std::size_t>(n), -1.0);
+  snapshot.net.latency_5min_us = make_matrix(static_cast<std::size_t>(n), -1.0);
+  snapshot.net.bandwidth_mbps = make_matrix(static_cast<std::size_t>(n), -1.0);
+  snapshot.net.peak_mbps = make_matrix(static_cast<std::size_t>(n), -1.0);
   for (const PairRecord& record : latencies) {
     NLARM_CHECK(record.u >= 0 && record.u < n && record.v >= 0 &&
                 record.v < n && record.u != record.v)

@@ -44,9 +44,8 @@ int apply_staleness_filter(ClusterSnapshot& snapshot,
   return invalidated;
 }
 
-util::FlatMatrix make_matrix(int n, double fill) {
-  NLARM_CHECK(n >= 0) << "negative matrix size";
-  util::FlatMatrix m(static_cast<std::size_t>(n), fill);
+util::FlatMatrix make_matrix(std::size_t n, double fill) {
+  util::FlatMatrix m(n, fill);
   m.zero_diagonal();
   return m;
 }
@@ -84,10 +83,11 @@ ClusterSnapshot make_ground_truth_snapshot(const cluster::Cluster& cluster,
     ns.net_flow_avg = flow;
     ns.mem_avail_avg = mem;
   }
-  snap.net.latency_us = make_matrix(n, 0.0);
-  snap.net.latency_5min_us = make_matrix(n, 0.0);
-  snap.net.bandwidth_mbps = make_matrix(n, 0.0);
-  snap.net.peak_mbps = make_matrix(n, 0.0);
+  const auto nn = static_cast<std::size_t>(n);
+  snap.net.latency_us = make_matrix(nn, 0.0);
+  snap.net.latency_5min_us = make_matrix(nn, 0.0);
+  snap.net.bandwidth_mbps = make_matrix(nn, 0.0);
+  snap.net.peak_mbps = make_matrix(nn, 0.0);
   for (cluster::NodeId u = 0; u < n; ++u) {
     for (cluster::NodeId v = 0; v < n; ++v) {
       if (u == v) continue;

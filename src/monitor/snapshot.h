@@ -84,7 +84,7 @@ ClusterSnapshot make_ground_truth_snapshot(const cluster::Cluster& cluster,
                                            double now);
 
 /// Allocates an n×n matrix filled with `fill` (diagonal 0).
-util::FlatMatrix make_matrix(int n, double fill);
+util::FlatMatrix make_matrix(std::size_t n, double fill);
 
 /// Invalidates node records older than `max_age_seconds` (relative to
 /// snapshot.time). A node whose NodeStateD died keeps serving its last

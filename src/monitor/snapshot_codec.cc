@@ -10,6 +10,110 @@ namespace nlarm::monitor {
 namespace {
 
 constexpr std::uint32_t kFlagHasPairwise = 1u << 0;
+constexpr std::uint32_t kFlagSparsePairwise = 1u << 1;
+
+/// Per-pair sparse record: u32 u · u32 v · f64 lat · f64 lat5 · f64 bw ·
+/// f64 peak.
+constexpr std::size_t kSparseRecordBytes = 2 * 4 + 4 * sizeof(double);
+
+std::uint64_t f64_bits(double d) {
+  std::uint64_t b;
+  std::memcpy(&b, &d, sizeof(b));
+  return b;
+}
+
+/// A pairwise section is sparse-eligible when it can be reconstructed from
+/// the measured pairs alone: every unmeasured off-diagonal cell holds the
+/// exact -1.0 sentinel, diagonals are exactly 0.0, and all four matrices are
+/// bit-for-bit symmetric (bit comparison, so symmetric NaN payloads stay
+/// eligible and round-trip exactly while asymmetric cells disqualify). On
+/// success `measured` is the number of unordered pairs with at least one
+/// non-sentinel value.
+bool sparse_eligible(const NetSnapshot& net, std::size_t n,
+                     std::size_t& measured) {
+  const util::FlatMatrix* ms[4] = {&net.latency_us, &net.latency_5min_us,
+                                   &net.bandwidth_mbps, &net.peak_mbps};
+  const std::uint64_t sentinel = f64_bits(-1.0);
+  const std::uint64_t zero = f64_bits(0.0);
+  measured = 0;
+  for (const util::FlatMatrix* m : ms) {
+    if (m->size() != n) return false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (f64_bits((*m)[i][i]) != zero) return false;
+    }
+  }
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = u + 1; v < n; ++v) {
+      bool any = false;
+      for (const util::FlatMatrix* m : ms) {
+        const std::uint64_t uv = f64_bits((*m)[u][v]);
+        if (uv != f64_bits((*m)[v][u])) return false;
+        if (uv != sentinel) any = true;
+      }
+      if (any) ++measured;
+    }
+  }
+  return true;
+}
+
+void encode_sparse_pairwise(std::string& out, const NetSnapshot& net,
+                            std::size_t n, std::size_t measured) {
+  util::put_u64(out, static_cast<std::uint64_t>(measured));
+  const std::uint64_t sentinel = f64_bits(-1.0);
+  std::size_t written = 0;
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = u + 1; v < n; ++v) {
+      const double lat = net.latency_us[u][v];
+      const double lat5 = net.latency_5min_us[u][v];
+      const double bw = net.bandwidth_mbps[u][v];
+      const double peak = net.peak_mbps[u][v];
+      if (f64_bits(lat) == sentinel && f64_bits(lat5) == sentinel &&
+          f64_bits(bw) == sentinel && f64_bits(peak) == sentinel) {
+        continue;
+      }
+      util::put_u32(out, static_cast<std::uint32_t>(u));
+      util::put_u32(out, static_cast<std::uint32_t>(v));
+      util::put_f64(out, lat);
+      util::put_f64(out, lat5);
+      util::put_f64(out, bw);
+      util::put_f64(out, peak);
+      ++written;
+    }
+  }
+  NLARM_CHECK(written == measured)
+      << "sparse pairwise count drifted during encode";
+}
+
+void decode_sparse_pairwise(util::ByteReader& reader, NetSnapshot& net,
+                            std::size_t n) {
+  net.latency_us.assign(n, -1.0);
+  net.latency_5min_us.assign(n, -1.0);
+  net.bandwidth_mbps.assign(n, -1.0);
+  net.peak_mbps.assign(n, -1.0);
+  net.latency_us.zero_diagonal();
+  net.latency_5min_us.zero_diagonal();
+  net.bandwidth_mbps.zero_diagonal();
+  net.peak_mbps.zero_diagonal();
+  const std::uint64_t count = reader.u64();
+  NLARM_CHECK(count <= n * (n - 1) / 2)
+      << "sparse pairwise record count " << count << " exceeds " << n
+      << "-node pair space";
+  for (std::uint64_t r = 0; r < count; ++r) {
+    const std::uint32_t u = reader.u32();
+    const std::uint32_t v = reader.u32();
+    NLARM_CHECK(u < v && v < n)
+        << "sparse pairwise record (" << u << "," << v
+        << ") out of range or not upper-triangular";
+    const double lat = reader.f64();
+    const double lat5 = reader.f64();
+    const double bw = reader.f64();
+    const double peak = reader.f64();
+    net.latency_us[u][v] = net.latency_us[v][u] = lat;
+    net.latency_5min_us[u][v] = net.latency_5min_us[v][u] = lat5;
+    net.bandwidth_mbps[u][v] = net.bandwidth_mbps[v][u] = bw;
+    net.peak_mbps[u][v] = net.peak_mbps[v][u] = peak;
+  }
+}
 
 void require_little_endian() {
   NLARM_CHECK(util::host_is_little_endian())
@@ -108,13 +212,24 @@ void encode_snapshot_binary(const ClusterSnapshot& snapshot,
       << n;
   const bool has_pairwise = !snapshot.net.latency_us.empty();
 
+  // Tile-sparse pairwise: when the measured pairs are few (a tiled monitor
+  // probes O(G²) inter-block pairs, not O(V²)) and the section is losslessly
+  // reconstructible, ship only the measured records.
+  std::size_t measured = 0;
+  bool sparse = has_pairwise && sparse_eligible(snapshot.net, n, measured) &&
+                8 + measured * kSparseRecordBytes <
+                    4 * n * n * sizeof(double);
+
   const std::size_t start = out.size();
   // One reservation for the whole artifact: the matrices dominate.
   out.reserve(start + kBinarySnapshotMagic.size() + 24 + n * 256 + n +
-              (has_pairwise ? 4 * n * n * sizeof(double) : 0) + 4);
+              (has_pairwise && !sparse ? 4 * n * n * sizeof(double)
+                                       : 8 + measured * kSparseRecordBytes) +
+              4);
   out.append(kBinarySnapshotMagic);
   util::put_u32(out, static_cast<std::uint32_t>(n));
-  util::put_u32(out, has_pairwise ? kFlagHasPairwise : 0);
+  util::put_u32(out, sparse ? kFlagSparsePairwise
+                            : (has_pairwise ? kFlagHasPairwise : 0));
   util::put_f64(out, snapshot.time);
   util::put_u64(out, snapshot.version);
 
@@ -127,7 +242,9 @@ void encode_snapshot_binary(const ClusterSnapshot& snapshot,
   for (std::size_t i = 0; i < n; ++i) {
     util::put_u8(out, snapshot.livehosts[i] ? 1 : 0);
   }
-  if (has_pairwise) {
+  if (sparse) {
+    encode_sparse_pairwise(out, snapshot.net, n, measured);
+  } else if (has_pairwise) {
     encode_matrix(out, snapshot.net.latency_us, n);
     encode_matrix(out, snapshot.net.latency_5min_us, n);
     encode_matrix(out, snapshot.net.bandwidth_mbps, n);
@@ -181,7 +298,9 @@ ClusterSnapshot decode_snapshot_binary(std::string_view bytes) {
   for (std::size_t i = 0; i < n; ++i) {
     snapshot.livehosts[i] = reader.u8() != 0;
   }
-  if ((flags & kFlagHasPairwise) != 0) {
+  if ((flags & kFlagSparsePairwise) != 0) {
+    decode_sparse_pairwise(reader, snapshot.net, n);
+  } else if ((flags & kFlagHasPairwise) != 0) {
     decode_matrix(reader, snapshot.net.latency_us, n);
     decode_matrix(reader, snapshot.net.latency_5min_us, n);
     decode_matrix(reader, snapshot.net.bandwidth_mbps, n);

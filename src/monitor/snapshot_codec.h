@@ -19,6 +19,13 @@
 //   livehosts  node_count u8 (0|1)
 //   pairwise   4 blocks of node_count² f64: latency_us, latency_5min_us,
 //              bandwidth_mbps, peak_mbps          (flags bit0 set)
+//              OR tile-sparse form (flags bit1 set, bit0 clear): u64 count,
+//              then `count` records of u32 u · u32 v (u<v) · f64 latency ·
+//              f64 latency_5min · f64 bandwidth · f64 peak — only measured
+//              pairs; every omitted cell decodes to the -1.0 sentinel with
+//              a 0.0 diagonal. Chosen automatically when the section is
+//              symmetric, sentinel-defaulted, and the sparse form is smaller
+//              (the tiled monitor's O(G²) probe set, not O(V²)).
 //   trailer    u32 CRC32 (IEEE) over every preceding byte
 //
 // Doubles round-trip bit-exactly (NaN payloads, ±inf, -0.0), hostnames are

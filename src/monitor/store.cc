@@ -26,12 +26,12 @@ MonitorStore::MonitorStore(int node_count)
   NLARM_CHECK(node_count > 0) << "store needs at least one node";
   livehosts_.assign(static_cast<std::size_t>(node_count), false);
   node_records_.resize(static_cast<std::size_t>(node_count));
-  net_.latency_us = make_matrix(node_count, -1.0);
-  net_.latency_5min_us = make_matrix(node_count, -1.0);
-  net_.bandwidth_mbps = make_matrix(node_count, -1.0);
-  net_.peak_mbps = make_matrix(node_count, -1.0);
-  latency_time_ = make_matrix(node_count, -1.0);
-  bandwidth_time_ = make_matrix(node_count, -1.0);
+  net_.latency_us = make_matrix(static_cast<std::size_t>(node_count), -1.0);
+  net_.latency_5min_us = make_matrix(static_cast<std::size_t>(node_count), -1.0);
+  net_.bandwidth_mbps = make_matrix(static_cast<std::size_t>(node_count), -1.0);
+  net_.peak_mbps = make_matrix(static_cast<std::size_t>(node_count), -1.0);
+  latency_time_ = make_matrix(static_cast<std::size_t>(node_count), -1.0);
+  bandwidth_time_ = make_matrix(static_cast<std::size_t>(node_count), -1.0);
 }
 
 void MonitorStore::check_node(cluster::NodeId node) const {
@@ -116,10 +116,10 @@ void MonitorStore::restore(const ClusterSnapshot& snapshot) {
   node_records_ = snapshot.nodes;
   net_ = snapshot.net;
   if (net_.latency_us.empty()) {
-    net_.latency_us = make_matrix(node_count_, -1.0);
-    net_.latency_5min_us = make_matrix(node_count_, -1.0);
-    net_.bandwidth_mbps = make_matrix(node_count_, -1.0);
-    net_.peak_mbps = make_matrix(node_count_, -1.0);
+    net_.latency_us = make_matrix(static_cast<std::size_t>(node_count_), -1.0);
+    net_.latency_5min_us = make_matrix(static_cast<std::size_t>(node_count_), -1.0);
+    net_.bandwidth_mbps = make_matrix(static_cast<std::size_t>(node_count_), -1.0);
+    net_.peak_mbps = make_matrix(static_cast<std::size_t>(node_count_), -1.0);
   }
   // The snapshot carries no per-pair write times; credit measured pairs
   // with the assembly time (the freshest defensible claim) and leave

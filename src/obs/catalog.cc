@@ -137,6 +137,31 @@ NLARM_CATALOG_HISTOGRAM(broker_epoch_age_seconds,
                         "Distribution of snapshot-time gaps between "
                         "consecutive published epochs.")
 
+NLARM_CATALOG_COUNTER(hier_decisions, "nlarm_hier_decisions_total",
+                      "Decisions served by the two-phase hierarchical "
+                      "allocation path.")
+NLARM_CATALOG_COUNTER(hier_pruned_decisions,
+                      "nlarm_hier_pruned_decisions_total",
+                      "Two-phase decisions where phase 1 actually narrowed "
+                      "the node pool (vs covering every block).")
+NLARM_CATALOG_COUNTER(hier_blocks_chosen, "nlarm_hier_blocks_chosen_total",
+                      "Topology blocks chosen by phase 1 across all "
+                      "two-phase decisions.")
+NLARM_CATALOG_COUNTER(hier_tiles_materialized,
+                      "nlarm_hier_tiles_materialized_total",
+                      "Dense pair tiles materialized on demand for phase-2 "
+                      "pools.")
+NLARM_CATALOG_COUNTER(hier_tile_cache_hits,
+                      "nlarm_hier_tile_cache_hits_total",
+                      "Phase-2 tile lookups served from the epoch's "
+                      "materialized-tile cache.")
+NLARM_CATALOG_HISTOGRAM(hier_phase1_seconds, "nlarm_hier_phase1_seconds",
+                        "Wall time of phase 1 (block aggregation and "
+                        "group-level Algorithms 1+2).")
+NLARM_CATALOG_HISTOGRAM(hier_phase2_seconds, "nlarm_hier_phase2_seconds",
+                        "Wall time of phase 2 (pool assembly plus node-level "
+                        "Algorithms 1+2 over the chosen blocks).")
+
 NLARM_CATALOG_GAUGE(degrade_quarantined_nodes,
                     "nlarm_degrade_quarantined_nodes",
                     "Nodes currently quarantined out of candidate "
@@ -152,6 +177,14 @@ NLARM_CATALOG_COUNTER(degrade_readmissions,
 NLARM_CATALOG_GAUGE(degrade_pair_fallbacks, "nlarm_degrade_pair_fallbacks",
                     "P2P pairs currently served from the penalized 5-minute "
                     "running mean instead of the stale spot measurement.")
+NLARM_CATALOG_COUNTER(degrade_block_quarantine_events,
+                      "nlarm_degrade_block_quarantine_events_total",
+                      "Nodes overlay-quarantined because their switch "
+                      "crossed the block-quarantine fraction.")
+NLARM_CATALOG_GAUGE(degrade_block_quarantined_nodes,
+                    "nlarm_degrade_block_quarantined_nodes",
+                    "Nodes currently quarantined by the block-granularity "
+                    "rule on top of their own record state.")
 
 NLARM_CATALOG_COUNTER(jobqueue_backoffs, "nlarm_jobqueue_backoffs_total",
                       "Wait verdicts that put the head job into exponential "
@@ -294,10 +327,19 @@ void register_all() {
   broker_fallback_decisions();
   broker_stale_refusals();
   broker_epoch_age_seconds();
+  hier_decisions();
+  hier_pruned_decisions();
+  hier_blocks_chosen();
+  hier_tiles_materialized();
+  hier_tile_cache_hits();
+  hier_phase1_seconds();
+  hier_phase2_seconds();
   degrade_quarantined_nodes();
   degrade_quarantine_events();
   degrade_readmissions();
   degrade_pair_fallbacks();
+  degrade_block_quarantine_events();
+  degrade_block_quarantined_nodes();
   jobqueue_backoffs();
   threadpool_threads();
   threadpool_batches();

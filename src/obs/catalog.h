@@ -56,11 +56,22 @@ Counter& broker_fallback_decisions();    ///< nlarm_broker_fallback_decisions_to
 Counter& broker_stale_refusals();        ///< nlarm_broker_stale_refusals_total
 Histogram& broker_epoch_age_seconds();   ///< nlarm_broker_epoch_age_seconds
 
+// --- hierarchical two-phase allocation (core::allocate_two_phase) ---
+Counter& hier_decisions();               ///< nlarm_hier_decisions_total
+Counter& hier_pruned_decisions();        ///< nlarm_hier_pruned_decisions_total
+Counter& hier_blocks_chosen();           ///< nlarm_hier_blocks_chosen_total
+Counter& hier_tiles_materialized();      ///< nlarm_hier_tiles_materialized_total
+Counter& hier_tile_cache_hits();         ///< nlarm_hier_tile_cache_hits_total
+Histogram& hier_phase1_seconds();        ///< nlarm_hier_phase1_seconds
+Histogram& hier_phase2_seconds();        ///< nlarm_hier_phase2_seconds
+
 // --- staleness degradation (core::Degrader) ---
 Gauge& degrade_quarantined_nodes();      ///< nlarm_degrade_quarantined_nodes
 Counter& degrade_quarantine_events();    ///< nlarm_degrade_quarantine_events_total
 Counter& degrade_readmissions();         ///< nlarm_degrade_readmissions_total
 Gauge& degrade_pair_fallbacks();         ///< nlarm_degrade_pair_fallbacks
+Counter& degrade_block_quarantine_events(); ///< nlarm_degrade_block_quarantine_events_total
+Gauge& degrade_block_quarantined_nodes(); ///< nlarm_degrade_block_quarantined_nodes
 
 // --- job queue ---
 Counter& jobqueue_backoffs();            ///< nlarm_jobqueue_backoffs_total

@@ -12,18 +12,26 @@
 
 #include <cstddef>
 #include <initializer_list>
+#include <limits>
 #include <span>
 #include <vector>
 
+#include "util/check.h"
+
 namespace nlarm::util {
+
+// All pair-matrix index arithmetic is 64-bit: V ≥ 65536 makes V*V overflow
+// 32-bit (and even int64 sign bits at absurd V), so the element count is
+// validated at construction instead of trusted.
+static_assert(sizeof(std::size_t) >= 8,
+              "FlatMatrix requires 64-bit size_t for V*V index arithmetic");
 
 class FlatMatrix {
  public:
   FlatMatrix() = default;
 
   /// n×n matrix with every entry set to `fill` (including the diagonal).
-  FlatMatrix(std::size_t n, double fill)
-      : n_(n), data_(n * n, fill) {}
+  FlatMatrix(std::size_t n, double fill) : n_(checked_dim(n)), data_(n * n, fill) {}
 
   /// Converts from the nested-vector form. Implicit on purpose: tests and
   /// tools build small literal matrices as vector<vector<double>>.
@@ -55,7 +63,7 @@ class FlatMatrix {
   /// Resizes to n×n and sets every entry to `fill`. Reuses the existing
   /// allocation when capacity allows (scratch-buffer friendly).
   void assign(std::size_t n, double fill) {
-    n_ = n;
+    n_ = checked_dim(n);
     data_.assign(n * n, fill);
   }
 
@@ -65,6 +73,13 @@ class FlatMatrix {
   bool operator==(const FlatMatrix&) const = default;
 
  private:
+  /// Rejects dimensions whose n*n element count would overflow size_t.
+  static std::size_t checked_dim(std::size_t n) {
+    NLARM_CHECK(n == 0 || n <= std::numeric_limits<std::size_t>::max() / n)
+        << "FlatMatrix: n*n overflows size_t";
+    return n;
+  }
+
   std::size_t n_ = 0;
   std::vector<double> data_;
 };

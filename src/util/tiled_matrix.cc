@@ -1,0 +1,86 @@
+#include "util/tiled_matrix.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.h"
+
+namespace nlarm::util {
+
+BlockPartition BlockPartition::from_labels(
+    std::span<const std::int32_t> labels) {
+  BlockPartition p;
+  const std::size_t n = labels.size();
+  p.block_of_.resize(n);
+  p.rank_of_.resize(n);
+  // std::map gives ascending-label block order for free.
+  std::map<std::int32_t, std::vector<std::size_t>> by_label;
+  for (std::size_t i = 0; i < n; ++i) {
+    by_label[labels[i]].push_back(i);
+  }
+  p.labels_.reserve(by_label.size());
+  p.members_.reserve(n);
+  p.members_offset_.reserve(by_label.size() + 1);
+  p.members_offset_.push_back(0);
+  std::size_t block = 0;
+  for (const auto& [label, members] : by_label) {
+    p.labels_.push_back(label);
+    for (std::size_t rank = 0; rank < members.size(); ++rank) {
+      const std::size_t pos = members[rank];
+      p.block_of_[pos] = static_cast<std::uint32_t>(block);
+      p.rank_of_[pos] = static_cast<std::uint32_t>(rank);
+      p.members_.push_back(pos);
+    }
+    p.members_offset_.push_back(p.members_.size());
+    ++block;
+  }
+  return p;
+}
+
+BlockPartition BlockPartition::fixed(std::size_t n, std::size_t block_size) {
+  BlockPartition p;
+  if (n == 0) {
+    return p;
+  }
+  if (block_size == 0) {
+    block_size = n;
+  }
+  const std::size_t blocks = (n + block_size - 1) / block_size;
+  NLARM_CHECK(blocks <= static_cast<std::size_t>(UINT32_MAX))
+      << "BlockPartition: too many blocks";
+  p.block_of_.resize(n);
+  p.rank_of_.resize(n);
+  p.labels_.resize(blocks);
+  p.members_.resize(n);
+  p.members_offset_.reserve(blocks + 1);
+  p.members_offset_.push_back(0);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    p.labels_[b] = static_cast<std::int32_t>(b);
+    const std::size_t lo = b * block_size;
+    const std::size_t hi = std::min(n, lo + block_size);
+    for (std::size_t pos = lo; pos < hi; ++pos) {
+      p.block_of_[pos] = static_cast<std::uint32_t>(b);
+      p.rank_of_[pos] = static_cast<std::uint32_t>(pos - lo);
+      p.members_[pos] = pos;
+    }
+    p.members_offset_.push_back(hi);
+  }
+  return p;
+}
+
+std::size_t BlockPartition::memory_bytes() const {
+  return block_of_.capacity() * sizeof(std::uint32_t) +
+         rank_of_.capacity() * sizeof(std::uint32_t) +
+         labels_.capacity() * sizeof(std::int32_t) +
+         members_.capacity() * sizeof(std::size_t) +
+         members_offset_.capacity() * sizeof(std::size_t);
+}
+
+void TiledMatrix::reset(const BlockPartition& partition) {
+  tiles_.assign(partition.tile_count(), {});
+  materialized_ = 0;
+  hits_ = 0;
+  value_bytes_ = 0;
+}
+
+}  // namespace nlarm::util

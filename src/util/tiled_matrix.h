@@ -1,0 +1,134 @@
+// Tiled (blocked) view of a symmetric pair matrix.
+//
+// The flat V×V FlatMatrix stops scaling past a few thousand nodes: the
+// dense pair state alone is O(V²) doubles, and every consumer walk touches
+// all of it. The tiled representation splits the working set into G
+// topology blocks (one per switch/rack, or fixed-size shards) and keys all
+// pair state on the G(G+1)/2 unordered block *tiles*. Aggregates live per
+// tile — O(G²) total — and the dense values of a tile are only ever
+// materialized on demand, for the blocks an allocation actually chose.
+//
+// BlockPartition is the positional partition (position → block, block →
+// member positions); TiledMatrix is the lazy dense-tile cache on top of it.
+// Both are plain data: thread safety is the owner's business (the published
+// TiledPairState in core/prepared.h wraps the cache in a mutex).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace nlarm::util {
+
+/// Partition of positions 0..n-1 into contiguous-by-label blocks. Blocks
+/// are ordered by ascending label (switch id), members of a block by
+/// ascending position.
+class BlockPartition {
+ public:
+  BlockPartition() = default;
+
+  /// One block per distinct label; labels[i] is position i's label.
+  static BlockPartition from_labels(std::span<const std::int32_t> labels);
+
+  /// Fixed-size sharding: positions [0, block_size) form block 0, and so
+  /// on. Labels are the block indices. block_size 0 = one single block.
+  static BlockPartition fixed(std::size_t n, std::size_t block_size);
+
+  std::size_t position_count() const { return block_of_.size(); }
+  std::size_t block_count() const { return members_offset_.empty()
+                                        ? 0
+                                        : members_offset_.size() - 1; }
+
+  std::size_t block_of(std::size_t pos) const { return block_of_[pos]; }
+  /// Index of `pos` within its block's member list.
+  std::size_t rank_of(std::size_t pos) const { return rank_of_[pos]; }
+  /// The label (switch id) block b was formed from.
+  std::int32_t label_of_block(std::size_t b) const { return labels_[b]; }
+  std::int32_t label_of(std::size_t pos) const {
+    return labels_[block_of_[pos]];
+  }
+
+  /// Member positions of block b, ascending.
+  std::span<const std::size_t> members(std::size_t b) const {
+    return {members_.data() + members_offset_[b],
+            members_offset_[b + 1] - members_offset_[b]};
+  }
+
+  /// Unordered tiles (a ≤ b) in row-major upper-triangle order including
+  /// the diagonal (a == b = intra-block).
+  std::size_t tile_count() const {
+    const std::size_t g = block_count();
+    return g * (g + 1) / 2;
+  }
+  std::size_t tile_index(std::size_t a, std::size_t b) const {
+    // Row a holds tiles (a, a) .. (a, G-1): offset a*G - a(a-1)/2.
+    const std::size_t g = block_count();
+    return a * g - a * (a - 1) / 2 + (b - a);
+  }
+
+  std::size_t memory_bytes() const;
+
+  bool operator==(const BlockPartition&) const = default;
+
+ private:
+  std::vector<std::uint32_t> block_of_;   ///< position → block index
+  std::vector<std::uint32_t> rank_of_;    ///< position → rank within block
+  std::vector<std::int32_t> labels_;      ///< block → label
+  std::vector<std::size_t> members_;      ///< concatenated member positions
+  std::vector<std::size_t> members_offset_;  ///< block → offset (g+1 fence)
+};
+
+/// Lazily-materialized dense tiles of a symmetric pair matrix. Tile (a, b),
+/// a ≤ b, holds |a|×|b| doubles (rows = members of a, cols = members of b,
+/// both in member order). Only tiles someone asked for are ever backed by
+/// memory — the whole point of the representation. Not thread-safe.
+class TiledMatrix {
+ public:
+  TiledMatrix() = default;
+
+  /// Drops all tiles and re-keys the directory on `partition`.
+  void reset(const BlockPartition& partition);
+
+  /// Dense values of tile (a, b), a ≤ b, materializing on first access via
+  /// `fill(row_pos, col_pos)` over member *positions*.
+  template <typename Fill>
+  std::span<const double> tile(const BlockPartition& partition, std::size_t a,
+                               std::size_t b, Fill&& fill) {
+    std::vector<double>& values = tiles_[partition.tile_index(a, b)];
+    if (!values.empty()) {
+      ++hits_;
+      return values;
+    }
+    const auto rows = partition.members(a);
+    const auto cols = partition.members(b);
+    values.resize(rows.size() * cols.size());
+    std::size_t k = 0;
+    for (const std::size_t r : rows) {
+      for (const std::size_t c : cols) {
+        values[k++] = r == c ? 0.0 : fill(r, c);
+      }
+    }
+    ++materialized_;
+    value_bytes_ += values.size() * sizeof(double);
+    return values;
+  }
+
+  bool has_tile(const BlockPartition& partition, std::size_t a,
+                std::size_t b) const {
+    return !tiles_[partition.tile_index(a, b)].empty();
+  }
+
+  std::size_t tiles_materialized() const { return materialized_; }
+  std::size_t cache_hits() const { return hits_; }
+  /// Bytes held by materialized tile values (directory overhead excluded).
+  std::size_t value_bytes() const { return value_bytes_; }
+
+ private:
+  std::vector<std::vector<double>> tiles_;
+  std::size_t materialized_ = 0;
+  std::size_t hits_ = 0;
+  std::size_t value_bytes_ = 0;
+};
+
+}  // namespace nlarm::util

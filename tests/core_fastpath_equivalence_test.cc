@@ -10,14 +10,18 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <limits>
+#include <memory>
 #include <vector>
 
 #include "core/allocator.h"
 #include "core/candidate.h"
 #include "core/compute_load.h"
 #include "core/degrade.h"
+#include "core/hierarchical.h"
 #include "core/network_load.h"
 #include "core/normalize.h"
+#include "core/prepared.h"
 #include "core/reference.h"
 #include "core/selection.h"
 #include "monitor/snapshot.h"
@@ -296,6 +300,108 @@ TEST(FastPathEquivalenceTest, DegradedAndQuarantinedInputsStayEquivalent) {
     ASSERT_TRUE(out.degraded);  // the chance() draws above guarantee some
     check_on_snapshot(*out.snapshot, 16);
   }
+}
+
+/// random_snapshot leaves every node on switch 0; spread them so the tiled
+/// partition has several blocks (the flat path never reads switch_id, so
+/// the existing expectations are unaffected).
+monitor::ClusterSnapshot switched_snapshot(int n, std::uint64_t seed,
+                                           int per_switch) {
+  monitor::ClusterSnapshot snap = random_snapshot(n, seed);
+  for (int i = 0; i < n; ++i) {
+    snap.nodes[static_cast<std::size_t>(i)].spec.switch_id = i / per_switch;
+  }
+  return snap;
+}
+
+/// In the covering regime (two_phase_min_nodes forces phase 1 to keep every
+/// block) the two-phase allocator must be bit-identical to the flat
+/// prepared fast path — both with the dense NL matrix published and with
+/// the NL assembled purely from tiles (dense_nl_limit = 0).
+void check_two_phase_covering(const monitor::ClusterSnapshot& snap,
+                              int nprocs) {
+  const AllocationRequest request = make_request(nprocs);
+  const RequestProfile profile = RequestProfile::of(request);
+  auto shared = std::make_shared<const monitor::ClusterSnapshot>(snap);
+
+  PreparedBuilder flat(profile);
+  flat.rebuild(shared);
+  const auto flat_epoch = flat.build();
+  const Allocation want = allocate_prepared(*flat_epoch, request);
+
+  HierarchicalOptions options;
+  options.pair_sample = 0;
+  options.two_phase_min_nodes = std::numeric_limits<std::size_t>::max();
+
+  for (const std::size_t dense_limit :
+       {std::numeric_limits<std::size_t>::max(), std::size_t{0}}) {
+    SCOPED_TRACE(::testing::Message() << "dense_nl_limit=" << dense_limit);
+    TilingOptions tiling;
+    tiling.dense_nl_limit = dense_limit;
+    PreparedBuilder tiled(profile, tiling);
+    tiled.rebuild(shared);
+    const auto epoch = tiled.build();
+    ASSERT_NE(epoch->tiles, nullptr);
+    if (dense_limit == 0) ASSERT_EQ(epoch->nl, nullptr);
+    HierStats hier;
+    const Allocation got =
+        allocate_two_phase(*epoch, request, options, {}, nullptr, &hier);
+    expect_same_allocation(got, want);
+    EXPECT_EQ(got.policy, "hierarchical");
+    EXPECT_FALSE(hier.pruned);
+    EXPECT_EQ(hier.chosen_groups, hier.groups);
+  }
+}
+
+TEST(FastPathEquivalenceTest, TwoPhaseCoveringBitIdentitySmall) {
+  check_two_phase_covering(switched_snapshot(8, 1111, 3), 13);
+}
+
+TEST(FastPathEquivalenceTest, TwoPhaseCoveringBitIdentityPaperScale) {
+  check_two_phase_covering(switched_snapshot(60, 2222, 8), 32);
+}
+
+TEST(FastPathEquivalenceTest, TwoPhaseCoveringBitIdentityLarge) {
+  check_two_phase_covering(switched_snapshot(257, 3333, 16), 48);
+}
+
+TEST(FastPathEquivalenceTest, TwoPhaseCoveringUnderDegradation) {
+  // Degrade a multi-switch snapshot so that one switch is mostly stale —
+  // node quarantine plus the block overlay take the whole rack out — and
+  // some pairs ride the 5-minute fallback. Both pipelines then consume the
+  // SAME rewritten snapshot, so covering-regime bit-identity must survive.
+  const int v = 40;
+  auto snapshot = std::make_shared<const monitor::ClusterSnapshot>(
+      switched_snapshot(v, 4444, 8));
+
+  monitor::StalenessView view;
+  view.now = 1000.0;
+  view.node.assign(static_cast<std::size_t>(v), 1.0);
+  view.pair.assign(static_cast<std::size_t>(v), 1.0);
+  // Switch 0 (nodes 0..7): six of eight nodes stale.
+  for (int i = 0; i < 6; ++i) view.node[static_cast<std::size_t>(i)] = 100.0;
+  // A few stale pairs elsewhere.
+  sim::Rng rng(4444 ^ 0xfeed);
+  for (int u = 8; u < v; ++u) {
+    for (int w = u + 1; w < v; ++w) {
+      if (rng.chance(0.1)) {
+        view.pair[static_cast<std::size_t>(u)][static_cast<std::size_t>(w)] =
+            700.0;
+        view.pair[static_cast<std::size_t>(w)][static_cast<std::size_t>(u)] =
+            700.0;
+      }
+    }
+  }
+
+  DegradationPolicy policy;
+  policy.block_quarantine_fraction = 0.5;
+  Degrader degrader(policy);
+  const DegradationOutcome out = degrader.apply(snapshot, view);
+  ASSERT_TRUE(out.degraded);
+  EXPECT_EQ(out.block_quarantined, 2u);  // the two survivors of switch 0
+  EXPECT_EQ(out.quarantined, 8u);
+  check_on_snapshot(*out.snapshot, 16);
+  check_two_phase_covering(*out.snapshot, 16);
 }
 
 TEST(FastPathEquivalenceTest, AnnotationMatchesPairMetricsReference) {

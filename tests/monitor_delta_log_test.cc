@@ -132,6 +132,52 @@ TEST(DeltaLogTest, ReaderFollowsIncrementally) {
   std::remove(path.c_str());
 }
 
+TEST(DeltaLogTest, SparsePairwiseFullFramesRoundTrip) {
+  // A store with only a handful of measured pairs (the tiled monitor's
+  // O(G²) probe set) emits sparse-pairwise full/compaction frames; replay
+  // must still equal the live store bit for bit, through delta frames too.
+  const std::string path = log_path("sparse");
+  const int n = 16;
+  auto store = std::make_unique<MonitorStore>(n);
+  store->write_livehosts(10.0,
+                         std::vector<bool>(static_cast<std::size_t>(n), true));
+  for (int i = 0; i < n; ++i) {
+    NodeSnapshot record;
+    record.spec.id = i;
+    record.spec.hostname = "host" + std::to_string(i);
+    record.spec.core_count = 8;
+    record.spec.cpu_freq_ghz = 3.0;
+    record.spec.total_mem_gb = 16.0;
+    record.cpu_load = 0.1 * i;
+    store->write_node_record(10.0, record);
+  }
+  // Only three measured pairs out of 120.
+  for (const auto& [u, v] : {std::pair{0, 9}, {3, 4}, {7, 15}}) {
+    store->write_latency(10.0, u, v, 100.0 + u + v, 101.0 + u + v);
+    store->write_latency(10.0, v, u, 100.0 + u + v, 101.0 + u + v);
+    store->write_bandwidth(10.0, u, v, 900.0 - u - v, 941.0);
+    store->write_bandwidth(10.0, v, u, 900.0 - u - v, 941.0);
+  }
+
+  DeltaLogWriter writer(path);
+  DeltaLogReader reader(path);
+  ASSERT_TRUE(writer.append(store->assemble(10.0), store->drain_delta()));
+  ASSERT_GT(reader.poll(), 0);
+  reader.drain_delta();
+  expect_equal_state(reader.snapshot(), store->assemble(10.0));
+
+  // Delta frames on top of the sparse base replay identically too.
+  store->write_latency(11.0, 3, 4, 55.0, 56.0);
+  store->write_latency(11.0, 4, 3, 55.0, 56.0);
+  store->write_bandwidth(11.0, 0, 9, 700.0, 941.0);
+  store->write_bandwidth(11.0, 9, 0, 700.0, 941.0);
+  ASSERT_TRUE(writer.append(store->assemble(11.0), store->drain_delta()));
+  ASSERT_GT(reader.poll(), 0);
+  const SnapshotDelta delta = reader.drain_delta();
+  EXPECT_FALSE(delta.requires_full_rebuild());
+  expect_equal_state(reader.snapshot(), store->assemble(11.0));
+}
+
 TEST(DeltaLogTest, LivehostsChangeForcesAFullFrame) {
   const std::string path = log_path("livehosts");
   auto store = seeded_store(3);

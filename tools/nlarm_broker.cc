@@ -84,6 +84,17 @@ int main(int argc, char** argv) {
        {"policy",
         "network-load-aware|hierarchical|load-aware|sequential|random "
         "(default network-load-aware)"},
+       {"allocator",
+        "flat|hierarchical epoch serving path (default flat); hierarchical "
+        "keeps tiled pair state and decides via the two-phase hot path"},
+       {"block-size",
+        "tiled mode: fixed nodes per block; 0 groups by switch (default 0)"},
+       {"pair-sample",
+        "hierarchical: sampled pairs per group pair; 0 = exact tile "
+        "aggregation (default 4)"},
+       {"two-phase-min-nodes",
+        "tiled mode: prune blocks only at or above this many usable nodes; "
+        "0 always prunes (default 0)"},
        {"format", "hostfile|openmpi|srun|nodelist (default hostfile)"},
        {"cluster", "cluster spec string (default: the paper's testbed)"},
        {"scenario", "quiet|shared_lab|hotspot|heavy (default shared_lab)"},
@@ -235,6 +246,32 @@ int main(int argc, char** argv) {
   core::ResourceBroker broker(*allocator, broker_policy);
   obs::AuditLog audit_log;
   broker.set_audit_log(&audit_log);
+
+  // Serving-path selection, orthogonal to --policy (which picks the classic
+  // one-shot allocator): hierarchical keeps tiled pair state in the epoch
+  // builder and routes decide() through allocate_two_phase.
+  const std::string allocator_mode = parser.get_string("allocator", "flat");
+  if (allocator_mode == "hierarchical") {
+    core::HierarchicalOptions hier_options;
+    hier_options.pair_sample =
+        static_cast<int>(parser.get_long("pair-sample", 4));
+    hier_options.two_phase_min_nodes = static_cast<std::size_t>(
+        parser.get_long("two-phase-min-nodes", 0));
+    hier_options.block_size =
+        static_cast<std::size_t>(parser.get_long("block-size", 0));
+    core::TilingOptions tiling;
+    tiling.block_size = hier_options.block_size;
+    try {
+      hier_options.validate();
+    } catch (const util::CheckError& error) {
+      std::cerr << "bad hierarchical options: " << error.what() << "\n";
+      return 1;
+    }
+    broker.set_hierarchy(hier_options, tiling);
+  } else if (allocator_mode != "flat") {
+    std::cerr << "unknown --allocator '" << allocator_mode << "'\n";
+    return 1;
+  }
 
   const std::string metrics_path = parser.get_string("metrics-out", "");
   const std::string audit_path = parser.get_string("audit-out", "");
