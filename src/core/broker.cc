@@ -135,6 +135,9 @@ BrokerDecision ResourceBroker::decide(
     NLARM_DEBUG << "broker verdict: " << decision.reason;
   }
 
+  const double total_seconds = decide_span.stop();
+  obs::metrics::serve_decide_sketch().observe(total_seconds);
+
   if (audit_log_ != nullptr) {
     obs::AuditRecord record;
     record.nprocs = request.nprocs;
@@ -175,7 +178,7 @@ BrokerDecision ResourceBroker::decide(
         record.select_seconds = stats->select_seconds;
       }
     }
-    record.total_seconds = decide_span.stop();
+    record.total_seconds = total_seconds;
     audit_log_->append(std::move(record));
   }
   return decision;
@@ -346,6 +349,9 @@ BrokerDecision ResourceBroker::decide_prepared(
                 << "): " << decision.reason;
   }
 
+  const double total_seconds = decide_span.stop();
+  obs::metrics::serve_decide_sketch().observe(total_seconds);
+
   if (audit_log_ != nullptr) {
     obs::AuditRecord record;
     record.nprocs = request.nprocs;
@@ -393,7 +399,7 @@ BrokerDecision ResourceBroker::decide_prepared(
       record.generate_seconds = stats.generate_seconds;
       record.select_seconds = stats.select_seconds;
     }
-    record.total_seconds = decide_span.stop();
+    record.total_seconds = total_seconds;
     audit_log_->append(std::move(record));
   }
   return decision;
@@ -509,7 +515,13 @@ std::vector<BrokerDecision> ResourceBroker::decide_batch(
   std::vector<BrokerDecision> decisions;
   decisions.reserve(requests.size());
 
+  // Queue-position wait: how long each request sat behind the earlier ones
+  // in its admission round (the batched analog of front-door latency).
+  const double batch_start = obs::trace_clock_seconds();
+
   for (const AllocationRequest& request : requests) {
+    obs::metrics::admission_wait_sketch().observe(
+        obs::trace_clock_seconds() - batch_start);
     starts.clear();
     for (std::size_t i = 0; i < remaining.size(); ++i) {
       if (remaining[i] > 0) starts.push_back(i);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/catalog.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace nlarm::core {
@@ -18,6 +19,19 @@ void EpochPublisher::publish(std::shared_ptr<PreparedSnapshot> prepared) {
     obs::metrics::epoch_age_seconds().set(age);
     obs::metrics::broker_epoch_age_seconds().observe(std::max(0.0, age));
   }
+  // Refresh lag runs on the wall clock, not snapshot time: it is the
+  // refresh loop's real cadence, which live dashboards alert on.
+  const double wall = obs::trace_clock_seconds();
+  if (next > 1) {
+    const double lag = wall - last_publish_wall_;
+    obs::metrics::epoch_refresh_lag_seconds().set(lag);
+    obs::metrics::epoch_refresh_sketch().observe(lag);
+  }
+  last_publish_wall_ = wall;
+  obs::metrics::epoch_tiled_state_bytes().set(
+      prepared->tiles != nullptr
+          ? static_cast<double>(prepared->tiles->memory_bytes())
+          : 0.0);
   last_publish_time_ = prepared->time;
   current_ = std::move(prepared);
   if (!current_->usable.empty()) last_good_ = current_;

@@ -77,6 +77,7 @@ class EpochPublisher {
   std::shared_ptr<const PreparedSnapshot> last_good_;
   std::atomic<std::uint64_t> epoch_{0};
   double last_publish_time_ = 0.0;  ///< snapshot time of the last publish
+  double last_publish_wall_ = 0.0;  ///< trace-clock time of the last publish
 };
 
 }  // namespace nlarm::core

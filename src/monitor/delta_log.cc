@@ -359,6 +359,9 @@ int DeltaLogReader::poll() {
       ++frames_applied_;
     }
   }
+  // Follower-lag telemetry: the cursor vs the file size at this poll is
+  // how far behind the log's tail this reader runs.
+  obs::metrics::delta_log_tail_bytes().set(static_cast<double>(offset_));
   return applied;
 }
 

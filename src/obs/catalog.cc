@@ -21,6 +21,14 @@ MetricsRegistry& reg() { return MetricsRegistry::global(); }
     static Histogram& metric = reg().histogram(name, help); \
     return metric;                                 \
   }
+// Hot-path latency histograms use the fine 1-1.5-2-3-5-7.5 grid: the
+// default 1-2-5 grid put the whole ~1.5 ms V=16384 decide in one bucket.
+#define NLARM_CATALOG_FINE_HISTOGRAM(fn, name, help)                  \
+  Histogram& fn() {                                                   \
+    static Histogram& metric =                                        \
+        reg().histogram(name, help, fine_latency_seconds_bounds());   \
+    return metric;                                                    \
+  }
 
 NLARM_CATALOG_COUNTER(alloc_requests, "nlarm_alloc_requests_total",
                       "Allocation requests served by the network-load-aware "
@@ -48,16 +56,16 @@ NLARM_CATALOG_COUNTER(alloc_fullsort_generations,
 NLARM_CATALOG_COUNTER(alloc_fill_overflows, "nlarm_alloc_fill_overflows_total",
                       "Candidates whose process fill overflowed capacity and "
                       "fell back to round-robin oversubscription.")
-NLARM_CATALOG_HISTOGRAM(alloc_prepare_seconds, "nlarm_alloc_prepare_seconds",
+NLARM_CATALOG_FINE_HISTOGRAM(alloc_prepare_seconds, "nlarm_alloc_prepare_seconds",
                         "Wall time of the input-preparation stage "
                         "(normalized CL/NL/pc).")
-NLARM_CATALOG_HISTOGRAM(alloc_generate_seconds, "nlarm_alloc_generate_seconds",
+NLARM_CATALOG_FINE_HISTOGRAM(alloc_generate_seconds, "nlarm_alloc_generate_seconds",
                         "Wall time of candidate generation (Algorithm 1 over "
                         "all start nodes).")
-NLARM_CATALOG_HISTOGRAM(alloc_select_seconds, "nlarm_alloc_select_seconds",
+NLARM_CATALOG_FINE_HISTOGRAM(alloc_select_seconds, "nlarm_alloc_select_seconds",
                         "Wall time of best-candidate selection "
                         "(Algorithm 2).")
-NLARM_CATALOG_HISTOGRAM(alloc_total_seconds, "nlarm_alloc_total_seconds",
+NLARM_CATALOG_FINE_HISTOGRAM(alloc_total_seconds, "nlarm_alloc_total_seconds",
                         "End-to-end wall time of allocate().")
 
 NLARM_CATALOG_COUNTER(select_cost_walks, "nlarm_select_cost_walks_total",
@@ -87,7 +95,7 @@ NLARM_CATALOG_COUNTER(prepared_nl_materializations,
 NLARM_CATALOG_COUNTER(prepared_nl_reuses, "nlarm_prepared_nl_reuses_total",
                       "Epoch builds that shared the previous NL matrix "
                       "(no pair state changed).")
-NLARM_CATALOG_HISTOGRAM(prepared_update_seconds,
+NLARM_CATALOG_FINE_HISTOGRAM(prepared_update_seconds,
                         "nlarm_prepared_update_seconds",
                         "Wall time of one incremental delta application.")
 NLARM_CATALOG_HISTOGRAM(prepared_rebuild_seconds,
@@ -99,6 +107,17 @@ NLARM_CATALOG_COUNTER(epoch_publishes, "nlarm_epoch_publishes_total",
 NLARM_CATALOG_GAUGE(epoch_age_seconds, "nlarm_epoch_age_seconds",
                     "Snapshot-time gap between the last two published "
                     "epochs (how stale the previous epoch had become).")
+NLARM_CATALOG_GAUGE(epoch_refresh_lag_seconds,
+                    "nlarm_epoch_refresh_lag_seconds",
+                    "Wall-clock gap between the last two epoch publishes "
+                    "(the refresh loop's actual cadence).")
+NLARM_CATALOG_GAUGE(epoch_tiled_state_bytes, "nlarm_epoch_tiled_state_bytes",
+                    "Memory footprint of the current epoch's tiled pair "
+                    "state (0 when serving the flat path).")
+NLARM_CATALOG_GAUGE(epoch_staleness_burn_ratio,
+                    "nlarm_epoch_staleness_burn_ratio",
+                    "Current epoch age over the max-epoch-age bound; 1.0 "
+                    "means the staleness budget is exhausted.")
 
 NLARM_CATALOG_COUNTER(broker_decisions, "nlarm_broker_decisions_total",
                       "Brokered decisions (allocate or wait).")
@@ -155,10 +174,10 @@ NLARM_CATALOG_COUNTER(hier_tile_cache_hits,
                       "nlarm_hier_tile_cache_hits_total",
                       "Phase-2 tile lookups served from the epoch's "
                       "materialized-tile cache.")
-NLARM_CATALOG_HISTOGRAM(hier_phase1_seconds, "nlarm_hier_phase1_seconds",
+NLARM_CATALOG_FINE_HISTOGRAM(hier_phase1_seconds, "nlarm_hier_phase1_seconds",
                         "Wall time of phase 1 (block aggregation and "
                         "group-level Algorithms 1+2).")
-NLARM_CATALOG_HISTOGRAM(hier_phase2_seconds, "nlarm_hier_phase2_seconds",
+NLARM_CATALOG_FINE_HISTOGRAM(hier_phase2_seconds, "nlarm_hier_phase2_seconds",
                         "Wall time of phase 2 (pool assembly plus node-level "
                         "Algorithms 1+2 over the chosen blocks).")
 
@@ -189,6 +208,76 @@ NLARM_CATALOG_GAUGE(degrade_block_quarantined_nodes,
 NLARM_CATALOG_COUNTER(jobqueue_backoffs, "nlarm_jobqueue_backoffs_total",
                       "Wait verdicts that put the head job into exponential "
                       "backoff instead of retrying immediately.")
+
+NLARM_CATALOG_COUNTER(telemetry_scrapes, "nlarm_telemetry_scrapes_total",
+                      "Successful telemetry-plane scrapes "
+                      "(/metrics, /spans, /epoch).")
+NLARM_CATALOG_COUNTER(telemetry_scrape_errors,
+                      "nlarm_telemetry_scrape_errors_total",
+                      "Telemetry requests rejected (bad request line, "
+                      "unknown path, or unsupported method).")
+NLARM_CATALOG_COUNTER(telemetry_flushes, "nlarm_telemetry_flushes_total",
+                      "JSONL time-series frames appended by the metrics "
+                      "flusher.")
+NLARM_CATALOG_GAUGE(serve_threads, "nlarm_serve_threads",
+                    "Serve threads the broker front end is running.")
+NLARM_CATALOG_GAUGE(serve_inflight, "nlarm_serve_inflight",
+                    "Serve threads currently inside decide() — at "
+                    "nlarm_serve_threads the front end is saturated.")
+NLARM_CATALOG_GAUGE(delta_log_tail_bytes, "nlarm_delta_log_tail_bytes",
+                    "Byte offset of the next unread frame in the followed "
+                    ".nlarmd delta append-log (follower lag vs file size).")
+
+QuantileSketch& serve_decide_sketch() {
+  static QuantileSketch* sketch = new QuantileSketch();
+  return *sketch;
+}
+QuantileSketch& admission_wait_sketch() {
+  static QuantileSketch* sketch = new QuantileSketch();
+  return *sketch;
+}
+QuantileSketch& epoch_refresh_sketch() {
+  static QuantileSketch* sketch = new QuantileSketch();
+  return *sketch;
+}
+
+NLARM_CATALOG_GAUGE(serve_decide_p50_seconds, "nlarm_serve_decide_p50_seconds",
+                    "Sketch-estimated p50 of end-to-end decide() latency.")
+NLARM_CATALOG_GAUGE(serve_decide_p95_seconds, "nlarm_serve_decide_p95_seconds",
+                    "Sketch-estimated p95 of end-to-end decide() latency.")
+NLARM_CATALOG_GAUGE(serve_decide_p99_seconds, "nlarm_serve_decide_p99_seconds",
+                    "Sketch-estimated p99 of end-to-end decide() latency.")
+NLARM_CATALOG_GAUGE(serve_decide_p999_seconds,
+                    "nlarm_serve_decide_p999_seconds",
+                    "Sketch-estimated p999 of end-to-end decide() latency.")
+NLARM_CATALOG_GAUGE(admission_wait_p50_seconds,
+                    "nlarm_admission_wait_p50_seconds",
+                    "Sketch-estimated p50 of in-batch admission wait.")
+NLARM_CATALOG_GAUGE(admission_wait_p99_seconds,
+                    "nlarm_admission_wait_p99_seconds",
+                    "Sketch-estimated p99 of in-batch admission wait.")
+NLARM_CATALOG_GAUGE(epoch_refresh_p50_seconds,
+                    "nlarm_epoch_refresh_p50_seconds",
+                    "Sketch-estimated p50 of the wall gap between epoch "
+                    "publishes.")
+NLARM_CATALOG_GAUGE(epoch_refresh_p99_seconds,
+                    "nlarm_epoch_refresh_p99_seconds",
+                    "Sketch-estimated p99 of the wall gap between epoch "
+                    "publishes.")
+
+void export_quantile_gauges() {
+  const QuantileSketch& decide = serve_decide_sketch();
+  serve_decide_p50_seconds().set(decide.quantile(0.50));
+  serve_decide_p95_seconds().set(decide.quantile(0.95));
+  serve_decide_p99_seconds().set(decide.quantile(0.99));
+  serve_decide_p999_seconds().set(decide.quantile(0.999));
+  const QuantileSketch& wait = admission_wait_sketch();
+  admission_wait_p50_seconds().set(wait.quantile(0.50));
+  admission_wait_p99_seconds().set(wait.quantile(0.99));
+  const QuantileSketch& refresh = epoch_refresh_sketch();
+  epoch_refresh_p50_seconds().set(refresh.quantile(0.50));
+  epoch_refresh_p99_seconds().set(refresh.quantile(0.99));
+}
 
 NLARM_CATALOG_GAUGE(threadpool_threads, "nlarm_threadpool_threads",
                     "Worker threads in the most recently constructed "
@@ -315,6 +404,9 @@ void register_all() {
   prepared_rebuild_seconds();
   epoch_publishes();
   epoch_age_seconds();
+  epoch_refresh_lag_seconds();
+  epoch_tiled_state_bytes();
+  epoch_staleness_burn_ratio();
   broker_decisions();
   broker_waits();
   broker_allocations();
@@ -341,6 +433,20 @@ void register_all() {
   degrade_block_quarantine_events();
   degrade_block_quarantined_nodes();
   jobqueue_backoffs();
+  telemetry_scrapes();
+  telemetry_scrape_errors();
+  telemetry_flushes();
+  serve_threads();
+  serve_inflight();
+  delta_log_tail_bytes();
+  serve_decide_p50_seconds();
+  serve_decide_p95_seconds();
+  serve_decide_p99_seconds();
+  serve_decide_p999_seconds();
+  admission_wait_p50_seconds();
+  admission_wait_p99_seconds();
+  epoch_refresh_p50_seconds();
+  epoch_refresh_p99_seconds();
   threadpool_threads();
   threadpool_batches();
   threadpool_tasks();

@@ -9,6 +9,7 @@
 #pragma once
 
 #include "obs/metrics.h"
+#include "obs/sketch.h"
 
 namespace nlarm::obs::metrics {
 
@@ -41,6 +42,9 @@ Histogram& prepared_rebuild_seconds();    ///< nlarm_prepared_rebuild_seconds
 // --- epoch publication (EpochPublisher) ---
 Counter& epoch_publishes();              ///< nlarm_epoch_publishes_total
 Gauge& epoch_age_seconds();              ///< nlarm_epoch_age_seconds
+Gauge& epoch_refresh_lag_seconds();      ///< nlarm_epoch_refresh_lag_seconds
+Gauge& epoch_tiled_state_bytes();        ///< nlarm_epoch_tiled_state_bytes
+Gauge& epoch_staleness_burn_ratio();     ///< nlarm_epoch_staleness_burn_ratio
 
 // --- broker ---
 Counter& broker_decisions();             ///< nlarm_broker_decisions_total
@@ -75,6 +79,36 @@ Gauge& degrade_block_quarantined_nodes(); ///< nlarm_degrade_block_quarantined_n
 
 // --- job queue ---
 Counter& jobqueue_backoffs();            ///< nlarm_jobqueue_backoffs_total
+
+// --- live telemetry plane (obs/telemetry_server.h, obs/flusher.h) ---
+Counter& telemetry_scrapes();            ///< nlarm_telemetry_scrapes_total
+Counter& telemetry_scrape_errors();      ///< nlarm_telemetry_scrape_errors_total
+Counter& telemetry_flushes();            ///< nlarm_telemetry_flushes_total
+Gauge& serve_threads();                  ///< nlarm_serve_threads
+Gauge& serve_inflight();                 ///< nlarm_serve_inflight
+Gauge& delta_log_tail_bytes();           ///< nlarm_delta_log_tail_bytes
+
+// Streaming latency sketches (obs/sketch.h) and the quantile gauges
+// export_quantile_gauges() materializes from them at scrape/flush time.
+// The sketches are what the hot path writes into (wait-free observe);
+// the gauges are the Prometheus-visible face.
+QuantileSketch& serve_decide_sketch();    ///< end-to-end decide() latency
+QuantileSketch& admission_wait_sketch();  ///< in-batch admission queue wait
+QuantileSketch& epoch_refresh_sketch();   ///< publish-to-publish wall gap
+
+Gauge& serve_decide_p50_seconds();   ///< nlarm_serve_decide_p50_seconds
+Gauge& serve_decide_p95_seconds();   ///< nlarm_serve_decide_p95_seconds
+Gauge& serve_decide_p99_seconds();   ///< nlarm_serve_decide_p99_seconds
+Gauge& serve_decide_p999_seconds();  ///< nlarm_serve_decide_p999_seconds
+Gauge& admission_wait_p50_seconds(); ///< nlarm_admission_wait_p50_seconds
+Gauge& admission_wait_p99_seconds(); ///< nlarm_admission_wait_p99_seconds
+Gauge& epoch_refresh_p50_seconds();  ///< nlarm_epoch_refresh_p50_seconds
+Gauge& epoch_refresh_p99_seconds();  ///< nlarm_epoch_refresh_p99_seconds
+
+/// Reads the three sketches and sets the quantile gauges above. Called by
+/// the telemetry server on each /metrics scrape and by the flusher before
+/// each frame — never from the decide path.
+void export_quantile_gauges();
 
 // --- util::ThreadPool (pooled parallel_for path only) ---
 Gauge& threadpool_threads();             ///< nlarm_threadpool_threads

@@ -1,0 +1,104 @@
+#include "obs/flusher.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+
+#include "obs/catalog.h"
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace nlarm::obs {
+
+namespace {
+
+std::uint64_t file_size_of(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return 0;
+  const auto pos = in.tellg();
+  return pos > 0 ? static_cast<std::uint64_t>(pos) : 0;
+}
+
+double unix_seconds_now() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+MetricsFlusher::MetricsFlusher(FlusherOptions options)
+    : options_(std::move(options)) {}
+
+MetricsFlusher::~MetricsFlusher() { stop(); }
+
+bool MetricsFlusher::start() {
+  if (started_) return true;
+  {
+    std::ofstream probe(options_.path, std::ios::app);
+    if (!probe) {
+      NLARM_WARN << "flusher: cannot open " << options_.path;
+      return false;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = false;
+  }
+  started_ = true;
+  thread_ = std::thread([this] { run(); });
+  return true;
+}
+
+void MetricsFlusher::maybe_rotate_locked() {
+  if (options_.rotate_bytes == 0) return;
+  if (file_size_of(options_.path) < options_.rotate_bytes) return;
+  const std::string aged = options_.path + ".1";
+  std::remove(aged.c_str());
+  if (std::rename(options_.path.c_str(), aged.c_str()) == 0) {
+    rotations_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+bool MetricsFlusher::flush_now() {
+  metrics::export_quantile_gauges();
+  const std::string frame = MetricsRegistry::global().compact_json();
+  std::lock_guard<std::mutex> lock(mutex_);
+  maybe_rotate_locked();
+  std::ofstream out(options_.path, std::ios::app);
+  if (!out) return false;
+  out << "{\"ts\":" << format_metric_value(unix_seconds_now())
+      << ",\"seq\":" << frames_.load(std::memory_order_relaxed) + 1
+      << ",\"metrics\":" << frame << "}\n";
+  if (!out) return false;
+  frames_.fetch_add(1, std::memory_order_relaxed);
+  metrics::telemetry_flushes().inc();
+  return true;
+}
+
+void MetricsFlusher::run() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stopping_) {
+    const auto interval = std::chrono::duration<double>(options_.interval_s);
+    if (cv_.wait_for(lock, interval, [this] { return stopping_; })) break;
+    lock.unlock();
+    if (!flush_now()) {
+      NLARM_WARN << "flusher: write to " << options_.path << " failed";
+    }
+    lock.lock();
+  }
+}
+
+void MetricsFlusher::stop() {
+  if (!started_) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  started_ = false;
+  flush_now();  // final frame so even sub-interval runs leave a timeline
+}
+
+}  // namespace nlarm::obs

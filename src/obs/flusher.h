@@ -1,0 +1,72 @@
+// Periodic JSONL metrics flusher: turns the live registry into an on-disk
+// time series.
+//
+// Dump-at-exit exposition gives a chaos run exactly one final frame; the
+// flusher appends one compact JSON object per interval (wall-clock
+// timestamp + sequence number + every counter/gauge/histogram summary) so
+// a run produces a timeline that plots directly. Quantile gauges are
+// refreshed from the sketches before each frame, same as a /metrics
+// scrape.
+//
+// Rotation: when the file would grow past `rotate_bytes`, the current file
+// is renamed to `<path>.1` (replacing any previous one) and a fresh file
+// starts — two-deep retention bounds disk use on unattended runs.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace nlarm::obs {
+
+struct FlusherOptions {
+  std::string path;           ///< JSONL output file (appended)
+  double interval_s = 1.0;    ///< wall-clock seconds between frames
+  std::uint64_t rotate_bytes = 0;  ///< rotate above this size; 0 = never
+};
+
+class MetricsFlusher {
+ public:
+  explicit MetricsFlusher(FlusherOptions options);
+  ~MetricsFlusher();
+
+  MetricsFlusher(const MetricsFlusher&) = delete;
+  MetricsFlusher& operator=(const MetricsFlusher&) = delete;
+
+  /// Spawns the flushing thread. Returns false when the file cannot be
+  /// opened for append.
+  bool start();
+
+  /// Writes a final frame, stops the thread. Idempotent.
+  void stop();
+
+  /// Appends one frame now (also used by the thread each tick).
+  /// Returns false on write failure.
+  bool flush_now();
+
+  std::uint64_t frames_written() const {
+    return frames_.load(std::memory_order_relaxed);
+  }
+  /// Times the file was rotated to <path>.1.
+  std::uint64_t rotations() const {
+    return rotations_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void run();
+  void maybe_rotate_locked();
+
+  FlusherOptions options_;
+  std::mutex mutex_;               ///< guards the file and rotation
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::atomic<std::uint64_t> frames_{0};
+  std::atomic<std::uint64_t> rotations_{0};
+  std::thread thread_;
+  bool started_ = false;
+};
+
+}  // namespace nlarm::obs

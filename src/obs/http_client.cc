@@ -1,0 +1,99 @@
+#include "obs/http_client.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define NLARM_HTTP_POSIX 1
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace nlarm::obs {
+
+#ifdef NLARM_HTTP_POSIX
+
+std::optional<HttpResponse> http_get(const std::string& host, int port,
+                                     const std::string& path,
+                                     double timeout_s) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return std::nullopt;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return std::nullopt;
+  }
+
+  const std::string request = "GET " + path +
+                              " HTTP/1.1\r\nHost: " + host +
+                              "\r\nConnection: close\r\n\r\n";
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + sent, request.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      ::close(fd);
+      return std::nullopt;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+
+  // The server closes after one response, so read to EOF under a deadline.
+  std::string raw;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_s);
+  char buf[4096];
+  for (;;) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (left.count() <= 0) break;
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, static_cast<int>(left.count()));
+    if (ready <= 0) {
+      if (ready == 0) break;  // timed out
+      if (errno == EINTR) continue;
+      break;
+    }
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;  // EOF: response complete
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  // Status line: HTTP/1.1 SP code SP reason.
+  if (raw.rfind("HTTP/", 0) != 0) return std::nullopt;
+  const std::size_t sp = raw.find(' ');
+  if (sp == std::string::npos) return std::nullopt;
+  HttpResponse response;
+  response.status = std::atoi(raw.c_str() + sp + 1);
+  const std::size_t header_end = raw.find("\r\n\r\n");
+  if (header_end == std::string::npos) return std::nullopt;
+  response.body = raw.substr(header_end + 4);
+  return response;
+}
+
+#else  // !NLARM_HTTP_POSIX
+
+std::optional<HttpResponse> http_get(const std::string&, int,
+                                     const std::string&, double) {
+  return std::nullopt;
+}
+
+#endif
+
+}  // namespace nlarm::obs

@@ -1,0 +1,25 @@
+// Minimal blocking HTTP/1.1 GET client (POSIX sockets, no dependencies).
+//
+// Counterpart of obs/telemetry_server.h: nlarm_top polls /metrics and
+// /epoch through it, and the telemetry tests scrape the real server
+// end-to-end without shelling out to curl. One request per connection,
+// matching the server's Connection: close contract.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace nlarm::obs {
+
+struct HttpResponse {
+  int status = 0;     ///< e.g. 200, 503
+  std::string body;   ///< payload after the header block
+};
+
+/// Fetches http://host:port/path. Returns nullopt on connect/read failure
+/// or when no complete HTTP response arrived within `timeout_s`.
+std::optional<HttpResponse> http_get(const std::string& host, int port,
+                                     const std::string& path,
+                                     double timeout_s = 2.0);
+
+}  // namespace nlarm::obs

@@ -38,6 +38,17 @@ std::vector<double> latency_seconds_bounds() {
   return bounds;
 }
 
+std::vector<double> fine_latency_seconds_bounds() {
+  std::vector<double> bounds;
+  for (double decade = 1e-7; decade < 0.5; decade *= 10.0) {
+    for (const double mantissa : {1.0, 1.5, 2.0, 3.0, 5.0, 7.5}) {
+      bounds.push_back(mantissa * decade);
+    }
+  }
+  bounds.push_back(1.0);
+  return bounds;
+}
+
 std::string format_metric_value(double value) {
   // Shortest representation that round-trips: try increasing precision.
   char buf[64];
@@ -171,6 +182,35 @@ std::string MetricsRegistry::jsonl() const {
     }
     out << "}\n";
   }
+  return out.str();
+}
+
+std::string MetricsRegistry::compact_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  out << "{";
+  bool first = true;
+  const auto sep = [&out, &first] {
+    if (!first) out << ",";
+    first = false;
+  };
+  for (const auto& [name, entry] : entries_) {
+    if (entry.counter) {
+      sep();
+      out << "\"" << name << "\":" << entry.counter->value();
+    } else if (entry.gauge) {
+      sep();
+      out << "\"" << name
+          << "\":" << format_metric_value(entry.gauge->value());
+    } else if (entry.histogram) {
+      sep();
+      out << "\"" << name << "_count\":" << entry.histogram->count();
+      sep();
+      out << "\"" << name
+          << "_sum\":" << format_metric_value(entry.histogram->sum());
+    }
+  }
+  out << "}";
   return out.str();
 }
 

@@ -79,6 +79,12 @@ class Histogram {
 /// Default bucket bounds for stage latencies: 1-2-5 decades from 1µs to 1s.
 std::vector<double> latency_seconds_bounds();
 
+/// Finer bounds for hot-path histograms: 1-1.5-2-3-5-7.5 decades from
+/// 100ns to 1s. The 1-2-5 grid put PR 6's ~1.5 ms warm decide and a 2 ms
+/// regression in the same bucket; this grid separates them (and resolves
+/// the sub-millisecond stage times a V=16384 decide is made of).
+std::vector<double> fine_latency_seconds_bounds();
+
 /// Named metric registry. `global()` is the process-wide instance every
 /// instrumented layer reports into; tests may build private instances.
 class MetricsRegistry {
@@ -107,6 +113,11 @@ class MetricsRegistry {
 
   /// One JSON object per metric per line.
   std::string jsonl() const;
+
+  /// The whole registry as ONE flat JSON object (no trailing newline):
+  /// counters and gauges map name → value; histograms contribute
+  /// name_count and name_sum. The flusher's per-tick time-series frame.
+  std::string compact_json() const;
 
   static MetricsRegistry& global();
 

@@ -1,0 +1,108 @@
+#include "obs/sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/metrics.h"
+#include "util/check.h"
+
+namespace nlarm::obs {
+
+QuantileSketch::QuantileSketch(double relative_error, double min_value,
+                               double max_value)
+    : alpha_(relative_error), min_value_(min_value), max_value_(max_value) {
+  NLARM_CHECK(alpha_ > 0.0 && alpha_ < 1.0)
+      << "sketch relative error must be in (0, 1)";
+  NLARM_CHECK(min_value_ > 0.0 && max_value_ > min_value_)
+      << "sketch value range must satisfy 0 < min < max";
+  gamma_ = (1.0 + alpha_) / (1.0 - alpha_);
+  inv_log_gamma_ = 1.0 / std::log(gamma_);
+  min_index_ =
+      static_cast<std::int64_t>(std::floor(std::log(min_value_) *
+                                           inv_log_gamma_));
+  const auto max_index = static_cast<std::int64_t>(
+      std::ceil(std::log(max_value_) * inv_log_gamma_));
+  buckets_n_ = static_cast<std::size_t>(max_index - min_index_ + 1);
+  buckets_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(buckets_n_ + 1);
+  for (std::size_t i = 0; i <= buckets_n_; ++i) buckets_[i] = 0;
+}
+
+std::size_t QuantileSketch::index_of(double value) const {
+  if (!(value > 0.0)) return 0;  // zero, negative, NaN → zero bucket
+  const auto raw = static_cast<std::int64_t>(
+      std::ceil(std::log(value) * inv_log_gamma_));
+  const std::int64_t clamped = std::clamp(
+      raw - min_index_, std::int64_t{0},
+      static_cast<std::int64_t>(buckets_n_) - 1);
+  return static_cast<std::size_t>(clamped) + 1;
+}
+
+double QuantileSketch::value_of(std::size_t index) const {
+  if (index == 0) return 0.0;
+  // Bucket i covers (gamma^(k-1), gamma^k] with k = min_index_ + i - 1;
+  // the harmonic midpoint 2*gamma^k/(gamma+1) is within alpha of every
+  // point of that interval.
+  const double k =
+      static_cast<double>(min_index_ + static_cast<std::int64_t>(index) - 1);
+  return 2.0 * std::exp(k * std::log(gamma_)) / (gamma_ + 1.0);
+}
+
+void QuantileSketch::observe(double value) {
+  buckets_[index_of(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, value > 0.0 ? value : 0.0);
+}
+
+std::uint64_t QuantileSketch::count() const {
+  return count_.load(std::memory_order_relaxed);
+}
+
+double QuantileSketch::sum() const {
+  return sum_.load(std::memory_order_relaxed);
+}
+
+double QuantileSketch::quantile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  // Walk on a consistent local total (bucket sums), not count_: in-flight
+  // observes may have bumped one but not the other.
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i <= buckets_n_; ++i) {
+    total += buckets_[i].load(std::memory_order_relaxed);
+  }
+  if (total == 0) return 0.0;
+  const auto rank = static_cast<std::uint64_t>(
+      std::max(1.0, std::ceil(q * static_cast<double>(total))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i <= buckets_n_; ++i) {
+    cumulative += buckets_[i].load(std::memory_order_relaxed);
+    if (cumulative >= rank) return value_of(i);
+  }
+  return value_of(buckets_n_);
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  NLARM_CHECK(other.buckets_n_ == buckets_n_ && other.alpha_ == alpha_ &&
+              other.min_value_ == min_value_ && other.max_value_ == max_value_)
+      << "merging sketches with different geometry";
+  std::uint64_t merged = 0;
+  for (std::size_t i = 0; i <= buckets_n_; ++i) {
+    const std::uint64_t n = other.buckets_[i].load(std::memory_order_relaxed);
+    if (n > 0) {
+      buckets_[i].fetch_add(n, std::memory_order_relaxed);
+      merged += n;
+    }
+  }
+  count_.fetch_add(merged, std::memory_order_relaxed);
+  atomic_add(sum_, other.sum());
+}
+
+void QuantileSketch::reset() {
+  for (std::size_t i = 0; i <= buckets_n_; ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+}  // namespace nlarm::obs

@@ -1,0 +1,80 @@
+// Lock-free streaming quantile sketch (fixed log-bucket, DDSketch-style).
+//
+// decide() latencies at V=16384 span ~three decades under load, and the
+// fixed-bucket Histogram can only answer "which bucket" — not p999. The
+// sketch keeps geometrically spaced buckets with ratio gamma chosen from a
+// relative-error target alpha (gamma = (1+alpha)/(1-alpha)), so any
+// reported quantile q satisfies |q_est - q_true| <= alpha * q_true for
+// values inside [min_value, max_value]. Out-of-range values clamp into the
+// edge buckets (counted, bounded error no longer guaranteed there).
+//
+// Concurrency contract matches obs/metrics.h: observe() is wait-free
+// (one relaxed fetch_add into a fixed bucket array, no allocation);
+// quantile()/count() read concurrently and see some interleaving of
+// in-flight updates; merge()/merge_into() fold another sketch's buckets in
+// (serve threads may keep thread-local sketches and merge at scrape time).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace nlarm::obs {
+
+class QuantileSketch {
+ public:
+  /// `relative_error` is the DDSketch alpha (default 1%); the value range
+  /// defaults to [1 ns, ~11.5 days] in seconds — wide enough for every
+  /// latency this process can observe while keeping ~2k buckets.
+  explicit QuantileSketch(double relative_error = 0.01,
+                          double min_value = 1e-9, double max_value = 1e6);
+
+  /// Wait-free: one bucket-index computation and one relaxed fetch_add.
+  /// Values <= 0 land in the dedicated zero bucket (timers can round to 0).
+  void observe(double value);
+
+  /// Total observations (including zero-bucket ones).
+  std::uint64_t count() const;
+
+  /// Sum of observed values (CAS-add, exact up to fp rounding).
+  double sum() const;
+
+  /// Estimated value at quantile q in [0, 1]; 0 when the sketch is empty.
+  /// q=0 estimates the minimum bucket, q=1 the maximum.
+  double quantile(double q) const;
+
+  /// Folds `other`'s buckets into this sketch. Both must share the same
+  /// geometry (same alpha and range) — enforced with a CheckError.
+  void merge(const QuantileSketch& other);
+
+  /// Resets every bucket to zero (not concurrency-safe against observe;
+  /// tests and between-run resets only).
+  void reset();
+
+  double relative_error() const { return alpha_; }
+  double gamma() const { return gamma_; }
+  std::size_t bucket_count() const { return buckets_n_; }
+
+ private:
+  std::size_t index_of(double value) const;
+  /// Midpoint estimate of bucket i's value range: 2*gamma^(i+offset) /
+  /// (gamma+1), which is within alpha of anything in the bucket.
+  double value_of(std::size_t index) const;
+
+  double alpha_;
+  double gamma_;
+  double inv_log_gamma_;
+  double min_value_;
+  double max_value_;
+  std::int64_t min_index_;  ///< log-index of min_value_
+  std::size_t buckets_n_;   ///< log buckets (excluding the zero bucket)
+  /// Slot 0 is the zero/negative bucket; slots 1..buckets_n_ are the log
+  /// buckets for [min_value, max_value].
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+}  // namespace nlarm::obs

@@ -1,0 +1,233 @@
+#include "obs/telemetry_server.h"
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include "obs/catalog.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/logging.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define NLARM_TELEMETRY_POSIX 1
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace nlarm::obs {
+
+std::string EpochStatus::to_json() const {
+  std::ostringstream out;
+  out << "{\"published\":" << (published ? "true" : "false")
+      << ",\"epoch\":" << epoch
+      << ",\"age_seconds\":" << format_metric_value(age_seconds)
+      << ",\"max_age_seconds\":" << format_metric_value(max_age_seconds)
+      << ",\"staleness_burn\":" << format_metric_value(staleness_burn())
+      << ",\"ready\":" << (ready() ? "true" : "false")
+      << ",\"usable_nodes\":" << usable_nodes
+      << ",\"quarantined\":" << quarantined
+      << ",\"pair_fallbacks\":" << pair_fallbacks
+      << ",\"degraded\":" << (degraded ? "true" : "false")
+      << ",\"tiled_state_bytes\":" << tiled_state_bytes << "}";
+  return out.str();
+}
+
+namespace {
+
+std::string http_response(int status, const char* reason,
+                          const char* content_type, const std::string& body) {
+  std::ostringstream out;
+  out << "HTTP/1.1 " << status << " " << reason << "\r\n"
+      << "Content-Type: " << content_type << "\r\n"
+      << "Content-Length: " << body.size() << "\r\n"
+      << "Connection: close\r\n\r\n"
+      << body;
+  return out.str();
+}
+
+constexpr const char* kTextPlain = "text/plain; charset=utf-8";
+constexpr const char* kPrometheus = "text/plain; version=0.0.4";
+constexpr const char* kJson = "application/json";
+
+}  // namespace
+
+TelemetryServer::TelemetryServer(TelemetryOptions options,
+                                 EpochProvider provider)
+    : options_(std::move(options)), provider_(std::move(provider)) {}
+
+TelemetryServer::~TelemetryServer() { stop(); }
+
+std::string TelemetryServer::handle(const std::string& request) const {
+  // Request line: METHOD SP PATH SP VERSION. Anything malformed is a 400.
+  const std::size_t line_end = request.find("\r\n");
+  const std::string line =
+      line_end == std::string::npos ? request : request.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    metrics::telemetry_scrape_errors().inc();
+    return http_response(400, "Bad Request", kTextPlain, "bad request\n");
+  }
+  const std::string method = line.substr(0, sp1);
+  std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::size_t query = path.find('?');
+  if (query != std::string::npos) path.resize(query);
+  if (method != "GET" && method != "HEAD") {
+    metrics::telemetry_scrape_errors().inc();
+    return http_response(405, "Method Not Allowed", kTextPlain,
+                         "only GET is served\n");
+  }
+
+  if (path == "/metrics") {
+    metrics::telemetry_scrapes().inc();
+    // Quantile gauges are materialized lazily from the sketches so the
+    // decide path never pays for them; a scrape is the materialization
+    // point.
+    metrics::export_quantile_gauges();
+    return http_response(200, "OK", kPrometheus,
+                         MetricsRegistry::global().prometheus_text());
+  }
+  if (path == "/healthz") {
+    return http_response(200, "OK", kTextPlain, "ok\n");
+  }
+  if (path == "/readyz") {
+    const EpochStatus status = provider_ ? provider_() : EpochStatus{};
+    std::ostringstream body;
+    if (status.ready()) {
+      body << "ready epoch=" << status.epoch << " age="
+           << format_metric_value(status.age_seconds) << "s\n";
+      return http_response(200, "OK", kTextPlain, body.str());
+    }
+    if (!status.published) {
+      body << "unready: no epoch published yet\n";
+    } else {
+      body << "unready: epoch " << status.epoch << " is "
+           << format_metric_value(status.age_seconds)
+           << "s old (bound "
+           << format_metric_value(status.max_age_seconds) << "s)\n";
+    }
+    return http_response(503, "Service Unavailable", kTextPlain, body.str());
+  }
+  if (path == "/spans") {
+    metrics::telemetry_scrapes().inc();
+    return http_response(200, "OK", kTextPlain, SpanTracer::global().jsonl());
+  }
+  if (path == "/epoch") {
+    metrics::telemetry_scrapes().inc();
+    const EpochStatus status = provider_ ? provider_() : EpochStatus{};
+    return http_response(200, "OK", kJson, status.to_json() + "\n");
+  }
+  metrics::telemetry_scrape_errors().inc();
+  return http_response(404, "Not Found", kTextPlain,
+                       "unknown path; try /metrics /healthz /readyz /spans "
+                       "/epoch\n");
+}
+
+#ifdef NLARM_TELEMETRY_POSIX
+
+bool TelemetryServer::start() {
+  if (running_.load(std::memory_order_acquire)) return true;
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    NLARM_WARN << "telemetry: socket() failed: " << std::strerror(errno);
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    NLARM_WARN << "telemetry: bad bind address " << options_.bind_address;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listen_fd_, 16) < 0) {
+    NLARM_WARN << "telemetry: cannot listen on " << options_.bind_address
+               << ":" << options_.port << ": " << std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port_ = static_cast<int>(ntohs(bound.sin_port));
+  }
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { serve_loop(); });
+  NLARM_INFO << "telemetry: listening on http://" << options_.bind_address
+             << ":" << port_;
+  return true;
+}
+
+void TelemetryServer::serve_loop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0) continue;  // timeout or EINTR: re-check stop_
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    // Read until the header terminator (requests here have no body) with a
+    // small bound so a misbehaving client cannot park the server.
+    std::string request;
+    char buf[2048];
+    while (request.size() < 16 * 1024 &&
+           request.find("\r\n\r\n") == std::string::npos) {
+      pollfd cfd{fd, POLLIN, 0};
+      if (::poll(&cfd, 1, /*timeout_ms=*/1000) <= 0) break;
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n <= 0) break;
+      request.append(buf, static_cast<std::size_t>(n));
+    }
+    if (!request.empty()) {
+      const std::string response = handle(request);
+      std::size_t sent = 0;
+      while (sent < response.size()) {
+        const ssize_t n = ::send(fd, response.data() + sent,
+                                 response.size() - sent, MSG_NOSIGNAL);
+        if (n <= 0) break;
+        sent += static_cast<std::size_t>(n);
+      }
+    }
+    ::close(fd);
+  }
+}
+
+void TelemetryServer::stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+#else  // !NLARM_TELEMETRY_POSIX
+
+bool TelemetryServer::start() {
+  NLARM_WARN << "telemetry: no POSIX sockets on this platform; server off";
+  return false;
+}
+
+void TelemetryServer::serve_loop() {}
+
+void TelemetryServer::stop() {}
+
+#endif
+
+}  // namespace nlarm::obs

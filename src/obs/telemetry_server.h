@@ -1,0 +1,110 @@
+// Live telemetry plane: a minimal self-contained HTTP/1.1 exposition
+// server (POSIX sockets, one background thread, no dependencies).
+//
+// A serving broker is a long-lived process; dump-at-exit observability
+// leaves it a black box while it is actually serving. The TelemetryServer
+// makes the global obs state scrapeable live:
+//
+//   /metrics  Prometheus v0.0.4 text of the global MetricsRegistry (with
+//             the quantile gauges refreshed from the sketches first)
+//   /healthz  200 while the process (and this thread) is alive
+//   /readyz   200 while an epoch is published and its age is within the
+//             configured bound; 503 otherwise (load-balancer semantics)
+//   /spans    the global SpanTracer ring as JSONL, oldest first
+//   /epoch    JSON: epoch id, age, usable/quarantined nodes, tiled-state
+//             bytes, staleness-budget burn, degradation flags
+//
+// One request per connection (Connection: close), requests served
+// serially on the accept thread — scrape traffic is a handful of pollers,
+// not the million-QPS decide path, and serial handling keeps the server
+// trivially correct. decide() threads are never blocked: every handler
+// reads lock-free metric atomics or takes the short registry/tracer locks
+// the exporters already take.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace nlarm::obs {
+
+/// What /readyz and /epoch report. Produced by a user-supplied provider so
+/// the server stays decoupled from core/ (the broker wires one up in
+/// nlarm_broker; tests hand in canned values).
+struct EpochStatus {
+  bool published = false;       ///< any epoch published yet
+  std::uint64_t epoch = 0;      ///< current epoch counter
+  double age_seconds = 0.0;     ///< now - epoch snapshot time
+  double max_age_seconds = 0.0; ///< readiness bound; <= 0 = no bound
+  std::size_t usable_nodes = 0;
+  std::size_t quarantined = 0;     ///< nodes quarantined out of usable
+  std::size_t pair_fallbacks = 0;  ///< pairs on the 5-min-mean fallback
+  bool degraded = false;           ///< epoch built from a rewritten snapshot
+  std::size_t tiled_state_bytes = 0;  ///< TiledPairState footprint (0 = flat)
+
+  /// Fraction of the staleness budget burned (age / max_age; 0 without a
+  /// bound). > 1 means the epoch is already over budget.
+  double staleness_burn() const {
+    return max_age_seconds > 0.0 ? age_seconds / max_age_seconds : 0.0;
+  }
+  /// The /readyz verdict: a published epoch within its age bound.
+  bool ready() const {
+    return published &&
+           (max_age_seconds <= 0.0 || age_seconds <= max_age_seconds);
+  }
+
+  /// The /epoch response body (one-line JSON object).
+  std::string to_json() const;
+};
+
+struct TelemetryOptions {
+  std::string bind_address = "127.0.0.1";
+  int port = 0;  ///< 0 = ephemeral (read the bound port back via port())
+};
+
+class TelemetryServer {
+ public:
+  using EpochProvider = std::function<EpochStatus()>;
+
+  /// `provider` feeds /readyz and /epoch; when empty both report an
+  /// unpublished epoch (readyz 503). Must be safe to call from the server
+  /// thread while other threads run.
+  explicit TelemetryServer(TelemetryOptions options = {},
+                           EpochProvider provider = {});
+  ~TelemetryServer();
+
+  TelemetryServer(const TelemetryServer&) = delete;
+  TelemetryServer& operator=(const TelemetryServer&) = delete;
+
+  /// Binds, listens, and spawns the serving thread. Returns false (with a
+  /// warning logged) when the socket could not be bound.
+  bool start();
+
+  /// Stops accepting, joins the thread, closes the socket. Idempotent.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// The actual bound port (after start(); useful with options.port == 0).
+  int port() const { return port_; }
+
+  /// Serves one request already read into `request` and returns the raw
+  /// HTTP response. Exposed for tests (exact routing/format checks without
+  /// a socket) and reused verbatim by the socket path.
+  std::string handle(const std::string& request) const;
+
+ private:
+  void serve_loop();
+
+  TelemetryOptions options_;
+  EpochProvider provider_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace nlarm::obs

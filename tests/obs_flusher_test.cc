@@ -1,0 +1,144 @@
+// JSONL metrics flusher: frames land on disk as parseable one-line JSON
+// objects with monotone sequence numbers, rotation caps the file at the
+// configured size (two-deep retention), and stop() is idempotent while
+// always writing a final frame.
+#include "obs/flusher.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "obs/catalog.h"
+#include "obs/metrics.h"
+
+namespace nlarm::obs {
+namespace {
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+std::string temp_path(const char* stem) {
+  std::ostringstream out;
+  out << ::testing::TempDir() << stem << "." << ::getpid() << ".jsonl";
+  return out.str();
+}
+
+TEST(FlusherTest, FramesAreSequencedJsonObjects) {
+  metrics::register_all();
+  const std::string path = temp_path("flusher_frames");
+  std::remove(path.c_str());
+
+  FlusherOptions options;
+  options.path = path;
+  options.interval_s = 3600.0;  // no timer frames; we drive flush_now()
+  MetricsFlusher flusher(options);
+  ASSERT_TRUE(flusher.start());
+  EXPECT_TRUE(flusher.flush_now());
+  metrics::broker_decisions().inc();
+  EXPECT_TRUE(flusher.flush_now());
+  flusher.stop();  // writes one final frame
+
+  const std::vector<std::string> lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(flusher.frames_written(), 3u);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    EXPECT_EQ(lines[i].front(), '{') << lines[i];
+    EXPECT_EQ(lines[i].back(), '}') << lines[i];
+    std::ostringstream seq;
+    seq << "\"seq\":" << (i + 1);
+    EXPECT_NE(lines[i].find(seq.str()), std::string::npos) << lines[i];
+    EXPECT_NE(lines[i].find("\"ts\":"), std::string::npos) << lines[i];
+    EXPECT_NE(lines[i].find("nlarm_broker_decisions_total"),
+              std::string::npos)
+        << lines[i];
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FlusherTest, PeriodicThreadWritesFrames) {
+  metrics::register_all();
+  const std::string path = temp_path("flusher_periodic");
+  std::remove(path.c_str());
+
+  FlusherOptions options;
+  options.path = path;
+  options.interval_s = 0.02;
+  MetricsFlusher flusher(options);
+  ASSERT_TRUE(flusher.start());
+  // Wait until the timer thread has demonstrably fired a few times.
+  for (int i = 0; i < 200 && flusher.frames_written() < 3; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  flusher.stop();
+  EXPECT_GE(flusher.frames_written(), 3u);
+  EXPECT_GE(read_lines(path).size(), 3u);
+  std::remove(path.c_str());
+  std::remove((path + ".1").c_str());
+}
+
+TEST(FlusherTest, RotationCapsTheFile) {
+  metrics::register_all();
+  const std::string path = temp_path("flusher_rotate");
+  std::remove(path.c_str());
+  std::remove((path + ".1").c_str());
+
+  FlusherOptions options;
+  options.path = path;
+  options.interval_s = 3600.0;
+  options.rotate_bytes = 4096;  // a frame is a few KB: rotate quickly
+  MetricsFlusher flusher(options);
+  ASSERT_TRUE(flusher.start());
+  for (int i = 0; i < 12; ++i) ASSERT_TRUE(flusher.flush_now());
+  flusher.stop();
+
+  EXPECT_GE(flusher.rotations(), 1u);
+  // Retention is two-deep: the live file plus one rotated generation.
+  EXPECT_FALSE(read_lines(path).empty());
+  EXPECT_FALSE(read_lines(path + ".1").empty());
+  std::ifstream live(path, std::ios::ate | std::ios::binary);
+  // The live file restarted after the last rotation, so it holds only the
+  // frames written since then (a frame can exceed rotate_bytes on its own;
+  // the bound is per-generation growth, not a hard byte ceiling).
+  EXPECT_LT(static_cast<std::uint64_t>(live.tellg()),
+            12 * static_cast<std::uint64_t>(options.rotate_bytes));
+  std::remove(path.c_str());
+  std::remove((path + ".1").c_str());
+}
+
+TEST(FlusherTest, StopIsIdempotentAndStartFailsOnBadPath) {
+  const std::string path = temp_path("flusher_stop");
+  std::remove(path.c_str());
+  FlusherOptions options;
+  options.path = path;
+  options.interval_s = 3600.0;
+  {
+    MetricsFlusher flusher(options);
+    ASSERT_TRUE(flusher.start());
+    flusher.stop();
+    const std::uint64_t frames = flusher.frames_written();
+    flusher.stop();  // second stop: no extra frame, no hang
+    EXPECT_EQ(flusher.frames_written(), frames);
+  }  // destructor after explicit stop: also a no-op
+  std::remove(path.c_str());
+
+  FlusherOptions bad;
+  bad.path = "/nonexistent-dir-for-nlarm-test/metrics.jsonl";
+  MetricsFlusher broken(bad);
+  EXPECT_FALSE(broken.start());
+}
+
+}  // namespace
+}  // namespace nlarm::obs

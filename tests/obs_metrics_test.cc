@@ -6,6 +6,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/catalog.h"
 #include "obs/metrics.h"
 #include "util/check.h"
 
@@ -169,6 +170,51 @@ TEST(LatencyBounds, AscendingAndCoversTargetRange) {
   }
   EXPECT_LE(bounds.front(), 1e-6);
   EXPECT_GE(bounds.back(), 1.0);
+}
+
+TEST(LatencyBounds, FineBoundsResolveSubMillisecondDecides) {
+  const auto bounds = fine_latency_seconds_bounds();
+  ASSERT_GE(bounds.size(), 2u);
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+  EXPECT_LE(bounds.front(), 1e-7);
+  EXPECT_GE(bounds.back(), 1.0);
+  // The regression this fixes: a 1.5 ms and a 2 ms decide must land in
+  // different buckets (the coarse bounds lumped everything under 2.5 ms
+  // into one bucket, flattening the V=16384 latency distribution).
+  Histogram h(bounds);
+  h.observe(1.5e-3);
+  h.observe(2.0e-3);
+  for (std::size_t i = 0; i <= bounds.size(); ++i) {
+    EXPECT_LE(h.bucket_count(i), 1u) << "bucket " << i;
+  }
+  // And the sub-ms decades carry several buckets each, not one.
+  int sub_ms = 0;
+  for (const double b : bounds) {
+    if (b >= 1e-4 && b < 1e-3) ++sub_ms;
+  }
+  EXPECT_GE(sub_ms, 4);
+}
+
+TEST(MetricsRegistry, CatalogAllocTotalUsesFineBounds) {
+  metrics::register_all();
+  const Histogram* h = MetricsRegistry::global().find_histogram(
+      "nlarm_alloc_total_seconds");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->bounds(), fine_latency_seconds_bounds());
+}
+
+TEST(MetricsRegistry, CompactJsonIsOneFlatObject) {
+  MetricsRegistry reg;
+  reg.counter("a_total", "a").inc(2);
+  reg.gauge("b_gauge", "b").set(0.5);
+  Histogram& h = reg.histogram("c_seconds", "c", {1.0});
+  h.observe(0.5);
+  h.observe(3.0);
+  EXPECT_EQ(reg.compact_json(),
+            "{\"a_total\":2,\"b_gauge\":0.5,\"c_seconds_count\":2,"
+            "\"c_seconds_sum\":3.5}");
 }
 
 }  // namespace

@@ -1,0 +1,164 @@
+// The sketch's contract is a hard error bound: every reported quantile is
+// within alpha (relative) of the exact order statistic for in-range
+// values. These tests check that bound against offline sorted data, the
+// merge/geometry rules, and the wait-free concurrency contract.
+#include "obs/sketch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace nlarm::obs {
+namespace {
+
+/// The exact order statistic matching the sketch's rank definition
+/// (rank = max(1, ceil(q * n)), 1-based).
+double exact_quantile(std::vector<double> sorted, double q) {
+  std::sort(sorted.begin(), sorted.end());
+  const auto n = static_cast<double>(sorted.size());
+  const std::size_t rank = static_cast<std::size_t>(
+      std::max(1.0, std::ceil(q * n)));
+  return sorted[rank - 1];
+}
+
+TEST(SketchTest, QuantilesWithinRelativeErrorBound) {
+  // Latency-shaped data: three decades, log-uniform — the worst case for
+  // fixed linear buckets and exactly what the sketch is for.
+  std::mt19937_64 rng(2020);
+  std::uniform_real_distribution<double> log_value(std::log(1e-5),
+                                                   std::log(1e-2));
+  QuantileSketch sketch(/*relative_error=*/0.01);
+  std::vector<double> values;
+  values.reserve(20000);
+  for (int i = 0; i < 20000; ++i) {
+    const double v = std::exp(log_value(rng));
+    values.push_back(v);
+    sketch.observe(v);
+  }
+  ASSERT_EQ(sketch.count(), 20000u);
+  for (const double q : {0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999}) {
+    const double exact = exact_quantile(values, q);
+    const double estimate = sketch.quantile(q);
+    EXPECT_NEAR(estimate, exact, 0.01 * exact * 1.0001)
+        << "q=" << q << " exact=" << exact << " estimate=" << estimate;
+  }
+}
+
+TEST(SketchTest, CoarserAlphaStillBounded) {
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> value(1e-4, 1e-1);
+  QuantileSketch sketch(/*relative_error=*/0.05);
+  std::vector<double> values;
+  for (int i = 0; i < 5000; ++i) {
+    const double v = value(rng);
+    values.push_back(v);
+    sketch.observe(v);
+  }
+  for (const double q : {0.5, 0.99}) {
+    const double exact = exact_quantile(values, q);
+    EXPECT_NEAR(sketch.quantile(q), exact, 0.05 * exact * 1.0001);
+  }
+}
+
+TEST(SketchTest, QuantileIsMonotoneInQ) {
+  std::mt19937_64 rng(11);
+  std::exponential_distribution<double> value(1000.0);  // ~1ms mean
+  QuantileSketch sketch;
+  for (int i = 0; i < 10000; ++i) sketch.observe(value(rng) + 1e-6);
+  double last = 0.0;
+  for (double q = 0.0; q <= 1.0; q += 0.01) {
+    const double estimate = sketch.quantile(q);
+    EXPECT_GE(estimate, last) << "q=" << q;
+    last = estimate;
+  }
+}
+
+TEST(SketchTest, MergeEqualsObservingEverything) {
+  std::mt19937_64 rng(42);
+  std::uniform_real_distribution<double> value(1e-6, 1e-3);
+  QuantileSketch left, right, combined;
+  for (int i = 0; i < 4000; ++i) {
+    const double v = value(rng);
+    combined.observe(v);
+    (i % 2 == 0 ? left : right).observe(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), combined.count());
+  EXPECT_NEAR(left.sum(), combined.sum(), 1e-9 * combined.sum());
+  for (const double q : {0.1, 0.5, 0.9, 0.99}) {
+    // Identical bucket contents → identical estimates, not just close ones.
+    EXPECT_DOUBLE_EQ(left.quantile(q), combined.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(SketchTest, MergeRejectsMismatchedGeometry) {
+  QuantileSketch fine(0.01);
+  QuantileSketch coarse(0.05);
+  coarse.observe(0.5);
+  EXPECT_THROW(fine.merge(coarse), util::CheckError);
+}
+
+TEST(SketchTest, ZeroAndOutOfRangeValuesAreCountedAndClamped) {
+  QuantileSketch sketch(0.01, /*min_value=*/1e-6, /*max_value=*/1e3);
+  sketch.observe(0.0);
+  sketch.observe(-5.0);  // timers can underflow; never lose the count
+  EXPECT_EQ(sketch.count(), 2u);
+  EXPECT_DOUBLE_EQ(sketch.quantile(0.5), 0.0);  // all mass in the zero bucket
+
+  sketch.reset();
+  sketch.observe(1e-12);  // below range: clamps into the lowest bucket
+  sketch.observe(1e9);    // above range: clamps into the highest bucket
+  EXPECT_EQ(sketch.count(), 2u);
+  EXPECT_NEAR(sketch.quantile(0.0), 1e-6, 0.02 * 1e-6);
+  EXPECT_NEAR(sketch.quantile(1.0), 1e3, 0.02 * 1e3);
+}
+
+TEST(SketchTest, EmptySketchReportsZero) {
+  QuantileSketch sketch;
+  EXPECT_EQ(sketch.count(), 0u);
+  EXPECT_DOUBLE_EQ(sketch.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(sketch.quantile(0.5), 0.0);
+}
+
+TEST(SketchTest, ResetClearsEverything) {
+  QuantileSketch sketch;
+  for (int i = 0; i < 100; ++i) sketch.observe(0.001);
+  sketch.reset();
+  EXPECT_EQ(sketch.count(), 0u);
+  EXPECT_DOUBLE_EQ(sketch.quantile(0.99), 0.0);
+}
+
+TEST(SketchTest, ConcurrentObserveLosesNothing) {
+  // The wait-free contract under tsan: concurrent observers plus a reader
+  // polling quantiles mid-stream must be race-free, and no observation may
+  // be dropped.
+  QuantileSketch sketch;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&sketch, t] {
+      std::mt19937_64 rng(static_cast<std::uint64_t>(t) + 1);
+      std::uniform_real_distribution<double> value(1e-5, 1e-2);
+      for (int i = 0; i < kPerThread; ++i) sketch.observe(value(rng));
+    });
+  }
+  double mid = 0.0;
+  for (int i = 0; i < 100; ++i) mid = sketch.quantile(0.5);  // racing reads
+  for (std::thread& w : writers) w.join();
+  (void)mid;
+  EXPECT_EQ(sketch.count(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  // Uniform on [1e-5, 1e-2]: the median is near the midpoint.
+  EXPECT_NEAR(sketch.quantile(0.5), 5e-3, 5e-4);
+}
+
+}  // namespace
+}  // namespace nlarm::obs

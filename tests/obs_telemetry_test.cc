@@ -1,0 +1,197 @@
+// Telemetry plane: exact routing/format checks through handle() (no
+// sockets), then the same contracts end-to-end over a real ephemeral-port
+// server with the bundled HTTP client, including the /readyz flip on a
+// stale epoch and scrapes racing live metric writers (the tsan target).
+#include "obs/telemetry_server.h"
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/catalog.h"
+#include "obs/http_client.h"
+#include "obs/metrics.h"
+
+namespace nlarm::obs {
+namespace {
+
+EpochStatus healthy_status() {
+  EpochStatus status;
+  status.published = true;
+  status.epoch = 42;
+  status.age_seconds = 3.5;
+  status.max_age_seconds = 120.0;
+  status.usable_nodes = 14;
+  status.quarantined = 2;
+  status.pair_fallbacks = 5;
+  status.degraded = true;
+  status.tiled_state_bytes = 4096;
+  return status;
+}
+
+TEST(TelemetryTest, EpochStatusJsonAndReadiness) {
+  const EpochStatus status = healthy_status();
+  EXPECT_TRUE(status.ready());
+  EXPECT_NEAR(status.staleness_burn(), 3.5 / 120.0, 1e-12);
+  const std::string json = status.to_json();
+  EXPECT_NE(json.find("\"published\":true"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"epoch\":42"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"usable_nodes\":14"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"quarantined\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"pair_fallbacks\":5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"degraded\":true"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"tiled_state_bytes\":4096"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"ready\":true"), std::string::npos) << json;
+
+  EpochStatus stale = status;
+  stale.age_seconds = 200.0;
+  EXPECT_FALSE(stale.ready());
+  EXPECT_GT(stale.staleness_burn(), 1.0);
+
+  EpochStatus unbounded = status;
+  unbounded.max_age_seconds = 0.0;  // no bound configured: always ready
+  unbounded.age_seconds = 1e9;
+  EXPECT_TRUE(unbounded.ready());
+  EXPECT_DOUBLE_EQ(unbounded.staleness_burn(), 0.0);
+}
+
+TEST(TelemetryTest, HandleRoutesMetricsHealthzAndEpoch) {
+  metrics::register_all();
+  TelemetryServer server({}, [] { return healthy_status(); });
+
+  const std::string metrics =
+      server.handle("GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(metrics.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(metrics.find("nlarm_broker_decisions_total"), std::string::npos);
+  EXPECT_NE(metrics.find("nlarm_serve_decide_p99_seconds"),
+            std::string::npos);
+
+  const std::string healthz = server.handle("GET /healthz HTTP/1.1\r\n\r\n");
+  EXPECT_NE(healthz.find("200 OK"), std::string::npos);
+  EXPECT_NE(healthz.find("ok\n"), std::string::npos);
+
+  const std::string epoch = server.handle("GET /epoch HTTP/1.1\r\n\r\n");
+  EXPECT_NE(epoch.find("application/json"), std::string::npos);
+  EXPECT_NE(epoch.find("\"epoch\":42"), std::string::npos);
+
+  const std::string spans = server.handle("GET /spans HTTP/1.1\r\n\r\n");
+  EXPECT_NE(spans.find("200 OK"), std::string::npos);
+}
+
+TEST(TelemetryTest, HandleRejectsBadRequests) {
+  TelemetryServer server;
+  const double errors_before = metrics::telemetry_scrape_errors().value();
+  EXPECT_NE(server.handle("GET /nope HTTP/1.1\r\n\r\n").find("404"),
+            std::string::npos);
+  EXPECT_NE(server.handle("POST /metrics HTTP/1.1\r\n\r\n").find("405"),
+            std::string::npos);
+  EXPECT_NE(server.handle("garbage").find("400"), std::string::npos);
+  EXPECT_EQ(metrics::telemetry_scrape_errors().value(), errors_before + 3);
+}
+
+TEST(TelemetryTest, ReadyzFlipsWhenTheEpochGoesStale) {
+  // The provider is consulted per request, so readiness flips within one
+  // scrape of the epoch exceeding its age bound — no server restart.
+  auto age = std::make_shared<std::atomic<double>>(10.0);
+  TelemetryServer server({}, [age] {
+    EpochStatus status = healthy_status();
+    status.age_seconds = age->load();
+    return status;
+  });
+  EXPECT_NE(server.handle("GET /readyz HTTP/1.1\r\n\r\n").find("200 OK"),
+            std::string::npos);
+  age->store(500.0);  // over the 120 s bound
+  const std::string stale = server.handle("GET /readyz HTTP/1.1\r\n\r\n");
+  EXPECT_NE(stale.find("503"), std::string::npos);
+  EXPECT_NE(stale.find("unready"), std::string::npos);
+  age->store(1.0);
+  EXPECT_NE(server.handle("GET /readyz HTTP/1.1\r\n\r\n").find("200 OK"),
+            std::string::npos);
+}
+
+TEST(TelemetryTest, ReadyzWithoutProviderIsUnready) {
+  TelemetryServer server;
+  const std::string response = server.handle("GET /readyz HTTP/1.1\r\n\r\n");
+  EXPECT_NE(response.find("503"), std::string::npos);
+  EXPECT_NE(response.find("no epoch published"), std::string::npos);
+}
+
+TEST(TelemetryTest, EndToEndScrapeOnEphemeralPort) {
+  metrics::register_all();
+  TelemetryOptions options;
+  options.port = 0;
+  TelemetryServer server(options, [] { return healthy_status(); });
+  ASSERT_TRUE(server.start());
+  ASSERT_GT(server.port(), 0);
+
+  const auto metrics_response =
+      http_get("127.0.0.1", server.port(), "/metrics");
+  ASSERT_TRUE(metrics_response.has_value());
+  EXPECT_EQ(metrics_response->status, 200);
+  EXPECT_NE(metrics_response->body.find("nlarm_telemetry_scrapes_total"),
+            std::string::npos);
+
+  const auto ready_response =
+      http_get("127.0.0.1", server.port(), "/readyz");
+  ASSERT_TRUE(ready_response.has_value());
+  EXPECT_EQ(ready_response->status, 200);
+
+  const auto missing = http_get("127.0.0.1", server.port(), "/nothing");
+  ASSERT_TRUE(missing.has_value());
+  EXPECT_EQ(missing->status, 404);
+
+  server.stop();
+  EXPECT_FALSE(server.running());
+  // stop() is idempotent and start() works again after it.
+  server.stop();
+  ASSERT_TRUE(server.start());
+  const auto again = http_get("127.0.0.1", server.port(), "/healthz");
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->status, 200);
+  server.stop();
+}
+
+TEST(TelemetryTest, ConcurrentScrapesUnderLiveMetricWrites) {
+  // The tsan contract: scrapes walk the registry and sketches while decide
+  // threads hammer the same atomics. Writers simulate the decide path
+  // (counter inc + sketch observe); readers are real HTTP scrapes.
+  metrics::register_all();
+  TelemetryOptions options;
+  options.port = 0;
+  TelemetryServer server(options, [] { return healthy_status(); });
+  ASSERT_TRUE(server.start());
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 2; ++t) {
+    writers.emplace_back([&stop] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        metrics::broker_decisions().inc();
+        metrics::serve_decide_sketch().observe(1.5e-3);
+        metrics::admission_wait_sketch().observe(2e-4);
+      }
+    });
+  }
+  for (int i = 0; i < 20; ++i) {
+    const auto response = http_get("127.0.0.1", server.port(), "/metrics");
+    ASSERT_TRUE(response.has_value());
+    EXPECT_EQ(response->status, 200);
+  }
+  stop.store(true);
+  for (std::thread& w : writers) w.join();
+  server.stop();
+
+  metrics::export_quantile_gauges();
+  // The sketch saw only 1.5 ms decides, so p50 must estimate 1.5 ms.
+  EXPECT_NEAR(metrics::serve_decide_p50_seconds().value(), 1.5e-3,
+              0.01 * 1.5e-3 * 1.0001);
+}
+
+}  // namespace
+}  // namespace nlarm::obs

@@ -13,11 +13,14 @@
 //   nlarm_broker --procs 32 --policy hierarchical --explain
 //   nlarm_broker --procs 32 --metrics-out metrics.prom --audit-out audit.jsonl
 //   nlarm_broker --procs 32 --serve-threads 4 --serve-requests 20000
+//   nlarm_broker --serve-threads 4 --telemetry-port 0 --telemetry-hold 30
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <thread>
 
 #include "apps/minimd.h"
@@ -36,20 +39,25 @@
 #include "util/check.h"
 #include "obs/audit.h"
 #include "obs/catalog.h"
+#include "obs/flusher.h"
 #include "obs/metrics.h"
+#include "obs/telemetry_server.h"
+#include "obs/trace.h"
 #include "util/args.h"
 #include "util/logging.h"
 #include "util/strings.h"
 
 namespace {
 
-/// Writes the full Prometheus exposition (every catalog series, even ones
-/// whose code path did not run) and the audit JSONL, if requested.
+/// Writes the full Prometheus exposition (every catalog series — they are
+/// all registered at startup), the audit JSONL, and the span-ring JSONL,
+/// if requested.
 void write_observability_outputs(const std::string& metrics_path,
                                  const std::string& audit_path,
+                                 const std::string& trace_path,
                                  const nlarm::obs::AuditLog& audit_log) {
   if (!metrics_path.empty()) {
-    nlarm::obs::metrics::register_all();
+    nlarm::obs::metrics::export_quantile_gauges();
     std::ofstream out(metrics_path);
     if (!out) {
       std::cerr << "cannot write metrics to " << metrics_path << "\n";
@@ -65,6 +73,15 @@ void write_observability_outputs(const std::string& metrics_path,
     } else {
       out << audit_log.jsonl();
       std::cerr << "audit record(s) appended to " << audit_path << "\n";
+    }
+  }
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    if (!out) {
+      std::cerr << "cannot write trace spans to " << trace_path << "\n";
+    } else {
+      out << nlarm::obs::SpanTracer::global().jsonl();
+      std::cerr << "trace spans written to " << trace_path << "\n";
     }
   }
 }
@@ -110,6 +127,23 @@ int main(int argc, char** argv) {
         "loading auto-detects either)"},
        {"metrics-out", "write Prometheus text exposition to this file"},
        {"audit-out", "append one decision-audit JSON line to this file"},
+       {"trace-out", "write the span-tracer ring as JSONL to this file"},
+       {"telemetry-port",
+        "serve live telemetry over HTTP on this port (/metrics /healthz "
+        "/readyz /spans /epoch); 0 picks an ephemeral port"},
+       {"telemetry-port-file",
+        "write the bound telemetry port to this file (for scripts using "
+        "--telemetry-port 0)"},
+       {"telemetry-hold",
+        "keep the telemetry server up this many wall seconds after the "
+        "work finishes (default 0)"},
+       {"metrics-jsonl",
+        "append one JSONL metrics frame per --metrics-interval to this "
+        "file (live time series; .1 rotation via --metrics-rotate-bytes)"},
+       {"metrics-interval",
+        "wall seconds between JSONL metrics frames (default 1)"},
+       {"metrics-rotate-bytes",
+        "rotate the JSONL metrics file above this size; 0 never (default 0)"},
        {"serve-threads",
         "serve decisions concurrently from a published epoch on this many "
         "threads, print throughput, and exit"},
@@ -132,6 +166,11 @@ int main(int argc, char** argv) {
 
   util::set_log_level(
       util::parse_log_level(parser.get_string("log-level", "warn")));
+
+  // Register every catalog series up front so the live /metrics endpoint
+  // (and any exposition dump) is complete from the first scrape, not just
+  // for code paths that happened to run.
+  obs::metrics::register_all();
 
   exp::Testbed::Options options;
   options.seed = static_cast<std::uint64_t>(parser.get_long("seed", 2020));
@@ -275,6 +314,81 @@ int main(int argc, char** argv) {
 
   const std::string metrics_path = parser.get_string("metrics-out", "");
   const std::string audit_path = parser.get_string("audit-out", "");
+  const std::string trace_path = parser.get_string("trace-out", "");
+
+  // --- live telemetry plane (obs/telemetry_server.h) ---
+  // The epoch provider pins the broker's current epoch (thread-safe, lock-
+  // free fast path) and ages it against `telemetry_now`, which the driving
+  // loop keeps current on whichever clock it runs (sim time in chaos mode,
+  // snapshot time otherwise).
+  const double max_epoch_age = parser.get_double("max-epoch-age", 120.0);
+  auto telemetry_now = std::make_shared<std::atomic<double>>(snapshot.time);
+  obs::TelemetryServer::EpochProvider epoch_provider =
+      [&broker, telemetry_now, max_epoch_age]() {
+        obs::EpochStatus status;
+        const core::EpochPin pin = broker.pin_epoch();
+        if (!pin.valid()) return status;
+        const core::PreparedSnapshot& prepared = *pin.prepared;
+        status.published = true;
+        status.epoch = prepared.epoch;
+        status.age_seconds =
+            std::max(0.0, telemetry_now->load(std::memory_order_relaxed) -
+                              prepared.time);
+        status.max_age_seconds = max_epoch_age;
+        status.usable_nodes = prepared.usable.size();
+        status.quarantined = prepared.quarantined;
+        status.pair_fallbacks = prepared.pair_fallbacks;
+        status.degraded = prepared.degraded;
+        status.tiled_state_bytes =
+            prepared.tiles != nullptr ? prepared.tiles->memory_bytes() : 0;
+        obs::metrics::epoch_staleness_burn_ratio().set(
+            status.staleness_burn());
+        return status;
+      };
+  std::unique_ptr<obs::TelemetryServer> telemetry;
+  if (parser.has("telemetry-port")) {
+    obs::TelemetryOptions telemetry_options;
+    telemetry_options.port =
+        static_cast<int>(parser.get_long("telemetry-port", 0));
+    telemetry = std::make_unique<obs::TelemetryServer>(telemetry_options,
+                                                       epoch_provider);
+    if (!telemetry->start()) {
+      std::cerr << "cannot start telemetry server on port "
+                << telemetry_options.port << "\n";
+      return 1;
+    }
+    std::cerr << "telemetry: http://127.0.0.1:" << telemetry->port()
+              << " (/metrics /healthz /readyz /spans /epoch)\n";
+    const std::string port_file =
+        parser.get_string("telemetry-port-file", "");
+    if (!port_file.empty()) {
+      std::ofstream out(port_file);
+      out << telemetry->port() << "\n";
+    }
+  }
+  std::unique_ptr<obs::MetricsFlusher> flusher;
+  const std::string metrics_jsonl = parser.get_string("metrics-jsonl", "");
+  if (!metrics_jsonl.empty()) {
+    obs::FlusherOptions flusher_options;
+    flusher_options.path = metrics_jsonl;
+    flusher_options.interval_s = parser.get_double("metrics-interval", 1.0);
+    flusher_options.rotate_bytes = static_cast<std::uint64_t>(
+        parser.get_long("metrics-rotate-bytes", 0));
+    flusher = std::make_unique<obs::MetricsFlusher>(flusher_options);
+    if (!flusher->start()) {
+      std::cerr << "cannot open --metrics-jsonl " << metrics_jsonl << "\n";
+      return 1;
+    }
+  }
+  // Keeps the exposition endpoints scrapeable after the work completes
+  // (CI smoke and operators attach nlarm_top to short runs this way).
+  const double telemetry_hold = parser.get_double("telemetry-hold", 0.0);
+  const auto hold_telemetry = [&telemetry, telemetry_hold] {
+    if (telemetry != nullptr && telemetry_hold > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(telemetry_hold));
+    }
+  };
 
   // Chaos mode: arm the fault schedule, then keep the monitor→epoch→decide
   // pipeline running under it. The degradation policy quarantines nodes
@@ -309,6 +423,7 @@ int main(int argc, char** argv) {
     while (sim.now() < end_time) {
       sim.run_until(std::min(end_time, sim.now() + tick_s));
       const double now = sim.now() + harness.clock_skew();
+      telemetry_now->store(now, std::memory_order_relaxed);
       auto tick_snapshot = std::make_shared<const monitor::ClusterSnapshot>(
           chaos_monitor.snapshot());
       const monitor::SnapshotDelta delta =
@@ -356,7 +471,9 @@ int main(int argc, char** argv) {
                  fallbacks, refusals, failures,
                  static_cast<int>(
                      pin.valid() ? pin.prepared->quarantined : 0));
-    write_observability_outputs(metrics_path, audit_path, audit_log);
+    write_observability_outputs(metrics_path, audit_path, trace_path,
+                                audit_log);
+    hold_telemetry();
     return (failures > 0 || refusals > 0) ? 3 : 0;
   }
 
@@ -372,6 +489,7 @@ int main(int argc, char** argv) {
         core::RequestProfile::of(request));
     std::atomic<long> remaining{serve_requests};
     std::atomic<long> allocated{0};
+    obs::metrics::serve_threads().set(static_cast<double>(serve_threads));
     const auto start = std::chrono::steady_clock::now();
     std::vector<std::thread> servers;
     servers.reserve(static_cast<std::size_t>(serve_threads));
@@ -380,7 +498,9 @@ int main(int argc, char** argv) {
         core::EpochPin pin = broker.pin_epoch();
         while (remaining.fetch_sub(1, std::memory_order_relaxed) > 0) {
           broker.refresh_pin(pin);
+          obs::metrics::serve_inflight().add(1.0);
           const core::BrokerDecision served = broker.decide(pin, request);
+          obs::metrics::serve_inflight().add(-1.0);
           if (served.action == core::BrokerDecision::Action::kAllocate) {
             allocated.fetch_add(1, std::memory_order_relaxed);
           }
@@ -388,6 +508,7 @@ int main(int argc, char** argv) {
       });
     }
     for (std::thread& server : servers) server.join();
+    obs::metrics::serve_threads().set(0.0);
     const double seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count();
@@ -397,12 +518,16 @@ int main(int argc, char** argv) {
                  serve_requests, allocated.load(), serve_threads, seconds,
                  seconds > 0.0 ? static_cast<double>(serve_requests) / seconds
                                : 0.0);
-    write_observability_outputs(metrics_path, audit_path, audit_log);
+    write_observability_outputs(metrics_path, audit_path, trace_path,
+                                audit_log);
+    hold_telemetry();
     return 0;
   }
 
   const core::BrokerDecision decision = broker.decide(snapshot, request);
-  write_observability_outputs(metrics_path, audit_path, audit_log);
+  write_observability_outputs(metrics_path, audit_path, trace_path,
+                              audit_log);
+  hold_telemetry();
 
   if (decision.action == core::BrokerDecision::Action::kWait) {
     std::cerr << "WAIT: " << decision.reason << "\n";

@@ -1,0 +1,212 @@
+// nlarm_top — a terminal dashboard for a live nlarm_broker.
+//
+// Polls the broker's telemetry plane (obs/telemetry_server.h) over plain
+// HTTP — /metrics for the Prometheus exposition and /epoch for the SLO
+// header — and renders a compact top(1)-style view: serving rate, decide
+// latency quantiles from the streaming sketches, epoch freshness against
+// the staleness budget, and the degradation counters.
+//
+//   nlarm_top --port 9464                 # refresh every second
+//   nlarm_top --port 9464 --interval 0.2  # finer refresh
+//   nlarm_top --port 9464 --once          # one frame, no ANSI (scripts/CI)
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <string>
+#include <thread>
+#include <chrono>
+
+#include "obs/http_client.h"
+#include "util/args.h"
+
+namespace {
+
+/// Parses a Prometheus text exposition into name → value. Histogram bucket
+/// lines keep their label clause in the key (`name_bucket{le="0.001"}`), so
+/// plain series are addressable by bare name.
+std::map<std::string, double> parse_prometheus(const std::string& text) {
+  std::map<std::string, double> series;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find('\n', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t space = line.rfind(' ');
+    if (space == std::string::npos || space == 0) continue;
+    const std::string name = line.substr(0, space);
+    const std::string value = line.substr(space + 1);
+    char* tail = nullptr;
+    const double parsed = std::strtod(value.c_str(), &tail);
+    if (tail != value.c_str()) series[name] = parsed;
+  }
+  return series;
+}
+
+double series(const std::map<std::string, double>& metrics,
+              const std::string& name) {
+  const auto it = metrics.find(name);
+  return it == metrics.end() ? 0.0 : it->second;
+}
+
+/// Pulls `"key":<number>` out of the /epoch JSON (flat object, no nesting —
+/// a full parser would be overkill for five numeric fields).
+double json_number(const std::string& body, const std::string& key,
+                   double fallback = 0.0) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = body.find(needle);
+  if (at == std::string::npos) return fallback;
+  const char* start = body.c_str() + at + needle.size();
+  char* tail = nullptr;
+  const double parsed = std::strtod(start, &tail);
+  return tail != start ? parsed : fallback;
+}
+
+bool json_true(const std::string& body, const std::string& key) {
+  return body.find("\"" + key + "\":true") != std::string::npos;
+}
+
+std::string format_latency(double seconds) {
+  char buffer[32];
+  if (seconds <= 0.0) {
+    std::snprintf(buffer, sizeof buffer, "    -");
+  } else if (seconds < 1e-3) {
+    std::snprintf(buffer, sizeof buffer, "%5.1fus", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buffer, sizeof buffer, "%5.2fms", seconds * 1e3);
+  } else {
+    std::snprintf(buffer, sizeof buffer, "%5.2fs ", seconds);
+  }
+  return buffer;
+}
+
+}  // namespace
+
+using namespace nlarm;
+
+int main(int argc, char** argv) {
+  util::ArgParser parser(
+      "nlarm_top: live terminal dashboard over an nlarm_broker telemetry "
+      "endpoint (--telemetry-port).",
+      {{"host", "broker host (default 127.0.0.1)"},
+       {"port", "broker telemetry port (required)"},
+       {"interval", "seconds between frames (default 1)"},
+       {"frames", "stop after this many frames; 0 = forever (default 0)"},
+       {"once", "print a single frame without ANSI control (for scripts)"}});
+  if (!parser.parse(argc, argv)) return 0;
+
+  const std::string host = parser.get_string("host", "127.0.0.1");
+  const int port = static_cast<int>(parser.get_long("port", 0));
+  if (port <= 0) {
+    std::fprintf(stderr, "nlarm_top: --port is required (the broker prints "
+                         "it at startup, or use --telemetry-port-file)\n");
+    return 1;
+  }
+  const bool once = parser.get_bool("once");
+  const double interval = parser.get_double("interval", 1.0);
+  long frames_left = parser.get_long("frames", 0);
+  if (once) frames_left = 1;
+
+  double last_decides = NAN;
+  double last_allocs = NAN;
+  for (long frame = 0;; ++frame) {
+    const std::optional<obs::HttpResponse> metrics_response =
+        obs::http_get(host, port, "/metrics");
+    const std::optional<obs::HttpResponse> epoch_response =
+        obs::http_get(host, port, "/epoch");
+    const std::optional<obs::HttpResponse> ready_response =
+        obs::http_get(host, port, "/readyz");
+    if (!metrics_response || metrics_response->status != 200) {
+      std::fprintf(stderr, "nlarm_top: no /metrics from %s:%d\n",
+                   host.c_str(), port);
+      return 1;
+    }
+    const std::map<std::string, double> m =
+        parse_prometheus(metrics_response->body);
+    const std::string epoch_body = epoch_response ? epoch_response->body : "";
+
+    const double decides = series(m, "nlarm_broker_decisions_total");
+    const double allocs = series(m, "nlarm_broker_allocations_total");
+    const double decide_rate =
+        (std::isnan(last_decides) || interval <= 0.0)
+            ? 0.0
+            : (decides - last_decides) / interval;
+    const double alloc_rate = (std::isnan(last_allocs) || interval <= 0.0)
+                                  ? 0.0
+                                  : (allocs - last_allocs) / interval;
+    last_decides = decides;
+    last_allocs = allocs;
+
+    if (!once) std::printf("\033[H\033[2J");  // clear + home
+    const bool ready = ready_response && ready_response->status == 200;
+    std::printf("nlarm_top — %s:%d   [%s]\n", host.c_str(), port,
+                ready ? "READY" : "NOT READY");
+    std::printf(
+        "epoch %.0f  age %.1fs / %.0fs budget  burn %3.0f%%  published=%s\n",
+        json_number(epoch_body, "epoch"),
+        json_number(epoch_body, "age_seconds"),
+        json_number(epoch_body, "max_age_seconds"),
+        100.0 * json_number(epoch_body, "staleness_burn"),
+        json_true(epoch_body, "published") ? "yes" : "no");
+    std::printf(
+        "nodes  usable %.0f  quarantined %.0f  pair-fallbacks %.0f  "
+        "degraded=%s  tiled-state %.1f KiB\n",
+        json_number(epoch_body, "usable_nodes"),
+        json_number(epoch_body, "quarantined"),
+        json_number(epoch_body, "pair_fallbacks"),
+        json_true(epoch_body, "degraded") ? "yes" : "no",
+        json_number(epoch_body, "tiled_state_bytes") / 1024.0);
+    std::printf("\n");
+    std::printf("serve   %8.0f decide/s  %8.0f alloc/s   inflight %.0f on "
+                "%.0f thread(s)\n",
+                decide_rate, alloc_rate, series(m, "nlarm_serve_inflight"),
+                series(m, "nlarm_serve_threads"));
+    std::printf("decide  p50 %s  p95 %s  p99 %s  p999 %s\n",
+                format_latency(
+                    series(m, "nlarm_serve_decide_p50_seconds")).c_str(),
+                format_latency(
+                    series(m, "nlarm_serve_decide_p95_seconds")).c_str(),
+                format_latency(
+                    series(m, "nlarm_serve_decide_p99_seconds")).c_str(),
+                format_latency(
+                    series(m, "nlarm_serve_decide_p999_seconds")).c_str());
+    std::printf("admit   p50 %s  p99 %s      refresh  p50 %s  p99 %s\n",
+                format_latency(
+                    series(m, "nlarm_admission_wait_p50_seconds")).c_str(),
+                format_latency(
+                    series(m, "nlarm_admission_wait_p99_seconds")).c_str(),
+                format_latency(
+                    series(m, "nlarm_epoch_refresh_p50_seconds")).c_str(),
+                format_latency(
+                    series(m, "nlarm_epoch_refresh_p99_seconds")).c_str());
+    std::printf("\n");
+    std::printf("totals  decisions %.0f  allocations %.0f  waits %.0f  "
+                "fallbacks %.0f  refusals %.0f\n",
+                decides, allocs, series(m, "nlarm_broker_waits_total"),
+                series(m, "nlarm_broker_fallback_decisions_total"),
+                series(m, "nlarm_broker_stale_refusals_total"));
+    std::printf("epochs  published %.0f  refresh-lag %.3fs  "
+                "delta-log tail %.0f B\n",
+                series(m, "nlarm_epoch_publishes_total"),
+                series(m, "nlarm_epoch_refresh_lag_seconds"),
+                series(m, "nlarm_delta_log_tail_bytes"));
+    std::printf("chaos   events %.0f  quarantine-events %.0f  "
+                "readmissions %.0f  clock-skew %.1fs\n",
+                series(m, "nlarm_chaos_events_total"),
+                series(m, "nlarm_degrade_quarantine_events_total"),
+                series(m, "nlarm_degrade_readmissions_total"),
+                series(m, "nlarm_chaos_clock_skew_seconds"));
+    std::printf("scrapes %.0f (%.0f error(s))  flushes %.0f\n",
+                series(m, "nlarm_telemetry_scrapes_total"),
+                series(m, "nlarm_telemetry_scrape_errors_total"),
+                series(m, "nlarm_telemetry_flushes_total"));
+    std::fflush(stdout);
+
+    if (frames_left > 0 && frame + 1 >= frames_left) break;
+    std::this_thread::sleep_for(std::chrono::duration<double>(interval));
+  }
+  return 0;
+}
