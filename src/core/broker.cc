@@ -106,28 +106,48 @@ BrokerDecision ResourceBroker::decide(
     const monitor::ClusterSnapshot& snapshot,
     const AllocationRequest& request) {
   request.validate();
-  // The borrowed allocator and the aggregates memo are shared mutable
-  // state, so the classic path is serialized; concurrent callers should use
-  // the epoch path instead.
-  std::lock_guard<std::mutex> lock(decide_mutex_);
   decisions_.fetch_add(1, std::memory_order_relaxed);
   obs::metrics::broker_decisions().inc();
   obs::ScopedSpan decide_span("broker.decide");
 
+  // Only the genuinely shared mutable state takes the lock: the aggregates
+  // memo here, the borrowed allocator below. Gate evaluation, counters and
+  // the audit append run unserialized, so concurrent classic callers whose
+  // verdict is "wait" (and the audit I/O of all callers) no longer queue
+  // behind each other.
   obs::ScopedSpan gate_span("broker.gate",
                             &obs::metrics::broker_gate_seconds());
-  const Aggregates& agg = aggregates(snapshot, request);
-  BrokerDecision decision =
-      evaluate_gate(policy_, request, agg.usable.size(), agg.load_per_core,
-                    agg.effective_capacity);
+  std::size_t usable_count = 0;
+  double load_per_core = 0.0;
+  int effective_capacity = 0;
+  bool memo_hit = false;
+  {
+    std::lock_guard<std::mutex> lock(decide_mutex_);
+    const Aggregates& agg = aggregates(snapshot, request);
+    usable_count = agg.usable.size();
+    load_per_core = agg.load_per_core;
+    effective_capacity = agg.effective_capacity;
+    memo_hit = last_aggregates_hit_;
+  }
+  BrokerDecision decision = evaluate_gate(policy_, request, usable_count,
+                                          load_per_core, effective_capacity);
   const double gate_seconds = gate_span.stop();
 
+  AllocStats stats;
+  bool have_stats = false;
   if (decision.action == BrokerDecision::Action::kWait) {
     waits_.fetch_add(1, std::memory_order_relaxed);
     obs::metrics::broker_waits().inc();
     NLARM_INFO << "broker verdict: wait — " << decision.reason;
   } else {
-    decision.allocation = allocator_.allocate(snapshot, request);
+    {
+      std::lock_guard<std::mutex> lock(decide_mutex_);
+      decision.allocation = allocator_.allocate(snapshot, request);
+      if (const AllocStats* last = allocator_.last_stats()) {
+        stats = *last;
+        have_stats = true;
+      }
+    }
     decision.reason = util::format(
         "allocated %d node(s) via %s", decision.allocation.node_count(),
         decision.allocation.policy.c_str());
@@ -147,14 +167,14 @@ BrokerDecision ResourceBroker::decide(
     record.snapshot_version = snapshot.version;
     record.snapshot_time = snapshot.time;
     record.snapshot_nodes = snapshot.size();
-    record.usable_nodes = static_cast<int>(agg.usable.size());
+    record.usable_nodes = static_cast<int>(usable_count);
     record.action = decision.action == BrokerDecision::Action::kAllocate
                         ? "allocate"
                         : "wait";
     record.reason = decision.reason;
     record.cluster_load_per_core = decision.cluster_load_per_core;
     record.effective_capacity = decision.effective_capacity;
-    record.aggregates_cache_hit = last_aggregates_hit_;
+    record.aggregates_cache_hit = memo_hit;
     record.gate_seconds = gate_seconds;
     if (decision.action == BrokerDecision::Action::kAllocate) {
       const Allocation& alloc = decision.allocation;
@@ -168,14 +188,14 @@ BrokerDecision ResourceBroker::decide(
         }
         record.procs_per_node.push_back(alloc.procs_per_node[i]);
       }
-      if (const AllocStats* stats = allocator_.last_stats()) {
-        record.prepared_cache_hit = stats->prepared_cache_hit;
-        record.candidates_generated = stats->candidates_generated;
-        record.compute_cost = stats->compute_cost;
-        record.network_cost = stats->network_cost;
-        record.prepare_seconds = stats->prepare_seconds;
-        record.generate_seconds = stats->generate_seconds;
-        record.select_seconds = stats->select_seconds;
+      if (have_stats) {
+        record.prepared_cache_hit = stats.prepared_cache_hit;
+        record.candidates_generated = stats.candidates_generated;
+        record.compute_cost = stats.compute_cost;
+        record.network_cost = stats.network_cost;
+        record.prepare_seconds = stats.prepare_seconds;
+        record.generate_seconds = stats.generate_seconds;
+        record.select_seconds = stats.select_seconds;
       }
     }
     record.total_seconds = total_seconds;
@@ -515,13 +535,13 @@ std::vector<BrokerDecision> ResourceBroker::decide_batch(
   std::vector<BrokerDecision> decisions;
   decisions.reserve(requests.size());
 
-  // Queue-position wait: how long each request sat behind the earlier ones
-  // in its admission round (the batched analog of front-door latency).
+  // Admission wait: enqueue → scored. Each request's observation covers the
+  // time it spent queued behind the earlier ones PLUS its own scoring pass,
+  // so the sketch reflects what a caller actually waited for a verdict —
+  // not just its queue position at batch start.
   const double batch_start = obs::trace_clock_seconds();
 
   for (const AllocationRequest& request : requests) {
-    obs::metrics::admission_wait_sketch().observe(
-        obs::trace_clock_seconds() - batch_start);
     starts.clear();
     for (std::size_t i = 0; i < remaining.size(); ++i) {
       if (remaining[i] > 0) starts.push_back(i);
@@ -531,6 +551,8 @@ std::vector<BrokerDecision> ResourceBroker::decide_batch(
     BrokerDecision decision =
         decide_prepared(prepared, request, remaining, starts, starts.size(),
                         remaining_capacity, note);
+    obs::metrics::admission_wait_sketch().observe(
+        obs::trace_clock_seconds() - batch_start);
     if (decision.action == BrokerDecision::Action::kAllocate) {
       const Allocation& alloc = decision.allocation;
       for (std::size_t i = 0; i < alloc.nodes.size(); ++i) {
@@ -550,6 +572,61 @@ std::vector<BrokerDecision> ResourceBroker::decide_batch(
     decisions.push_back(std::move(decision));
   }
   return decisions;
+}
+
+BrokerDecision ResourceBroker::replay_decision(
+    const PreparedSnapshot& prepared, const AllocationRequest& request,
+    const BrokerDecision& cached, const char* degradation_note) {
+  decisions_.fetch_add(1, std::memory_order_relaxed);
+  obs::metrics::broker_decisions().inc();
+  obs::metrics::broker_epoch_decisions().inc();
+  obs::ScopedSpan decide_span("broker.decide");
+
+  // Byte-identical replay of the scoring pass that produced the entry; the
+  // serve plane has already re-proven capacity headroom via the ledger.
+  // Only kAllocate decisions are cached, so this is always an allocation.
+  BrokerDecision decision = cached;
+  obs::metrics::broker_allocations().inc();
+  const double total_seconds = decide_span.stop();
+  obs::metrics::serve_decide_sketch().observe(total_seconds);
+
+  if (audit_log_ != nullptr) {
+    obs::AuditRecord record;
+    record.nprocs = request.nprocs;
+    record.ppn = request.ppn;
+    record.alpha = request.job.alpha;
+    record.beta = request.job.beta;
+    record.snapshot_version = prepared.version;
+    record.snapshot_time = prepared.time;
+    record.snapshot_nodes = static_cast<int>(prepared.snapshot->size());
+    record.usable_nodes = static_cast<int>(prepared.usable.size());
+    record.epoch = prepared.epoch;
+    record.action = "allocate";
+    record.reason = decision.reason;
+    record.cluster_load_per_core = decision.cluster_load_per_core;
+    record.effective_capacity = decision.effective_capacity;
+    record.aggregates_cache_hit = true;
+    record.degradation = (degradation_note != nullptr &&
+                          degradation_note[0] != '\0')
+                             ? degradation_note
+                             : "cache-replay";
+    record.quarantined_nodes = static_cast<int>(prepared.quarantined);
+    const Allocation& alloc = decision.allocation;
+    record.policy = alloc.policy;
+    record.total_cost = alloc.total_cost;
+    const monitor::ClusterSnapshot& snapshot = *prepared.snapshot;
+    for (std::size_t i = 0; i < alloc.nodes.size(); ++i) {
+      const auto id = static_cast<std::size_t>(alloc.nodes[i]);
+      record.nodes.push_back(static_cast<int>(alloc.nodes[i]));
+      if (id < snapshot.nodes.size()) {
+        record.hostnames.push_back(snapshot.nodes[id].spec.hostname);
+      }
+      record.procs_per_node.push_back(alloc.procs_per_node[i]);
+    }
+    record.total_seconds = total_seconds;
+    audit_log_->append(std::move(record));
+  }
+  return decision;
 }
 
 }  // namespace nlarm::core

@@ -185,6 +185,12 @@ class ResourceBroker {
   void set_audit_log(obs::AuditLog* log) { audit_log_ = log; }
 
  private:
+  /// The sharded serve plane (core/serve_shard.h) is the broker's
+  /// high-throughput front end: it reuses decide_prepared / the degradation
+  /// resolution / the stale refusal, and replays cached placements through
+  /// replay_decision.
+  friend class ServePlane;
+
   /// Snapshot-level aggregates the wait/allocate gate needs. They only
   /// depend on the snapshot and the request's ppn, so they are memoized on
   /// the snapshot version counter — a broker fielding many requests between
@@ -237,9 +243,24 @@ class ResourceBroker {
                               const AllocationRequest& request,
                               double last_good_age);
 
+  /// Serve-plane cache replay: re-issues a previously scored decision
+  /// against the same epoch without a scoring pass (the caller has already
+  /// proven the placement still has capacity headroom). Counts, audits and
+  /// observes exactly like a decide, with the audit degradation field set
+  /// to "cache-replay" when no degradation note applies.
+  BrokerDecision replay_decision(const PreparedSnapshot& prepared,
+                                 const AllocationRequest& request,
+                                 const BrokerDecision& cached,
+                                 const char* degradation_note);
+
   Allocator& allocator_;
   BrokerPolicy policy_;
-  std::mutex decide_mutex_;  ///< serializes the classic decide() path
+  /// Guards only the classic path's genuinely shared mutable state — the
+  /// aggregates memo and the borrowed allocator — NOT the whole decide():
+  /// gate evaluation, stat counters (atomics) and the audit append run
+  /// outside it, so wait verdicts and audit I/O no longer serialize
+  /// concurrent classic callers.
+  std::mutex decide_mutex_;
   Aggregates aggregates_;
   AggregatesKey aggregates_key_;
   bool has_aggregates_ = false;

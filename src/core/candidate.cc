@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "core/prepared.h"
 #include "obs/catalog.h"
 #include "util/check.h"
 #include "util/logging.h"
@@ -96,13 +97,14 @@ Candidate generate_candidate(std::size_t start, std::span<const double> cl,
   thread_local std::vector<double> addition;
   thread_local std::vector<std::size_t> order;
 
-  // Addition costs A_v(u); A_v(v) = 0 so the start node sorts first.
+  // Addition costs A_v(u) = α·CL(u) + β·NL(v,u), vectorized over the
+  // contiguous NL row (AVX2/NEON behind runtime dispatch, bit-identical to
+  // the scalar loop — see core/prepared.h). A_v(v) = 0 so the start node
+  // sorts first; the row kernel writes α·CL(v) there (the NL diagonal is
+  // zero), overwritten after.
   addition.resize(count);
-  const double* nl_start = nl[start];
-  for (std::size_t u = 0; u < count; ++u) {
-    addition[u] =
-        (u == start) ? 0.0 : job.alpha * cl[u] + job.beta * nl_start[u];
-  }
+  simd::score_addition_row(job.alpha, cl, nl[start], job.beta, addition);
+  addition[start] = 0.0;
 
   order.resize(count);
   std::iota(order.begin(), order.end(), 0);

@@ -498,6 +498,37 @@ class PreparedBuilder {
   std::size_t delta_pairs_ = 0;
 };
 
+namespace simd {
+
+/// Which addition-cost kernel runtime dispatch selected for this process.
+enum class Kernel { kScalar = 0, kAvx2 = 1, kNeon = 2 };
+
+/// The canonical scalar Algorithm-1 scoring row:
+///   out[u] = alpha * cl[u] + beta * nl_row[u]
+/// (the caller zeroes out[start] afterwards). This is the reference the
+/// vector kernels are gated against; the equivalence suites pin the whole
+/// fast path to it.
+void score_addition_row_scalar(double alpha, std::span<const double> cl,
+                               const double* nl_row, double beta,
+                               std::span<double> out);
+
+/// Dispatched scoring row: AVX2 on x86-64, NEON on aarch64, scalar
+/// otherwise. The vector kernels use element-wise mul + add (never a fused
+/// multiply-add), so each lane performs the same two IEEE roundings as the
+/// scalar expression — and dispatch additionally runs a one-time exactness
+/// probe, falling back to scalar if the local compiler contracted the
+/// scalar loop differently. Results are therefore bit-identical to
+/// score_addition_row_scalar on every platform, by construction or by gate.
+void score_addition_row(double alpha, std::span<const double> cl,
+                        const double* nl_row, double beta,
+                        std::span<double> out);
+
+/// The kernel the one-time dispatch landed on ("scalar", "avx2", "neon").
+Kernel active_kernel();
+const char* active_kernel_name();
+
+}  // namespace simd
+
 /// Stateless Algorithms 1+2 against an immutable epoch — the concurrent
 /// decide() hot path (thread safety comes from touching only the epoch,
 /// thread-local scratch and atomic metrics).

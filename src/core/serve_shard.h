@@ -1,0 +1,199 @@
+// The high-throughput admission front end: per-core serve shards over MPMC
+// rings, a capacity-aware decision cache, and same-shape request coalescing.
+//
+// The epoch machinery (core/epoch.h) already made decide() lock-free, but
+// every caller still paid a full scoring pass (Algorithms 1+2), and batched
+// admission serialized on one thread. This layer turns admission into a
+// pipeline that scales with cores and with request redundancy:
+//
+//   producers ──round-robin──► Shard 0 [MpmcRing] ── worker ─┐
+//                              Shard 1 [MpmcRing] ── worker ─┼─► decisions
+//                              ...                           │
+//                              Shard N [MpmcRing] ── worker ─┘
+//
+//  * Each worker drains its ring in batches, re-validating its epoch pin
+//    ONCE per drain (not per request) and serving every drained request
+//    against that one immutable epoch.
+//  * Admission debits flow through an AdmissionLedger: per-node atomic
+//    reservations shared by all shards, reset whenever a new epoch is
+//    published. Fresh scoring passes see the post-debit capacities
+//    (pc_override/starts, exactly like ResourceBroker::decide_batch);
+//    grants debit with the same floor-at-zero semantics.
+//  * A per-shard decision cache keyed on (epoch, canonical job shape:
+//    nprocs, ppn, α/β) replays a previous scoring pass's placement — but
+//    only after an all-or-nothing atomic debit of every chosen node proves
+//    the placement still has headroom. A failed debit invalidates the
+//    entry and falls through to a fresh scoring pass over what is left.
+//  * Concurrent same-shape requests landing in one drain window coalesce:
+//    the first one's scoring pass populates the cache and the rest replay
+//    it, so a burst of identical requests costs one Algorithm-1/2 pass.
+//    An optional wall-clock window (coalesce_window_us) holds a drain open
+//    to gather more of the burst.
+//
+// Determinism: with the cache off, a single shard serves a request
+// sequence bit-identically to decide_batch over the same epoch (same
+// pc_override/starts mechanics, same debit order). With the cache on, a
+// replayed placement is byte-identical to the scoring pass that produced
+// it; the suites in tests/core_serve_test.cc pin both properties.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/broker.h"
+#include "util/mpmc_ring.h"
+
+namespace nlarm::core {
+
+struct ServeOptions {
+  /// Serve shards (one worker thread each). The intended setting is one
+  /// per core that should serve admission.
+  int shards = 1;
+  /// Per-shard ring capacity (rounded up to a power of two). A full ring
+  /// back-pressures producers (they spin-yield until a slot frees up).
+  std::size_t queue_capacity = 1024;
+  /// Decision cache on/off.
+  bool decision_cache = true;
+  /// Hold a drain open this many wall microseconds to gather more
+  /// same-shape requests into one scoring pass. 0 = serve what one pop
+  /// sweep found (coalescing then only catches requests already queued).
+  double coalesce_window_us = 0.0;
+  /// Debit granted placements from the shared per-epoch AdmissionLedger.
+  /// Off = advisory serving (every request scores against the epoch's full
+  /// capacity, like plain decide(pin) — the old --serve-threads mode).
+  bool debit_capacity = true;
+  /// Max requests one drain serves before re-checking the epoch pin.
+  std::size_t max_drain = 256;
+
+  void validate() const;
+};
+
+/// Aggregate front-end counters (process-wide; mirrors the nlarm_serve_*
+/// series so tools can read them without a metrics scrape).
+struct ServeStats {
+  std::uint64_t decisions = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_invalidations = 0;
+  std::uint64_t coalesced = 0;       ///< requests that rode a drain-mate's pass
+  std::uint64_t scoring_passes = 0;  ///< fresh Algorithm-1/2 passes
+  std::uint64_t drains = 0;
+  std::uint64_t queue_full_spins = 0;
+};
+
+/// Per-epoch shared admission state: one atomic reservation counter per
+/// working-set position. All shards debit the same ledger, so concurrent
+/// admissions against one epoch never hand out more capacity than the
+/// epoch had (up to decide_batch's floor-at-zero round-robin contract).
+class AdmissionLedger {
+ public:
+  AdmissionLedger(std::uint64_t epoch, std::span<const int> pc);
+
+  std::uint64_t epoch() const { return epoch_; }
+
+  /// All-or-nothing debit of `takes[i]` from position `positions[i]`
+  /// (CAS per node, rolled back on any shortfall). True = the whole
+  /// placement still had headroom and is now reserved.
+  bool try_debit(std::span<const std::int32_t> positions,
+                 std::span<const int> takes);
+
+  /// Clamped debit for freshly scored grants: takes min(take, remaining),
+  /// flooring at zero — the same semantics as decide_batch's working-copy
+  /// debit (round-robin overflow may oversubscribe a node).
+  void debit_clamped(std::int32_t position, int take);
+
+  /// Current remaining capacities, copied into `out`; returns the summed
+  /// remaining capacity. `starts` receives the positions with capacity
+  /// left (the fresh-scoring candidate start set).
+  int snapshot(std::vector<int>& out, std::vector<std::size_t>& starts) const;
+
+ private:
+  std::uint64_t epoch_ = 0;
+  std::vector<std::atomic<int>> remaining_;
+};
+
+/// The sharded admission front end. Owns its worker threads; producers call
+/// decide() from any thread and block until their request is served.
+class ServePlane {
+ public:
+  /// The broker must outlive the plane and have an epoch published before
+  /// the first decide(). Workers start immediately.
+  ServePlane(ResourceBroker& broker, ServeOptions options);
+  ~ServePlane();
+
+  ServePlane(const ServePlane&) = delete;
+  ServePlane& operator=(const ServePlane&) = delete;
+
+  /// Serves one admission decision through the sharded pipeline (blocking).
+  /// The request's profile must match the published epoch's, and its α/β +
+  /// nprocs/ppn form the decision-cache shape key.
+  BrokerDecision decide(const AllocationRequest& request);
+
+  /// Stops the workers after draining every queued request. Idempotent;
+  /// the destructor calls it.
+  void stop();
+
+  const ServeOptions& options() const { return options_; }
+  ServeStats stats() const;
+
+ private:
+  struct Slot;
+  struct Shard;
+  struct CacheEntry;
+
+  /// The decision-cache key: one epoch's canonical job shape. The weight
+  /// profiles (ComputeLoadWeights/NetworkLoadWeights) are epoch-wide — a
+  /// decide against an epoch must already match its profile — so the
+  /// per-request shape is the process count plus the α/β trade-off.
+  struct ShapeKey {
+    int nprocs = 0;
+    int ppn = 0;
+    std::uint64_t alpha_bits = 0;
+    std::uint64_t beta_bits = 0;
+    bool operator==(const ShapeKey&) const = default;
+  };
+  struct ShapeKeyHash {
+    std::size_t operator()(const ShapeKey& key) const;
+  };
+
+  void worker_loop(Shard& shard);
+  void drain(Shard& shard, EpochPin& pin, std::vector<Slot*>& batch);
+  void serve_slot(Shard& shard, const PreparedSnapshot& prepared,
+                  const char* note, AdmissionLedger* ledger, Slot& slot,
+                  std::vector<ShapeKey>& drain_fresh);
+  void park(Shard& shard);
+  void wake(Shard& shard);
+
+  /// The ledger for `prepared`'s epoch, created on first use (mutex-
+  /// guarded; shards race only on the first drain after a publish).
+  std::shared_ptr<AdmissionLedger> ledger_for(const PreparedSnapshot& prepared);
+
+  ResourceBroker& broker_;
+  ServeOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> next_shard_{0};
+  std::atomic<bool> stop_{false};
+
+  std::mutex ledger_mutex_;
+  std::shared_ptr<AdmissionLedger> ledger_;
+
+  // Plane-local stat counters (the nlarm_serve_* series aggregate across
+  // planes; these back ServeStats for tools/tests).
+  std::atomic<std::uint64_t> decisions_{0};
+  std::atomic<std::uint64_t> cache_hits_{0};
+  std::atomic<std::uint64_t> cache_misses_{0};
+  std::atomic<std::uint64_t> cache_invalidations_{0};
+  std::atomic<std::uint64_t> coalesced_{0};
+  std::atomic<std::uint64_t> scoring_passes_{0};
+  std::atomic<std::uint64_t> drains_{0};
+  std::atomic<std::uint64_t> queue_full_spins_{0};
+};
+
+}  // namespace nlarm::core

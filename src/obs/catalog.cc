@@ -228,6 +228,46 @@ NLARM_CATALOG_GAUGE(delta_log_tail_bytes, "nlarm_delta_log_tail_bytes",
                     "Byte offset of the next unread frame in the followed "
                     ".nlarmd delta append-log (follower lag vs file size).")
 
+NLARM_CATALOG_GAUGE(serve_shards, "nlarm_serve_shards",
+                    "Serve shards (worker threads) the sharded admission "
+                    "front end is running.")
+NLARM_CATALOG_GAUGE(serve_shard_queue_depth, "nlarm_serve_shard_queue_depth",
+                    "Requests queued across all serve-shard rings at the "
+                    "last drain (enqueue-side estimate).")
+NLARM_CATALOG_COUNTER(serve_plane_decisions,
+                      "nlarm_serve_plane_decisions_total",
+                      "Admission decisions served through the sharded "
+                      "front end.")
+NLARM_CATALOG_COUNTER(serve_queue_full_spins,
+                      "nlarm_serve_queue_full_spins_total",
+                      "Producer spin-yields on a full serve-shard ring "
+                      "(back-pressure events).")
+NLARM_CATALOG_COUNTER(serve_drains, "nlarm_serve_drains_total",
+                      "Serve-shard drain sweeps (epoch pin re-validated "
+                      "once per sweep).")
+NLARM_CATALOG_COUNTER(serve_cache_hits, "nlarm_serve_cache_hits_total",
+                      "Admission decisions replayed from the decision cache "
+                      "after a successful capacity re-proof.")
+NLARM_CATALOG_COUNTER(serve_cache_misses, "nlarm_serve_cache_misses_total",
+                      "Admission decisions that needed a fresh scoring pass "
+                      "(no cache entry for the epoch + job shape).")
+NLARM_CATALOG_COUNTER(serve_cache_invalidations,
+                      "nlarm_serve_cache_invalidations_total",
+                      "Cached placements invalidated because a chosen node "
+                      "no longer had capacity headroom.")
+NLARM_CATALOG_COUNTER(serve_coalesced, "nlarm_serve_coalesced_total",
+                      "Requests that rode a same-shape drain-mate's scoring "
+                      "pass instead of running their own.")
+NLARM_CATALOG_COUNTER(serve_scoring_passes,
+                      "nlarm_serve_scoring_passes_total",
+                      "Fresh Algorithm-1/2 scoring passes run by the serve "
+                      "plane.")
+
+NLARM_CATALOG_GAUGE(simd_kernel, "nlarm_simd_kernel",
+                    "Active addition-cost scoring kernel: 0 scalar, 1 AVX2, "
+                    "2 NEON (SIMD only after the bit-exactness probe "
+                    "passes).")
+
 QuantileSketch& serve_decide_sketch() {
   static QuantileSketch* sketch = new QuantileSketch();
   return *sketch;
@@ -439,6 +479,17 @@ void register_all() {
   serve_threads();
   serve_inflight();
   delta_log_tail_bytes();
+  serve_shards();
+  serve_shard_queue_depth();
+  serve_plane_decisions();
+  serve_queue_full_spins();
+  serve_drains();
+  serve_cache_hits();
+  serve_cache_misses();
+  serve_cache_invalidations();
+  serve_coalesced();
+  serve_scoring_passes();
+  simd_kernel();
   serve_decide_p50_seconds();
   serve_decide_p95_seconds();
   serve_decide_p99_seconds();

@@ -88,6 +88,21 @@ Gauge& serve_threads();                  ///< nlarm_serve_threads
 Gauge& serve_inflight();                 ///< nlarm_serve_inflight
 Gauge& delta_log_tail_bytes();           ///< nlarm_delta_log_tail_bytes
 
+// --- sharded serve plane (core/serve_shard.h) ---
+Gauge& serve_shards();                   ///< nlarm_serve_shards
+Gauge& serve_shard_queue_depth();        ///< nlarm_serve_shard_queue_depth
+Counter& serve_plane_decisions();        ///< nlarm_serve_plane_decisions_total
+Counter& serve_queue_full_spins();       ///< nlarm_serve_queue_full_spins_total
+Counter& serve_drains();                 ///< nlarm_serve_drains_total
+Counter& serve_cache_hits();             ///< nlarm_serve_cache_hits_total
+Counter& serve_cache_misses();           ///< nlarm_serve_cache_misses_total
+Counter& serve_cache_invalidations();    ///< nlarm_serve_cache_invalidations_total
+Counter& serve_coalesced();              ///< nlarm_serve_coalesced_total
+Counter& serve_scoring_passes();         ///< nlarm_serve_scoring_passes_total
+
+// --- SIMD scoring dispatch (core/prepared.h, simd::) ---
+Gauge& simd_kernel();                    ///< nlarm_simd_kernel (0 scalar, 1 avx2, 2 neon)
+
 // Streaming latency sketches (obs/sketch.h) and the quantile gauges
 // export_quantile_gauges() materializes from them at scrape/flush time.
 // The sketches are what the hot path writes into (wait-free observe);

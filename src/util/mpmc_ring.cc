@@ -1,0 +1,13 @@
+#include "util/mpmc_ring.h"
+
+namespace nlarm::util {
+
+std::size_t ring_capacity_for(std::size_t requested) {
+  NLARM_CHECK(requested <= (std::size_t{1} << 31))
+      << "ring capacity " << requested << " is unreasonably large";
+  std::size_t capacity = 2;
+  while (capacity < requested) capacity <<= 1;
+  return capacity;
+}
+
+}  // namespace nlarm::util

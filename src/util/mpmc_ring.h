@@ -1,0 +1,123 @@
+// Bounded lock-free multi-producer/multi-consumer ring (Vyukov's algorithm).
+//
+// The serve plane's admission front end (core/serve_shard.h) pushes one slot
+// per request from any number of producer threads; each shard worker pops in
+// batches. Every operation is one CAS on a slot-local sequence counter plus
+// relaxed loads — no global lock, no allocation after construction, and
+// failed operations (full/empty) touch only two cache lines.
+//
+// Per-slot sequence protocol (capacity C, power of two):
+//   seq == pos        → slot free, a producer may claim it
+//   seq == pos + 1    → slot filled, a consumer may claim it
+//   anything else     → another thread is mid-claim on this lap; retry or
+//                       report full/empty (seq lags = full for producers,
+//                       seq lags = empty for consumers)
+// Claiming CASes the ticket counter, writes/reads the payload, then
+// publishes by storing seq = pos + 1 (producer) or pos + C (consumer).
+// The release store on seq pairs with the acquire load in the other role,
+// ordering the payload access.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace nlarm::util {
+
+/// Smallest power of two >= `requested` (and >= 2). Rings round their
+/// capacity up so the index mask is a single AND.
+std::size_t ring_capacity_for(std::size_t requested);
+
+template <typename T>
+class MpmcRing {
+ public:
+  explicit MpmcRing(std::size_t capacity)
+      : capacity_(ring_capacity_for(capacity)),
+        mask_(capacity_ - 1),
+        slots_(capacity_) {
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      slots_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpmcRing(const MpmcRing&) = delete;
+  MpmcRing& operator=(const MpmcRing&) = delete;
+
+  /// Attempts to enqueue. False = ring full (the caller applies its own
+  /// backpressure; nothing blocks inside).
+  bool try_push(T value) {
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Slot& slot = slots_[pos & mask_];
+      const std::size_t seq = slot.seq.load(std::memory_order_acquire);
+      const std::ptrdiff_t diff =
+          static_cast<std::ptrdiff_t>(seq) - static_cast<std::ptrdiff_t>(pos);
+      if (diff == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          slot.value = std::move(value);
+          slot.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+        // CAS failure reloaded `pos`; retry against the new ticket.
+      } else if (diff < 0) {
+        return false;  // the slot still holds last lap's value: full
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Attempts to dequeue into `out`. False = ring empty.
+  bool try_pop(T& out) {
+    std::size_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      Slot& slot = slots_[pos & mask_];
+      const std::size_t seq = slot.seq.load(std::memory_order_acquire);
+      const std::ptrdiff_t diff = static_cast<std::ptrdiff_t>(seq) -
+                                  static_cast<std::ptrdiff_t>(pos + 1);
+      if (diff == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          out = std::move(slot.value);
+          slot.seq.store(pos + capacity_, std::memory_order_release);
+          return true;
+        }
+      } else if (diff < 0) {
+        return false;  // nothing published at this position yet: empty
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// Approximate occupancy (racy by nature; monitoring only).
+  std::size_t size_estimate() const {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    return tail >= head ? tail - head : 0;
+  }
+
+  bool empty_estimate() const { return size_estimate() == 0; }
+
+ private:
+  struct Slot {
+    std::atomic<std::size_t> seq{0};
+    T value{};
+  };
+
+  // Head and tail tickets on separate cache lines so producers and
+  // consumers do not false-share.
+  alignas(64) std::atomic<std::size_t> head_{0};
+  alignas(64) std::atomic<std::size_t> tail_{0};
+  const std::size_t capacity_;
+  const std::size_t mask_;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace nlarm::util

@@ -1,0 +1,144 @@
+// Bounded MPMC ring (util/mpmc_ring.h): Vyukov per-slot sequence protocol.
+// The multi-producer/multi-consumer cases are ThreadSanitizer targets of the
+// NLARM_SANITIZE=thread CI job (test regex includes "Ring").
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "util/mpmc_ring.h"
+
+namespace nlarm::util {
+namespace {
+
+TEST(MpmcRingTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(ring_capacity_for(1), 2u);
+  EXPECT_EQ(ring_capacity_for(2), 2u);
+  EXPECT_EQ(ring_capacity_for(3), 4u);
+  EXPECT_EQ(ring_capacity_for(1000), 1024u);
+  EXPECT_EQ(ring_capacity_for(1024), 1024u);
+  MpmcRing<int> ring(5);
+  EXPECT_EQ(ring.capacity(), 8u);
+}
+
+TEST(MpmcRingTest, FifoSingleThreaded) {
+  MpmcRing<int> ring(8);
+  EXPECT_TRUE(ring.empty_estimate());
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(ring.try_push(i));
+  EXPECT_FALSE(ring.try_push(99)) << "ring must report full at capacity";
+  EXPECT_EQ(ring.size_estimate(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    int out = -1;
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, i) << "single-threaded order must be FIFO";
+  }
+  int out = -1;
+  EXPECT_FALSE(ring.try_pop(out)) << "ring must report empty";
+}
+
+TEST(MpmcRingTest, WrapsAroundManyLaps) {
+  MpmcRing<int> ring(4);
+  for (int lap = 0; lap < 1000; ++lap) {
+    ASSERT_TRUE(ring.try_push(lap));
+    ASSERT_TRUE(ring.try_push(lap + 1000000));
+    int a = -1;
+    int b = -1;
+    ASSERT_TRUE(ring.try_pop(a));
+    ASSERT_TRUE(ring.try_pop(b));
+    EXPECT_EQ(a, lap);
+    EXPECT_EQ(b, lap + 1000000);
+  }
+}
+
+TEST(MpmcRingTest, ConcurrentProducersConsumersDeliverEveryValueOnce) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 5000;
+  constexpr int kTotal = kProducers * kPerProducer;
+
+  MpmcRing<int> ring(64);  // small on purpose: exercises full/empty laps
+  std::atomic<int> consumed{0};
+  std::vector<std::atomic<int>> seen(kTotal);
+  for (auto& s : seen) s.store(0, std::memory_order_relaxed);
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&ring, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const int value = p * kPerProducer + i;
+        while (!ring.try_push(value)) std::this_thread::yield();
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&ring, &consumed, &seen] {
+      int out = -1;
+      while (consumed.load(std::memory_order_relaxed) < kTotal) {
+        if (ring.try_pop(out)) {
+          seen[static_cast<std::size_t>(out)].fetch_add(
+              1, std::memory_order_relaxed);
+          consumed.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(consumed.load(), kTotal);
+  for (int v = 0; v < kTotal; ++v) {
+    ASSERT_EQ(seen[static_cast<std::size_t>(v)].load(), 1)
+        << "value " << v << " delivered a wrong number of times";
+  }
+}
+
+TEST(MpmcRingTest, PerProducerOrderIsPreservedUnderConcurrency) {
+  // FIFO per producer: values from one producer must be consumed in the
+  // order they were pushed (the ring is linearizable per endpoint).
+  constexpr int kProducers = 3;
+  constexpr int kPerProducer = 4000;
+
+  MpmcRing<std::pair<int, int>> ring(32);
+  std::vector<std::vector<int>> consumed_by_producer(kProducers);
+  std::atomic<int> consumed{0};
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&ring, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        while (!ring.try_push({p, i})) std::this_thread::yield();
+      }
+    });
+  }
+  // One consumer so the observed order is the pop order.
+  std::thread consumer([&] {
+    std::pair<int, int> out;
+    while (consumed.load(std::memory_order_relaxed) <
+           kProducers * kPerProducer) {
+      if (ring.try_pop(out)) {
+        consumed_by_producer[static_cast<std::size_t>(out.first)].push_back(
+            out.second);
+        consumed.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  for (std::thread& t : producers) t.join();
+  consumer.join();
+
+  for (int p = 0; p < kProducers; ++p) {
+    const std::vector<int>& order =
+        consumed_by_producer[static_cast<std::size_t>(p)];
+    ASSERT_EQ(order.size(), static_cast<std::size_t>(kPerProducer));
+    EXPECT_TRUE(std::is_sorted(order.begin(), order.end()))
+        << "producer " << p << "'s values were reordered";
+  }
+}
+
+}  // namespace
+}  // namespace nlarm::util

@@ -32,6 +32,7 @@
 #include "core/hierarchical.h"
 #include "core/prepared.h"
 #include "core/launcher_export.h"
+#include "core/serve_shard.h"
 #include "exp/chaos_harness.h"
 #include "exp/experiment.h"
 #include "monitor/persistence.h"
@@ -149,6 +150,15 @@ int main(int argc, char** argv) {
         "threads, print throughput, and exit"},
        {"serve-requests", "total decisions to serve in serve mode "
                           "(default 10000)"},
+       {"serve-shards",
+        "route serve mode through the sharded admission front end with this "
+        "many shard workers (0 = direct decide(pin) per thread)"},
+       {"decision-cache",
+        "1|0: serve-shard decision cache on/off (default 1; only with "
+        "--serve-shards)"},
+       {"coalesce-window-us",
+        "hold each serve-shard drain open this many microseconds to gather "
+        "same-shape bursts (default 0; only with --serve-shards)"},
        {"chaos-spec",
         "fault-injection schedule (see sim/chaos.h), e.g. "
         "\"seed=7; stall:nodestate:0.1@30+120; tear:snapshot@60\"; runs the "
@@ -484,6 +494,8 @@ int main(int argc, char** argv) {
       static_cast<int>(parser.get_long("serve-threads", 0));
   if (serve_threads > 0) {
     const long serve_requests = parser.get_long("serve-requests", 10000);
+    const int serve_shards =
+        static_cast<int>(parser.get_long("serve-shards", 0));
     broker.refresh_epoch(
         std::make_shared<const monitor::ClusterSnapshot>(snapshot),
         core::RequestProfile::of(request));
@@ -493,13 +505,33 @@ int main(int argc, char** argv) {
     const auto start = std::chrono::steady_clock::now();
     std::vector<std::thread> servers;
     servers.reserve(static_cast<std::size_t>(serve_threads));
+    std::unique_ptr<core::ServePlane> plane;
+    if (serve_shards > 0) {
+      // Sharded front end: producers enqueue into per-core shard rings and
+      // the shard workers score (or cache-replay) against the epoch.
+      // Advisory serving like the direct mode — the closed-loop hammer
+      // would otherwise drain one epoch's capacity in milliseconds.
+      core::ServeOptions serve_options;
+      serve_options.shards = serve_shards;
+      serve_options.decision_cache = parser.get_long("decision-cache", 1) != 0;
+      serve_options.coalesce_window_us =
+          parser.get_double("coalesce-window-us", 0.0);
+      serve_options.debit_capacity = false;
+      plane = std::make_unique<core::ServePlane>(broker, serve_options);
+    }
     for (int t = 0; t < serve_threads; ++t) {
-      servers.emplace_back([&broker, &request, &remaining, &allocated] {
+      servers.emplace_back([&broker, &request, &remaining, &allocated,
+                            &plane] {
         core::EpochPin pin = broker.pin_epoch();
         while (remaining.fetch_sub(1, std::memory_order_relaxed) > 0) {
-          broker.refresh_pin(pin);
           obs::metrics::serve_inflight().add(1.0);
-          const core::BrokerDecision served = broker.decide(pin, request);
+          core::BrokerDecision served;
+          if (plane != nullptr) {
+            served = plane->decide(request);
+          } else {
+            broker.refresh_pin(pin);
+            served = broker.decide(pin, request);
+          }
           obs::metrics::serve_inflight().add(-1.0);
           if (served.action == core::BrokerDecision::Action::kAllocate) {
             allocated.fetch_add(1, std::memory_order_relaxed);
@@ -508,16 +540,41 @@ int main(int argc, char** argv) {
       });
     }
     for (std::thread& server : servers) server.join();
-    obs::metrics::serve_threads().set(0.0);
     const double seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count();
+    obs::metrics::serve_threads().set(0.0);
     std::fprintf(stderr,
                  "served %ld decisions (%ld allocate) on %d thread(s) in "
                  "%.3f s -> %.0f decisions/s\n",
                  serve_requests, allocated.load(), serve_threads, seconds,
                  seconds > 0.0 ? static_cast<double>(serve_requests) / seconds
                                : 0.0);
+    if (plane != nullptr) {
+      plane->stop();
+      const core::ServeStats stats = plane->stats();
+      const double hit_rate =
+          stats.decisions > 0
+              ? 100.0 * static_cast<double>(stats.cache_hits) /
+                    static_cast<double>(stats.decisions)
+              : 0.0;
+      std::fprintf(stderr,
+                   "serve plane: %d shard(s), %llu drain(s), cache %llu hit / "
+                   "%llu miss / %llu invalidation(s) (%.1f%% hit), %llu "
+                   "coalesced, %llu scoring pass(es), %llu full-ring spin(s), "
+                   "simd=%s\n",
+                   serve_shards,
+                   static_cast<unsigned long long>(stats.drains),
+                   static_cast<unsigned long long>(stats.cache_hits),
+                   static_cast<unsigned long long>(stats.cache_misses),
+                   static_cast<unsigned long long>(stats.cache_invalidations),
+                   hit_rate,
+                   static_cast<unsigned long long>(stats.coalesced),
+                   static_cast<unsigned long long>(stats.scoring_passes),
+                   static_cast<unsigned long long>(stats.queue_full_spins),
+                   core::simd::active_kernel_name());
+      plane.reset();
+    }
     write_observability_outputs(metrics_path, audit_path, trace_path,
                                 audit_log);
     hold_telemetry();

@@ -112,6 +112,7 @@ int main(int argc, char** argv) {
 
   double last_decides = NAN;
   double last_allocs = NAN;
+  double last_plane_decisions = NAN;
   for (long frame = 0;; ++frame) {
     const std::optional<obs::HttpResponse> metrics_response =
         obs::http_get(host, port, "/metrics");
@@ -182,6 +183,34 @@ int main(int argc, char** argv) {
                     series(m, "nlarm_epoch_refresh_p50_seconds")).c_str(),
                 format_latency(
                     series(m, "nlarm_epoch_refresh_p99_seconds")).c_str());
+
+    // Sharded front end (core/serve_shard.h): decisions/sec through the
+    // plane, cache effectiveness, coalescing, and queue pressure.
+    const double plane_decisions =
+        series(m, "nlarm_serve_plane_decisions_total");
+    const double plane_rate =
+        (std::isnan(last_plane_decisions) || interval <= 0.0)
+            ? 0.0
+            : (plane_decisions - last_plane_decisions) / interval;
+    last_plane_decisions = plane_decisions;
+    const double plane_hits = series(m, "nlarm_serve_cache_hits_total");
+    const double plane_hit_pct =
+        plane_decisions > 0.0 ? 100.0 * plane_hits / plane_decisions : 0.0;
+    const double plane_coalesced = series(m, "nlarm_serve_coalesced_total");
+    const double plane_coalesce_pct =
+        plane_decisions > 0.0 ? 100.0 * plane_coalesced / plane_decisions
+                              : 0.0;
+    std::printf("shards  %8.0f decide/s  cache %3.0f%% hit  coalesced %3.0f%%"
+                "  queue %.0f  on %.0f shard(s)\n",
+                plane_rate, plane_hit_pct, plane_coalesce_pct,
+                series(m, "nlarm_serve_shard_queue_depth"),
+                series(m, "nlarm_serve_shards"));
+    std::printf("        invalidations %.0f  scoring-passes %.0f  "
+                "full-ring spins %.0f  simd-kernel %.0f\n",
+                series(m, "nlarm_serve_cache_invalidations_total"),
+                series(m, "nlarm_serve_scoring_passes_total"),
+                series(m, "nlarm_serve_queue_full_spins_total"),
+                series(m, "nlarm_simd_kernel"));
     std::printf("\n");
     std::printf("totals  decisions %.0f  allocations %.0f  waits %.0f  "
                 "fallbacks %.0f  refusals %.0f\n",
