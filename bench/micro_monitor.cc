@@ -9,10 +9,12 @@
 #include <string>
 
 #include "cluster/cluster.h"
+#include "cluster/topology.h"
 #include "monitor/daemons.h"
 #include "monitor/delta_log.h"
 #include "monitor/persistence.h"
 #include "monitor/snapshot_codec.h"
+#include "monitor/sparse.h"
 #include "monitor/store.h"
 #include "net/flows.h"
 #include "net/network_model.h"
@@ -298,6 +300,80 @@ void BM_DeltaLogReplay(benchmark::State& state) {
 }
 BENCHMARK(BM_DeltaLogReplay)
     ->Arg(256)->Arg(1024)->Arg(4096)->Unit(benchmark::kMillisecond);
+
+// Steady-state follower tail: the leader appends one O(dirty) delta frame
+// and the attached reader polls it into its running state — the per-epoch
+// cost of a replicated FollowerBroker once it has caught up.
+void BM_DeltaLogTail(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  monitor::MonitorStore store(n);
+  const monitor::ClusterSnapshot seed = make_dense_snapshot(n);
+  store.restore(seed);
+  (void)store.drain_delta();
+  const std::string path = bench_path("delta_tail", n);
+  std::remove(path.c_str());
+  monitor::DeltaLogWriter::Options options;
+  options.compact_after_deltas = 1 << 30;  // isolate the tail cost
+  options.compact_bytes_ratio = 1e9;
+  monitor::DeltaLogWriter writer(path, options);
+  double now = seed.time;
+  writer.write_full(store.assemble(now));
+  (void)store.drain_delta();
+  monitor::DeltaLogReader reader(path);
+  reader.poll();  // consume the anchor frame outside timing
+  (void)reader.drain_delta();
+  int next_node = 0;
+  for (auto _ : state) {
+    now += 3.0;
+    const int dirty_nodes = n / 100 + 1;
+    for (int i = 0; i < dirty_nodes; ++i) {
+      monitor::NodeSnapshot record =
+          seed.nodes[static_cast<std::size_t>(next_node)];
+      record.cpu_load += 0.01;
+      store.write_node_record(now, record);
+      next_node = (next_node + 1) % n;
+    }
+    for (int u = 0; u + 1 < n; u += 2) {
+      store.write_latency(now, u, u + 1, 61.0, 62.5);
+      store.write_latency(now, u + 1, u, 61.0, 62.5);
+    }
+    writer.append(store.assemble(now), store.drain_delta());
+    benchmark::DoNotOptimize(reader.poll());
+    benchmark::DoNotOptimize(reader.drain_delta());
+  }
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_DeltaLogTail)
+    ->Arg(256)->Arg(1024)->Arg(4096)->Unit(benchmark::kMillisecond);
+
+// One sparse monitoring round: n/2 disjoint probes folded into the
+// per-link estimator plus a full-mesh reconstruction pass — the work the
+// sparse LatencyD does per period instead of BM_FullProbeSweep's n-1
+// rounds of real probes.
+void BM_SparseRoundReconstruct(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const cluster::Topology topology = cluster::make_star_topology(
+      std::vector<int>(static_cast<std::size_t>(n) / 32, 32), 1000.0, 400.0);
+  monitor::SparseNetworkEstimator estimator(topology);
+  const auto rounds = monitor::tournament_rounds(n);
+  std::size_t cursor = 0;
+  for (auto _ : state) {
+    for (const auto& [u, v] : rounds[cursor % rounds.size()]) {
+      estimator.observe_latency(u, v, 100.0 + (u + v) % 13);
+    }
+    ++cursor;
+    double sum = 0.0;
+    for (int u = 0; u < n; ++u) {
+      for (int v = u + 1; v < n; ++v) {
+        if (estimator.latency_ready(u, v)) {
+          sum += estimator.estimate_latency_us(u, v);
+        }
+      }
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_SparseRoundReconstruct)->Arg(64)->Arg(256);
 
 }  // namespace
 

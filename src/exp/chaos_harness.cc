@@ -32,6 +32,15 @@ ChaosHarness::ChaosHarness(sim::ChaosSpec spec, sim::Simulation& sim,
     NLARM_WARN << "chaos: killing slave supervisor";
     monitor_.central().fail_slave();
   };
+  hooks.kill_leader = [this](const sim::ChaosEvent&) {
+    obs::metrics::chaos_leader_kills().inc();
+    NLARM_WARN << "chaos: killing leader broker mid-compaction (its "
+                  "in-flight delta-log full frame is torn)";
+    // The leader "dies during a compaction": its next full-frame write is
+    // torn, and whatever the caller registered stops the append loop.
+    monitor::arm_torn_snapshot_write();
+    if (kill_leader_action_) kill_leader_action_();
+  };
   hooks.tear_snapshot = [](const sim::ChaosEvent&) {
     NLARM_WARN << "chaos: arming a torn write for the next snapshot save";
     monitor::arm_torn_snapshot_write();

@@ -4,6 +4,7 @@
 // "stall" or a "flap" means; sim/chaos.h only knows when one happens.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -30,6 +31,14 @@ class ChaosHarness {
   /// Consumers add this to `now` when computing staleness views.
   double clock_skew() const { return clock_skew_; }
 
+  /// Binds the kill:leader event to the testbed's leader broker (die with
+  /// the in-flight delta-log compaction torn). The harness itself only
+  /// arms the torn write and counts the kill; the caller-supplied action
+  /// stops the leader's append/refresh loop. Set before arm().
+  void on_kill_leader(std::function<void()> action) {
+    kill_leader_action_ = std::move(action);
+  }
+
  private:
   void stall_daemons(const sim::ChaosEvent& event, sim::Rng& rng);
   void flap_node(const sim::ChaosEvent& event, sim::Rng& rng);
@@ -38,6 +47,7 @@ class ChaosHarness {
   cluster::Cluster& cluster_;
   monitor::ResourceMonitor& monitor_;
   double clock_skew_ = 0.0;
+  std::function<void()> kill_leader_action_;
   std::unique_ptr<sim::ChaosEngine> engine_;
 };
 

@@ -165,7 +165,34 @@ PairProbeDaemon::PairProbeDaemon(std::string name,
       << "rounds do not fit in the probe period";
 }
 
+void PairProbeDaemon::enable_sparse(const cluster::Topology& topology,
+                                    double reconstruct_min_age_s) {
+  NLARM_CHECK(reconstruct_min_age_s >= 0.0)
+      << "negative reconstruction age threshold";
+  NLARM_CHECK(topology.node_count() == cluster().size())
+      << "sparse topology covers " << topology.node_count() << " nodes, "
+      << "cluster has " << cluster().size();
+  estimator_ = std::make_unique<SparseNetworkEstimator>(topology);
+  reconstruct_min_age_s_ = reconstruct_min_age_s;
+}
+
 void PairProbeDaemon::tick(double now) {
+  if (estimator_ != nullptr) {
+    // Sparse mode: ONE round per period — n/2 probes, O(V) traffic — then
+    // synthesize values for whatever the rotating schedule has left stale.
+    run_round(sparse_cursor_ % rounds_.size());
+    ++sparse_cursor_;
+    reconstruct_stale(now);
+    obs::metrics::probe_rounds().inc();
+    const double total_pairs =
+        static_cast<double>(cluster().size()) *
+        static_cast<double>(cluster().size() - 1) / 2.0;
+    if (total_pairs > 0.0) {
+      obs::metrics::probe_traffic_fraction().set(
+          static_cast<double>(rounds_.front().size()) / total_pairs);
+    }
+    return;
+  }
   // Round 0 fires now; later rounds are offset so only n/2 pairs measure at
   // a time (the paper's schedule avoids perturbing the network it measures).
   (void)now;
@@ -189,7 +216,36 @@ void PairProbeDaemon::run_round(std::size_t round_index) {
     }
     probe_pair(now, u, v);
     obs::metrics::monitor_pair_probes().inc();
+    if (estimator_ != nullptr) {
+      ++pairs_measured_;
+      obs::metrics::probe_pairs_measured().inc();
+    }
   }
+}
+
+void PairProbeDaemon::reconstruct_stale(double now) {
+  const int n = cluster().size();
+  for (cluster::NodeId u = 0; u < n; ++u) {
+    if (!cluster().node(u).dyn.alive) continue;
+    for (cluster::NodeId v = u + 1; v < n; ++v) {
+      if (!cluster().node(v).dyn.alive) continue;
+      if (store_.pair_staleness(now, u, v) <= reconstruct_min_age_s_) {
+        continue;
+      }
+      if (reconstruct_pair(now, u, v)) {
+        ++pairs_reconstructed_;
+        obs::metrics::probe_pairs_reconstructed().inc();
+      }
+    }
+  }
+}
+
+bool PairProbeDaemon::reconstruct_pair(double now, cluster::NodeId u,
+                                       cluster::NodeId v) {
+  (void)now;
+  (void)u;
+  (void)v;
+  return false;
 }
 
 LatencyD::LatencyD(std::string name, const cluster::Cluster& cluster,
@@ -214,6 +270,7 @@ LatencyD::LatencyD(std::string name, const cluster::Cluster& cluster,
     one_min_.push_back(std::move(row1));
     five_min_.push_back(std::move(row5));
   }
+  last_real_five_min_.assign(n, std::vector<double>(n, -1.0));
 }
 
 util::WindowedMean& LatencyD::window(cluster::NodeId u, cluster::NodeId v,
@@ -231,6 +288,29 @@ void LatencyD::probe_pair(double now, cluster::NodeId u, cluster::NodeId v) {
   const double five = window(u, v, true).value();
   store().write_latency(now, u, v, one, five);
   store().write_latency(now, v, u, one, five);
+  const auto a = static_cast<std::size_t>(std::min(u, v));
+  const auto b = static_cast<std::size_t>(std::max(u, v));
+  last_real_five_min_[a][b] = five;
+  if (auto* est = estimator()) est->observe_latency(u, v, measured);
+}
+
+bool LatencyD::reconstruct_pair(double now, cluster::NodeId u,
+                                cluster::NodeId v) {
+  auto* est = estimator();
+  if (est == nullptr || !est->latency_ready(u, v)) return false;
+  const double reconstructed = est->estimate_latency_us(u, v);
+  // The reconstruction only replaces the 1-minute instantaneous value; the
+  // 5-minute entry keeps the last REAL probe's mean, so the degradation
+  // layer's stale-pair fallback stays anchored to measurements and absorbs
+  // reconstruction error. Before any real probe, the reconstruction is the
+  // best 5-minute guess too.
+  const auto a = static_cast<std::size_t>(std::min(u, v));
+  const auto b = static_cast<std::size_t>(std::max(u, v));
+  const double real_five = last_real_five_min_[a][b];
+  const double five = real_five >= 0.0 ? real_five : reconstructed;
+  store().write_latency(now, u, v, reconstructed, five);
+  store().write_latency(now, v, u, reconstructed, five);
+  return true;
 }
 
 BandwidthD::BandwidthD(std::string name, const cluster::Cluster& cluster,
@@ -239,7 +319,10 @@ BandwidthD::BandwidthD(std::string name, const cluster::Cluster& cluster,
                        const net::NetworkModel& network, MonitorStore& store,
                        sim::Rng rng)
     : PairProbeDaemon(std::move(name), cluster, host, period_seconds,
-                      round_spacing_seconds, network, store, std::move(rng)) {}
+                      round_spacing_seconds, network, store, std::move(rng)) {
+  const auto n = static_cast<std::size_t>(cluster.size());
+  last_real_peak_.assign(n, std::vector<double>(n, -1.0));
+}
 
 void BandwidthD::probe_pair(double now, cluster::NodeId u,
                             cluster::NodeId v) {
@@ -247,6 +330,24 @@ void BandwidthD::probe_pair(double now, cluster::NodeId u,
   const double peak = network().peak_bandwidth_mbps(u, v);
   store().write_bandwidth(now, u, v, measured, peak);
   store().write_bandwidth(now, v, u, measured, peak);
+  const auto a = static_cast<std::size_t>(std::min(u, v));
+  const auto b = static_cast<std::size_t>(std::max(u, v));
+  last_real_peak_[a][b] = peak;
+  if (auto* est = estimator()) est->observe_bandwidth(u, v, measured);
+}
+
+bool BandwidthD::reconstruct_pair(double now, cluster::NodeId u,
+                                  cluster::NodeId v) {
+  auto* est = estimator();
+  if (est == nullptr || !est->bandwidth_ready(u, v)) return false;
+  const double reconstructed = est->estimate_bandwidth_mbps(u, v);
+  const auto a = static_cast<std::size_t>(std::min(u, v));
+  const auto b = static_cast<std::size_t>(std::max(u, v));
+  const double real_peak = last_real_peak_[a][b];
+  const double peak = real_peak >= 0.0 ? real_peak : est->path_peak_mbps(u, v);
+  store().write_bandwidth(now, u, v, reconstructed, peak);
+  store().write_bandwidth(now, v, u, reconstructed, peak);
+  return true;
 }
 
 }  // namespace nlarm::monitor

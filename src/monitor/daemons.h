@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "monitor/sparse.h"
 #include "monitor/store.h"
 #include "net/network_model.h"
 #include "sim/simulation.h"
@@ -128,6 +129,20 @@ class PairProbeDaemon : public Daemon {
                   const net::NetworkModel& network, MonitorStore& store,
                   sim::Rng rng);
 
+  /// Switches the daemon to sparse probing: each tick runs ONE tournament
+  /// round — the paper's n/2 disjoint pairs, O(V) traffic — advancing a
+  /// rotating cursor instead of scheduling every round, feeds each real
+  /// measurement into a per-link topology estimator, and then writes
+  /// reconstructed values for pairs whose stored record has aged past
+  /// `reconstruct_min_age_s` (so store churn also stays O(V) per tick in
+  /// steady state). Call before launch().
+  void enable_sparse(const cluster::Topology& topology,
+                     double reconstruct_min_age_s);
+  bool sparse() const { return estimator_ != nullptr; }
+
+  long pairs_measured() const { return pairs_measured_; }
+  long pairs_reconstructed() const { return pairs_reconstructed_; }
+
  protected:
   void tick(double now) override;
 
@@ -135,12 +150,19 @@ class PairProbeDaemon : public Daemon {
   virtual void probe_pair(double now, cluster::NodeId u,
                           cluster::NodeId v) = 0;
 
+  /// Sparse mode: writes a reconstructed record for one stale unmeasured
+  /// pair. Returns false when the estimator cannot cover it yet.
+  virtual bool reconstruct_pair(double now, cluster::NodeId u,
+                                cluster::NodeId v);
+
   const net::NetworkModel& network() const { return network_; }
   MonitorStore& store() { return store_; }
   sim::Rng& rng() { return rng_; }
+  SparseNetworkEstimator* estimator() { return estimator_.get(); }
 
  private:
   void run_round(std::size_t round_index);
+  void reconstruct_stale(double now);
 
   double round_spacing_;
   const net::NetworkModel& network_;
@@ -148,6 +170,11 @@ class PairProbeDaemon : public Daemon {
   sim::Rng rng_;
   std::vector<std::vector<std::pair<cluster::NodeId, cluster::NodeId>>>
       rounds_;
+  std::unique_ptr<SparseNetworkEstimator> estimator_;
+  double reconstruct_min_age_s_ = 0.0;
+  std::size_t sparse_cursor_ = 0;
+  long pairs_measured_ = 0;
+  long pairs_reconstructed_ = 0;
 };
 
 /// P2P latency daemon: 1-minute period; maintains last-1min and last-5min
@@ -161,6 +188,8 @@ class LatencyD : public PairProbeDaemon {
 
  protected:
   void probe_pair(double now, cluster::NodeId u, cluster::NodeId v) override;
+  bool reconstruct_pair(double now, cluster::NodeId u,
+                        cluster::NodeId v) override;
 
  private:
   util::WindowedMean& window(cluster::NodeId u, cluster::NodeId v,
@@ -169,6 +198,10 @@ class LatencyD : public PairProbeDaemon {
   // Per unordered pair: [u][v] with u < v.
   std::vector<std::vector<util::WindowedMean>> one_min_;
   std::vector<std::vector<util::WindowedMean>> five_min_;
+  /// Last 5-minute mean written from a REAL probe, per unordered pair (< 0
+  /// = none yet). Sparse reconstructions re-write this value so the
+  /// degradation layer's fallback stays anchored to measurements.
+  std::vector<std::vector<double>> last_real_five_min_;
 };
 
 /// P2P effective-bandwidth daemon: 5-minute period; writes instantaneous
@@ -182,6 +215,12 @@ class BandwidthD : public PairProbeDaemon {
 
  protected:
   void probe_pair(double now, cluster::NodeId u, cluster::NodeId v) override;
+  bool reconstruct_pair(double now, cluster::NodeId u,
+                        cluster::NodeId v) override;
+
+ private:
+  /// Last peak written from a real probe, per unordered pair (< 0 = none).
+  std::vector<std::vector<double>> last_real_peak_;
 };
 
 }  // namespace nlarm::monitor

@@ -269,7 +269,20 @@ int DeltaLogReader::poll() {
     // The writer compacted (file shrank): replay from the top. The full
     // frame at the head makes the pending delta a full rebuild anyway.
     offset_ = 0;
+    have_head_id_ = false;
   }
+  if (bytes.size() < last_size_) {
+    // The file shrank relative to the PREVIOUS poll even though our cursor
+    // still fits — the writer compacted and then re-appended between our
+    // size check and this frame read. Appends never shrink a log, so any
+    // size decrease means replacement: the bytes at our cursor belong to a
+    // different file generation and must not be replayed as a continuation.
+    // (The head-identity check below catches most of these, but cannot
+    // when the new head frame is itself torn or still partially written.)
+    offset_ = 0;
+    have_head_id_ = false;
+  }
+  last_size_ = bytes.size();
 
   // A compaction can also replace the log with an equal-or-larger file.
   // Identify the head frame by its length plus its last payload bytes:

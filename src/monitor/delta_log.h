@@ -117,6 +117,12 @@ class DeltaLogReader {
 
   std::string path_;
   std::size_t offset_ = 0;  ///< byte offset of the next unread frame
+  /// File size at the previous poll. Appends only ever grow the log, so ANY
+  /// observed shrink means the file was replaced (compaction) — even when
+  /// the new file is still longer than our cursor and the head frame is
+  /// momentarily unidentifiable. Closes the race between the cursor check
+  /// and the frame read.
+  std::size_t last_size_ = 0;
   /// (payload length << 32) | stored CRC of the log's head frame, used to
   /// detect a compaction that replaced the file without shrinking it.
   std::uint64_t head_id_ = 0;

@@ -41,13 +41,21 @@ ResourceMonitor::ResourceMonitor(const cluster::Cluster& cluster,
   }
 
   // Latency and bandwidth probe coordinators.
-  daemons_.push_back(std::make_unique<LatencyD>(
+  auto latencyd = std::make_unique<LatencyD>(
       "latencyd", cluster, /*host=*/0, config.latency_period_s,
-      config.probe_round_spacing_s, network, store_, rng.fork("latency")));
-  daemons_.push_back(std::make_unique<BandwidthD>(
+      config.probe_round_spacing_s, network, store_, rng.fork("latency"));
+  auto bandwidthd = std::make_unique<BandwidthD>(
       "bandwidthd", cluster, /*host=*/std::min(1, cluster.size() - 1),
       config.bandwidth_period_s, config.probe_round_spacing_s, network,
-      store_, rng.fork("bandwidth")));
+      store_, rng.fork("bandwidth"));
+  if (config.sparse_probes) {
+    latencyd->enable_sparse(cluster.topology(),
+                            config.sparse_reconstruct_min_age_s);
+    bandwidthd->enable_sparse(cluster.topology(),
+                              config.sparse_reconstruct_min_age_s);
+  }
+  daemons_.push_back(std::move(latencyd));
+  daemons_.push_back(std::move(bandwidthd));
 
   // Master and slave on distinct nodes.
   const cluster::NodeId master = 0;

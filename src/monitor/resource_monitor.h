@@ -32,6 +32,15 @@ struct MonitorConfig {
   /// snapshots (0 disables the filter). Guards against dead NodeStateDs
   /// serving forever-stale data.
   double max_record_age_s = 120.0;
+  /// Sparse probing (monitor/sparse.h): pair daemons measure only one
+  /// tournament round — n/2 pairs, O(V) traffic — per period and
+  /// reconstruct stale pairs from per-link topology estimates, instead of
+  /// walking every round each period (O(V²)).
+  bool sparse_probes = false;
+  /// Sparse mode only: reconstruct a pair once its stored record is older
+  /// than this. Should sit between the probe period and the degradation
+  /// layer's pair staleness budget.
+  double sparse_reconstruct_min_age_s = 90.0;
   std::uint64_t seed = 0xD43;
 };
 

@@ -1,0 +1,129 @@
+#include "monitor/sparse.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace nlarm::monitor {
+
+SparseNetworkEstimator::SparseNetworkEstimator(
+    const cluster::Topology& topology, SparseEstimatorOptions options)
+    : topology_(topology), options_(options) {
+  NLARM_CHECK(options.latency_gain > 0.0 && options.latency_gain <= 1.0)
+      << "latency_gain must be in (0, 1]";
+  NLARM_CHECK(options.bandwidth_gain > 0.0 && options.bandwidth_gain <= 1.0)
+      << "bandwidth_gain must be in (0, 1]";
+  const auto links = static_cast<std::size_t>(topology.link_count());
+  link_latency_us_.assign(links, 0.0);
+  link_latency_obs_.assign(links, 0);
+  link_bandwidth_mbps_.reserve(links);
+  link_bandwidth_obs_.assign(links, 0);
+  // Bandwidth links start at their physical capacity — the best possible
+  // prior, and exact for the peak reconstruction.
+  for (cluster::LinkId id = 0; id < topology.link_count(); ++id) {
+    link_bandwidth_mbps_.push_back(topology.link(id).capacity_mbps);
+  }
+}
+
+void SparseNetworkEstimator::observe_latency(cluster::NodeId u,
+                                             cluster::NodeId v,
+                                             double measured_us) {
+  const std::vector<cluster::LinkId> path = topology_.path_links(u, v);
+  if (path.empty()) return;
+  double current = 0.0;
+  for (const cluster::LinkId link : path) {
+    current += link_latency_us_[static_cast<std::size_t>(link)];
+  }
+  const double share =
+      (measured_us - current) / static_cast<double>(path.size());
+  for (const cluster::LinkId link : path) {
+    const auto i = static_cast<std::size_t>(link);
+    // A never-observed link takes its full residual share (warm start, so
+    // readiness is not slowed by the damping); afterwards the gain damps
+    // each step so probe noise averages out instead of yanking shared
+    // links around at every projection.
+    const double gain =
+        link_latency_obs_[i] == 0 ? 1.0 : options_.latency_gain;
+    // Clamp at zero: a per-link latency term can never be negative, and an
+    // unclamped step can briefly push early estimates below it.
+    link_latency_us_[i] = std::max(0.0, link_latency_us_[i] + gain * share);
+    ++link_latency_obs_[i];
+  }
+  ++latency_observations_;
+}
+
+void SparseNetworkEstimator::observe_bandwidth(cluster::NodeId u,
+                                               cluster::NodeId v,
+                                               double measured_mbps) {
+  const std::vector<cluster::LinkId> path = topology_.path_links(u, v);
+  if (path.empty()) return;
+  double bottleneck = std::numeric_limits<double>::infinity();
+  std::size_t argmin = 0;
+  for (const cluster::LinkId link : path) {
+    const auto i = static_cast<std::size_t>(link);
+    if (link_bandwidth_mbps_[i] < bottleneck) {
+      bottleneck = link_bandwidth_mbps_[i];
+      argmin = i;
+    }
+  }
+  for (const cluster::LinkId link : path) {
+    const auto i = static_cast<std::size_t>(link);
+    // The path demonstrably carried `measured`, so every link on it can.
+    link_bandwidth_mbps_[i] = std::max(link_bandwidth_mbps_[i], measured_mbps);
+    ++link_bandwidth_obs_[i];
+  }
+  if (measured_mbps < bottleneck) {
+    // The path under-delivered its estimate: ease the current bottleneck
+    // link (the only one the min can pin the blame on) toward reality.
+    link_bandwidth_mbps_[argmin] +=
+        options_.bandwidth_gain * (measured_mbps - link_bandwidth_mbps_[argmin]);
+  }
+  ++bandwidth_observations_;
+}
+
+bool SparseNetworkEstimator::latency_ready(cluster::NodeId u,
+                                           cluster::NodeId v) const {
+  for (const cluster::LinkId link : topology_.path_links(u, v)) {
+    if (link_latency_obs_[static_cast<std::size_t>(link)] == 0) return false;
+  }
+  return u != v;
+}
+
+bool SparseNetworkEstimator::bandwidth_ready(cluster::NodeId u,
+                                             cluster::NodeId v) const {
+  for (const cluster::LinkId link : topology_.path_links(u, v)) {
+    if (link_bandwidth_obs_[static_cast<std::size_t>(link)] == 0) return false;
+  }
+  return u != v;
+}
+
+double SparseNetworkEstimator::estimate_latency_us(cluster::NodeId u,
+                                                   cluster::NodeId v) const {
+  double sum = 0.0;
+  for (const cluster::LinkId link : topology_.path_links(u, v)) {
+    sum += link_latency_us_[static_cast<std::size_t>(link)];
+  }
+  return sum;
+}
+
+double SparseNetworkEstimator::estimate_bandwidth_mbps(
+    cluster::NodeId u, cluster::NodeId v) const {
+  double min_bw = std::numeric_limits<double>::infinity();
+  for (const cluster::LinkId link : topology_.path_links(u, v)) {
+    min_bw = std::min(min_bw, link_bandwidth_mbps_[static_cast<std::size_t>(link)]);
+  }
+  return std::isfinite(min_bw) ? min_bw : 0.0;
+}
+
+double SparseNetworkEstimator::path_peak_mbps(cluster::NodeId u,
+                                              cluster::NodeId v) const {
+  double min_cap = std::numeric_limits<double>::infinity();
+  for (const cluster::LinkId link : topology_.path_links(u, v)) {
+    min_cap = std::min(min_cap, topology_.link(link).capacity_mbps);
+  }
+  return std::isfinite(min_cap) ? min_cap : 0.0;
+}
+
+}  // namespace nlarm::monitor

@@ -1,0 +1,90 @@
+// Sparse network estimation: per-link state reconstructed from O(V) probes.
+//
+// The paper's probe schedule already measures only n/2 disjoint pairs at a
+// time, but it still walks every tournament round each period, so the
+// traffic (and the store churn) stays O(V²) per period. On a switch-tree
+// topology that is redundant: a pair's path cost decomposes over its links
+// (uplink → trunks → uplink), and V nodes share only V uplinks plus S-1
+// trunks. This estimator maintains per-link latency and bandwidth state
+// updated from whichever pairs WERE probed, and synthesizes values for the
+// pairs that were not:
+//
+//   * latency: additive over the path. Each measurement relaxes its path's
+//     link terms with a Kaczmarz step (distribute the residual equally over
+//     the path), which converges to a consistent per-link decomposition
+//     when the underlying costs are tree-additive and tracks drift
+//     otherwise. An unmeasured pair's estimate is the sum over its path,
+//     available once every link on the path has been touched at least once.
+//   * bandwidth: bottleneck (min) over the path. Links start at their
+//     LinkSpec capacity; a measurement raises every path link to at least
+//     the measured value (the path demonstrably carried it) and eases the
+//     current bottleneck link toward the measurement when it came in lower.
+//     An unmeasured pair's estimate is the min over its path; the peak is
+//     the min of the path's link capacities (exact, by construction).
+//
+// Reconstruction error is bounded by the consumer, not here: reconstructed
+// values are written as the 1-minute instantaneous entries only, so the
+// degradation layer's 5-minute-mean fallback (core/degrade.h) stays
+// anchored to real measurements and absorbs estimator error exactly the
+// way it absorbs stale-probe error.
+#pragma once
+
+#include <vector>
+
+#include "cluster/topology.h"
+
+namespace nlarm::monitor {
+
+struct SparseEstimatorOptions {
+  /// Kaczmarz step size for latency residuals, in (0, 1]. 1.0 projects the
+  /// path constraint exactly; smaller values average over noisy probes. A
+  /// link's FIRST observation always takes its full residual share (warm
+  /// start), so damping never delays readiness. The default is tuned for
+  /// the testbed's 10 % probe sigma: full projection would let each noisy
+  /// measurement yank the shared trunk terms around (~35 % worst-case pair
+  /// error); 0.25 averages the noise down to ~10 %.
+  double latency_gain = 0.25;
+  /// EMA factor easing the bottleneck link toward a lower-than-estimated
+  /// bandwidth measurement, in (0, 1].
+  double bandwidth_gain = 0.5;
+};
+
+class SparseNetworkEstimator {
+ public:
+  explicit SparseNetworkEstimator(const cluster::Topology& topology,
+                                  SparseEstimatorOptions options = {});
+
+  /// Folds one real probe into the per-link state. u != v.
+  void observe_latency(cluster::NodeId u, cluster::NodeId v,
+                       double measured_us);
+  void observe_bandwidth(cluster::NodeId u, cluster::NodeId v,
+                         double measured_mbps);
+
+  /// True once every link on the pair's path has at least one observation.
+  bool latency_ready(cluster::NodeId u, cluster::NodeId v) const;
+  bool bandwidth_ready(cluster::NodeId u, cluster::NodeId v) const;
+
+  /// Path-sum / path-min reconstructions. Only meaningful when the
+  /// corresponding *_ready() returns true.
+  double estimate_latency_us(cluster::NodeId u, cluster::NodeId v) const;
+  double estimate_bandwidth_mbps(cluster::NodeId u, cluster::NodeId v) const;
+
+  /// Min link capacity along the path — the exact peak bandwidth of a
+  /// contention-free tree path.
+  double path_peak_mbps(cluster::NodeId u, cluster::NodeId v) const;
+
+  long latency_observations() const { return latency_observations_; }
+  long bandwidth_observations() const { return bandwidth_observations_; }
+
+ private:
+  const cluster::Topology& topology_;
+  SparseEstimatorOptions options_;
+  std::vector<double> link_latency_us_;
+  std::vector<int> link_latency_obs_;
+  std::vector<double> link_bandwidth_mbps_;
+  std::vector<int> link_bandwidth_obs_;
+  long latency_observations_ = 0;
+  long bandwidth_observations_ = 0;
+};
+
+}  // namespace nlarm::monitor

@@ -416,6 +416,42 @@ NLARM_CATALOG_COUNTER(chaos_torn_snapshot_writes,
 NLARM_CATALOG_GAUGE(chaos_clock_skew_seconds, "nlarm_chaos_clock_skew_seconds",
                     "Accumulated clock skew injected into staleness "
                     "computations.")
+NLARM_CATALOG_COUNTER(chaos_leader_kills, "nlarm_chaos_leader_kills_total",
+                      "Delta-log leader brokers killed mid-compaction by "
+                      "chaos events.")
+
+NLARM_CATALOG_COUNTER(replica_frames_ingested,
+                      "nlarm_replica_frames_ingested_total",
+                      "Delta-log frames a follower broker replayed into its "
+                      "replicated state.")
+NLARM_CATALOG_COUNTER(replica_epochs, "nlarm_replica_epochs_total",
+                      "Epochs a follower broker published from replicated "
+                      "frames.")
+NLARM_CATALOG_GAUGE(replica_lag_seconds, "nlarm_replica_lag_seconds",
+                    "Replication lag: caller-clock seconds between now and "
+                    "the follower's last ingested snapshot time.")
+NLARM_CATALOG_GAUGE(replica_role, "nlarm_replica_role",
+                    "Replica role: 0 while following the leader's log, 1 "
+                    "after promotion to leader.")
+NLARM_CATALOG_COUNTER(replica_fenced, "nlarm_replica_fenced_total",
+                      "Follower decides refused because replication lag "
+                      "exceeded the epoch-age fence.")
+NLARM_CATALOG_COUNTER(replica_promotions, "nlarm_replica_promotions_total",
+                      "Followers promoted to leader from their last-good "
+                      "replicated frame.")
+
+NLARM_CATALOG_COUNTER(probe_rounds, "nlarm_probe_rounds_total",
+                      "Sparse probe rounds run (one n/2-pair tournament "
+                      "round per daemon period).")
+NLARM_CATALOG_COUNTER(probe_pairs_measured, "nlarm_probe_pairs_measured_total",
+                      "Pairs actually probed by sparse-mode pair daemons.")
+NLARM_CATALOG_COUNTER(probe_pairs_reconstructed,
+                      "nlarm_probe_pairs_reconstructed_total",
+                      "Stale pairs whose values were reconstructed from "
+                      "per-link topology estimates instead of probed.")
+NLARM_CATALOG_GAUGE(probe_traffic_fraction, "nlarm_probe_traffic_fraction",
+                    "Measured probes per sparse round divided by the full "
+                    "O(V^2) pair count.")
 
 #undef NLARM_CATALOG_COUNTER
 #undef NLARM_CATALOG_GAUGE
@@ -529,6 +565,17 @@ void register_all() {
   chaos_supervisor_kills();
   chaos_torn_snapshot_writes();
   chaos_clock_skew_seconds();
+  chaos_leader_kills();
+  replica_frames_ingested();
+  replica_epochs();
+  replica_lag_seconds();
+  replica_role();
+  replica_fenced();
+  replica_promotions();
+  probe_rounds();
+  probe_pairs_measured();
+  probe_pairs_reconstructed();
+  probe_traffic_fraction();
 }
 
 }  // namespace nlarm::obs::metrics

@@ -165,6 +165,21 @@ Counter& chaos_node_flaps();             ///< nlarm_chaos_node_flaps_total
 Counter& chaos_supervisor_kills();       ///< nlarm_chaos_supervisor_kills_total
 Counter& chaos_torn_snapshot_writes();   ///< nlarm_chaos_torn_snapshot_writes_total
 Gauge& chaos_clock_skew_seconds();       ///< nlarm_chaos_clock_skew_seconds
+Counter& chaos_leader_kills();           ///< nlarm_chaos_leader_kills_total
+
+// --- replication (core::FollowerBroker over the delta log) ---
+Counter& replica_frames_ingested();      ///< nlarm_replica_frames_ingested_total
+Counter& replica_epochs();               ///< nlarm_replica_epochs_total
+Gauge& replica_lag_seconds();            ///< nlarm_replica_lag_seconds
+Gauge& replica_role();                   ///< nlarm_replica_role
+Counter& replica_fenced();               ///< nlarm_replica_fenced_total
+Counter& replica_promotions();           ///< nlarm_replica_promotions_total
+
+// --- sparse probing (monitor/sparse.h) ---
+Counter& probe_rounds();                 ///< nlarm_probe_rounds_total
+Counter& probe_pairs_measured();         ///< nlarm_probe_pairs_measured_total
+Counter& probe_pairs_reconstructed();    ///< nlarm_probe_pairs_reconstructed_total
+Gauge& probe_traffic_fraction();         ///< nlarm_probe_traffic_fraction
 
 /// Registers every catalog series in the global registry (idempotent).
 void register_all();

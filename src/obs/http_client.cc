@@ -16,6 +16,37 @@
 
 namespace nlarm::obs {
 
+std::optional<int> parse_http_status_line(std::string_view status_line) {
+  const std::string_view line =
+      status_line.substr(0, status_line.find_first_of("\r\n"));
+  constexpr std::string_view kPrefix = "HTTP/";
+  if (line.substr(0, kPrefix.size()) != kPrefix) return std::nullopt;
+  const std::size_t sp = line.find(' ');
+  if (sp == std::string_view::npos) return std::nullopt;
+  // Version token between "HTTP/" and the space: digits and dots only
+  // ("1.1", "2"), non-empty.
+  const std::string_view version = line.substr(kPrefix.size(),
+                                               sp - kPrefix.size());
+  if (version.empty()) return std::nullopt;
+  for (const char c : version) {
+    if ((c < '0' || c > '9') && c != '.') return std::nullopt;
+  }
+  // Status code: exactly three digits, then end-of-line or the space
+  // before the (possibly empty) reason phrase. A fourth digit or a short
+  // token is a malformed line, not a bigger number.
+  const std::string_view rest = line.substr(sp + 1);
+  if (rest.size() < 3) return std::nullopt;
+  int code = 0;
+  for (int i = 0; i < 3; ++i) {
+    const char c = rest[static_cast<std::size_t>(i)];
+    if (c < '0' || c > '9') return std::nullopt;
+    code = code * 10 + (c - '0');
+  }
+  if (rest.size() > 3 && rest[3] != ' ') return std::nullopt;
+  if (code < 100 || code > 599) return std::nullopt;
+  return code;
+}
+
 #ifdef NLARM_HTTP_POSIX
 
 std::optional<HttpResponse> http_get(const std::string& host, int port,
@@ -75,12 +106,12 @@ std::optional<HttpResponse> http_get(const std::string& host, int port,
   }
   ::close(fd);
 
-  // Status line: HTTP/1.1 SP code SP reason.
-  if (raw.rfind("HTTP/", 0) != 0) return std::nullopt;
-  const std::size_t sp = raw.find(' ');
-  if (sp == std::string::npos) return std::nullopt;
+  // Status line: HTTP/1.1 SP code SP reason. A malformed or truncated line
+  // is a failed request, not "status 0".
+  const std::optional<int> status = parse_http_status_line(raw);
+  if (!status.has_value()) return std::nullopt;
   HttpResponse response;
-  response.status = std::atoi(raw.c_str() + sp + 1);
+  response.status = *status;
   const std::size_t header_end = raw.find("\r\n\r\n");
   if (header_end == std::string::npos) return std::nullopt;
   response.body = raw.substr(header_end + 4);

@@ -8,6 +8,7 @@
 
 #include <optional>
 #include <string>
+#include <string_view>
 
 namespace nlarm::obs {
 
@@ -16,8 +17,17 @@ struct HttpResponse {
   std::string body;   ///< payload after the header block
 };
 
-/// Fetches http://host:port/path. Returns nullopt on connect/read failure
-/// or when no complete HTTP response arrived within `timeout_s`.
+/// Parses the status code out of an HTTP/1.x status line ("HTTP/1.1 200
+/// OK"). Returns nullopt unless the line has the full three-part shape
+/// with exactly three digits in 100..599 — a truncated proxy response or a
+/// non-HTTP peer must surface as a parse failure, not as whatever a bare
+/// atoi scraped out of the garbage. Input may be the whole raw response;
+/// parsing stops at the first CR/LF.
+std::optional<int> parse_http_status_line(std::string_view status_line);
+
+/// Fetches http://host:port/path. Returns nullopt on connect/read failure,
+/// when no complete HTTP response arrived within `timeout_s`, or when the
+/// status line does not parse.
 std::optional<HttpResponse> http_get(const std::string& host, int port,
                                      const std::string& path,
                                      double timeout_s = 2.0);

@@ -20,6 +20,8 @@ const char* to_string(ChaosEvent::Kind kind) {
       return "kill:master";
     case ChaosEvent::Kind::kKillSlave:
       return "kill:slave";
+    case ChaosEvent::Kind::kKillLeader:
+      return "kill:leader";
     case ChaosEvent::Kind::kTearSnapshot:
       return "tear:snapshot";
     case ChaosEvent::Kind::kClockSkew:
@@ -110,15 +112,17 @@ ChaosSpec ChaosSpec::parse(const std::string& text) {
     } else if (kind == "kill") {
       NLARM_CHECK(parts.size() == 2)
           << "chaos entry '" << entry
-          << "': expected kill:master@<t> or kill:slave@<t>";
+          << "': expected kill:master@<t>, kill:slave@<t> or kill:leader@<t>";
       const std::string who = util::to_lower(util::trim(parts[1]));
       if (who == "master") {
         event.kind = ChaosEvent::Kind::kKillMaster;
       } else if (who == "slave") {
         event.kind = ChaosEvent::Kind::kKillSlave;
+      } else if (who == "leader") {
+        event.kind = ChaosEvent::Kind::kKillLeader;
       } else {
         NLARM_CHECK(false) << "chaos entry '" << entry
-                           << "': kill target must be master or slave";
+                           << "': kill target must be master, slave or leader";
       }
     } else if (kind == "tear") {
       NLARM_CHECK(parts.size() == 2 &&
@@ -178,6 +182,9 @@ void ChaosEngine::fire(std::size_t index) {
       break;
     case ChaosEvent::Kind::kKillSlave:
       if (hooks_.kill_slave) hooks_.kill_slave(event);
+      break;
+    case ChaosEvent::Kind::kKillLeader:
+      if (hooks_.kill_leader) hooks_.kill_leader(event);
       break;
     case ChaosEvent::Kind::kTearSnapshot:
       if (hooks_.tear_snapshot) hooks_.tear_snapshot(event);

@@ -21,6 +21,9 @@
 //                                   pick) at t, revive it at t+dur
 //   kill:master@<t>                 kill the master supervisor process
 //   kill:slave@<t>                  kill the slave supervisor process
+//   kill:leader@<t>                 kill the leader broker mid-compaction
+//                                   (its in-flight delta-log full frame is
+//                                   torn; followers must promote)
 //   tear:snapshot@<t>               arm a torn (truncated, unrenamed) write
 //                                   for the next snapshot save
 //   skew:<seconds>@<t>              add <seconds> (may be negative) to the
@@ -47,6 +50,7 @@ struct ChaosEvent {
     kFlapNode,
     kKillMaster,
     kKillSlave,
+    kKillLeader,
     kTearSnapshot,
     kClockSkew,
   };
@@ -81,6 +85,7 @@ struct ChaosHooks {
   std::function<void(const ChaosEvent&, Rng&)> flap_node;
   std::function<void(const ChaosEvent&)> kill_master;
   std::function<void(const ChaosEvent&)> kill_slave;
+  std::function<void(const ChaosEvent&)> kill_leader;
   std::function<void(const ChaosEvent&)> tear_snapshot;
   std::function<void(const ChaosEvent&)> clock_skew;
 };

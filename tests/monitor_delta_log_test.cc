@@ -6,10 +6,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/allocator.h"
@@ -350,6 +353,193 @@ TEST(DeltaLogTest, StoreRestoreRehydratesEveryRecord) {
 
   MonitorStore wrong_size(5);
   EXPECT_THROW(wrong_size.restore(snap), util::CheckError);
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in), {});
+}
+
+// Automatic compaction would collapse the setup frames early in the next
+// two tests; they drive compaction explicitly through write_full instead.
+DeltaLogWriter::Options no_compaction() {
+  DeltaLogWriter::Options options;
+  options.compact_after_deltas = 1 << 20;
+  options.compact_bytes_ratio = 1e9;
+  return options;
+}
+
+TEST(DeltaLogTest, CompactionShrinkingTheLogBetweenPollsRescans) {
+  const std::string path = log_path("shrink_between_polls");
+  auto store = seeded_store(5);
+  DeltaLogWriter writer(path, no_compaction());
+  DeltaLogReader reader(path);
+
+  double now = 10.0;
+  ASSERT_TRUE(writer.append(store->assemble(now), store->drain_delta()));
+  for (int i = 0; i < 6; ++i) {
+    now += 2.0;
+    NodeSnapshot record = store->node_record(i % 5);
+    record.cpu_load += 0.25;
+    store->write_node_record(now, record);
+    ASSERT_TRUE(writer.append(store->assemble(now), store->drain_delta()));
+  }
+  EXPECT_EQ(reader.poll(), 7);
+  (void)reader.drain_delta();
+
+  // While the reader sleeps, the writer compacts the log to a single full
+  // frame SHORTER than the reader's cursor, then appends a fresh delta.
+  // The stale cursor must not be replayed as a continuation.
+  now += 2.0;
+  store->write_latency(now, 0, 1, 77.0, 78.0);
+  store->write_latency(now, 1, 0, 77.0, 78.0);
+  (void)store->drain_delta();  // state rides in the compaction frame
+  ASSERT_TRUE(writer.write_full(store->assemble(now)));
+  now += 2.0;
+  NodeSnapshot record = store->node_record(3);
+  record.cpu_load = 4.5;
+  store->write_node_record(now, record);
+  ASSERT_TRUE(writer.append(store->assemble(now), store->drain_delta()));
+
+  EXPECT_EQ(reader.poll(), 2);  // replayed from the new head: full + delta
+  EXPECT_TRUE(reader.drain_delta().full);
+  expect_equal_state(reader.snapshot(), store->assemble(now));
+  std::remove(path.c_str());
+}
+
+TEST(DeltaLogTest, CompactionGrowingPastTheCursorIsStillDetected) {
+  const std::string path = log_path("grow_past_cursor");
+  auto store = seeded_store(4);
+  DeltaLogWriter writer(path);
+  DeltaLogReader reader(path);
+
+  ASSERT_TRUE(writer.append(store->assemble(10.0), store->drain_delta()));
+  EXPECT_EQ(reader.poll(), 1);  // cursor parks right after the full frame
+  (void)reader.drain_delta();
+
+  // The writer compacts (a same-shape full frame with a new identity) and
+  // keeps appending until the file is LONGER than the reader's cursor: no
+  // size check can see the swap — the head identity has to.
+  double now = 12.0;
+  NodeSnapshot record = store->node_record(1);
+  record.cpu_load = 7.0;
+  store->write_node_record(now, record);
+  (void)store->drain_delta();
+  ASSERT_TRUE(writer.write_full(store->assemble(now)));
+  for (int i = 0; i < 4; ++i) {
+    now += 1.0;
+    store->write_latency(now, 0, 2, 30.0 + i, 31.0);
+    store->write_latency(now, 2, 0, 30.0 + i, 31.0);
+    ASSERT_TRUE(writer.append(store->assemble(now), store->drain_delta()));
+  }
+
+  EXPECT_EQ(reader.poll(), 5);  // new full + the four deltas
+  EXPECT_TRUE(reader.drain_delta().full);
+  expect_equal_state(reader.snapshot(), store->assemble(now));
+  std::remove(path.c_str());
+}
+
+TEST(DeltaLogTest, TornCompactionHeadIsRetriedNotReplayedFromStaleOffsets) {
+  const std::string path = log_path("torn_head");
+  auto store = seeded_store(4);
+  DeltaLogWriter writer(path, no_compaction());
+  DeltaLogReader reader(path);
+
+  double now = 10.0;
+  ASSERT_TRUE(writer.append(store->assemble(now), store->drain_delta()));
+  for (int i = 0; i < 5; ++i) {
+    now += 1.0;
+    NodeSnapshot record = store->node_record(i % 4);
+    record.cpu_load += 0.3;
+    store->write_node_record(now, record);
+    ASSERT_TRUE(writer.append(store->assemble(now), store->drain_delta()));
+  }
+  EXPECT_EQ(reader.poll(), 6);
+  (void)reader.drain_delta();
+  const std::uint64_t good_version = reader.snapshot().version;
+
+  // Build the bytes a finished compaction would leave, then install only a
+  // torn prefix of them — the worst intermediate the poll-time race can
+  // observe: smaller than the cursor AND a head frame that cannot be
+  // identified yet.
+  now += 1.0;
+  NodeSnapshot record = store->node_record(0);
+  record.cpu_load = 9.9;
+  store->write_node_record(now, record);
+  (void)store->drain_delta();
+  const std::string staging = log_path("torn_head_staging");
+  DeltaLogWriter staging_writer(staging);
+  ASSERT_TRUE(staging_writer.write_full(store->assemble(now)));
+  const std::string bytes = slurp(staging);
+  ASSERT_GT(bytes.size(), 16u);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+
+  EXPECT_EQ(reader.poll(), 0);  // nothing usable yet — and nothing stale
+  EXPECT_EQ(reader.snapshot().version, good_version);
+
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  EXPECT_EQ(reader.poll(), 1);
+  EXPECT_TRUE(reader.drain_delta().full);
+  expect_equal_state(reader.snapshot(), store->assemble(now));
+  std::remove(path.c_str());
+  std::remove(staging.c_str());
+}
+
+TEST(DeltaLogTest, ConcurrentCompactionAndPollingConverge) {
+  const std::string path = log_path("concurrent_compaction");
+  auto store = seeded_store(4);
+  DeltaLogWriter::Options options;
+  options.compact_after_deltas = 2;  // compact constantly under the reader
+  DeltaLogWriter writer(path, options);
+  double now = 10.0;
+  ASSERT_TRUE(writer.append(store->assemble(now), store->drain_delta()));
+
+  DeltaLogReader reader(path);
+  std::atomic<bool> writer_done{false};
+  std::atomic<bool> monotone{true};
+  std::thread tailer([&] {
+    std::uint64_t last = 0;
+    while (!writer_done.load(std::memory_order_acquire)) {
+      reader.poll();
+      if (reader.have_snapshot()) {
+        const std::uint64_t version = reader.snapshot().version;
+        if (version < last) monotone.store(false, std::memory_order_relaxed);
+        last = version;
+      }
+      (void)reader.drain_delta();
+    }
+  });
+
+  for (int i = 0; i < 150; ++i) {
+    now += 1.0;
+    NodeSnapshot record = store->node_record(i % 4);
+    record.cpu_load = 0.01 * i;
+    store->write_node_record(now, record);
+    store->write_latency(now, i % 4, (i + 1) % 4, 50.0 + i, 51.0);
+    ASSERT_TRUE(writer.append(store->assemble(now), store->drain_delta()));
+  }
+  writer_done.store(true, std::memory_order_release);
+  tailer.join();
+
+  EXPECT_TRUE(monotone.load());
+  EXPECT_GT(writer.compactions(), 10);
+
+  // Converge on the final state from wherever the race left the cursor.
+  const ClusterSnapshot want = store->assemble(now);
+  for (int i = 0; i < 100 && (!reader.have_snapshot() ||
+                              reader.snapshot().version != want.version);
+       ++i) {
+    reader.poll();
+  }
+  ASSERT_TRUE(reader.have_snapshot());
+  expect_equal_state(reader.snapshot(), want);
+  std::remove(path.c_str());
 }
 
 }  // namespace

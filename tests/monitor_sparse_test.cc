@@ -1,0 +1,254 @@
+// Sparse network estimation: O(V) probes per round with per-link
+// reconstruction for the pairs the rotating schedule skipped. The estimator
+// must recover tree-additive latencies (and bottleneck bandwidths) it never
+// measured, and the sparse probe daemons must keep the store covered while
+// measuring only n/2 pairs per period.
+#include "monitor/sparse.h"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/topology.h"
+#include "monitor/daemons.h"
+#include "monitor/resource_monitor.h"
+#include "monitor/store.h"
+#include "net/flows.h"
+#include "net/network_model.h"
+#include "util/check.h"
+
+namespace nlarm::monitor {
+namespace {
+
+// Ground-truth pair latency for a hand-assigned per-link decomposition.
+double path_sum(const cluster::Topology& topology,
+                const std::vector<double>& link_latency, cluster::NodeId u,
+                cluster::NodeId v) {
+  double sum = 0.0;
+  for (const cluster::LinkId link : topology.path_links(u, v)) {
+    sum += link_latency[static_cast<std::size_t>(link)];
+  }
+  return sum;
+}
+
+TEST(SparseEstimatorTest, StarReconstructsTheUnmeasuredPair) {
+  // 4 nodes, two leaf switches off a core: links are uplinks 0..3 then the
+  // two leaf trunks. Ground truth is tree-additive by construction.
+  const cluster::Topology topology =
+      cluster::make_star_topology({2, 2}, 1000.0, 400.0);
+  ASSERT_EQ(topology.node_count(), 4);
+  ASSERT_EQ(topology.link_count(), 6);
+  const std::vector<double> truth = {10.0, 20.0, 30.0, 40.0, 5.0, 7.0};
+
+  SparseNetworkEstimator estimator(topology);
+  EXPECT_FALSE(estimator.latency_ready(1, 3));
+
+  // Train on every pair EXCEPT (1, 3). Its path is still determined by the
+  // others ((1,3) = (0,3) + (1,2) - (0,2)), so the Kaczmarz sweeps converge
+  // to a decomposition that reconstructs it exactly.
+  const std::vector<std::pair<cluster::NodeId, cluster::NodeId>> training = {
+      {0, 1}, {0, 2}, {0, 3}, {1, 2}, {2, 3}};
+  for (int sweep = 0; sweep < 200; ++sweep) {
+    for (const auto& [u, v] : training) {
+      estimator.observe_latency(u, v, path_sum(topology, truth, u, v));
+    }
+  }
+  EXPECT_EQ(estimator.latency_observations(), 1000);
+
+  ASSERT_TRUE(estimator.latency_ready(1, 3));
+  for (const auto& [u, v] : training) {
+    EXPECT_NEAR(estimator.estimate_latency_us(u, v),
+                path_sum(topology, truth, u, v), 0.5)
+        << "measured pair " << u << "," << v;
+  }
+  EXPECT_NEAR(estimator.estimate_latency_us(1, 3),
+              path_sum(topology, truth, 1, 3), 0.5);
+}
+
+TEST(SparseEstimatorTest, ChainReconstructsAcrossTrunks) {
+  // Two switches in a chain, two nodes each: (0,3) is determined by
+  // (0,2) + (1,3) - (1,2).
+  const cluster::Topology topology =
+      cluster::make_chain_topology({2, 2}, 1000.0, 400.0);
+  ASSERT_EQ(topology.node_count(), 4);
+  const std::vector<double> truth = {12.0, 24.0, 36.0, 48.0, 9.0};
+  ASSERT_EQ(static_cast<int>(truth.size()), topology.link_count());
+
+  SparseNetworkEstimator estimator(topology);
+  const std::vector<std::pair<cluster::NodeId, cluster::NodeId>> training = {
+      {0, 1}, {2, 3}, {0, 2}, {1, 2}, {1, 3}};
+  for (int sweep = 0; sweep < 200; ++sweep) {
+    for (const auto& [u, v] : training) {
+      estimator.observe_latency(u, v, path_sum(topology, truth, u, v));
+    }
+  }
+  ASSERT_TRUE(estimator.latency_ready(0, 3));
+  EXPECT_NEAR(estimator.estimate_latency_us(0, 3),
+              path_sum(topology, truth, 0, 3), 0.5);
+}
+
+TEST(SparseEstimatorTest, BandwidthBottleneckTracksTheTrunk) {
+  const cluster::Topology topology =
+      cluster::make_star_topology({2, 2}, 1000.0, 400.0);
+  SparseNetworkEstimator estimator(topology);
+
+  // Peaks are exact from capacities before any observation.
+  EXPECT_DOUBLE_EQ(estimator.path_peak_mbps(0, 1), 1000.0);
+  EXPECT_DOUBLE_EQ(estimator.path_peak_mbps(0, 2), 400.0);
+  EXPECT_FALSE(estimator.bandwidth_ready(1, 3));
+
+  // One cross-switch measurement under the trunk estimate eases the
+  // bottleneck trunk toward it; (1, 3) shares both trunks, so its estimate
+  // follows without ever being measured.
+  estimator.observe_bandwidth(0, 1, 950.0);
+  estimator.observe_bandwidth(2, 3, 900.0);
+  estimator.observe_bandwidth(0, 2, 300.0);
+  ASSERT_TRUE(estimator.bandwidth_ready(1, 3));
+  const double reconstructed = estimator.estimate_bandwidth_mbps(1, 3);
+  EXPECT_GE(reconstructed, 300.0);
+  EXPECT_LT(reconstructed, 400.0);
+
+  // The trunk recovering raises every path link to at least the new
+  // measurement — the reconstruction recovers with it.
+  estimator.observe_bandwidth(0, 2, 500.0);
+  EXPECT_GE(estimator.estimate_bandwidth_mbps(1, 3), 500.0);
+}
+
+TEST(SparseEstimatorTest, RejectsBadOptions) {
+  const cluster::Topology topology =
+      cluster::make_star_topology({2, 2}, 1000.0, 400.0);
+  SparseEstimatorOptions bad;
+  bad.latency_gain = 0.0;
+  EXPECT_THROW(SparseNetworkEstimator(topology, bad), util::CheckError);
+  SparseEstimatorOptions bad2;
+  bad2.bandwidth_gain = 1.5;
+  EXPECT_THROW(SparseNetworkEstimator(topology, bad2), util::CheckError);
+}
+
+class SparseProbeTest : public ::testing::Test {
+ protected:
+  SparseProbeTest()
+      : cluster_(cluster::make_uniform_cluster(6, 2)),
+        network_(cluster_, flows_),
+        store_(cluster_.size()),
+        sim_(321) {}
+
+  cluster::Cluster cluster_;
+  net::FlowSet flows_;
+  net::NetworkModel network_;
+  MonitorStore store_;
+  sim::Simulation sim_;
+};
+
+TEST_F(SparseProbeTest, LatencyDaemonMeasuresOneRoundPerPeriod) {
+  LatencyD daemon("latencyd", cluster_, 0, 60.0, 0.05, network_, store_,
+                  sim::Rng(4));
+  daemon.enable_sparse(cluster_.topology(), /*reconstruct_min_age_s=*/90.0);
+  ASSERT_TRUE(daemon.sparse());
+  daemon.launch(sim_);
+  sim_.run_until(400.0);
+
+  // O(V) traffic: exactly n/2 = 3 pairs per tick instead of all 15.
+  EXPECT_GT(daemon.tick_count(), 0u);
+  EXPECT_EQ(daemon.pairs_measured(),
+            3 * static_cast<long>(daemon.tick_count()));
+  // The schedule leaves most pairs stale past the 90 s threshold between
+  // real probes — reconstruction covers them.
+  EXPECT_GT(daemon.pairs_reconstructed(), 0);
+
+  // Coverage: by now the rotation has touched every pair at least once and
+  // reconstruction keeps the rest warm; the assembled snapshot is as
+  // complete as the dense daemon's.
+  const ClusterSnapshot snap = store_.assemble(sim_.now());
+  for (int u = 0; u < cluster_.size(); ++u) {
+    for (int v = 0; v < cluster_.size(); ++v) {
+      if (u == v) continue;
+      EXPECT_GT(snap.net.latency_us[u][v], 0.0)
+          << "pair " << u << "," << v << " uncovered";
+      EXPECT_GT(snap.net.latency_5min_us[u][v], 0.0);
+      // Reconstruction error stays small on the tree-additive model.
+      const double actual = network_.latency_us(u, v);
+      EXPECT_NEAR(snap.net.latency_us[u][v], actual, 0.25 * actual)
+          << "pair " << u << "," << v;
+    }
+  }
+  // Staleness is bounded by threshold + one period: reconstructions are
+  // re-stamped every tick once a pair ages out.
+  for (int u = 0; u < cluster_.size(); ++u) {
+    for (int v = u + 1; v < cluster_.size(); ++v) {
+      EXPECT_LE(store_.pair_staleness(sim_.now(), u, v), 90.0 + 60.0)
+          << "pair " << u << "," << v;
+    }
+  }
+}
+
+TEST_F(SparseProbeTest, BandwidthDaemonReconstructsWithExactPeaks) {
+  BandwidthD daemon("bandwidthd", cluster_, 0, 60.0, 0.05, network_, store_,
+                    sim::Rng(5));
+  daemon.enable_sparse(cluster_.topology(), /*reconstruct_min_age_s=*/90.0);
+  daemon.launch(sim_);
+  sim_.run_until(400.0);
+
+  EXPECT_EQ(daemon.pairs_measured(),
+            3 * static_cast<long>(daemon.tick_count()));
+  EXPECT_GT(daemon.pairs_reconstructed(), 0);
+  const ClusterSnapshot snap = store_.assemble(sim_.now());
+  for (int u = 0; u < cluster_.size(); ++u) {
+    for (int v = u + 1; v < cluster_.size(); ++v) {
+      EXPECT_GT(snap.net.bandwidth_mbps[u][v], 0.0);
+      EXPECT_DOUBLE_EQ(snap.net.bandwidth_mbps[u][v],
+                       snap.net.bandwidth_mbps[v][u]);
+      // Peaks are exact whether probed or reconstructed: min link capacity
+      // on the path (uniform GigE testbed → 1000 everywhere).
+      EXPECT_DOUBLE_EQ(snap.net.peak_mbps[u][v], 1000.0);
+    }
+  }
+}
+
+TEST_F(SparseProbeTest, DeadNodesAreNeitherProbedNorReconstructed) {
+  cluster_.mutable_node(4).dyn.alive = false;
+  LatencyD daemon("latencyd", cluster_, 0, 60.0, 0.05, network_, store_,
+                  sim::Rng(6));
+  daemon.enable_sparse(cluster_.topology(), 90.0);
+  daemon.launch(sim_);
+  sim_.run_until(400.0);
+  const ClusterSnapshot snap = store_.assemble(sim_.now());
+  EXPECT_LT(snap.net.latency_us[4][0], 0.0);  // never written
+  EXPECT_GT(snap.net.latency_us[0][1], 0.0);
+}
+
+TEST_F(SparseProbeTest, EnableSparseValidatesItsInputs) {
+  LatencyD daemon("latencyd", cluster_, 0, 60.0, 0.05, network_, store_,
+                  sim::Rng(7));
+  const cluster::Topology wrong =
+      cluster::make_star_topology({2, 2}, 1000.0, 400.0);  // 4 != 6 nodes
+  EXPECT_THROW(daemon.enable_sparse(wrong, 90.0), util::CheckError);
+  EXPECT_THROW(daemon.enable_sparse(cluster_.topology(), -1.0),
+               util::CheckError);
+  EXPECT_FALSE(daemon.sparse());
+}
+
+TEST_F(SparseProbeTest, ResourceMonitorWiresSparseModeFromConfig) {
+  MonitorConfig config;
+  config.sparse_probes = true;
+  config.latency_period_s = 60.0;
+  config.bandwidth_period_s = 120.0;
+  ResourceMonitor monitor(cluster_, network_, sim_, config);
+  monitor.start();
+  sim_.run_until(200.0);
+  bool saw_sparse_probe_daemon = false;
+  for (Daemon* daemon : monitor.daemons()) {
+    if (auto* probe = dynamic_cast<PairProbeDaemon*>(daemon)) {
+      EXPECT_TRUE(probe->sparse()) << daemon->name();
+      saw_sparse_probe_daemon = true;
+    }
+  }
+  EXPECT_TRUE(saw_sparse_probe_daemon);
+  const ClusterSnapshot snap = monitor.snapshot();
+  EXPECT_GT(snap.net.latency_us[0][1], 0.0);
+}
+
+}  // namespace
+}  // namespace nlarm::monitor

@@ -193,5 +193,31 @@ TEST(TelemetryTest, ConcurrentScrapesUnderLiveMetricWrites) {
               0.01 * 1.5e-3 * 1.0001);
 }
 
+TEST(HttpClientTest, StatusLineParsesStrictly) {
+  // Well-formed lines, any HTTP version token, trailing CR/LF or headers.
+  EXPECT_EQ(parse_http_status_line("HTTP/1.1 200 OK"), 200);
+  EXPECT_EQ(parse_http_status_line("HTTP/1.0 404 Not Found\r\n"), 404);
+  EXPECT_EQ(parse_http_status_line("HTTP/2 503 \r\nServer: x\r\n\r\nbody"),
+            503);
+  EXPECT_EQ(parse_http_status_line("HTTP/1.1 301\r\n"), 301);
+
+  // The bare-atoi failure modes: non-HTTP garbage, truncation, missing or
+  // malformed codes — all must fail to parse instead of returning 0.
+  EXPECT_EQ(parse_http_status_line(""), std::nullopt);
+  EXPECT_EQ(parse_http_status_line("HTTP/1.1"), std::nullopt);
+  EXPECT_EQ(parse_http_status_line("HTTP/1.1 "), std::nullopt);
+  EXPECT_EQ(parse_http_status_line("HTTP/1.1 20"), std::nullopt);
+  EXPECT_EQ(parse_http_status_line("HTTP/1.1 2000 OK"), std::nullopt);
+  EXPECT_EQ(parse_http_status_line("HTTP/1.1 abc OK"), std::nullopt);
+  EXPECT_EQ(parse_http_status_line("HTTP/1.1 20x OK"), std::nullopt);
+  EXPECT_EQ(parse_http_status_line("HTTP/1.1 099 Weird"), std::nullopt);
+  EXPECT_EQ(parse_http_status_line("HTTP/1.1 600 Out of range"),
+            std::nullopt);
+  EXPECT_EQ(parse_http_status_line("SSH-2.0-OpenSSH_9.6"), std::nullopt);
+  EXPECT_EQ(parse_http_status_line("random text 500 here"), std::nullopt);
+  // A CR/LF before the code truncates the line — nothing to parse.
+  EXPECT_EQ(parse_http_status_line("HTTP/1.1\r\n200 OK"), std::nullopt);
+}
+
 }  // namespace
 }  // namespace nlarm::obs

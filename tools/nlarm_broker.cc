@@ -21,6 +21,7 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <thread>
 
 #include "apps/minimd.h"
@@ -32,7 +33,9 @@
 #include "core/hierarchical.h"
 #include "core/prepared.h"
 #include "core/launcher_export.h"
+#include "core/replica.h"
 #include "core/serve_shard.h"
+#include "monitor/delta_log.h"
 #include "exp/chaos_harness.h"
 #include "exp/experiment.h"
 #include "monitor/persistence.h"
@@ -90,6 +93,170 @@ void write_observability_outputs(const std::string& metrics_path,
 }  // namespace
 
 using namespace nlarm;
+
+namespace {
+
+std::unique_ptr<core::Allocator> make_policy_allocator(
+    const std::string& policy, std::uint64_t seed) {
+  if (policy == "hierarchical")
+    return std::make_unique<core::HierarchicalAllocator>();
+  if (policy == "load-aware")
+    return std::make_unique<core::LoadAwareAllocator>();
+  if (policy == "sequential")
+    return std::make_unique<core::SequentialAllocator>(seed);
+  if (policy == "random") return std::make_unique<core::RandomAllocator>(seed);
+  return std::make_unique<core::NetworkLoadAwareAllocator>();
+}
+
+/// Bitwise decision parity: the drill requires the follower's decision at
+/// epoch E to reproduce the leader's exactly, diagnostics included.
+bool decisions_equal(const core::BrokerDecision& a,
+                     const core::BrokerDecision& b) {
+  return a.action == b.action && a.reason == b.reason &&
+         a.cluster_load_per_core == b.cluster_load_per_core &&
+         a.effective_capacity == b.effective_capacity &&
+         a.allocation.policy == b.allocation.policy &&
+         a.allocation.nodes == b.allocation.nodes &&
+         a.allocation.procs_per_node == b.allocation.procs_per_node &&
+         a.allocation.total_procs == b.allocation.total_procs &&
+         a.allocation.avg_cpu_load == b.allocation.avg_cpu_load &&
+         a.allocation.avg_bw_complement_mbps ==
+             b.allocation.avg_bw_complement_mbps &&
+         a.allocation.avg_latency_us == b.allocation.avg_latency_us &&
+         a.allocation.total_cost == b.allocation.total_cost;
+}
+
+/// In-process leader-failover drill: a leader broker replicates every tick
+/// through a delta log to a FollowerBroker; seeded chaos kills the leader
+/// mid-compaction (its full-frame rewrite is torn); the follower promotes
+/// from the last-good frame after the silence threshold and takes over the
+/// append side. Both sides decide every tick on the non-degraded epoch
+/// path so follower decisions must be bit-identical to the leader's at the
+/// same replicated version. Returns the process exit code (0 pass, 3 fail).
+int run_failover_drill(sim::Simulation& sim, monitor::ResourceMonitor& monitor,
+                       exp::ChaosHarness& harness, bool* kill_pending,
+                       const std::string& policy_name, std::uint64_t seed,
+                       const core::BrokerPolicy& broker_policy,
+                       const core::AllocationRequest& request,
+                       const std::string& log_path_arg, double drill_seconds,
+                       double promote_after, double max_epoch_age,
+                       std::atomic<double>& telemetry_now) {
+  const std::string log_path =
+      log_path_arg.empty() ? "nlarm_failover_drill.nlarmd" : log_path_arg;
+  std::remove(log_path.c_str());
+
+  const core::RequestProfile profile = core::RequestProfile::of(request);
+  // Separate allocator instances: the classic-path allocator carries shared
+  // mutable scratch, and the drill's two brokers decide in the same tick.
+  const auto leader_allocator = make_policy_allocator(policy_name, seed);
+  const auto follower_allocator = make_policy_allocator(policy_name, seed);
+  core::ResourceBroker leader(*leader_allocator, broker_policy);
+  monitor::DeltaLogWriter writer(log_path);
+
+  core::ReplicaOptions replica_options;
+  replica_options.max_epoch_age_s = max_epoch_age;
+  replica_options.promote_after_s = promote_after;
+  core::FollowerBroker follower(*follower_allocator, log_path, profile,
+                                replica_options, broker_policy);
+
+  const double tick_s = 5.0;
+  const double end_time = sim.now() + drill_seconds;
+  bool leader_alive = true;
+  long parity_checks = 0;
+  long mismatches = 0;
+  long refused = 0;
+  long follower_decides = 0;
+  long decides_after_promotion = 0;
+  std::unique_ptr<monitor::DeltaLogWriter> takeover_writer;
+  double now = sim.now();
+  while (sim.now() < end_time) {
+    sim.run_until(std::min(end_time, sim.now() + tick_s));
+    now = sim.now();
+    telemetry_now.store(now, std::memory_order_relaxed);
+
+    std::optional<core::BrokerDecision> leader_decision;
+    std::uint64_t leader_version = 0;
+    if (leader_alive) {
+      auto tick_snapshot = std::make_shared<const monitor::ClusterSnapshot>(
+          monitor.snapshot());
+      const monitor::SnapshotDelta delta = monitor.store().drain_delta();
+      if (*kill_pending) {
+        // The leader dies mid-compaction: the chaos hook armed a torn
+        // write, so this full-frame rewrite attempt is truncated before
+        // the rename and the log keeps only the pre-kill frames.
+        (void)writer.write_full(*tick_snapshot);
+        leader_alive = false;
+        std::cerr << "drill: leader died at t=" << now
+                  << " (in-flight compaction frame torn)\n";
+      } else {
+        writer.append(*tick_snapshot, delta);
+        leader.refresh_epoch(tick_snapshot, delta, profile);
+        leader_decision = leader.decide(leader.pin_epoch(), request);
+        leader_version = tick_snapshot->version;
+      }
+    } else if (follower.role() == core::ReplicaStatus::Role::kLeader) {
+      // The promoted follower is the new leader: it takes over the append
+      // side of the same log (and keeps tailing its own appends below).
+      auto tick_snapshot = std::make_shared<const monitor::ClusterSnapshot>(
+          monitor.snapshot());
+      const monitor::SnapshotDelta delta = monitor.store().drain_delta();
+      takeover_writer->append(*tick_snapshot, delta);
+    }
+
+    follower.poll_once(now);
+    const double silence = follower.seconds_since_progress(now);
+    if (follower.maybe_promote(now)) {
+      takeover_writer = std::make_unique<monitor::DeltaLogWriter>(log_path);
+      std::cerr << "drill: follower promoted at t=" << now << " after "
+                << silence << " s of log silence\n";
+    }
+    if (follower.have_state()) {
+      const core::BrokerDecision decision = follower.decide(request, now);
+      ++follower_decides;
+      if (decision.reason.rfind("replica", 0) == 0) ++refused;
+      if (follower.role() == core::ReplicaStatus::Role::kLeader) {
+        ++decides_after_promotion;
+      }
+      if (leader_decision.has_value() &&
+          follower.status(now).state_version == leader_version) {
+        ++parity_checks;
+        if (!decisions_equal(*leader_decision, decision)) ++mismatches;
+      }
+    }
+  }
+
+  const core::ReplicaStatus status = follower.status(now);
+  bool log_ok = false;
+  std::uint64_t replayed_version = 0;
+  try {
+    // The promoted follower healed the torn tail and kept appending: the
+    // log on disk must replay cleanly to the follower's final state.
+    replayed_version = monitor::replay_delta_log(log_path).version;
+    log_ok = replayed_version == status.state_version;
+  } catch (const util::CheckError& error) {
+    std::cerr << "drill: final log replay failed: " << error.what() << "\n";
+  }
+
+  const bool ok = status.promotions == 1 && parity_checks > 0 &&
+                  mismatches == 0 && refused == 0 &&
+                  decides_after_promotion > 0 && log_ok &&
+                  !harness.engine().fired().empty();
+  std::fprintf(
+      stderr,
+      "failover drill: %ld parity check(s), %ld mismatch(es), %ld follower "
+      "decide(s) (%ld after promotion, %ld replica-refused), %d "
+      "promotion(s), %ld frame(s) ingested, log replay %s (version %llu vs "
+      "replica %llu) -> %s\n",
+      parity_checks, mismatches, follower_decides, decides_after_promotion,
+      refused, status.promotions, status.frames_ingested,
+      log_ok ? "ok" : "FAILED",
+      static_cast<unsigned long long>(replayed_version),
+      static_cast<unsigned long long>(status.state_version),
+      ok ? "PASS" : "FAIL");
+  return ok ? 0 : 3;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   util::ArgParser parser(
@@ -165,6 +332,31 @@ int main(int argc, char** argv) {
         "chaos loop instead of a single decision"},
        {"chaos-seconds",
         "simulated seconds to run the chaos loop (default 300)"},
+       {"role",
+        "leader|follower replication role: leader runs the chaos loop, "
+        "appends one delta-log frame per tick to --delta-log and dies when "
+        "kill:leader fires; follower tails --follow read-only, promotes "
+        "itself after --promote-after seconds of log silence, and serves "
+        "one decision"},
+       {"delta-log",
+        "leader mode / failover drill: replicate state through this delta "
+        "append-log file"},
+       {"follow",
+        "follower mode: tail this delta log (defaults to --delta-log)"},
+       {"promote-after",
+        "follower/drill: promote once the log has been silent this many "
+        "seconds (default 15)"},
+       {"follow-seconds",
+        "follower mode: wall seconds to keep tailing before serving "
+        "(default 30; a promotion serves immediately)"},
+       {"failover-drill",
+        "run the in-process leader-failover drill — kill:leader chaos, "
+        "follower promotion from the last-good compaction frame, per-epoch "
+        "decision parity — and exit 0/3"},
+       {"sparse-probes",
+        "pair daemons probe one tournament round (n/2 disjoint pairs, O(V) "
+        "traffic) per period and reconstruct stale pairs from per-link "
+        "topology estimates instead of walking all O(V^2) pairs"},
        {"staleness-budget",
         "quarantine nodes whose record is older than this many seconds in "
         "chaos mode (default 30)"},
@@ -182,11 +374,23 @@ int main(int argc, char** argv) {
   // for code paths that happened to run.
   obs::metrics::register_all();
 
+  const std::string role = parser.get_string("role", "");
+  if (!role.empty() && role != "leader" && role != "follower") {
+    std::cerr << "unknown --role '" << role << "' (leader|follower)\n";
+    return 1;
+  }
+  const std::string delta_log_path = parser.get_string("delta-log", "");
+  if (role == "leader" && delta_log_path.empty()) {
+    std::cerr << "--role leader needs --delta-log <file> to replicate into\n";
+    return 1;
+  }
+
   exp::Testbed::Options options;
   options.seed = static_cast<std::uint64_t>(parser.get_long("seed", 2020));
   options.scenario = workload::parse_scenario_kind(
       parser.get_string("scenario", "shared_lab"));
   options.warmup_seconds = parser.get_double("warmup", 1500.0);
+  options.monitor.sparse_probes = parser.get_bool("sparse-probes");
   const std::string cluster_spec = parser.get_string("cluster", "");
   if (!cluster_spec.empty()) {
     // Translate the spec into factory options via a spec-built cluster: the
@@ -203,7 +407,13 @@ int main(int argc, char** argv) {
   std::unique_ptr<monitor::ResourceMonitor> custom_monitor;
   net::FlowSet custom_flows;
 
-  const std::string chaos_text = parser.get_string("chaos-spec", "");
+  std::string chaos_text = parser.get_string("chaos-spec", "");
+  // A leader without an explicit schedule still has to die: the role exists
+  // to exercise follower promotion from the other process.
+  if ((role == "leader" || parser.get_bool("failover-drill")) &&
+      chaos_text.empty()) {
+    chaos_text = "seed=11; kill:leader@40";
+  }
   sim::ChaosSpec chaos_spec;
   if (!chaos_text.empty()) {
     try {
@@ -230,6 +440,9 @@ int main(int argc, char** argv) {
                 << "': " << error.what() << "\n";
       return 1;
     }
+  } else if (role == "follower") {
+    // No simulated world: the replicated log is the follower's only input.
+    // `snapshot` stays empty; nothing below the follower block reads it.
   } else if (cluster_spec.empty()) {
     testbed = exp::Testbed::make(options);
     snapshot = testbed->snapshot();
@@ -246,7 +459,7 @@ int main(int argc, char** argv) {
         *custom_cluster, custom_flows, *custom_network, scenario_options);
     custom_scenario->attach(*custom_sim);
     custom_monitor = std::make_unique<monitor::ResourceMonitor>(
-        *custom_cluster, *custom_network, *custom_sim);
+        *custom_cluster, *custom_network, *custom_sim, options.monitor);
     custom_monitor->start();
     custom_sim->run_until(options.warmup_seconds);
     snapshot = custom_monitor->snapshot();
@@ -333,8 +546,19 @@ int main(int argc, char** argv) {
   // snapshot time otherwise).
   const double max_epoch_age = parser.get_double("max-epoch-age", 120.0);
   auto telemetry_now = std::make_shared<std::atomic<double>>(snapshot.time);
+  // Follower mode publishes its replica through here so /readyz reflects
+  // replication health (the epoch age becomes the replication lag).
+  std::atomic<core::FollowerBroker*> follower_ptr{nullptr};
   obs::TelemetryServer::EpochProvider epoch_provider =
-      [&broker, telemetry_now, max_epoch_age]() {
+      [&broker, telemetry_now, max_epoch_age, &follower_ptr]() {
+        if (core::FollowerBroker* replica =
+                follower_ptr.load(std::memory_order_acquire)) {
+          obs::EpochStatus replica_status = replica->epoch_status(
+              telemetry_now->load(std::memory_order_relaxed));
+          obs::metrics::epoch_staleness_burn_ratio().set(
+              replica_status.staleness_burn());
+          return replica_status;
+        }
         obs::EpochStatus status;
         const core::EpochPin pin = broker.pin_epoch();
         if (!pin.valid()) return status;
@@ -400,6 +624,127 @@ int main(int argc, char** argv) {
     }
   };
 
+  // Follower mode: no simulation — tail a leader's delta log, serve a
+  // read-only decision, and promote if the log goes silent long enough.
+  if (role == "follower") {
+    const std::string follow_override = parser.get_string("follow", "");
+    const std::string follow_path =
+        follow_override.empty() ? delta_log_path : follow_override;
+    if (follow_path.empty()) {
+      std::cerr << "--role follower needs --follow <log> "
+                   "(or --delta-log)\n";
+      return 1;
+    }
+    core::ReplicaOptions replica_options;
+    replica_options.max_epoch_age_s = max_epoch_age;
+    replica_options.promote_after_s =
+        parser.get_double("promote-after", 15.0);
+    core::FollowerBroker follower(*allocator, follow_path,
+                                  core::RequestProfile::of(request),
+                                  replica_options, broker_policy);
+    follower.set_audit_log(&audit_log);
+    follower_ptr.store(&follower, std::memory_order_release);
+
+    const double run_seconds = parser.get_double("follow-seconds", 30.0);
+    const auto wall_start = std::chrono::steady_clock::now();
+    const auto wall_elapsed = [&wall_start] {
+      return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           wall_start)
+          .count();
+    };
+    // The log carries the leader's clock (sim time); pin it on the first
+    // ingested frame and advance with wall time from there, so lag,
+    // fencing and the promotion threshold all read in log seconds.
+    bool have_base = false;
+    double base_wall = 0.0;
+    double base_state_time = 0.0;
+    double now = 0.0;
+    while (wall_elapsed() < run_seconds) {
+      const double wall = wall_elapsed();
+      now = have_base ? base_state_time + (wall - base_wall) : 0.0;
+      follower.poll_once(now);
+      if (!have_base && follower.have_state()) {
+        have_base = true;
+        base_wall = wall;
+        base_state_time = follower.status(now).state_time;
+        now = base_state_time;
+      }
+      telemetry_now->store(now, std::memory_order_relaxed);
+      const double silence = follower.seconds_since_progress(now);
+      if (follower.maybe_promote(now)) {
+        std::cerr << "follower: promoted to leader after " << silence
+                  << " s of log silence\n";
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+
+    const core::BrokerDecision served = follower.decide(request, now);
+    const core::ReplicaStatus replica_status = follower.status(now);
+    std::fprintf(
+        stderr,
+        "follower: role=%s frames=%ld epochs=%ld version=%llu lag=%.1f s "
+        "fenced=%ld promotions=%d decision=%s\n",
+        replica_status.role == core::ReplicaStatus::Role::kLeader
+            ? "leader"
+            : "follower",
+        replica_status.frames_ingested, replica_status.epochs_published,
+        static_cast<unsigned long long>(replica_status.state_version),
+        replica_status.lag_seconds, replica_status.fenced_decides,
+        replica_status.promotions,
+        served.action == core::BrokerDecision::Action::kAllocate
+            ? "allocate"
+            : "wait");
+    if (served.action == core::BrokerDecision::Action::kWait) {
+      std::cerr << "follower decision reason: " << served.reason << "\n";
+    }
+    write_observability_outputs(metrics_path, audit_path, trace_path,
+                                audit_log);
+    hold_telemetry();
+    // Stop the server before the stack-allocated follower goes away.
+    telemetry.reset();
+    follower_ptr.store(nullptr, std::memory_order_release);
+    const bool replica_refused = served.reason.rfind("replica", 0) == 0;
+    return (!replica_status.have_state || replica_refused) ? 3 : 0;
+  }
+
+  // In-process failover drill (see run_failover_drill above).
+  if (parser.get_bool("failover-drill")) {
+    if (!snapshot_path.empty()) {
+      std::cerr << "--failover-drill needs a live simulation\n";
+      return 1;
+    }
+    const bool has_kill_leader = std::any_of(
+        chaos_spec.events.begin(), chaos_spec.events.end(),
+        [](const sim::ChaosEvent& event) {
+          return event.kind == sim::ChaosEvent::Kind::kKillLeader;
+        });
+    if (!has_kill_leader) {
+      std::cerr << "--failover-drill needs a kill:leader@<t> event in "
+                   "--chaos-spec\n";
+      return 1;
+    }
+    sim::Simulation& sim = testbed ? testbed->sim() : *custom_sim;
+    cluster::Cluster& drill_cluster =
+        testbed ? testbed->cluster() : *custom_cluster;
+    monitor::ResourceMonitor& drill_monitor =
+        testbed ? testbed->monitor() : *custom_monitor;
+    exp::ChaosHarness harness(chaos_spec, sim, drill_cluster, drill_monitor);
+    bool kill_pending = false;
+    harness.on_kill_leader([&kill_pending] { kill_pending = true; });
+    harness.arm();
+    const int code = run_failover_drill(
+        sim, drill_monitor, harness, &kill_pending, policy_name, options.seed,
+        broker_policy, request, delta_log_path,
+        parser.get_double("chaos-seconds", 150.0),
+        parser.get_double("promote-after", 15.0), max_epoch_age,
+        *telemetry_now);
+    write_observability_outputs(metrics_path, audit_path, trace_path,
+                                audit_log);
+    hold_telemetry();
+    return code;
+  }
+
   // Chaos mode: arm the fault schedule, then keep the monitor→epoch→decide
   // pipeline running under it. The degradation policy quarantines nodes
   // with over-budget records and falls back to the last-good epoch, so a
@@ -419,6 +764,16 @@ int main(int argc, char** argv) {
     broker.set_degradation(degradation);
 
     exp::ChaosHarness harness(chaos_spec, sim, chaos_cluster, chaos_monitor);
+    // Leader role: replicate every tick into the delta log so followers
+    // (other processes) can tail it, and die when kill:leader fires.
+    std::unique_ptr<monitor::DeltaLogWriter> delta_writer;
+    if (!delta_log_path.empty()) {
+      std::remove(delta_log_path.c_str());
+      delta_writer = std::make_unique<monitor::DeltaLogWriter>(
+          delta_log_path);
+    }
+    bool leader_killed = false;
+    harness.on_kill_leader([&leader_killed] { leader_killed = true; });
     harness.arm();
 
     const double chaos_seconds = parser.get_double("chaos-seconds", 300.0);
@@ -438,6 +793,20 @@ int main(int argc, char** argv) {
           chaos_monitor.snapshot());
       const monitor::SnapshotDelta delta =
           chaos_monitor.store().drain_delta();
+      if (leader_killed) {
+        if (delta_writer != nullptr) {
+          // Die mid-compaction: the chaos hook armed a torn write, so this
+          // full-frame rewrite is truncated before the rename — followers
+          // keep the pre-kill frames and must promote from them.
+          (void)delta_writer->write_full(*tick_snapshot);
+        }
+        std::cerr << "chaos: leader killed at t=" << sim.now()
+                  << "; exiting as the dead leader\n";
+        break;
+      }
+      if (delta_writer != nullptr) {
+        delta_writer->append(*tick_snapshot, delta);
+      }
       const monitor::StalenessView staleness =
           chaos_monitor.store().staleness_view(now);
       broker.refresh_epoch(tick_snapshot, delta, staleness, profile);

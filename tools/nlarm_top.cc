@@ -69,6 +69,25 @@ bool json_true(const std::string& body, const std::string& key) {
   return body.find("\"" + key + "\":true") != std::string::npos;
 }
 
+/// Counter-delta rate over one frame interval. A restarted broker resets
+/// its counters to zero, so a negative delta means the sample straddles a
+/// restart: report 0 instead of a negative rate and flag the sample so the
+/// header can say "[reset]".
+double counter_rate(double current, double& last, double interval,
+                    bool& reset) {
+  double rate = 0.0;
+  if (!std::isnan(last) && interval > 0.0) {
+    const double delta = current - last;
+    if (delta < 0.0) {
+      reset = true;
+    } else {
+      rate = delta / interval;
+    }
+  }
+  last = current;
+  return rate;
+}
+
 std::string format_latency(double seconds) {
   char buffer[32];
   if (seconds <= 0.0) {
@@ -131,20 +150,22 @@ int main(int argc, char** argv) {
 
     const double decides = series(m, "nlarm_broker_decisions_total");
     const double allocs = series(m, "nlarm_broker_allocations_total");
+    bool counter_reset = false;
     const double decide_rate =
-        (std::isnan(last_decides) || interval <= 0.0)
-            ? 0.0
-            : (decides - last_decides) / interval;
-    const double alloc_rate = (std::isnan(last_allocs) || interval <= 0.0)
-                                  ? 0.0
-                                  : (allocs - last_allocs) / interval;
-    last_decides = decides;
-    last_allocs = allocs;
+        counter_rate(decides, last_decides, interval, counter_reset);
+    const double alloc_rate =
+        counter_rate(allocs, last_allocs, interval, counter_reset);
+    const double plane_decisions =
+        series(m, "nlarm_serve_plane_decisions_total");
+    const double plane_rate = counter_rate(plane_decisions,
+                                           last_plane_decisions, interval,
+                                           counter_reset);
 
     if (!once) std::printf("\033[H\033[2J");  // clear + home
     const bool ready = ready_response && ready_response->status == 200;
-    std::printf("nlarm_top — %s:%d   [%s]\n", host.c_str(), port,
-                ready ? "READY" : "NOT READY");
+    std::printf("nlarm_top — %s:%d   [%s]%s\n", host.c_str(), port,
+                ready ? "READY" : "NOT READY",
+                counter_reset ? " [reset]" : "");
     std::printf(
         "epoch %.0f  age %.1fs / %.0fs budget  burn %3.0f%%  published=%s\n",
         json_number(epoch_body, "epoch"),
@@ -186,13 +207,6 @@ int main(int argc, char** argv) {
 
     // Sharded front end (core/serve_shard.h): decisions/sec through the
     // plane, cache effectiveness, coalescing, and queue pressure.
-    const double plane_decisions =
-        series(m, "nlarm_serve_plane_decisions_total");
-    const double plane_rate =
-        (std::isnan(last_plane_decisions) || interval <= 0.0)
-            ? 0.0
-            : (plane_decisions - last_plane_decisions) / interval;
-    last_plane_decisions = plane_decisions;
     const double plane_hits = series(m, "nlarm_serve_cache_hits_total");
     const double plane_hit_pct =
         plane_decisions > 0.0 ? 100.0 * plane_hits / plane_decisions : 0.0;
@@ -222,6 +236,33 @@ int main(int argc, char** argv) {
                 series(m, "nlarm_epoch_publishes_total"),
                 series(m, "nlarm_epoch_refresh_lag_seconds"),
                 series(m, "nlarm_delta_log_tail_bytes"));
+    // Replication panel, shown only when this broker is part of a
+    // replicated fleet (a follower that ingested frames, or a promoted /
+    // configured leader).
+    const double replica_frames =
+        series(m, "nlarm_replica_frames_ingested_total");
+    const double replica_role = series(m, "nlarm_replica_role");
+    const double replica_promotions =
+        series(m, "nlarm_replica_promotions_total");
+    if (replica_frames > 0.0 || replica_role > 0.0 ||
+        replica_promotions > 0.0) {
+      std::printf("replica %s  lag %.1fs  frames %.0f  epochs %.0f  "
+                  "fenced %.0f  promotions %.0f\n",
+                  replica_role > 0.0 ? "LEADER  " : "FOLLOWER",
+                  series(m, "nlarm_replica_lag_seconds"), replica_frames,
+                  series(m, "nlarm_replica_epochs_total"),
+                  series(m, "nlarm_replica_fenced_total"),
+                  replica_promotions);
+    }
+    // Sparse-probe panel, shown once the pair daemons run in sparse mode.
+    const double probe_rounds = series(m, "nlarm_probe_rounds_total");
+    if (probe_rounds > 0.0) {
+      std::printf("probes  rounds %.0f  measured %.0f  reconstructed %.0f  "
+                  "traffic %.1f%% of full mesh\n",
+                  probe_rounds, series(m, "nlarm_probe_pairs_measured_total"),
+                  series(m, "nlarm_probe_pairs_reconstructed_total"),
+                  100.0 * series(m, "nlarm_probe_traffic_fraction"));
+    }
     std::printf("chaos   events %.0f  quarantine-events %.0f  "
                 "readmissions %.0f  clock-skew %.1fs\n",
                 series(m, "nlarm_chaos_events_total"),
