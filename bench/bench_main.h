@@ -50,6 +50,15 @@ inline int nlarm_benchmark_main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
     return 1;
   }
+  // The stock "library_build_type" context key reports how the *benchmark
+  // library* was compiled (debug on most distro packages); this key reports
+  // how nlarm itself was compiled, and the CI bench smokes gate on it so
+  // committed BENCH_*.json files can never come from a debug build.
+#ifdef NDEBUG
+  benchmark::AddCustomContext("nlarm_build_type", "release");
+#else
+  benchmark::AddCustomContext("nlarm_build_type", "debug");
+#endif
   benchmark::RunSpecifiedBenchmarks();
 
   if (!metrics_out.empty()) {

@@ -204,34 +204,47 @@ BrokerDecision ResourceBroker::decide(
   return decision;
 }
 
-void ResourceBroker::refresh_epoch(
-    std::shared_ptr<const monitor::ClusterSnapshot> snapshot,
-    const RequestProfile& profile) {
+void ResourceBroker::set_refresh_threads(int threads) {
+  NLARM_CHECK(threads >= 1) << "refresh thread count must be positive";
   std::lock_guard<std::mutex> lock(builder_mutex_);
+  refresh_threads_ = threads;
+  refresh_pool_ =
+      threads > 1 ? std::make_unique<util::ThreadPool>(
+                        static_cast<std::size_t>(threads - 1))
+                  : nullptr;
+  if (builder_.has_value()) builder_->set_thread_pool(refresh_pool_.get());
+  obs::metrics::refresh_workers().set(static_cast<double>(threads));
+}
+
+PreparedBuilder& ResourceBroker::ensure_builder(
+    const RequestProfile& profile) {
   if (!builder_.has_value() || !(builder_->profile() == profile)) {
     if (hierarchy_.has_value()) {
       builder_.emplace(profile, tiling_);
     } else {
       builder_.emplace(profile);
     }
+    builder_->set_thread_pool(refresh_pool_.get());
   }
-  builder_->rebuild(std::move(snapshot));
-  publisher_.publish(builder_->build());
+  return *builder_;
+}
+
+void ResourceBroker::refresh_epoch(
+    std::shared_ptr<const monitor::ClusterSnapshot> snapshot,
+    const RequestProfile& profile) {
+  std::lock_guard<std::mutex> lock(builder_mutex_);
+  PreparedBuilder& builder = ensure_builder(profile);
+  builder.rebuild(std::move(snapshot));
+  publisher_.publish(builder.build());
 }
 
 bool ResourceBroker::refresh_epoch(
     std::shared_ptr<const monitor::ClusterSnapshot> snapshot,
     const monitor::SnapshotDelta& delta, const RequestProfile& profile) {
   std::lock_guard<std::mutex> lock(builder_mutex_);
-  if (!builder_.has_value() || !(builder_->profile() == profile)) {
-    if (hierarchy_.has_value()) {
-      builder_.emplace(profile, tiling_);
-    } else {
-      builder_.emplace(profile);
-    }
-  }
-  const bool incremental = builder_->update(std::move(snapshot), delta);
-  publisher_.publish(builder_->build());
+  PreparedBuilder& builder = ensure_builder(profile);
+  const bool incremental = builder.update(std::move(snapshot), delta);
+  publisher_.publish(builder.build());
   return incremental;
 }
 
@@ -270,15 +283,9 @@ void ResourceBroker::refresh_epoch(
   std::lock_guard<std::mutex> lock(builder_mutex_);
   if (!degrader_.has_value()) degrader_.emplace(*degradation_);
   DegradationOutcome out = degrader_->apply(std::move(snapshot), staleness);
-  if (!builder_.has_value() || !(builder_->profile() == profile)) {
-    if (hierarchy_.has_value()) {
-      builder_.emplace(profile, tiling_);
-    } else {
-      builder_.emplace(profile);
-    }
-  }
-  builder_->rebuild(std::move(out.snapshot));
-  auto built = builder_->build();
+  PreparedBuilder& builder = ensure_builder(profile);
+  builder.rebuild(std::move(out.snapshot));
+  auto built = builder.build();
   built->degraded = out.degraded;
   built->quarantined = out.quarantined;
   built->pair_fallbacks = out.pair_fallbacks;
@@ -294,20 +301,14 @@ bool ResourceBroker::refresh_epoch(
   std::lock_guard<std::mutex> lock(builder_mutex_);
   if (!degrader_.has_value()) degrader_.emplace(*degradation_);
   DegradationOutcome out = degrader_->apply(std::move(snapshot), staleness);
-  if (!builder_.has_value() || !(builder_->profile() == profile)) {
-    if (hierarchy_.has_value()) {
-      builder_.emplace(profile, tiling_);
-    } else {
-      builder_.emplace(profile);
-    }
-  }
+  PreparedBuilder& builder = ensure_builder(profile);
   bool incremental = false;
   if (out.quarantine_changed) {
     // Quarantine membership moved, so the degraded livehosts vector changed
     // shape — the delta cannot prove continuity against that.
-    builder_->rebuild(std::move(out.snapshot));
+    builder.rebuild(std::move(out.snapshot));
   } else if (out.changed_pairs.empty()) {
-    incremental = builder_->update(std::move(out.snapshot), delta);
+    incremental = builder.update(std::move(out.snapshot), delta);
   } else {
     // Pairs can cross the staleness budget without any store write, so
     // their fallback rewrite is invisible to the delta's dirty set; patch
@@ -317,9 +318,9 @@ bool ResourceBroker::refresh_epoch(
     merged.dirty_pairs.insert(merged.dirty_pairs.end(),
                               out.changed_pairs.begin(),
                               out.changed_pairs.end());
-    incremental = builder_->update(std::move(out.snapshot), merged);
+    incremental = builder.update(std::move(out.snapshot), merged);
   }
-  auto built = builder_->build();
+  auto built = builder.build();
   built->degraded = out.degraded;
   built->quarantined = out.quarantined;
   built->pair_fallbacks = out.pair_fallbacks;

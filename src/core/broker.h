@@ -34,6 +34,7 @@
 #include "monitor/snapshot_delta.h"
 #include "monitor/store.h"
 #include "obs/audit.h"
+#include "util/thread_pool.h"
 
 namespace nlarm::core {
 
@@ -130,6 +131,18 @@ class ResourceBroker {
                      const TilingOptions& tiling = {});
   bool hierarchy_enabled() const { return hierarchy_.has_value(); }
 
+  // --- parallel refresh plane (DESIGN.md §17) ---
+
+  /// Sizes the epoch-refresh worker pool: full rebuilds, delta applies and
+  /// dense materializations inside refresh_epoch() fan out across `threads`
+  /// workers (the refresh thread participates, so an internal pool of
+  /// threads-1 workers is kept). threads <= 1 keeps the serial path.
+  /// Published epochs are bit-identical either way. Call before refresh
+  /// threads start (same contract as set_degradation); the pool is owned by
+  /// the broker and torn down with it.
+  void set_refresh_threads(int threads);
+  int refresh_threads() const { return refresh_threads_; }
+
   /// Current epoch counter (0 = nothing published yet).
   std::uint64_t epoch() const { return publisher_.epoch(); }
 
@@ -216,6 +229,11 @@ class ResourceBroker {
   const Aggregates& aggregates(const monitor::ClusterSnapshot& snapshot,
                                const AllocationRequest& request);
 
+  /// Shared preamble of the four refresh_epoch overloads: constructs the
+  /// right builder shape on first use or profile change and re-attaches the
+  /// refresh pool. Caller holds builder_mutex_.
+  PreparedBuilder& ensure_builder(const RequestProfile& profile);
+
   /// Shared epilogue of the epoch paths: gate, allocate, audit.
   /// `degradation_note` annotates the audit record when the decision was
   /// served in a degraded mode ("" = derive from the epoch itself).
@@ -278,6 +296,10 @@ class ResourceBroker {
   std::mutex builder_mutex_;  ///< serializes refresh_epoch callers
   std::optional<Degrader> degrader_;  ///< under builder_mutex_
   std::optional<PreparedBuilder> builder_;
+  int refresh_threads_ = 1;
+  /// Refresh worker pool (refresh_threads_ - 1 workers); under
+  /// builder_mutex_ like the builder it is attached to.
+  std::unique_ptr<util::ThreadPool> refresh_pool_;
   EpochPublisher publisher_;
   GenerationOptions epoch_generation_options_{.parallel_threshold = -1,
                                               .pool = nullptr};

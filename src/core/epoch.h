@@ -1,8 +1,10 @@
 // RCU-style publication of immutable prepared epochs.
 //
-// One refresh thread builds PreparedSnapshot epochs (core/prepared.h) and
-// publish()es them; any number of decide() threads consume the current
-// epoch with no locks on the hot path. The classic double-buffer problem
+// One refresh thread drives PreparedSnapshot construction (core/prepared.h)
+// — optionally fanning the build itself across a util::ThreadPool, see
+// DESIGN.md §17; publication stays single-threaded — and publish()es the
+// result; any number of decide() threads consume the current epoch with no
+// locks on the hot path. The classic double-buffer problem
 // (when may the old buffer be reclaimed?) is solved by shared_ptr: readers
 // pin the epoch they are using, and the last pin dropping frees it.
 //

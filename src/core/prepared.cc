@@ -19,10 +19,49 @@
 #include "obs/trace.h"
 #include "util/check.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace nlarm::core {
 
 namespace detail {
+
+namespace {
+
+/// Fork-join range count for `pool` over `items` units of work: one range
+/// per worker plus the participating caller. The range count only affects
+/// scheduling, never bits — partials fold with exact integer addition in
+/// canonical range order, so ANY range count lands on the same totals.
+std::size_t range_count_for(const util::ThreadPool* pool, std::size_t items) {
+  if (pool == nullptr || pool->thread_count() == 0 || items < 2) return 1;
+  return std::min(items, pool->thread_count() + 1);
+}
+
+/// Row-range boundaries [bounds[r], bounds[r+1]) over an n-row upper
+/// triangle, balanced by pair count (row i carries n−1−i pairs, so equal
+/// row counts would leave the first range with almost all the work).
+std::vector<std::size_t> balanced_row_bounds(std::size_t n,
+                                             std::size_t ranges) {
+  std::vector<std::size_t> bounds(1, 0);
+  if (ranges <= 1 || n == 0) {
+    bounds.push_back(n);
+    return bounds;
+  }
+  const std::uint64_t total = static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  std::uint64_t seen = 0;
+  std::size_t row = 0;
+  for (std::size_t r = 1; r < ranges; ++r) {
+    const std::uint64_t target = total * r / ranges;
+    while (row < n && seen < target) {
+      seen += n - 1 - row;
+      ++row;
+    }
+    bounds.push_back(row);
+  }
+  bounds.push_back(n);
+  return bounds;
+}
+
+}  // namespace
 
 void ExactSum::accumulate(double v, bool negate) {
   if (!(v > 0.0)) return;  // zero adds nothing; NaN/negatives never arrive
@@ -95,7 +134,8 @@ void NlState::read_pair(const monitor::ClusterSnapshot& snapshot,
 
 void NlState::full_build(const monitor::ClusterSnapshot& snapshot,
                          std::span<const cluster::NodeId> nodes,
-                         const NetworkLoadWeights& weights) {
+                         const NetworkLoadWeights& weights,
+                         util::ThreadPool* pool) {
   weights.validate();
   weights_ = weights;
   n_ = nodes.size();
@@ -110,19 +150,59 @@ void NlState::full_build(const monitor::ClusterSnapshot& snapshot,
   comp_acc_.reset();
   lat_missing_ = 0;
   comp_missing_ = 0;
-  std::size_t k = 0;
-  for (std::size_t i = 0; i < n_; ++i) {
-    const auto ui = static_cast<std::size_t>(nodes[i]);
-    NLARM_CHECK(ui < matrix_size) << "pair out of snapshot";
-    for (std::size_t j = i + 1; j < n_; ++j, ++k) {
-      const auto vj = static_cast<std::size_t>(nodes[j]);
-      NLARM_CHECK(vj < matrix_size) << "pair out of snapshot";
-      NLARM_CHECK(vj != ui) << "pair metrics of a self pair";
-      pair_i_[k] = static_cast<std::uint32_t>(i);
-      pair_j_[k] = static_cast<std::uint32_t>(j);
-      read_pair(snapshot, nodes[i], nodes[j], k);
-      account_add(k);
+
+  // Per-range partial totals. Each row range writes disjoint slices of the
+  // raw/reverse-map arrays and accumulates into its own partial; the fold
+  // below (canonical range order, exact integer addition) makes the result
+  // equal to accumulating every pair straight into the globals, bit for
+  // bit, regardless of the range count.
+  struct RangeTotals {
+    ExactSum lat;
+    ExactSum comp;
+    std::uint64_t lat_missing = 0;
+    std::uint64_t comp_missing = 0;
+  };
+  const std::size_t ranges = range_count_for(pool, n_);
+  const std::vector<std::size_t> bounds = balanced_row_bounds(n_, ranges);
+  std::vector<RangeTotals> partials(ranges);
+  const auto build_rows = [&](std::size_t r) {
+    RangeTotals& part = partials[r];
+    for (std::size_t i = bounds[r]; i < bounds[r + 1]; ++i) {
+      const auto ui = static_cast<std::size_t>(nodes[i]);
+      NLARM_CHECK(ui < matrix_size) << "pair out of snapshot";
+      std::size_t k = pair_index(i, i + 1);
+      for (std::size_t j = i + 1; j < n_; ++j, ++k) {
+        const auto vj = static_cast<std::size_t>(nodes[j]);
+        NLARM_CHECK(vj < matrix_size) << "pair out of snapshot";
+        NLARM_CHECK(vj != ui) << "pair metrics of a self pair";
+        pair_i_[k] = static_cast<std::uint32_t>(i);
+        pair_j_[k] = static_cast<std::uint32_t>(j);
+        read_pair(snapshot, nodes[i], nodes[j], k);
+        const double lat = lat_raw_[k];
+        if (lat >= 0.0) {
+          part.lat.add(lat);
+        } else {
+          ++part.lat_missing;
+        }
+        const double comp = comp_raw_[k];
+        if (comp >= 0.0) {
+          part.comp.add(comp);
+        } else {
+          ++part.comp_missing;
+        }
+      }
     }
+  };
+  if (ranges <= 1) {
+    if (n_ > 0) build_rows(0);
+  } else {
+    pool->parallel_for(ranges, build_rows);
+  }
+  for (const RangeTotals& part : partials) {
+    lat_acc_.add(part.lat);
+    comp_acc_.add(part.comp);
+    lat_missing_ += part.lat_missing;
+    comp_missing_ += part.comp_missing;
   }
   recompute_scalars();
 }
@@ -170,6 +250,102 @@ void NlState::patch_pair(const monitor::ClusterSnapshot& snapshot,
 
 void NlState::refresh_dirty() { recompute_scalars(); }
 
+void NlState::patch_pairs(const monitor::ClusterSnapshot& snapshot,
+                          std::span<const cluster::NodeId> nodes,
+                          std::span<const PairPosition> pairs,
+                          util::ThreadPool* pool) {
+  const std::size_t pair_count = lat_raw_.size();
+  if (pairs.empty() || pair_count == 0) return;
+  // Re-reading dirty cells is a random walk over three V×V matrices;
+  // prefetching a handful of pairs ahead overlaps the DRAM misses instead
+  // of serializing them (both the serial loop and each shard queue below).
+  constexpr std::size_t kAhead = 16;
+  const auto& lat_m = snapshot.net.latency_us;
+  const auto& bw_m = snapshot.net.bandwidth_mbps;
+  const auto& peak_m = snapshot.net.peak_mbps;
+  const auto prefetch = [&](std::span<const PairPosition> queue,
+                            std::size_t a) {
+    if (a + kAhead >= queue.size()) return;
+    const PairPosition& f = queue[a + kAhead];
+    const auto fu = static_cast<std::size_t>(nodes[f.i]);
+    const auto fv = static_cast<std::size_t>(nodes[f.j]);
+    __builtin_prefetch(lat_m[fu] + fv);
+    __builtin_prefetch(bw_m[fu] + fv);
+    __builtin_prefetch(peak_m[fu] + fv);
+    prefetch_pair(f.i, f.j);
+  };
+
+  const std::size_t shards = range_count_for(pool, pairs.size());
+  if (shards <= 1) {
+    for (std::size_t a = 0; a < pairs.size(); ++a) {
+      prefetch(pairs, a);
+      patch_pair(snapshot, nodes, pairs[a].i, pairs[a].j);
+    }
+    return;
+  }
+
+  // Shard by contiguous pair-index range: duplicates of one pair share an
+  // index, so they land in one shard and replay there in delta order —
+  // exactly the serial sequence of raw-array writes. Each shard folds its
+  // swaps into one exact (new − old) delta (sub() wraps mod 2²⁵⁶, so a
+  // net-negative delta is fine); adding the shard deltas to the globals in
+  // canonical shard order restores the serial totals bit for bit.
+  struct Shard {
+    std::vector<PairPosition> queue;
+    ExactSum lat_delta;
+    ExactSum comp_delta;
+    std::int64_t lat_missing_delta = 0;
+    std::int64_t comp_missing_delta = 0;
+  };
+  std::vector<Shard> shard_v(shards);
+  for (const PairPosition& p : pairs) {
+    NLARM_CHECK(p.i < p.j && p.j < n_)
+        << "bad pair position (" << p.i << ", " << p.j << ")";
+    const std::size_t k = pair_index(p.i, p.j);
+    shard_v[k * shards / pair_count].queue.push_back(p);
+  }
+  pool->parallel_for(shards, [&](std::size_t s) {
+    Shard& shard = shard_v[s];
+    const std::span<const PairPosition> queue(shard.queue);
+    for (std::size_t a = 0; a < queue.size(); ++a) {
+      prefetch(queue, a);
+      const PairPosition& p = queue[a];
+      const std::size_t k = pair_index(p.i, p.j);
+      const double old_lat = lat_raw_[k];
+      if (old_lat >= 0.0) {
+        shard.lat_delta.sub(old_lat);
+      } else {
+        --shard.lat_missing_delta;
+      }
+      const double old_comp = comp_raw_[k];
+      if (old_comp >= 0.0) {
+        shard.comp_delta.sub(old_comp);
+      } else {
+        --shard.comp_missing_delta;
+      }
+      read_pair(snapshot, nodes[p.i], nodes[p.j], k);
+      const double new_lat = lat_raw_[k];
+      if (new_lat >= 0.0) {
+        shard.lat_delta.add(new_lat);
+      } else {
+        ++shard.lat_missing_delta;
+      }
+      const double new_comp = comp_raw_[k];
+      if (new_comp >= 0.0) {
+        shard.comp_delta.add(new_comp);
+      } else {
+        ++shard.comp_missing_delta;
+      }
+    }
+  });
+  for (const Shard& shard : shard_v) {
+    lat_acc_.add(shard.lat_delta);
+    comp_acc_.add(shard.comp_delta);
+    lat_missing_ += static_cast<std::uint64_t>(shard.lat_missing_delta);
+    comp_missing_ += static_cast<std::uint64_t>(shard.comp_missing_delta);
+  }
+}
+
 NlScalars compute_nl_scalars(double lat_sum, double comp_sum,
                              std::uint64_t lat_missing,
                              std::uint64_t comp_missing, std::size_t pairs,
@@ -213,24 +389,38 @@ void NlState::recompute_scalars() {
   rescale_ = s.rescale;
 }
 
-void NlState::materialize(util::FlatMatrix& out) const {
+void NlState::materialize(util::FlatMatrix& out,
+                          util::ThreadPool* pool) const {
   out.assign(n_, 0.0);
   const NlScalars s{lat_fill_, comp_fill_, lat_s_, comp_s_, rescale_};
   const std::size_t pairs = lat_raw_.size();
-  for (std::size_t k = 0; k < pairs; ++k) {
-    const double value = nl_value_from_raw(lat_raw_[k], comp_raw_[k], s,
-                                           weights_);
-    const std::size_t i = pair_i_[k];
-    const std::size_t j = pair_j_[k];
-    out[i][j] = value;
-    out[j][i] = value;
+  const auto fill = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t k = lo; k < hi; ++k) {
+      const double value = nl_value_from_raw(lat_raw_[k], comp_raw_[k], s,
+                                             weights_);
+      const std::size_t i = pair_i_[k];
+      const std::size_t j = pair_j_[k];
+      out[i][j] = value;
+      out[j][i] = value;
+    }
+  };
+  // Each pair owns two cells nobody else writes, and the value depends only
+  // on shared immutable state — any partition of k is bit-identical.
+  const std::size_t ranges = range_count_for(pool, pairs);
+  if (ranges <= 1) {
+    fill(0, pairs);
+    return;
   }
+  pool->parallel_for(ranges, [&](std::size_t r) {
+    fill(pairs * r / ranges, pairs * (r + 1) / ranges);
+  });
 }
 
 void TiledNlState::full_build(const PairSource& source,
                               std::span<const cluster::NodeId> nodes,
                               util::BlockPartition partition,
-                              const NetworkLoadWeights& weights) {
+                              const NetworkLoadWeights& weights,
+                              util::ThreadPool* pool) {
   weights.validate();
   weights_ = weights;
   n_ = nodes.size();
@@ -250,23 +440,78 @@ void TiledNlState::full_build(const PairSource& source,
   comp_missing_ = 0;
   pair_total_ = n_ < 2 ? 0 : n_ * (n_ - 1) / 2;
 
-  for (std::size_t i = 0; i < n_; ++i) {
-    const std::size_t bi = partition_.block_of(i);
-    for (std::size_t j = i + 1; j < n_; ++j) {
-      const std::size_t bj = partition_.block_of(j);
-      const std::size_t t =
-          partition_.tile_index(std::min(bi, bj), std::max(bi, bj));
-      const PairSource::Raw raw = source.read(nodes[i], nodes[j]);
-      ++tile_pairs_[t];
-      if (raw.lat >= 0.0) {
-        tile_lat_[t].add(raw.lat);
-      } else {
-        ++tile_lat_missing_[t];
+  const std::size_t ranges = range_count_for(pool, n_);
+  if (ranges <= 1) {
+    for (std::size_t i = 0; i < n_; ++i) {
+      const std::size_t bi = partition_.block_of(i);
+      for (std::size_t j = i + 1; j < n_; ++j) {
+        const std::size_t bj = partition_.block_of(j);
+        const std::size_t t =
+            partition_.tile_index(std::min(bi, bj), std::max(bi, bj));
+        const PairSource::Raw raw = source.read(nodes[i], nodes[j]);
+        ++tile_pairs_[t];
+        if (raw.lat >= 0.0) {
+          tile_lat_[t].add(raw.lat);
+        } else {
+          ++tile_lat_missing_[t];
+        }
+        if (raw.comp >= 0.0) {
+          tile_comp_[t].add(raw.comp);
+        } else {
+          ++tile_comp_missing_[t];
+        }
       }
-      if (raw.comp >= 0.0) {
-        tile_comp_[t].add(raw.comp);
-      } else {
-        ++tile_comp_missing_[t];
+    }
+  } else {
+    // Each row range accumulates a private dense set of per-tile partials
+    // (O(ranges × G²) transient memory — megabytes at refresh scale), then
+    // the partials fold per tile in canonical range order. Integer limb
+    // addition makes the folded tile accumulators equal the serial ones
+    // bit for bit.
+    struct TilePartials {
+      std::vector<ExactSum> lat;
+      std::vector<ExactSum> comp;
+      std::vector<std::uint64_t> lat_missing;
+      std::vector<std::uint64_t> comp_missing;
+      std::vector<std::uint64_t> pairs;
+    };
+    const std::vector<std::size_t> bounds = balanced_row_bounds(n_, ranges);
+    std::vector<TilePartials> partials(ranges);
+    pool->parallel_for(ranges, [&](std::size_t r) {
+      TilePartials& part = partials[r];
+      part.lat.assign(tiles, {});
+      part.comp.assign(tiles, {});
+      part.lat_missing.assign(tiles, 0);
+      part.comp_missing.assign(tiles, 0);
+      part.pairs.assign(tiles, 0);
+      for (std::size_t i = bounds[r]; i < bounds[r + 1]; ++i) {
+        const std::size_t bi = partition_.block_of(i);
+        for (std::size_t j = i + 1; j < n_; ++j) {
+          const std::size_t bj = partition_.block_of(j);
+          const std::size_t t =
+              partition_.tile_index(std::min(bi, bj), std::max(bi, bj));
+          const PairSource::Raw raw = source.read(nodes[i], nodes[j]);
+          ++part.pairs[t];
+          if (raw.lat >= 0.0) {
+            part.lat[t].add(raw.lat);
+          } else {
+            ++part.lat_missing[t];
+          }
+          if (raw.comp >= 0.0) {
+            part.comp[t].add(raw.comp);
+          } else {
+            ++part.comp_missing[t];
+          }
+        }
+      }
+    });
+    for (const TilePartials& part : partials) {
+      for (std::size_t t = 0; t < tiles; ++t) {
+        tile_lat_[t].add(part.lat[t]);
+        tile_comp_[t].add(part.comp[t]);
+        tile_lat_missing_[t] += part.lat_missing[t];
+        tile_comp_missing_[t] += part.comp_missing[t];
+        tile_pairs_[t] += part.pairs[t];
       }
     }
   }
@@ -325,6 +570,90 @@ void TiledNlState::patch_pair(const PairSource& old_source,
   }
 }
 
+void TiledNlState::patch_pairs(const PairSource& old_source,
+                               const PairSource& new_source,
+                               std::span<const cluster::NodeId> nodes,
+                               std::span<const PairPosition> pairs,
+                               util::ThreadPool* pool) {
+  if (pairs.empty()) return;
+  const std::size_t tiles = tile_pairs_.size();
+  const std::size_t shards = range_count_for(pool, pairs.size());
+  if (shards <= 1 || tiles == 0) {
+    for (const PairPosition& p : pairs) {
+      patch_pair(old_source, new_source, nodes, p.i, p.j);
+    }
+    return;
+  }
+
+  // Shard by tile-index range: a shard owns a disjoint interval of tiles,
+  // so its direct tile-accumulator mutations race with nobody, and
+  // same-tile pairs (including duplicates) replay in delta order inside
+  // one shard — the serial sequence exactly. Global totals go through
+  // per-shard exact deltas folded in canonical shard order.
+  struct Shard {
+    std::vector<PairPosition> queue;
+    ExactSum lat_delta;
+    ExactSum comp_delta;
+    std::int64_t lat_missing_delta = 0;
+    std::int64_t comp_missing_delta = 0;
+  };
+  std::vector<Shard> shard_v(shards);
+  for (const PairPosition& p : pairs) {
+    NLARM_CHECK(p.i < p.j && p.j < n_)
+        << "bad pair position (" << p.i << ", " << p.j << ")";
+    const std::size_t bi = partition_.block_of(p.i);
+    const std::size_t bj = partition_.block_of(p.j);
+    const std::size_t t =
+        partition_.tile_index(std::min(bi, bj), std::max(bi, bj));
+    shard_v[t * shards / tiles].queue.push_back(p);
+  }
+  pool->parallel_for(shards, [&](std::size_t s) {
+    Shard& shard = shard_v[s];
+    for (const PairPosition& p : shard.queue) {
+      const std::size_t bi = partition_.block_of(p.i);
+      const std::size_t bj = partition_.block_of(p.j);
+      const std::size_t t =
+          partition_.tile_index(std::min(bi, bj), std::max(bi, bj));
+      const PairSource::Raw old_raw = old_source.read(nodes[p.i], nodes[p.j]);
+      if (old_raw.lat >= 0.0) {
+        tile_lat_[t].sub(old_raw.lat);
+        shard.lat_delta.sub(old_raw.lat);
+      } else {
+        --tile_lat_missing_[t];
+        --shard.lat_missing_delta;
+      }
+      if (old_raw.comp >= 0.0) {
+        tile_comp_[t].sub(old_raw.comp);
+        shard.comp_delta.sub(old_raw.comp);
+      } else {
+        --tile_comp_missing_[t];
+        --shard.comp_missing_delta;
+      }
+      const PairSource::Raw new_raw = new_source.read(nodes[p.i], nodes[p.j]);
+      if (new_raw.lat >= 0.0) {
+        tile_lat_[t].add(new_raw.lat);
+        shard.lat_delta.add(new_raw.lat);
+      } else {
+        ++tile_lat_missing_[t];
+        ++shard.lat_missing_delta;
+      }
+      if (new_raw.comp >= 0.0) {
+        tile_comp_[t].add(new_raw.comp);
+        shard.comp_delta.add(new_raw.comp);
+      } else {
+        ++tile_comp_missing_[t];
+        ++shard.comp_missing_delta;
+      }
+    }
+  });
+  for (const Shard& shard : shard_v) {
+    lat_acc_.add(shard.lat_delta);
+    comp_acc_.add(shard.comp_delta);
+    lat_missing_ += static_cast<std::uint64_t>(shard.lat_missing_delta);
+    comp_missing_ += static_cast<std::uint64_t>(shard.comp_missing_delta);
+  }
+}
+
 void TiledNlState::refresh_dirty() {
   scalars_ = compute_nl_scalars(lat_acc_.to_double(), comp_acc_.to_double(),
                                 lat_missing_, comp_missing_, pair_total_,
@@ -333,18 +662,33 @@ void TiledNlState::refresh_dirty() {
 
 void TiledNlState::materialize_dense(const PairSource& source,
                                      std::span<const cluster::NodeId> nodes,
-                                     util::FlatMatrix& out) const {
+                                     util::FlatMatrix& out,
+                                     util::ThreadPool* pool) const {
   NLARM_CHECK(nodes.size() == n_) << "working-set size changed";
   out.assign(n_, 0.0);
-  for (std::size_t i = 0; i < n_; ++i) {
-    for (std::size_t j = i + 1; j < n_; ++j) {
-      const PairSource::Raw raw = source.read(nodes[i], nodes[j]);
-      const double value =
-          nl_value_from_raw(raw.lat, raw.comp, scalars_, weights_);
-      out[i][j] = value;
-      out[j][i] = value;
+  const auto fill_rows = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      for (std::size_t j = i + 1; j < n_; ++j) {
+        const PairSource::Raw raw = source.read(nodes[i], nodes[j]);
+        const double value =
+            nl_value_from_raw(raw.lat, raw.comp, scalars_, weights_);
+        out[i][j] = value;
+        out[j][i] = value;
+      }
     }
+  };
+  // Row ranges write disjoint cells: range owning row i writes out[i][j]
+  // and the mirror out[j][i] — column i of later rows, which no other
+  // range's pairs touch.
+  const std::size_t ranges = range_count_for(pool, n_);
+  if (ranges <= 1) {
+    fill_rows(0, n_);
+    return;
   }
+  const std::vector<std::size_t> bounds = balanced_row_bounds(n_, ranges);
+  pool->parallel_for(ranges, [&](std::size_t r) {
+    fill_rows(bounds[r], bounds[r + 1]);
+  });
 }
 
 double TiledNlState::tile_lat_mean(std::size_t t) const {
@@ -478,6 +822,9 @@ void PreparedBuilder::rebuild(
   obs::ScopedSpan span("prepared.rebuild",
                        &obs::metrics::prepared_rebuild_seconds());
   obs::metrics::prepared_full_rebuilds().inc();
+  if (pool_ != nullptr && pool_->thread_count() > 0) {
+    obs::metrics::refresh_parallel_rebuilds().inc();
+  }
   snapshot_ = std::move(snapshot);
   usable_ = snapshot_->usable_nodes();
   pos_of_.assign(snapshot_->nodes.size(), -1);
@@ -504,9 +851,10 @@ void PreparedBuilder::rebuild(
     }
     const SnapshotPairSource source(snapshot_);
     tiled_state_.full_build(source, usable_, std::move(partition),
-                            profile_.network_weights);
+                            profile_.network_weights, pool_);
   } else {
-    nl_state_.full_build(*snapshot_, usable_, profile_.network_weights);
+    nl_state_.full_build(*snapshot_, usable_, profile_.network_weights,
+                         pool_);
   }
   recompute_node_state();
   version_ = snapshot_->version;
@@ -516,6 +864,7 @@ void PreparedBuilder::rebuild(
   incremental_ = false;
   delta_nodes_ = 0;
   delta_pairs_ = 0;
+  obs::metrics::refresh_rebuild_sketch().observe(span.stop());
 }
 
 bool PreparedBuilder::update(
@@ -563,62 +912,39 @@ bool PreparedBuilder::update(
                        &obs::metrics::prepared_update_seconds());
   obs::metrics::prepared_incremental_updates().inc();
 
-  std::size_t applied_pairs = 0;
-  // Tiled patching re-reads a pair's previous raw terms from the retained
-  // previous snapshot — the same values the accumulators last absorbed —
-  // so no per-pair storage is needed for the swap.
-  std::optional<SnapshotPairSource> old_source;
-  std::optional<SnapshotPairSource> new_source;
-  if (tiling_) {
-    old_source.emplace(snapshot_);
-    new_source.emplace(snapshot);
-  }
-  // Re-reading dirty cells is a random walk over three V×V matrices;
-  // prefetching a handful of pairs ahead overlaps the DRAM misses instead
-  // of serializing them.
-  constexpr std::size_t kAhead = 16;
-  const auto& lat_m = snapshot->net.latency_us;
-  const auto& bw_m = snapshot->net.bandwidth_mbps;
-  const auto& peak_m = snapshot->net.peak_mbps;
-  for (std::size_t a = 0; a < delta.dirty_pairs.size(); ++a) {
-    if (a + kAhead < delta.dirty_pairs.size()) {
-      const auto& [fu, fv] = delta.dirty_pairs[a + kAhead];
-      const auto fuu = static_cast<std::size_t>(fu);
-      const auto fvv = static_cast<std::size_t>(fv);
-      const auto edge = static_cast<std::size_t>(snapshot->net.size());
-      if (fuu < edge && fvv < edge) {
-        __builtin_prefetch(lat_m[fuu] + fvv);
-        __builtin_prefetch(bw_m[fuu] + fvv);
-        __builtin_prefetch(peak_m[fuu] + fvv);
-        const std::int32_t fpu = pos_of_[fuu];
-        const std::int32_t fpv = pos_of_[fvv];
-        if (!tiling_ && fpu >= 0 && fpv >= 0) {
-          nl_state_.prefetch_pair(
-              static_cast<std::size_t>(std::min(fpu, fpv)),
-              static_cast<std::size_t>(std::max(fpu, fpv)));
-        }
-      }
-    }
-    const auto& [u, v] = delta.dirty_pairs[a];
+  // Resolve dirty pairs to working-set positions up front (delta order is
+  // preserved, duplicates included), then hand the whole batch to the pair
+  // state — sharded over the refresh pool when one is attached, serial
+  // (with the same prefetch-ahead) otherwise.
+  std::vector<detail::PairPosition> resolved;
+  resolved.reserve(delta.dirty_pairs.size());
+  for (const auto& [u, v] : delta.dirty_pairs) {
     const std::int32_t pu = pos_of_[static_cast<std::size_t>(u)];
     const std::int32_t pv = pos_of_[static_cast<std::size_t>(v)];
     if (pu < 0 || pv < 0) continue;  // pair outside the working set
-    const auto i = static_cast<std::size_t>(std::min(pu, pv));
-    const auto j = static_cast<std::size_t>(std::max(pu, pv));
-    if (tiling_) {
-      tiled_state_.patch_pair(*old_source, *new_source, usable_, i, j);
-    } else {
-      nl_state_.patch_pair(*snapshot, usable_, i, j);
-    }
-    ++applied_pairs;
+    resolved.push_back(
+        {static_cast<std::uint32_t>(std::min(pu, pv)),
+         static_cast<std::uint32_t>(std::max(pu, pv))});
   }
+  const std::size_t applied_pairs = resolved.size();
   if (applied_pairs > 0) {
     if (tiling_) {
+      // Tiled patching re-reads a pair's previous raw terms from the
+      // retained previous snapshot — the same values the accumulators last
+      // absorbed — so no per-pair storage is needed for the swap.
+      const SnapshotPairSource old_source(snapshot_);
+      const SnapshotPairSource new_source(snapshot);
+      tiled_state_.patch_pairs(old_source, new_source, usable_, resolved,
+                               pool_);
       tiled_state_.refresh_dirty();
     } else {
+      nl_state_.patch_pairs(*snapshot, usable_, resolved, pool_);
       nl_state_.refresh_dirty();
     }
     nl_stale_ = true;
+    if (pool_ != nullptr && pool_->thread_count() > 0) {
+      obs::metrics::refresh_parallel_applies().inc();
+    }
   }
 
   std::size_t applied_nodes = 0;
@@ -633,6 +959,7 @@ bool PreparedBuilder::update(
   incremental_ = true;
   delta_nodes_ = applied_nodes;
   delta_pairs_ = applied_pairs;
+  obs::metrics::refresh_apply_sketch().observe(span.stop());
   return true;
 }
 
@@ -657,7 +984,7 @@ std::shared_ptr<PreparedSnapshot> PreparedBuilder::build() {
       tiles_cache_ = std::move(tiles);
       if (usable_.size() <= tiling_->dense_nl_limit) {
         auto matrix = std::make_shared<util::FlatMatrix>();
-        tiled_state_.materialize_dense(*source, usable_, *matrix);
+        tiled_state_.materialize_dense(*source, usable_, *matrix, pool_);
         nl_cache_ = std::move(matrix);
       } else {
         nl_cache_ = nullptr;
@@ -672,7 +999,7 @@ std::shared_ptr<PreparedSnapshot> PreparedBuilder::build() {
     }
   } else if (nl_stale_ || nl_cache_ == nullptr) {
     auto matrix = std::make_shared<util::FlatMatrix>();
-    nl_state_.materialize(*matrix);
+    nl_state_.materialize(*matrix, pool_);
     nl_cache_ = std::move(matrix);
     nl_stale_ = false;
     obs::metrics::prepared_nl_materializations().inc();

@@ -49,6 +49,10 @@
 #include "util/flat_matrix.h"
 #include "util/tiled_matrix.h"
 
+namespace nlarm::util {
+class ThreadPool;
+}
+
 namespace nlarm::core {
 
 /// The request-dependent part of the prepared state: everything besides the
@@ -140,6 +144,13 @@ class ExactSum {
   std::array<std::uint64_t, 4> limbs_{};
 };
 
+/// A dirty pair resolved to working-set positions (i < j). The unit of work
+/// the sharded patch paths queue per shard.
+struct PairPosition {
+  std::uint32_t i = 0;
+  std::uint32_t j = 0;
+};
+
 /// Exact-accumulator network-load state over a working node set. This class
 /// IS the canonical definition of the prepared NL matrix (see file
 /// comment): both the one-shot prepared_network_loads() and the incremental
@@ -147,10 +158,14 @@ class ExactSum {
 class NlState {
  public:
   /// Gathers every upper-triangle pair term from the snapshot and computes
-  /// all aggregates. O(n²).
+  /// all aggregates. O(n²). With a pool, rows are partitioned into fixed
+  /// ranges whose ExactSum partials fold in canonical range order — integer
+  /// addition is associative, so the parallel totals equal the serial ones
+  /// bit for bit.
   void full_build(const monitor::ClusterSnapshot& snapshot,
                   std::span<const cluster::NodeId> nodes,
-                  const NetworkLoadWeights& weights);
+                  const NetworkLoadWeights& weights,
+                  util::ThreadPool* pool = nullptr);
 
   /// Re-reads one pair (positions i < j in the working set) from the
   /// snapshot, swapping its old contribution out of the exact totals and
@@ -158,6 +173,17 @@ class NlState {
   void patch_pair(const monitor::ClusterSnapshot& snapshot,
                   std::span<const cluster::NodeId> nodes, std::size_t i,
                   std::size_t j);
+
+  /// Applies a batch of patches. With a pool the batch is sharded by
+  /// contiguous pair-index range: each shard replays its pairs in delta
+  /// order (duplicates share an index, so they land in one shard) and
+  /// accumulates an exact (new − old) delta that is folded into the global
+  /// totals in canonical shard order — bit-identical to calling patch_pair
+  /// serially. Finish with refresh_dirty().
+  void patch_pairs(const monitor::ClusterSnapshot& snapshot,
+                   std::span<const cluster::NodeId> nodes,
+                   std::span<const PairPosition> pairs,
+                   util::ThreadPool* pool = nullptr);
 
   /// Re-derives the normalization scalars from the (already exact) totals.
   /// O(1) — the accumulators absorbed the per-pair work in patch_pair().
@@ -174,8 +200,10 @@ class NlState {
   }
 
   /// Writes the canonical NL matrix (normalized, unit-mean rescaled,
-  /// symmetric, zero diagonal). O(n²).
-  void materialize(util::FlatMatrix& out) const;
+  /// symmetric, zero diagonal). O(n²). Safe to parallelize: every pair
+  /// writes two disjoint cells and reads only shared immutable state.
+  void materialize(util::FlatMatrix& out,
+                   util::ThreadPool* pool = nullptr) const;
 
   std::size_t node_count() const { return n_; }
   std::size_t pair_count() const { return lat_raw_.size(); }
@@ -260,11 +288,14 @@ inline double nl_value_from_raw(double lat_raw, double comp_raw,
 class TiledNlState {
  public:
   /// Gathers every upper-triangle pair term through `source` and fills all
-  /// tile + global accumulators. O(n²) reads, O(G²) memory.
+  /// tile + global accumulators. O(n²) reads, O(G²) memory. With a pool,
+  /// row ranges accumulate per-range per-tile partials folded per tile in
+  /// canonical range order — bit-identical to the serial accumulation.
   void full_build(const PairSource& source,
                   std::span<const cluster::NodeId> nodes,
                   util::BlockPartition partition,
-                  const NetworkLoadWeights& weights);
+                  const NetworkLoadWeights& weights,
+                  util::ThreadPool* pool = nullptr);
 
   /// Swaps pair (i, j)'s old contribution (read from `old_source`) for its
   /// new one (read from `new_source`) in the pair's tile and the global
@@ -273,14 +304,27 @@ class TiledNlState {
                   std::span<const cluster::NodeId> nodes, std::size_t i,
                   std::size_t j);
 
+  /// Applies a batch of patches. With a pool the batch is sharded by tile
+  /// range: a shard owns a disjoint tile-index interval (same-tile pairs —
+  /// including duplicates — replay in delta order inside one shard), tile
+  /// accumulators are mutated directly, and exact global deltas fold in
+  /// canonical shard order — bit-identical to serial patch_pair calls.
+  /// Finish with refresh_dirty().
+  void patch_pairs(const PairSource& old_source, const PairSource& new_source,
+                   std::span<const cluster::NodeId> nodes,
+                   std::span<const PairPosition> pairs,
+                   util::ThreadPool* pool = nullptr);
+
   /// Re-derives the normalization scalars from the exact global totals.
   void refresh_dirty();
 
   /// Writes the full canonical NL matrix from `source` — same entries, bit
   /// for bit, as NlState::materialize over the same working set. O(n²).
+  /// Parallel-safe over row ranges (disjoint cell writes).
   void materialize_dense(const PairSource& source,
                          std::span<const cluster::NodeId> nodes,
-                         util::FlatMatrix& out) const;
+                         util::FlatMatrix& out,
+                         util::ThreadPool* pool = nullptr) const;
 
   std::size_t node_count() const { return n_; }
   const util::BlockPartition& partition() const { return partition_; }
@@ -447,6 +491,15 @@ class PreparedBuilder {
 
   bool tiling_enabled() const { return tiling_.has_value(); }
 
+  /// Attaches (or detaches, with nullptr) a refresh pool: full rebuilds,
+  /// sharded delta applies and NL materializations then fan out over its
+  /// workers. Results are bit-identical with or without a pool — the pool
+  /// only changes wall time, never bits (fixed-range ExactSum partials
+  /// folded in canonical order; see DESIGN.md §17). The pool must outlive
+  /// every rebuild()/update()/build() call.
+  void set_thread_pool(util::ThreadPool* pool) { pool_ = pool; }
+  util::ThreadPool* thread_pool() const { return pool_; }
+
   const RequestProfile& profile() const { return profile_; }
   bool has_state() const { return has_state_; }
   std::uint64_t state_version() const { return version_; }
@@ -472,6 +525,7 @@ class PreparedBuilder {
   void recompute_node_state();
 
   RequestProfile profile_;
+  util::ThreadPool* pool_ = nullptr;  ///< not owned; refresh fan-out target
   bool has_state_ = false;
   std::shared_ptr<const monitor::ClusterSnapshot> snapshot_;
   std::uint64_t version_ = 0;

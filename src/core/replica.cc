@@ -37,6 +37,10 @@ FollowerBroker::FollowerBroker(Allocator& allocator, std::string log_path,
       reader_(log_path_) {
   NLARM_CHECK(options_.poll_interval_s > 0.0)
       << "replica poll interval must be positive";
+  if (options_.refresh_threads > 1) {
+    broker_.set_refresh_threads(options_.refresh_threads);
+  }
+  reader_.set_decode_ahead(options_.decode_ahead);
   obs::metrics::replica_role().set(0.0);
 }
 

@@ -65,6 +65,15 @@ struct ReplicaOptions {
   /// maybe_promote(): promote once the log has made no progress for this
   /// many seconds.
   double promote_after_s = 15.0;
+  /// Refresh worker count for the embedded broker (forwarded to
+  /// ResourceBroker::set_refresh_threads): replicated epoch rebuilds and
+  /// delta applies fan out across this many threads. <= 1 keeps the serial
+  /// path; published epochs are bit-identical either way.
+  int refresh_threads = 1;
+  /// Pipelined log ingest (DeltaLogReader::set_decode_ahead): decode+CRC
+  /// frame k+1 on a worker thread while frame k applies, shrinking the
+  /// follower's steady-state catch-up lag on multi-frame polls.
+  bool decode_ahead = true;
 };
 
 struct ReplicaStatus {

@@ -174,19 +174,19 @@ bool DeltaLogWriter::append(const ClusterSnapshot& snapshot,
 
 DeltaLogReader::DeltaLogReader(std::string path) : path_(std::move(path)) {}
 
+DeltaLogReader::~DeltaLogReader() { stop_decode_worker(); }
+
 const ClusterSnapshot& DeltaLogReader::snapshot() const {
   NLARM_CHECK(have_state_) << "delta log '" << path_
                            << "' has not yielded a snapshot yet";
   return state_;
 }
 
-bool DeltaLogReader::apply_frame(std::uint8_t kind,
-                                 std::string_view payload) {
+bool DeltaLogReader::decode_frame(std::uint8_t kind, std::string_view payload,
+                                  DecodedFrame& out) const {
+  out.kind = kind;
   if (kind == kKindFull) {
-    state_ = decode_snapshot_binary(payload);
-    have_state_ = true;
-    pending_.full = true;
-    pending_.version = state_.version;
+    out.full = decode_snapshot_binary(payload);
     return true;
   }
   if (kind != kKindDelta) {
@@ -194,64 +194,197 @@ bool DeltaLogReader::apply_frame(std::uint8_t kind,
                << static_cast<int>(kind);
     return false;
   }
+  util::ByteReader reader(payload);
+  out.base_version = reader.u64();
+  out.version = reader.u64();
+  out.time = reader.f64();
+  out.n = static_cast<std::size_t>(reader.u32());
+  const std::uint8_t flags = reader.u8();
+  out.livehosts_changed = (flags & kDeltaFlagLivehosts) != 0;
+  if (out.livehosts_changed) {
+    out.livehosts.resize(out.n);
+    for (std::size_t i = 0; i < out.n; ++i) out.livehosts[i] = reader.u8();
+  }
+  const std::uint64_t dirty_nodes = reader.varint();
+  for (std::uint64_t i = 0; i < dirty_nodes; ++i) {
+    NodeSnapshot node = codec::decode_node(reader);
+    NLARM_CHECK(node.spec.id >= 0 &&
+                static_cast<std::size_t>(node.spec.id) < out.n)
+        << "delta frame node id " << node.spec.id << " out of range";
+    out.nodes.push_back(std::move(node));
+  }
+  const std::uint64_t dirty_pairs = reader.varint();
+  for (std::uint64_t i = 0; i < dirty_pairs; ++i) {
+    DecodedFrame::PairValues pair;
+    pair.u = static_cast<cluster::NodeId>(reader.varint());
+    pair.v = static_cast<cluster::NodeId>(reader.varint());
+    NLARM_CHECK(pair.u >= 0 && pair.v >= 0 &&
+                static_cast<std::size_t>(pair.u) < out.n &&
+                static_cast<std::size_t>(pair.v) < out.n && pair.u != pair.v)
+        << "delta frame pair (" << pair.u << ", " << pair.v
+        << ") out of range";
+    for (double& value : pair.values) value = reader.f64();
+    out.pairs.push_back(pair);
+  }
+  NLARM_CHECK(reader.remaining() == 0)
+      << reader.remaining() << " trailing byte(s) in delta frame";
+  return true;
+}
+
+bool DeltaLogReader::apply_decoded(DecodedFrame& frame) {
+  if (frame.kind == kKindFull) {
+    state_ = std::move(frame.full);
+    have_state_ = true;
+    pending_.full = true;
+    pending_.version = state_.version;
+    return true;
+  }
   if (!have_state_) {
     // A delta with nothing to apply it to (log started mid-stream); skip
     // it — the writer always lays a full frame first, so this only
     // happens on logs truncated by hand.
     return false;
   }
-  util::ByteReader reader(payload);
-  const std::uint64_t base_version = reader.u64();
-  const std::uint64_t version = reader.u64();
-  const double time = reader.f64();
-  const std::uint32_t n32 = reader.u32();
-  const auto n = static_cast<std::size_t>(n32);
-  if (base_version != state_.version || n != state_.nodes.size()) {
-    NLARM_WARN << "delta log '" << path_ << "': frame base " << base_version
-               << " does not chain onto state " << state_.version;
+  if (frame.base_version != state_.version ||
+      frame.n != state_.nodes.size()) {
+    NLARM_WARN << "delta log '" << path_ << "': frame base "
+               << frame.base_version << " does not chain onto state "
+               << state_.version;
     return false;
   }
-  const std::uint8_t flags = reader.u8();
-  if ((flags & kDeltaFlagLivehosts) != 0) {
-    for (std::size_t i = 0; i < n; ++i) {
-      state_.livehosts[i] = reader.u8() != 0;
+  if (frame.livehosts_changed) {
+    for (std::size_t i = 0; i < frame.n; ++i) {
+      state_.livehosts[i] = frame.livehosts[i] != 0;
     }
     pending_.livehosts_changed = true;
   }
-  const std::uint64_t dirty_nodes = reader.varint();
-  for (std::uint64_t i = 0; i < dirty_nodes; ++i) {
-    NodeSnapshot node = codec::decode_node(reader);
+  for (NodeSnapshot& node : frame.nodes) {
     const auto id = static_cast<std::size_t>(node.spec.id);
-    NLARM_CHECK(node.spec.id >= 0 && id < n)
-        << "delta frame node id " << node.spec.id << " out of range";
     state_.nodes[id] = std::move(node);
     pending_.dirty_nodes.push_back(static_cast<cluster::NodeId>(id));
   }
-  const std::uint64_t dirty_pairs = reader.varint();
-  for (std::uint64_t i = 0; i < dirty_pairs; ++i) {
-    const auto u = static_cast<cluster::NodeId>(reader.varint());
-    const auto v = static_cast<cluster::NodeId>(reader.varint());
-    NLARM_CHECK(u >= 0 && v >= 0 && static_cast<std::size_t>(u) < n &&
-                static_cast<std::size_t>(v) < n && u != v)
-        << "delta frame pair (" << u << ", " << v << ") out of range";
-    const auto uu = static_cast<std::size_t>(u);
-    const auto vv = static_cast<std::size_t>(v);
-    state_.net.latency_us[uu][vv] = reader.f64();
-    state_.net.latency_us[vv][uu] = reader.f64();
-    state_.net.latency_5min_us[uu][vv] = reader.f64();
-    state_.net.latency_5min_us[vv][uu] = reader.f64();
-    state_.net.bandwidth_mbps[uu][vv] = reader.f64();
-    state_.net.bandwidth_mbps[vv][uu] = reader.f64();
-    state_.net.peak_mbps[uu][vv] = reader.f64();
-    state_.net.peak_mbps[vv][uu] = reader.f64();
-    pending_.dirty_pairs.emplace_back(std::min(u, v), std::max(u, v));
+  for (const DecodedFrame::PairValues& pair : frame.pairs) {
+    const auto uu = static_cast<std::size_t>(pair.u);
+    const auto vv = static_cast<std::size_t>(pair.v);
+    state_.net.latency_us[uu][vv] = pair.values[0];
+    state_.net.latency_us[vv][uu] = pair.values[1];
+    state_.net.latency_5min_us[uu][vv] = pair.values[2];
+    state_.net.latency_5min_us[vv][uu] = pair.values[3];
+    state_.net.bandwidth_mbps[uu][vv] = pair.values[4];
+    state_.net.bandwidth_mbps[vv][uu] = pair.values[5];
+    state_.net.peak_mbps[uu][vv] = pair.values[6];
+    state_.net.peak_mbps[vv][uu] = pair.values[7];
+    pending_.dirty_pairs.emplace_back(std::min(pair.u, pair.v),
+                                      std::max(pair.u, pair.v));
   }
-  NLARM_CHECK(reader.remaining() == 0)
-      << reader.remaining() << " trailing byte(s) in delta frame";
-  state_.time = time;
-  state_.version = version;
-  pending_.version = version;
+  state_.time = frame.time;
+  state_.version = frame.version;
+  pending_.version = frame.version;
   return true;
+}
+
+DeltaLogReader::DecodeOutcome DeltaLogReader::decode_outcome(
+    std::size_t offset, std::string_view payload,
+    std::uint32_t stored_crc) const {
+  DecodeOutcome out;
+  out.offset = offset;
+  out.crc_ok = util::crc32(payload) == stored_crc;
+  if (!out.crc_ok) return out;
+  try {
+    out.known_kind = decode_frame(static_cast<std::uint8_t>(payload[0]),
+                                  payload.substr(1), out.frame);
+  } catch (const util::CheckError& error) {
+    out.decode_error = true;
+    out.error = error.what();
+  }
+  return out;
+}
+
+void DeltaLogReader::set_decode_ahead(bool enabled) {
+  if (enabled == decode_ahead_) return;
+  decode_ahead_ = enabled;
+  // The worker starts lazily on the next poll; disabling stops it now.
+  if (!enabled) stop_decode_worker();
+}
+
+void DeltaLogReader::start_decode_worker() {
+  if (decode_thread_.joinable()) return;
+  decode_stop_ = false;
+  decode_thread_ = std::thread([this] { decode_worker_main(); });
+}
+
+void DeltaLogReader::stop_decode_worker() {
+  if (!decode_thread_.joinable()) return;
+  drain_decode();  // never abandon a job whose payload view may die
+  {
+    std::lock_guard<std::mutex> lock(decode_mutex_);
+    decode_stop_ = true;
+  }
+  decode_cv_.notify_all();
+  decode_thread_.join();
+  decode_stop_ = false;
+}
+
+void DeltaLogReader::submit_decode(std::size_t offset,
+                                   std::string_view payload,
+                                   std::uint32_t stored_crc) {
+  {
+    std::lock_guard<std::mutex> lock(decode_mutex_);
+    job_offset_ = offset;
+    job_payload_ = payload;
+    job_crc_ = stored_crc;
+    job_ready_ = true;
+    job_in_flight_ = true;
+  }
+  decode_cv_.notify_all();
+  obs::metrics::refresh_decode_ahead_depth().set(1.0);
+}
+
+DeltaLogReader::DecodeOutcome DeltaLogReader::take_decode() {
+  DecodeOutcome out;
+  {
+    std::unique_lock<std::mutex> lock(decode_mutex_);
+    decode_cv_.wait(lock, [this] { return result_ready_; });
+    out = std::move(decode_result_);
+    decode_result_ = DecodeOutcome{};
+    result_ready_ = false;
+    job_in_flight_ = false;
+  }
+  obs::metrics::refresh_decode_ahead_depth().set(0.0);
+  obs::metrics::refresh_decode_ahead_frames().inc();
+  return out;
+}
+
+void DeltaLogReader::drain_decode() {
+  {
+    std::unique_lock<std::mutex> lock(decode_mutex_);
+    if (!job_in_flight_) return;
+    decode_cv_.wait(lock, [this] { return result_ready_; });
+    decode_result_ = DecodeOutcome{};
+    result_ready_ = false;
+    job_in_flight_ = false;
+  }
+  obs::metrics::refresh_decode_ahead_depth().set(0.0);
+}
+
+void DeltaLogReader::decode_worker_main() {
+  std::unique_lock<std::mutex> lock(decode_mutex_);
+  for (;;) {
+    decode_cv_.wait(lock, [this] { return decode_stop_ || job_ready_; });
+    if (decode_stop_) return;
+    const std::size_t offset = job_offset_;
+    const std::string_view payload = job_payload_;
+    const std::uint32_t crc = job_crc_;
+    job_ready_ = false;
+    lock.unlock();
+    // decode_outcome only reads the payload bytes and const members, so it
+    // runs safely while the main thread mutates state_.
+    DecodeOutcome out = decode_outcome(offset, payload, crc);
+    lock.lock();
+    decode_result_ = std::move(out);
+    result_ready_ = true;
+    decode_cv_.notify_all();
+  }
 }
 
 int DeltaLogReader::poll() {
@@ -317,10 +450,47 @@ int DeltaLogReader::poll() {
   // cursor and replays from the head (whose full frame rebuilds state).
   // Bad frames after a good one in the same poll are real corruption.
   bool may_rescan = offset_ > 0;
-  while (offset_ + 9 <= bytes.size()) {  // magic + length + ≥1 payload byte
-    util::ByteReader header(bytes.data() + offset_, bytes.size() - offset_);
-    const std::uint32_t magic = header.u32();
-    if (magic != kFrameMagic) {
+
+  enum class HeadStatus { kOk, kBadMagic, kTorn };
+  struct HeaderInfo {
+    HeadStatus status = HeadStatus::kTorn;
+    std::size_t frame_bytes = 0;
+    std::string_view payload;
+    std::uint32_t stored_crc = 0;
+  };
+  auto parse_header = [&bytes](std::size_t offset) {
+    HeaderInfo info;
+    if (offset + 9 > bytes.size()) return info;  // magic+length+≥1 payload
+    util::ByteReader header(bytes.data() + offset, bytes.size() - offset);
+    if (header.u32() != kFrameMagic) {
+      info.status = HeadStatus::kBadMagic;
+      return info;
+    }
+    const std::uint32_t payload_len = header.u32();
+    const std::size_t frame_bytes =
+        8 + static_cast<std::size_t>(payload_len) + 4;
+    if (payload_len == 0 || offset + frame_bytes > bytes.size()) {
+      return info;  // torn tail (writer mid-append or crashed)
+    }
+    info.status = HeadStatus::kOk;
+    info.frame_bytes = frame_bytes;
+    info.payload = bytes.substr(offset + 8, payload_len);
+    std::memcpy(&info.stored_crc, bytes.data() + offset + 8 + payload_len, 4);
+    return info;
+  };
+
+  const bool pipelined = decode_ahead_;
+  if (pipelined) start_decode_worker();
+  bool inflight = false;  ///< the worker holds the frame at inflight_offset
+  std::size_t inflight_offset = 0;
+
+  while (offset_ + 9 <= bytes.size()) {
+    const HeaderInfo head = parse_header(offset_);
+    if (head.status == HeadStatus::kBadMagic) {
+      if (inflight) {
+        drain_decode();  // stale submission from before a rescan
+        inflight = false;
+      }
       if (may_rescan) {
         may_rescan = false;
         offset_ = 0;
@@ -332,18 +502,21 @@ int DeltaLogReader::poll() {
                  << offset_ << "; stopping replay";
       break;
     }
-    const std::uint32_t payload_len = header.u32();
-    const std::size_t frame_bytes =
-        8 + static_cast<std::size_t>(payload_len) + 4;
-    if (payload_len == 0 || offset_ + frame_bytes > bytes.size()) {
-      // Torn tail (writer mid-append or crashed): retry on the next poll.
-      break;
+    if (head.status == HeadStatus::kTorn) break;  // retried next poll
+
+    DecodeOutcome outcome;
+    if (inflight && inflight_offset == offset_) {
+      outcome = take_decode();
+      inflight = false;
+    } else {
+      if (inflight) {
+        drain_decode();  // submission no longer at the cursor (rescan)
+        inflight = false;
+      }
+      outcome = decode_outcome(offset_, head.payload, head.stored_crc);
     }
-    const std::string_view payload =
-        bytes.substr(offset_ + 8, payload_len);
-    std::uint32_t stored_crc;
-    std::memcpy(&stored_crc, bytes.data() + offset_ + 8 + payload_len, 4);
-    if (util::crc32(payload) != stored_crc) {
+
+    if (!outcome.crc_ok) {
       if (may_rescan) {
         may_rescan = false;
         offset_ = 0;
@@ -356,22 +529,36 @@ int DeltaLogReader::poll() {
       break;
     }
     may_rescan = false;
-    bool frame_ok;
-    try {
-      frame_ok = apply_frame(static_cast<std::uint8_t>(payload[0]),
-                             payload.substr(1));
-    } catch (const util::CheckError& error) {
+    if (outcome.decode_error) {
       ++bad_frames_;
       NLARM_WARN << "delta log '" << path_ << "': bad frame at offset "
-                 << offset_ << ": " << error.what();
+                 << offset_ << ": " << outcome.error;
       break;
     }
-    offset_ += frame_bytes;
+
+    // Prime the pipeline: hand frame k+1's CRC + decode to the worker
+    // before applying frame k, so the two overlap.
+    if (pipelined) {
+      const std::size_t next = offset_ + head.frame_bytes;
+      const HeaderInfo next_head = parse_header(next);
+      if (next_head.status == HeadStatus::kOk) {
+        submit_decode(next, next_head.payload, next_head.stored_crc);
+        inflight = true;
+        inflight_offset = next;
+      }
+    }
+
+    const bool frame_ok =
+        outcome.known_kind && apply_decoded(outcome.frame);
+    offset_ += head.frame_bytes;
     if (frame_ok) {
       ++applied;
       ++frames_applied_;
     }
   }
+  // The worker's payload view dies with this poll's mapping: drain any
+  // submission the loop exited past (torn tail, bad frame, end of log).
+  if (inflight) drain_decode();
   // Follower-lag telemetry: the cursor vs the file size at this poll is
   // how far behind the log's tail this reader runs.
   obs::metrics::delta_log_tail_bytes().set(static_cast<double>(offset_));

@@ -29,9 +29,13 @@
 // good state.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <thread>
+#include <vector>
 
 #include "monitor/snapshot.h"
 #include "monitor/snapshot_delta.h"
@@ -92,6 +96,9 @@ class DeltaLogWriter {
 class DeltaLogReader {
  public:
   explicit DeltaLogReader(std::string path);
+  ~DeltaLogReader();
+  DeltaLogReader(const DeltaLogReader&) = delete;
+  DeltaLogReader& operator=(const DeltaLogReader&) = delete;
 
   /// Reads any frames appended since the last poll and applies them to the
   /// running state. A shrunken file (writer compacted) resets the cursor
@@ -99,6 +106,16 @@ class DeltaLogReader {
   /// the scan without advancing past it (retried next poll). Returns the
   /// number of frames applied.
   int poll();
+
+  /// Enables the decode-ahead pipeline: a lazily started worker thread
+  /// CRC-checks and decodes frame k+1 while poll() applies frame k, so a
+  /// multi-frame catch-up overlaps parsing with state mutation instead of
+  /// alternating them. Replay semantics (cursor, rescans, torn tails, bad
+  /// frames) are identical to the serial path — only wall time changes.
+  /// Off by default; disabling stops the worker. The worker is always idle
+  /// between polls, so drain_delta()/snapshot() stay single-threaded.
+  void set_decode_ahead(bool enabled);
+  bool decode_ahead() const { return decode_ahead_; }
 
   bool have_snapshot() const { return have_state_; }
   const ClusterSnapshot& snapshot() const;
@@ -113,7 +130,58 @@ class DeltaLogReader {
   long bad_frames_seen() const { return bad_frames_; }
 
  private:
-  bool apply_frame(std::uint8_t kind, std::string_view payload);
+  /// A frame parsed off the log but not yet applied to `state_`. Produced
+  /// by decode_frame (pure, safe on the decode-ahead thread), consumed by
+  /// apply_decoded (mutates state, main thread only).
+  struct DecodedFrame {
+    std::uint8_t kind = 0;
+    ClusterSnapshot full;  ///< kind 0 payload
+    // kind 1 payload:
+    std::uint64_t base_version = 0;
+    std::uint64_t version = 0;
+    double time = 0.0;
+    std::size_t n = 0;
+    bool livehosts_changed = false;
+    std::vector<std::uint8_t> livehosts;
+    std::vector<NodeSnapshot> nodes;
+    struct PairValues {
+      cluster::NodeId u = 0;
+      cluster::NodeId v = 0;
+      double values[8] = {};  ///< lat ×2, lat_5min ×2, bw ×2, peak ×2
+    };
+    std::vector<PairValues> pairs;
+  };
+
+  /// CRC + decode verdict for one frame (inline or from the worker).
+  struct DecodeOutcome {
+    std::size_t offset = 0;  ///< frame offset, identity within one poll
+    bool crc_ok = false;
+    bool known_kind = false;   ///< decode_frame accepted the payload kind
+    bool decode_error = false; ///< decode threw (malformed payload)
+    std::string error;
+    DecodedFrame frame;
+  };
+
+  /// Pure payload parse: no reader state is touched, so it can run on the
+  /// decode-ahead thread. Returns false for an unknown frame kind; throws
+  /// util::CheckError on a malformed payload.
+  bool decode_frame(std::uint8_t kind, std::string_view payload,
+                    DecodedFrame& out) const;
+  /// Chain checks + state mutation for a decoded frame (main thread).
+  /// Consumes `frame` (moves node records / the full snapshot into state).
+  bool apply_decoded(DecodedFrame& frame);
+  /// CRC check + decode_frame + error capture, shared by the inline path
+  /// and the worker.
+  DecodeOutcome decode_outcome(std::size_t offset, std::string_view payload,
+                               std::uint32_t stored_crc) const;
+
+  void start_decode_worker();
+  void stop_decode_worker();
+  void submit_decode(std::size_t offset, std::string_view payload,
+                     std::uint32_t stored_crc);
+  DecodeOutcome take_decode();
+  void drain_decode();
+  void decode_worker_main();
 
   std::string path_;
   std::size_t offset_ = 0;  ///< byte offset of the next unread frame
@@ -133,6 +201,22 @@ class DeltaLogReader {
   std::uint64_t drain_base_version_ = 0;
   long frames_applied_ = 0;
   long bad_frames_ = 0;
+
+  // Decode-ahead pipeline. The job payload is a view into poll()'s mapped
+  // file, so every submitted job is drained before poll returns (and
+  // before the worker is stopped) — the worker never outlives the bytes.
+  bool decode_ahead_ = false;
+  std::thread decode_thread_;
+  std::mutex decode_mutex_;
+  std::condition_variable decode_cv_;
+  bool decode_stop_ = false;
+  bool job_ready_ = false;      ///< a job is posted, worker not started on it
+  bool job_in_flight_ = false;  ///< a job is posted or being decoded
+  bool result_ready_ = false;
+  std::size_t job_offset_ = 0;
+  std::string_view job_payload_;
+  std::uint32_t job_crc_ = 0;
+  DecodeOutcome decode_result_;
 };
 
 /// One-shot convenience: replays the whole log and returns the final

@@ -280,6 +280,50 @@ QuantileSketch& epoch_refresh_sketch() {
   static QuantileSketch* sketch = new QuantileSketch();
   return *sketch;
 }
+QuantileSketch& refresh_rebuild_sketch() {
+  static QuantileSketch* sketch = new QuantileSketch();
+  return *sketch;
+}
+QuantileSketch& refresh_apply_sketch() {
+  static QuantileSketch* sketch = new QuantileSketch();
+  return *sketch;
+}
+
+NLARM_CATALOG_GAUGE(refresh_workers, "nlarm_refresh_workers",
+                    "Worker threads attached to the broker's epoch-refresh "
+                    "pool (0 = serial refresh).")
+NLARM_CATALOG_COUNTER(refresh_parallel_rebuilds,
+                      "nlarm_refresh_parallel_rebuilds_total",
+                      "Full prepared-state rebuilds that ran on the "
+                      "refresh pool.")
+NLARM_CATALOG_COUNTER(refresh_parallel_applies,
+                      "nlarm_refresh_parallel_applies_total",
+                      "Sharded delta applications that ran on the refresh "
+                      "pool.")
+NLARM_CATALOG_COUNTER(refresh_decode_ahead_frames,
+                      "nlarm_refresh_decode_ahead_frames_total",
+                      "Delta-log frames decoded by the decode-ahead thread "
+                      "while the previous frame was being applied.")
+NLARM_CATALOG_GAUGE(refresh_decode_ahead_depth,
+                    "nlarm_refresh_decode_ahead_depth",
+                    "Frames currently sitting decoded-but-unapplied in the "
+                    "delta-log decode-ahead buffer.")
+NLARM_CATALOG_GAUGE(refresh_rebuild_p50_seconds,
+                    "nlarm_refresh_rebuild_p50_seconds",
+                    "Sketch-estimated p50 of the full-rebuild refresh "
+                    "stage.")
+NLARM_CATALOG_GAUGE(refresh_rebuild_p95_seconds,
+                    "nlarm_refresh_rebuild_p95_seconds",
+                    "Sketch-estimated p95 of the full-rebuild refresh "
+                    "stage.")
+NLARM_CATALOG_GAUGE(refresh_apply_p50_seconds,
+                    "nlarm_refresh_apply_p50_seconds",
+                    "Sketch-estimated p50 of the delta-apply refresh "
+                    "stage.")
+NLARM_CATALOG_GAUGE(refresh_apply_p95_seconds,
+                    "nlarm_refresh_apply_p95_seconds",
+                    "Sketch-estimated p95 of the delta-apply refresh "
+                    "stage.")
 
 NLARM_CATALOG_GAUGE(serve_decide_p50_seconds, "nlarm_serve_decide_p50_seconds",
                     "Sketch-estimated p50 of end-to-end decide() latency.")
@@ -317,6 +361,12 @@ void export_quantile_gauges() {
   const QuantileSketch& refresh = epoch_refresh_sketch();
   epoch_refresh_p50_seconds().set(refresh.quantile(0.50));
   epoch_refresh_p99_seconds().set(refresh.quantile(0.99));
+  const QuantileSketch& rebuild = refresh_rebuild_sketch();
+  refresh_rebuild_p50_seconds().set(rebuild.quantile(0.50));
+  refresh_rebuild_p95_seconds().set(rebuild.quantile(0.95));
+  const QuantileSketch& apply = refresh_apply_sketch();
+  refresh_apply_p50_seconds().set(apply.quantile(0.50));
+  refresh_apply_p95_seconds().set(apply.quantile(0.95));
 }
 
 NLARM_CATALOG_GAUGE(threadpool_threads, "nlarm_threadpool_threads",
@@ -328,8 +378,9 @@ NLARM_CATALOG_COUNTER(threadpool_tasks, "nlarm_threadpool_tasks_total",
                       "Indices executed across pooled parallel_for batches.")
 NLARM_CATALOG_HISTOGRAM(threadpool_submit_wait_seconds,
                         "nlarm_threadpool_submit_wait_seconds",
-                        "Time a parallel_for caller waited for the pool to "
-                        "become free (submit-lock queue wait).")
+                        "Time a parallel_for caller spent enqueueing its "
+                        "job (brief jobs-list lock contention; concurrent "
+                        "callers no longer serialize whole calls).")
 NLARM_CATALOG_HISTOGRAM(threadpool_batch_seconds,
                         "nlarm_threadpool_batch_seconds",
                         "Wall time of one pooled parallel_for batch, submit "
@@ -534,6 +585,15 @@ void register_all() {
   admission_wait_p99_seconds();
   epoch_refresh_p50_seconds();
   epoch_refresh_p99_seconds();
+  refresh_workers();
+  refresh_parallel_rebuilds();
+  refresh_parallel_applies();
+  refresh_decode_ahead_frames();
+  refresh_decode_ahead_depth();
+  refresh_rebuild_p50_seconds();
+  refresh_rebuild_p95_seconds();
+  refresh_apply_p50_seconds();
+  refresh_apply_p95_seconds();
   threadpool_threads();
   threadpool_batches();
   threadpool_tasks();

@@ -125,6 +125,19 @@ Gauge& epoch_refresh_p99_seconds();  ///< nlarm_epoch_refresh_p99_seconds
 /// each frame — never from the decide path.
 void export_quantile_gauges();
 
+// --- parallel epoch-refresh plane (PreparedBuilder + delta-log ingest) ---
+Gauge& refresh_workers();                ///< nlarm_refresh_workers
+Counter& refresh_parallel_rebuilds();    ///< nlarm_refresh_parallel_rebuilds_total
+Counter& refresh_parallel_applies();     ///< nlarm_refresh_parallel_applies_total
+Counter& refresh_decode_ahead_frames();  ///< nlarm_refresh_decode_ahead_frames_total
+Gauge& refresh_decode_ahead_depth();     ///< nlarm_refresh_decode_ahead_depth
+QuantileSketch& refresh_rebuild_sketch(); ///< full-rebuild stage wall time
+QuantileSketch& refresh_apply_sketch();   ///< delta-apply stage wall time
+Gauge& refresh_rebuild_p50_seconds();    ///< nlarm_refresh_rebuild_p50_seconds
+Gauge& refresh_rebuild_p95_seconds();    ///< nlarm_refresh_rebuild_p95_seconds
+Gauge& refresh_apply_p50_seconds();      ///< nlarm_refresh_apply_p50_seconds
+Gauge& refresh_apply_p95_seconds();      ///< nlarm_refresh_apply_p95_seconds
+
 // --- util::ThreadPool (pooled parallel_for path only) ---
 Gauge& threadpool_threads();             ///< nlarm_threadpool_threads
 Counter& threadpool_batches();           ///< nlarm_threadpool_batches_total

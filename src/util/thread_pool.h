@@ -34,6 +34,12 @@ class ThreadPool {
   /// has finished. If any call throws, the first exception is rethrown on
   /// the caller after the loop drains (remaining indices still run, so
   /// output slots stay fully written).
+  ///
+  /// Concurrent callers are independent: each call owns its own job state,
+  /// so a refresh thread's rebuild and an allocator fan-out on the same
+  /// pool interleave over the workers instead of queueing behind a submit
+  /// lock. Progress is guaranteed even with more callers than workers —
+  /// every caller drains its own indices.
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t)>& fn);
 
@@ -46,10 +52,12 @@ class ThreadPool {
   static void run_job(Job& job);
 
   std::vector<std::thread> workers_;
-  std::mutex mutex_;                 ///< guards job_ / stop_
-  std::condition_variable work_cv_;  ///< wakes workers for a new job
-  std::mutex submit_mutex_;          ///< serializes concurrent parallel_for
-  std::shared_ptr<Job> job_;
+  std::mutex mutex_;                 ///< guards jobs_ / stop_
+  std::condition_variable work_cv_;  ///< wakes workers for new jobs
+  /// Active jobs, one per in-flight parallel_for call (submission order).
+  /// Workers pick the first job with unclaimed indices; the submitting
+  /// caller removes its job once every index completed.
+  std::vector<std::shared_ptr<Job>> jobs_;
   bool stop_ = false;
 };
 

@@ -9,9 +9,12 @@
 // full-sort/round-robin overflow fallback, serially and in parallel.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <limits>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "core/allocator.h"
@@ -402,6 +405,296 @@ TEST(FastPathEquivalenceTest, TwoPhaseCoveringUnderDegradation) {
   EXPECT_EQ(out.quarantined, 8u);
   check_on_snapshot(*out.snapshot, 16);
   check_two_phase_covering(*out.snapshot, 16);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel refresh plane: a PreparedBuilder with a thread pool attached must
+// produce epochs BIT-IDENTICAL to a serial builder — full rebuilds (flat and
+// tiled), sharded delta applies, and materializations, including on degraded
+// snapshots. The pool may only change wall time, never bits (fixed-range
+// ExactSum partials folded in canonical order; DESIGN.md §17).
+// ---------------------------------------------------------------------------
+
+void expect_same_matrix(const util::FlatMatrix* a, const util::FlatMatrix* b) {
+  ASSERT_EQ(a == nullptr, b == nullptr);
+  if (a == nullptr) return;
+  ASSERT_EQ(a->size(), b->size());
+  // memcmp, not EXPECT_DOUBLE_EQ: the contract is bit-exactness.
+  EXPECT_EQ(std::memcmp(a->data(), b->data(),
+                        a->value_count() * sizeof(double)),
+            0);
+}
+
+void expect_same_epoch(const PreparedSnapshot& a, const PreparedSnapshot& b) {
+  EXPECT_EQ(a.version, b.version);
+  EXPECT_EQ(a.usable, b.usable);
+  EXPECT_EQ(a.cl, b.cl);
+  EXPECT_EQ(a.pc, b.pc);
+  EXPECT_EQ(a.pos_of, b.pos_of);
+  EXPECT_EQ(a.load_per_core, b.load_per_core);
+  EXPECT_EQ(a.effective_capacity, b.effective_capacity);
+  expect_same_matrix(a.nl.get(), b.nl.get());
+  ASSERT_EQ(a.tiles == nullptr, b.tiles == nullptr);
+  if (a.tiles != nullptr) {
+    EXPECT_EQ(a.tiles->scalars.lat_fill, b.tiles->scalars.lat_fill);
+    EXPECT_EQ(a.tiles->scalars.comp_fill, b.tiles->scalars.comp_fill);
+    EXPECT_EQ(a.tiles->scalars.lat_s, b.tiles->scalars.lat_s);
+    EXPECT_EQ(a.tiles->scalars.comp_s, b.tiles->scalars.comp_s);
+    EXPECT_EQ(a.tiles->scalars.rescale, b.tiles->scalars.rescale);
+    ASSERT_EQ(a.tiles->tiles.size(), b.tiles->tiles.size());
+    for (std::size_t t = 0; t < a.tiles->tiles.size(); ++t) {
+      EXPECT_EQ(a.tiles->tiles[t].lat_mean, b.tiles->tiles[t].lat_mean)
+          << "tile " << t;
+      EXPECT_EQ(a.tiles->tiles[t].comp_mean, b.tiles->tiles[t].comp_mean)
+          << "tile " << t;
+      EXPECT_EQ(a.tiles->tiles[t].pairs, b.tiles->tiles[t].pairs)
+          << "tile " << t;
+    }
+  }
+}
+
+/// Copies `base`, rewrites ~pair_fraction of the measured pairs (some to
+/// unmeasured, to cross the missing-count transitions) and ~20% of node
+/// loads, and returns the new snapshot plus the matching delta.
+std::shared_ptr<const monitor::ClusterSnapshot> churned_snapshot(
+    const monitor::ClusterSnapshot& base, std::uint64_t seed,
+    double pair_fraction, monitor::SnapshotDelta& delta) {
+  auto next = std::make_shared<monitor::ClusterSnapshot>(base);
+  const int n = static_cast<int>(base.nodes.size());
+  sim::Rng rng(seed);
+  monitor::DeltaTracker tracker(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      if (!rng.chance(pair_fraction)) continue;
+      const auto uu = static_cast<std::size_t>(u);
+      const auto vv = static_cast<std::size_t>(v);
+      if (rng.chance(0.1)) {
+        next->net.latency_us[uu][vv] = next->net.latency_us[vv][uu] = -1.0;
+        next->net.bandwidth_mbps[uu][vv] = next->net.bandwidth_mbps[vv][uu] =
+            -1.0;
+      } else {
+        const double lat = rng.uniform(40.0, 800.0);
+        const double bw = rng.uniform(50.0, 950.0);
+        next->net.latency_us[uu][vv] = next->net.latency_us[vv][uu] = lat;
+        next->net.bandwidth_mbps[uu][vv] = next->net.bandwidth_mbps[vv][uu] =
+            bw;
+        next->net.peak_mbps[uu][vv] = next->net.peak_mbps[vv][uu] = 1000.0;
+      }
+      tracker.mark_pair(u, v);
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    if (!rng.chance(0.2)) continue;
+    auto& node = next->nodes[static_cast<std::size_t>(i)];
+    const double load = rng.uniform(0.0, 8.0);
+    node.cpu_load = load;
+    node.cpu_load_avg = {load, load * 0.9, load * 0.8};
+    tracker.mark_node(i);
+  }
+  next->version = base.version + 1;
+  delta = tracker.drain();
+  delta.base_version = base.version;
+  delta.version = next->version;
+  return next;
+}
+
+/// Serial builder vs pooled builder over one snapshot + one churn delta:
+/// rebuild, update and build must all land on bit-identical epochs, and the
+/// pooled incremental path must still match the pooled from-scratch oracle.
+void check_parallel_builder(const monitor::ClusterSnapshot& base_snap,
+                            std::uint64_t seed,
+                            std::optional<TilingOptions> tiling) {
+  auto base = std::make_shared<const monitor::ClusterSnapshot>(base_snap);
+  const RequestProfile profile = RequestProfile::of(make_request(16));
+
+  util::ThreadPool pool(4);
+  PreparedBuilder serial =
+      tiling ? PreparedBuilder(profile, *tiling) : PreparedBuilder(profile);
+  PreparedBuilder pooled =
+      tiling ? PreparedBuilder(profile, *tiling) : PreparedBuilder(profile);
+  pooled.set_thread_pool(&pool);
+
+  serial.rebuild(base);
+  pooled.rebuild(base);
+  expect_same_epoch(*pooled.build(), *serial.build());
+
+  // Heavy churn so the sharded apply path sees real per-shard queues (and
+  // duplicate-free delta order inside each shard).
+  monitor::SnapshotDelta delta;
+  const auto next = churned_snapshot(*base, seed ^ 0xc0ffee, 0.3, delta);
+  ASSERT_TRUE(serial.update(next, delta));
+  ASSERT_TRUE(pooled.update(next, delta));
+  const auto serial_epoch = serial.build();
+  const auto pooled_epoch = pooled.build();
+  expect_same_epoch(*pooled_epoch, *serial_epoch);
+
+  // The pooled incremental path must also equal a pooled full rebuild — the
+  // bit-identity oracle holds inside parallel mode, not just across modes.
+  PreparedBuilder oracle =
+      tiling ? PreparedBuilder(profile, *tiling) : PreparedBuilder(profile);
+  oracle.set_thread_pool(&pool);
+  oracle.rebuild(next);
+  expect_same_epoch(*pooled_epoch, *oracle.build());
+}
+
+TEST(ParallelRefreshEquivalenceTest, FlatBuildersBitIdentical) {
+  for (const int v : {8, 60, 257}) {
+    SCOPED_TRACE(::testing::Message() << "V=" << v);
+    monitor::ClusterSnapshot snap =
+        random_snapshot(v, 0x5eed0000ull + static_cast<std::uint64_t>(v));
+    snap.version = 7;
+    check_parallel_builder(snap, static_cast<std::uint64_t>(v), std::nullopt);
+  }
+}
+
+TEST(ParallelRefreshEquivalenceTest, TiledBuildersBitIdentical) {
+  for (const int v : {8, 60, 257}) {
+    SCOPED_TRACE(::testing::Message() << "V=" << v);
+    monitor::ClusterSnapshot snap = switched_snapshot(
+        v, 0x7e5700ull + static_cast<std::uint64_t>(v), std::max(2, v / 8));
+    snap.version = 9;
+    check_parallel_builder(snap, static_cast<std::uint64_t>(v),
+                           TilingOptions{});
+  }
+}
+
+TEST(ParallelRefreshEquivalenceTest, DegradedSnapshotsStayBitIdentical) {
+  // Degradation overlays rewrite the snapshot before it reaches the
+  // builder; serial and pooled builders must agree on the rewritten input
+  // exactly as on a fresh one.
+  const int v = 40;
+  auto snapshot = std::make_shared<const monitor::ClusterSnapshot>(
+      switched_snapshot(v, 5150, 8));
+  monitor::StalenessView view;
+  view.now = 1000.0;
+  view.node.assign(static_cast<std::size_t>(v), 1.0);
+  view.pair.assign(static_cast<std::size_t>(v), 1.0);
+  sim::Rng rng(0xabcdef);
+  for (int i = 0; i < v; ++i) {
+    if (rng.chance(0.2)) view.node[static_cast<std::size_t>(i)] = 100.0;
+  }
+  for (int u = 0; u < v; ++u) {
+    for (int w = u + 1; w < v; ++w) {
+      if (rng.chance(0.15)) {
+        view.pair[static_cast<std::size_t>(u)][static_cast<std::size_t>(w)] =
+            700.0;
+        view.pair[static_cast<std::size_t>(w)][static_cast<std::size_t>(u)] =
+            700.0;
+      }
+    }
+  }
+  Degrader degrader(DegradationPolicy{});
+  const DegradationOutcome out = degrader.apply(snapshot, view);
+  ASSERT_TRUE(out.degraded);
+  monitor::ClusterSnapshot degraded = *out.snapshot;
+  degraded.version = 11;
+  check_parallel_builder(degraded, 99, std::nullopt);
+  check_parallel_builder(degraded, 99, TilingOptions{});
+}
+
+/// Deterministic procedural pair terms: tiled V=4096 equivalence without
+/// materializing a 4096² snapshot (the PairSource seam exists for exactly
+/// this).
+class HashPairSource final : public PairSource {
+ public:
+  explicit HashPairSource(std::uint64_t salt) : salt_(salt) {}
+
+  Raw read(cluster::NodeId u, cluster::NodeId v) const override {
+    const auto a = static_cast<std::uint64_t>(std::min(u, v));
+    const auto b = static_cast<std::uint64_t>(std::max(u, v));
+    std::uint64_t x = salt_ ^ (a * 0x9e3779b97f4a7c15ull) ^
+                      (b * 0xbf58476d1ce4e5b9ull);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    Raw raw;
+    if ((x & 0xf) == 0) return raw;  // ~6% unmeasured
+    raw.lat = 40.0 + static_cast<double>(x % 760);
+    raw.comp = static_cast<double>((x >> 10) % 950);
+    return raw;
+  }
+
+ private:
+  std::uint64_t salt_;
+};
+
+TEST(ParallelRefreshEquivalenceTest, TiledV4096ProceduralBitIdentical) {
+  const std::size_t v = 4096;
+  std::vector<cluster::NodeId> nodes(v);
+  for (std::size_t i = 0; i < v; ++i) {
+    nodes[i] = static_cast<cluster::NodeId>(i);
+  }
+  const HashPairSource old_source(0x01d);
+  const HashPairSource new_source(0x4e3);
+  const NetworkLoadWeights weights{0.5, 0.5};
+  util::ThreadPool pool(4);
+
+  detail::TiledNlState serial;
+  detail::TiledNlState pooled;
+  serial.full_build(old_source, nodes, util::BlockPartition::fixed(v, 64),
+                    weights);
+  pooled.full_build(old_source, nodes, util::BlockPartition::fixed(v, 64),
+                    weights, &pool);
+
+  const auto expect_same_state = [&](const detail::TiledNlState& a,
+                                     const detail::TiledNlState& b) {
+    EXPECT_EQ(a.scalars().lat_fill, b.scalars().lat_fill);
+    EXPECT_EQ(a.scalars().comp_fill, b.scalars().comp_fill);
+    EXPECT_EQ(a.scalars().lat_s, b.scalars().lat_s);
+    EXPECT_EQ(a.scalars().comp_s, b.scalars().comp_s);
+    EXPECT_EQ(a.scalars().rescale, b.scalars().rescale);
+    const std::size_t tiles = a.partition().tile_count();
+    ASSERT_EQ(tiles, b.partition().tile_count());
+    std::size_t mismatches = 0;
+    for (std::size_t t = 0; t < tiles; ++t) {
+      if (a.tile_lat_mean(t) != b.tile_lat_mean(t) ||
+          a.tile_comp_mean(t) != b.tile_comp_mean(t) ||
+          a.tile_pairs(t) != b.tile_pairs(t)) {
+        ++mismatches;
+      }
+    }
+    EXPECT_EQ(mismatches, 0u);
+  };
+  expect_same_state(pooled, serial);
+
+  // Sharded delta apply: a dirty set with repeats, replayed serially on one
+  // state and sharded on the other.
+  sim::Rng rng(0x600d);
+  std::vector<detail::PairPosition> dirty;
+  for (int d = 0; d < 4000; ++d) {
+    const auto i = static_cast<std::uint32_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(v) - 2));
+    const auto j = static_cast<std::uint32_t>(rng.uniform_int(
+        static_cast<std::int64_t>(i) + 1, static_cast<std::int64_t>(v) - 1));
+    dirty.push_back({i, j});
+    if (d % 37 == 0) dirty.push_back({i, j});  // duplicates, in order
+  }
+  for (const detail::PairPosition& p : dirty) {
+    serial.patch_pair(old_source, new_source, nodes, p.i, p.j);
+  }
+  serial.refresh_dirty();
+  pooled.patch_pairs(old_source, new_source, nodes, dirty, &pool);
+  pooled.refresh_dirty();
+  expect_same_state(pooled, serial);
+
+  // The dense materialization (disjoint cell writes) agrees too — checked
+  // at a smaller V to keep the suite fast.
+  const std::size_t mv = 257;
+  std::vector<cluster::NodeId> mnodes(nodes.begin(),
+                                      nodes.begin() + static_cast<long>(mv));
+  detail::TiledNlState mat_serial;
+  detail::TiledNlState mat_pooled;
+  mat_serial.full_build(new_source, mnodes,
+                        util::BlockPartition::fixed(mv, 16), weights);
+  mat_pooled.full_build(new_source, mnodes,
+                        util::BlockPartition::fixed(mv, 16), weights, &pool);
+  util::FlatMatrix want;
+  util::FlatMatrix got;
+  mat_serial.materialize_dense(new_source, mnodes, want);
+  mat_pooled.materialize_dense(new_source, mnodes, got, &pool);
+  expect_same_matrix(&got, &want);
 }
 
 TEST(FastPathEquivalenceTest, AnnotationMatchesPairMetricsReference) {

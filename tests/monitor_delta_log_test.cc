@@ -542,5 +542,122 @@ TEST(DeltaLogTest, ConcurrentCompactionAndPollingConverge) {
   std::remove(path.c_str());
 }
 
+TEST(DeltaLogTest, DecodeAheadReplayMatchesSerial) {
+  // The pipelined reader (decode+CRC of frame k+1 on a worker thread while
+  // frame k applies) must be an exact replay-semantics twin of the serial
+  // one: same states, same frame counts, same drained deltas, poll by poll.
+  const std::string path = log_path("decode_ahead");
+  auto store = seeded_store(6);
+  DeltaLogWriter writer(path, no_compaction());
+  DeltaLogReader serial(path);
+  DeltaLogReader pipelined(path);
+  pipelined.set_decode_ahead(true);
+  EXPECT_TRUE(pipelined.decode_ahead());
+
+  double now = 10.0;
+  ASSERT_TRUE(writer.append(store->assemble(now), store->drain_delta()));
+  for (int batch = 0; batch < 4; ++batch) {
+    // Several frames per poll so the decode-ahead pipeline actually runs
+    // (a single-frame poll never has a "next" frame to hand the worker).
+    for (int i = 0; i < 7; ++i) {
+      now += 1.0;
+      NodeSnapshot record = store->node_record((batch + i) % 6);
+      record.cpu_load = 0.1 * (batch * 7 + i);
+      store->write_node_record(now, record);
+      store->write_latency(now, i % 6, (i + 2) % 6, 40.0 + i, 41.0);
+      store->write_latency(now, (i + 2) % 6, i % 6, 40.0 + i, 41.0);
+      ASSERT_TRUE(writer.append(store->assemble(now), store->drain_delta()));
+    }
+    const int want = serial.poll();
+    EXPECT_EQ(pipelined.poll(), want);
+    EXPECT_GT(want, 1);
+    EXPECT_EQ(pipelined.frames_applied(), serial.frames_applied());
+    EXPECT_EQ(pipelined.bad_frames_seen(), serial.bad_frames_seen());
+    const SnapshotDelta serial_delta = serial.drain_delta();
+    const SnapshotDelta pipelined_delta = pipelined.drain_delta();
+    EXPECT_EQ(pipelined_delta.full, serial_delta.full);
+    EXPECT_EQ(pipelined_delta.base_version, serial_delta.base_version);
+    EXPECT_EQ(pipelined_delta.version, serial_delta.version);
+    EXPECT_EQ(pipelined_delta.dirty_nodes, serial_delta.dirty_nodes);
+    EXPECT_EQ(pipelined_delta.dirty_pairs, serial_delta.dirty_pairs);
+    expect_equal_state(pipelined.snapshot(), serial.snapshot());
+  }
+  expect_equal_state(pipelined.snapshot(), store->assemble(now));
+  std::remove(path.c_str());
+}
+
+TEST(DeltaLogTest, DecodeAheadStopsAtTornAndBadFramesLikeSerial) {
+  const std::string path = log_path("decode_ahead_torn");
+  auto store = seeded_store(4);
+  DeltaLogWriter writer(path, no_compaction());
+  DeltaLogReader serial(path);
+  DeltaLogReader pipelined(path);
+  pipelined.set_decode_ahead(true);
+
+  double now = 10.0;
+  ASSERT_TRUE(writer.append(store->assemble(now), store->drain_delta()));
+  for (int i = 0; i < 5; ++i) {
+    now += 1.0;
+    store->write_latency(now, 0, 3, 70.0 + i, 71.0);
+    store->write_latency(now, 3, 0, 70.0 + i, 71.0);
+    ASSERT_TRUE(writer.append(store->assemble(now), store->drain_delta()));
+  }
+  // A torn tail: the next append is truncated mid-frame. Both readers must
+  // apply the six good frames, stop at the partial one without advancing,
+  // and report identical counters.
+  now += 1.0;
+  store->write_latency(now, 1, 2, 80.0, 81.0);
+  store->write_latency(now, 2, 1, 80.0, 81.0);
+  arm_torn_snapshot_write();
+  EXPECT_FALSE(writer.append(store->assemble(now), store->drain_delta()));
+
+  EXPECT_EQ(serial.poll(), 6);
+  EXPECT_EQ(pipelined.poll(), 6);
+  (void)serial.drain_delta();
+  (void)pipelined.drain_delta();
+  EXPECT_EQ(pipelined.bad_frames_seen(), serial.bad_frames_seen());
+  expect_equal_state(pipelined.snapshot(), serial.snapshot());
+
+  // The writer heals by compacting; both readers replay the fresh head and
+  // converge on the same state.
+  now += 1.0;
+  store->write_latency(now, 1, 2, 82.0, 83.0);
+  store->write_latency(now, 2, 1, 82.0, 83.0);
+  ASSERT_TRUE(writer.append(store->assemble(now), store->drain_delta()));
+  EXPECT_EQ(serial.poll(), 1);
+  EXPECT_EQ(pipelined.poll(), 1);
+  EXPECT_TRUE(serial.drain_delta().full);
+  EXPECT_TRUE(pipelined.drain_delta().full);
+  expect_equal_state(pipelined.snapshot(), store->assemble(now));
+  expect_equal_state(pipelined.snapshot(), serial.snapshot());
+  std::remove(path.c_str());
+}
+
+TEST(DeltaLogTest, DecodeAheadTogglesMidStream) {
+  // Flipping the pipeline on and off between polls (stopping/starting the
+  // worker thread) never changes what a poll replays.
+  const std::string path = log_path("decode_ahead_toggle");
+  auto store = seeded_store(4);
+  DeltaLogWriter writer(path, no_compaction());
+  DeltaLogReader reader(path);
+
+  double now = 10.0;
+  ASSERT_TRUE(writer.append(store->assemble(now), store->drain_delta()));
+  for (int round = 0; round < 4; ++round) {
+    reader.set_decode_ahead(round % 2 == 0);
+    for (int i = 0; i < 3; ++i) {
+      now += 1.0;
+      store->write_latency(now, 0, 2, 90.0 + round + i, 91.0);
+      store->write_latency(now, 2, 0, 90.0 + round + i, 91.0);
+      ASSERT_TRUE(writer.append(store->assemble(now), store->drain_delta()));
+    }
+    EXPECT_EQ(reader.poll(), round == 0 ? 4 : 3);
+    (void)reader.drain_delta();
+    expect_equal_state(reader.snapshot(), store->assemble(now));
+  }
+  EXPECT_EQ(reader.bad_frames_seen(), 0);
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace nlarm::monitor

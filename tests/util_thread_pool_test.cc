@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <barrier>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace nlarm::util {
@@ -67,6 +69,60 @@ TEST(ThreadPoolTest, ReusableAcrossCalls) {
     pool.parallel_for(10, [&](std::size_t i) { sum.fetch_add(i); });
     EXPECT_EQ(sum.load(), 45u);
   }
+}
+
+TEST(ThreadPoolTest, ConcurrentCallersShareOnePool) {
+  // Two parallel_for calls on ONE pool must be able to be in flight at the
+  // same time — the refresh-plane usage pattern (an epoch rebuild racing an
+  // allocator fan-out). The overlap is forced, not raced: call A's index 0
+  // spins until call B's loop has run, so a pool that serialized whole calls
+  // behind a submit lock would deadlock here instead of completing.
+  ThreadPool pool(2);
+  constexpr std::size_t kIndices = 8;
+  std::atomic<bool> a_started{false};
+  std::atomic<bool> b_ran{false};
+  std::vector<std::atomic<int>> hits_a(kIndices);
+  std::vector<std::atomic<int>> hits_b(kIndices);
+  std::thread other([&] {
+    // Submit B only once A is mid-call, so both jobs coexist on the pool.
+    while (!a_started.load()) std::this_thread::yield();
+    pool.parallel_for(kIndices, [&](std::size_t i) {
+      hits_b[i].fetch_add(1);
+      b_ran.store(true);
+    });
+  });
+  pool.parallel_for(kIndices, [&](std::size_t i) {
+    a_started.store(true);
+    if (i == 0) {
+      while (!b_ran.load()) std::this_thread::yield();
+    }
+    hits_a[i].fetch_add(1);
+  });
+  other.join();
+  for (const auto& h : hits_a) EXPECT_EQ(h.load(), 1);
+  for (const auto& h : hits_b) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ConcurrentCallerExceptionsStayPerCall) {
+  // An exception in one caller's loop must surface on that caller only;
+  // the overlapping caller's loop completes normally.
+  ThreadPool pool(2);
+  std::barrier sync(2);
+  std::atomic<int> clean_runs{0};
+  std::thread other([&] {
+    sync.arrive_and_wait();
+    pool.parallel_for(300, [&](std::size_t) { clean_runs.fetch_add(1); });
+  });
+  sync.arrive_and_wait();
+  EXPECT_THROW(pool.parallel_for(300,
+                                 [&](std::size_t i) {
+                                   if (i == 7) {
+                                     throw std::runtime_error("boom");
+                                   }
+                                 }),
+               std::runtime_error);
+  other.join();
+  EXPECT_EQ(clean_runs.load(), 300);
 }
 
 TEST(ThreadPoolTest, SharedPoolSingleton) {

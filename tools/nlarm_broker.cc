@@ -140,6 +140,7 @@ int run_failover_drill(sim::Simulation& sim, monitor::ResourceMonitor& monitor,
                        const core::AllocationRequest& request,
                        const std::string& log_path_arg, double drill_seconds,
                        double promote_after, double max_epoch_age,
+                       int refresh_threads,
                        std::atomic<double>& telemetry_now) {
   const std::string log_path =
       log_path_arg.empty() ? "nlarm_failover_drill.nlarmd" : log_path_arg;
@@ -151,11 +152,13 @@ int run_failover_drill(sim::Simulation& sim, monitor::ResourceMonitor& monitor,
   const auto leader_allocator = make_policy_allocator(policy_name, seed);
   const auto follower_allocator = make_policy_allocator(policy_name, seed);
   core::ResourceBroker leader(*leader_allocator, broker_policy);
+  if (refresh_threads > 1) leader.set_refresh_threads(refresh_threads);
   monitor::DeltaLogWriter writer(log_path);
 
   core::ReplicaOptions replica_options;
   replica_options.max_epoch_age_s = max_epoch_age;
   replica_options.promote_after_s = promote_after;
+  replica_options.refresh_threads = refresh_threads;
   core::FollowerBroker follower(*follower_allocator, log_path, profile,
                                 replica_options, broker_policy);
 
@@ -317,6 +320,10 @@ int main(int argc, char** argv) {
         "threads, print throughput, and exit"},
        {"serve-requests", "total decisions to serve in serve mode "
                           "(default 10000)"},
+       {"refresh-threads",
+        "worker threads for epoch refreshes (full rebuilds, delta applies); "
+        "1 = serial (default). Published epochs are bit-identical at any "
+        "count; followers also use this for replicated rebuilds"},
        {"serve-shards",
         "route serve mode through the sharded admission front end with this "
         "many shard workers (0 = direct decide(pin) per thread)"},
@@ -509,6 +516,14 @@ int main(int argc, char** argv) {
   obs::AuditLog audit_log;
   broker.set_audit_log(&audit_log);
 
+  const int refresh_threads =
+      static_cast<int>(parser.get_long("refresh-threads", 1));
+  if (refresh_threads < 1) {
+    std::cerr << "--refresh-threads must be >= 1\n";
+    return 1;
+  }
+  if (refresh_threads > 1) broker.set_refresh_threads(refresh_threads);
+
   // Serving-path selection, orthogonal to --policy (which picks the classic
   // one-shot allocator): hierarchical keeps tiled pair state in the epoch
   // builder and routes decide() through allocate_two_phase.
@@ -639,6 +654,7 @@ int main(int argc, char** argv) {
     replica_options.max_epoch_age_s = max_epoch_age;
     replica_options.promote_after_s =
         parser.get_double("promote-after", 15.0);
+    replica_options.refresh_threads = refresh_threads;
     core::FollowerBroker follower(*allocator, follow_path,
                                   core::RequestProfile::of(request),
                                   replica_options, broker_policy);
@@ -738,7 +754,7 @@ int main(int argc, char** argv) {
         broker_policy, request, delta_log_path,
         parser.get_double("chaos-seconds", 150.0),
         parser.get_double("promote-after", 15.0), max_epoch_age,
-        *telemetry_now);
+        refresh_threads, *telemetry_now);
     write_observability_outputs(metrics_path, audit_path, trace_path,
                                 audit_log);
     hold_telemetry();

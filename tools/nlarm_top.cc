@@ -132,6 +132,7 @@ int main(int argc, char** argv) {
   double last_decides = NAN;
   double last_allocs = NAN;
   double last_plane_decisions = NAN;
+  double last_epochs = NAN;
   for (long frame = 0;; ++frame) {
     const std::optional<obs::HttpResponse> metrics_response =
         obs::http_get(host, port, "/metrics");
@@ -231,11 +232,33 @@ int main(int argc, char** argv) {
                 decides, allocs, series(m, "nlarm_broker_waits_total"),
                 series(m, "nlarm_broker_fallback_decisions_total"),
                 series(m, "nlarm_broker_stale_refusals_total"));
-    std::printf("epochs  published %.0f  refresh-lag %.3fs  "
+    const double epochs_published = series(m, "nlarm_epoch_publishes_total");
+    const double epoch_rate =
+        counter_rate(epochs_published, last_epochs, interval, counter_reset);
+    std::printf("epochs  published %.0f (%.1f/s)  refresh-lag %.3fs  "
                 "delta-log tail %.0f B\n",
-                series(m, "nlarm_epoch_publishes_total"),
+                epochs_published, epoch_rate,
                 series(m, "nlarm_epoch_refresh_lag_seconds"),
                 series(m, "nlarm_delta_log_tail_bytes"));
+    // Parallel refresh plane (DESIGN.md §17): rebuild/apply stage latency,
+    // active worker count, and the decode-ahead log-ingest pipeline.
+    std::printf("refresh workers %.0f  rebuild p50 %s p95 %s  "
+                "apply p50 %s p95 %s\n",
+                series(m, "nlarm_refresh_workers"),
+                format_latency(
+                    series(m, "nlarm_refresh_rebuild_p50_seconds")).c_str(),
+                format_latency(
+                    series(m, "nlarm_refresh_rebuild_p95_seconds")).c_str(),
+                format_latency(
+                    series(m, "nlarm_refresh_apply_p50_seconds")).c_str(),
+                format_latency(
+                    series(m, "nlarm_refresh_apply_p95_seconds")).c_str());
+    std::printf("        parallel rebuilds %.0f  applies %.0f  "
+                "decode-ahead frames %.0f  queue depth %.0f\n",
+                series(m, "nlarm_refresh_parallel_rebuilds_total"),
+                series(m, "nlarm_refresh_parallel_applies_total"),
+                series(m, "nlarm_refresh_decode_ahead_frames_total"),
+                series(m, "nlarm_refresh_decode_ahead_depth"));
     // Replication panel, shown only when this broker is part of a
     // replicated fleet (a follower that ingested frames, or a promoted /
     // configured leader).
